@@ -1,0 +1,119 @@
+"""Shared benchmark fixtures: bench-scale datasets and table output.
+
+Dataset scale: the paper runs LUBM(10000)/UniProt/DBPedia at 0.5–1.3
+billion triples on a C++ engine; this reproduction runs the same query
+and data *structure* at laptop-Python scale (tens of thousands of
+triples — see DESIGN.md §2).  All comparative claims are about shapes,
+not absolute numbers.
+
+Paper-style tables (6.1–6.4, geometric means, index sizes) are written
+to ``benchmarks/out/`` at the end of the session and echoed to stdout.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import BitMatStore
+from repro.bench import (BenchmarkHarness, format_characteristics_table,
+                         format_geomean_table, format_query_table,
+                         format_verification)
+from repro.datasets import (DBPEDIA_QUERIES, LUBM_QUERIES, UNIPROT_QUERIES,
+                            generate_dbpedia, generate_lubm,
+                            generate_uniprot)
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: measurement runs per query (after one discarded warm-up), §6.1 style
+RUNS = 3
+
+
+@pytest.fixture(scope="session")
+def lubm_graph():
+    return generate_lubm()
+
+
+@pytest.fixture(scope="session")
+def uniprot_graph():
+    return generate_uniprot()
+
+
+@pytest.fixture(scope="session")
+def dbpedia_graph():
+    return generate_dbpedia()
+
+
+@pytest.fixture(scope="session")
+def lubm_store(lubm_graph):
+    return BitMatStore.build(lubm_graph)
+
+
+@pytest.fixture(scope="session")
+def uniprot_store(uniprot_graph):
+    return BitMatStore.build(uniprot_graph)
+
+
+@pytest.fixture(scope="session")
+def dbpedia_store(dbpedia_graph):
+    return BitMatStore.build(dbpedia_graph)
+
+
+class _TableSink:
+    """Collects suite reports and writes the paper-style tables."""
+
+    def __init__(self) -> None:
+        self.suites = {}
+
+    def add(self, key: str, suite) -> None:
+        self.suites[key] = suite
+
+    def flush(self) -> None:
+        if not self.suites:
+            return
+        os.makedirs(OUT_DIR, exist_ok=True)
+        ordered = [self.suites[key] for key in ("LUBM", "UniProt", "DBPedia")
+                   if key in self.suites]
+        sections = []
+        if ordered:
+            sections.append("TABLE 6.1 — dataset characteristics\n"
+                            + format_characteristics_table(ordered))
+        for number, suite in zip(("6.2", "6.3", "6.4"), ordered):
+            sections.append(f"TABLE {number}\n" + format_query_table(suite))
+        if ordered:
+            sections.append(format_geomean_table(ordered))
+            verification = []
+            for suite in ordered:
+                verification.extend(suite.queries)
+            sections.append("Correctness vs oracle\n"
+                            + format_verification(verification))
+        text = "\n\n".join(sections) + "\n"
+        path = os.path.join(OUT_DIR, "paper_tables.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print("\n" + text)
+        print(f"[tables written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def table_sink():
+    sink = _TableSink()
+    yield sink
+    sink.flush()
+
+
+def run_and_register(sink: _TableSink, name: str, graph, store,
+                     queries) -> None:
+    """Run the full §6 harness for a dataset once per session."""
+    if name in sink.suites:
+        return
+    harness = BenchmarkHarness(name, graph, runs=RUNS, store=store)
+    sink.add(name, harness.run_suite(queries))
+
+
+QUERY_SUITES = {
+    "LUBM": LUBM_QUERIES,
+    "UniProt": UNIPROT_QUERIES,
+    "DBPedia": DBPEDIA_QUERIES,
+}

@@ -1,0 +1,48 @@
+"""Ablation — active pruning during init (§5) on vs off.
+
+Active pruning restricts each BitMat while loading it using the
+bindings of previously loaded master/peer TPs, and powers the paper's
+early empty-result detection (UniProt Q2, DBPedia Q2/Q3: "LBR's init
+procedure with active pruning detects empty results of the query much
+earlier, and abandons further query processing").
+"""
+
+import pytest
+
+from repro import LBREngine
+from repro.datasets import DBPEDIA_QUERIES, LUBM_QUERIES, UNIPROT_QUERIES
+
+EMPTY_CASES = [("uniprot", UNIPROT_QUERIES["Q2"]),
+               ("dbpedia", DBPEDIA_QUERIES["Q2"]),
+               ("dbpedia", DBPEDIA_QUERIES["Q3"])]
+
+
+@pytest.mark.parametrize("dataset,query", EMPTY_CASES,
+                         ids=["uniprot-Q2", "dbpedia-Q2", "dbpedia-Q3"])
+@pytest.mark.parametrize("active", ["on", "off"])
+def test_benchmark_active_init(benchmark, request, dataset, query, active):
+    store = request.getfixturevalue(f"{dataset}_store")
+    engine = LBREngine(store, enable_active_prune=(active == "on"))
+    benchmark.group = f"ablation active-init {dataset}"
+    benchmark.pedantic(engine.execute, args=(query,), rounds=3,
+                       iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("dataset,query", EMPTY_CASES,
+                         ids=["uniprot-Q2", "dbpedia-Q2", "dbpedia-Q3"])
+def test_empty_results_detected_at_init(request, dataset, query):
+    store = request.getfixturevalue(f"{dataset}_store")
+    engine = LBREngine(store)
+    result = engine.execute(query)
+    assert len(result) == 0
+    assert engine.last_stats.aborted_empty
+    # detection happens before the join phase does any work
+    assert engine.last_stats.t_join == 0.0
+
+
+@pytest.mark.parametrize("name", ["Q1", "Q4", "Q6"])
+def test_active_init_preserves_results(lubm_store, name):
+    query = LUBM_QUERIES[name]
+    on = LBREngine(lubm_store, enable_active_prune=True).execute(query)
+    off = LBREngine(lubm_store, enable_active_prune=False).execute(query)
+    assert on.as_multiset() == off.as_multiset()

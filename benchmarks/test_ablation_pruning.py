@@ -1,0 +1,68 @@
+"""Ablation — Algorithms 3.1+3.2 on vs off.
+
+Not a paper table, but the design choice §3.3 defends: "our pruning
+procedure is in fact quite light-weight, especially for low-selectivity
+complex OPT patterns."  With pruning disabled the multi-way join runs
+on the unpruned BitMats and needs the nullification/best-match safety
+net; this ablation quantifies both effects.
+"""
+
+import pytest
+
+from repro import LBREngine
+from repro.datasets import LUBM_QUERIES, UNIPROT_QUERIES
+
+CASES = [("LUBM", "Q1"), ("LUBM", "Q2"), ("LUBM", "Q3"),
+         ("UniProt", "Q1"), ("UniProt", "Q3")]
+
+
+def _query(dataset, name):
+    return (LUBM_QUERIES if dataset == "LUBM" else UNIPROT_QUERIES)[name]
+
+
+@pytest.mark.parametrize("dataset,name", CASES)
+@pytest.mark.parametrize("pruning", ["on", "off"])
+def test_benchmark_pruning_ablation(benchmark, request, dataset, name,
+                                    pruning):
+    store = request.getfixturevalue(f"{dataset.lower()}_store")
+    engine = LBREngine(store, enable_prune=(pruning == "on"))
+    query = _query(dataset, name)
+    benchmark.group = f"ablation prune {dataset} {name}"
+    benchmark.pedantic(engine.execute, args=(query,), rounds=3,
+                       iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("dataset,name", CASES)
+def test_pruning_preserves_results(request, dataset, name):
+    store = request.getfixturevalue(f"{dataset.lower()}_store")
+    query = _query(dataset, name)
+    on = LBREngine(store, enable_prune=True).execute(query)
+    off = LBREngine(store, enable_prune=False).execute(query)
+    assert on.as_multiset() == off.as_multiset()
+
+
+def test_prune_time_is_lightweight(lubm_store):
+    """Tprune is a small fraction of Ttotal on low-selectivity queries."""
+    engine = LBREngine(lubm_store)
+    for name in ("Q1", "Q2", "Q3"):
+        engine.execute(LUBM_QUERIES[name])
+        stats = engine.last_stats
+        assert stats.t_prune < stats.t_total / 2, name
+
+
+def test_pruning_speeds_up_low_selectivity(lubm_store):
+    """On LUBM Q2 the pruned run beats the unpruned run clearly."""
+    import time
+    query = LUBM_QUERIES["Q2"]
+    on_engine = LBREngine(lubm_store, enable_prune=True)
+    off_engine = LBREngine(lubm_store, enable_prune=False)
+    on_engine.execute(query)
+    off_engine.execute(query)
+
+    started = time.perf_counter()
+    on_engine.execute(query)
+    t_on = time.perf_counter() - started
+    started = time.perf_counter()
+    off_engine.execute(query)
+    t_off = time.perf_counter() - started
+    assert t_on < t_off

@@ -1,0 +1,102 @@
+"""Representation ablation — interval lists vs packed machine words.
+
+Quantifies the "known divergence" recorded in EXPERIMENTS.md: the
+paper's C++ BitMats AND compressed words; our default bitvectors are
+Python interval lists.  This microbenchmark ANDs/ORs realistic sparse
+and dense vectors under both representations.  Expected: packed wins
+on dense operands (word-parallel C loop), interval lists stay
+competitive on very sparse operands (few runs to visit, size-
+proportional cost avoided).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.bitmat.bitvec import BitVector
+from repro.bitmat.packed import PackedBitVector
+
+from .conftest import OUT_DIR
+
+UNIVERSE = 200_000
+_RNG = random.Random(99)
+
+DENSITIES = {
+    "sparse": sorted(_RNG.sample(range(UNIVERSE), 200)),
+    "medium": sorted(_RNG.sample(range(UNIVERSE), 10_000)),
+    "dense": sorted(_RNG.sample(range(UNIVERSE), 100_000)),
+}
+
+
+def _vectors(kind, density):
+    positions_a = DENSITIES[density]
+    positions_b = sorted(_RNG.sample(range(UNIVERSE), len(positions_a)))
+    if kind == "interval":
+        return (BitVector.from_sorted_positions(UNIVERSE, positions_a),
+                BitVector.from_sorted_positions(UNIVERSE, positions_b))
+    return (PackedBitVector.from_positions(UNIVERSE, positions_a),
+            PackedBitVector.from_positions(UNIVERSE, positions_b))
+
+
+@pytest.mark.parametrize("density", list(DENSITIES))
+@pytest.mark.parametrize("kind", ["interval", "packed"])
+def test_benchmark_and(benchmark, kind, density):
+    a, b = _vectors(kind, density)
+    benchmark.group = f"AND {density}"
+    benchmark(lambda: a.and_(b).count())
+
+
+@pytest.mark.parametrize("density", list(DENSITIES))
+@pytest.mark.parametrize("kind", ["interval", "packed"])
+def test_benchmark_union_many(benchmark, kind, density):
+    base = DENSITIES[density]
+    chunks = [base[i::16] for i in range(16)]
+    if kind == "interval":
+        vectors = [BitVector.from_sorted_positions(UNIVERSE, chunk)
+                   for chunk in chunks]
+        merge = BitVector.union_many
+    else:
+        vectors = [PackedBitVector.from_positions(UNIVERSE, chunk)
+                   for chunk in chunks]
+        merge = PackedBitVector.union_many
+    benchmark.group = f"union-many {density}"
+    benchmark(lambda: merge(vectors, UNIVERSE).count())
+
+
+def test_representations_agree():
+    for density in DENSITIES:
+        ia, ib = _vectors("interval", density)
+        pa = PackedBitVector.from_bitvector(ia)
+        pb = PackedBitVector.from_bitvector(ib)
+        assert set(pa.and_(pb).positions()) == \
+            set(ia.and_(ib).positions())
+
+
+def test_representation_report():
+    import time
+
+    lines = ["Representation ablation: interval lists vs packed words",
+             f"{'density':<8} {'op':<12} {'interval':>12} {'packed':>12}"]
+    for density in DENSITIES:
+        ia, ib = _vectors("interval", density)
+        pa = PackedBitVector.from_bitvector(ia)
+        pb = PackedBitVector.from_bitvector(ib)
+        for label, interval_op, packed_op in (
+                ("AND", lambda: ia.and_(ib), lambda: pa.and_(pb)),
+                ("OR", lambda: ia.or_(ib), lambda: pa.or_(pb))):
+            timings = []
+            for op in (interval_op, packed_op):
+                started = time.perf_counter()
+                for _ in range(20):
+                    op()
+                timings.append((time.perf_counter() - started) / 20)
+            lines.append(f"{density:<8} {label:<12} "
+                         f"{timings[0] * 1e6:>10.1f}us "
+                         f"{timings[1] * 1e6:>10.1f}us")
+    text = "\n".join(lines)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "representation.txt"), "w",
+              encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,86 @@
+"""Scaling — dataset size growth on the low-selectivity LUBM queries.
+
+The paper's LUBM(10000) run demonstrates scalability: LBR's advantage
+on low-selectivity queries persists (and grows) with data size because
+pruning keeps the join input near the final result size while the
+baselines' intermediate results grow with the data.  This bench runs
+LUBM Q1/Q2 at 1× and 2× universities and checks that LBR's advantage
+on Q2 does not shrink with scale.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import BitMatStore, LBREngine, NaiveEngine
+from repro.datasets import LUBMConfig, LUBM_QUERIES, generate_lubm
+
+from .conftest import OUT_DIR
+
+SCALES = [1, 2]
+
+
+@pytest.fixture(scope="module")
+def scaled():
+    out = {}
+    for universities in SCALES:
+        graph = generate_lubm(LUBMConfig(universities=universities))
+        store = BitMatStore.build(graph)
+        out[universities] = (graph, store)
+    return out
+
+
+@pytest.mark.parametrize("universities", SCALES)
+@pytest.mark.parametrize("query_name", ["Q1", "Q2"])
+def test_benchmark_scaling(benchmark, scaled, universities, query_name):
+    graph, store = scaled[universities]
+    engine = LBREngine(store)
+    benchmark.group = f"scaling {query_name}"
+    benchmark.pedantic(engine.execute,
+                       args=(LUBM_QUERIES[query_name],), rounds=2,
+                       iterations=1, warmup_rounds=1)
+
+
+def _measure(engine, query) -> float:
+    engine.execute(query)
+    started = time.perf_counter()
+    engine.execute(query)
+    return time.perf_counter() - started
+
+
+def test_scaling_series_report(scaled):
+    lines = ["LUBM scaling (seconds/query, Q2)",
+             f"{'universities':>13} {'triples':>10} {'LBR':>10} "
+             f"{'naive':>10} {'ratio':>7}"]
+    ratios = {}
+    for universities in SCALES:
+        graph, store = scaled[universities]
+        lbr = LBREngine(store)
+        naive = NaiveEngine(graph)
+        query = LUBM_QUERIES["Q2"]
+        t_lbr = _measure(lbr, query)
+        t_naive = _measure(naive, query)
+        ratios[universities] = t_naive / t_lbr
+        lines.append(f"{universities:>13} {len(graph):>10,} "
+                     f"{t_lbr:>10.3f} {t_naive:>10.3f} "
+                     f"{ratios[universities]:>6.1f}x")
+    text = "\n".join(lines)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "scaling.txt"), "w",
+              encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+
+    # LBR must stay clearly ahead at the larger scale too
+    assert ratios[SCALES[-1]] > 2.0
+
+
+def test_results_correct_at_larger_scale(scaled):
+    graph, store = scaled[SCALES[-1]]
+    engine = LBREngine(store)
+    oracle = NaiveEngine(graph)
+    for name in ("Q1", "Q4", "Q6"):
+        query = LUBM_QUERIES[name]
+        assert engine.execute(query).as_multiset() == \
+            oracle.execute(query).as_multiset(), name

@@ -1,0 +1,65 @@
+"""Table 6.4 — DBPedia query processing times (Q1–Q6, three engines).
+
+Expected shape (paper, DBPedia 565M): LBR ahead on the low-selectivity
+Q1 (four OPTIONALs over populated places); Q2/Q3 are empty and detected
+at init by active pruning; Q4–Q6 are selective and all engines finish
+within milliseconds of each other; all six queries acyclic.
+"""
+
+import pytest
+
+from repro import ColumnStoreEngine, LBREngine, NaiveEngine
+from repro.datasets import DBPEDIA_QUERIES
+
+from .conftest import QUERY_SUITES, run_and_register
+
+QUERIES = list(DBPEDIA_QUERIES)
+
+
+@pytest.fixture(scope="module")
+def engines(dbpedia_graph, dbpedia_store):
+    return {
+        "lbr": LBREngine(dbpedia_store),
+        "naive": NaiveEngine(dbpedia_graph),
+        "columnstore": ColumnStoreEngine(dbpedia_graph),
+    }
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+@pytest.mark.parametrize("engine_name", ["lbr", "naive", "columnstore"])
+def test_benchmark_dbpedia(benchmark, engines, engine_name, query_name):
+    engine = engines[engine_name]
+    query = DBPEDIA_QUERIES[query_name]
+    benchmark.group = f"DBPedia {query_name}"
+    benchmark.pedantic(engine.execute, args=(query,), rounds=3,
+                       iterations=1, warmup_rounds=1)
+
+
+def test_table_6_4_report(table_sink, dbpedia_graph, dbpedia_store):
+    run_and_register(table_sink, "DBPedia", dbpedia_graph, dbpedia_store,
+                     QUERY_SUITES["DBPedia"])
+    suite = table_sink.suites["DBPedia"]
+    by_name = {r.query: r for r in suite.queries}
+
+    assert all(r.verified for r in suite.queries)
+
+    # all six queries acyclic: never best-match (Table 6.4)
+    assert not any(r.best_match_required for r in suite.queries)
+
+    # Q2 and Q3 empty, detected during init with zero triples kept
+    for name in ("Q2", "Q3"):
+        report = by_name[name]
+        assert report.num_results == 0, name
+        assert report.triples_after_pruning == 0, name
+
+    # Q1 is the low-selectivity query: most results carry NULLs and a
+    # large share of the initial triples is pruned
+    q1 = by_name["Q1"]
+    assert q1.num_results > 100
+    assert q1.results_with_nulls > q1.num_results / 2
+    assert q1.triples_after_pruning < q1.initial_triples / 2
+
+    # Q6 (eight OPTIONAL patterns) returns a small all-NULL-ish set
+    q6 = by_name["Q6"]
+    assert 0 < q6.num_results < 100
+    assert q6.results_with_nulls == q6.num_results

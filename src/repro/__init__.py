@@ -1,0 +1,40 @@
+"""Left Bit Right (LBR) — SPARQL OPTIONAL-pattern query processing.
+
+A complete reproduction of *"Left Bit Right: For SPARQL Join Queries
+with OPTIONAL Patterns (Left-outer-joins)"* (Medha Atre, SIGMOD 2015):
+compressed BitMat indexes, the graph-of-supernodes query representation,
+semi-join pruning over the graph of join variables, and the multi-way
+pipelined join — plus the baselines and datasets the paper evaluates
+against.
+
+Quickstart::
+
+    from repro import Graph, BitMatStore, LBREngine, Triple, URI
+
+    graph = Graph()
+    graph.add(Triple(URI("ex:Jerry"), URI("ex:hasFriend"), URI("ex:Julia")))
+    store = BitMatStore.build(graph)
+    engine = LBREngine(store)
+    for row in engine.execute("SELECT * WHERE { ?a <ex:hasFriend> ?b }"):
+        print(row)
+"""
+
+from .baselines import ColumnStoreEngine, NaiveEngine
+from .bitmat import BitMat, BitMatStore, BitVector
+from .core import LBREngine, QueryStats, ResultSet
+from .exceptions import (DictionaryError, NotWellDesignedError, ParseError,
+                         ReproError, StorageError, UnsupportedQueryError)
+from .rdf import (NULL, BNode, Dictionary, Graph, Literal, Namespace, Term,
+                  Triple, URI, Variable)
+from .sparql import parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BNode", "BitMat", "BitMatStore", "BitVector", "ColumnStoreEngine",
+    "Dictionary", "DictionaryError", "Graph", "LBREngine", "Literal",
+    "NULL", "Namespace", "NaiveEngine", "NotWellDesignedError",
+    "ParseError", "QueryStats", "ReproError", "ResultSet", "StorageError",
+    "Term", "Triple", "URI", "UnsupportedQueryError", "Variable",
+    "__version__", "parse_query",
+]

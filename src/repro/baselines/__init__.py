@@ -1,0 +1,7 @@
+"""Comparator engines: the naive oracle and the columnstore baseline."""
+
+from .columnstore import ColumnStoreEngine, ColumnStoreStats
+from .naive import NaiveEngine, NaiveStats
+
+__all__ = ["ColumnStoreEngine", "ColumnStoreStats", "NaiveEngine",
+           "NaiveStats"]

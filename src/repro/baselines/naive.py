@@ -1,0 +1,227 @@
+"""Naive bottom-up SPARQL algebra evaluation — oracle and comparator.
+
+Implements the textbook semantics directly over the triple store:
+
+    Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 \\ Ω2)
+
+Solution mappings are partial functions (absent variable = unbound), so
+compatibility follows pure SPARQL semantics — the behaviour of engines
+like Jena/ARQ described in Appendix C.  With ``null_intolerant=True``
+joins instead reject rows whose shared *schema* variables are unbound,
+which is the SQL behaviour of relational RDF stores (Virtuoso,
+MonetDB); the two modes differ only for non-well-designed queries.
+
+This engine doubles as the paper's MonetDB comparator in the benchmark
+suite: inner joins are reordered by estimated selectivity, but
+left-outer joins are always evaluated bottom-up in the original nesting
+order — the restriction LBR's pruning sidesteps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..rdf.graph import Graph
+from ..rdf.terms import NULL, Term, Variable, is_variable
+from ..sparql.ast import (BGP, Filter, Join, LeftJoin, Pattern, Query,
+                          TriplePattern, Union)
+from ..sparql.expressions import passes
+from ..sparql.parser import parse_query
+from ..core.results import ResultSet, apply_solution_modifiers
+
+Row = dict[Variable, Term]
+
+
+@dataclass
+class NaiveStats:
+    """Timing breakdown of one naive execution."""
+
+    t_total: float = 0.0
+    intermediate_rows: int = 0
+
+
+class NaiveEngine:
+    """Bottom-up evaluator over a :class:`~repro.rdf.graph.Graph`."""
+
+    def __init__(self, graph: Graph, null_intolerant: bool = False) -> None:
+        self.graph = graph
+        self.null_intolerant = null_intolerant
+        self.last_stats = NaiveStats()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def execute(self, query: Query | str) -> ResultSet:
+        started = time.perf_counter()
+        if isinstance(query, str):
+            query = parse_query(query)
+        stats = NaiveStats()
+        rows = self._eval(query.pattern, stats)
+        all_variables = tuple(sorted(query.pattern.variables()))
+        tuples = [tuple(row.get(var, NULL) for var in all_variables)
+                  for row in rows]
+        result = apply_solution_modifiers(
+            ResultSet(all_variables, tuples), query)
+        stats.t_total = time.perf_counter() - started
+        self.last_stats = stats
+        return result
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def _eval(self, node: Pattern, stats: NaiveStats) -> list[Row]:
+        if isinstance(node, BGP):
+            rows = self._eval_bgp(node, stats)
+        elif isinstance(node, Join):
+            rows = self._join(self._eval(node.left, stats),
+                              self._eval(node.right, stats),
+                              node.left.variables(), node.right.variables())
+        elif isinstance(node, LeftJoin):
+            rows = self._left_join(self._eval(node.left, stats),
+                                   self._eval(node.right, stats),
+                                   node.left.variables(),
+                                   node.right.variables())
+        elif isinstance(node, Union):
+            rows = (self._eval(node.left, stats)
+                    + self._eval(node.right, stats))
+        elif isinstance(node, Filter):
+            rows = [row for row in self._eval(node.pattern, stats)
+                    if passes(node.expr, row)]
+        else:
+            raise TypeError(f"unknown pattern node {node!r}")
+        stats.intermediate_rows += len(rows)
+        return rows
+
+    def _eval_bgp(self, bgp: BGP, stats: NaiveStats) -> list[Row]:
+        rows: list[Row] = [{}]
+        remaining = list(bgp.patterns)
+        bound: set[Variable] = set()
+        while remaining:
+            tp = self._pick_next(remaining, bound)
+            remaining.remove(tp)
+            bound |= tp.variables()
+            extended: list[Row] = []
+            for row in rows:
+                extended.extend(self._match(tp, row))
+            rows = extended
+            if not rows:
+                return []
+        return rows
+
+    def _pick_next(self, remaining: Sequence[TriplePattern],
+                   bound: set[Variable]) -> TriplePattern:
+        """Selectivity-and-connectivity TP ordering (inner joins only)."""
+
+        def cost(tp: TriplePattern) -> tuple[int, int]:
+            connected = bool(tp.variables() & bound) or not bound
+            estimate = self.graph.count(
+                None if is_variable(tp.s) else tp.s,
+                None if is_variable(tp.p) else tp.p,
+                None if is_variable(tp.o) else tp.o)
+            return (0 if connected else 1, estimate)
+
+        return min(remaining, key=cost)
+
+    def _match(self, tp: TriplePattern, row: Row) -> Iterator[Row]:
+        s = row.get(tp.s) if is_variable(tp.s) else tp.s
+        p = row.get(tp.p) if is_variable(tp.p) else tp.p
+        o = row.get(tp.o) if is_variable(tp.o) else tp.o
+        for triple in self.graph.match(s, p, o):
+            bindings = dict(row)
+            consistent = True
+            for var, value in zip(tp, triple):
+                if is_variable(var):
+                    if var in bindings and bindings[var] != value:
+                        consistent = False
+                        break
+                    bindings[var] = value
+            if consistent:
+                yield bindings
+
+    # ------------------------------------------------------------------
+    # join operators
+    # ------------------------------------------------------------------
+
+    def _compatible(self, left: Row, right: Row,
+                    shared_schema: set[Variable]) -> bool:
+        if self.null_intolerant:
+            for var in shared_schema:
+                if var not in left or var not in right:
+                    return False
+                if left[var] != right[var]:
+                    return False
+            return True
+        for var in left.keys() & right.keys():
+            if left[var] != right[var]:
+                return False
+        return True
+
+    def _join(self, left_rows: list[Row], right_rows: list[Row],
+              left_schema: set[Variable],
+              right_schema: set[Variable]) -> list[Row]:
+        shared = left_schema & right_schema
+        out: list[Row] = []
+        for left, right in self._pairs(left_rows, right_rows, shared):
+            out.append({**left, **right})
+        return out
+
+    def _left_join(self, left_rows: list[Row], right_rows: list[Row],
+                   left_schema: set[Variable],
+                   right_schema: set[Variable]) -> list[Row]:
+        shared = left_schema & right_schema
+        matched: dict[int, list[Row]] = {}
+        for li, left in enumerate(left_rows):
+            matched[li] = []
+        if self._hashable(left_rows, right_rows, shared):
+            index = self._build_index(right_rows, shared)
+            for li, left in enumerate(left_rows):
+                key = tuple(left[var] for var in sorted(shared))
+                matched[li] = index.get(key, [])
+        else:
+            for li, left in enumerate(left_rows):
+                matched[li] = [right for right in right_rows
+                               if self._compatible(left, right, shared)]
+        out: list[Row] = []
+        for li, left in enumerate(left_rows):
+            if matched[li]:
+                for right in matched[li]:
+                    out.append({**left, **right})
+            else:
+                out.append(dict(left))
+        return out
+
+    def _pairs(self, left_rows: list[Row], right_rows: list[Row],
+               shared: set[Variable]) -> Iterator[tuple[Row, Row]]:
+        if self._hashable(left_rows, right_rows, shared):
+            index = self._build_index(right_rows, shared)
+            for left in left_rows:
+                key = tuple(left[var] for var in sorted(shared))
+                for right in index.get(key, ()):
+                    yield left, right
+            return
+        for left in left_rows:
+            for right in right_rows:
+                if self._compatible(left, right, shared):
+                    yield left, right
+
+    def _hashable(self, left_rows: list[Row], right_rows: list[Row],
+                  shared: set[Variable]) -> bool:
+        """Hash joins apply when every row binds every shared variable."""
+        if not shared:
+            return False
+        return (all(shared <= row.keys() for row in left_rows)
+                and all(shared <= row.keys() for row in right_rows))
+
+    @staticmethod
+    def _build_index(rows: list[Row],
+                     shared: set[Variable]) -> dict[tuple, list[Row]]:
+        ordered = sorted(shared)
+        index: dict[tuple, list[Row]] = {}
+        for row in rows:
+            key = tuple(row[var] for var in ordered)
+            index.setdefault(key, []).append(row)
+        return index

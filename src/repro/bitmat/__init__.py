@@ -1,0 +1,9 @@
+"""Compressed BitMat indexes: bitvectors, 2D matrices, and the store (§4)."""
+
+from .bitmat import BitMat, Dim
+from .bitvec import BitVector
+from .persist import load_store, save_store
+from .store import BitMatStore
+
+__all__ = ["BitMat", "BitMatStore", "BitVector", "Dim", "load_store",
+           "save_store"]

@@ -1,0 +1,186 @@
+"""2D BitMats: compressed boolean matrices with fold/unfold (paper §4).
+
+A :class:`BitMat` is a slice of the conceptual 3D bitcube.  Rows are
+:class:`~repro.bitmat.bitvec.BitVector` instances, and only non-empty
+rows are stored.  The two primitives the pruning algorithms need are
+
+``fold(BM, retain_dim)``
+    projection of the distinct coordinates of one dimension — a bitwise
+    OR over the other dimension;
+
+``unfold(BM, mask, retain_dim)``
+    for every 0 bit in *mask*, clear all bits of that coordinate of the
+    retained dimension.
+
+BitMats are treated as immutable: `unfold` returns a new matrix, so the
+engine can keep the pre-pruning matrix counts for its statistics and the
+tests can check algebraic identities without defensive copying.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Literal
+
+from .bitvec import BitVector
+
+#: Which dimension a fold/unfold retains.
+Dim = Literal["row", "col"]
+
+
+class BitMat:
+    """A compressed 2D bit matrix (`num_rows` × `num_cols`)."""
+
+    __slots__ = ("num_rows", "num_cols", "_rows", "_count", "_col_mask",
+                 "_row_mask")
+
+    def __init__(self, num_rows: int, num_cols: int,
+                 rows: dict[int, BitVector] | None = None) -> None:
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+        self._rows: dict[int, BitVector] = rows if rows is not None else {}
+        self._count: int | None = None
+        self._col_mask: BitVector | None = None
+        self._row_mask: BitVector | None = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, num_rows: int, num_cols: int,
+                   pairs: Iterable[tuple[int, int]]) -> "BitMat":
+        """Build from (row, col) coordinates of the set bits."""
+        by_row: dict[int, list[int]] = {}
+        for row, col in pairs:
+            by_row.setdefault(row, []).append(col)
+        rows = {row: BitVector.from_positions(num_cols, cols)
+                for row, cols in by_row.items()}
+        return cls(num_rows, num_cols, rows)
+
+    @classmethod
+    def from_sorted_pairs(cls, num_rows: int, num_cols: int,
+                          pairs: Iterable[tuple[int, int]]) -> "BitMat":
+        """Build from (row, col) pairs sorted by row then column."""
+        rows: dict[int, BitVector] = {}
+        current_row: int | None = None
+        cols: list[int] = []
+        for row, col in pairs:
+            if row != current_row:
+                if current_row is not None:
+                    rows[current_row] = BitVector.from_sorted_positions(
+                        num_cols, cols)
+                current_row = row
+                cols = []
+            cols.append(col)
+        if current_row is not None:
+            rows[current_row] = BitVector.from_sorted_positions(num_cols, cols)
+        return cls(num_rows, num_cols, rows)
+
+    @classmethod
+    def single_row(cls, num_rows: int, num_cols: int, row: int,
+                   vector: BitVector) -> "BitMat":
+        """A matrix with exactly one (possibly empty) row."""
+        rows = {row: vector} if vector else {}
+        return cls(num_rows, num_cols, rows)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def count(self) -> int:
+        """Number of set bits (triples represented)."""
+        if self._count is None:
+            self._count = sum(vec.count() for vec in self._rows.values())
+        return self._count
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitMat):
+            return NotImplemented
+        return (self.num_rows == other.num_rows
+                and self.num_cols == other.num_cols
+                and self._rows == other._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BitMat({self.num_rows}x{self.num_cols}, "
+                f"rows={len(self._rows)}, bits={self.count()})")
+
+    def get_row(self, row: int) -> BitVector | None:
+        """The compressed row, or None when the row is all zeros."""
+        return self._rows.get(row)
+
+    def iter_rows(self) -> Iterator[tuple[int, BitVector]]:
+        """Yield (row id, row vector) for non-empty rows, ordered by id."""
+        for row in sorted(self._rows):
+            yield row, self._rows[row]
+
+    def iter_pairs(self) -> Iterator[tuple[int, int]]:
+        """Yield every set (row, col) coordinate."""
+        for row, vec in self.iter_rows():
+            for col in vec.iter_positions():
+                yield row, col
+
+    def row_ids(self) -> list[int]:
+        """Ids of non-empty rows, sorted."""
+        return sorted(self._rows)
+
+    # ------------------------------------------------------------------
+    # fold / unfold (Alg 5.2 & 5.3 building blocks)
+    # ------------------------------------------------------------------
+
+    def fold(self, dim: Dim) -> BitVector:
+        """Project the distinct coordinates of *dim*.
+
+        ``fold(BM, dim_j) == π_j(BM)`` — a bit is set when that coordinate
+        appears in at least one stored triple.
+        """
+        if dim == "row":
+            if self._row_mask is None:
+                self._row_mask = BitVector.from_sorted_positions(
+                    self.num_rows, sorted(self._rows))
+            return self._row_mask
+        if self._col_mask is None:
+            self._col_mask = BitVector.union_many(self._rows.values(),
+                                                  self.num_cols)
+        return self._col_mask
+
+    def unfold(self, mask: BitVector, dim: Dim) -> "BitMat":
+        """Keep only coordinates of *dim* whose bit is set in *mask*."""
+        if dim == "row":
+            kept = {row: vec for row, vec in self._rows.items()
+                    if row in mask}
+            return BitMat(self.num_rows, self.num_cols, kept)
+        kept = {}
+        for row, vec in self._rows.items():
+            masked = vec.and_(mask)
+            if masked:
+                kept[row] = masked
+        return BitMat(self.num_rows, self.num_cols, kept)
+
+    # ------------------------------------------------------------------
+    # reorientation
+    # ------------------------------------------------------------------
+
+    def transpose(self) -> "BitMat":
+        """The same relation with row/col swapped (O-S from S-O etc.)."""
+        by_col: dict[int, list[int]] = {}
+        for row, vec in self._rows.items():
+            for col in vec.iter_positions():
+                by_col.setdefault(col, []).append(row)
+        rows = {col: BitVector.from_positions(self.num_rows, positions)
+                for col, positions in by_col.items()}
+        return BitMat(self.num_cols, self.num_rows, rows)
+
+    # ------------------------------------------------------------------
+    # storage accounting (§4 / §6.2 index sizes)
+    # ------------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Hybrid-compressed size: per-row cost + 8-byte row header."""
+        return sum(8 + vec.storage_bytes() for vec in self._rows.values())
+
+    def rle_bytes(self) -> int:
+        """RLE-only size under the same layout."""
+        return sum(8 + vec.rle_bytes() for vec in self._rows.values())

@@ -1,0 +1,148 @@
+"""Packed (machine-word) bitvectors — the §4 representation ablation.
+
+The paper's C++ BitMats AND/OR compressed runs of machine words; this
+reproduction's default :class:`~repro.bitmat.bitvec.BitVector` models
+the compressed runs as Python interval lists, which keeps the
+"operate without decompression" property but pays Python-level cost per
+run.  :class:`PackedBitVector` is the *uncompressed word-parallel*
+alternative: one arbitrary-precision integer per vector, so AND/OR/
+count are single CPython primitives over 30-bit limbs.
+
+It exists to quantify the representation trade-off (see
+``benchmarks/test_representation.py`` and EXPERIMENTS.md "known
+divergences"): packed vectors win on dense data, interval lists win on
+very sparse data and are what the paper's hybrid storage model
+describes.  The API mirrors the subset of :class:`BitVector` the
+pruning kernels use, and the equivalence is property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .bitvec import BitVector
+
+
+class PackedBitVector:
+    """An immutable bitvector backed by one Python integer."""
+
+    __slots__ = ("size", "_bits")
+
+    def __init__(self, size: int, _bits: int = 0) -> None:
+        if size < 0:
+            raise ValueError("PackedBitVector size must be non-negative")
+        self.size = size
+        self._bits = _bits
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, size: int) -> "PackedBitVector":
+        return cls(size)
+
+    @classmethod
+    def full(cls, size: int, start: int = 0) -> "PackedBitVector":
+        if start >= size:
+            return cls(size)
+        return cls(size, ((1 << (size - start)) - 1) << start)
+
+    @classmethod
+    def from_positions(cls, size: int,
+                       positions: Iterable[int]) -> "PackedBitVector":
+        bits = 0
+        for position in positions:
+            if not 0 <= position < size:
+                raise ValueError("position out of range")
+            bits |= 1 << position
+        return cls(size, bits)
+
+    @classmethod
+    def from_bitvector(cls, vector: BitVector) -> "PackedBitVector":
+        bits = 0
+        for start, stop in vector.intervals():
+            bits |= ((1 << (stop - start)) - 1) << start
+        return cls(vector.size, bits)
+
+    def to_bitvector(self) -> BitVector:
+        """Convert back to the interval representation."""
+        return BitVector.from_sorted_positions(self.size,
+                                               list(self.iter_positions()))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def count(self) -> int:
+        return self._bits.bit_count()
+
+    def __bool__(self) -> bool:
+        return self._bits != 0
+
+    def __contains__(self, position: int) -> bool:
+        return (self._bits >> position) & 1 == 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedBitVector):
+            return NotImplemented
+        return self.size == other.size and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self.size, self._bits))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PackedBitVector(size={self.size}, bits={self.count()})"
+
+    def iter_positions(self) -> Iterator[int]:
+        bits = self._bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def positions(self) -> list[int]:
+        return list(self.iter_positions())
+
+    def first(self) -> int | None:
+        if not self._bits:
+            return None
+        return (self._bits & -self._bits).bit_length() - 1
+
+    # ------------------------------------------------------------------
+    # word-parallel boolean algebra
+    # ------------------------------------------------------------------
+
+    def and_(self, other: "PackedBitVector") -> "PackedBitVector":
+        size = min(self.size, other.size)
+        bits = self._bits & other._bits
+        if bits.bit_length() > size:
+            bits &= (1 << size) - 1
+        return PackedBitVector(size, bits)
+
+    __and__ = and_
+
+    def or_(self, other: "PackedBitVector") -> "PackedBitVector":
+        return PackedBitVector(max(self.size, other.size),
+                               self._bits | other._bits)
+
+    __or__ = or_
+
+    def andnot(self, other: "PackedBitVector") -> "PackedBitVector":
+        return PackedBitVector(self.size, self._bits & ~other._bits)
+
+    def truncate(self, limit: int) -> "PackedBitVector":
+        if limit >= self.size:
+            return self
+        return PackedBitVector(self.size, self._bits & ((1 << limit) - 1))
+
+    def intersects(self, other: "PackedBitVector") -> bool:
+        return (self._bits & other._bits) != 0
+
+    @staticmethod
+    def union_many(vectors: Iterable["PackedBitVector"],
+                   size: int) -> "PackedBitVector":
+        bits = 0
+        for vector in vectors:
+            bits |= vector._bits
+        return PackedBitVector(size, bits)

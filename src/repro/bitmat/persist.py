@@ -1,0 +1,196 @@
+"""On-disk persistence for :class:`~repro.bitmat.store.BitMatStore`.
+
+The paper stores its ``2|Vp| + |Vs| + |Vo|`` BitMats on disk and loads
+per query only the ones its triple patterns need.  This module gives the
+store the same lifecycle: :func:`save_store` writes a compact binary
+image (dictionary + per-predicate sorted id pairs, from which every
+BitMat family is served), :func:`load_store` maps it back.
+
+Format (little-endian):
+
+* magic ``LBRSTORE1`` + counts (shared, subjects, objects, predicates);
+* term tables in id order: shared terms, subject-only, object-only,
+  predicates — each term as a kind byte plus length-prefixed UTF-8
+  strings (URI/BNode/plain literal/typed literal/language literal);
+* per predicate id: pair count + delta-encoded (sid, oid) varints.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import BinaryIO
+
+from ..exceptions import StorageError
+from ..rdf.dictionary import Dictionary
+from ..rdf.terms import BNode, Literal, Term, URI
+from .store import BitMatStore
+
+_MAGIC = b"LBRSTORE1"
+
+_KIND_URI = 0
+_KIND_BNODE = 1
+_KIND_PLAIN = 2
+_KIND_TYPED = 3
+_KIND_LANG = 4
+
+
+def _write_varint(out: BinaryIO, value: int) -> None:
+    if value < 0:
+        raise StorageError("varints are unsigned")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes((byte | 0x80,)))
+        else:
+            out.write(bytes((byte,)))
+            return
+
+
+def _read_varint(data: BinaryIO) -> int:
+    shift = 0
+    value = 0
+    while True:
+        chunk = data.read(1)
+        if not chunk:
+            raise StorageError("truncated varint")
+        byte = chunk[0]
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value
+        shift += 7
+
+
+def _write_text(out: BinaryIO, text: str) -> None:
+    encoded = text.encode("utf-8")
+    _write_varint(out, len(encoded))
+    out.write(encoded)
+
+
+def _read_text(data: BinaryIO) -> str:
+    length = _read_varint(data)
+    payload = data.read(length)
+    if len(payload) != length:
+        raise StorageError("truncated string")
+    return payload.decode("utf-8")
+
+
+def _write_term(out: BinaryIO, term: Term) -> None:
+    if isinstance(term, URI):
+        out.write(bytes((_KIND_URI,)))
+        _write_text(out, str(term))
+    elif isinstance(term, BNode):
+        out.write(bytes((_KIND_BNODE,)))
+        _write_text(out, str(term))
+    elif isinstance(term, Literal):
+        if term.language:
+            out.write(bytes((_KIND_LANG,)))
+            _write_text(out, str(term))
+            _write_text(out, term.language)
+        elif term.datatype:
+            out.write(bytes((_KIND_TYPED,)))
+            _write_text(out, str(term))
+            _write_text(out, term.datatype)
+        else:
+            out.write(bytes((_KIND_PLAIN,)))
+            _write_text(out, str(term))
+    else:
+        raise StorageError(f"cannot persist term {term!r}")
+
+
+def _read_term(data: BinaryIO) -> Term:
+    kind_chunk = data.read(1)
+    if not kind_chunk:
+        raise StorageError("truncated term")
+    kind = kind_chunk[0]
+    if kind == _KIND_URI:
+        return URI(_read_text(data))
+    if kind == _KIND_BNODE:
+        return BNode(_read_text(data))
+    if kind == _KIND_PLAIN:
+        return Literal(_read_text(data))
+    if kind == _KIND_TYPED:
+        value = _read_text(data)
+        return Literal(value, datatype=_read_text(data))
+    if kind == _KIND_LANG:
+        value = _read_text(data)
+        return Literal(value, language=_read_text(data))
+    raise StorageError(f"unknown term kind {kind}")
+
+
+def save_store(store: BitMatStore, path: str) -> int:
+    """Write the store to *path*; returns the number of bytes written."""
+    dictionary = store.dictionary
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    for count in (dictionary.num_shared, dictionary.num_subjects,
+                  dictionary.num_objects, dictionary.num_predicates):
+        _write_varint(buffer, count)
+
+    for term_id in range(1, dictionary.num_shared + 1):
+        _write_term(buffer, dictionary.subject_term(term_id))
+    for term_id in range(dictionary.num_shared + 1,
+                         dictionary.num_subjects + 1):
+        _write_term(buffer, dictionary.subject_term(term_id))
+    for term_id in range(dictionary.num_shared + 1,
+                         dictionary.num_objects + 1):
+        _write_term(buffer, dictionary.object_term(term_id))
+    for term_id in range(1, dictionary.num_predicates + 1):
+        _write_term(buffer, dictionary.predicate_term(term_id))
+
+    for pid in range(1, dictionary.num_predicates + 1):
+        pairs = store._so_by_p.get(pid, [])
+        _write_varint(buffer, len(pairs))
+        previous_sid = 0
+        previous_oid = 0
+        for sid, oid in pairs:
+            if sid != previous_sid:
+                previous_oid = 0
+            _write_varint(buffer, sid - previous_sid)
+            _write_varint(buffer, oid - previous_oid)
+            previous_sid, previous_oid = sid, oid
+
+    payload = buffer.getvalue()
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    return len(payload)
+
+
+def load_store(path: str) -> BitMatStore:
+    """Read a store previously written by :func:`save_store`."""
+    with open(path, "rb") as handle:
+        data = io.BytesIO(handle.read())
+    if data.read(len(_MAGIC)) != _MAGIC:
+        raise StorageError(f"{path} is not an LBR store image")
+    num_shared = _read_varint(data)
+    num_subjects = _read_varint(data)
+    num_objects = _read_varint(data)
+    num_predicates = _read_varint(data)
+
+    dictionary = Dictionary()
+    for _ in range(num_shared):
+        dictionary._add_shared(_read_term(data))
+    for _ in range(num_subjects - num_shared):
+        dictionary._add_subject_only(_read_term(data))
+    for _ in range(num_objects - num_shared):
+        dictionary._add_object_only(_read_term(data))
+    for _ in range(num_predicates):
+        dictionary._add_predicate(_read_term(data))
+
+    so_by_p: dict[int, list[tuple[int, int]]] = {}
+    for pid in range(1, num_predicates + 1):
+        count = _read_varint(data)
+        if not count:
+            continue
+        pairs: list[tuple[int, int]] = []
+        previous_sid = 0
+        previous_oid = 0
+        for _ in range(count):
+            sid = previous_sid + _read_varint(data)
+            if sid != previous_sid:
+                previous_oid = 0
+            oid = previous_oid + _read_varint(data)
+            pairs.append((sid, oid))
+            previous_sid, previous_oid = sid, oid
+        so_by_p[pid] = pairs
+    return BitMatStore(dictionary, so_by_p)

@@ -1,0 +1,286 @@
+"""BitMat store: the four index families of §4 over one RDF graph.
+
+The paper stores ``2·|Vp| + |Vs| + |Vo|`` BitMats on disk — S-O and O-S
+per predicate, P-O per subject, P-S per object — and loads, per query,
+only the BitMats matching its triple patterns.  This store keeps the
+encoded dataset as per-predicate sorted id pairs (the S-O and O-S
+projections) and materializes compressed BitMats on demand:
+
+* ``(?a :p ?b)``    → the S-O or O-S BitMat of ``:p``;
+* ``(?v :p :o)``    → one row of the P-S BitMat of ``:o`` — served by a
+  binary-searched range of the O-S projection of ``:p``;
+* ``(:s :p ?v)``    → one row of the P-O BitMat of ``:s`` — served by a
+  range of the S-O projection of ``:p``;
+* ``(?s ?p :o)`` / ``(:s ?p ?o)`` → full P-S / P-O BitMats.
+
+Serving single rows from the sorted projections is an exact functional
+match for the paper's "we load only one row corresponding to :fx1 from
+the P-S BitMat for :fx2", without duplicating the dataset four times in
+memory.  The full-index *sizes* (for the §6.2 index-size experiment) are
+computed streaming by :meth:`BitMatStore.index_size_report`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable
+
+from ..exceptions import StorageError
+from ..rdf.dictionary import Dictionary
+from ..rdf.graph import Graph
+from ..rdf.terms import Term
+from .bitmat import BitMat
+from .bitvec import BitVector
+
+
+class BitMatStore:
+    """Dictionary-encoded dataset plus on-demand compressed BitMats."""
+
+    def __init__(self, dictionary: Dictionary,
+                 so_by_p: dict[int, list[tuple[int, int]]]) -> None:
+        self.dictionary = dictionary
+        #: per-predicate (sid, oid) pairs sorted by (sid, oid)
+        self._so_by_p = so_by_p
+        #: per-predicate (oid, sid) pairs sorted by (oid, sid), built lazily
+        self._os_by_p: dict[int, list[tuple[int, int]]] = {}
+        self._triple_count = sum(len(pairs) for pairs in so_by_p.values())
+        # Warm-cache behaviour (§6.1 runs every query once to warm the
+        # caches before measuring): per-predicate BitMats are immutable
+        # — pruning `unfold`s into fresh objects — so they are shared
+        # across queries once built.
+        self._so_cache: dict[int, BitMat] = {}
+        self._os_cache: dict[int, BitMat] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, graph: Graph,
+              dictionary: Dictionary | None = None) -> "BitMatStore":
+        """Encode *graph* and build the store."""
+        dictionary = (dictionary if dictionary is not None
+                      else Dictionary.from_triples(graph))
+        so_by_p: dict[int, list[tuple[int, int]]] = {}
+        for triple in graph:
+            sid, pid, oid = dictionary.encode_triple(triple)
+            so_by_p.setdefault(pid, []).append((sid, oid))
+        for pairs in so_by_p.values():
+            pairs.sort()
+        return cls(dictionary, so_by_p)
+
+    def save(self, path: str) -> int:
+        """Persist the store to disk; returns bytes written."""
+        from .persist import save_store
+        return save_store(self, path)
+
+    @classmethod
+    def load(cls, path: str) -> "BitMatStore":
+        """Load a store previously written by :meth:`save`."""
+        from .persist import load_store
+        return load_store(path)
+
+    def _os_pairs(self, pid: int) -> list[tuple[int, int]]:
+        pairs = self._os_by_p.get(pid)
+        if pairs is None:
+            pairs = sorted((oid, sid) for sid, oid in self._so_by_p[pid])
+            self._os_by_p[pid] = pairs
+        return pairs
+
+    # ------------------------------------------------------------------
+    # basic statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def num_triples(self) -> int:
+        """Total triples in the dataset."""
+        return self._triple_count
+
+    @property
+    def num_subjects(self) -> int:
+        return self.dictionary.num_subjects
+
+    @property
+    def num_objects(self) -> int:
+        return self.dictionary.num_objects
+
+    @property
+    def num_predicates(self) -> int:
+        return self.dictionary.num_predicates
+
+    @property
+    def num_shared(self) -> int:
+        """|Vso| — size of the shared S/O id region (Appendix D)."""
+        return self.dictionary.num_shared
+
+    def predicate_count(self, pid: int) -> int:
+        """Triples with predicate id *pid*."""
+        return len(self._so_by_p.get(pid, ()))
+
+    def count_matching(self, sid: int | None, pid: int | None,
+                       oid: int | None) -> int:
+        """Triples matching an id pattern (None = wildcard).
+
+        This is the selectivity statistic (§3.2): the store answers it
+        from the sorted projections without materializing a BitMat —
+        the paper's "condensed representation ... helps us in quickly
+        determining the number of triples in each BitMat".
+        """
+        if pid is not None:
+            pairs = self._so_by_p.get(pid)
+            if pairs is None:
+                return 0
+            if sid is None and oid is None:
+                return len(pairs)
+            if sid is not None and oid is None:
+                return _range_len(pairs, sid)
+            if oid is not None and sid is None:
+                return _range_len(self._os_pairs(pid), oid)
+            lo = bisect_left(pairs, (sid, oid))
+            return int(lo < len(pairs) and pairs[lo] == (sid, oid))
+        total = 0
+        for other_pid in self._so_by_p:
+            total += self.count_matching(sid, other_pid, oid)
+        return total
+
+    # ------------------------------------------------------------------
+    # BitMat loading (the init() of Alg 5.1)
+    # ------------------------------------------------------------------
+
+    def load_so(self, pid: int) -> BitMat:
+        """S-O BitMat of a predicate: rows are subjects, cols are objects."""
+        cached = self._so_cache.get(pid)
+        if cached is None:
+            pairs = self._so_by_p.get(pid, [])
+            cached = BitMat.from_sorted_pairs(self.num_subjects + 1,
+                                              self.num_objects + 1, pairs)
+            self._so_cache[pid] = cached
+        return cached
+
+    def load_os(self, pid: int) -> BitMat:
+        """O-S BitMat of a predicate (transpose of :meth:`load_so`)."""
+        cached = self._os_cache.get(pid)
+        if cached is None:
+            pairs = self._os_pairs(pid) if pid in self._so_by_p else []
+            cached = BitMat.from_sorted_pairs(self.num_objects + 1,
+                                              self.num_subjects + 1, pairs)
+            self._os_cache[pid] = cached
+        return cached
+
+    def load_ps_row(self, pid: int, oid: int) -> BitVector:
+        """Row *pid* of the P-S BitMat of object *oid*.
+
+        The subjects ``?v`` matching ``(?v  pid  oid)``.
+        """
+        if pid not in self._so_by_p:
+            return BitVector.empty(self.num_subjects + 1)
+        pairs = self._os_pairs(pid)
+        sids = [sid for _, sid in _iter_range(pairs, oid)]
+        return BitVector.from_positions(self.num_subjects + 1, sids)
+
+    def load_po_row(self, pid: int, sid: int) -> BitVector:
+        """Row *pid* of the P-O BitMat of subject *sid*.
+
+        The objects ``?v`` matching ``(sid  pid  ?v)``.
+        """
+        pairs = self._so_by_p.get(pid)
+        if pairs is None:
+            return BitVector.empty(self.num_objects + 1)
+        oids = [oid for _, oid in _iter_range(pairs, sid)]
+        return BitVector.from_sorted_positions(self.num_objects + 1, oids)
+
+    def load_ps(self, oid: int) -> BitMat:
+        """Full P-S BitMat of object *oid*: rows predicates, cols subjects."""
+        rows: dict[int, BitVector] = {}
+        for pid in self._so_by_p:
+            vec = self.load_ps_row(pid, oid)
+            if vec:
+                rows[pid] = vec
+        return BitMat(self.num_predicates + 1, self.num_subjects + 1, rows)
+
+    def load_po(self, sid: int) -> BitMat:
+        """Full P-O BitMat of subject *sid*: rows predicates, cols objects."""
+        rows: dict[int, BitVector] = {}
+        for pid in self._so_by_p:
+            vec = self.load_po_row(pid, sid)
+            if vec:
+                rows[pid] = vec
+        return BitMat(self.num_predicates + 1, self.num_objects + 1, rows)
+
+    def has_triple(self, sid: int, pid: int, oid: int) -> bool:
+        """Membership test for a fully ground pattern."""
+        pairs = self._so_by_p.get(pid)
+        if pairs is None:
+            return False
+        lo = bisect_left(pairs, (sid, oid))
+        return lo < len(pairs) and pairs[lo] == (sid, oid)
+
+    # ------------------------------------------------------------------
+    # index-size accounting (§6.2)
+    # ------------------------------------------------------------------
+
+    def index_size_report(self) -> dict[str, int]:
+        """Sizes of all ``2|Vp| + |Vs| + |Vo|`` BitMats, hybrid vs RLE.
+
+        Streams over the sorted projections so the full index is never
+        resident; returns byte totals per family and overall.
+        """
+        hybrid = {"so": 0, "os": 0, "po": 0, "ps": 0}
+        rle = {"so": 0, "os": 0, "po": 0, "ps": 0}
+
+        for pid in self._so_by_p:
+            so = self.load_so(pid)
+            hybrid["so"] += so.storage_bytes()
+            rle["so"] += so.rle_bytes()
+            os_mat = self.load_os(pid)
+            hybrid["os"] += os_mat.storage_bytes()
+            rle["os"] += os_mat.rle_bytes()
+
+        # P-O per subject and P-S per object, built streaming.
+        po_rows: dict[int, dict[int, list[int]]] = {}
+        ps_rows: dict[int, dict[int, list[int]]] = {}
+        for pid, pairs in self._so_by_p.items():
+            for sid, oid in pairs:
+                po_rows.setdefault(sid, {}).setdefault(pid, []).append(oid)
+                ps_rows.setdefault(oid, {}).setdefault(pid, []).append(sid)
+        for family, per_entity, width in (
+                ("po", po_rows, self.num_objects + 1),
+                ("ps", ps_rows, self.num_subjects + 1)):
+            for by_pid in per_entity.values():
+                for positions in by_pid.values():
+                    vec = BitVector.from_positions(width, positions)
+                    hybrid[family] += 8 + vec.storage_bytes()
+                    rle[family] += 8 + vec.rle_bytes()
+
+        report = {f"hybrid_{family}": size for family, size in hybrid.items()}
+        report.update({f"rle_{family}": size for family, size in rle.items()})
+        report["hybrid_total"] = sum(hybrid.values())
+        report["rle_total"] = sum(rle.values())
+        return report
+
+    # ------------------------------------------------------------------
+    # term helpers
+    # ------------------------------------------------------------------
+
+    def encode_term(self, term: Term, position: str) -> int | None:
+        """Id of *term* on dimension 's'/'p'/'o', or None when absent."""
+        if position == "s":
+            return self.dictionary.subject_id(term)
+        if position == "p":
+            return self.dictionary.predicate_id(term)
+        if position == "o":
+            return self.dictionary.object_id(term)
+        raise StorageError(f"unknown position {position!r}")
+
+
+def _range_len(pairs: list[tuple[int, int]], key: int) -> int:
+    lo = bisect_left(pairs, (key, 0))
+    hi = bisect_left(pairs, (key + 1, 0))
+    return hi - lo
+
+
+def _iter_range(pairs: list[tuple[int, int]],
+                key: int) -> Iterable[tuple[int, int]]:
+    lo = bisect_left(pairs, (key, 0))
+    hi = bisect_left(pairs, (key + 1, 0))
+    return pairs[lo:hi]

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — write one of the evaluation datasets as N-Triples;
+* ``index``    — build a BitMat store image from an N-Triples file;
+* ``query``    — run a SPARQL query over a data file or store image;
+* ``info``     — dataset characteristics (the Table 6.1 columns);
+* ``bench``    — run a full Appendix E query suite with all engines
+  and print the paper-style table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .baselines import ColumnStoreEngine, NaiveEngine
+from .bitmat.store import BitMatStore
+from .core.engine import LBREngine
+from .rdf import ntriples
+from .rdf.graph import Graph
+from .rdf.terms import NULL
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Left Bit Right (LBR) — SPARQL OPTIONAL-pattern "
+                    "query processor (SIGMOD 2015 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate an evaluation dataset as N-Triples")
+    generate.add_argument("dataset",
+                          choices=["lubm", "uniprot", "dbpedia"])
+    generate.add_argument("--out", required=True,
+                          help="output N-Triples file")
+    generate.add_argument("--scale", type=float, default=1.0,
+                          help="relative size multiplier (default 1.0)")
+    generate.add_argument("--seed", type=int, default=None)
+
+    index = commands.add_parser(
+        "index", help="build a BitMat store image from N-Triples")
+    index.add_argument("data", help="input N-Triples file")
+    index.add_argument("--out", required=True, help="store image path")
+
+    query = commands.add_parser("query", help="run a SPARQL query")
+    source = query.add_mutually_exclusive_group(required=True)
+    source.add_argument("--data", help="N-Triples file")
+    source.add_argument("--store", help="BitMat store image")
+    query.add_argument("--query-file", help="file containing the query")
+    query.add_argument("--query", help="query text")
+    query.add_argument("--engine", default="lbr",
+                       choices=["lbr", "naive", "columnstore"])
+    query.add_argument("--explain", action="store_true",
+                       help="print the LBR plan instead of executing")
+    query.add_argument("--stats", action="store_true",
+                       help="print the Table 6.x metrics after the rows")
+    query.add_argument("--limit", type=int, default=None,
+                       help="print at most N rows")
+
+    info = commands.add_parser(
+        "info", help="dataset characteristics (Table 6.1 columns)")
+    info.add_argument("data", help="N-Triples file or store image")
+
+    bench = commands.add_parser(
+        "bench", help="run an Appendix E suite on all three engines")
+    bench.add_argument("dataset", choices=["lubm", "uniprot", "dbpedia"])
+    bench.add_argument("--runs", type=int, default=3)
+    return parser
+
+
+def _generate(args) -> int:
+    from .datasets import (DBPediaConfig, LUBMConfig, UniProtConfig,
+                           generate_dbpedia, generate_lubm,
+                           generate_uniprot)
+    scale = args.scale
+    if args.dataset == "lubm":
+        config = LUBMConfig()
+        config.universities = max(1, round(config.universities * scale))
+        if args.seed is not None:
+            config.seed = args.seed
+        graph = generate_lubm(config)
+    elif args.dataset == "uniprot":
+        config = UniProtConfig()
+        config.proteins = max(10, round(config.proteins * scale))
+        if args.seed is not None:
+            config.seed = args.seed
+        graph = generate_uniprot(config)
+    else:
+        config = DBPediaConfig()
+        for attribute in ("places", "settlements", "airports",
+                          "soccer_players", "persons", "companies",
+                          "vehicles"):
+            setattr(config, attribute,
+                    max(5, round(getattr(config, attribute) * scale)))
+        if args.seed is not None:
+            config.seed = args.seed
+        graph = generate_dbpedia(config)
+    written = ntriples.dump(graph, args.out)
+    print(f"wrote {written:,} triples to {args.out}")
+    return 0
+
+
+def _index(args) -> int:
+    graph = ntriples.load(args.data)
+    store = BitMatStore.build(graph)
+    size = store.save(args.out)
+    print(f"indexed {store.num_triples:,} triples "
+          f"(|Vs|={store.num_subjects:,}, |Vp|={store.num_predicates:,}, "
+          f"|Vo|={store.num_objects:,}, |Vso|={store.num_shared:,}) "
+          f"-> {args.out} ({size:,} bytes)")
+    return 0
+
+
+def _load_store(args) -> tuple[BitMatStore | None, Graph | None]:
+    if args.store:
+        return BitMatStore.load(args.store), None
+    graph = ntriples.load(args.data)
+    return None, graph
+
+
+def _query(args) -> int:
+    if not args.query_file and not args.query:
+        print("error: provide --query or --query-file", file=sys.stderr)
+        return 2
+    if args.query_file:
+        with open(args.query_file, encoding="utf-8") as handle:
+            query_text = handle.read()
+    else:
+        query_text = args.query
+
+    store, graph = _load_store(args)
+    if args.engine in ("naive", "columnstore") and graph is None:
+        print("error: the baseline engines need --data (an N-Triples "
+              "file), not a store image", file=sys.stderr)
+        return 2
+    if store is None and args.engine == "lbr":
+        store = BitMatStore.build(graph)
+
+    if args.explain:
+        engine = LBREngine(store)
+        print(engine.explain(query_text))
+        return 0
+
+    if args.engine == "lbr":
+        engine = LBREngine(store)
+    elif args.engine == "naive":
+        engine = NaiveEngine(graph)
+    else:
+        engine = ColumnStoreEngine(graph)
+    result = engine.execute(query_text)
+
+    print("\t".join(f"?{v}" for v in result.variables))
+    for index, row in enumerate(result):
+        if args.limit is not None and index >= args.limit:
+            print(f"... ({len(result) - args.limit:,} more rows)")
+            break
+        print("\t".join("NULL" if value is NULL
+                        else getattr(value, "n3", str(value))
+                        for value in row))
+    print(f"\n{len(result):,} rows", file=sys.stderr)
+
+    if args.stats and args.engine == "lbr":
+        stats = engine.last_stats
+        print(f"Tinit={stats.t_init:.4f}s Tprune={stats.t_prune:.4f}s "
+              f"Ttotal={stats.t_total:.4f}s", file=sys.stderr)
+        print(f"initial={stats.initial_triples:,} "
+              f"pruned-to={stats.triples_after_pruning:,} "
+              f"results-with-nulls={stats.results_with_nulls:,} "
+              f"best-match={stats.best_match_required}", file=sys.stderr)
+    return 0
+
+
+def _info(args) -> int:
+    if args.data.endswith((".lbr", ".store", ".bin")):
+        store = BitMatStore.load(args.data)
+        print(f"triples={store.num_triples:,} "
+              f"subjects={store.num_subjects:,} "
+              f"predicates={store.num_predicates:,} "
+              f"objects={store.num_objects:,} "
+              f"shared={store.num_shared:,}")
+        return 0
+    graph = ntriples.load(args.data)
+    chars = graph.characteristics()
+    print(f"triples={chars['triples']:,} subjects={chars['subjects']:,} "
+          f"predicates={chars['predicates']:,} "
+          f"objects={chars['objects']:,}")
+    return 0
+
+
+def _bench(args) -> int:
+    from .bench import BenchmarkHarness, format_query_table
+    from .datasets import (DBPEDIA_QUERIES, LUBM_QUERIES, UNIPROT_QUERIES,
+                           generate_dbpedia, generate_lubm,
+                           generate_uniprot)
+    generators = {"lubm": (generate_lubm, LUBM_QUERIES, "LUBM"),
+                  "uniprot": (generate_uniprot, UNIPROT_QUERIES, "UniProt"),
+                  "dbpedia": (generate_dbpedia, DBPEDIA_QUERIES,
+                              "DBPedia")}
+    generate, queries, label = generators[args.dataset]
+    graph = generate()
+    harness = BenchmarkHarness(label, graph, runs=args.runs)
+    suite = harness.run_suite(queries)
+    print(format_query_table(suite))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {"generate": _generate, "index": _index, "query": _query,
+                "info": _info, "bench": _bench}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

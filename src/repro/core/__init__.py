@@ -1,0 +1,26 @@
+"""LBR core: GoSN, GoJ, jvar orders, pruning, multi-way join, engine."""
+
+from .engine import LBREngine, QueryStats
+from .explain import BranchPlan, QueryPlan, explain
+from .goj import GoJ, GoT, Tree, get_tree, join_variables
+from .gosn import GoSN, Supernode
+from .jvar_order import decide_best_match_required, get_jvar_order
+from .multiway import FanFilter, MultiWayJoin
+from .nullification import GroupPlan, best_match, minimum_union, nullify
+from .nwd import transform_non_well_designed
+from .prune import (active_prune, clustered_semi_join, prune_triples,
+                    semi_join)
+from .results import ResultSet, VarMap, decode_binding
+from .selectivity import SelectivityRanker
+from .tp import TPState, translate_id
+
+__all__ = [
+    "BranchPlan", "FanFilter", "GoJ", "GoSN", "GoT", "GroupPlan",
+    "LBREngine", "QueryPlan", "explain",
+    "MultiWayJoin", "QueryStats", "ResultSet", "SelectivityRanker",
+    "Supernode", "TPState", "Tree", "VarMap", "active_prune", "best_match",
+    "clustered_semi_join", "decide_best_match_required", "decode_binding",
+    "get_jvar_order", "get_tree", "join_variables", "minimum_union",
+    "nullify", "prune_triples", "semi_join", "transform_non_well_designed",
+    "translate_id",
+]

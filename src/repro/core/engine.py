@@ -1,0 +1,508 @@
+"""The LBR query processor — Algorithm 5.1 end to end.
+
+Pipeline per UNION-free branch:
+
+1. build GoSN (§2) and GoJ (§3.1), validate the supported fragment;
+2. transform the GoSN when the branch is non-well-designed (Appendix B);
+3. rank selectivities from index metadata, compute the jvar orders
+   (Alg 3.1), and decide whether nullification/best-match are needed;
+4. ``init()``: load one BitMat per TP with *active pruning*, abandoning
+   early when an absolute master TP is empty (the §5 "simple
+   optimization");
+5. ``prune_triples`` (Alg 3.2) over the compressed BitMats;
+6. sort TPs masters-first (§5.1) and run the multi-way pipelined join
+   (Alg 5.4) with FaN filters;
+7. best-match when the branch required nullification.
+
+UNION and FILTER are handled by rewriting to UNION normal form first
+(§5.2); branch results are bag-unioned, with minimum-union cleanup when
+rewrite rule 3 may have introduced spurious rows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..bitmat.bitvec import BitVector
+from ..bitmat.store import BitMatStore
+from ..exceptions import UnsupportedQueryError
+from ..rdf.terms import NULL, Variable, is_variable
+from ..sparql.ast import (BGP, Filter, Join, LeftJoin, Pattern, Query,
+                          TriplePattern, Union)
+from ..sparql.expressions import expression_variables, passes
+from ..sparql.parser import parse_query
+from ..sparql.rewrite import eliminate_equality_filters, to_union_normal_form
+from ..sparql.wd import find_violations
+from .goj import GoJ, GoT, join_variables
+from .gosn import GoSN
+from .jvar_order import decide_best_match_required, get_jvar_order
+from .multiway import FanFilter, MultiWayJoin
+from .nullification import GroupPlan, minimum_union
+from .prune import active_prune, prune_triples
+from .results import ResultSet, apply_solution_modifiers, decode_binding
+from .selectivity import SelectivityRanker
+from .tp import TPState
+
+
+@dataclass
+class QueryStats:
+    """The §6.1 evaluation metrics for one query execution."""
+
+    t_init: float = 0.0
+    t_prune: float = 0.0
+    t_join: float = 0.0
+    t_total: float = 0.0
+    initial_triples: int = 0
+    triples_after_pruning: int = 0
+    num_results: int = 0
+    results_with_nulls: int = 0
+    best_match_required: bool = False
+    aborted_empty: bool = False
+    branches: int = 0
+    nwd_transformed: bool = False
+    jvar_order_bu: list = field(default_factory=list)
+    jvar_order_td: list = field(default_factory=list)
+
+
+@dataclass
+class _ScopedFilter:
+    expr: object
+    tp_start: int
+    tp_end: int
+
+
+class LBREngine:
+    """Left Bit Right query engine over a :class:`BitMatStore`.
+
+    The ablation switches exist for the benchmark suite:
+    *enable_prune* turns Algorithm 3.2 off (the multi-way join alone is
+    still correct for acyclic well-designed queries only when combined
+    with nullification, so disabling pruning forces the
+    nullification/best-match path), and *enable_active_prune* controls
+    the init-time pruning of §5.
+    """
+
+    def __init__(self, store: BitMatStore, enable_prune: bool = True,
+                 enable_active_prune: bool = True) -> None:
+        self.store = store
+        self.enable_prune = enable_prune
+        self.enable_active_prune = enable_active_prune
+        self.last_stats = QueryStats()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def explain(self, query: Query | str):
+        """The plan LBR would run (see :mod:`repro.core.explain`)."""
+        from .explain import explain
+        return explain(self.store, query)
+
+    def execute(self, query: Query | str) -> ResultSet:
+        """Run a SELECT query; per-query metrics land in ``last_stats``."""
+        started = time.perf_counter()
+        if isinstance(query, str):
+            query = parse_query(query)
+        renames: dict[Variable, Variable] = {}
+        pattern = eliminate_equality_filters(query.pattern, renames)
+        normal_form = to_union_normal_form(pattern)
+
+        stats = QueryStats(branches=len(normal_form.branches))
+        all_variables = tuple(sorted(pattern.variables()))
+        combined: list[tuple] = []
+        for branch in normal_form.branches:
+            rows, branch_vars, branch_stats = self._execute_branch(branch)
+            stats.t_init += branch_stats.t_init
+            stats.t_prune += branch_stats.t_prune
+            stats.t_join += branch_stats.t_join
+            stats.initial_triples += branch_stats.initial_triples
+            stats.triples_after_pruning += branch_stats.triples_after_pruning
+            stats.best_match_required |= branch_stats.best_match_required
+            stats.aborted_empty |= branch_stats.aborted_empty
+            stats.nwd_transformed |= branch_stats.nwd_transformed
+            if not stats.jvar_order_bu:
+                stats.jvar_order_bu = branch_stats.jvar_order_bu
+                stats.jvar_order_td = branch_stats.jvar_order_td
+            combined.extend(_align_rows(rows, branch_vars, all_variables))
+        if normal_form.spurious_possible:
+            combined = minimum_union(combined)
+
+        if renames:
+            # restore columns dropped by FILTER(?m = ?n) elimination:
+            # the dropped variable carries the kept variable's binding
+            restored = tuple(sorted(set(all_variables) | set(renames)))
+            kept_index = {var: i for i, var in enumerate(all_variables)}
+            combined = [
+                tuple(row[kept_index[renames.get(var, var)]]
+                      if renames.get(var, var) in kept_index else NULL
+                      for var in restored)
+                for row in combined]
+            all_variables = restored
+
+        result = apply_solution_modifiers(
+            ResultSet(all_variables, combined), query)
+
+        stats.num_results = len(result)
+        stats.results_with_nulls = result.rows_with_nulls()
+        stats.t_total = time.perf_counter() - started
+        self.last_stats = stats
+        return result
+
+    # ------------------------------------------------------------------
+    # one UNION-free branch (Alg 5.1)
+    # ------------------------------------------------------------------
+
+    def _execute_branch(self, branch: Pattern,
+                        ) -> tuple[list[tuple], tuple[Variable, ...],
+                                   QueryStats]:
+        stats = QueryStats()
+        gosn = GoSN.from_pattern(branch)
+        patterns = gosn.patterns
+        scoped_filters = _collect_filters(branch)
+        _validate_supported(patterns, scoped_filters)
+
+        if not patterns:
+            return [()], (), stats
+
+        violations = find_violations(branch)
+        if violations:
+            gosn = _transform_nwd(gosn, branch, violations)
+            stats.nwd_transformed = True
+
+        got = GoT.build(patterns)
+        if not _connected_ignoring_ground(got, patterns):
+            raise UnsupportedQueryError(
+                "query contains a Cartesian product between triple "
+                "patterns; LBR does not evaluate Cartesian products")
+
+        goj = GoJ.build(patterns)
+        metadata_counts = [self._metadata_count(tp) for tp in patterns]
+        stats.initial_triples = sum(metadata_counts)
+        ranker = SelectivityRanker(patterns, metadata_counts)
+        order_bu, order_td = get_jvar_order(gosn, goj, ranker)
+        stats.jvar_order_bu = list(order_bu)
+        stats.jvar_order_td = list(order_td)
+        nul_required = decide_best_match_required(gosn, goj)
+        if not self.enable_prune:
+            # without minimality guarantees, reordered evaluation needs
+            # the nullification/best-match safety net whenever the query
+            # has OPTIONALs at all
+            nul_required = nul_required or bool(gosn.uni_edges)
+        stats.best_match_required = nul_required
+
+        # ---- init with active pruning -------------------------------
+        t0 = time.perf_counter()
+        row_first: dict[Variable, int] = {}
+        for rank, var in enumerate(order_bu):
+            row_first.setdefault(var, rank)
+        states: list[TPState] = []
+        for index, tp in enumerate(patterns):
+            state = TPState.load(index, tp, self.store, row_first)
+            self._apply_init_filters(state, index, scoped_filters)
+            if self.enable_active_prune:
+                active_prune(state, states, gosn, self.store.num_shared)
+            states.append(state)
+            if (state.is_empty()
+                    and gosn.tp_in_absolute_master(index)):
+                stats.aborted_empty = True
+                stats.t_init = time.perf_counter() - t0
+                stats.triples_after_pruning = 0
+                return [], tuple(), stats
+        _fail_groups_with_absent_ground(states, gosn)
+        stats.t_init = time.perf_counter() - t0
+
+        # ---- prune (Alg 3.2) ----------------------------------------
+        t0 = time.perf_counter()
+        if self.enable_prune:
+            def abort_check() -> bool:
+                return any(state.is_empty()
+                           and gosn.tp_in_absolute_master(state.index)
+                           for state in states)
+
+            completed = prune_triples(order_bu, order_td, gosn, states,
+                                      self.store.num_shared, abort_check)
+            if not completed:
+                stats.aborted_empty = True
+                stats.t_prune = time.perf_counter() - t0
+                stats.triples_after_pruning = sum(s.count() for s in states)
+                return [], tuple(), stats
+        stats.t_prune = time.perf_counter() - t0
+        stats.triples_after_pruning = sum(state.count() for state in states)
+
+        # ---- multi-way pipelined join (Alg 5.4) ---------------------
+        t0 = time.perf_counter()
+        sorted_states = _sort_states(states, gosn, ranker)
+        plan = GroupPlan(gosn, sorted_states)
+        fan_filters = self._fan_filters(scoped_filters, gosn, plan)
+        rows: list[tuple] = []
+        join = MultiWayJoin(sorted_states, gosn, plan, nul_required,
+                            fan_filters, self.store.dictionary, rows.append)
+        join.run()
+        if nul_required or join.fan_nullified:
+            # Minimum union (Rao et al.): drop subsumed rows *and* the
+            # duplicates nullification introduces.  Full-width rows of a
+            # well-formed query have multiplicity one, so this restores
+            # exact bag semantics before projection.
+            rows = minimum_union(rows)
+            stats.best_match_required = True
+        stats.t_join = time.perf_counter() - t0
+        branch_vars = tuple(join.output_variables)
+        return rows, branch_vars, stats
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _metadata_count(self, tp: TriplePattern) -> int:
+        sid = (None if is_variable(tp.s)
+               else self.store.encode_term(tp.s, "s"))
+        pid = (None if is_variable(tp.p)
+               else self.store.encode_term(tp.p, "p"))
+        oid = (None if is_variable(tp.o)
+               else self.store.encode_term(tp.o, "o"))
+        if ((not is_variable(tp.s) and sid is None)
+                or (not is_variable(tp.p) and pid is None)
+                or (not is_variable(tp.o) and oid is None)):
+            return 0
+        return self.store.count_matching(sid, pid, oid)
+
+    def _apply_init_filters(self, state: TPState, index: int,
+                            scoped_filters: list[_ScopedFilter]) -> None:
+        """Apply single-variable filters while loading (§5.2)."""
+        for scoped in scoped_filters:
+            if not scoped.tp_start <= index < scoped.tp_end:
+                continue
+            expr_vars = expression_variables(scoped.expr)
+            if len(expr_vars) != 1:
+                continue
+            (var,) = expr_vars
+            if var not in state.variables():
+                continue
+            fold = state.fold(var)
+            space = state.space_of(var)
+            passing = [position for position in fold.iter_positions()
+                       if passes(scoped.expr, {var: decode_binding(
+                           (space, position), self.store.dictionary)})]
+            state.unfold(var, BitVector.from_positions(fold.size, passing))
+
+    def _fan_filters(self, scoped_filters: list[_ScopedFilter], gosn: GoSN,
+                     plan: GroupPlan) -> list[FanFilter]:
+        fans: list[FanFilter] = []
+        for scoped in scoped_filters:
+            expr_vars = expression_variables(scoped.expr)
+            if len(expr_vars) <= 1:
+                continue  # applied at init
+            groups = frozenset(
+                plan.group_of_sn[gosn.sn_of_tp[i]]
+                for i in range(scoped.tp_start, scoped.tp_end))
+            fans.append(FanFilter(scoped.expr, groups))
+        return fans
+
+
+# ----------------------------------------------------------------------
+# module helpers
+# ----------------------------------------------------------------------
+
+def _align_rows(rows: list[tuple], branch_vars: tuple[Variable, ...],
+                all_variables: tuple[Variable, ...]) -> list[tuple]:
+    """Pad/reorder branch rows onto the query-wide variable tuple."""
+    if branch_vars == all_variables:
+        return rows
+    positions = [branch_vars.index(var) if var in branch_vars else None
+                 for var in all_variables]
+    return [tuple(row[i] if i is not None else NULL for i in positions)
+            for row in rows]
+
+
+def _collect_filters(branch: Pattern) -> list[_ScopedFilter]:
+    """Filters with their TP index ranges (GoSN numbering order)."""
+    filters: list[_ScopedFilter] = []
+    counter = [0]
+
+    def walk(node: Pattern) -> None:
+        if isinstance(node, Filter):
+            start = counter[0]
+            walk(node.pattern)
+            filters.append(_ScopedFilter(node.expr, start, counter[0]))
+        elif isinstance(node, BGP):
+            counter[0] += len(node.patterns)
+        elif isinstance(node, (Join, LeftJoin)):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, Union):  # pragma: no cover - UNF input
+            raise UnsupportedQueryError("UNION inside a UNF branch")
+
+    walk(branch)
+    return filters
+
+
+def _node_tp_ranges(branch: Pattern) -> dict[int, tuple[int, int]]:
+    """TP index range of every pattern node, keyed by ``id(node)``."""
+    ranges: dict[int, tuple[int, int]] = {}
+    counter = [0]
+
+    def walk(node: Pattern) -> None:
+        start = counter[0]
+        if isinstance(node, BGP):
+            counter[0] += len(node.patterns)
+        elif isinstance(node, Filter):
+            walk(node.pattern)
+        elif isinstance(node, (Join, LeftJoin, Union)):
+            walk(node.left)
+            walk(node.right)
+        ranges[id(node)] = (start, counter[0])
+
+    walk(branch)
+    return ranges
+
+
+def _validate_supported(patterns: list[TriplePattern],
+                        scoped_filters: list[_ScopedFilter]) -> None:
+    jvars = join_variables(patterns)
+    spaces: dict[Variable, set[str]] = {}
+    for tp in patterns:
+        if (is_variable(tp.s) and is_variable(tp.p) and is_variable(tp.o)):
+            raise UnsupportedQueryError(
+                f"all-variable triple pattern not supported: {tp}")
+        for position, term in zip("spo", tp):
+            if is_variable(term) and term in jvars:
+                spaces.setdefault(term, set()).add(position)
+    for var, used in spaces.items():
+        if "p" in used and used != {"p"}:
+            raise UnsupportedQueryError(
+                f"join variable ?{var} mixes the predicate position with "
+                f"S/O positions; the paper's index supports S-S, S-O and "
+                f"O-O joins only")
+    # safe-filter validation (§5.2)
+    by_range: dict[tuple[int, int], set[Variable]] = {}
+    for scoped in scoped_filters:
+        scope_vars = by_range.get((scoped.tp_start, scoped.tp_end))
+        if scope_vars is None:
+            scope_vars = set()
+            for tp in patterns[scoped.tp_start:scoped.tp_end]:
+                scope_vars |= tp.variables()
+            by_range[(scoped.tp_start, scoped.tp_end)] = scope_vars
+        if not expression_variables(scoped.expr) <= scope_vars:
+            raise UnsupportedQueryError(
+                "unsafe FILTER: its variables are not all bound by the "
+                "filtered pattern (§5.2 assumes safe filters)")
+
+
+def _fail_groups_with_absent_ground(states: list[TPState],
+                                    gosn: GoSN) -> None:
+    """Empty every TP of a slave group containing an absent ground TP.
+
+    A fully ground triple pattern that is not in the data makes its
+    whole supernode peer group unsatisfiable; other TPs of the group
+    must not contribute bindings (the OPTIONAL block fails as a unit),
+    which pruning cannot express because ground TPs carry no variables.
+    """
+    dead_groups: set[frozenset[int]] = set()
+    for state in states:
+        if state.ground_present is False:
+            dead_groups.add(
+                frozenset(gosn.peers_of(gosn.sn_of_tp[state.index])))
+    if not dead_groups:
+        return
+    for state in states:
+        group = frozenset(gosn.peers_of(gosn.sn_of_tp[state.index]))
+        if group in dead_groups and state.ground_present is None:
+            for var in state.variables():
+                fold = state.fold(var)
+                state.unfold(var, BitVector.empty(fold.size))
+                break
+
+
+def _connected_ignoring_ground(got: GoT,
+                               patterns: list[TriplePattern]) -> bool:
+    """GoT connectivity over TPs that have variables."""
+    with_vars = [i for i, tp in enumerate(patterns) if tp.variables()]
+    if len(with_vars) <= 1:
+        return True
+    seen = {with_vars[0]}
+    frontier = [with_vars[0]]
+    while frontier:
+        node = frontier.pop()
+        for neighbor in got.adjacency.get(node, ()):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return seen >= set(with_vars)
+
+
+def _transform_nwd(gosn: GoSN, branch: Pattern, violations) -> GoSN:
+    """Appendix B: convert uni edges to bi along violation paths.
+
+    For every violating sub-pattern ``Pk ⟕ Pl`` and variable ``?j``, a
+    violation pair is formed between each supernode of ``Pl``
+    containing ``?j`` and each supernode *outside* the sub-pattern
+    containing ``?j``; all unidirectional edges on the unique undirected
+    paths between the pairs become bidirectional.
+    """
+    ranges = _node_tp_ranges(branch)
+    total = len(gosn.patterns)
+    converted: set[tuple[int, int]] = set()
+    for violation in violations:
+        subtree_range = ranges.get(id(violation.left_join))
+        slave_range = ranges.get(id(violation.left_join.right))
+        if subtree_range is None or slave_range is None:
+            continue
+        slave_sns = _sns_with_variable(gosn, slave_range,
+                                       violation.variable)
+        inside = set(range(*subtree_range))
+        outside_sns = {
+            gosn.sn_of_tp[index] for index in range(total)
+            if index not in inside
+            and violation.variable in gosn.patterns[index].variables()}
+        for sn_a in slave_sns:
+            for sn_b in outside_sns:
+                path = gosn.undirected_path(sn_a, sn_b)
+                for left, right in zip(path, path[1:]):
+                    if (left, right) in gosn.uni_edges:
+                        converted.add((left, right))
+                    if (right, left) in gosn.uni_edges:
+                        converted.add((right, left))
+    if not converted:
+        return gosn
+    return gosn.with_bidirectional(converted)
+
+
+def _sns_with_variable(gosn: GoSN, tp_range: tuple[int, int],
+                       variable: Variable) -> set[int]:
+    found: set[int] = set()
+    for index in range(*tp_range):
+        if variable in gosn.patterns[index].variables():
+            found.add(gosn.sn_of_tp[index])
+    return found
+
+
+def _sort_states(states: list[TPState], gosn: GoSN,
+                 ranker: SelectivityRanker) -> list[TPState]:
+    """The stps order of §5.1.
+
+    Absolute-master TPs first in ascending post-prune count, then the
+    remaining TPs grouped by supernode peer group in master-first
+    topological order, each group's TPs in ascending count.
+    """
+    from .jvar_order import order_slave_supernodes
+
+    absolute = gosn.absolute_masters()
+    sn_rank: dict[int, int] = {}
+    for sn in absolute:
+        sn_rank[sn] = 0
+    for position, sn in enumerate(order_slave_supernodes(gosn, ranker),
+                                  start=1):
+        sn_rank[sn] = position
+    # lift SN ranks to peer-group ranks so peers stay adjacent
+    group_rank: dict[int, int] = {}
+    for sn, rank in sn_rank.items():
+        for peer in gosn.peers_of(sn):
+            group_rank[peer] = min(group_rank.get(peer, rank), rank)
+
+    def key(state: TPState) -> tuple[int, int, int]:
+        sn = gosn.sn_of_tp[state.index]
+        return (group_rank.get(sn, len(sn_rank)), state.count(),
+                state.index)
+
+    return sorted(states, key=key)

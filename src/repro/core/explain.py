@@ -1,0 +1,127 @@
+"""Query plan explanation: what LBR decided, without executing.
+
+``explain(engine, query)`` performs the analysis half of Algorithm 5.1
+— UNF rewrite, GoSN, GoJ, well-designedness, the jvar orders, the
+best-match decision, metadata counts — and renders a human-readable
+plan, one section per UNION-free branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rdf.terms import is_variable
+from ..sparql.ast import Pattern, Query, serialize_algebra
+from ..sparql.parser import parse_query
+from ..sparql.rewrite import eliminate_equality_filters, to_union_normal_form
+from ..sparql.wd import find_violations
+from .goj import GoJ
+from .gosn import GoSN
+from .jvar_order import decide_best_match_required, get_jvar_order
+from .selectivity import SelectivityRanker
+
+
+@dataclass
+class BranchPlan:
+    """Analysis of one UNION-free branch."""
+
+    algebra: str
+    supernodes: list[str]
+    uni_edges: list[tuple[int, int]]
+    bi_edges: list[tuple[int, int]]
+    absolute_masters: list[int]
+    well_designed: bool
+    goj_cyclic: bool
+    jvars: list[str]
+    order_bu: list[str]
+    order_td: list[str]
+    best_match_required: bool
+    tp_counts: list[int] = field(default_factory=list)
+
+
+@dataclass
+class QueryPlan:
+    """Full explanation across branches."""
+
+    branches: list[BranchPlan]
+    spurious_cleanup: bool
+
+    def __str__(self) -> str:
+        lines: list[str] = []
+        for index, branch in enumerate(self.branches, start=1):
+            lines.append(f"branch {index}/{len(self.branches)}: "
+                         f"{branch.algebra}")
+            for sn_index, description in enumerate(branch.supernodes):
+                marker = ("*" if sn_index in branch.absolute_masters
+                          else " ")
+                lines.append(f"  SN{sn_index}{marker} {description}")
+            lines.append(f"  uni edges (master->slave): "
+                         f"{sorted(branch.uni_edges)}")
+            lines.append(f"  bi edges (peers)        : "
+                         f"{sorted(branch.bi_edges)}")
+            lines.append(f"  well-designed: {branch.well_designed}   "
+                         f"GoJ cyclic: {branch.goj_cyclic}   "
+                         f"best-match required: "
+                         f"{branch.best_match_required}")
+            lines.append(f"  jvars: {branch.jvars}")
+            lines.append(f"  order_bu: {branch.order_bu}")
+            lines.append(f"  order_td: {branch.order_td}")
+            lines.append(f"  TP metadata counts: {branch.tp_counts}")
+        if self.spurious_cleanup:
+            lines.append("minimum-union cleanup after UNION rewrite "
+                         "rule 3")
+        return "\n".join(lines)
+
+
+def explain(store, query: Query | str) -> QueryPlan:
+    """Build the plan LBR would execute for *query* over *store*."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    pattern = eliminate_equality_filters(query.pattern)
+    normal_form = to_union_normal_form(pattern)
+    branches = [_explain_branch(store, branch)
+                for branch in normal_form.branches]
+    return QueryPlan(branches=branches,
+                     spurious_cleanup=normal_form.spurious_possible)
+
+
+def _metadata_count(store, tp) -> int:
+    sid = None if is_variable(tp.s) else store.encode_term(tp.s, "s")
+    pid = None if is_variable(tp.p) else store.encode_term(tp.p, "p")
+    oid = None if is_variable(tp.o) else store.encode_term(tp.o, "o")
+    if ((not is_variable(tp.s) and sid is None)
+            or (not is_variable(tp.p) and pid is None)
+            or (not is_variable(tp.o) and oid is None)):
+        return 0
+    return store.count_matching(sid, pid, oid)
+
+
+def _explain_branch(store, branch: Pattern) -> BranchPlan:
+    gosn = GoSN.from_pattern(branch)
+    violations = find_violations(branch)
+    well_designed = not violations
+    if violations:
+        from .engine import _transform_nwd
+        gosn = _transform_nwd(gosn, branch, violations)
+    goj = GoJ.build(gosn.patterns)
+    counts = [_metadata_count(store, tp) for tp in gosn.patterns]
+    ranker = SelectivityRanker(gosn.patterns, counts)
+    order_bu, order_td = get_jvar_order(gosn, goj, ranker)
+    supernodes = []
+    for sn in gosn.supernodes:
+        patterns = " ; ".join(tp.to_sparql() for tp in sn.patterns)
+        supernodes.append(f"[{patterns}]" if patterns else "[empty BGP]")
+    return BranchPlan(
+        algebra=serialize_algebra(branch),
+        supernodes=supernodes,
+        uni_edges=sorted(gosn.uni_edges),
+        bi_edges=sorted(gosn.bi_edges),
+        absolute_masters=sorted(gosn.absolute_masters()),
+        well_designed=well_designed,
+        goj_cyclic=goj.is_cyclic(),
+        jvars=[f"?{v}" for v in sorted(goj.nodes)],
+        order_bu=[f"?{v}" for v in order_bu],
+        order_td=[f"?{v}" for v in order_td],
+        best_match_required=decide_best_match_required(gosn, goj),
+        tp_counts=counts,
+    )

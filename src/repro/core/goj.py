@@ -1,0 +1,215 @@
+"""Graphs of triple patterns (GoT) and of join variables (GoJ) — §3.1.
+
+* **GoT** treats each triple pattern as a table; two patterns are
+  adjacent when they share a join variable.
+* **GoJ** has one node per join variable; two jvar-nodes are adjacent
+  when they appear together in a triple pattern.
+
+A *join variable* (jvar) is a variable occurring in two or more triple
+patterns (or twice within one pattern).  Acyclicity of the GoJ is the
+test Algorithm 3.1 dispatches on; we detect cycles on the **multigraph**
+— each triple pattern contributes its own edges, so two patterns that
+share *two* variables form a (redundant) cycle exactly as footnote 4 of
+the paper describes, and such queries are conservatively routed through
+the nullification/best-match path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..rdf.terms import Variable, is_variable
+from ..sparql.ast import TriplePattern
+
+
+def pattern_variables(tp: TriplePattern) -> list[Variable]:
+    """Variables of a TP in position order (duplicates preserved)."""
+    return [term for term in tp if is_variable(term)]
+
+
+def join_variables(patterns: Sequence[TriplePattern]) -> set[Variable]:
+    """Variables appearing in ≥2 patterns, or ≥2 positions of one."""
+    seen: set[Variable] = set()
+    joins: set[Variable] = set()
+    for tp in patterns:
+        tp_vars = pattern_variables(tp)
+        for var in set(tp_vars):
+            if var in seen or tp_vars.count(var) > 1:
+                joins.add(var)
+            seen.add(var)
+    return joins
+
+
+@dataclass
+class GoT:
+    """Graph of triple patterns (nodes are indexes into the TP list)."""
+
+    num_patterns: int
+    adjacency: dict[int, set[int]] = field(default_factory=dict)
+    shared_jvars: dict[tuple[int, int], set[Variable]] = field(
+        default_factory=dict)
+
+    @classmethod
+    def build(cls, patterns: Sequence[TriplePattern]) -> "GoT":
+        jvars = join_variables(patterns)
+        by_var: dict[Variable, list[int]] = {}
+        for index, tp in enumerate(patterns):
+            for var in set(pattern_variables(tp)):
+                if var in jvars:
+                    by_var.setdefault(var, []).append(index)
+        got = cls(num_patterns=len(patterns),
+                  adjacency={i: set() for i in range(len(patterns))})
+        for var, members in by_var.items():
+            for i in members:
+                for j in members:
+                    if i < j:
+                        got.adjacency[i].add(j)
+                        got.adjacency[j].add(i)
+                        got.shared_jvars.setdefault((i, j), set()).add(var)
+        return got
+
+    def is_connected(self) -> bool:
+        """True when every TP is reachable from every other via jvars.
+
+        A disconnected GoT means the query contains a Cartesian product,
+        which LBR does not evaluate (§5.2).
+        """
+        if self.num_patterns <= 1:
+            return True
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in self.adjacency.get(node, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == self.num_patterns
+
+    def is_cyclic(self) -> bool:
+        """Multigraph cycle test: two TPs sharing ≥2 jvars count as a cycle."""
+        if any(len(shared) > 1 for shared in self.shared_jvars.values()):
+            return True
+        return _simple_graph_cyclic(self.adjacency)
+
+
+@dataclass
+class GoJ:
+    """Graph of join variables with per-TP edge multiplicity."""
+
+    nodes: set[Variable]
+    adjacency: dict[Variable, set[Variable]]
+    #: one entry per (TP, unordered jvar pair) — the multigraph edges
+    multi_edges: list[tuple[Variable, Variable]]
+
+    @classmethod
+    def build(cls, patterns: Sequence[TriplePattern]) -> "GoJ":
+        jvars = join_variables(patterns)
+        adjacency: dict[Variable, set[Variable]] = {v: set() for v in jvars}
+        multi_edges: list[tuple[Variable, Variable]] = []
+        for tp in patterns:
+            tp_jvars = sorted({v for v in pattern_variables(tp)
+                               if v in jvars})
+            for i, left in enumerate(tp_jvars):
+                for right in tp_jvars[i + 1:]:
+                    adjacency[left].add(right)
+                    adjacency[right].add(left)
+                    multi_edges.append((left, right))
+        return cls(nodes=jvars, adjacency=adjacency, multi_edges=multi_edges)
+
+    def is_cyclic(self) -> bool:
+        """Multigraph cycle test (parallel edges from distinct TPs count)."""
+        parent: dict[Variable, Variable] = {v: v for v in self.nodes}
+
+        def find(v: Variable) -> Variable:
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        for left, right in self.multi_edges:
+            root_l, root_r = find(left), find(right)
+            if root_l == root_r:
+                return True
+            parent[root_l] = root_r
+        return False
+
+
+def _simple_graph_cyclic(adjacency: dict) -> bool:
+    """Cycle test for a simple undirected graph given as adjacency sets."""
+    parent = {node: node for node in adjacency}
+
+    def find(node):
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    seen_edges = set()
+    for node, neighbors in adjacency.items():
+        for neighbor in neighbors:
+            edge = (node, neighbor) if node <= neighbor else (neighbor, node)
+            if edge in seen_edges:
+                continue
+            seen_edges.add(edge)
+            root_a, root_b = find(node), find(neighbor)
+            if root_a == root_b:
+                return True
+            parent[root_a] = root_b
+    return False
+
+
+@dataclass
+class Tree:
+    """A rooted forest over a subset of GoJ nodes (induced subtree)."""
+
+    roots: list[Variable]
+    parent: dict[Variable, Variable | None]
+    children: dict[Variable, list[Variable]]
+    order: list[Variable]  # BFS order from the roots
+
+    def bottom_up(self) -> list[Variable]:
+        """Children-before-parents order (reverse BFS)."""
+        return list(reversed(self.order))
+
+    def top_down(self) -> list[Variable]:
+        """Parents-before-children order (BFS)."""
+        return list(self.order)
+
+
+def get_tree(goj: GoJ, subset: set[Variable], root: Variable) -> Tree:
+    """Induced subtree of the GoJ on *subset*, rooted at *root*.
+
+    When the induced subgraph is disconnected (possible only in corner
+    cases the paper rules out via the no-Cartesian-product assumption),
+    remaining components are attached as additional BFS roots so every
+    jvar still receives a pruning pass.
+    """
+    if root not in subset:
+        raise ValueError(f"root {root!r} not in subset")
+    parent: dict[Variable, Variable | None] = {}
+    children: dict[Variable, list[Variable]] = {v: [] for v in subset}
+    order: list[Variable] = []
+    roots: list[Variable] = []
+    remaining = set(subset)
+
+    def bfs(start: Variable) -> None:
+        parent[start] = None
+        roots.append(start)
+        queue = [start]
+        remaining.discard(start)
+        while queue:
+            node = queue.pop(0)
+            order.append(node)
+            for neighbor in sorted(goj.adjacency.get(node, ())):
+                if neighbor in remaining:
+                    remaining.discard(neighbor)
+                    parent[neighbor] = node
+                    children[node].append(neighbor)
+                    queue.append(neighbor)
+
+    bfs(root)
+    while remaining:
+        bfs(sorted(remaining)[0])
+    return Tree(roots=roots, parent=parent, children=children, order=order)

@@ -1,0 +1,258 @@
+"""Graph of Supernodes (GoSN) — the paper's §2.
+
+Every OPT-free BGP of the serialized query becomes a *supernode*.  For
+each left-outer join ``Pm ⟕ Pn`` a unidirectional edge is added from the
+leftmost supernode of ``Pm`` to the leftmost supernode of ``Pn``; for
+each inner join ``Px ⋈ Py`` a bidirectional edge connects the leftmost
+supernodes of the two sides.  Reachability then defines the paper's
+nomenclature (§2.2):
+
+* ``SNi`` is a **master** of ``SNj`` (and ``SNj`` a **slave** of
+  ``SNi``) when ``SNj`` is reachable from ``SNi`` along a path using at
+  least one unidirectional edge;
+* two supernodes are **peers** when they reach each other along
+  bidirectional edges only;
+* **absolute masters** are supernodes that are nobody's slave.
+
+The same relations apply to the triple patterns inside the supernodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import UnsupportedQueryError
+from ..sparql.ast import BGP, Filter, Join, LeftJoin, Pattern, TriplePattern
+
+
+@dataclass
+class Supernode:
+    """One OPT-free BGP: its index and the indexes of its TPs."""
+
+    index: int
+    tp_indexes: tuple[int, ...]
+    patterns: tuple[TriplePattern, ...]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SN{self.index}({len(self.patterns)} tps)"
+
+
+@dataclass
+class GoSN:
+    """The supernode graph plus derived master/slave/peer relations."""
+
+    supernodes: list[Supernode]
+    patterns: list[TriplePattern]
+    #: tp index -> supernode index
+    sn_of_tp: dict[int, int]
+    uni_edges: set[tuple[int, int]] = field(default_factory=set)
+    bi_edges: set[tuple[int, int]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self._masters: dict[int, set[int]] | None = None
+        self._peers: dict[int, set[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # construction (§2.1)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_pattern(cls, pattern: Pattern) -> "GoSN":
+        """Build the GoSN of a (simplified, union-free) join tree.
+
+        Filters are transparent: ``Filter(e, P)`` contributes the edges
+        of ``P``.  A :class:`~repro.exceptions.UnsupportedQueryError` is
+        raised for nodes outside the BGP/Join/LeftJoin fragment.
+        """
+        supernodes: list[Supernode] = []
+        patterns: list[TriplePattern] = []
+        sn_of_tp: dict[int, int] = {}
+        uni_edges: set[tuple[int, int]] = set()
+        bi_edges: set[tuple[int, int]] = set()
+
+        def strip(node: Pattern) -> Pattern:
+            while isinstance(node, Filter):
+                node = node.pattern
+            return node
+
+        def build(node: Pattern) -> int:
+            """Create supernodes/edges; return the leftmost SN index."""
+            node = strip(node)
+            if isinstance(node, BGP):
+                index = len(supernodes)
+                tp_indexes = []
+                for tp in node.patterns:
+                    tp_index = len(patterns)
+                    patterns.append(tp)
+                    tp_indexes.append(tp_index)
+                    sn_of_tp[tp_index] = index
+                supernodes.append(Supernode(index, tuple(tp_indexes),
+                                            node.patterns))
+                return index
+            if isinstance(node, LeftJoin):
+                left = build(node.left)
+                right = build(node.right)
+                uni_edges.add((left, right))
+                return left
+            if isinstance(node, Join):
+                left = build(node.left)
+                right = build(node.right)
+                bi_edges.add((min(left, right), max(left, right)))
+                return left
+            raise UnsupportedQueryError(
+                f"GoSN accepts BGP/Join/LeftJoin trees, found "
+                f"{type(node).__name__}")
+
+        build(pattern)
+        return cls(supernodes=supernodes, patterns=patterns,
+                   sn_of_tp=sn_of_tp, uni_edges=uni_edges, bi_edges=bi_edges)
+
+    # ------------------------------------------------------------------
+    # relations (§2.2)
+    # ------------------------------------------------------------------
+
+    def _compute_relations(self) -> None:
+        count = len(self.supernodes)
+        forward: dict[int, list[tuple[int, bool]]] = {i: []
+                                                      for i in range(count)}
+        for a, b in self.uni_edges:
+            forward[a].append((b, True))
+        for a, b in self.bi_edges:
+            forward[a].append((b, False))
+            forward[b].append((a, False))
+
+        # masters[s] = set of m such that m is a master of s.
+        masters: dict[int, set[int]] = {i: set() for i in range(count)}
+        for start in range(count):
+            # two-state BFS: (node, has the path used a uni edge yet?)
+            seen = {(start, False)}
+            frontier = [(start, False)]
+            while frontier:
+                node, used_uni = frontier.pop()
+                for neighbor, is_uni in forward[node]:
+                    state = (neighbor, used_uni or is_uni)
+                    if state not in seen:
+                        seen.add(state)
+                        frontier.append(state)
+                        if state[1] and neighbor != start:
+                            masters[neighbor].add(start)
+        self._masters = masters
+
+        # peer components over bidirectional edges only
+        peers: dict[int, set[int]] = {i: {i} for i in range(count)}
+        parent = list(range(count))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in self.bi_edges:
+            parent[find(a)] = find(b)
+        groups: dict[int, set[int]] = {}
+        for i in range(count):
+            groups.setdefault(find(i), set()).add(i)
+        for members in groups.values():
+            for i in members:
+                peers[i] = set(members)
+        self._peers = peers
+
+    def masters_of(self, sn: int) -> set[int]:
+        """Supernodes that are (transitive) masters of *sn*."""
+        if self._masters is None:
+            self._compute_relations()
+        return self._masters[sn]
+
+    def slaves_of(self, sn: int) -> set[int]:
+        """Supernodes that *sn* masters."""
+        if self._masters is None:
+            self._compute_relations()
+        return {other for other in range(len(self.supernodes))
+                if sn in self._masters[other]}
+
+    def is_master(self, master: int, slave: int) -> bool:
+        """True when *master* is a master of *slave*."""
+        return master in self.masters_of(slave)
+
+    def peers_of(self, sn: int) -> set[int]:
+        """The peer group of *sn* (always contains *sn* itself)."""
+        if self._peers is None:
+            self._compute_relations()
+        return self._peers[sn]
+
+    def absolute_masters(self) -> set[int]:
+        """Supernodes that are not slaves of any supernode."""
+        return {i for i in range(len(self.supernodes))
+                if not self.masters_of(i)}
+
+    def peer_groups(self) -> list[set[int]]:
+        """All distinct peer groups, deterministically ordered."""
+        seen: set[int] = set()
+        groups: list[set[int]] = []
+        for i in range(len(self.supernodes)):
+            if i not in seen:
+                group = self.peers_of(i)
+                seen |= group
+                groups.append(group)
+        return groups
+
+    # ------------------------------------------------------------------
+    # TP-level views
+    # ------------------------------------------------------------------
+
+    def tp_is_master(self, tp_master: int, tp_slave: int) -> bool:
+        """Master relation lifted to triple patterns."""
+        return self.is_master(self.sn_of_tp[tp_master],
+                              self.sn_of_tp[tp_slave])
+
+    def tp_is_peer(self, tp_a: int, tp_b: int) -> bool:
+        """Peer relation lifted to triple patterns (same SN counts)."""
+        return self.sn_of_tp[tp_b] in self.peers_of(self.sn_of_tp[tp_a])
+
+    def tp_in_absolute_master(self, tp_index: int) -> bool:
+        """True when the TP lives in an absolute master supernode."""
+        return self.sn_of_tp[tp_index] in self.absolute_masters()
+
+    # ------------------------------------------------------------------
+    # Appendix B support
+    # ------------------------------------------------------------------
+
+    def with_bidirectional(self,
+                           converted: set[tuple[int, int]]) -> "GoSN":
+        """A copy where the given unidirectional edges became peers."""
+        uni = {edge for edge in self.uni_edges if edge not in converted}
+        bi = set(self.bi_edges)
+        for a, b in converted:
+            bi.add((min(a, b), max(a, b)))
+        return GoSN(supernodes=self.supernodes, patterns=self.patterns,
+                    sn_of_tp=self.sn_of_tp, uni_edges=uni, bi_edges=bi)
+
+    def undirected_path(self, start: int, goal: int) -> list[int]:
+        """The unique undirected SN path between two supernodes.
+
+        GoSN has exactly ``#supernodes − 1`` edges (one per algebra
+        operator) and is connected, hence a tree when directions are
+        ignored — the property Appendix B relies on.
+        """
+        adjacency: dict[int, set[int]] = {i: set()
+                                          for i in range(len(self.supernodes))}
+        for a, b in self.uni_edges | self.bi_edges:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        previous: dict[int, int] = {start: start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop(0)
+            if node == goal:
+                break
+            for neighbor in sorted(adjacency[node]):
+                if neighbor not in previous:
+                    previous[neighbor] = node
+                    frontier.append(neighbor)
+        if goal not in previous:
+            raise ValueError(f"no path between SN{start} and SN{goal}")
+        path = [goal]
+        while path[-1] != start:
+            path.append(previous[path[-1]])
+        return list(reversed(path))

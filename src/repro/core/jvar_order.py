@@ -1,0 +1,128 @@
+"""``get_jvar_order`` — Algorithm 3.1 of the paper.
+
+Produces the bottom-up and top-down jvar orders that drive
+``prune_triples``:
+
+* **cyclic GoJ** → a single greedy order (jvars by descending
+  selectivity) used for both passes; minimality is not guaranteed and
+  the engine may need nullification/best-match (§3.3);
+* **acyclic GoJ** → first the induced subtree over the jvars of the
+  absolute master supernodes, rooted at the *least* selective of them
+  (so it is processed last), then per-slave-supernode induced subtrees —
+  masters before slaves, more selective peers first — each rooted at a
+  jvar shared with a master.  The top-down order mirrors the procedure
+  with top-down traversals (§3.2).
+
+A jvar may appear several times across the concatenated orders; each
+occurrence triggers another pruning round, exactly as in the paper's
+Example-2 (``orderbu = [?friend, ?sitcom, ?friend]``).
+"""
+
+from __future__ import annotations
+
+from ..rdf.terms import Variable
+from .goj import GoJ, get_tree, pattern_variables
+from .gosn import GoSN
+from .selectivity import SelectivityRanker
+
+
+def supernode_jvars(gosn: GoSN, sn_index: int,
+                    jvars: set[Variable]) -> set[Variable]:
+    """Join variables occurring in the supernode's triple patterns."""
+    found: set[Variable] = set()
+    for tp in gosn.supernodes[sn_index].patterns:
+        found.update(v for v in pattern_variables(tp) if v in jvars)
+    return found
+
+
+def order_slave_supernodes(gosn: GoSN,
+                           ranker: SelectivityRanker) -> list[int]:
+    """The ``SNss`` order of Alg 3.1 line 8.
+
+    Non-absolute-master supernodes, masters before their slaves, and
+    among incomparable supernodes the one holding a more selective
+    triple pattern first.
+    """
+    absolute = gosn.absolute_masters()
+    remaining = [i for i in range(len(gosn.supernodes)) if i not in absolute]
+    ordered: list[int] = []
+    pending = set(remaining)
+    while pending:
+        # ready = pending SNs none of whose masters are still pending
+        ready = [sn for sn in pending
+                 if not (gosn.masters_of(sn) & pending)]
+        if not ready:  # defensive: master relation is acyclic by design
+            ready = sorted(pending)
+        ready.sort(key=lambda sn: (
+            ranker.supernode_key(gosn.supernodes[sn].tp_indexes), sn))
+        ordered.append(ready[0])
+        pending.discard(ready[0])
+    return ordered
+
+
+def get_jvar_order(gosn: GoSN, goj: GoJ, ranker: SelectivityRanker,
+                   ) -> tuple[list[Variable], list[Variable]]:
+    """Return ``(orderbu, ordertd)`` per Algorithm 3.1."""
+    jvars = set(goj.nodes)
+    if not jvars:
+        return [], []
+
+    if goj.is_cyclic():
+        greedy = ranker.greedy_jvar_order(jvars)
+        return list(greedy), list(greedy)
+
+    order_bu: list[Variable] = []
+    order_td: list[Variable] = []
+
+    master_jvars: set[Variable] = set()
+    for sn in gosn.absolute_masters():
+        master_jvars |= supernode_jvars(gosn, sn, jvars)
+    if master_jvars:
+        root = ranker.least_selective_jvar(master_jvars)
+        master_tree = get_tree(goj, master_jvars, root)
+        order_bu.extend(master_tree.bottom_up())
+        order_td.extend(master_tree.top_down())
+
+    slave_order = order_slave_supernodes(gosn, ranker)
+    slave_trees = []
+    for sn in slave_order:
+        sn_jvars = supernode_jvars(gosn, sn, jvars)
+        if not sn_jvars:
+            continue
+        shared = _jvars_shared_with_masters(gosn, sn, sn_jvars, jvars)
+        root_pool = shared if shared else sn_jvars
+        root = ranker.least_selective_jvar(root_pool)
+        slave_trees.append(get_tree(goj, sn_jvars, root))
+    for tree in slave_trees:
+        order_bu.extend(tree.bottom_up())
+    for tree in slave_trees:
+        order_td.extend(tree.top_down())
+    return order_bu, order_td
+
+
+def _jvars_shared_with_masters(gosn: GoSN, sn: int,
+                               sn_jvars: set[Variable],
+                               jvars: set[Variable]) -> set[Variable]:
+    """Jvars of *sn* that also occur in one of its master supernodes."""
+    shared: set[Variable] = set()
+    for master in gosn.masters_of(sn):
+        shared |= sn_jvars & supernode_jvars(gosn, master, jvars)
+    return shared
+
+
+def decide_best_match_required(gosn: GoSN, goj: GoJ) -> bool:
+    """Line 5 of Alg 5.1: nullification/best-match needed?
+
+    Required exactly when the GoJ is cyclic *and* some slave supernode
+    contains more than one join variable (Lemmas 3.3 and 3.4).
+    """
+    if not goj.is_cyclic():
+        return False
+    jvars = set(goj.nodes)
+    absolute = gosn.absolute_masters()
+    for sn in range(len(gosn.supernodes)):
+        if sn in absolute:
+            continue
+        if len(supernode_jvars(gosn, sn, jvars)) > 1:
+            return True
+    return False

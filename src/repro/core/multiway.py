@@ -1,0 +1,229 @@
+"""Multi-way pipelined join — Algorithm 5.4.
+
+All per-TP BitMats are joined in one pipeline: the recursion picks the
+first unvisited TP (in the master-first sort order ``stps``) with at
+least one variable already mapped, enumerates its matching triples,
+binds each in the shared :class:`~repro.core.results.VarMap`, and
+recurses.  No pairwise intermediate results or hash tables are built —
+the only working memory is the vmap itself.
+
+When a TP matches nothing under the current bindings the branch rolls
+back if the TP sits in an absolute master supernode (inner joins cannot
+fail partially) and NULL-extends otherwise (the OPTIONAL block simply
+does not match).  At a full assignment, nullification and the
+filter-and-nullification (FaN) routine of §5.2 run when required, and
+one result row is emitted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..rdf.terms import NULL, Variable
+from ..sparql.expressions import passes
+from .gosn import GoSN
+from .nullification import GroupPlan, nullify
+from .results import VarMap, decode_binding
+from .tp import TPState
+
+
+class FanFilter:
+    """A FILTER applied at result generation (FaN, §5.2).
+
+    *scope_groups* are the supernode peer groups the filter's pattern
+    covers; when evaluation fails, the row is dropped if the scope
+    touches an absolute master group, otherwise the scope groups are
+    nullified (the OPTIONAL block does not match under this filter).
+    """
+
+    def __init__(self, expr: object, scope_groups: frozenset[int]) -> None:
+        self.expr = expr
+        self.scope_groups = scope_groups
+
+
+class MultiWayJoin:
+    """One pipelined execution over sorted TP states."""
+
+    def __init__(self, states: Sequence[TPState], gosn: GoSN,
+                 plan: GroupPlan, nul_required: bool,
+                 fan_filters: Sequence[FanFilter],
+                 dictionary, emit: Callable[[tuple], None]) -> None:
+        self.states = list(states)
+        self.gosn = gosn
+        self.plan = plan
+        self.nul_required = nul_required
+        self.fan_filters = list(fan_filters)
+        self.dictionary = dictionary
+        self.emit = emit
+        self.varmap = VarMap(self.states)
+        self.fan_nullified = False
+        #: positions of TPs living in absolute master supernodes
+        self.absolute_positions = {
+            position for position, state in enumerate(self.states)
+            if gosn.tp_in_absolute_master(state.index)}
+        self.output_variables: list[Variable] = self.varmap.variables()
+        # The visit order and per-depth binding sources depend only on
+        # *which* TPs are visited — never on binding values — so they
+        # are computed once instead of at every recursion node.
+        self.visit_order: list[int] = []
+        #: per depth: (variable, source slot or None) for the chosen TP
+        self.depth_sources: list[list[tuple[Variable, int | None]]] = []
+        #: per variable: the first slot in stps order that binds it
+        self.output_sources: list[int] = []
+        self._plan_visits()
+
+    def _plan_visits(self) -> None:
+        simulated: set[int] = set()
+        for _ in range(len(self.states)):
+            self.varmap.visited = simulated
+            position = self._choose_next()
+            sources: list[tuple[Variable, int | None]] = []
+            for var in self.states[position].variables():
+                source = None
+                for slot in self.varmap.var_slots[var]:
+                    if slot in simulated:
+                        source = slot
+                        break
+                sources.append((var, source))
+            self.visit_order.append(position)
+            self.depth_sources.append(sources)
+            simulated.add(position)
+        self.varmap.visited = set()
+        self.output_sources = [self.varmap.var_slots[var][0]
+                               for var in self.output_variables]
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Execute the join, emitting every result row."""
+        if not self.states:
+            self.emit(())
+            return
+        self._recurse(0)
+
+    def _recurse(self, depth: int) -> None:
+        varmap = self.varmap
+        if depth == len(self.states):
+            self._output()
+            return
+        position = self.visit_order[depth]
+        state = self.states[position]
+        slots = varmap.slots
+        failed = varmap.failed
+        constraints: dict[Variable, object] = {}
+        any_null = False
+        for var, source in self.depth_sources[depth]:
+            if source is None:
+                continue
+            if failed[source]:
+                any_null = True
+                break
+            constraints[var] = slots[source][var]
+
+        matched = False
+        if not any_null:
+            next_depth = depth + 1
+            for bindings in state.enumerate(constraints):
+                matched = True
+                slots[position] = bindings
+                varmap.visited.add(position)
+                self._recurse(next_depth)
+            if matched:
+                varmap.visited.discard(position)
+                slots[position] = None
+                return
+        if position in self.absolute_positions:
+            return  # inner-join failure: roll back this branch
+        varmap.bind_failed(position)
+        self._recurse(depth + 1)
+        varmap.unbind(position)
+
+    def _choose_next(self) -> int:
+        """First unvisited TP (stps order) with a mapped variable."""
+        varmap = self.varmap
+        fallback: int | None = None
+        for position in range(len(self.states)):
+            if position in varmap.visited:
+                continue
+            if fallback is None:
+                fallback = position
+            if not varmap.visited:
+                return position
+            _, any_mapped, _ = varmap.constraints_for(position)
+            if any_mapped:
+                return position
+            # TPs without variables join unconditionally
+            if not self.states[position].variables():
+                return position
+        assert fallback is not None, "recursion invariant violated"
+        return fallback
+
+    # ------------------------------------------------------------------
+
+    def _current_bindings(self) -> list:
+        """Effective binding per output variable (None for NULL)."""
+        varmap = self.varmap
+        out = []
+        for var, source in zip(self.output_variables, self.output_sources):
+            if varmap.failed[source]:
+                out.append(None)
+            else:
+                slot = varmap.slots[source]
+                out.append(slot.get(var) if slot is not None else None)
+        return out
+
+    def _output(self) -> None:
+        varmap = self.varmap
+        saved = None
+        if self.nul_required or self.fan_filters:
+            saved = (list(varmap.slots), list(varmap.failed))
+        try:
+            if self.nul_required:
+                nullify(varmap, self.plan)
+            if self.fan_filters and not self._apply_fan():
+                return
+            dictionary = self.dictionary
+            row = tuple(decode_binding(binding, dictionary)
+                        for binding in self._current_bindings())
+            self.emit(row)
+        finally:
+            if saved is not None:
+                # restore *in place*: recursion frames alias these lists
+                varmap.slots[:] = saved[0]
+                varmap.failed[:] = saved[1]
+
+    def _decoded_row(self) -> dict:
+        return {var: decode_binding(binding, self.dictionary)
+                for var, binding in zip(self.output_variables,
+                                        self._current_bindings())}
+
+    def _apply_fan(self) -> bool:
+        """Filter-and-nullification; returns False to drop the row."""
+        row = self._decoded_row()
+        for fan in sorted(self.fan_filters,
+                          key=lambda f: min(f.scope_groups, default=0)):
+            if fan.scope_groups & self.plan.absolute_groups:
+                if not passes(fan.expr, _null_free(row)):
+                    return False
+                continue
+            if self._scope_nullified(fan):
+                continue
+            if not passes(fan.expr, _null_free(row)):
+                nullify(self.varmap, self.plan,
+                        forced_failures=set(fan.scope_groups))
+                self.fan_nullified = True
+                row = self._decoded_row()
+        return True
+
+    def _scope_nullified(self, fan: FanFilter) -> bool:
+        for group in fan.scope_groups:
+            for position in self.plan.slots_of_group[group]:
+                if (position in self.varmap.visited
+                        and self.varmap.failed[position]):
+                    return True
+        return False
+
+
+def _null_free(row: dict) -> dict:
+    """Expression rows treat NULL as unbound (absent)."""
+    return {var: value for var, value in row.items() if value is not NULL}

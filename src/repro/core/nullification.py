@@ -1,0 +1,184 @@
+"""Nullification and best-match (minimum union) operators — §3.1/§5.
+
+*Nullification* makes variable bindings of a reordered evaluation
+consistent with the original join order: an OPTIONAL block matches as a
+whole, so when only some triple patterns of a slave supernode group
+matched, the whole group's bindings are nullified, cascading into its
+slave subtree.  For acyclic well-designed queries the pruning passes
+make this a no-op (Lemma 3.3); it does real work only for cyclic
+queries whose slaves carry more than one join variable (Lemma 3.4) and
+for the FaN (filter-and-nullification) extension of §5.2.
+
+*Best-match* removes subsumed rows: ``r1 ⊏ r2`` when every non-NULL
+binding of ``r1`` agrees with ``r2`` and ``r2`` has strictly more
+non-NULL bindings.  *Minimum union* additionally removes exact
+duplicates, which the UNION rewrite rule 3 can introduce.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..rdf.terms import NULL
+from .gosn import GoSN
+from .results import VarMap
+
+
+class GroupPlan:
+    """Static supernode peer-group structure used by nullification.
+
+    Precomputes, once per query, the peer groups of the GoSN, their
+    master→slave ordering, and the TP slot positions of each group.
+    """
+
+    def __init__(self, gosn: GoSN, states: Sequence) -> None:
+        self.gosn = gosn
+        groups = gosn.peer_groups()
+        self.groups: list[frozenset[int]] = [frozenset(g) for g in groups]
+        self.group_of_sn: dict[int, int] = {}
+        for gi, group in enumerate(self.groups):
+            for sn in group:
+                self.group_of_sn[sn] = gi
+        # group -> slot positions of its TPs (positions in stps order)
+        self.slots_of_group: list[list[int]] = [[] for _ in self.groups]
+        for position, state in enumerate(states):
+            sn = gosn.sn_of_tp[state.index]
+            self.slots_of_group[self.group_of_sn[sn]].append(position)
+        # child groups: reachable as direct slaves of any member SN
+        self.children: list[set[int]] = [set() for _ in self.groups]
+        for gi, group in enumerate(self.groups):
+            for sn in group:
+                for slave in gosn.slaves_of(sn):
+                    child = self.group_of_sn[slave]
+                    if child != gi:
+                        self.children[gi].add(child)
+        # groups in master-first topological order
+        self.topo_order: list[int] = self._topological_order()
+        # ancestors[g] = every group that (transitively) masters g
+        self.ancestors: list[set[int]] = [set() for _ in self.groups]
+        for gi in self.topo_order:
+            for child in self.children[gi]:
+                self.ancestors[child].add(gi)
+                self.ancestors[child] |= self.ancestors[gi]
+        # absolute-master groups
+        absolute = gosn.absolute_masters()
+        self.absolute_groups: set[int] = {self.group_of_sn[sn]
+                                          for sn in absolute}
+
+    def _topological_order(self) -> list[int]:
+        indegree = {gi: 0 for gi in range(len(self.groups))}
+        for gi, kids in enumerate(self.children):
+            for child in kids:
+                indegree[child] += 1
+        ready = sorted(gi for gi, deg in indegree.items() if deg == 0)
+        order: list[int] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for child in sorted(self.children[current]):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+        # cycles cannot occur (mastership is a partial order), but stay
+        # total anyway
+        for gi in range(len(self.groups)):
+            if gi not in order:
+                order.append(gi)
+        return order
+
+    def group_of_position(self, varmap: VarMap, position: int) -> int:
+        sn = self.gosn.sn_of_tp[varmap.states[position].index]
+        return self.group_of_sn[sn]
+
+
+def nullify(varmap: VarMap, plan: GroupPlan,
+            forced_failures: set[int] | None = None) -> bool:
+    """Apply nullification to the current vmap (line 3 of Alg 5.4).
+
+    A group *fails* when any of its TP slots was NULL-extended, or when
+    a master group it depends on failed, or when *forced_failures*
+    (from FaN filter evaluation) names it.  Every slot of a failed
+    group is NULL-extended; returns True when anything changed.
+    """
+    failed_groups: set[int] = set(forced_failures or ())
+    changed = False
+    for gi in plan.topo_order:
+        group_failed = (gi in failed_groups
+                        or bool(plan.ancestors[gi] & failed_groups))
+        if not group_failed:
+            for position in plan.slots_of_group[gi]:
+                if position in varmap.visited and varmap.failed[position]:
+                    group_failed = True
+                    break
+        if not group_failed:
+            continue
+        failed_groups.add(gi)
+        for position in plan.slots_of_group[gi]:
+            if position in varmap.visited and not varmap.failed[position]:
+                varmap.bind_failed(position)
+                changed = True
+    return changed
+
+
+def best_match(rows: list[tuple]) -> list[tuple]:
+    """Drop rows subsumed by another row (keeps duplicates).
+
+    ``r1`` is dropped when some kept row agrees with every non-NULL
+    binding of ``r1`` and has strictly more non-NULL bindings.
+    """
+    return _minimum_union(rows, drop_duplicates=False)
+
+
+def minimum_union(rows: list[tuple]) -> list[tuple]:
+    """Best-match plus duplicate removal (UNION rewrite rule 3 cleanup)."""
+    return _minimum_union(rows, drop_duplicates=True)
+
+
+def _minimum_union(rows: list[tuple], drop_duplicates: bool) -> list[tuple]:
+    if not rows:
+        return []
+    # Examine rows with many non-NULLs first: a row can only be subsumed
+    # by a row with strictly more non-NULL bindings.
+    order = sorted(range(len(rows)),
+                   key=lambda i: -sum(1 for v in rows[i] if v is not NULL))
+    width = len(rows[0])
+    kept: list[int] = []
+    kept_rows: set[tuple] = set()
+    # (column, value) -> kept row indexes having that binding
+    index: dict[tuple[int, object], set[int]] = {}
+    nonnull_count: dict[int, int] = {}
+    output_flags = [False] * len(rows)
+
+    for i in order:
+        row = rows[i]
+        bound = [(col, value) for col, value in enumerate(row)
+                 if value is not NULL]
+        if drop_duplicates and row in kept_rows:
+            continue
+        subsumed = False
+        if bound:
+            candidates: set[int] | None = None
+            for key in bound:
+                posting = index.get(key)
+                if posting is None:
+                    candidates = set()
+                    break
+                candidates = (set(posting) if candidates is None
+                              else candidates & posting)
+                if not candidates:
+                    break
+            if candidates:
+                subsumed = any(nonnull_count[c] > len(bound)
+                               for c in candidates)
+        else:
+            subsumed = any(nonnull_count[k] > 0 for k in kept)
+        if subsumed:
+            continue
+        kept.append(i)
+        kept_rows.add(row)
+        nonnull_count[i] = len(bound)
+        for key in bound:
+            index.setdefault(key, set()).add(i)
+        output_flags[i] = True
+
+    return [rows[i] for i in range(len(rows)) if output_flags[i]]

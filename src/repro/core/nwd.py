@@ -1,0 +1,27 @@
+"""Non-well-designed query support (Appendix B) — public entry points.
+
+The transformation itself lives in :mod:`repro.core.engine` (it runs as
+part of branch execution); this module re-exports it for direct use and
+testing: given a pattern and its GoSN, every unidirectional edge on the
+unique undirected path between a violation pair of supernodes is turned
+into a bidirectional edge — i.e. the offending left-outer joins become
+inner joins under the null-intolerant join assumption.
+"""
+
+from __future__ import annotations
+
+from ..sparql.ast import Pattern
+from ..sparql.wd import find_violations
+from .engine import _transform_nwd
+from .gosn import GoSN
+
+
+def transform_non_well_designed(gosn: GoSN, pattern: Pattern) -> GoSN:
+    """Apply the Appendix B GoSN transformation.
+
+    Returns the same GoSN instance when the pattern is well-designed.
+    """
+    violations = find_violations(pattern)
+    if not violations:
+        return gosn
+    return _transform_nwd(gosn, pattern, violations)

@@ -1,0 +1,157 @@
+"""``prune_triples`` — Algorithm 3.2, over BitMats via fold/unfold.
+
+For every join variable of the bottom-up order and then of the top-down
+order:
+
+1. **semi-joins** transfer binding restrictions from every master TP to
+   each of its slave TPs sharing the jvar (Alg 5.2) — only the slave is
+   unfolded;
+2. **clustered-semi-joins** intersect the bindings of all TPs sharing
+   the jvar within one supernode peer group (Alg 5.3) — every member is
+   unfolded.
+
+Masks crossing between the subject and object id spaces are restricted
+to the shared ``V_so`` region first (Appendix D): an id above
+``num_shared`` denotes different terms on the two dimensions, so it can
+never participate in an S-O join.
+
+The same machinery implements the *active pruning* the paper applies
+while loading BitMats in ``init()`` (§5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..bitmat.bitvec import BitVector
+from ..rdf.terms import Variable
+from .gosn import GoSN
+from .tp import TPState
+
+
+def _combined_mask(states: Sequence[TPState], var: Variable,
+                   num_shared: int) -> BitVector:
+    """AND of the folds of *var* across *states*, space-corrected."""
+    spaces = {state.space_of(var) for state in states}
+    mask: BitVector | None = None
+    for state in states:
+        fold = state.fold(var)
+        mask = fold if mask is None else mask.and_(fold)
+    assert mask is not None
+    if len(spaces) > 1:
+        mask = mask.truncate(num_shared + 1)
+    return mask
+
+
+def semi_join(var: Variable, slave: TPState, master: TPState,
+              num_shared: int) -> None:
+    """Algorithm 5.2: restrict *slave* by *master*'s bindings of *var*."""
+    mask = _combined_mask((master, slave), var, num_shared)
+    # mask ⊆ fold(slave, var): equal counts mean the unfold is a no-op,
+    # which repeated per-supernode rounds over the same jvar often hit
+    if mask.count() != slave.fold(var).count():
+        slave.unfold(var, mask)
+
+
+def clustered_semi_join(var: Variable, states: Sequence[TPState],
+                        num_shared: int) -> None:
+    """Algorithm 5.3: intersect *var* bindings across peer TPs."""
+    mask = _combined_mask(states, var, num_shared)
+    mask_count = mask.count()
+    for state in states:
+        if mask_count != state.fold(var).count():
+            state.unfold(var, mask)
+
+
+def prune_triples(order_bu: Sequence[Variable],
+                  order_td: Sequence[Variable], gosn: GoSN,
+                  states: Sequence[TPState], num_shared: int,
+                  abort_check: Callable[[], bool] | None = None) -> bool:
+    """Algorithm 3.2; returns False when *abort_check* fired.
+
+    *abort_check* implements the paper's "simple optimization": when a
+    TP in an absolute master supernode reaches zero triples the query
+    result is provably empty and processing stops.
+    """
+    by_var: dict[Variable, list[TPState]] = {}
+    for state in states:
+        for var in state.variables():
+            by_var.setdefault(var, []).append(state)
+
+    previous_var: Variable | None = None
+    previous_changed = True
+    for order in (order_bu, order_td):
+        for var in order:
+            # a repeated round over the same jvar is a fixpoint
+            # iteration; skip it when the previous round was a no-op
+            if var == previous_var and not previous_changed:
+                continue
+            with_var = by_var.get(var, [])
+            if len(with_var) < 2:
+                continue
+            changed = _semi_join_pass(var, with_var, gosn, num_shared)
+            changed |= _clustered_pass(var, with_var, gosn, num_shared)
+            previous_var, previous_changed = var, changed
+            if abort_check is not None and abort_check():
+                return False
+    return True
+
+
+def _semi_join_pass(var: Variable, with_var: Sequence[TPState],
+                    gosn: GoSN, num_shared: int) -> bool:
+    """All master→slave semi-joins for one jvar; True when TPs shrank.
+
+    The pairwise semi-joins of Alg 3.2 lines 2–5 against a fixed slave
+    compose into a single intersection of all its masters' folds, so
+    each slave is unfolded at most once per round.
+    """
+    changed = False
+    for slave in with_var:
+        masters = [master for master in with_var
+                   if master is not slave
+                   and gosn.tp_is_master(master.index, slave.index)]
+        if not masters:
+            continue
+        mask = _combined_mask(masters + [slave], var, num_shared)
+        if mask.count() != slave.fold(var).count():
+            slave.unfold(var, mask)
+            changed = True
+    return changed
+
+
+def _clustered_pass(var: Variable, with_var: Sequence[TPState],
+                    gosn: GoSN, num_shared: int) -> bool:
+    changed = False
+    done: set[frozenset[int]] = set()
+    for state in with_var:
+        group = frozenset(gosn.peers_of(gosn.sn_of_tp[state.index]))
+        if group in done:
+            continue
+        done.add(group)
+        cluster = [other for other in with_var
+                   if gosn.sn_of_tp[other.index] in group]
+        if len(cluster) >= 2:
+            mask = _combined_mask(cluster, var, num_shared)
+            mask_count = mask.count()
+            for member in cluster:
+                if mask_count != member.fold(var).count():
+                    member.unfold(var, mask)
+                    changed = True
+    return changed
+
+
+def active_prune(new_state: TPState, loaded: Sequence[TPState],
+                 gosn: GoSN, num_shared: int) -> None:
+    """Active pruning while loading (§5 ``init``).
+
+    The freshly loaded TP takes binding restrictions from every already
+    loaded TP that is its master or peer — never from its slaves, which
+    would be unsound for a left-outer join.
+    """
+    for var in new_state.variables():
+        for other in loaded:
+            if var not in other.variables():
+                continue
+            if (gosn.tp_is_peer(other.index, new_state.index)
+                    or gosn.tp_is_master(other.index, new_state.index)):
+                semi_join(var, new_state, other, num_shared)

@@ -1,0 +1,58 @@
+"""Selectivity ranking of triple patterns and join variables (§3.2).
+
+A triple pattern is *more selective* when fewer triples match it.  A
+jvar ``?j1`` is more selective than ``?j2`` when the most selective TP
+containing ``?j1`` has fewer triples than the most selective TP
+containing ``?j2``.  Counts come from the per-TP BitMats at init time
+(the store answers them from its condensed metadata without scanning).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..rdf.terms import Variable
+from ..sparql.ast import TriplePattern
+from .goj import pattern_variables
+
+
+class SelectivityRanker:
+    """Ranks TPs, jvars, and supernodes from per-TP triple counts."""
+
+    def __init__(self, patterns: Sequence[TriplePattern],
+                 counts: Sequence[int]) -> None:
+        if len(patterns) != len(counts):
+            raise ValueError("one count per triple pattern required")
+        self._counts = list(counts)
+        self._jvar_key: dict[Variable, int] = {}
+        for index, tp in enumerate(patterns):
+            for var in set(pattern_variables(tp)):
+                current = self._jvar_key.get(var)
+                if current is None or counts[index] < current:
+                    self._jvar_key[var] = counts[index]
+
+    def tp_count(self, tp_index: int) -> int:
+        """Triples matching the TP (smaller = more selective)."""
+        return self._counts[tp_index]
+
+    def jvar_key(self, var: Variable) -> int:
+        """Min TP count among TPs containing *var* (smaller = more selective)."""
+        return self._jvar_key.get(var, 0)
+
+    def most_selective_jvar(self, candidates: set[Variable]) -> Variable:
+        """The most selective candidate (ties broken by name)."""
+        return min(sorted(candidates), key=self.jvar_key)
+
+    def least_selective_jvar(self, candidates: set[Variable]) -> Variable:
+        """The least selective candidate (ties broken by name)."""
+        return max(sorted(candidates), key=self.jvar_key)
+
+    def greedy_jvar_order(self, jvars: set[Variable]) -> list[Variable]:
+        """All jvars, most selective first (§3.3 cyclic fallback)."""
+        return sorted(sorted(jvars), key=self.jvar_key)
+
+    def supernode_key(self, tp_indexes: Sequence[int]) -> int:
+        """Selectivity of a supernode: its most selective TP's count."""
+        if not tp_indexes:
+            return 0
+        return min(self._counts[i] for i in tp_indexes)

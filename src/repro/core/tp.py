@@ -1,0 +1,332 @@
+"""Per-triple-pattern state: loaded BitMat, folds, and enumeration.
+
+``init()`` of Algorithm 5.1 loads, for every TP of the query, the BitMat
+that contains exactly the triples matching it (§5):
+
+* two fixed positions → a single row of the P-S / P-O BitMat, held as a
+  compressed :class:`~repro.bitmat.bitvec.BitVector` over the remaining
+  dimension;
+* ``(?a :p ?b)`` → the S-O or O-S BitMat of ``:p``; when both variables
+  are join variables the one occurring first in ``orderbu`` becomes the
+  row dimension;
+* a variable predicate with one fixed position → the full P-S or P-O
+  BitMat of that entity.
+
+Variable *bindings* are `(space, id)` pairs where space is ``'s'``,
+``'o'`` or ``'p'``; crossing between the subject and object spaces is
+valid only inside the shared ``V_so`` region (Appendix D), which
+:func:`translate_id` enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..bitmat.bitmat import BitMat
+from ..bitmat.bitvec import BitVector
+from ..bitmat.store import BitMatStore
+from ..exceptions import UnsupportedQueryError
+from ..rdf.terms import Variable, is_variable
+from ..sparql.ast import TriplePattern
+
+#: A variable binding: which id space it lives in, and the id.
+Binding = tuple[str, int]
+
+
+def translate_id(binding: Binding, target_space: str,
+                 num_shared: int) -> int | None:
+    """Reinterpret a binding in *target_space*, or None when impossible.
+
+    Subject and object ids agree exactly on ``1..num_shared`` (the
+    ``V_so`` mapping); predicate ids never cross into S/O.
+    """
+    space, value = binding
+    if space == target_space:
+        return value
+    if space in ("s", "o") and target_space in ("s", "o"):
+        return value if value <= num_shared else None
+    return None
+
+
+class TPState:
+    """The compressed triples matching one TP, with fold/unfold by var."""
+
+    def __init__(self, index: int, pattern: TriplePattern,
+                 store: BitMatStore) -> None:
+        self.index = index
+        self.pattern = pattern
+        self.store = store
+        self.num_shared = store.num_shared
+        #: 2-var representation
+        self.matrix: BitMat | None = None
+        self.row_var: Variable | None = None
+        self.col_var: Variable | None = None
+        self.row_space: str = ""
+        self.col_space: str = ""
+        #: 1-var representation
+        self.vector: BitVector | None = None
+        self.vec_var: Variable | None = None
+        self.vec_space: str = ""
+        #: 0-var representation
+        self.ground_present: bool | None = None
+        self._transpose: BitMat | None = None
+
+    # ------------------------------------------------------------------
+    # loading (init of Alg 5.1)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, index: int, pattern: TriplePattern, store: BitMatStore,
+             row_first: Mapping[Variable, int] | None = None) -> "TPState":
+        """Load the BitMat for *pattern*.
+
+        *row_first* maps each jvar to its first position in ``orderbu``;
+        for a two-jvar TP the earlier one becomes the row dimension.
+        """
+        state = cls(index, pattern, store)
+        s, p, o = pattern
+        s_var, p_var, o_var = (is_variable(s), is_variable(p),
+                               is_variable(o))
+
+        if p_var and (s_var and o_var):
+            raise UnsupportedQueryError(
+                f"all-variable triple pattern not supported: {pattern}")
+
+        sid = None if s_var else store.encode_term(s, "s")
+        pid = None if p_var else store.encode_term(p, "p")
+        oid = None if o_var else store.encode_term(o, "o")
+
+        if not s_var and not p_var and not o_var:
+            state.ground_present = (sid is not None and pid is not None
+                                    and oid is not None
+                                    and store.has_triple(sid, pid, oid))
+            return state
+
+        missing_ground = ((not s_var and sid is None)
+                          or (not p_var and pid is None)
+                          or (not o_var and oid is None))
+
+        if not p_var and s_var and o_var:
+            if s == o:  # same variable on S and O: the diagonal
+                state._load_diagonal(pid, s, missing_ground)
+                return state
+            state._load_so(pid, s, o, row_first or {}, missing_ground)
+            return state
+        if not p_var and s_var:  # (?v :p :o) -> P-S row
+            vec = (BitVector.empty(store.num_subjects + 1) if missing_ground
+                   else store.load_ps_row(pid, oid))
+            state._set_vector(s, "s", vec)
+            return state
+        if not p_var and o_var:  # (:s :p ?v) -> P-O row
+            vec = (BitVector.empty(store.num_objects + 1) if missing_ground
+                   else store.load_po_row(pid, sid))
+            state._set_vector(o, "o", vec)
+            return state
+        # variable predicate with exactly one other variable
+        if s_var:  # (?v ?p :o) -> P-S BitMat of :o
+            matrix = (BitMat(store.num_predicates + 1,
+                             store.num_subjects + 1)
+                      if missing_ground else store.load_ps(oid))
+            state._set_matrix(matrix, p, "p", s, "s")
+            return state
+        if o_var:  # (:s ?p ?v) -> P-O BitMat of :s
+            matrix = (BitMat(store.num_predicates + 1,
+                             store.num_objects + 1)
+                      if missing_ground else store.load_po(sid))
+            state._set_matrix(matrix, p, "p", o, "o")
+            return state
+        # (:s ?p :o) -> predicates linking the two entities
+        positions = [] if missing_ground else [
+            candidate for candidate in range(1, store.num_predicates + 1)
+            if store.has_triple(sid, candidate, oid)]
+        state._set_vector(p, "p", BitVector.from_positions(
+            store.num_predicates + 1, positions))
+        return state
+
+    def _load_so(self, pid: int, s_var: Variable, o_var: Variable,
+                 row_first: Mapping[Variable, int],
+                 missing_ground: bool) -> None:
+        s_rank = row_first.get(s_var)
+        o_rank = row_first.get(o_var)
+        if s_rank is not None and (o_rank is None or s_rank <= o_rank):
+            subject_rows = True
+        elif o_rank is not None:
+            subject_rows = False
+        else:
+            subject_rows = True
+        num_s = self.store.num_subjects + 1
+        num_o = self.store.num_objects + 1
+        if missing_ground:
+            matrix = (BitMat(num_s, num_o) if subject_rows
+                      else BitMat(num_o, num_s))
+        elif subject_rows:
+            matrix = self.store.load_so(pid)
+        else:
+            matrix = self.store.load_os(pid)
+        if subject_rows:
+            self._set_matrix(matrix, s_var, "s", o_var, "o")
+        else:
+            self._set_matrix(matrix, o_var, "o", s_var, "s")
+
+    def _load_diagonal(self, pid: int, var: Variable,
+                       missing_ground: bool) -> None:
+        width = self.store.num_shared + 1
+        if missing_ground:
+            self._set_vector(var, "s", BitVector.empty(width))
+            return
+        diagonal = [sid for sid, oid in self.store._so_by_p.get(pid, ())
+                    if sid == oid and sid <= self.store.num_shared]
+        self._set_vector(var, "s",
+                         BitVector.from_positions(width, diagonal))
+
+    def _set_matrix(self, matrix: BitMat, row_var: Variable, row_space: str,
+                    col_var: Variable, col_space: str) -> None:
+        self.matrix = matrix
+        self.row_var, self.row_space = row_var, row_space
+        self.col_var, self.col_space = col_var, col_space
+
+    def _set_vector(self, var: Variable, space: str,
+                    vector: BitVector) -> None:
+        self.vector = vector
+        self.vec_var, self.vec_space = var, space
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    def variables(self) -> list[Variable]:
+        """Distinct variables of this TP."""
+        if self.matrix is not None:
+            return [self.row_var, self.col_var]
+        if self.vector is not None:
+            return [self.vec_var]
+        return []
+
+    def space_of(self, var: Variable) -> str:
+        """The id space ('s'/'o'/'p') this TP binds *var* in."""
+        if self.matrix is not None:
+            if var == self.row_var:
+                return self.row_space
+            if var == self.col_var:
+                return self.col_space
+        elif self.vector is not None and var == self.vec_var:
+            return self.vec_space
+        raise KeyError(f"?{var} not in {self.pattern}")
+
+    def count(self) -> int:
+        """Triples currently associated with this TP."""
+        if self.matrix is not None:
+            return self.matrix.count()
+        if self.vector is not None:
+            return self.vector.count()
+        return int(bool(self.ground_present))
+
+    def is_empty(self) -> bool:
+        if self.matrix is not None:
+            return not self.matrix
+        if self.vector is not None:
+            return not self.vector
+        return not self.ground_present
+
+    # ------------------------------------------------------------------
+    # fold / unfold by variable
+    # ------------------------------------------------------------------
+
+    def fold(self, var: Variable) -> BitVector:
+        """Projection π_var of the TP's triples (Alg 5.2/5.3 kernel)."""
+        if self.matrix is not None:
+            return self.matrix.fold("row" if var == self.row_var else "col")
+        if self.vector is not None and var == self.vec_var:
+            return self.vector
+        raise KeyError(f"?{var} not in {self.pattern}")
+
+    def unfold(self, var: Variable, mask: BitVector) -> None:
+        """Drop triples whose *var* binding is cleared in *mask*."""
+        if self.matrix is not None:
+            dim = "row" if var == self.row_var else "col"
+            self.matrix = self.matrix.unfold(mask, dim)
+            self._transpose = None
+            return
+        if self.vector is not None and var == self.vec_var:
+            self.vector = self.vector.and_(mask)
+            return
+        raise KeyError(f"?{var} not in {self.pattern}")
+
+    # ------------------------------------------------------------------
+    # enumeration for the multi-way join
+    # ------------------------------------------------------------------
+
+    def enumerate(self, constraints: Mapping[Variable, Binding],
+                  ) -> Iterator[dict[Variable, Binding]]:
+        """Yield one binding dict per matching triple.
+
+        *constraints* carries the effective (non-NULL) bindings of this
+        TP's variables gathered from already-visited TPs; ids are
+        translated into this TP's spaces, and an untranslatable binding
+        means no triple can match.
+        """
+        if self.vector is not None:
+            yield from self._enumerate_vector(constraints)
+            return
+        if self.matrix is not None:
+            yield from self._enumerate_matrix(constraints)
+            return
+        if self.ground_present:
+            yield {}
+
+    def _enumerate_vector(self, constraints: Mapping[Variable, Binding],
+                          ) -> Iterator[dict[Variable, Binding]]:
+        var, space = self.vec_var, self.vec_space
+        bound = constraints.get(var)
+        if bound is not None:
+            value = translate_id(bound, space, self.num_shared)
+            if value is not None and value in self.vector:
+                yield {var: (space, value)}
+            return
+        for value in self.vector.iter_positions():
+            yield {var: (space, value)}
+
+    def _enumerate_matrix(self, constraints: Mapping[Variable, Binding],
+                          ) -> Iterator[dict[Variable, Binding]]:
+        row_bound = constraints.get(self.row_var)
+        col_bound = constraints.get(self.col_var)
+        row_id = (translate_id(row_bound, self.row_space, self.num_shared)
+                  if row_bound is not None else None)
+        col_id = (translate_id(col_bound, self.col_space, self.num_shared)
+                  if col_bound is not None else None)
+        if row_bound is not None and row_id is None:
+            return
+        if col_bound is not None and col_id is None:
+            return
+
+        if row_id is not None and col_id is not None:
+            row = self.matrix.get_row(row_id)
+            if row is not None and col_id in row:
+                yield {self.row_var: (self.row_space, row_id),
+                       self.col_var: (self.col_space, col_id)}
+            return
+        if row_id is not None:
+            row = self.matrix.get_row(row_id)
+            if row is None:
+                return
+            for col in row.iter_positions():
+                yield {self.row_var: (self.row_space, row_id),
+                       self.col_var: (self.col_space, col)}
+            return
+        if col_id is not None:
+            if self._transpose is None:
+                self._transpose = self.matrix.transpose()
+            column = self._transpose.get_row(col_id)
+            if column is None:
+                return
+            for row in column.iter_positions():
+                yield {self.row_var: (self.row_space, row),
+                       self.col_var: (self.col_space, col_id)}
+            return
+        for row, vec in self.matrix.iter_rows():
+            for col in vec.iter_positions():
+                yield {self.row_var: (self.row_space, row),
+                       self.col_var: (self.col_space, col)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TPState({self.pattern!r}, triples={self.count()})"

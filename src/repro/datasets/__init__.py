@@ -1,0 +1,14 @@
+"""Dataset generators and the Appendix E query suites."""
+
+from .dbpedia import DBPediaConfig, generate_dbpedia
+from .lubm import DEPARTMENT0, LUBMConfig, UB, generate_lubm
+from .queries import (ALL_SUITES, DBPEDIA_QUERIES, LUBM_QUERIES,
+                      UNIPROT_QUERIES)
+from .uniprot import HUMAN, UNI, UniProtConfig, generate_uniprot
+
+__all__ = [
+    "ALL_SUITES", "DBPEDIA_QUERIES", "DBPediaConfig", "DEPARTMENT0",
+    "HUMAN", "LUBMConfig", "LUBM_QUERIES", "UB", "UNI", "UNIPROT_QUERIES",
+    "UniProtConfig", "generate_dbpedia", "generate_lubm",
+    "generate_uniprot",
+]

@@ -1,0 +1,286 @@
+"""Synthetic DBPedia-like graph (§6.1, Appendix E.3).
+
+Covers the entity families the paper's six DBPedia queries touch —
+populated places, settlements with airports, soccer players, persons,
+categorised entities, and companies — plus a long tail of rare infobox
+predicates that gives DBPedia its many-predicates character
+(57,453 predicates in Table 6.1).
+
+Empty-result shapes are reproduced structurally, as in the real 2014
+dump the paper queried:
+
+* Q2: ``dbpprop:clubs`` values are string literals, and literals never
+  have a ``dbpowl:capacity`` — the join is empty and active pruning
+  catches it at init;
+* Q3: persons carry ``foaf:isPrimaryTopicOf`` rather than
+  ``foaf:page``, so the Person ⋈ foaf:page intersection is empty.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import FOAF, GEO, GEORSS, Namespace, RDF, RDFS, SKOS
+from ..rdf.terms import Literal, Triple, URI
+
+DBP = Namespace("http://dbpedia.org/resource/")
+DBPOWL = Namespace("http://dbpedia.org/ontology/")
+DBPPROP = Namespace("http://dbpedia.org/property/")
+CATEGORY = Namespace("http://dbpedia.org/resource/Category:")
+
+
+@dataclass
+class DBPediaConfig:
+    """Scale knobs for the synthetic DBPedia graph."""
+
+    places: int = 1200
+    settlements: int = 250
+    airports: int = 220
+    soccer_players: int = 400
+    persons: int = 700
+    companies: int = 300
+    vehicles: int = 120
+    categories: int = 60
+    rare_predicates: int = 150
+    # Q1's master conjunction (type ∧ abstract ∧ label ∧ lat ∧ long) is
+    # selective even though each TP alone is not — real DBPedia has geo
+    # coordinates for a minority of populated places.
+    abstract_probability: float = 0.8
+    coordinates_probability: float = 0.35
+    depiction_probability: float = 0.6
+    homepage_probability: float = 0.25
+    population_probability: float = 0.7
+    thumbnail_probability: float = 0.5
+    airport_homepage_probability: float = 0.02
+    airport_nativename_probability: float = 0.03
+    person_comment_probability: float = 0.99
+    #: fraction of companies that have a foaf:page (drives Q6's 36 rows)
+    company_page_probability: float = 0.12
+    seed: int = 11
+
+
+def generate_dbpedia(config: DBPediaConfig | None = None) -> Graph:
+    """Generate the synthetic DBPedia graph."""
+    config = config if config is not None else DBPediaConfig()
+    rng = random.Random(config.seed)
+    graph = Graph()
+    categories = [CATEGORY[f"Topic_{index}"]
+                  for index in range(config.categories)]
+    _generate_places(graph, rng, config)
+    settlements = _generate_settlements(graph, rng, config)
+    _generate_airports(graph, rng, config, settlements)
+    clubs = _generate_clubs(graph, rng, config)
+    _generate_soccer_players(graph, rng, config, settlements, clubs)
+    _generate_persons(graph, rng, config, categories)
+    companies = _generate_companies(graph, rng, config, categories,
+                                    settlements)
+    _generate_vehicles(graph, rng, config, companies)
+    _generate_rare_predicates(graph, rng, config)
+    return graph
+
+
+def _generate_places(graph: Graph, rng: random.Random,
+                     config: DBPediaConfig) -> None:
+    for index in range(config.places):
+        place = DBP[f"Place_{index}"]
+        graph.add(Triple(place, RDF.type, DBPOWL.PopulatedPlace))
+        graph.add(Triple(place, RDFS.label, Literal(f"Place {index}")))
+        if rng.random() < config.abstract_probability:
+            graph.add(Triple(place, DBPOWL.abstract,
+                             Literal(f"Abstract of place {index}")))
+        if rng.random() < config.coordinates_probability:
+            graph.add(Triple(place, GEO.lat,
+                             Literal(f"{rng.uniform(-90, 90):.4f}")))
+            graph.add(Triple(place, GEO.long,
+                             Literal(f"{rng.uniform(-180, 180):.4f}")))
+        if rng.random() < config.depiction_probability:
+            graph.add(Triple(place, FOAF.depiction,
+                             URI(f"http://img.example.org/place{index}.jpg")))
+        if rng.random() < config.homepage_probability:
+            graph.add(Triple(place, FOAF.homepage,
+                             URI(f"http://place{index}.example.org/")))
+        if rng.random() < config.population_probability:
+            graph.add(Triple(place, DBPOWL.populationTotal,
+                             Literal(str(rng.randint(500, 9000000)))))
+        if rng.random() < config.thumbnail_probability:
+            graph.add(Triple(place, DBPOWL.thumbnail,
+                             URI(f"http://img.example.org/pt{index}.png")))
+
+
+def _generate_settlements(graph: Graph, rng: random.Random,
+                          config: DBPediaConfig) -> list[URI]:
+    settlements = []
+    for index in range(config.settlements):
+        settlement = DBP[f"Settlement_{index}"]
+        graph.add(Triple(settlement, RDF.type, DBPOWL.Settlement))
+        graph.add(Triple(settlement, RDFS.label,
+                         Literal(f"Settlement {index}")))
+        # settlements share the "optional attribute" predicates with
+        # places, widening the blocks the baselines materialize in full
+        if rng.random() < 0.8:
+            graph.add(Triple(settlement, DBPOWL.populationTotal,
+                             Literal(str(rng.randint(100, 400000)))))
+        if rng.random() < 0.5:
+            graph.add(Triple(settlement, DBPOWL.abstract,
+                             Literal(f"Abstract of settlement {index}")))
+        if rng.random() < 0.4:
+            graph.add(Triple(settlement, DBPOWL.thumbnail,
+                             URI(f"http://img.example.org/st{index}.png")))
+        if rng.random() < 0.3:
+            graph.add(Triple(settlement, FOAF.depiction,
+                             URI(f"http://img.example.org/sd{index}.jpg")))
+        settlements.append(settlement)
+    return settlements
+
+
+def _generate_airports(graph: Graph, rng: random.Random,
+                       config: DBPediaConfig,
+                       settlements: list[URI]) -> None:
+    for index in range(config.airports):
+        airport = DBP[f"Airport_{index}"]
+        graph.add(Triple(airport, RDF.type, DBPOWL.Airport))
+        graph.add(Triple(airport, DBPOWL.city, rng.choice(settlements)))
+        graph.add(Triple(airport, DBPPROP.iata,
+                         Literal(f"{chr(65 + index % 26)}"
+                                 f"{chr(65 + (index // 26) % 26)}"
+                                 f"{chr(65 + (index // 676) % 26)}")))
+        if rng.random() < config.airport_homepage_probability:
+            graph.add(Triple(airport, FOAF.homepage,
+                             URI(f"http://airport{index}.example.org/")))
+        if rng.random() < config.airport_nativename_probability:
+            graph.add(Triple(airport, DBPPROP.nativename,
+                             Literal(f"Aeroporto {index}")))
+
+
+def _generate_clubs(graph: Graph, rng: random.Random,
+                    config: DBPediaConfig) -> list[URI]:
+    clubs = []
+    for index in range(max(1, config.soccer_players // 12)):
+        club = DBP[f"Club_{index}"]
+        graph.add(Triple(club, RDF.type, DBPOWL.SoccerClub))
+        graph.add(Triple(club, DBPOWL.capacity,
+                         Literal(str(rng.randint(5000, 90000)))))
+        clubs.append(club)
+    return clubs
+
+
+def _generate_soccer_players(graph: Graph, rng: random.Random,
+                             config: DBPediaConfig,
+                             settlements: list[URI],
+                             clubs: list[URI]) -> None:
+    positions = ["Goalkeeper", "Defender", "Midfielder", "Forward"]
+    for index in range(config.soccer_players):
+        player = DBP[f"SoccerPlayer_{index}"]
+        graph.add(Triple(player, RDF.type, DBPOWL.SoccerPlayer))
+        graph.add(Triple(player, FOAF.page,
+                         URI(f"http://en.wikipedia.org/wiki/Player{index}")))
+        graph.add(Triple(player, DBPPROP.position,
+                         Literal(rng.choice(positions))))
+        # dbpprop:clubs is a *string literal* in the 2014 infobox data;
+        # literals never carry dbpowl:capacity, which empties Q2
+        graph.add(Triple(player, DBPPROP.clubs,
+                         Literal(f"Club {rng.randrange(len(clubs))}")))
+        graph.add(Triple(player, DBPOWL.birthPlace,
+                         rng.choice(settlements)))
+        if rng.random() < 0.3:
+            graph.add(Triple(player, DBPOWL.number,
+                             Literal(str(rng.randint(1, 35)))))
+
+
+def _generate_persons(graph: Graph, rng: random.Random,
+                      config: DBPediaConfig,
+                      categories: list[URI]) -> None:
+    for index in range(config.persons):
+        person = DBP[f"Person_{index}"]
+        graph.add(Triple(person, RDF.type, DBPOWL.Person))
+        graph.add(Triple(person, RDFS.label, Literal(f"Person {index}")))
+        graph.add(Triple(person, DBPOWL.thumbnail,
+                         URI(f"http://img.example.org/person{index}.png")))
+        # foaf:isPrimaryTopicOf, *not* foaf:page: Q3 joins to empty
+        graph.add(Triple(person, FOAF.isPrimaryTopicOf,
+                         URI(f"http://en.wikipedia.org/wiki/Person{index}")))
+        graph.add(Triple(person, SKOS.subject, rng.choice(categories)))
+        graph.add(Triple(person, FOAF.name, Literal(f"Person {index}")))
+        if rng.random() < config.person_comment_probability:
+            graph.add(Triple(person, RDFS.comment,
+                             Literal(f"Comment about person {index}")))
+        if rng.random() < 0.5:
+            graph.add(Triple(person, FOAF.depiction,
+                             URI(f"http://img.example.org/pd{index}.jpg")))
+        if rng.random() < 0.2:
+            graph.add(Triple(person, FOAF.homepage,
+                             URI(f"http://person{index}.example.org/")))
+
+
+def _generate_companies(graph: Graph, rng: random.Random,
+                        config: DBPediaConfig, categories: list[URI],
+                        settlements: list[URI]) -> list[URI]:
+    industries = ["Automotive", "Software", "Aerospace", "Retail",
+                  "Energy"]
+    companies = []
+    for index in range(config.companies):
+        company = DBP[f"Company_{index}"]
+        companies.append(company)
+        graph.add(Triple(company, RDF.type, DBPOWL.Company))
+        graph.add(Triple(company, RDFS.comment,
+                         Literal(f"Comment about company {index}")))
+        if rng.random() < config.company_page_probability:
+            graph.add(Triple(company, FOAF.page,
+                             URI(f"http://en.wikipedia.org/wiki/Co{index}")))
+        if rng.random() < 0.7:
+            graph.add(Triple(company, SKOS.subject,
+                             rng.choice(categories)))
+        if rng.random() < 0.6:
+            graph.add(Triple(company, DBPPROP.industry,
+                             Literal(rng.choice(industries))))
+        if rng.random() < 0.5:
+            graph.add(Triple(company, DBPPROP.location,
+                             rng.choice(settlements)))
+        if rng.random() < 0.4:
+            graph.add(Triple(company, DBPPROP.locationCountry,
+                             Literal(f"Country {index % 20}")))
+        if rng.random() < 0.35:
+            graph.add(Triple(company, DBPPROP.locationCity,
+                             rng.choice(settlements)))
+        if rng.random() < 0.45:
+            graph.add(Triple(company, DBPPROP.products,
+                             Literal(f"Product line {index}")))
+        if rng.random() < 0.5:
+            graph.add(Triple(company, GEORSS.point,
+                             Literal(f"{rng.uniform(-90, 90):.3f} "
+                                     f"{rng.uniform(-180, 180):.3f}")))
+        if rng.random() < 0.6:
+            graph.add(Triple(company, FOAF.homepage,
+                             URI(f"http://company{index}.example.org/")))
+        if rng.random() < 0.3:
+            graph.add(Triple(company, FOAF.depiction,
+                             URI(f"http://img.example.org/cd{index}.jpg")))
+        if rng.random() < 0.35:
+            graph.add(Triple(company, DBPOWL.thumbnail,
+                             URI(f"http://img.example.org/ct{index}.png")))
+    return companies
+
+
+def _generate_vehicles(graph: Graph, rng: random.Random,
+                       config: DBPediaConfig,
+                       companies: list[URI]) -> None:
+    for index in range(config.vehicles):
+        vehicle = DBP[f"Vehicle_{index}"]
+        company = rng.choice(companies)
+        graph.add(Triple(vehicle, RDF.type, DBPOWL.Automobile))
+        graph.add(Triple(vehicle, DBPPROP.manufacturer, company))
+        if rng.random() < 0.6:
+            graph.add(Triple(vehicle, DBPPROP.model, company))
+
+
+def _generate_rare_predicates(graph: Graph, rng: random.Random,
+                              config: DBPediaConfig) -> None:
+    """Long tail of infobox predicates, each used on a few entities."""
+    for index in range(config.rare_predicates):
+        predicate = DBPPROP[f"infobox_{index}"]
+        for _ in range(rng.randint(1, 4)):
+            entity = DBP[f"Place_{rng.randrange(max(1, config.places))}"]
+            graph.add(Triple(entity, predicate,
+                             Literal(f"value {index}")))

@@ -1,0 +1,251 @@
+"""Mini-LUBM generator (Lehigh University Benchmark, §6.1).
+
+Follows the LUBM ontology shape — universities, departments, faculty,
+students, courses, publications — with the same URI style as the
+original data generator (``http://www.DepartmentN.UniversityM.edu/...``)
+so the paper's Appendix E.1 queries run unchanged.  The paper loads
+LUBM(10000) ≈ 1.33 billion triples; Python being a few orders of
+magnitude slower than the paper's C++ engine, the default scale keeps
+the same *structure* at laptop-Python size (see DESIGN.md).
+
+The generator is deterministic for a given config (seeded PRNG) and
+guarantees the structural properties the evaluation relies on:
+
+* TA/advisor/teacher triangles close for a fraction of graduate
+  students, so LUBM Q1/Q4/Q5's cyclic joins are non-empty;
+* contact details (email/telephone) exist for only a fraction of
+  people, so OPTIONAL blocks bind partially;
+* ``Department0.University0`` always exists for the selective queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import Namespace, RDF
+from ..rdf.terms import Literal, Triple, URI
+
+#: The univ-bench ontology namespace used by the Appendix E.1 queries.
+UB = Namespace("http://swat.cse.lehigh.edu/onto/univ-bench.owl#")
+
+
+@dataclass
+class LUBMConfig:
+    """Scale knobs for the mini-LUBM generator."""
+
+    universities: int = 1
+    departments_min: int = 10
+    departments_max: int = 14
+    full_professors: tuple[int, int] = (5, 8)
+    associate_professors: tuple[int, int] = (6, 9)
+    assistant_professors: tuple[int, int] = (5, 8)
+    lecturers: tuple[int, int] = (3, 5)
+    undergrad_per_faculty: float = 5.0
+    grad_per_faculty: float = 2.0
+    courses_per_faculty: tuple[int, int] = (1, 2)
+    publications_per_professor: tuple[int, int] = (1, 4)
+    #: probability a person lists email+telephone (drives OPTIONAL hits)
+    contact_probability: float = 0.7
+    #: probability a professor lists a research interest
+    research_interest_probability: float = 0.4
+    #: fraction of graduate students that are teaching assistants
+    ta_fraction: float = 0.25
+    #: probability a TA assists a course taught by their own advisor —
+    #: this closes the Q1/Q4/Q5 triangles
+    ta_advisor_course_probability: float = 0.4
+    seed: int = 42
+
+
+class _DeptData:
+    """Per-department entity registers used while wiring relations."""
+
+    def __init__(self) -> None:
+        self.professors: list[URI] = []
+        self.full_professors: list[URI] = []
+        self.courses: list[URI] = []
+        self.grad_courses: list[URI] = []
+        self.teacher_of: dict[URI, list[URI]] = {}
+
+
+def generate_lubm(config: LUBMConfig | None = None) -> Graph:
+    """Generate a mini-LUBM graph."""
+    config = config if config is not None else LUBMConfig()
+    rng = random.Random(config.seed)
+    graph = Graph()
+    universities = [URI(f"http://www.University{u}.edu")
+                    for u in range(config.universities)]
+    for university in universities:
+        graph.add(Triple(university, RDF.type, UB.University))
+
+    for u_index, university in enumerate(universities):
+        departments = rng.randint(config.departments_min,
+                                  config.departments_max)
+        for d_index in range(departments):
+            _generate_department(graph, rng, config, universities,
+                                 university, u_index, d_index)
+    return graph
+
+
+def _generate_department(graph: Graph, rng: random.Random,
+                         config: LUBMConfig, universities: list[URI],
+                         university: URI, u_index: int,
+                         d_index: int) -> None:
+    base = f"http://www.Department{d_index}.University{u_index}.edu"
+    department = URI(base)
+    graph.add(Triple(department, RDF.type, UB.Department))
+    graph.add(Triple(department, UB.subOrganizationOf, university))
+    graph.add(Triple(department, UB.name,
+                     Literal(f"Department{d_index}")))
+
+    dept = _DeptData()
+    ranks = (("FullProfessor", config.full_professors),
+             ("AssociateProfessor", config.associate_professors),
+             ("AssistantProfessor", config.assistant_professors),
+             ("Lecturer", config.lecturers))
+    course_counter = [0]
+    for rank, (low, high) in ranks:
+        for f_index in range(rng.randint(low, high)):
+            _generate_faculty(graph, rng, config, universities, base,
+                              department, dept, rank, f_index,
+                              course_counter)
+
+    head = rng.choice(dept.full_professors)
+    graph.add(Triple(head, UB.headOf, department))
+
+    faculty_count = len(dept.professors)
+    undergrads = _generate_undergrads(
+        graph, rng, config, base, department, dept,
+        int(faculty_count * config.undergrad_per_faculty))
+    grads = _generate_grads(graph, rng, config, universities, base,
+                            department, dept,
+                            int(faculty_count * config.grad_per_faculty))
+    _generate_publications(graph, rng, config, base, dept, grads)
+    del undergrads  # only referenced through the graph
+
+
+def _person_uri(base: str, kind: str, index: int) -> URI:
+    return URI(f"{base}/{kind}{index}")
+
+
+def _add_contact(graph: Graph, rng: random.Random, config: LUBMConfig,
+                 person: URI, name: str) -> None:
+    graph.add(Triple(person, UB.name, Literal(name)))
+    if rng.random() < config.contact_probability:
+        graph.add(Triple(person, UB.emailAddress,
+                         Literal(f"{name}@example.edu")))
+        graph.add(Triple(person, UB.telephone,
+                         Literal(f"+1-555-{rng.randint(1000, 9999)}")))
+
+
+def _generate_faculty(graph: Graph, rng: random.Random, config: LUBMConfig,
+                      universities: list[URI], base: str, department: URI,
+                      dept: _DeptData, rank: str, f_index: int,
+                      course_counter: list[int]) -> None:
+    person = _person_uri(base, rank, f_index)
+    graph.add(Triple(person, RDF.type, UB[rank]))
+    graph.add(Triple(person, UB.worksFor, department))
+    _add_contact(graph, rng, config, person, f"{rank}{f_index}")
+    graph.add(Triple(person, UB.undergraduateDegreeFrom,
+                     rng.choice(universities)))
+    graph.add(Triple(person, UB.mastersDegreeFrom,
+                     rng.choice(universities)))
+    graph.add(Triple(person, UB.doctoralDegreeFrom,
+                     rng.choice(universities)))
+    if rng.random() < config.research_interest_probability:
+        graph.add(Triple(person, UB.researchInterest,
+                         Literal(f"Research{rng.randint(0, 30)}")))
+
+    dept.professors.append(person)
+    if rank == "FullProfessor":
+        dept.full_professors.append(person)
+    dept.teacher_of[person] = []
+    for _ in range(rng.randint(*config.courses_per_faculty)):
+        number = course_counter[0]
+        course_counter[0] += 1
+        graduate = rng.random() < 0.4
+        kind = "GraduateCourse" if graduate else "Course"
+        course = URI(f"{base}/{kind}{number}")
+        graph.add(Triple(course, RDF.type, UB[kind]))
+        graph.add(Triple(person, UB.teacherOf, course))
+        dept.courses.append(course)
+        if graduate:
+            dept.grad_courses.append(course)
+        dept.teacher_of[person].append(course)
+
+
+def _generate_undergrads(graph: Graph, rng: random.Random,
+                         config: LUBMConfig, base: str, department: URI,
+                         dept: _DeptData, count: int) -> list[URI]:
+    students = []
+    for index in range(count):
+        student = _person_uri(base, "UndergraduateStudent", index)
+        graph.add(Triple(student, RDF.type, UB.UndergraduateStudent))
+        graph.add(Triple(student, UB.memberOf, department))
+        _add_contact(graph, rng, config, student,
+                     f"UndergraduateStudent{index}")
+        for course in rng.sample(dept.courses,
+                                 min(len(dept.courses),
+                                     rng.randint(2, 4))):
+            graph.add(Triple(student, UB.takesCourse, course))
+        if rng.random() < 0.2:
+            graph.add(Triple(student, UB.advisor,
+                             rng.choice(dept.professors)))
+        students.append(student)
+    return students
+
+
+def _generate_grads(graph: Graph, rng: random.Random, config: LUBMConfig,
+                    universities: list[URI], base: str, department: URI,
+                    dept: _DeptData, count: int) -> list[URI]:
+    students = []
+    for index in range(count):
+        student = _person_uri(base, "GraduateStudent", index)
+        graph.add(Triple(student, RDF.type, UB.GraduateStudent))
+        graph.add(Triple(student, UB.memberOf, department))
+        _add_contact(graph, rng, config, student,
+                     f"GraduateStudent{index}")
+        graph.add(Triple(student, UB.undergraduateDegreeFrom,
+                         rng.choice(universities)))
+        advisor = rng.choice(dept.professors)
+        graph.add(Triple(student, UB.advisor, advisor))
+        courses = rng.sample(dept.grad_courses,
+                             min(len(dept.grad_courses),
+                                 rng.randint(1, 3)))
+        # make sure some students take a course taught by their advisor,
+        # closing the ?st -- ?course -- ?prof triangles of Q1/Q4/Q5
+        advisor_courses = dept.teacher_of.get(advisor, [])
+        if advisor_courses and rng.random() < 0.5:
+            courses.append(rng.choice(advisor_courses))
+        for course in set(courses):
+            graph.add(Triple(student, UB.takesCourse, course))
+        if rng.random() < config.ta_fraction:
+            pool = dept.courses
+            if (advisor_courses
+                    and rng.random() < config.ta_advisor_course_probability):
+                pool = advisor_courses
+            graph.add(Triple(student, UB.teachingAssistantOf,
+                             rng.choice(pool)))
+        students.append(student)
+    return students
+
+
+def _generate_publications(graph: Graph, rng: random.Random,
+                           config: LUBMConfig, base: str, dept: _DeptData,
+                           grads: list[URI]) -> None:
+    counter = 0
+    for professor in dept.professors:
+        for _ in range(rng.randint(*config.publications_per_professor)):
+            publication = URI(f"{base}/Publication{counter}")
+            counter += 1
+            graph.add(Triple(publication, RDF.type, UB.Publication))
+            graph.add(Triple(publication, UB.publicationAuthor, professor))
+            if grads and rng.random() < 0.5:
+                graph.add(Triple(publication, UB.publicationAuthor,
+                                 rng.choice(grads)))
+
+
+#: A department URI that every generated dataset contains, used by the
+#: selective queries Q4–Q6 of Appendix E.1.
+DEPARTMENT0 = URI("http://www.Department0.University0.edu")

@@ -1,0 +1,258 @@
+"""The paper's evaluation queries (Appendix E), over the generators.
+
+The texts follow Appendix E.1–E.3 with the PDF's obvious typos
+normalised (stray braces, ``uni:Simple Sequence`` → ``Simple_Sequence``)
+and the fixed entity URIs of the selective LUBM queries pointed at
+entities every generated dataset contains (``Department1.University0``
+etc. — the original queries name departments of the LUBM(10000) run).
+
+Each suite is an ordered ``{"Q1": sparql, ...}`` mapping so the
+benchmark tables iterate in the paper's order.
+"""
+
+from __future__ import annotations
+
+_LUBM_PREFIX = ("PREFIX ub: "
+                "<http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+                "PREFIX rdf: "
+                "<http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n")
+
+LUBM_QUERIES: dict[str, str] = {
+    # E.1 Q1 — cyclic (?st/?course/?prof triangle), one jvar per slave
+    "Q1": _LUBM_PREFIX + """
+SELECT * WHERE {
+  { ?st ub:teachingAssistantOf ?course .
+    OPTIONAL { ?st ub:takesCourse ?course2 .
+               ?pub1 ub:publicationAuthor ?st . } }
+  { ?prof ub:teacherOf ?course .
+    ?st ub:advisor ?prof .
+    OPTIONAL { ?prof ub:researchInterest ?resint .
+               ?pub2 ub:publicationAuthor ?prof . } }
+}""",
+    # E.1 Q2 — cyclic (?st/?univ/?dept), one jvar per slave
+    "Q2": _LUBM_PREFIX + """
+SELECT * WHERE {
+  { ?pub rdf:type ub:Publication .
+    ?pub ub:publicationAuthor ?st .
+    ?pub ub:publicationAuthor ?prof .
+    OPTIONAL { ?st ub:emailAddress ?ste . ?st ub:telephone ?sttel . } }
+  { ?st ub:undergraduateDegreeFrom ?univ .
+    ?dept ub:subOrganizationOf ?univ .
+    OPTIONAL { ?head ub:headOf ?dept . ?others ub:worksFor ?dept . } }
+  { ?st ub:memberOf ?dept .
+    ?prof ub:worksFor ?dept .
+    OPTIONAL { ?prof ub:doctoralDegreeFrom ?univ1 .
+               ?prof ub:researchInterest ?resint1 . } }
+}""",
+    # E.1 Q3 — cyclic, one jvar per slave
+    "Q3": _LUBM_PREFIX + """
+SELECT * WHERE {
+  { ?pub ub:publicationAuthor ?st .
+    ?pub ub:publicationAuthor ?prof .
+    ?st rdf:type ub:GraduateStudent .
+    OPTIONAL { ?st ub:undergraduateDegreeFrom ?univ1 .
+               ?st ub:telephone ?sttel . } }
+  { ?st ub:advisor ?prof .
+    OPTIONAL { ?prof ub:doctoralDegreeFrom ?univ .
+               ?prof ub:researchInterest ?resint . } }
+  { ?st ub:memberOf ?dept .
+    ?prof ub:worksFor ?dept .
+    ?prof a ub:FullProfessor .
+    OPTIONAL { ?head ub:headOf ?dept . ?others ub:worksFor ?dept . } }
+}""",
+    # E.1 Q4 — selective master; cyclic slave with >1 jvars (best-match)
+    "Q4": _LUBM_PREFIX + """
+SELECT * WHERE {
+  ?x ub:worksFor <http://www.Department1.University0.edu> .
+  ?x a ub:FullProfessor .
+  OPTIONAL { ?y ub:advisor ?x .
+             ?x ub:teacherOf ?z .
+             ?y ub:takesCourse ?z . }
+}""",
+    # E.1 Q5 — as Q4 with a different department
+    "Q5": _LUBM_PREFIX + """
+SELECT * WHERE {
+  ?x ub:worksFor <http://www.Department0.University0.edu> .
+  ?x a ub:FullProfessor .
+  OPTIONAL { ?y ub:advisor ?x .
+             ?x ub:teacherOf ?z .
+             ?y ub:takesCourse ?z . }
+}""",
+    # E.1 Q6 — selective master, acyclic OPTIONAL
+    "Q6": _LUBM_PREFIX + """
+SELECT * WHERE {
+  ?x ub:worksFor <http://www.Department0.University0.edu> .
+  ?x a ub:FullProfessor .
+  OPTIONAL { ?x ub:emailAddress ?y1 .
+             ?x ub:telephone ?y2 .
+             ?x ub:name ?y3 . }
+}""",
+}
+
+
+_UNIPROT_PREFIX = ("PREFIX uni: <http://purl.uniprot.org/core/>\n"
+                   "PREFIX schema: "
+                   "<http://www.w3.org/2000/01/rdf-schema#>\n"
+                   "PREFIX rdf: "
+                   "<http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n")
+
+UNIPROT_QUERIES: dict[str, str] = {
+    # E.2 Q1 — low selectivity star over proteins
+    "Q1": _UNIPROT_PREFIX + """
+SELECT * WHERE {
+  { ?protein rdf:type uni:Protein .
+    ?protein uni:recommendedName ?rn .
+    OPTIONAL { ?rn uni:fullName ?name . ?rn rdf:type ?rntype . } }
+  { ?protein uni:encodedBy ?gene .
+    OPTIONAL { ?gene uni:name ?gn . ?gene rdf:type ?gtype . } }
+  { ?protein uni:sequence ?seq . ?seq a ?stype . }
+}""",
+    # E.2 Q2 — empty: statements never carry uni:encodedBy
+    "Q2": _UNIPROT_PREFIX + """
+SELECT * WHERE {
+  { ?a rdf:subject ?b .
+    ?a uni:encodedBy ?vo .
+    OPTIONAL { ?a schema:seeAlso ?x . } }
+  { ?b a uni:Protein .
+    ?b uni:sequence ?z .
+    OPTIONAL { ?b uni:replaces ?c . } }
+  { ?z a uni:Simple_Sequence .
+    OPTIONAL { ?z uni:version ?v . } }
+}""",
+    # E.2 Q3 — human proteins with disease annotations
+    "Q3": _UNIPROT_PREFIX + """
+SELECT * WHERE {
+  { ?protein rdf:type uni:Protein .
+    ?protein uni:organism <http://purl.uniprot.org/taxonomy/9606> .
+    OPTIONAL { ?protein uni:encodedBy ?gene . ?gene uni:name ?gname . } }
+  { ?protein uni:annotation ?an .
+    OPTIONAL { ?an rdf:type uni:Disease_Annotation .
+               ?an schema:comment ?text . } }
+}""",
+    # E.2 Q4 — one semi-join empties the slave (genes have no context)
+    "Q4": _UNIPROT_PREFIX + """
+SELECT * WHERE {
+  ?s uni:encodedBy ?seq .
+  OPTIONAL { ?seq uni:context ?m . ?m schema:label ?b . }
+}""",
+    # E.2 Q5 — selective uni:modified date
+    "Q5": _UNIPROT_PREFIX + """
+SELECT * WHERE {
+  { ?a uni:replaces ?b .
+    OPTIONAL { ?a uni:encodedBy ?gene .
+               ?gene uni:name ?name .
+               ?gene rdf:type uni:Gene . } }
+  { ?b rdf:type uni:Protein .
+    ?b uni:modified "2008-01-15" .
+    OPTIONAL { ?b uni:sequence ?seq . ?seq uni:memberOf ?m . } }
+}""",
+    # E.2 Q6 — human proteins with natural-variant annotations
+    "Q6": _UNIPROT_PREFIX + """
+SELECT * WHERE {
+  { ?protein a uni:Protein .
+    ?protein uni:organism <http://purl.uniprot.org/taxonomy/9606> .
+    OPTIONAL { ?protein uni:annotation ?an .
+               ?an a uni:Natural_Variant_Annotation .
+               ?an schema:comment ?text . } }
+  { ?protein uni:sequence ?seq . ?seq rdf:value ?val . }
+}""",
+    # E.2 Q7 — transmembrane annotations with ranges
+    "Q7": _UNIPROT_PREFIX + """
+SELECT * WHERE {
+  ?protein a uni:Protein .
+  ?protein uni:annotation ?an .
+  ?an a uni:Transmembrane_Annotation .
+  OPTIONAL { ?an uni:range ?range .
+             ?range uni:begin ?begin .
+             ?range uni:end ?end . }
+}""",
+}
+
+
+_DBPEDIA_PREFIX = (
+    "PREFIX dbpedia: <http://dbpedia.org/resource/>\n"
+    "PREFIX dbpowl: <http://dbpedia.org/ontology/>\n"
+    "PREFIX dbpprop: <http://dbpedia.org/property/>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+    "PREFIX geo: <http://www.w3.org/2003/01/geo/wgs84_pos#>\n"
+    "PREFIX skos: <http://www.w3.org/2004/02/skos/core#>\n"
+    "PREFIX georss: <http://www.georss.org/georss/>\n")
+
+DBPEDIA_QUERIES: dict[str, str] = {
+    # E.3 Q1 — populated places with four optional attributes
+    "Q1": _DBPEDIA_PREFIX + """
+SELECT * WHERE {
+  { ?v6 a dbpowl:PopulatedPlace .
+    ?v6 dbpowl:abstract ?v1 .
+    ?v6 rdfs:label ?v2 .
+    ?v6 geo:lat ?v3 .
+    ?v6 geo:long ?v4 .
+    OPTIONAL { ?v6 foaf:depiction ?v8 . } }
+  OPTIONAL { ?v6 foaf:homepage ?v10 . }
+  OPTIONAL { ?v6 dbpowl:populationTotal ?v12 . }
+  OPTIONAL { ?v6 dbpowl:thumbnail ?v14 . }
+}""",
+    # E.3 Q2 — empty: dbpprop:clubs values have no capacity
+    "Q2": _DBPEDIA_PREFIX + """
+SELECT * WHERE {
+  ?v3 foaf:page ?v0 .
+  ?v3 a dbpowl:SoccerPlayer .
+  ?v3 dbpprop:position ?v6 .
+  ?v3 dbpprop:clubs ?v8 .
+  ?v8 dbpowl:capacity ?v1 .
+  ?v3 dbpowl:birthPlace ?v5 .
+  OPTIONAL { ?v3 dbpowl:number ?v9 . }
+}""",
+    # E.3 Q3 — empty: persons have no foaf:page
+    "Q3": _DBPEDIA_PREFIX + """
+SELECT * WHERE {
+  ?v5 dbpowl:thumbnail ?v4 .
+  ?v5 rdf:type dbpowl:Person .
+  ?v5 rdfs:label ?v .
+  ?v5 foaf:page ?v8 .
+  OPTIONAL { ?v5 foaf:homepage ?v10 . }
+}""",
+    # E.3 Q4 — settlements with airports
+    "Q4": _DBPEDIA_PREFIX + """
+SELECT * WHERE {
+  { ?v2 a dbpowl:Settlement .
+    ?v2 rdfs:label ?v .
+    ?v6 a dbpowl:Airport .
+    ?v6 dbpowl:city ?v2 .
+    ?v6 dbpprop:iata ?v5 .
+    OPTIONAL { ?v6 foaf:homepage ?v7 . } }
+  OPTIONAL { ?v6 dbpprop:nativename ?v8 . }
+}""",
+    # E.3 Q5 — categorised entities with names
+    "Q5": _DBPEDIA_PREFIX + """
+SELECT * WHERE {
+  ?v4 skos:subject ?v .
+  ?v4 foaf:name ?v6 .
+  OPTIONAL { ?v4 rdfs:comment ?v8 . }
+}""",
+    # E.3 Q6 — eight OPTIONAL patterns over companies
+    "Q6": _DBPEDIA_PREFIX + """
+SELECT * WHERE {
+  ?v0 rdfs:comment ?v1 .
+  ?v0 foaf:page ?v .
+  OPTIONAL { ?v0 skos:subject ?v6 . }
+  OPTIONAL { ?v0 dbpprop:industry ?v5 . }
+  OPTIONAL { ?v0 dbpprop:location ?v2 . }
+  OPTIONAL { ?v0 dbpprop:locationCountry ?v3 . }
+  OPTIONAL { ?v0 dbpprop:locationCity ?v9 .
+             ?a dbpprop:manufacturer ?v0 . }
+  OPTIONAL { ?v0 dbpprop:products ?v11 .
+             ?b dbpprop:model ?v0 . }
+  OPTIONAL { ?v0 georss:point ?v10 . }
+  OPTIONAL { ?v0 rdf:type ?v7 . }
+}""",
+}
+
+#: every suite, keyed as in the paper's tables
+ALL_SUITES: dict[str, dict[str, str]] = {
+    "LUBM": LUBM_QUERIES,
+    "UniProt": UNIPROT_QUERIES,
+    "DBPedia": DBPEDIA_QUERIES,
+}

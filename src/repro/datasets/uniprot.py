@@ -1,0 +1,184 @@
+"""Synthetic UniProt-like protein graph (§6.1, Appendix E.2).
+
+Models the slice of the UniProt core vocabulary the paper's seven
+queries touch: proteins with organisms, recommended names, encoding
+genes, sequences, typed annotations (disease / transmembrane / natural
+variant), replacement history, reified statements, and cross
+references.  Incompleteness rates are tuned so the Table 6.3 shapes
+hold:
+
+* Q1–Q4 touch most of the data (low selectivity) — LBR's pruning
+  should pay off;
+* Q2 is empty: reified statements (``rdf:subject``) never carry
+  ``uni:encodedBy``, so active pruning detects the empty result at
+  init, as the paper reports;
+* Q4's slave is emptied by one semi-join: genes never have
+  ``uni:context`` (sequences do), so every result row is NULL-padded;
+* Q5 hinges on the highly selective ``uni:modified "2008-01-15"``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import Namespace, RDF, RDFS
+from ..rdf.terms import Literal, Triple, URI
+
+UNI = Namespace("http://purl.uniprot.org/core/")
+TAXON = Namespace("http://purl.uniprot.org/taxonomy/")
+PROTEIN = Namespace("http://purl.uniprot.org/uniprot/")
+
+#: Homo sapiens — the organism the paper's Q3/Q6 select.
+HUMAN = TAXON["9606"]
+
+_MODIFIED_DATES = ["2005-07-19", "2006-03-07", "2008-01-15", "2010-10-05",
+                   "2012-11-28"]
+_ANNOTATION_KINDS = ["Disease_Annotation", "Transmembrane_Annotation",
+                     "Natural_Variant_Annotation", "Function_Annotation"]
+
+
+@dataclass
+class UniProtConfig:
+    """Scale knobs for the synthetic protein graph."""
+
+    proteins: int = 2000
+    organisms: int = 12
+    human_fraction: float = 0.25
+    # Master TPs are individually unselective but their conjunction is
+    # not (≈12% of proteins satisfy Q1's three blocks together): that is
+    # the low-selectivity regime where pruning pays (§6.2).
+    recommended_name_probability: float = 0.45
+    full_name_probability: float = 0.75
+    encoded_by_probability: float = 0.5
+    gene_name_probability: float = 0.8
+    gene_typed_probability: float = 0.7
+    sequence_probability: float = 0.55
+    sequence_version_probability: float = 0.5
+    sequence_member_probability: float = 0.4
+    sequence_context_probability: float = 0.35
+    annotations_max: int = 4
+    annotation_comment_probability: float = 0.9
+    annotation_range_probability: float = 0.8
+    replaces_probability: float = 0.05
+    see_also_probability: float = 0.4
+    statement_fraction: float = 0.2
+    #: probability a protein's uni:modified is exactly "2008-01-15"
+    modified_2008_probability: float = 0.04
+    seed: int = 7
+
+
+def generate_uniprot(config: UniProtConfig | None = None) -> Graph:
+    """Generate the synthetic protein graph."""
+    config = config if config is not None else UniProtConfig()
+    rng = random.Random(config.seed)
+    graph = Graph()
+    organisms = [HUMAN] + [TAXON[str(10000 + i)]
+                           for i in range(config.organisms - 1)]
+    proteins = [PROTEIN[f"P{index:05d}"]
+                for index in range(config.proteins)]
+
+    for index, protein in enumerate(proteins):
+        _generate_protein(graph, rng, config, organisms, proteins,
+                          protein, index)
+
+    # reified statements: rdf:subject points at proteins, and these
+    # statement nodes never carry uni:encodedBy — Q2 is provably empty
+    statement_count = int(config.proteins * config.statement_fraction)
+    for index in range(statement_count):
+        statement = URI(f"http://purl.uniprot.org/statement/S{index}")
+        subject = rng.choice(proteins)
+        graph.add(Triple(statement, RDF.subject, subject))
+        graph.add(Triple(statement, RDF.predicate, UNI.annotation))
+        graph.add(Triple(statement, RDF.object,
+                         Literal(f"statement-{index}")))
+    return graph
+
+
+def _generate_protein(graph: Graph, rng: random.Random,
+                      config: UniProtConfig, organisms: list[URI],
+                      proteins: list[URI], protein: URI,
+                      index: int) -> None:
+    graph.add(Triple(protein, RDF.type, UNI.Protein))
+    organism = (HUMAN if rng.random() < config.human_fraction
+                else rng.choice(organisms))
+    graph.add(Triple(protein, UNI.organism, organism))
+    graph.add(Triple(protein, UNI.mnemonic, Literal(f"PROT{index}_HUMAN")))
+
+    if rng.random() < config.modified_2008_probability:
+        date = "2008-01-15"
+    else:
+        date = rng.choice(_MODIFIED_DATES)
+    graph.add(Triple(protein, UNI.modified, Literal(date)))
+
+    if rng.random() < config.recommended_name_probability:
+        name_node = URI(f"{protein}#name")
+        graph.add(Triple(protein, UNI.recommendedName, name_node))
+        graph.add(Triple(name_node, RDF.type, UNI.Structured_Name))
+        if rng.random() < config.full_name_probability:
+            graph.add(Triple(name_node, UNI.fullName,
+                             Literal(f"Protein {index} full name")))
+
+    if rng.random() < config.encoded_by_probability:
+        gene = URI(f"http://purl.uniprot.org/gene/G{index}")
+        graph.add(Triple(protein, UNI.encodedBy, gene))
+        if rng.random() < config.gene_name_probability:
+            graph.add(Triple(gene, UNI.name, Literal(f"GENE{index}")))
+        if rng.random() < config.gene_typed_probability:
+            graph.add(Triple(gene, RDF.type, UNI.Gene))
+
+    if rng.random() < config.sequence_probability:
+        sequence = URI(f"http://purl.uniprot.org/isoform/Q{index}")
+        graph.add(Triple(protein, UNI.sequence, sequence))
+        simple = rng.random() < 0.7
+        kind = UNI.Simple_Sequence if simple else UNI.Modified_Sequence
+        graph.add(Triple(sequence, RDF.type, kind))
+        graph.add(Triple(sequence, RDF.value,
+                         Literal("".join(rng.choices("ACDEFGHIKLMNPQRSTVWY",
+                                                     k=24)))))
+        if rng.random() < config.sequence_version_probability:
+            graph.add(Triple(sequence, UNI.version,
+                             Literal(str(rng.randint(1, 9)))))
+        if rng.random() < config.sequence_member_probability:
+            cluster = URI(f"http://purl.uniprot.org/uniref/C{index % 50}")
+            graph.add(Triple(sequence, UNI.memberOf, cluster))
+        if rng.random() < config.sequence_context_probability:
+            # uni:context lives on sequences, never on genes: the Q4
+            # slave prunes to empty through one master-slave semi-join
+            context = URI(f"http://purl.uniprot.org/context/X{index}")
+            graph.add(Triple(sequence, UNI.context, context))
+            graph.add(Triple(context, RDFS.label,
+                             Literal(f"context {index}")))
+
+    for a_index in range(rng.randint(0, config.annotations_max)):
+        _generate_annotation(graph, rng, config, protein, index, a_index)
+
+    if rng.random() < config.replaces_probability and index > 0:
+        replaced = proteins[rng.randrange(0, index)]
+        graph.add(Triple(protein, UNI.replaces, replaced))
+
+    if rng.random() < config.see_also_probability:
+        graph.add(Triple(protein, RDFS.seeAlso,
+                         URI(f"http://purl.uniprot.org/pdb/{index:04X}")))
+
+
+def _generate_annotation(graph: Graph, rng: random.Random,
+                         config: UniProtConfig, protein: URI, index: int,
+                         a_index: int) -> None:
+    annotation = URI(f"{protein}#annotation{a_index}")
+    kind = rng.choice(_ANNOTATION_KINDS)
+    graph.add(Triple(protein, UNI.annotation, annotation))
+    graph.add(Triple(annotation, RDF.type, UNI[kind]))
+    if kind == "Transmembrane_Annotation":
+        if rng.random() < config.annotation_range_probability:
+            range_node = URI(f"{protein}#range{a_index}")
+            begin = rng.randint(1, 400)
+            graph.add(Triple(annotation, UNI.range, range_node))
+            graph.add(Triple(range_node, UNI.begin, Literal(str(begin))))
+            graph.add(Triple(range_node, UNI.end,
+                             Literal(str(begin + rng.randint(15, 30)))))
+        return
+    if rng.random() < config.annotation_comment_probability:
+        graph.add(Triple(annotation, RDFS.comment,
+                         Literal(f"{kind} comment for protein {index}")))

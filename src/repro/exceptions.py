@@ -1,0 +1,51 @@
+"""Exception hierarchy for the LBR reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """Raised when SPARQL or N-Triples text cannot be parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token
+    when they are known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class UnsupportedQueryError(ReproError):
+    """Raised when a query is outside the supported SPARQL fragment.
+
+    LBR (the paper's engine) does not support joins on the predicate
+    position, all-variable triple patterns, or Cartesian products; the
+    naive oracle engine supports a wider fragment.
+    """
+
+
+class NotWellDesignedError(ReproError):
+    """Raised when a well-designed query is required but not provided."""
+
+
+class DictionaryError(ReproError):
+    """Raised on inconsistent use of the term dictionary."""
+
+
+class StorageError(ReproError):
+    """Raised when a BitMat store cannot be built, saved, or loaded."""

@@ -1,0 +1,16 @@
+"""RDF substrate: terms, dictionary encoding, triple store, N-Triples I/O."""
+
+from .dictionary import Dictionary, IdTriple
+from .graph import Graph
+from .namespace import (DEFAULT_PREFIXES, FOAF, GEO, GEORSS, OWL, RDF, RDFS,
+                        SKOS, XSD, Namespace)
+from .terms import (NULL, BNode, Literal, PatternTerm, Term, Triple, URI,
+                    Variable, is_ground, is_variable)
+from . import ntriples
+
+__all__ = [
+    "BNode", "DEFAULT_PREFIXES", "Dictionary", "FOAF", "GEO", "GEORSS",
+    "Graph", "IdTriple", "Literal", "NULL", "Namespace", "OWL",
+    "PatternTerm", "RDF", "RDFS", "SKOS", "Term", "Triple", "URI",
+    "Variable", "XSD", "is_ground", "is_variable", "ntriples",
+]

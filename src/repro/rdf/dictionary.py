@@ -1,0 +1,221 @@
+"""Dictionary encoding of RDF terms with shared subject/object ids.
+
+Implements the mapping of Appendix D of the paper: if ``Vs``, ``Vp``,
+``Vo`` are the distinct subject, predicate, and object values of a
+dataset and ``Vso = Vs ∩ Vo``, then
+
+* ``Vso``       → ids ``1 .. |Vso|``          (same id on both dimensions),
+* ``Vs − Vso``  → ids ``|Vso|+1 .. |Vs|``     (subject dimension),
+* ``Vo − Vso``  → ids ``|Vso|+1 .. |Vo|``     (object dimension),
+* ``Vp``        → ids ``1 .. |Vp|``           (predicate dimension).
+
+The common assignment of ``Vso`` is what makes S-O joins a plain integer
+equality between a subject id and an object id.  Ids are 1-based as in
+the paper; id ``0`` is never assigned.
+
+The dictionary is deterministic: terms are assigned ids in sorted order,
+so the same dataset always produces the same encoding (important for
+reproducible benchmarks and for on-disk index compatibility).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..exceptions import DictionaryError
+from .terms import Literal, Term, Triple
+
+#: Encoded triple: (subject id, predicate id, object id).
+IdTriple = tuple[int, int, int]
+
+
+def _sort_key(term: Term) -> tuple[int, str, str, str]:
+    """Stable total order over heterogeneous terms.
+
+    Groups by type first so URIs, blank nodes, and literals never compare
+    by string content across types, then orders literals by value,
+    datatype, and language.
+    """
+    datatype = getattr(term, "datatype", None) or ""
+    language = getattr(term, "language", None) or ""
+    type_rank = 0 if not isinstance(term, Literal) else 1
+    return (type_rank, str(term), datatype, language)
+
+
+class Dictionary:
+    """Bidirectional term ↔ integer-id mapping with shared S/O ids."""
+
+    def __init__(self) -> None:
+        self._s_ids: dict[Term, int] = {}
+        self._o_ids: dict[Term, int] = {}
+        self._p_ids: dict[Term, int] = {}
+        self._s_terms: list[Term | None] = [None]  # index 0 unused
+        self._o_terms: list[Term | None] = [None]
+        self._p_terms: list[Term | None] = [None]
+        self._num_so = 0  # |Vso|
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple]) -> "Dictionary":
+        """Build a dictionary covering every term of *triples*."""
+        subjects: set[Term] = set()
+        predicates: set[Term] = set()
+        objects: set[Term] = set()
+        for s, p, o in triples:
+            subjects.add(s)
+            predicates.add(p)
+            objects.add(o)
+        return cls.from_term_sets(subjects, predicates, objects)
+
+    @classmethod
+    def from_term_sets(cls, subjects: set[Term], predicates: set[Term],
+                       objects: set[Term]) -> "Dictionary":
+        """Build a dictionary from explicit S/P/O term sets."""
+        dictionary = cls()
+        shared = subjects & objects
+        for term in sorted(shared, key=_sort_key):
+            dictionary._add_shared(term)
+        for term in sorted(subjects - shared, key=_sort_key):
+            dictionary._add_subject_only(term)
+        for term in sorted(objects - shared, key=_sort_key):
+            dictionary._add_object_only(term)
+        for term in sorted(predicates, key=_sort_key):
+            dictionary._add_predicate(term)
+        return dictionary
+
+    def _add_shared(self, term: Term) -> None:
+        next_id = len(self._s_terms)
+        if next_id != len(self._o_terms):
+            raise DictionaryError("shared terms must be added first")
+        self._s_ids[term] = next_id
+        self._o_ids[term] = next_id
+        self._s_terms.append(term)
+        self._o_terms.append(term)
+        self._num_so = next_id
+
+    def _add_subject_only(self, term: Term) -> None:
+        self._s_ids[term] = len(self._s_terms)
+        self._s_terms.append(term)
+
+    def _add_object_only(self, term: Term) -> None:
+        self._o_ids[term] = len(self._o_terms)
+        self._o_terms.append(term)
+
+    def _add_predicate(self, term: Term) -> None:
+        self._p_ids[term] = len(self._p_terms)
+        self._p_terms.append(term)
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+
+    @property
+    def num_subjects(self) -> int:
+        """|Vs| — highest subject id."""
+        return len(self._s_terms) - 1
+
+    @property
+    def num_objects(self) -> int:
+        """|Vo| — highest object id."""
+        return len(self._o_terms) - 1
+
+    @property
+    def num_predicates(self) -> int:
+        """|Vp| — highest predicate id."""
+        return len(self._p_terms) - 1
+
+    @property
+    def num_shared(self) -> int:
+        """|Vso| — ids ``1..num_shared`` mean the same term on S and O."""
+        return self._num_so
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    def subject_id(self, term: Term) -> int | None:
+        """Subject-dimension id of *term*, or None if it never appears as S."""
+        return self._s_ids.get(term)
+
+    def object_id(self, term: Term) -> int | None:
+        """Object-dimension id of *term*, or None if it never appears as O."""
+        return self._o_ids.get(term)
+
+    def predicate_id(self, term: Term) -> int | None:
+        """Predicate-dimension id of *term*, or None."""
+        return self._p_ids.get(term)
+
+    def encode_triple(self, triple: Triple) -> IdTriple:
+        """Encode a ground triple; raises if any term is unknown."""
+        sid = self._s_ids.get(triple.s)
+        pid = self._p_ids.get(triple.p)
+        oid = self._o_ids.get(triple.o)
+        if sid is None or pid is None or oid is None:
+            raise DictionaryError(f"triple contains unknown terms: {triple}")
+        return (sid, pid, oid)
+
+    def encode_triples(self, triples: Iterable[Triple]) -> Iterator[IdTriple]:
+        """Encode many triples (see :meth:`encode_triple`)."""
+        for triple in triples:
+            yield self.encode_triple(triple)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+
+    def subject_term(self, sid: int) -> Term:
+        """Term for a subject-dimension id."""
+        try:
+            term = self._s_terms[sid]
+        except IndexError:
+            term = None
+        if sid <= 0 or term is None:
+            raise DictionaryError(f"unknown subject id {sid}")
+        return term
+
+    def object_term(self, oid: int) -> Term:
+        """Term for an object-dimension id."""
+        try:
+            term = self._o_terms[oid]
+        except IndexError:
+            term = None
+        if oid <= 0 or term is None:
+            raise DictionaryError(f"unknown object id {oid}")
+        return term
+
+    def predicate_term(self, pid: int) -> Term:
+        """Term for a predicate-dimension id."""
+        try:
+            term = self._p_terms[pid]
+        except IndexError:
+            term = None
+        if pid <= 0 or term is None:
+            raise DictionaryError(f"unknown predicate id {pid}")
+        return term
+
+    def decode_triple(self, id_triple: IdTriple) -> Triple:
+        """Inverse of :meth:`encode_triple`."""
+        sid, pid, oid = id_triple
+        return Triple(self.subject_term(sid), self.predicate_term(pid),
+                      self.object_term(oid))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def is_shared_id(self, term_id: int) -> bool:
+        """True when *term_id* denotes the same term on S and O dims."""
+        return 1 <= term_id <= self._num_so
+
+    def __len__(self) -> int:
+        """Number of distinct terms across all three dimensions."""
+        distinct_so = (self.num_subjects + self.num_objects - self.num_shared)
+        return distinct_so + self.num_predicates
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Dictionary(|Vs|={self.num_subjects}, |Vp|="
+                f"{self.num_predicates}, |Vo|={self.num_objects}, "
+                f"|Vso|={self.num_shared})")

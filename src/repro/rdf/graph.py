@@ -1,0 +1,169 @@
+"""In-memory RDF triple store with pattern-matching indexes.
+
+:class:`Graph` is the substrate every engine in this repository reads
+from: the naive oracle and the columnstore baseline query it directly,
+and :class:`~repro.bitmat.store.BitMatStore` builds its compressed
+indexes from it.
+
+The store keeps three permutation indexes (SPO, POS, OSP as nested
+dictionaries) so that any triple pattern with at least one ground term
+is answered without a full scan — the textbook design the paper's
+comparators (Virtuoso/MonetDB predicate tables) share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .terms import Term, Triple
+
+
+class Graph:
+    """A set of RDF triples with S/P/O lookup indexes."""
+
+    def __init__(self, triples: Iterable[Triple] | None = None) -> None:
+        self._triples: set[Triple] = set()
+        # index[s][p] -> set of o, and the two rotations
+        self._spo: dict[Term, dict[Term, set[Term]]] = {}
+        self._pos: dict[Term, dict[Term, set[Term]]] = {}
+        self._osp: dict[Term, dict[Term, set[Term]]] = {}
+        if triples is not None:
+            for triple in triples:
+                self.add(triple)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, triple: Triple | tuple[Term, Term, Term]) -> bool:
+        """Add a triple; returns False when it was already present."""
+        if not isinstance(triple, Triple):
+            triple = Triple(*triple)
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        s, p, o = triple
+        self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        return True
+
+    def add_all(self, triples: Iterable[Triple | tuple]) -> int:
+        """Add many triples; returns how many were new."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    def discard(self, triple: Triple | tuple[Term, Term, Term]) -> bool:
+        """Remove a triple if present; returns True when removed."""
+        if not isinstance(triple, Triple):
+            triple = Triple(*triple)
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        s, p, o = triple
+        self._prune_index(self._spo, s, p, o)
+        self._prune_index(self._pos, p, o, s)
+        self._prune_index(self._osp, o, s, p)
+        return True
+
+    @staticmethod
+    def _prune_index(index: dict, a: Term, b: Term, c: Term) -> None:
+        level = index[a]
+        level[b].discard(c)
+        if not level[b]:
+            del level[b]
+        if not level:
+            del index[a]
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def __contains__(self, triple: Triple | tuple) -> bool:
+        if not isinstance(triple, Triple):
+            triple = Triple(*triple)
+        return triple in self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def match(self, s: Term | None = None, p: Term | None = None,
+              o: Term | None = None) -> Iterator[Triple]:
+        """Yield triples matching the pattern; ``None`` is a wildcard."""
+        if s is not None and p is not None and o is not None:
+            if Triple(s, p, o) in self._triples:
+                yield Triple(s, p, o)
+            return
+        if s is not None and p is not None:
+            for obj in self._spo.get(s, {}).get(p, ()):
+                yield Triple(s, p, obj)
+            return
+        if p is not None and o is not None:
+            for subj in self._pos.get(p, {}).get(o, ()):
+                yield Triple(subj, p, o)
+            return
+        if s is not None and o is not None:
+            for pred in self._osp.get(o, {}).get(s, ()):
+                yield Triple(s, pred, o)
+            return
+        if s is not None:
+            for pred, objects in self._spo.get(s, {}).items():
+                for obj in objects:
+                    yield Triple(s, pred, obj)
+            return
+        if p is not None:
+            for obj, subjects in self._pos.get(p, {}).items():
+                for subj in subjects:
+                    yield Triple(subj, p, obj)
+            return
+        if o is not None:
+            for subj, predicates in self._osp.get(o, {}).items():
+                for pred in predicates:
+                    yield Triple(subj, pred, o)
+            return
+        yield from self._triples
+
+    def count(self, s: Term | None = None, p: Term | None = None,
+              o: Term | None = None) -> int:
+        """Number of triples matching the pattern (cheap for common cases)."""
+        if s is None and p is None and o is None:
+            return len(self._triples)
+        if s is None and o is None and p is not None:
+            return sum(len(subs) for subs in self._pos.get(p, {}).values())
+        if p is None and o is None and s is not None:
+            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        if s is None and p is None and o is not None:
+            return sum(len(preds) for preds in self._osp.get(o, {}).values())
+        return sum(1 for _ in self.match(s, p, o))
+
+    # ------------------------------------------------------------------
+    # dimension statistics (Table 6.1 metrics)
+    # ------------------------------------------------------------------
+
+    def subjects(self) -> set[Term]:
+        """Distinct subject terms."""
+        return set(self._spo)
+
+    def predicates(self) -> set[Term]:
+        """Distinct predicate terms."""
+        return set(self._pos)
+
+    def objects(self) -> set[Term]:
+        """Distinct object terms."""
+        return set(self._osp)
+
+    def predicate_counts(self) -> dict[Term, int]:
+        """Triples per predicate — the selectivity statistic engines use."""
+        return {p: sum(len(subs) for subs in by_o.values())
+                for p, by_o in self._pos.items()}
+
+    def characteristics(self) -> dict[str, int]:
+        """The four Table 6.1 columns for this graph."""
+        return {
+            "triples": len(self),
+            "subjects": len(self._spo),
+            "predicates": len(self._pos),
+            "objects": len(self._osp),
+        }

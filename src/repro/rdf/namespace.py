@@ -1,0 +1,54 @@
+"""Namespace helpers and well-known RDF vocabularies.
+
+A :class:`Namespace` builds :class:`~repro.rdf.terms.URI` terms by
+attribute or item access::
+
+    UB = Namespace("http://swat.cse.lehigh.edu/onto/univ-bench.owl#")
+    UB.takesCourse        # URI(".../univ-bench.owl#takesCourse")
+    UB["GraduateStudent"] # same idea for names that are not identifiers
+"""
+
+from __future__ import annotations
+
+from .terms import URI
+
+
+class Namespace(str):
+    """A URI prefix that mints full URIs on attribute/item access."""
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> URI:
+        if name.startswith("__"):  # keep pickling & friends working
+            raise AttributeError(name)
+        return URI(str(self) + name)
+
+    def __getitem__(self, name) -> URI:
+        return URI(str(self) + str(name))
+
+    def term(self, name: str) -> URI:
+        """Explicit spelling of attribute access."""
+        return URI(str(self) + name)
+
+
+#: Core W3C vocabularies used by the paper's queries (Appendix E).
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+SKOS = Namespace("http://www.w3.org/2004/02/skos/core#")
+GEO = Namespace("http://www.w3.org/2003/01/geo/wgs84_pos#")
+GEORSS = Namespace("http://www.georss.org/georss/")
+
+#: Prefixes preloaded by the SPARQL parser; queries may override them.
+DEFAULT_PREFIXES: dict[str, str] = {
+    "rdf": str(RDF),
+    "rdfs": str(RDFS),
+    "xsd": str(XSD),
+    "owl": str(OWL),
+    "foaf": str(FOAF),
+    "skos": str(SKOS),
+    "geo": str(GEO),
+    "georss": str(GEORSS),
+}

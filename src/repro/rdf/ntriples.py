@@ -1,0 +1,132 @@
+"""N-Triples reader/writer (W3C RDF 1.1 N-Triples, reference [8] of the paper).
+
+Supports the full term syntax needed by the datasets in this repository:
+IRIs, blank nodes, and literals with escapes, language tags, and datatype
+IRIs.  Comments (``# ...``) and blank lines are skipped.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Iterable, Iterator, TextIO
+
+from ..exceptions import ParseError
+from .graph import Graph
+from .terms import BNode, Literal, Term, Triple, URI
+
+_IRI = r"<([^<>\"{}|^`\\\x00-\x20]*)>"
+_BNODE = r"_:([A-Za-z0-9][A-Za-z0-9_.-]*)"
+_STRING = r'"((?:[^"\\\n\r]|\\.)*)"'
+_LANG = r"@([a-zA-Z]+(?:-[a-zA-Z0-9]+)*)"
+
+_SUBJECT = re.compile(rf"\s*(?:{_IRI}|{_BNODE})")
+_PREDICATE = re.compile(rf"\s*{_IRI}")
+_OBJECT = re.compile(
+    rf"\s*(?:{_IRI}|{_BNODE}|{_STRING}(?:{_LANG}|\^\^{_IRI})?)")
+_END = re.compile(r"\s*\.\s*(?:#.*)?$")
+
+_UNESCAPES = {
+    "t": "\t", "b": "\b", "n": "\n", "r": "\r", "f": "\f",
+    '"': '"', "'": "'", "\\": "\\",
+}
+
+
+def _unescape(value: str) -> str:
+    """Resolve ``\\uXXXX``/``\\UXXXXXXXX`` and single-char escapes."""
+    if "\\" not in value:
+        return value
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        code = value[i + 1]
+        if code == "u":
+            out.append(chr(int(value[i + 2:i + 6], 16)))
+            i += 6
+        elif code == "U":
+            out.append(chr(int(value[i + 2:i + 10], 16)))
+            i += 10
+        elif code in _UNESCAPES:
+            out.append(_UNESCAPES[code])
+            i += 2
+        else:
+            raise ParseError(f"invalid escape '\\{code}' in literal")
+    return "".join(out)
+
+
+def parse_line(line: str, lineno: int | None = None) -> Triple | None:
+    """Parse one N-Triples line; returns None for blank/comment lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+
+    match = _SUBJECT.match(line)
+    if not match:
+        raise ParseError("expected IRI or blank node subject", lineno)
+    subject: Term = (URI(_unescape(match.group(1)))
+                     if match.group(1) is not None
+                     else BNode(match.group(2)))
+    pos = match.end()
+
+    match = _PREDICATE.match(line, pos)
+    if not match:
+        raise ParseError("expected IRI predicate", lineno)
+    predicate = URI(_unescape(match.group(1)))
+    pos = match.end()
+
+    match = _OBJECT.match(line, pos)
+    if not match:
+        raise ParseError("expected IRI, blank node, or literal object",
+                         lineno)
+    iri, bnode, string, lang, datatype = match.groups()
+    obj: Term
+    if iri is not None:
+        obj = URI(_unescape(iri))
+    elif bnode is not None:
+        obj = BNode(bnode)
+    else:
+        obj = Literal(_unescape(string),
+                      datatype=_unescape(datatype) if datatype else None,
+                      language=lang)
+    pos = match.end()
+
+    if not _END.match(line, pos):
+        raise ParseError("expected '.' terminating the triple", lineno)
+    return Triple(subject, predicate, obj)
+
+
+def parse(source: str | TextIO) -> Iterator[Triple]:
+    """Yield triples from an N-Triples string or text stream."""
+    stream: TextIO = io.StringIO(source) if isinstance(source, str) else source
+    for lineno, line in enumerate(stream, start=1):
+        triple = parse_line(line, lineno)
+        if triple is not None:
+            yield triple
+
+
+def load(path: str, graph: Graph | None = None) -> Graph:
+    """Load an N-Triples file into *graph* (a new one by default)."""
+    graph = graph if graph is not None else Graph()
+    with open(path, encoding="utf-8") as handle:
+        graph.add_all(parse(handle))
+    return graph
+
+
+def serialize(triples: Iterable[Triple]) -> str:
+    """Serialize triples to N-Triples text (one triple per line)."""
+    return "".join(triple.n3 + "\n" for triple in triples)
+
+
+def dump(triples: Iterable[Triple], path: str) -> int:
+    """Write triples to *path*; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for triple in triples:
+            handle.write(triple.n3 + "\n")
+            count += 1
+    return count

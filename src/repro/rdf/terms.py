@@ -1,0 +1,174 @@
+"""RDF term model: URIs, literals, blank nodes, variables, and triples.
+
+RDF data is a directed edge-labeled multigraph whose edges are
+``(subject, predicate, object)`` triples (paper §1).  Terms are immutable
+and hashable so they can serve as dictionary keys throughout the engine.
+
+Unlike relational tables, RDF graphs contain no NULLs (paper §2.2); the
+:data:`NULL` sentinel below exists only in *query results*, where a
+left-outer-join may fail to bind variables of an OPTIONAL pattern.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Union
+
+
+class URI(str):
+    """An IRI reference, e.g. ``URI("http://example.org/actedIn")``.
+
+    Subclasses :class:`str` so URIs are cheap, hashable, and sortable.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{str(self)}>"
+
+    @property
+    def n3(self) -> str:
+        """N-Triples serialization of this term."""
+        return f"<{str(self)}>"
+
+
+class BNode(str):
+    """A blank node identifier, e.g. ``BNode("b0")``.
+
+    Blank nodes identify entities without distinct URIs; in queries they
+    behave like URIs (paper §2.2), which is why they share the plain-string
+    representation.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_:{str(self)}"
+
+    @property
+    def n3(self) -> str:
+        return f"_:{str(self)}"
+
+
+class Literal(str):
+    """An RDF literal.
+
+    The lexical form is the string value itself; an optional datatype URI
+    or language tag is carried alongside.  Two literals are equal when
+    their lexical form, datatype, and language all match.
+    """
+
+    __slots__ = ("datatype", "language")
+
+    def __new__(cls, value: str, datatype: str | None = None,
+                language: str | None = None):
+        obj = super().__new__(cls, value)
+        obj.datatype = datatype
+        obj.language = language
+        return obj
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Literal):
+            return (str(self) == str(other)
+                    and self.datatype == other.datatype
+                    and self.language == other.language)
+        if isinstance(other, str) and not isinstance(other, (URI, BNode)):
+            return str(self) == other and not self.datatype and not self.language
+        return False
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash((str(self), self.datatype, self.language))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.n3
+
+    @property
+    def n3(self) -> str:
+        escaped = (str(self).replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\r", "\\r")
+                   .replace("\t", "\\t"))
+        base = f'"{escaped}"'
+        if self.language:
+            return f"{base}@{self.language}"
+        if self.datatype:
+            return f"{base}^^<{self.datatype}>"
+        return base
+
+
+class Variable(str):
+    """A SPARQL variable, stored without the leading ``?``/``$``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"?{str(self)}"
+
+    @property
+    def n3(self) -> str:
+        return f"?{str(self)}"
+
+
+#: Terms that may appear in RDF data (not in queries).
+Term = Union[URI, BNode, Literal]
+
+#: Terms that may appear in a triple pattern.
+PatternTerm = Union[URI, BNode, Literal, Variable]
+
+
+class _Null:
+    """Singleton marker for an unbound variable in a query result row.
+
+    Produced only by left-outer-joins; compares unequal to every term and
+    to itself being falsy makes ``if binding:`` read naturally.
+    """
+
+    _instance: "_Null | None" = None
+
+    def __new__(cls) -> "_Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):  # keep singleton identity across pickling
+        return (_Null, ())
+
+
+#: The unique NULL sentinel used in result rows.
+NULL = _Null()
+
+
+class Triple(NamedTuple):
+    """An RDF triple ``(s, p, o)``."""
+
+    s: Term
+    p: Term
+    o: Term
+
+    @property
+    def n3(self) -> str:
+        return f"{_term_n3(self.s)} {_term_n3(self.p)} {_term_n3(self.o)} ."
+
+
+def _term_n3(term: Term) -> str:
+    """N-Triples form of a term, tolerating plain strings in tests."""
+    if isinstance(term, (URI, BNode, Literal)):
+        return term.n3
+    return Literal(str(term)).n3
+
+
+def is_variable(term: object) -> bool:
+    """True when *term* is a SPARQL variable."""
+    return isinstance(term, Variable)
+
+
+def is_ground(term: object) -> bool:
+    """True when *term* is a concrete RDF term (URI, blank node, literal)."""
+    return isinstance(term, (URI, BNode, Literal)) and not isinstance(term, Variable)

@@ -1,0 +1,16 @@
+"""SPARQL fragment: parser, algebra, well-designedness, UNF rewriting."""
+
+from .ast import (BGP, Filter, Join, LeftJoin, Pattern, Query, TriplePattern,
+                  Union, serialize_algebra, simplify)
+from .parser import parse_pattern, parse_query
+from .rewrite import (NormalForm, eliminate_equality_filters, is_safe_filter,
+                      push_filter, to_union_normal_form)
+from .wd import Violation, find_violations, is_well_designed
+
+__all__ = [
+    "BGP", "Filter", "Join", "LeftJoin", "NormalForm", "Pattern", "Query",
+    "TriplePattern", "Union", "Violation", "eliminate_equality_filters",
+    "find_violations", "is_safe_filter", "is_well_designed", "parse_pattern",
+    "parse_query", "push_filter", "serialize_algebra", "simplify",
+    "to_union_normal_form",
+]

@@ -1,0 +1,263 @@
+"""SPARQL algebra for the BGP/OPTIONAL fragment (plus UNION and FILTER).
+
+A parsed query becomes a tree of :class:`BGP`, :class:`Join` (``⋈``),
+:class:`LeftJoin` (``⟕``), :class:`Union`, and :class:`Filter` nodes over
+:class:`TriplePattern` leaves.  This *is* the paper's
+"serialized-parenthesized form" of a query (§2.1): OPT-free BGPs joined
+by inner and left-outer join operators with explicit parentheses, which
+GoSN construction consumes directly.
+
+Nodes are immutable; rewrites build new trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, NamedTuple, Union as TypingUnion
+
+from ..rdf.terms import PatternTerm, Variable, is_variable
+
+
+class TriplePattern(NamedTuple):
+    """A triple pattern: any position may be a variable."""
+
+    s: PatternTerm
+    p: PatternTerm
+    o: PatternTerm
+
+    def variables(self) -> set[Variable]:
+        """Variables appearing in this pattern."""
+        return {t for t in self if is_variable(t)}
+
+    def positions_of(self, var: Variable) -> tuple[str, ...]:
+        """Which of 's'/'p'/'o' hold *var*."""
+        return tuple(pos for pos, term in zip("spo", self) if term == var
+                     and is_variable(term))
+
+    def to_sparql(self) -> str:
+        return " ".join(_term_sparql(t) for t in self) + " ."
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TP({_term_sparql(self.s)} {_term_sparql(self.p)} {_term_sparql(self.o)})"
+
+
+def _term_sparql(term: PatternTerm) -> str:
+    if is_variable(term):
+        return f"?{term}"
+    n3 = getattr(term, "n3", None)
+    return n3 if n3 is not None else str(term)
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """Base class for algebra nodes."""
+
+    def variables(self) -> set[Variable]:
+        raise NotImplementedError
+
+    def triple_patterns(self) -> list[TriplePattern]:
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Pattern"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+
+    def to_sparql(self, indent: int = 0) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BGP(Pattern):
+    """An OPT-free basic graph pattern — one supernode's content."""
+
+    patterns: tuple[TriplePattern, ...] = ()
+
+    def variables(self) -> set[Variable]:
+        out: set[Variable] = set()
+        for tp in self.patterns:
+            out |= tp.variables()
+        return out
+
+    def triple_patterns(self) -> list[TriplePattern]:
+        return list(self.patterns)
+
+    def to_sparql(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return "\n".join(pad + tp.to_sparql() for tp in self.patterns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BGP({len(self.patterns)} tps)"
+
+
+@dataclass(frozen=True)
+class _Binary(Pattern):
+    left: Pattern = field(default_factory=BGP)
+    right: Pattern = field(default_factory=BGP)
+
+    def variables(self) -> set[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def triple_patterns(self) -> list[TriplePattern]:
+        return self.left.triple_patterns() + self.right.triple_patterns()
+
+    def walk(self) -> Iterator[Pattern]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+
+@dataclass(frozen=True)
+class Join(_Binary):
+    """Inner join (``⋈``) of two patterns — associative and commutative."""
+
+    def to_sparql(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return (f"{pad}{{\n{self.left.to_sparql(indent + 1)}\n{pad}}}\n"
+                f"{pad}{{\n{self.right.to_sparql(indent + 1)}\n{pad}}}")
+
+
+@dataclass(frozen=True)
+class LeftJoin(_Binary):
+    """Left-outer join (``⟕``): ``left OPTIONAL { right }``."""
+
+    def to_sparql(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return (f"{self.left.to_sparql(indent)}\n"
+                f"{pad}OPTIONAL {{\n{self.right.to_sparql(indent + 1)}\n{pad}}}")
+
+
+@dataclass(frozen=True)
+class Union(_Binary):
+    """SPARQL UNION under bag semantics."""
+
+    def to_sparql(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return (f"{pad}{{\n{self.left.to_sparql(indent + 1)}\n{pad}}}\n"
+                f"{pad}UNION\n"
+                f"{pad}{{\n{self.right.to_sparql(indent + 1)}\n{pad}}}")
+
+
+@dataclass(frozen=True)
+class Filter(Pattern):
+    """``pattern FILTER(expr)``; *expr* is an expression-tree node."""
+
+    expr: "object" = None
+    pattern: Pattern = field(default_factory=BGP)
+
+    def variables(self) -> set[Variable]:
+        return self.pattern.variables()
+
+    def expression_variables(self) -> set[Variable]:
+        """Variables mentioned by the filter expression."""
+        from .expressions import expression_variables
+        return expression_variables(self.expr)
+
+    def triple_patterns(self) -> list[TriplePattern]:
+        return self.pattern.triple_patterns()
+
+    def walk(self) -> Iterator[Pattern]:
+        yield self
+        yield from self.pattern.walk()
+
+    def to_sparql(self, indent: int = 0) -> str:
+        from .expressions import expression_sparql
+        pad = "  " * indent
+        return (f"{self.pattern.to_sparql(indent)}\n"
+                f"{pad}FILTER({expression_sparql(self.expr)})")
+
+
+#: Nodes the join-only engines consume (no Union/Filter).
+JoinTree = TypingUnion[BGP, Join, LeftJoin]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed SELECT query with solution modifiers."""
+
+    pattern: Pattern
+    select: tuple[Variable, ...] | None = None  # None means SELECT *
+    distinct: bool = False
+    prefixes: tuple[tuple[str, str], ...] = ()
+    #: ORDER BY conditions as (variable, ascending?) pairs
+    order_by: tuple[tuple[Variable, bool], ...] = ()
+    limit: int | None = None
+    offset: int = 0
+
+    def variables(self) -> set[Variable]:
+        return self.pattern.variables()
+
+    def projected(self) -> tuple[Variable, ...]:
+        """The variables the result rows carry (sorted when SELECT *)."""
+        if self.select is not None:
+            return self.select
+        return tuple(sorted(self.pattern.variables()))
+
+    def to_sparql(self) -> str:
+        head = "SELECT DISTINCT" if self.distinct else "SELECT"
+        vars_part = ("*" if self.select is None
+                     else " ".join(f"?{v}" for v in self.select))
+        prefix_lines = "".join(f"PREFIX {name}: <{iri}>\n"
+                               for name, iri in self.prefixes)
+        text = (f"{prefix_lines}{head} {vars_part} WHERE {{\n"
+                f"{self.pattern.to_sparql(1)}\n}}")
+        if self.order_by:
+            conditions = " ".join(
+                f"?{var}" if ascending else f"DESC(?{var})"
+                for var, ascending in self.order_by)
+            text += f"\nORDER BY {conditions}"
+        if self.limit is not None:
+            text += f"\nLIMIT {self.limit}"
+        if self.offset:
+            text += f"\nOFFSET {self.offset}"
+        return text
+
+
+def simplify(pattern: Pattern) -> Pattern:
+    """Collapse empty BGPs and merge adjacent BGPs under inner joins.
+
+    ``Join(BGP(a), BGP(b)) → BGP(a+b)`` and ``Join(BGP(), X) → X`` keep
+    the tree in the canonical form GoSN construction expects (supernodes
+    are maximal OPT-free BGPs).
+    """
+    if isinstance(pattern, Join):
+        left = simplify(pattern.left)
+        right = simplify(pattern.right)
+        if isinstance(left, BGP) and not left.patterns:
+            return right
+        if isinstance(right, BGP) and not right.patterns:
+            return left
+        if isinstance(left, BGP) and isinstance(right, BGP):
+            return BGP(left.patterns + right.patterns)
+        return Join(left, right)
+    if isinstance(pattern, LeftJoin):
+        return LeftJoin(simplify(pattern.left), simplify(pattern.right))
+    if isinstance(pattern, Union):
+        return Union(simplify(pattern.left), simplify(pattern.right))
+    if isinstance(pattern, Filter):
+        return Filter(pattern.expr, simplify(pattern.pattern))
+    return pattern
+
+
+def serialize_algebra(pattern: Pattern) -> str:
+    """Operator-form rendering, e.g. ``((P1 ⟕ P2) ⋈ (P3 ⟕ P4))``.
+
+    BGPs are numbered left to right, matching how the paper names the
+    OPT-free BGPs of a serialized query.
+    """
+    counter = [0]
+
+    def render(node: Pattern) -> str:
+        if isinstance(node, BGP):
+            counter[0] += 1
+            return f"P{counter[0]}"
+        if isinstance(node, Join):
+            return f"({render(node.left)} JOIN {render(node.right)})"
+        if isinstance(node, LeftJoin):
+            return f"({render(node.left)} OPT {render(node.right)})"
+        if isinstance(node, Union):
+            return f"({render(node.left)} UNION {render(node.right)})"
+        if isinstance(node, Filter):
+            return f"Filter({render(node.pattern)})"
+        raise TypeError(f"unknown pattern node {node!r}")
+
+    return render(pattern)

@@ -1,0 +1,281 @@
+"""FILTER expression trees and their evaluation.
+
+Supports the operators the paper's query workloads need: comparisons,
+boolean connectives, ``BOUND``, ``REGEX``, and ``sameTerm``.  Expression
+evaluation follows SPARQL's three-valued logic: an error (e.g. comparing
+an unbound variable) propagates unless absorbed by ``&&``/``||``, and a
+row passes a filter only when the expression evaluates to plain true.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..rdf.terms import Literal, NULL, Term, Variable
+
+
+class ExpressionError(Exception):
+    """SPARQL expression evaluation error (maps to `error` in the spec)."""
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A variable reference inside an expression."""
+
+    name: Variable
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant term (literal, URI) inside an expression."""
+
+    value: Term
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` with op in ``= != < <= > >=``."""
+
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class BooleanOp:
+    """``&&`` / ``||`` with SPARQL error-absorbing semantics."""
+
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Not:
+    """Logical negation ``!expr``."""
+
+    operand: object
+
+
+@dataclass(frozen=True)
+class Bound:
+    """``BOUND(?v)`` — true when the variable has a non-NULL binding."""
+
+    name: Variable
+
+
+@dataclass(frozen=True)
+class Regex:
+    """``REGEX(expr, "pattern"[, "flags"])``."""
+
+    operand: object
+    pattern: str
+    flags: str = ""
+
+
+@dataclass(frozen=True)
+class SameTerm:
+    """``sameTerm(a, b)`` — term identity."""
+
+    left: object
+    right: object
+
+
+_NUMERIC_TYPES = {
+    "http://www.w3.org/2001/XMLSchema#integer",
+    "http://www.w3.org/2001/XMLSchema#decimal",
+    "http://www.w3.org/2001/XMLSchema#double",
+    "http://www.w3.org/2001/XMLSchema#float",
+    "http://www.w3.org/2001/XMLSchema#int",
+    "http://www.w3.org/2001/XMLSchema#long",
+}
+
+
+def _numeric_value(term: object) -> float | None:
+    """Numeric interpretation of a term, or None."""
+    if isinstance(term, Literal):
+        if term.datatype and term.datatype not in _NUMERIC_TYPES:
+            return None
+        try:
+            return float(str(term))
+        except ValueError:
+            return None
+    return None
+
+
+def _evaluate_operand(node: object, row: Mapping[Variable, object]) -> object:
+    if isinstance(node, VarRef):
+        value = row.get(node.name, NULL)
+        if value is NULL:
+            raise ExpressionError(f"unbound variable ?{node.name}")
+        return value
+    if isinstance(node, Constant):
+        return node.value
+    return evaluate(node, row)
+
+
+def evaluate(expr: object, row: Mapping[Variable, object]) -> bool:
+    """Evaluate a filter expression over a solution row.
+
+    Raises :class:`ExpressionError` for SPARQL `error` outcomes; callers
+    treat an error like false when deciding row survival
+    (:func:`passes`).
+    """
+    if isinstance(expr, Bound):
+        return row.get(expr.name, NULL) is not NULL
+    if isinstance(expr, Not):
+        return not evaluate(expr.operand, row)
+    if isinstance(expr, BooleanOp):
+        return _evaluate_boolean(expr, row)
+    if isinstance(expr, Comparison):
+        return _evaluate_comparison(expr, row)
+    if isinstance(expr, Regex):
+        value = _evaluate_operand(expr.operand, row)
+        re_flags = re.IGNORECASE if "i" in expr.flags else 0
+        return re.search(expr.pattern, str(value), re_flags) is not None
+    if isinstance(expr, SameTerm):
+        return (_evaluate_operand(expr.left, row)
+                == _evaluate_operand(expr.right, row))
+    if isinstance(expr, (VarRef, Constant)):
+        value = _evaluate_operand(expr, row)
+        if isinstance(value, Literal):
+            return str(value) not in ("", "false", "0")
+        raise ExpressionError(f"non-boolean expression value {value!r}")
+    raise ExpressionError(f"unknown expression node {expr!r}")
+
+
+def _evaluate_boolean(expr: BooleanOp, row: Mapping[Variable, object]) -> bool:
+    # SPARQL: || absorbs an error when the other side is true,
+    # && absorbs an error when the other side is false.
+    try:
+        left = evaluate(expr.left, row)
+    except ExpressionError:
+        left = None
+    try:
+        right = evaluate(expr.right, row)
+    except ExpressionError:
+        right = None
+    if expr.op == "&&":
+        if left is False or right is False:
+            return False
+        if left is None or right is None:
+            raise ExpressionError("error in && operand")
+        return True
+    if expr.op == "||":
+        if left is True or right is True:
+            return True
+        if left is None or right is None:
+            raise ExpressionError("error in || operand")
+        return False
+    raise ExpressionError(f"unknown boolean operator {expr.op!r}")
+
+
+def _evaluate_comparison(expr: Comparison,
+                         row: Mapping[Variable, object]) -> bool:
+    left = _evaluate_operand(expr.left, row)
+    right = _evaluate_operand(expr.right, row)
+    left_num = _numeric_value(left)
+    right_num = _numeric_value(right)
+    if left_num is not None and right_num is not None:
+        left_cmp, right_cmp = left_num, right_num
+    else:
+        left_cmp, right_cmp = str(left), str(right)
+        if type(left_cmp) is not type(right_cmp):  # pragma: no cover
+            raise ExpressionError("incomparable operands")
+    if expr.op == "=":
+        return left == right if left_num is None else left_cmp == right_cmp
+    if expr.op == "!=":
+        return left != right if left_num is None else left_cmp != right_cmp
+    if expr.op == "<":
+        return left_cmp < right_cmp
+    if expr.op == "<=":
+        return left_cmp <= right_cmp
+    if expr.op == ">":
+        return left_cmp > right_cmp
+    if expr.op == ">=":
+        return left_cmp >= right_cmp
+    raise ExpressionError(f"unknown comparison operator {expr.op!r}")
+
+
+def passes(expr: object, row: Mapping[Variable, object]) -> bool:
+    """True when the row survives the filter (errors count as false)."""
+    try:
+        return evaluate(expr, row)
+    except ExpressionError:
+        return False
+
+
+def expression_variables(expr: object) -> set[Variable]:
+    """All variables mentioned anywhere in an expression tree."""
+    if isinstance(expr, VarRef):
+        return {expr.name}
+    if isinstance(expr, Bound):
+        return {expr.name}
+    if isinstance(expr, Constant) or expr is None:
+        return set()
+    if isinstance(expr, Not):
+        return expression_variables(expr.operand)
+    if isinstance(expr, (BooleanOp, Comparison, SameTerm)):
+        return (expression_variables(expr.left)
+                | expression_variables(expr.right))
+    if isinstance(expr, Regex):
+        return expression_variables(expr.operand)
+    return set()
+
+
+def expression_sparql(expr: object) -> str:
+    """Serialize an expression back to SPARQL syntax."""
+    if isinstance(expr, VarRef):
+        return f"?{expr.name}"
+    if isinstance(expr, Constant):
+        n3 = getattr(expr.value, "n3", None)
+        return n3 if n3 is not None else str(expr.value)
+    if isinstance(expr, Comparison):
+        return (f"{expression_sparql(expr.left)} {expr.op} "
+                f"{expression_sparql(expr.right)}")
+    if isinstance(expr, BooleanOp):
+        return (f"({expression_sparql(expr.left)} {expr.op} "
+                f"{expression_sparql(expr.right)})")
+    if isinstance(expr, Not):
+        return f"!({expression_sparql(expr.operand)})"
+    if isinstance(expr, Bound):
+        return f"BOUND(?{expr.name})"
+    if isinstance(expr, Regex):
+        flags = f", \"{expr.flags}\"" if expr.flags else ""
+        return f"REGEX({expression_sparql(expr.operand)}, \"{expr.pattern}\"{flags})"
+    if isinstance(expr, SameTerm):
+        return (f"sameTerm({expression_sparql(expr.left)}, "
+                f"{expression_sparql(expr.right)})")
+    raise ValueError(f"unknown expression node {expr!r}")
+
+
+def substitute_variable(expr: object, old: Variable,
+                        new: Variable) -> object:
+    """Replace every reference to *old* with *new* (filter elimination).
+
+    Used by the "cheap filter optimization" of §5.2: a filter
+    ``?m = ?n`` can be removed by renaming ``?n`` to ``?m`` everywhere.
+    """
+    if isinstance(expr, VarRef):
+        return VarRef(new) if expr.name == old else expr
+    if isinstance(expr, Bound):
+        return Bound(new) if expr.name == old else expr
+    if isinstance(expr, Not):
+        return Not(substitute_variable(expr.operand, old, new))
+    if isinstance(expr, Comparison):
+        return Comparison(expr.op,
+                          substitute_variable(expr.left, old, new),
+                          substitute_variable(expr.right, old, new))
+    if isinstance(expr, BooleanOp):
+        return BooleanOp(expr.op,
+                         substitute_variable(expr.left, old, new),
+                         substitute_variable(expr.right, old, new))
+    if isinstance(expr, Regex):
+        return Regex(substitute_variable(expr.operand, old, new),
+                     expr.pattern, expr.flags)
+    if isinstance(expr, SameTerm):
+        return SameTerm(substitute_variable(expr.left, old, new),
+                        substitute_variable(expr.right, old, new))
+    return expr

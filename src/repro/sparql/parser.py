@@ -1,0 +1,381 @@
+"""Recursive-descent parser for the supported SPARQL fragment.
+
+Grammar (a practical subset sufficient for every query in the paper's
+Appendix E, plus UNION and FILTER for the §5.2 extensions)::
+
+    Query        := Prologue SELECT (DISTINCT)? (Var+ | '*') WHERE? Group
+    Prologue     := (PREFIX PNAME ':' IRI)*
+    Group        := '{' Element* '}'
+    Element      := TriplesBlock | OPTIONAL Group
+                  | Group (UNION Group)* | FILTER Constraint
+    TriplesBlock := Triples ('.' Triples?)*
+    Triples      := Term Verb ObjectList (';' Verb ObjectList)*
+    ObjectList   := Term (',' Term)*
+
+Algebra translation follows the SPARQL spec: elements of a group are
+combined left to right — triples accumulate into a BGP, ``OPTIONAL``
+produces a :class:`~repro.sparql.ast.LeftJoin` with everything to its
+left, a nested group or UNION chain inner-joins with everything to its
+left, and FILTERs apply to the whole group.  The result is then
+:func:`~repro.sparql.ast.simplify`-ed so maximal OPT-free BGPs become
+single nodes — the supernode inputs of GoSN construction.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ParseError
+from ..rdf.namespace import DEFAULT_PREFIXES, RDF
+from ..rdf.terms import BNode, Literal, PatternTerm, URI, Variable
+from ..rdf.ntriples import _unescape
+from . import expressions as ex
+from .ast import (BGP, Filter, Join, LeftJoin, Pattern, Query, TriplePattern,
+                  Union, simplify)
+from .tokenizer import Token, tokenize
+
+_XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+_XSD_DECIMAL = "http://www.w3.org/2001/XMLSchema#decimal"
+_XSD_DOUBLE = "http://www.w3.org/2001/XMLSchema#double"
+_XSD_BOOLEAN = "http://www.w3.org/2001/XMLSchema#boolean"
+
+
+def parse_query(text: str) -> Query:
+    """Parse a SELECT query into its algebra tree."""
+    return _Parser(text).parse_query()
+
+
+def parse_pattern(text: str,
+                  prefixes: dict[str, str] | None = None) -> Pattern:
+    """Parse a bare group graph pattern, e.g. ``"{ ?s ?p ?o . }"``."""
+    parser = _Parser(text)
+    if prefixes:
+        parser._prefixes.update(prefixes)
+    pattern = parser._parse_group()
+    parser._expect("EOF")
+    return simplify(pattern)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(tokenize(text))
+        self._pos = 0
+        self._prefixes: dict[str, str] = dict(DEFAULT_PREFIXES)
+        self._declared: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = value if value is not None else kind
+            raise ParseError(f"expected {wanted!r}, found {token.value!r}",
+                             token.line, token.column)
+        return self._next()
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._next()
+        return None
+
+    # ------------------------------------------------------------------
+    # query structure
+    # ------------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self._parse_prologue()
+        self._expect("KEYWORD", "select")
+        distinct = bool(self._accept("KEYWORD", "distinct"))
+        self._accept("KEYWORD", "reduced")
+        select: tuple[Variable, ...] | None
+        if self._accept("PUNCT", "*"):
+            select = None
+        else:
+            names: list[Variable] = []
+            while self._peek().kind == "VAR":
+                names.append(Variable(self._next().value))
+            if not names:
+                token = self._peek()
+                raise ParseError("expected '*' or variables after SELECT",
+                                 token.line, token.column)
+            select = tuple(names)
+        self._accept("KEYWORD", "where")
+        pattern = simplify(self._parse_group())
+        order_by = self._parse_order_by()
+        limit, offset = self._parse_limit_offset()
+        self._expect("EOF")
+        return Query(pattern=pattern, select=select, distinct=distinct,
+                     prefixes=tuple(self._declared), order_by=order_by,
+                     limit=limit, offset=offset)
+
+    def _parse_order_by(self) -> tuple[tuple[Variable, bool], ...]:
+        if not self._accept("KEYWORD", "order"):
+            return ()
+        self._expect("KEYWORD", "by")
+        conditions: list[tuple[Variable, bool]] = []
+        while True:
+            token = self._peek()
+            if token.kind == "VAR":
+                self._next()
+                conditions.append((Variable(token.value), True))
+            elif token.kind == "KEYWORD" and token.value in ("asc", "desc"):
+                self._next()
+                self._expect("PUNCT", "(")
+                var = self._expect("VAR")
+                self._expect("PUNCT", ")")
+                conditions.append((Variable(var.value),
+                                   token.value == "asc"))
+            else:
+                break
+        if not conditions:
+            raise ParseError("expected ORDER BY conditions", token.line,
+                             token.column)
+        return tuple(conditions)
+
+    def _parse_limit_offset(self) -> tuple[int | None, int]:
+        limit: int | None = None
+        offset = 0
+        # LIMIT and OFFSET may come in either order
+        for _ in range(2):
+            if self._accept("KEYWORD", "limit"):
+                limit = int(self._expect("NUMBER").value)
+            elif self._accept("KEYWORD", "offset"):
+                offset = int(self._expect("NUMBER").value)
+        return limit, offset
+
+    def _parse_prologue(self) -> None:
+        while True:
+            if self._accept("KEYWORD", "prefix"):
+                pname = self._expect("PNAME")
+                name = pname.value.split(":", 1)[0]
+                if pname.value.split(":", 1)[1]:
+                    raise ParseError("prefix declaration must end with ':'",
+                                     pname.line, pname.column)
+                iri = self._expect("IRI")
+                self._prefixes[name] = iri.value
+                self._declared.append((name, iri.value))
+            elif self._accept("KEYWORD", "base"):
+                self._expect("IRI")
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    # group graph patterns → algebra
+    # ------------------------------------------------------------------
+
+    def _parse_group(self) -> Pattern:
+        self._expect("PUNCT", "{")
+        current: Pattern = BGP()
+        filters: list[object] = []
+        while not self._accept("PUNCT", "}"):
+            token = self._peek()
+            if token.kind == "EOF":
+                raise ParseError("unterminated group: expected '}'",
+                                 token.line, token.column)
+            if token.kind == "KEYWORD" and token.value == "optional":
+                self._next()
+                right = self._parse_group()
+                current = LeftJoin(simplify(current), simplify(right))
+            elif token.kind == "KEYWORD" and token.value == "filter":
+                self._next()
+                filters.append(self._parse_constraint())
+            elif token.kind == "PUNCT" and token.value == "{":
+                sub = self._parse_group_or_union()
+                current = Join(simplify(current), simplify(sub))
+            else:
+                triples = self._parse_triples_block()
+                current = Join(simplify(current), BGP(tuple(triples)))
+            self._accept("PUNCT", ".")
+        result = simplify(current)
+        for constraint in filters:
+            result = Filter(constraint, result)
+        return result
+
+    def _parse_group_or_union(self) -> Pattern:
+        pattern = self._parse_group()
+        while self._accept("KEYWORD", "union"):
+            right = self._parse_group()
+            pattern = Union(simplify(pattern), simplify(right))
+        return pattern
+
+    def _parse_triples_block(self) -> list[TriplePattern]:
+        triples: list[TriplePattern] = []
+        while True:
+            subject = self._parse_term()
+            self._parse_property_list(subject, triples)
+            if not self._accept("PUNCT", "."):
+                break
+            token = self._peek()
+            terminator = (token.kind == "PUNCT" and token.value in "{}"
+                          or token.kind == "KEYWORD"
+                          or token.kind == "EOF")
+            if terminator:
+                break
+        return triples
+
+    def _parse_property_list(self, subject: PatternTerm,
+                             triples: list[TriplePattern]) -> None:
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                obj = self._parse_term()
+                triples.append(TriplePattern(subject, predicate, obj))
+                if not self._accept("PUNCT", ","):
+                    break
+            if not self._accept("PUNCT", ";"):
+                return
+            token = self._peek()
+            if token.kind == "PUNCT" and token.value in ".;}":
+                return
+
+    def _parse_verb(self) -> PatternTerm:
+        if self._accept("A"):
+            return RDF.type
+        return self._parse_term()
+
+    # ------------------------------------------------------------------
+    # terms
+    # ------------------------------------------------------------------
+
+    def _parse_term(self) -> PatternTerm:
+        token = self._peek()
+        if token.kind == "VAR":
+            self._next()
+            return Variable(token.value)
+        if token.kind == "IRI":
+            self._next()
+            return URI(_unescape(token.value))
+        if token.kind == "PNAME":
+            self._next()
+            if token.value.startswith("_:"):
+                return BNode(token.value[2:])
+            return self._expand_pname(token)
+        if token.kind == "STRING":
+            return self._parse_literal()
+        if token.kind == "NUMBER":
+            self._next()
+            datatype = (_XSD_INTEGER if _is_integer(token.value) else
+                        _XSD_DOUBLE if "e" in token.value.lower() else
+                        _XSD_DECIMAL)
+            return Literal(token.value, datatype=datatype)
+        if token.kind == "KEYWORD" and token.value in ("true", "false"):
+            self._next()
+            return Literal(token.value, datatype=_XSD_BOOLEAN)
+        raise ParseError(f"expected a term, found {token.value!r}",
+                         token.line, token.column)
+
+    def _parse_literal(self) -> Literal:
+        token = self._expect("STRING")
+        value = _unescape(token.value)
+        lang = self._accept("LANG")
+        if lang:
+            return Literal(value, language=lang.value)
+        if self._accept("DTYPE"):
+            dtype_token = self._peek()
+            if dtype_token.kind == "IRI":
+                self._next()
+                return Literal(value, datatype=_unescape(dtype_token.value))
+            if dtype_token.kind == "PNAME":
+                self._next()
+                return Literal(value,
+                               datatype=str(self._expand_pname(dtype_token)))
+            raise ParseError("expected datatype IRI after '^^'",
+                             dtype_token.line, dtype_token.column)
+        return Literal(value)
+
+    def _expand_pname(self, token: Token) -> URI:
+        prefix, local = token.value.split(":", 1)
+        base = self._prefixes.get(prefix)
+        if base is None:
+            raise ParseError(f"undeclared prefix {prefix!r}", token.line,
+                             token.column)
+        return URI(base + local)
+
+    # ------------------------------------------------------------------
+    # filter constraints
+    # ------------------------------------------------------------------
+
+    def _parse_constraint(self) -> object:
+        self._expect("PUNCT", "(")
+        expr = self._parse_or_expression()
+        self._expect("PUNCT", ")")
+        return expr
+
+    def _parse_or_expression(self) -> object:
+        left = self._parse_and_expression()
+        while self._accept("OP", "||"):
+            right = self._parse_and_expression()
+            left = ex.BooleanOp("||", left, right)
+        return left
+
+    def _parse_and_expression(self) -> object:
+        left = self._parse_relational_expression()
+        while self._accept("OP", "&&"):
+            right = self._parse_relational_expression()
+            left = ex.BooleanOp("&&", left, right)
+        return left
+
+    def _parse_relational_expression(self) -> object:
+        left = self._parse_unary_expression()
+        token = self._peek()
+        if token.kind == "OP" and token.value in ("=", "!=", "<", "<=",
+                                                  ">", ">="):
+            self._next()
+            right = self._parse_unary_expression()
+            return ex.Comparison(token.value, left, right)
+        return left
+
+    def _parse_unary_expression(self) -> object:
+        if self._accept("OP", "!"):
+            return ex.Not(self._parse_unary_expression())
+        token = self._peek()
+        if token.kind == "PUNCT" and token.value == "(":
+            self._next()
+            expr = self._parse_or_expression()
+            self._expect("PUNCT", ")")
+            return expr
+        if token.kind == "KEYWORD" and token.value == "bound":
+            self._next()
+            self._expect("PUNCT", "(")
+            var = self._expect("VAR")
+            self._expect("PUNCT", ")")
+            return ex.Bound(Variable(var.value))
+        if token.kind == "KEYWORD" and token.value == "regex":
+            self._next()
+            self._expect("PUNCT", "(")
+            operand = self._parse_or_expression()
+            self._expect("PUNCT", ",")
+            pattern = self._expect("STRING")
+            flags = ""
+            if self._accept("PUNCT", ","):
+                flags = self._expect("STRING").value
+            self._expect("PUNCT", ")")
+            return ex.Regex(operand, _unescape(pattern.value), flags)
+        if token.kind == "KEYWORD" and token.value == "sameterm":
+            self._next()
+            self._expect("PUNCT", "(")
+            left = self._parse_or_expression()
+            self._expect("PUNCT", ",")
+            right = self._parse_or_expression()
+            self._expect("PUNCT", ")")
+            return ex.SameTerm(left, right)
+        if token.kind == "VAR":
+            self._next()
+            return ex.VarRef(Variable(token.value))
+        term = self._parse_term()
+        return ex.Constant(term)
+
+
+def _is_integer(text: str) -> bool:
+    stripped = text.lstrip("+-")
+    return stripped.isdigit()

@@ -1,0 +1,160 @@
+"""Query rewriting to UNION normal form (paper §5.2).
+
+For well-designed BGP-OPT-UNION queries with safe filters, the paper
+evaluates UNIONs by rewriting to ``P1 ∪ P2 ∪ … ∪ Pn`` where every branch
+``Pi`` is UNION-free, using five equivalences:
+
+1. ``(P1 ∪ P2) ⋈ P3  ≡ (P1 ⋈ P3) ∪ (P2 ⋈ P3)``
+2. ``(P1 ∪ P2) ⟕ P3  ≡ (P1 ⟕ P3) ∪ (P2 ⟕ P3)``
+3. ``P1 ⟕ (P2 ∪ P3)  → (P1 ⟕ P2) ∪ (P1 ⟕ P3)`` — may introduce
+   *spurious* (subsumed or duplicated) results that must be removed
+   afterwards; :func:`to_union_normal_form` reports when this rule fired.
+4. ``(P1 ⟕ P2) FILTER R ≡ (P1 FILTER R) ⟕ P2`` for safe ``R``
+   (``vars(R) ⊆ vars(P1)``)
+5. ``(P1 ∪ P2) FILTER R ≡ (P1 FILTER R) ∪ (P2 FILTER R)``
+
+Filters that cannot be pushed into a BGP-adjacent position stay attached
+to their branch and are applied by the engine's filter-and-nullification
+(FaN) routine at result generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rdf.terms import Variable
+from .ast import BGP, Filter, Join, LeftJoin, Pattern, Union, simplify
+from .expressions import Comparison, VarRef, substitute_variable
+
+
+@dataclass
+class NormalForm:
+    """Result of the UNF rewrite.
+
+    ``branches`` are UNION-free patterns whose results are added (bag
+    union).  ``spurious_possible`` is True when rule 3 fired, in which
+    case the caller must apply minimum-union (drop subsumed rows and
+    rule-3 duplicates) over the combined results.
+    """
+
+    branches: list[Pattern]
+    spurious_possible: bool = False
+
+
+def to_union_normal_form(pattern: Pattern) -> NormalForm:
+    """Rewrite *pattern* into UNION normal form."""
+    state = {"rule3": False}
+    branches = _unf(simplify(pattern), state)
+    return NormalForm([simplify(branch) for branch in branches],
+                      spurious_possible=state["rule3"])
+
+
+def _unf(node: Pattern, state: dict) -> list[Pattern]:
+    if isinstance(node, BGP):
+        return [node]
+    if isinstance(node, Union):
+        return _unf(node.left, state) + _unf(node.right, state)
+    if isinstance(node, Join):
+        lefts = _unf(node.left, state)
+        rights = _unf(node.right, state)
+        return [Join(a, b) for a in lefts for b in rights]
+    if isinstance(node, LeftJoin):
+        lefts = _unf(node.left, state)
+        rights = _unf(node.right, state)
+        if len(rights) > 1:
+            state["rule3"] = True
+        return [LeftJoin(a, b) for a in lefts for b in rights]
+    if isinstance(node, Filter):
+        return [push_filter(node.expr, branch)
+                for branch in _unf(node.pattern, state)]
+    raise TypeError(f"unknown pattern node {node!r}")
+
+
+def push_filter(expr: object, pattern: Pattern) -> Pattern:
+    """Push a safe filter as deep as the equivalences allow.
+
+    Rule 4 moves a filter through a left-outer join into its master when
+    the filter only mentions master variables; inside inner joins the
+    filter moves to whichever side covers all its variables.  When no
+    side covers it, the filter stays at the current level.
+    """
+    from .expressions import expression_variables
+
+    expr_vars = expression_variables(expr)
+    if isinstance(pattern, LeftJoin):
+        if expr_vars <= pattern.left.variables():
+            return LeftJoin(push_filter(expr, pattern.left), pattern.right)
+        return Filter(expr, pattern)
+    if isinstance(pattern, Join):
+        if expr_vars <= pattern.left.variables():
+            return Join(push_filter(expr, pattern.left), pattern.right)
+        if expr_vars <= pattern.right.variables():
+            return Join(pattern.left, push_filter(expr, pattern.right))
+        return Filter(expr, pattern)
+    return Filter(expr, pattern)
+
+
+def is_safe_filter(node: Filter) -> bool:
+    """Safe filter check: ``vars(R) ⊆ vars(P)`` for ``P FILTER R``."""
+    return node.expression_variables() <= node.pattern.variables()
+
+
+def eliminate_equality_filters(
+        pattern: Pattern,
+        renames: dict[Variable, Variable] | None = None) -> Pattern:
+    """The §5.2 "cheap" optimization: drop ``FILTER(?m = ?n)``.
+
+    A top-level equality between two variables is eliminated by renaming
+    ``?n`` to ``?m`` throughout the filtered pattern.  Other filters are
+    left untouched.  When *renames* is given, each dropped→kept mapping
+    is recorded there so the caller can restore the dropped variable's
+    column in the final results.
+    """
+    if isinstance(pattern, Filter):
+        inner = eliminate_equality_filters(pattern.pattern, renames)
+        expr = pattern.expr
+        if (isinstance(expr, Comparison) and expr.op == "="
+                and isinstance(expr.left, VarRef)
+                and isinstance(expr.right, VarRef)
+                and expr.left.name != expr.right.name):
+            keep, drop = expr.left.name, expr.right.name
+            if renames is not None:
+                for old, new in list(renames.items()):
+                    if new == drop:
+                        renames[old] = keep
+                renames[drop] = keep
+            return _rename_variable(inner, drop, keep)
+        return Filter(expr, inner)
+    if isinstance(pattern, Join):
+        return Join(eliminate_equality_filters(pattern.left, renames),
+                    eliminate_equality_filters(pattern.right, renames))
+    if isinstance(pattern, LeftJoin):
+        return LeftJoin(eliminate_equality_filters(pattern.left, renames),
+                        eliminate_equality_filters(pattern.right, renames))
+    if isinstance(pattern, Union):
+        return Union(eliminate_equality_filters(pattern.left, renames),
+                     eliminate_equality_filters(pattern.right, renames))
+    return pattern
+
+
+def _rename_variable(pattern: Pattern, old: Variable,
+                     new: Variable) -> Pattern:
+    if isinstance(pattern, BGP):
+        renamed = tuple(
+            type(tp)(*(new if term == old and isinstance(term, Variable)
+                       else term for term in tp))
+            for tp in pattern.patterns)
+        return BGP(renamed)
+    if isinstance(pattern, Join):
+        return Join(_rename_variable(pattern.left, old, new),
+                    _rename_variable(pattern.right, old, new))
+    if isinstance(pattern, LeftJoin):
+        return LeftJoin(_rename_variable(pattern.left, old, new),
+                        _rename_variable(pattern.right, old, new))
+    if isinstance(pattern, Union):
+        return Union(_rename_variable(pattern.left, old, new),
+                     _rename_variable(pattern.right, old, new))
+    if isinstance(pattern, Filter):
+        return Filter(substitute_variable(pattern.expr, old, new),
+                      _rename_variable(pattern.pattern, old, new))
+    return pattern

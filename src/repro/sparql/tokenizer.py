@@ -1,0 +1,101 @@
+"""Tokenizer for the supported SPARQL fragment."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from ..exceptions import ParseError
+
+KEYWORDS = {
+    "select", "where", "optional", "union", "filter", "prefix", "base",
+    "distinct", "reduced", "regex", "bound", "sameterm", "true", "false",
+    "order", "by", "asc", "desc", "limit", "offset",
+}
+
+
+class Token(NamedTuple):
+    """A lexical token with its source location."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+    # extra payload for literals: (language, datatype)
+    language: str | None = None
+    datatype: str | None = None
+
+
+_TOKEN_RES: list[tuple[str, re.Pattern[str]]] = [
+    ("WS", re.compile(r"[ \t\r\n]+")),
+    ("COMMENT", re.compile(r"#[^\n]*")),
+    ("IRI", re.compile(r"<([^<>\"{}|^`\\\x00-\x20]*)>")),
+    ("VAR", re.compile(r"[?$]([A-Za-z_][A-Za-z0-9_]*)")),
+    ("STRING", re.compile(r'"((?:[^"\\\n\r]|\\.)*)"')),
+    ("STRING1", re.compile(r"'((?:[^'\\\n\r]|\\.)*)'")),
+    ("LANG", re.compile(r"@([a-zA-Z]+(?:-[a-zA-Z0-9]+)*)")),
+    ("DTYPE", re.compile(r"\^\^")),
+    ("NUMBER", re.compile(r"[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?")),
+    ("PNAME", re.compile(
+        r"([A-Za-z_][A-Za-z0-9_.\-]*)?:([A-Za-z0-9_]"
+        r"[A-Za-z0-9_.\-]*)?")),
+    ("NAME", re.compile(r"[A-Za-z_][A-Za-z0-9_]*")),
+    ("OP", re.compile(r"&&|\|\||!=|<=|>=|=|<|>|!")),
+    ("PUNCT", re.compile(r"[{}().;,*\[\]/]")),
+]
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens; raises :class:`ParseError` on unexpected input."""
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+    while pos < length:
+        column = pos - line_start + 1
+        for kind, pattern in _TOKEN_RES:
+            match = pattern.match(text, pos)
+            if not match or match.end() == pos:
+                continue
+            value = match.group(0)
+            if kind in ("WS", "COMMENT"):
+                newlines = value.count("\n")
+                if newlines:
+                    line += newlines
+                    line_start = pos + value.rfind("\n") + 1
+            elif kind == "IRI":
+                yield Token("IRI", match.group(1), line, column)
+            elif kind == "VAR":
+                yield Token("VAR", match.group(1), line, column)
+            elif kind in ("STRING", "STRING1"):
+                yield Token("STRING", match.group(1), line, column)
+            elif kind == "LANG":
+                yield Token("LANG", match.group(1), line, column)
+            elif kind == "NAME":
+                lowered = value.lower()
+                if lowered in KEYWORDS:
+                    yield Token("KEYWORD", lowered, line, column)
+                elif value == "a":
+                    yield Token("A", value, line, column)
+                else:
+                    yield Token("NAME", value, line, column)
+            elif kind == "PNAME":
+                prefix = match.group(1) or ""
+                local = match.group(2) or ""
+                # A '.' directly after a prefixed name terminates the
+                # triple; it must not be swallowed into the local part.
+                trimmed = 0
+                while local.endswith("."):
+                    local = local[:-1]
+                    trimmed += 1
+                yield Token("PNAME", f"{prefix}:{local}", line, column)
+                pos = match.end() - trimmed
+                break
+            else:
+                yield Token(kind, value, line, column)
+            pos = match.end()
+            break
+        else:
+            raise ParseError(f"unexpected character {text[pos]!r}", line,
+                             column)
+    yield Token("EOF", "", line, pos - line_start + 1)

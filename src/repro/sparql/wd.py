@@ -1,0 +1,103 @@
+"""Well-designedness of OPTIONAL patterns (Pérez et al., paper §2.2).
+
+A nested BGP-OPT pattern ``P`` is *well-designed* when for every
+sub-pattern ``P' = (P_k ⟕ P_l)`` of ``P``, every variable of ``P_l``
+that also occurs in ``P`` *outside* ``P'`` occurs in ``P_k`` as well.
+
+Well-designed queries are the class for which LBR can avoid
+nullification/best-match (for acyclic GoJ) and are unaffected by the
+SPARQL-vs-SQL disparity on joins over NULLs.  The checker reports every
+*violation pair* — the data Appendix B's non-well-designed GoSN
+transformation consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rdf.terms import Variable
+from .ast import Filter, Join, LeftJoin, Pattern, Union
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One well-designedness violation.
+
+    ``left_join`` is the offending sub-pattern ``P_k ⟕ P_l``; *variable*
+    occurs in ``P_l`` and outside the sub-pattern but not in ``P_k``;
+    ``outside`` is one outside pattern node witnessing the occurrence.
+    """
+
+    left_join: LeftJoin
+    variable: Variable
+    outside: Pattern
+
+
+def _occurrence_vars(node: Pattern) -> set[Variable]:
+    """Variables occurring in a pattern, including filter expressions."""
+    out = node.variables()
+    for sub in node.walk():
+        if isinstance(sub, Filter):
+            out |= sub.expression_variables()
+    return out
+
+
+def find_violations(pattern: Pattern) -> list[Violation]:
+    """All well-designedness violations in *pattern*.
+
+    UNION branches are checked independently (the definition applies to
+    UNION-free patterns; a query in UNION normal form is well-designed
+    when each branch is).
+    """
+    violations: list[Violation] = []
+    _collect(pattern, [], violations)
+    return violations
+
+
+def _collect(node: Pattern, ancestors: list[Pattern],
+             violations: list[Violation]) -> None:
+    if isinstance(node, LeftJoin):
+        slave_vars = _occurrence_vars(node.right)
+        master_vars = _occurrence_vars(node.left)
+        dangerous = slave_vars - master_vars
+        if dangerous:
+            for variable in sorted(dangerous):
+                witness = _outside_witness(node, ancestors, variable)
+                if witness is not None:
+                    violations.append(Violation(node, variable, witness))
+    if isinstance(node, (Join, LeftJoin, Union)):
+        _collect(node.left, ancestors + [node], violations)
+        _collect(node.right, ancestors + [node], violations)
+    elif isinstance(node, Filter):
+        _collect(node.pattern, ancestors + [node], violations)
+
+
+def _outside_witness(target: Pattern, ancestors: list[Pattern],
+                     variable: Variable) -> Pattern | None:
+    """A sibling subtree outside *target* where *variable* occurs."""
+    child: Pattern = target
+    for ancestor in reversed(ancestors):
+        siblings: list[Pattern] = []
+        if isinstance(ancestor, (Join, LeftJoin, Union)):
+            if ancestor.left is child:
+                siblings = [ancestor.right]
+            else:
+                siblings = [ancestor.left]
+        elif isinstance(ancestor, Filter):
+            if variable in ancestor.expression_variables():
+                return ancestor
+        for sibling in siblings:
+            if variable in _occurrence_vars(sibling):
+                return sibling
+        child = ancestor
+    return None
+
+
+def is_well_designed(pattern: Pattern) -> bool:
+    """True when the pattern has no well-designedness violations."""
+    return not find_violations(pattern)
+
+
+def check_union_free(pattern: Pattern) -> bool:
+    """True when the pattern contains no UNION node."""
+    return not any(isinstance(node, Union) for node in pattern.walk())

@@ -1,0 +1,110 @@
+"""2D BitMat tests: fold/unfold against a brute-force set model."""
+
+from hypothesis import given, strategies as st
+
+from repro.bitmat.bitmat import BitMat
+from repro.bitmat.bitvec import BitVector
+
+ROWS, COLS = 12, 10
+pair_sets = st.sets(st.tuples(st.integers(0, ROWS - 1),
+                              st.integers(0, COLS - 1)), max_size=40)
+row_masks = st.sets(st.integers(0, ROWS - 1), max_size=ROWS)
+col_masks = st.sets(st.integers(0, COLS - 1), max_size=COLS)
+
+
+def mat(pairs) -> BitMat:
+    return BitMat.from_pairs(ROWS, COLS, pairs)
+
+
+class TestConstruction:
+    def test_from_pairs(self):
+        m = mat({(1, 2), (1, 3), (4, 0)})
+        assert m.count() == 3
+        assert m.get_row(1).positions() == [2, 3]
+        assert m.get_row(0) is None
+
+    def test_from_sorted_pairs_equals_from_pairs(self):
+        pairs = [(0, 1), (0, 5), (2, 2), (7, 0)]
+        assert BitMat.from_sorted_pairs(ROWS, COLS, pairs) == mat(set(pairs))
+
+    def test_single_row(self):
+        vec = BitVector.from_positions(COLS, [1, 2])
+        m = BitMat.single_row(ROWS, COLS, 5, vec)
+        assert m.row_ids() == [5]
+        assert m.count() == 2
+
+    def test_single_empty_row_is_empty_matrix(self):
+        m = BitMat.single_row(ROWS, COLS, 5, BitVector.empty(COLS))
+        assert not m
+
+    def test_iter_pairs_round_trip(self):
+        pairs = {(1, 2), (3, 4), (3, 5)}
+        assert set(mat(pairs).iter_pairs()) == pairs
+
+    def test_iter_rows_sorted(self):
+        m = mat({(5, 0), (1, 0), (3, 0)})
+        assert [row for row, _ in m.iter_rows()] == [1, 3, 5]
+
+
+class TestFoldUnfold:
+    @given(pair_sets)
+    def test_fold_row_is_row_projection(self, pairs):
+        expected = {r for r, _ in pairs}
+        assert set(mat(pairs).fold("row").positions()) == expected
+
+    @given(pair_sets)
+    def test_fold_col_is_col_projection(self, pairs):
+        expected = {c for _, c in pairs}
+        assert set(mat(pairs).fold("col").positions()) == expected
+
+    @given(pair_sets, row_masks)
+    def test_unfold_row_keeps_masked_rows(self, pairs, mask):
+        kept = mat(pairs).unfold(BitVector.from_positions(ROWS, mask), "row")
+        assert set(kept.iter_pairs()) == {(r, c) for r, c in pairs
+                                          if r in mask}
+
+    @given(pair_sets, col_masks)
+    def test_unfold_col_keeps_masked_cols(self, pairs, mask):
+        kept = mat(pairs).unfold(BitVector.from_positions(COLS, mask), "col")
+        assert set(kept.iter_pairs()) == {(r, c) for r, c in pairs
+                                          if c in mask}
+
+    @given(pair_sets)
+    def test_unfold_with_own_fold_is_identity(self, pairs):
+        m = mat(pairs)
+        assert m.unfold(m.fold("row"), "row") == m
+        assert m.unfold(m.fold("col"), "col") == m
+
+    @given(pair_sets)
+    def test_unfold_is_out_of_place(self, pairs):
+        m = mat(pairs)
+        m.unfold(BitVector.empty(ROWS), "row")
+        assert set(m.iter_pairs()) == pairs
+
+    def test_fold_caches_are_consistent(self):
+        m = mat({(1, 2), (3, 4)})
+        assert m.fold("row") == m.fold("row")
+        assert m.fold("col") == m.fold("col")
+
+
+class TestTranspose:
+    @given(pair_sets)
+    def test_transpose_swaps_coordinates(self, pairs):
+        t = mat(pairs).transpose()
+        assert set(t.iter_pairs()) == {(c, r) for r, c in pairs}
+        assert (t.num_rows, t.num_cols) == (COLS, ROWS)
+
+    @given(pair_sets)
+    def test_double_transpose_is_identity(self, pairs):
+        m = mat(pairs)
+        assert m.transpose().transpose() == m
+
+
+class TestStorage:
+    @given(pair_sets)
+    def test_hybrid_never_exceeds_rle(self, pairs):
+        m = mat(pairs)
+        assert m.storage_bytes() <= m.rle_bytes()
+
+    def test_empty_matrix_has_zero_storage(self):
+        assert mat(set()).storage_bytes() == 0

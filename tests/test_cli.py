@@ -1,0 +1,104 @@
+"""CLI tests via the in-process entry point."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.rdf import ntriples
+
+
+@pytest.fixture(scope="module")
+def data_file(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "data.nt")
+    text = """
+<http://ex/jerry> <http://ex/hasFriend> <http://ex/julia> .
+<http://ex/jerry> <http://ex/hasFriend> <http://ex/larry> .
+<http://ex/julia> <http://ex/actedIn> <http://ex/seinfeld> .
+"""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text.strip() + "\n")
+    return path
+
+
+QUERY = ("SELECT * WHERE { <http://ex/jerry> <http://ex/hasFriend> ?f "
+         "OPTIONAL { ?f <http://ex/actedIn> ?s } }")
+
+
+class TestInfo:
+    def test_info_prints_characteristics(self, data_file, capsys):
+        assert main(["info", data_file]) == 0
+        out = capsys.readouterr().out
+        assert "triples=3" in out
+
+
+class TestIndexAndQuery:
+    def test_index_then_query_store(self, data_file, tmp_path, capsys):
+        store_path = str(tmp_path / "data.lbr")
+        assert main(["index", data_file, "--out", store_path]) == 0
+        capsys.readouterr()
+        assert main(["query", "--store", store_path, "--query", QUERY,
+                     "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "julia" in captured.out
+        assert "NULL" in captured.out  # larry has no sitcom
+        assert "2 rows" in captured.err
+        assert "best-match" in captured.err
+
+    def test_query_data_with_each_engine(self, data_file, capsys):
+        for engine in ("lbr", "naive", "columnstore"):
+            assert main(["query", "--data", data_file, "--query", QUERY,
+                         "--engine", engine]) == 0
+            out = capsys.readouterr().out
+            assert "seinfeld" in out, engine
+
+    def test_query_limit(self, data_file, capsys):
+        assert main(["query", "--data", data_file, "--query", QUERY,
+                     "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "more rows" in out
+
+    def test_explain(self, data_file, capsys):
+        assert main(["query", "--data", data_file, "--query", QUERY,
+                     "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "branch 1/1" in out
+        assert "(P1 OPT P2)" in out
+
+    def test_query_requires_text(self, data_file, capsys):
+        assert main(["query", "--data", data_file]) == 2
+
+    def test_baseline_needs_data_not_store(self, data_file, tmp_path,
+                                           capsys):
+        store_path = str(tmp_path / "data2.lbr")
+        main(["index", data_file, "--out", store_path])
+        capsys.readouterr()
+        assert main(["query", "--store", store_path, "--query", QUERY,
+                     "--engine", "naive"]) == 2
+
+    def test_query_file(self, data_file, tmp_path, capsys):
+        query_path = str(tmp_path / "q.rq")
+        with open(query_path, "w", encoding="utf-8") as handle:
+            handle.write(QUERY)
+        assert main(["query", "--data", data_file,
+                     "--query-file", query_path]) == 0
+        assert "julia" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_generate_lubm(self, tmp_path, capsys):
+        out_path = str(tmp_path / "lubm.nt")
+        assert main(["generate", "lubm", "--out", out_path,
+                     "--scale", "1.0"]) == 0
+        graph = ntriples.load(out_path)
+        assert len(graph) > 10_000
+
+    def test_generate_with_seed_is_deterministic(self, tmp_path, capsys):
+        first = str(tmp_path / "a.nt")
+        second = str(tmp_path / "b.nt")
+        main(["generate", "uniprot", "--out", first, "--seed", "3",
+              "--scale", "0.05"])
+        main(["generate", "uniprot", "--out", second, "--seed", "3",
+              "--scale", "0.05"])
+        with open(first) as handle_a, open(second) as handle_b:
+            assert handle_a.read() == handle_b.read()

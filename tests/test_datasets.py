@@ -1,0 +1,198 @@
+"""Dataset generator invariants and end-to-end query correctness."""
+
+import pytest
+
+from repro import BitMatStore, LBREngine, NaiveEngine
+from repro.datasets import (ALL_SUITES, DBPEDIA_QUERIES, DBPediaConfig,
+                            LUBMConfig, LUBM_QUERIES, UB, UNI,
+                            UNIPROT_QUERIES, UniProtConfig, generate_dbpedia,
+                            generate_lubm, generate_uniprot)
+from repro.datasets.dbpedia import DBPOWL, DBPPROP
+from repro.rdf.namespace import FOAF, RDF
+from repro.rdf.terms import URI
+
+SMALL_LUBM = LUBMConfig(departments_min=3, departments_max=4,
+                        undergrad_per_faculty=2.0, grad_per_faculty=1.5)
+SMALL_UNIPROT = UniProtConfig(proteins=250)
+SMALL_DBPEDIA = DBPediaConfig(places=120, settlements=40, airports=40,
+                              soccer_players=50, persons=80, companies=60,
+                              vehicles=25)
+
+
+@pytest.fixture(scope="module")
+def lubm():
+    return generate_lubm(SMALL_LUBM)
+
+
+@pytest.fixture(scope="module")
+def uniprot():
+    return generate_uniprot(SMALL_UNIPROT)
+
+
+@pytest.fixture(scope="module")
+def dbpedia():
+    return generate_dbpedia(SMALL_DBPEDIA)
+
+
+class TestLUBMInvariants:
+    def test_deterministic(self):
+        first = generate_lubm(SMALL_LUBM)
+        second = generate_lubm(SMALL_LUBM)
+        assert set(first) == set(second)
+
+    def test_department0_exists(self, lubm):
+        dept = URI("http://www.Department0.University0.edu")
+        assert lubm.count(s=dept, p=RDF.type) == 1
+
+    def test_every_department_has_a_head(self, lubm):
+        departments = [t.s for t in lubm.match(p=RDF.type,
+                                               o=UB.Department)]
+        for dept in departments:
+            assert lubm.count(p=UB.headOf, o=dept) == 1
+
+    def test_grad_students_have_advisors(self, lubm):
+        grads = [t.s for t in lubm.match(p=RDF.type, o=UB.GraduateStudent)]
+        assert grads
+        for grad in grads:
+            assert lubm.count(s=grad, p=UB.advisor) == 1
+
+    def test_ta_triangles_close_sometimes(self, lubm):
+        # some TA assists a course taught by their own advisor — the
+        # structural property Q1/Q4/Q5 need
+        closing = 0
+        for ta in lubm.match(p=UB.teachingAssistantOf):
+            advisors = [t.o for t in lubm.match(s=ta.s, p=UB.advisor)]
+            for advisor in advisors:
+                if lubm.count(s=advisor, p=UB.teacherOf, o=ta.o):
+                    closing += 1
+        assert closing > 0
+
+    def test_contact_details_partial(self, lubm):
+        professors = [t.s for t in lubm.match(p=RDF.type,
+                                              o=UB.FullProfessor)]
+        with_email = sum(1 for p in professors
+                         if lubm.count(s=p, p=UB.emailAddress))
+        assert 0 < with_email < len(professors)
+
+
+class TestUniProtInvariants:
+    def test_deterministic(self):
+        assert set(generate_uniprot(SMALL_UNIPROT)) == \
+            set(generate_uniprot(SMALL_UNIPROT))
+
+    def test_statements_never_encoded_by(self, uniprot):
+        # the structural reason UniProt Q2 is empty
+        statement_subjects = {t.s for t in uniprot.match(p=RDF.subject)}
+        encoded = {t.s for t in uniprot.match(p=UNI.encodedBy)}
+        assert statement_subjects
+        assert not statement_subjects & encoded
+
+    def test_genes_never_have_context(self, uniprot):
+        # the structural reason every UniProt Q4 row is NULL-padded
+        genes = {t.o for t in uniprot.match(p=UNI.encodedBy)}
+        with_context = {t.s for t in uniprot.match(p=UNI.context)}
+        assert with_context
+        assert not genes & with_context
+
+    def test_selective_modified_date(self, uniprot):
+        total = uniprot.count(p=UNI.modified)
+        selective = uniprot.count(
+            p=UNI.modified,
+            o=__import__("repro.rdf.terms", fromlist=["Literal"])
+            .Literal("2008-01-15"))
+        assert 0 < selective < total / 5
+
+    def test_transmembrane_ranges(self, uniprot):
+        annotations = [t.s for t in uniprot.match(
+            p=RDF.type, o=UNI.Transmembrane_Annotation)]
+        assert annotations
+        with_range = sum(1 for a in annotations
+                         if uniprot.count(s=a, p=UNI.range))
+        assert 0 < with_range <= len(annotations)
+
+
+class TestDBPediaInvariants:
+    def test_deterministic(self):
+        assert set(generate_dbpedia(SMALL_DBPEDIA)) == \
+            set(generate_dbpedia(SMALL_DBPEDIA))
+
+    def test_clubs_are_literals_without_capacity(self, dbpedia):
+        # the structural reason DBPedia Q2 is empty
+        club_values = {t.o for t in dbpedia.match(p=DBPPROP.clubs)}
+        with_capacity = {t.s for t in dbpedia.match(p=DBPOWL.capacity)}
+        assert club_values
+        assert not club_values & with_capacity
+
+    def test_persons_have_no_foaf_page(self, dbpedia):
+        # the structural reason DBPedia Q3 is empty
+        persons = {t.s for t in dbpedia.match(p=RDF.type, o=DBPOWL.Person)}
+        with_page = {t.s for t in dbpedia.match(p=FOAF.page)}
+        assert persons
+        assert not persons & with_page
+
+    def test_long_predicate_tail(self, dbpedia):
+        assert len(dbpedia.predicates()) > 100
+
+    def test_airport_optionals_are_rare(self, dbpedia):
+        airports = [t.s for t in dbpedia.match(p=RDF.type,
+                                               o=DBPOWL.Airport)]
+        with_homepage = sum(1 for a in airports
+                            if dbpedia.count(s=a, p=FOAF.homepage))
+        assert with_homepage < len(airports) / 5
+
+
+@pytest.mark.parametrize("suite", ["LUBM", "UniProt", "DBPedia"])
+class TestQueriesAgainstOracle:
+    def _graph(self, suite, lubm, uniprot, dbpedia):
+        return {"LUBM": lubm, "UniProt": uniprot, "DBPedia": dbpedia}[suite]
+
+    def test_all_queries_match_oracle(self, suite, lubm, uniprot, dbpedia):
+        graph = self._graph(suite, lubm, uniprot, dbpedia)
+        store = BitMatStore.build(graph)
+        engine = LBREngine(store)
+        oracle = NaiveEngine(graph)
+        for name, query in ALL_SUITES[suite].items():
+            assert engine.execute(query).as_multiset() == \
+                oracle.execute(query).as_multiset(), f"{suite} {name}"
+
+
+class TestPaperShapeFlags:
+    def test_lubm_best_match_flags(self, lubm):
+        # Table 6.2: best-match required exactly for Q4 and Q5
+        store = BitMatStore.build(lubm)
+        engine = LBREngine(store)
+        expected = {"Q1": False, "Q2": False, "Q3": False,
+                    "Q4": True, "Q5": True, "Q6": False}
+        for name, query in LUBM_QUERIES.items():
+            engine.execute(query)
+            assert engine.last_stats.best_match_required == expected[name], name
+
+    def test_uniprot_q2_detected_empty_early(self, uniprot):
+        store = BitMatStore.build(uniprot)
+        engine = LBREngine(store)
+        result = engine.execute(UNIPROT_QUERIES["Q2"])
+        assert len(result) == 0
+        assert engine.last_stats.aborted_empty
+
+    def test_dbpedia_q2_q3_detected_empty_early(self, dbpedia):
+        store = BitMatStore.build(dbpedia)
+        engine = LBREngine(store)
+        for name in ("Q2", "Q3"):
+            result = engine.execute(DBPEDIA_QUERIES[name])
+            assert len(result) == 0
+            assert engine.last_stats.aborted_empty, name
+
+    def test_uniprot_q4_all_rows_null(self, uniprot):
+        store = BitMatStore.build(uniprot)
+        engine = LBREngine(store)
+        result = engine.execute(UNIPROT_QUERIES["Q4"])
+        assert len(result) > 0
+        assert result.rows_with_nulls() == len(result)
+
+    def test_lubm_low_selectivity_queries_prune_heavily(self, lubm):
+        store = BitMatStore.build(lubm)
+        engine = LBREngine(store)
+        for name in ("Q1", "Q3"):
+            engine.execute(LUBM_QUERIES[name])
+            stats = engine.last_stats
+            assert stats.triples_after_pruning < stats.initial_triples / 2

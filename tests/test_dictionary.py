@@ -1,0 +1,138 @@
+"""Dictionary encoding tests — the Appendix D shared-id mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import DictionaryError
+from repro.rdf.dictionary import Dictionary
+from repro.rdf.terms import Literal, Triple, URI
+
+
+def make_triples(rows):
+    return [Triple(URI(s), URI(p), URI(o)) for s, p, o in rows]
+
+
+@pytest.fixture()
+def sample() -> Dictionary:
+    return Dictionary.from_triples(make_triples([
+        ("a", "p", "b"),   # a: S only until...
+        ("b", "p", "c"),   # b: both S and O -> shared
+        ("d", "q", "a"),   # a: now shared too
+    ]))
+
+
+class TestSharedRegion:
+    def test_shared_terms_get_identical_ids(self, sample):
+        for name in ("a", "b"):
+            assert sample.subject_id(URI(name)) == sample.object_id(URI(name))
+
+    def test_shared_ids_form_a_prefix(self, sample):
+        assert sample.num_shared == 2
+        for name in ("a", "b"):
+            assert sample.subject_id(URI(name)) <= sample.num_shared
+
+    def test_non_shared_ids_above_prefix(self, sample):
+        assert sample.subject_id(URI("d")) > sample.num_shared
+        assert sample.object_id(URI("c")) > sample.num_shared
+
+    def test_is_shared_id(self, sample):
+        assert sample.is_shared_id(1)
+        assert sample.is_shared_id(sample.num_shared)
+        assert not sample.is_shared_id(sample.num_shared + 1)
+        assert not sample.is_shared_id(0)
+
+    def test_ids_are_one_based(self, sample):
+        all_ids = [sample.subject_id(URI(n)) for n in ("a", "b", "d")]
+        assert min(all_ids) == 1
+
+
+class TestCounts:
+    def test_dimension_counts(self, sample):
+        assert sample.num_subjects == 3   # a, b, d
+        assert sample.num_objects == 3    # a, b, c
+        assert sample.num_predicates == 2
+
+    def test_len_counts_distinct_terms(self, sample):
+        # terms: a, b, c, d + predicates p, q
+        assert len(sample) == 6
+
+
+class TestRoundTrip:
+    def test_encode_decode_round_trip(self, sample):
+        for triple in make_triples([("a", "p", "b"), ("d", "q", "a")]):
+            assert sample.decode_triple(sample.encode_triple(triple)) == triple
+
+    def test_unknown_term_raises(self, sample):
+        with pytest.raises(DictionaryError):
+            sample.encode_triple(Triple(URI("zz"), URI("p"), URI("b")))
+
+    def test_unknown_ids_raise(self, sample):
+        with pytest.raises(DictionaryError):
+            sample.subject_term(0)
+        with pytest.raises(DictionaryError):
+            sample.subject_term(99)
+        with pytest.raises(DictionaryError):
+            sample.predicate_term(11)
+
+    def test_encode_triples_stream(self, sample):
+        batch = make_triples([("a", "p", "b"), ("b", "p", "c")])
+        assert len(list(sample.encode_triples(batch))) == 2
+
+
+class TestDeterminism:
+    def test_same_input_same_ids(self):
+        rows = [("s1", "p", "o1"), ("o1", "p", "s1"), ("x", "q", "y")]
+        d1 = Dictionary.from_triples(make_triples(rows))
+        d2 = Dictionary.from_triples(make_triples(reversed(rows)))
+        for name in ("s1", "o1", "x"):
+            assert d1.subject_id(URI(name)) == d2.subject_id(URI(name))
+
+    def test_literals_and_uris_do_not_collide(self):
+        d = Dictionary.from_triples([
+            Triple(URI("s"), URI("p"), Literal("s")),
+        ])
+        # "s" as URI subject and "s" as literal object are distinct terms
+        assert d.num_shared == 0
+
+    def test_literal_datatypes_distinct(self):
+        d = Dictionary.from_triples([
+            Triple(URI("s"), URI("p"), Literal("5")),
+            Triple(URI("s"), URI("p"),
+                   Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer")),
+        ])
+        assert d.num_objects == 2
+
+
+names = st.text(alphabet="abcdefg", min_size=1, max_size=3)
+triple_sets = st.sets(st.tuples(names, names, names), min_size=1,
+                      max_size=30)
+
+
+class TestProperties:
+    @given(triple_sets)
+    def test_appendix_d_invariants(self, rows):
+        data = make_triples(rows)
+        d = Dictionary.from_triples(data)
+        subjects = {t.s for t in data}
+        objects = {t.o for t in data}
+        shared = subjects & objects
+        assert d.num_shared == len(shared)
+        assert d.num_subjects == len(subjects)
+        assert d.num_objects == len(objects)
+        # V_so ids are 1..|Vso| and equal across dimensions
+        for term in shared:
+            sid = d.subject_id(term)
+            assert sid == d.object_id(term)
+            assert 1 <= sid <= d.num_shared
+        # S-only and O-only ids are above the shared prefix
+        for term in subjects - shared:
+            assert d.subject_id(term) > d.num_shared
+        for term in objects - shared:
+            assert d.object_id(term) > d.num_shared
+
+    @given(triple_sets)
+    def test_round_trip_every_triple(self, rows):
+        data = make_triples(rows)
+        d = Dictionary.from_triples(data)
+        for triple in data:
+            assert d.decode_triple(d.encode_triple(triple)) == triple

@@ -1,0 +1,171 @@
+"""LBR engine tests: BGP-only queries, TP shapes, projection, stats."""
+
+import pytest
+
+from repro import (BitMatStore, Graph, LBREngine, NULL, NaiveEngine,
+                   Triple, URI, UnsupportedQueryError)
+
+from .conftest import EX, assert_engines_agree, triples, uri
+
+SOCIAL = Graph(triples(
+    ("alice", "knows", "bob"),
+    ("alice", "knows", "carol"),
+    ("bob", "knows", "carol"),
+    ("carol", "knows", "alice"),
+    ("alice", "age", "a30"),
+    ("bob", "age", "a40"),
+    ("alice", "type", "Person"),
+    ("bob", "type", "Person"),
+    ("carol", "type", "Person"),
+))
+
+
+def q(body: str) -> str:
+    return f"PREFIX ex: <{EX}>\nSELECT * WHERE {{ {body} }}"
+
+
+class TestBGPQueries:
+    @pytest.mark.parametrize("body", [
+        "?a ex:knows ?b",
+        "?a ex:knows ex:carol",
+        "ex:alice ex:knows ?b",
+        "?a ex:knows ?b . ?b ex:knows ?c",
+        "?a ex:knows ?b . ?b ex:knows ?c . ?c ex:knows ?a",
+        "?a ex:knows ?b . ?a ex:age ?g",
+        "?a ex:type ex:Person . ?a ex:knows ?b . ?b ex:type ex:Person",
+        "ex:alice ex:knows ?x . ?x ex:knows ?y . ?y ex:age ?z",
+    ])
+    def test_matches_oracle(self, body):
+        assert_engines_agree(SOCIAL, q(body))
+
+    def test_s_s_join(self):
+        assert_engines_agree(SOCIAL, q("?a ex:knows ?b . ?a ex:type ?t"))
+
+    def test_s_o_join(self):
+        assert_engines_agree(SOCIAL, q("?a ex:knows ?b . ?c ex:knows ?a"))
+
+    def test_o_o_join(self):
+        assert_engines_agree(SOCIAL, q("?a ex:knows ?x . ?b ex:age ?x"))
+
+    def test_self_join_same_variable_twice(self):
+        graph = Graph(triples(("n", "loop", "n"), ("n", "loop", "m")))
+        assert_engines_agree(graph, q("?x ex:loop ?x"))
+
+    def test_empty_result_unknown_constant(self):
+        assert_engines_agree(SOCIAL, q("?a ex:knows ex:nobody"))
+
+    def test_unknown_predicate(self):
+        assert_engines_agree(SOCIAL, q("?a ex:missing ?b"))
+
+    def test_variable_predicate_non_join(self):
+        assert_engines_agree(SOCIAL, q("ex:alice ?p ?o"))
+        assert_engines_agree(SOCIAL, q("?s ?p ex:carol"))
+
+    def test_variable_predicate_two_fixed(self):
+        assert_engines_agree(SOCIAL, q("ex:alice ?p ex:bob"))
+
+    def test_ground_triple_present(self):
+        assert_engines_agree(SOCIAL, q(
+            "ex:alice ex:knows ex:bob . ?a ex:age ?g"))
+
+    def test_ground_triple_absent_empties_result(self):
+        assert_engines_agree(SOCIAL, q(
+            "ex:alice ex:knows ex:alice . ?a ex:age ?g"))
+
+
+class TestProjectionAndDistinct:
+    def test_projection_subset(self):
+        query = (f"PREFIX ex: <{EX}>\n"
+                 f"SELECT ?a WHERE {{ ?a ex:knows ?b }}")
+        assert_engines_agree(SOCIAL, query)
+
+    def test_projection_keeps_bag_semantics(self):
+        store = BitMatStore.build(SOCIAL)
+        query = (f"PREFIX ex: <{EX}>\n"
+                 f"SELECT ?a WHERE {{ ?a ex:knows ?b }}")
+        result = LBREngine(store).execute(query)
+        # alice knows two people: ?a = alice appears twice
+        assert result.as_multiset()[(uri("alice"),)] == 2
+
+    def test_distinct(self):
+        query = (f"PREFIX ex: <{EX}>\n"
+                 f"SELECT DISTINCT ?a WHERE {{ ?a ex:knows ?b }}")
+        store = BitMatStore.build(SOCIAL)
+        result = LBREngine(store).execute(query)
+        assert result.as_multiset()[(uri("alice"),)] == 1
+        assert_engines_agree(SOCIAL, query)
+
+    def test_projected_variable_not_in_pattern(self):
+        query = (f"PREFIX ex: <{EX}>\n"
+                 f"SELECT ?a ?zzz WHERE {{ ?a ex:age ?g }}")
+        store = BitMatStore.build(SOCIAL)
+        result = LBREngine(store).execute(query)
+        assert all(row[1] is NULL for row in result)
+
+
+class TestUnsupported:
+    def test_all_variable_tp(self):
+        store = BitMatStore.build(SOCIAL)
+        with pytest.raises(UnsupportedQueryError):
+            LBREngine(store).execute("SELECT * WHERE { ?s ?p ?o }")
+
+    def test_cartesian_product(self):
+        store = BitMatStore.build(SOCIAL)
+        with pytest.raises(UnsupportedQueryError, match="Cartesian"):
+            LBREngine(store).execute(q("?a ex:knows ?b . ?c ex:age ?d"))
+
+    def test_predicate_join_mixing_positions(self):
+        store = BitMatStore.build(SOCIAL)
+        with pytest.raises(UnsupportedQueryError):
+            LBREngine(store).execute(q("ex:alice ?j ?x . ?j ex:knows ?y"))
+
+    def test_predicate_predicate_join_supported(self):
+        # P-P joins stay within one id space — supported as an extension
+        assert_engines_agree(SOCIAL, q("ex:alice ?p ?x . ex:bob ?p ?y"))
+
+
+class TestStats:
+    def test_stats_populated(self):
+        store = BitMatStore.build(SOCIAL)
+        engine = LBREngine(store)
+        engine.execute(q("?a ex:knows ?b . ?b ex:knows ?c"))
+        stats = engine.last_stats
+        assert stats.num_results == len(engine.execute(
+            q("?a ex:knows ?b . ?b ex:knows ?c")))
+        assert stats.initial_triples == 8  # 4 + 4 knows triples
+        assert stats.t_total > 0
+        assert stats.branches == 1
+        assert not stats.best_match_required
+
+    def test_initial_triples_counts_before_pruning(self):
+        store = BitMatStore.build(SOCIAL)
+        engine = LBREngine(store)
+        engine.execute(q("ex:alice ex:knows ?b . ?b ex:age ?g"))
+        assert engine.last_stats.initial_triples == 2 + 2
+        assert engine.last_stats.triples_after_pruning <= 4
+
+
+class TestDegenerateQueries:
+    def test_empty_pattern_yields_one_empty_row(self):
+        store = BitMatStore.build(SOCIAL)
+        result = LBREngine(store).execute("SELECT * WHERE { }")
+        assert len(result) == 1
+        assert result.rows == [()]
+
+    def test_single_ground_triple_present(self):
+        store = BitMatStore.build(SOCIAL)
+        result = LBREngine(store).execute(
+            q("ex:alice ex:knows ex:bob"))
+        assert len(result) == 1
+
+    def test_single_ground_triple_absent(self):
+        store = BitMatStore.build(SOCIAL)
+        result = LBREngine(store).execute(
+            q("ex:alice ex:knows ex:zzz"))
+        assert len(result) == 0
+
+    def test_empty_graph(self):
+        graph = Graph()
+        store = BitMatStore.build(graph)
+        result = LBREngine(store).execute(q("?a ex:p ?b"))
+        assert len(result) == 0

@@ -1,0 +1,132 @@
+"""Non-well-designed queries: Appendix B transformation + Appendix C semantics.
+
+For NWD queries the paper prescribes a GoSN transformation under the
+null-intolerant join assumption: every unidirectional edge on the
+undirected path between a violation pair becomes bidirectional — i.e.
+those left-outer joins become inner joins.  The precise conformance
+test is therefore: LBR on the NWD query must equal the (SPARQL) oracle
+on the *explicitly rewritten* query in which the converted OPTIONALs
+are inner joins.
+"""
+
+import pytest
+
+from repro import (BitMatStore, ColumnStoreEngine, Graph, LBREngine,
+                   NaiveEngine, NULL)
+from repro.sparql import is_well_designed, parse_query
+
+from .conftest import EX, triples, uri
+
+
+def q(body: str) -> str:
+    return f"PREFIX ex: <{EX}>\nSELECT * WHERE {{ {body} }}"
+
+
+DATA = Graph(triples(
+    ("x1", "p", "y1"), ("x2", "p", "y2"), ("x3", "p", "y3"),
+    ("y1", "q", "z1"), ("y2", "q", "z2"),
+    ("z1", "r", "w1"),
+    ("y1", "s", "v1"), ("y3", "s", "v3"),
+    ("x1", "t", "u1"), ("x2", "t", "u2"), ("x3", "t", "u3"),
+))
+
+# (NWD query, its Appendix-B-transformed equivalent)
+NWD_CASES = [
+    # ?y of the second block's slave occurs in the first block: the
+    # violation paths convert every OPT on them into inner joins
+    ("{ ?x ex:p ?y OPTIONAL { ?y ex:q ?z } } "
+     "{ ?x ex:t ?u OPTIONAL { ?y ex:s ?v } }",
+     "?x ex:p ?y . ?y ex:q ?z . ?x ex:t ?u . ?y ex:s ?v"),
+    # innermost OPT references ?y from two levels up: the whole chain
+    # of OPTs lies on the violation paths
+    ("?x ex:p ?y OPTIONAL { ?y ex:q ?z OPTIONAL { ?z ex:r ?w "
+     "OPTIONAL { ?y ex:s ?v } } }",
+     "?x ex:p ?y . ?y ex:q ?z . ?z ex:r ?w . ?y ex:s ?v"),
+    # textbook Px JOIN (Py OPT Pz): the single OPT becomes inner
+    ("{ ?x ex:p ?c } { ?y ex:q ?z OPTIONAL { ?z ex:r ?c } }",
+     "?x ex:p ?c . ?y ex:q ?z . ?z ex:r ?c"),
+]
+
+
+class TestAppendixBConformance:
+    @pytest.mark.parametrize("body,_", NWD_CASES)
+    def test_cases_are_really_nwd(self, body, _):
+        assert not is_well_designed(parse_query(q(body)).pattern)
+
+    @pytest.mark.parametrize("body,transformed", NWD_CASES)
+    def test_lbr_equals_oracle_on_transformed_query(self, body,
+                                                    transformed):
+        store = BitMatStore.build(DATA)
+        lbr = LBREngine(store).execute(q(body))
+        oracle = NaiveEngine(DATA).execute(q(transformed))
+        # align on the shared variable tuple (the transformed query has
+        # the same variables)
+        assert lbr.project(oracle.variables).as_multiset() == \
+            oracle.as_multiset()
+
+    @pytest.mark.parametrize("body,_", NWD_CASES)
+    def test_transformation_flag_reported(self, body, _):
+        store = BitMatStore.build(DATA)
+        engine = LBREngine(store)
+        engine.execute(q(body))
+        assert engine.last_stats.nwd_transformed
+
+    def test_simple_violation_matches_sql_oracle_too(self):
+        # for Px JOIN (Py OPT Pz) the inner-join conversion provably
+        # coincides with SQL null-intolerant evaluation
+        body, _ = NWD_CASES[2]
+        store = BitMatStore.build(DATA)
+        lbr = LBREngine(store).execute(q(body))
+        sql = NaiveEngine(DATA, null_intolerant=True).execute(q(body))
+        col = ColumnStoreEngine(DATA).execute(q(body))
+        assert lbr.as_multiset() == sql.as_multiset()
+        assert col.as_multiset() == sql.as_multiset()
+
+
+class TestAppendixCDivergence:
+    """SPARQL and SQL answers genuinely differ on joins over NULLs."""
+
+    MOVIES = Graph(triples(
+        ("f1", "acted", "s1"),
+        # no location for s1 -> ?c unbound on the left side
+        ("z1", "in", "c1"),
+    ))
+    QUERY = q("{ ?f ex:acted ?s OPTIONAL { ?s ex:loc ?c } } "
+              "{ ?z ex:in ?c }")
+
+    def test_query_is_nwd(self):
+        assert not is_well_designed(parse_query(self.QUERY).pattern)
+
+    def test_pure_sparql_keeps_counterintuitive_row(self):
+        # Appendix C: an unbound ?c is compatible with anything, so the
+        # pure-SPARQL answer joins (f1, s1) with (z1, c1)
+        rows = NaiveEngine(self.MOVIES).execute(self.QUERY)
+        assert len(rows) == 1
+        assert rows.rows[0][rows.variables.index("c")] == uri("c1")
+
+    def test_sql_semantics_rejects_null_join(self):
+        rows = NaiveEngine(self.MOVIES,
+                           null_intolerant=True).execute(self.QUERY)
+        assert len(rows) == 0
+
+    def test_lbr_follows_the_sql_interpretation(self):
+        store = BitMatStore.build(self.MOVIES)
+        rows = LBREngine(store).execute(self.QUERY)
+        assert len(rows) == 0
+
+    def test_wd_queries_unaffected_by_semantics(self):
+        query = q("?x ex:p ?y OPTIONAL { ?y ex:q ?z }")
+        sparql_rows = NaiveEngine(DATA).execute(query)
+        sql_rows = NaiveEngine(DATA, null_intolerant=True).execute(query)
+        assert sparql_rows.as_multiset() == sql_rows.as_multiset()
+
+
+class TestTransformedRelations:
+    def test_violating_leftjoin_becomes_inner(self):
+        # after transformation the ?y ex:s ?v block is an inner join:
+        # masters without an s-edge disappear
+        store = BitMatStore.build(DATA)
+        result = LBREngine(store).execute(q(NWD_CASES[0][0]))
+        bound_y = {row["y"] for row in result.bindings()}
+        assert uri("y2") not in bound_y
+        assert uri("y1") in bound_y

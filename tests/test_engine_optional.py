@@ -1,0 +1,171 @@
+"""LBR engine tests for OPTIONAL patterns — the paper's core subject."""
+
+import pytest
+
+from repro import BitMatStore, Graph, LBREngine, NULL, NaiveEngine, URI
+
+from .conftest import (EX, FIGURE_3_2_QUERY, assert_engines_agree, triples,
+                       uri)
+
+
+def q(body: str) -> str:
+    return f"PREFIX ex: <{EX}>\nSELECT * WHERE {{ {body} }}"
+
+
+ACTORS = Graph(triples(
+    ("a1", "name", "n1"), ("a1", "address", "ad1"),
+    ("a2", "name", "n2"), ("a2", "address", "ad2"),
+    ("a3", "name", "n3"), ("a3", "address", "ad3"),
+    ("a1", "email", "e1"), ("a1", "telephone", "t1"),
+    ("a2", "email", "e2"),
+))
+
+
+class TestIntroductionQueries:
+    def test_q1_actors_with_optional_contact(self):
+        # Q1 of §1: emails/telephones only for those who list them
+        query = q("""
+            ?actor ex:name ?name . ?actor ex:address ?addr .
+            OPTIONAL { ?actor ex:email ?email .
+                       ?actor ex:telephone ?tele . }""")
+        assert_engines_agree(ACTORS, query)
+        store = BitMatStore.build(ACTORS)
+        result = LBREngine(store).execute(query)
+        rows = {row["actor"]: row for row in result.bindings()}
+        assert rows[uri("a1")]["email"] == uri("e1")
+        assert rows[uri("a2")]["email"] is NULL  # email without telephone
+        assert rows[uri("a3")]["email"] is NULL
+
+    def test_q2_figure_3_2_exact_results(self, figure_graph, figure_engine):
+        result = figure_engine.execute(FIGURE_3_2_QUERY)
+        assert set(result.rows) == {
+            (uri("Julia"), uri("Seinfeld")),
+            (uri("Larry"), NULL),
+        }
+        stats = figure_engine.last_stats
+        assert not stats.best_match_required
+        assert stats.triples_after_pruning == 4  # 2 + 1 + 1 (minimal)
+
+
+class TestNestingShapes:
+    DATA = Graph(triples(
+        ("x1", "p", "y1"), ("x2", "p", "y2"), ("x3", "p", "y3"),
+        ("y1", "q", "z1"), ("y2", "q", "z2"),
+        ("z1", "r", "w1"),
+        ("y1", "s", "v1"), ("y3", "s", "v3"),
+        ("x1", "t", "u1"), ("x3", "t", "u3"),
+        ("x1", "s", "sv1"), ("z1", "s", "sz1"),
+    ))
+
+    @pytest.mark.parametrize("body", [
+        # single OPT
+        "?x ex:p ?y OPTIONAL { ?y ex:q ?z }",
+        # nested OPT: P1 OPT (P2 OPT P3)
+        "?x ex:p ?y OPTIONAL { ?y ex:q ?z OPTIONAL { ?z ex:r ?w } }",
+        # sequential OPTs: (P1 OPT P2) OPT P3
+        "?x ex:p ?y OPTIONAL { ?y ex:q ?z } OPTIONAL { ?y ex:s ?v }",
+        # OPT then join
+        "{ ?x ex:p ?y OPTIONAL { ?y ex:q ?z } } { ?x ex:t ?u }",
+        # join of two OPT blocks, both slaves hanging off their master
+        "{ ?x ex:p ?y OPTIONAL { ?y ex:q ?z } } "
+        "{ ?x ex:t ?u OPTIONAL { ?x ex:s ?v } }",
+        # three-level well-designed nesting
+        "?x ex:p ?y OPTIONAL { ?y ex:q ?z OPTIONAL { ?z ex:r ?w "
+        "OPTIONAL { ?z ex:s ?v } } }",
+        # OPT block with multiple TPs
+        "?x ex:p ?y OPTIONAL { ?y ex:q ?z . ?z ex:r ?w }",
+    ])
+    def test_matches_oracle(self, body):
+        assert_engines_agree(self.DATA, q(body))
+
+    def test_empty_master_with_optional(self):
+        # OPTIONAL as the only group member: { } OPT P
+        assert_engines_agree(self.DATA, q("OPTIONAL { ?y ex:q ?z }"))
+
+    def test_optional_with_no_matches_at_all(self):
+        assert_engines_agree(self.DATA,
+                             q("?x ex:p ?y OPTIONAL { ?y ex:zz ?z }"))
+
+    def test_optional_ground_triple_present(self):
+        assert_engines_agree(self.DATA,
+                             q("?x ex:p ?y OPTIONAL { ex:z1 ex:r ex:w1 }"))
+
+    def test_optional_ground_triple_absent(self):
+        assert_engines_agree(
+            self.DATA,
+            q("?x ex:p ?y OPTIONAL { ex:z1 ex:r ex:nope . ?y ex:q ?z }"))
+
+
+class TestCyclicQueries:
+    TRIANGLE = Graph(triples(
+        ("s1", "advisor", "p1"), ("s2", "advisor", "p1"),
+        ("s3", "advisor", "p2"),
+        ("p1", "teaches", "c1"), ("p2", "teaches", "c2"),
+        ("s1", "takes", "c1"), ("s2", "takes", "c2"), ("s3", "takes", "c2"),
+        ("p1", "worksFor", "d1"), ("p2", "worksFor", "d1"),
+    ))
+
+    def test_cyclic_slave_needs_best_match(self):
+        query = q("""
+            ?x ex:worksFor ex:d1 .
+            OPTIONAL { ?y ex:advisor ?x . ?x ex:teaches ?z .
+                       ?y ex:takes ?z . }""")
+        assert_engines_agree(self.TRIANGLE, query)
+        store = BitMatStore.build(self.TRIANGLE)
+        engine = LBREngine(store)
+        engine.execute(query)
+        assert engine.last_stats.best_match_required
+
+    def test_cyclic_master_single_jvar_slaves(self):
+        # Lemma 3.4: cyclic GoJ but one jvar per slave — no best-match
+        query = q("""
+            { ?y ex:advisor ?x . ?x ex:teaches ?z . ?y ex:takes ?z .
+              OPTIONAL { ?x ex:worksFor ?d } }""")
+        assert_engines_agree(self.TRIANGLE, query)
+        store = BitMatStore.build(self.TRIANGLE)
+        engine = LBREngine(store)
+        engine.execute(query)
+        assert not engine.last_stats.best_match_required
+
+    def test_partial_slave_match_nullified(self):
+        # slave block where one TP matches but the other does not:
+        # the whole block must be NULL
+        graph = Graph(triples(
+            ("m1", "p", "k1"),
+            ("k1", "q", "q1"),          # q matches
+            # no ("q1", "r", ...) so the block fails as a whole
+            ("k2", "r", "r1"),
+        ))
+        query = q("?m ex:p ?k OPTIONAL { ?k ex:q ?a . ?a ex:r ?b }")
+        assert_engines_agree(graph, query)
+        store = BitMatStore.build(graph)
+        result = LBREngine(store).execute(query)
+        assert set(result.rows) == {(NULL, NULL, uri("k1"), uri("m1"))} or \
+            all(NULL in row for row in result.rows)
+
+
+class TestWellDesignedNestingFromPaper:
+    """The Figure 2.1(b) query shape over concrete data."""
+
+    def test_figure_21b_shape_agrees(self):
+        graph = Graph(triples(
+            ("a1", "p1", "x1"), ("a2", "p1", "x2"),
+            ("a1", "p2", "b1"),
+            ("a1", "p3", "c1"), ("a2", "p3", "c2"),
+            ("c1", "p4", "d1"),
+            ("a1", "p5", "e1"),
+            ("e1", "p6", "f1"),
+        ))
+        query = q("""
+            { { ?a ex:p1 ?x OPTIONAL { ?a ex:p2 ?b } }
+              { ?a ex:p3 ?c OPTIONAL { ?c ex:p4 ?d } } }
+            OPTIONAL { ?a ex:p5 ?e OPTIONAL { ?e ex:p6 ?f } }""")
+        assert_engines_agree(graph, query)
+
+
+class TestResultSetHelpers:
+    def test_rows_with_nulls_metric(self, figure_store):
+        engine = LBREngine(figure_store)
+        result = engine.execute(FIGURE_3_2_QUERY)
+        assert result.rows_with_nulls() == 1
+        assert engine.last_stats.results_with_nulls == 1

@@ -1,0 +1,232 @@
+"""Randomized equivalence testing: LBR vs the naive oracle.
+
+Hypothesis generates random graphs and random *well-designed* BGP-OPT
+queries (fresh variables per OPTIONAL block guarantee well-designedness;
+blocks always share a link variable with their master, so there are no
+Cartesian products).  Every generated query must produce bag-identical
+results across LBR and the oracle — this exercises GoSN construction,
+jvar ordering, pruning, the multi-way join, nullification, and
+best-match end to end.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import BitMatStore, Graph, LBREngine, NaiveEngine, Triple, URI
+from repro.rdf.terms import Variable
+from repro.sparql.ast import BGP, Join, LeftJoin, Query, TriplePattern
+from repro.sparql.wd import is_well_designed
+
+ENTITIES = [URI(f"e{i}") for i in range(8)]
+PREDICATES = [URI(f"p{i}") for i in range(4)]
+
+graphs = st.builds(
+    lambda rows: Graph(Triple(ENTITIES[s], PREDICATES[p], ENTITIES[o])
+                       for s, p, o in rows),
+    st.sets(st.tuples(st.integers(0, 7), st.integers(0, 3),
+                      st.integers(0, 7)), min_size=1, max_size=40))
+
+
+class _QueryBuilder:
+    """Builds random well-designed, connected BGP-OPT trees.
+
+    Every OPTIONAL block shares exactly its *link* variable with the
+    enclosing pattern and otherwise uses fresh variables, which
+    guarantees well-designedness; anchors for slaves and joined
+    patterns are drawn from master-level (root BGP) variables only.
+    """
+
+    def __init__(self, draw):
+        self._draw = draw
+        self._counter = 0
+
+    def fresh_var(self) -> Variable:
+        self._counter += 1
+        return Variable(f"v{self._counter}")
+
+    def term(self, candidates: list[Variable]):
+        choice = self._draw(st.integers(0, 3))
+        if choice == 0 and candidates:
+            return self._draw(st.sampled_from(candidates))
+        if choice == 1:
+            return self._draw(st.sampled_from(ENTITIES))
+        return self.fresh_var()
+
+    def bgp(self, link: Variable | None) -> BGP:
+        size = self._draw(st.integers(1, 3))
+        local_vars: list[Variable] = [link] if link is not None else []
+        patterns = []
+        for _ in range(size):
+            predicate = self._draw(st.sampled_from(PREDICATES))
+            if local_vars:
+                # anchor one position on an existing local variable so
+                # the block never contains a Cartesian product
+                anchor = self._draw(st.sampled_from(local_vars))
+                other = self.term(local_vars)
+                if self._draw(st.booleans()):
+                    subject, obj = anchor, other
+                else:
+                    subject, obj = other, anchor
+            else:
+                subject = self.fresh_var()
+                local_vars.append(subject)
+                obj = self.term(local_vars)
+            for term in (subject, obj):
+                if isinstance(term, Variable) and term not in local_vars:
+                    local_vars.append(term)
+            patterns.append(TriplePattern(subject, predicate, obj))
+        return BGP(tuple(patterns))
+
+    def pattern(self, link: Variable | None,
+                depth: int) -> tuple[object, list[Variable]]:
+        """Returns (pattern, master-level variables)."""
+        node = self.bgp(link)
+        master_vars = sorted(node.variables())
+        attachments = self._draw(st.integers(0, 2 if depth < 2 else 0))
+        current = node
+        for _ in range(attachments):
+            if not master_vars:
+                break
+            anchor = self._draw(st.sampled_from(master_vars))
+            slave, _ = self.pattern(anchor, depth + 1)
+            current = LeftJoin(current, slave)
+        return current, master_vars
+
+
+@st.composite
+def wd_queries(draw) -> Query:
+    builder = _QueryBuilder(draw)
+    pattern, master_vars = builder.pattern(None, 0)
+    join_second = draw(st.booleans())
+    if join_second and master_vars:
+        anchor = draw(st.sampled_from(master_vars))
+        second, _ = builder.pattern(anchor, 1)
+        pattern = Join(pattern, second)
+    return Query(pattern=pattern)
+
+
+@settings(max_examples=120, deadline=None)
+@given(graphs, wd_queries())
+def test_lbr_matches_oracle_on_random_wd_queries(graph, query):
+    assert is_well_designed(query.pattern)
+    store = BitMatStore.build(graph)
+    lbr = LBREngine(store).execute(query)
+    oracle = NaiveEngine(graph).execute(query)
+    assert lbr.as_multiset() == oracle.as_multiset(), (
+        f"mismatch on:\n{query.to_sparql()}")
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs, wd_queries())
+def test_pruning_ablation_preserves_results(graph, query):
+    store = BitMatStore.build(graph)
+    with_prune = LBREngine(store, enable_prune=True).execute(query)
+    without_prune = LBREngine(store, enable_prune=False).execute(query)
+    assert with_prune.as_multiset() == without_prune.as_multiset()
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs, wd_queries())
+def test_active_prune_ablation_preserves_results(graph, query):
+    store = BitMatStore.build(graph)
+    on = LBREngine(store, enable_active_prune=True).execute(query)
+    off = LBREngine(store, enable_active_prune=False).execute(query)
+    assert on.as_multiset() == off.as_multiset()
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs, wd_queries())
+def test_columnstore_matches_oracle_on_random_wd_queries(graph, query):
+    from repro import ColumnStoreEngine
+    oracle = NaiveEngine(graph).execute(query)
+    col = ColumnStoreEngine(graph).execute(query)
+    assert col.as_multiset() == oracle.as_multiset()
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs, wd_queries(), wd_queries())
+def test_union_of_wd_patterns_matches_oracle(graph, first, second):
+    from repro.sparql.ast import Union
+    query = Query(pattern=Union(first.pattern, second.pattern))
+    store = BitMatStore.build(graph)
+    lbr = LBREngine(store).execute(query)
+    oracle = NaiveEngine(graph).execute(query)
+    assert lbr.as_multiset() == oracle.as_multiset()
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs, wd_queries(), st.integers(0, 7), st.booleans())
+def test_filtered_wd_queries_match_oracle(graph, query, entity, negate):
+    """Random safe single-variable filters over random WD queries."""
+    from repro.sparql import expressions as ex
+    from repro.sparql.ast import Filter
+
+    pattern_vars = sorted(query.pattern.variables())
+    if not pattern_vars:
+        return
+    target = pattern_vars[0]
+    comparison = ex.Comparison("=", ex.VarRef(target),
+                               ex.Constant(ENTITIES[entity]))
+    expr = ex.Not(comparison) if negate else comparison
+    filtered = Query(pattern=Filter(expr, query.pattern))
+    store = BitMatStore.build(graph)
+    lbr = LBREngine(store).execute(filtered)
+    oracle = NaiveEngine(graph).execute(filtered)
+    assert lbr.as_multiset() == oracle.as_multiset(), (
+        f"mismatch on:\n{filtered.to_sparql()}")
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs, wd_queries(), st.integers(1, 5), st.integers(0, 3))
+def test_modifiers_on_random_queries(graph, query, limit, offset):
+    """LIMIT/OFFSET with a deterministic ORDER BY match the oracle."""
+    order = tuple((var, index % 2 == 0) for index, var
+                  in enumerate(sorted(query.pattern.variables())))
+    modified = Query(pattern=query.pattern, order_by=order, limit=limit,
+                     offset=offset)
+    store = BitMatStore.build(graph)
+    lbr = LBREngine(store).execute(modified)
+    oracle = NaiveEngine(graph).execute(modified)
+    # the full ORDER BY key covers every variable, so row order is
+    # fully deterministic and the windows must agree exactly
+    assert lbr.rows == oracle.rows, f"mismatch on:\n{modified.to_sparql()}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs, wd_queries())
+def test_minimality_after_pruning_random(graph, query):
+    """Lemma 3.3 on random acyclic WD queries.
+
+    Every triple surviving ``prune_triples`` must bind in some final
+    result row (checked against the oracle's rows).
+    """
+    from repro.core.goj import GoJ
+    from repro.core.gosn import GoSN
+    from repro.core.jvar_order import get_jvar_order
+    from repro.core.prune import prune_triples
+    from repro.core.selectivity import SelectivityRanker
+    from repro.core.tp import TPState
+    from repro.core.results import decode_binding
+
+    gosn = GoSN.from_pattern(query.pattern)
+    goj = GoJ.build(gosn.patterns)
+    if goj.is_cyclic():
+        return  # minimality is only guaranteed for acyclic GoJ
+    store = BitMatStore.build(graph)
+    ranker = SelectivityRanker(gosn.patterns, [1] * len(gosn.patterns))
+    order_bu, order_td = get_jvar_order(gosn, goj, ranker)
+    states = [TPState.load(i, tp, store)
+              for i, tp in enumerate(gosn.patterns)]
+    prune_triples(order_bu, order_td, gosn, states, store.num_shared)
+
+    rows = list(NaiveEngine(graph).execute(query).bindings())
+    for state in states:
+        for bindings in state.enumerate({}):
+            decoded = {var: decode_binding(binding, store.dictionary)
+                       for var, binding in bindings.items()}
+            assert any(all(row.get(var) == value
+                           for var, value in decoded.items())
+                       for row in rows), (
+                f"non-minimal triple {decoded} in {state.pattern} for:\n"
+                f"{query.to_sparql()}")

@@ -1,0 +1,48 @@
+"""The example scripts must run end to end (smaller scales via argv)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=300, check=True)
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "friend=Julia" in out and "sitcom=Seinfeld" in out
+        assert "friend=Larry" in out
+        assert "minimal" in out
+
+    def test_lubm_analytics(self):
+        out = run_example("lubm_analytics.py", "1")
+        assert "LUBM — query processing times" in out
+        assert "[verified]" in out
+        assert "MISMATCH" not in out
+
+    def test_uniprot_proteins(self):
+        out = run_example("uniprot_proteins.py")
+        assert "aborted_empty=True" in out
+        assert "results match oracle: True" in out
+
+    def test_dbpedia_places(self):
+        out = run_example("dbpedia_places.py")
+        assert "Q1 — populated places" in out
+        assert "aborted_empty=True" in out
+
+    def test_plan_explorer(self):
+        out = run_example("plan_explorer.py", "LUBM")
+        assert "LUBM Q1" in out and "LUBM Q6" in out
+        assert "cyclic=True best-match=True" in out    # Q4/Q5
+        assert "cyclic=True best-match=False" in out   # Q1-Q3
+        out = run_example("plan_explorer.py", "UniProt", "Q2")
+        assert "UniProt Q2" in out

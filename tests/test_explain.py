@@ -1,0 +1,73 @@
+"""Query plan explanation tests."""
+
+import pytest
+
+from repro import BitMatStore, LBREngine
+
+from .conftest import EX, FIGURE_3_2_QUERY
+
+
+def q(body: str) -> str:
+    return f"PREFIX ex: <{EX}>\nSELECT * WHERE {{ {body} }}"
+
+
+@pytest.fixture()
+def engine(figure_store) -> LBREngine:
+    return LBREngine(figure_store)
+
+
+class TestExplain:
+    def test_running_example_plan(self, engine):
+        plan = engine.explain(FIGURE_3_2_QUERY)
+        assert len(plan.branches) == 1
+        branch = plan.branches[0]
+        assert branch.algebra == "(P1 OPT P2)"
+        assert branch.well_designed
+        assert not branch.goj_cyclic
+        assert not branch.best_match_required
+        assert branch.absolute_masters == [0]
+        assert branch.uni_edges == [(0, 1)]
+        assert branch.jvars == ["?friend", "?sitcom"]
+        assert branch.order_bu == ["?friend", "?sitcom", "?friend"]
+        assert branch.order_td == ["?friend", "?friend", "?sitcom"]
+        assert branch.tp_counts == [2, 5, 1]
+
+    def test_plan_renders_as_text(self, engine):
+        text = str(engine.explain(FIGURE_3_2_QUERY))
+        assert "branch 1/1" in text
+        assert "SN0*" in text  # absolute master marked
+        assert "order_bu" in text
+
+    def test_union_produces_branches(self, engine):
+        plan = engine.explain(q(
+            "{ ?a ex:actedIn ?b } UNION { ?a ex:location ?b }"))
+        assert len(plan.branches) == 2
+        assert not plan.spurious_cleanup
+
+    def test_rule3_flagged(self, engine):
+        plan = engine.explain(q(
+            "?a ex:hasFriend ?b OPTIONAL { { ?b ex:actedIn ?c } UNION "
+            "{ ?b ex:location ?c } }"))
+        assert plan.spurious_cleanup
+
+    def test_cyclic_plan(self, engine):
+        plan = engine.explain(q(
+            "?x ex:hasFriend ?y . ?y ex:actedIn ?z . "
+            "OPTIONAL { ?w ex:location ?z . ?w ex:actedIn ?x . }"))
+        branch = plan.branches[0]
+        assert branch.goj_cyclic
+        assert branch.best_match_required  # slave has jvars ?w?z?x
+        # cyclic: greedy order, both passes identical
+        assert branch.order_bu == branch.order_td
+
+    def test_nwd_plan_not_well_designed(self, engine):
+        plan = engine.explain(q(
+            "{ ?x ex:actedIn ?c } { ?y ex:hasFriend ?z "
+            "OPTIONAL { ?z ex:location ?c } }"))
+        assert not plan.branches[0].well_designed
+
+    def test_explain_does_not_execute(self, engine):
+        engine.execute(FIGURE_3_2_QUERY)
+        results_before = engine.last_stats.num_results
+        engine.explain(FIGURE_3_2_QUERY)
+        assert engine.last_stats.num_results == results_before

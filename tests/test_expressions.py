@@ -1,0 +1,136 @@
+"""FILTER expression evaluation tests (SPARQL three-valued logic)."""
+
+import pytest
+
+from repro.rdf.terms import Literal, NULL, URI, Variable
+from repro.sparql.expressions import (BooleanOp, Bound, Comparison, Constant,
+                                      ExpressionError, Not, Regex, SameTerm,
+                                      VarRef, evaluate, expression_sparql,
+                                      expression_variables, passes,
+                                      substitute_variable)
+
+X, Y = Variable("x"), Variable("y")
+INT = "http://www.w3.org/2001/XMLSchema#integer"
+
+
+def num(value) -> Literal:
+    return Literal(str(value), datatype=INT)
+
+
+class TestComparisons:
+    def test_numeric_comparisons(self):
+        row = {X: num(5)}
+        assert evaluate(Comparison(">", VarRef(X), Constant(num(3))), row)
+        assert not evaluate(Comparison("<", VarRef(X), Constant(num(3))), row)
+        assert evaluate(Comparison(">=", VarRef(X), Constant(num(5))), row)
+        assert evaluate(Comparison("<=", VarRef(X), Constant(num(5))), row)
+
+    def test_numeric_equality_across_lexical_forms(self):
+        # "5"^^integer equals plain "5.0" numerically
+        row = {X: num(5)}
+        assert evaluate(Comparison("=", VarRef(X),
+                                   Constant(Literal("5.0"))), row)
+
+    def test_string_comparison(self):
+        row = {X: Literal("abc")}
+        assert evaluate(Comparison("<", VarRef(X),
+                                   Constant(Literal("abd"))), row)
+
+    def test_uri_equality(self):
+        row = {X: URI("http://a")}
+        assert evaluate(Comparison("=", VarRef(X),
+                                   Constant(URI("http://a"))), row)
+        assert evaluate(Comparison("!=", VarRef(X),
+                                   Constant(URI("http://b"))), row)
+
+    def test_unbound_variable_is_error(self):
+        with pytest.raises(ExpressionError):
+            evaluate(Comparison("=", VarRef(X), Constant(num(1))), {})
+
+    def test_null_binding_is_error(self):
+        with pytest.raises(ExpressionError):
+            evaluate(Comparison("=", VarRef(X), Constant(num(1))),
+                     {X: NULL})
+
+
+class TestBooleanLogic:
+    def test_and_or_not(self):
+        row = {X: num(5)}
+        gt = Comparison(">", VarRef(X), Constant(num(3)))
+        lt = Comparison("<", VarRef(X), Constant(num(3)))
+        assert evaluate(BooleanOp("&&", gt, Not(lt)), row)
+        assert evaluate(BooleanOp("||", lt, gt), row)
+        assert not evaluate(BooleanOp("&&", gt, lt), row)
+
+    def test_or_absorbs_error_when_other_true(self):
+        row = {X: num(5)}
+        gt = Comparison(">", VarRef(X), Constant(num(3)))
+        err = Comparison("=", VarRef(Y), Constant(num(1)))  # Y unbound
+        assert evaluate(BooleanOp("||", gt, err), row)
+        assert evaluate(BooleanOp("||", err, gt), row)
+
+    def test_and_absorbs_error_when_other_false(self):
+        row = {X: num(1)}
+        lt = Comparison("<", VarRef(X), Constant(num(0)))  # false
+        err = Comparison("=", VarRef(Y), Constant(num(1)))
+        assert not evaluate(BooleanOp("&&", lt, err), row)
+
+    def test_error_propagates_otherwise(self):
+        row = {X: num(5)}
+        gt = Comparison(">", VarRef(X), Constant(num(3)))  # true
+        err = Comparison("=", VarRef(Y), Constant(num(1)))
+        with pytest.raises(ExpressionError):
+            evaluate(BooleanOp("&&", gt, err), row)
+
+
+class TestBuiltins:
+    def test_bound(self):
+        assert evaluate(Bound(X), {X: num(1)})
+        assert not evaluate(Bound(X), {})
+        assert not evaluate(Bound(X), {X: NULL})
+
+    def test_not_bound(self):
+        assert evaluate(Not(Bound(X)), {})
+
+    def test_regex(self):
+        row = {X: Literal("Hello World")}
+        assert evaluate(Regex(VarRef(X), "World"), row)
+        assert not evaluate(Regex(VarRef(X), "world"), row)
+        assert evaluate(Regex(VarRef(X), "world", "i"), row)
+
+    def test_sameterm(self):
+        row = {X: URI("a"), Y: URI("a")}
+        assert evaluate(SameTerm(VarRef(X), VarRef(Y)), row)
+
+
+class TestPasses:
+    def test_passes_true(self):
+        assert passes(Bound(X), {X: num(1)})
+
+    def test_errors_count_as_false(self):
+        assert not passes(Comparison("=", VarRef(X), Constant(num(1))), {})
+
+
+class TestIntrospection:
+    def test_expression_variables(self):
+        expr = BooleanOp("&&", Comparison("<", VarRef(X), VarRef(Y)),
+                         Bound(Variable("z")))
+        assert expression_variables(expr) == {X, Y, Variable("z")}
+
+    def test_expression_sparql_round_trippable(self):
+        from repro.sparql.parser import parse_query
+        expr = BooleanOp("&&", Comparison("<", VarRef(X), Constant(num(9))),
+                         Not(Bound(Y)))
+        text = (f"SELECT * WHERE {{ ?x <p> ?y "
+                f"FILTER({expression_sparql(expr)}) }}")
+        assert parse_query(text) is not None
+
+    def test_substitute_variable(self):
+        expr = Comparison("=", VarRef(X), VarRef(Y))
+        replaced = substitute_variable(expr, Y, Variable("z"))
+        assert expression_variables(replaced) == {X, Variable("z")}
+
+    def test_substitute_inside_nested(self):
+        expr = Not(BooleanOp("||", Bound(Y), Regex(VarRef(Y), "a")))
+        replaced = substitute_variable(expr, Y, X)
+        assert expression_variables(replaced) == {X}

@@ -1,0 +1,140 @@
+"""GoT/GoJ construction, acyclicity, and tree traversal tests (§3.1)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.goj import (GoJ, GoT, get_tree, join_variables,
+                            pattern_variables)
+from repro.rdf.terms import URI, Variable
+from repro.sparql.ast import TriplePattern
+
+
+def tp(s, p, o) -> TriplePattern:
+    def term(x):
+        return Variable(x[1:]) if x.startswith("?") else URI(x)
+    return TriplePattern(term(s), term(p), term(o))
+
+
+# the running example: Figure 3.3
+RUNNING = [tp("Jerry", "hasFriend", "?friend"),
+           tp("?friend", "actedIn", "?sitcom"),
+           tp("?sitcom", "location", "NYC")]
+
+
+class TestJoinVariables:
+    def test_running_example(self):
+        assert join_variables(RUNNING) == {Variable("friend"),
+                                           Variable("sitcom")}
+
+    def test_single_occurrence_is_not_jvar(self):
+        patterns = [tp("?a", "p", "?b"), tp("?b", "q", "?c")]
+        assert join_variables(patterns) == {Variable("b")}
+
+    def test_same_tp_twice_counts(self):
+        assert join_variables([tp("?x", "p", "?x")]) == {Variable("x")}
+
+    def test_pattern_variables_preserves_duplicates(self):
+        assert pattern_variables(tp("?x", "p", "?x")) == [Variable("x"),
+                                                          Variable("x")]
+
+
+class TestGoT:
+    def test_running_example_edges(self):
+        got = GoT.build(RUNNING)
+        assert got.adjacency[0] == {1}
+        assert got.adjacency[1] == {0, 2}
+        assert got.is_connected()
+        assert not got.is_cyclic()
+
+    def test_disconnected_cartesian(self):
+        got = GoT.build([tp("?a", "p", "?b"), tp("?c", "q", "?d"),
+                         tp("?a", "r", "?b")])
+        assert not got.is_connected()
+
+    def test_triangle_is_cyclic(self):
+        got = GoT.build([tp("?a", "p", "?b"), tp("?b", "q", "?c"),
+                         tp("?c", "r", "?a")])
+        assert got.is_cyclic()
+
+    def test_two_tps_sharing_two_vars_is_redundant_cycle(self):
+        got = GoT.build([tp("?a", "p", "?b"), tp("?a", "q", "?b")])
+        assert got.is_cyclic()
+
+    def test_star_join_clique_not_flagged_by_simple_edges(self):
+        # three TPs sharing one var: GoT clique, but the shared-jvars
+        # multigraph view still reports the (redundant) cycle
+        got = GoT.build([tp("?a", "p", "?x"), tp("?a", "q", "?y"),
+                         tp("?a", "r", "?z")])
+        assert got.is_cyclic()  # clique of 3 on ?a
+
+
+class TestGoJ:
+    def test_running_example(self):
+        goj = GoJ.build(RUNNING)
+        assert goj.nodes == {Variable("friend"), Variable("sitcom")}
+        assert goj.adjacency[Variable("friend")] == {Variable("sitcom")}
+        assert not goj.is_cyclic()
+
+    def test_triangle_cyclic(self):
+        goj = GoJ.build([tp("?a", "p", "?b"), tp("?b", "q", "?c"),
+                         tp("?c", "r", "?a")])
+        assert goj.is_cyclic()
+
+    def test_parallel_edges_cyclic(self):
+        # two TPs each contributing an ?a—?b edge: multigraph cycle
+        goj = GoJ.build([tp("?a", "p", "?b"), tp("?a", "q", "?b")])
+        assert goj.is_cyclic()
+
+    def test_star_join_acyclic(self):
+        goj = GoJ.build([tp("?a", "p", "?b"), tp("?a", "q", "?c"),
+                         tp("?a", "r", "?d"), tp("?b", "s", "x")])
+        # jvars: a, b; single edge a—b
+        assert not goj.is_cyclic()
+
+    def test_lubm_q4_triangle_cyclic(self):
+        patterns = [tp("?x", "worksFor", "dept"), tp("?x", "type", "Prof"),
+                    tp("?y", "advisor", "?x"), tp("?x", "teacherOf", "?z"),
+                    tp("?y", "takesCourse", "?z")]
+        assert GoJ.build(patterns).is_cyclic()
+
+    @given(st.integers(2, 8))
+    def test_lemma_3_2_path_queries(self, length):
+        """Acyclic GoT (a path of TPs) implies acyclic GoJ."""
+        patterns = [tp(f"?v{i}", f"p{i}", f"?v{i+1}")
+                    for i in range(length)]
+        assert not GoT.build(patterns).is_cyclic()
+        assert not GoJ.build(patterns).is_cyclic()
+
+
+class TestTrees:
+    def test_rooted_tree_orders(self):
+        goj = GoJ.build([tp("?a", "p", "?b"), tp("?b", "q", "?c"),
+                         tp("?b", "r", "?d"), tp("?a", "t", "x"),
+                         tp("?a", "t", "y"), tp("?c", "u", "x"),
+                         tp("?c", "u", "y"), tp("?d", "w", "x"),
+                         tp("?d", "w", "y")])
+        tree = get_tree(goj, goj.nodes, Variable("a"))
+        assert tree.roots == [Variable("a")]
+        top_down = tree.top_down()
+        bottom_up = tree.bottom_up()
+        assert top_down[0] == Variable("a")
+        assert bottom_up[-1] == Variable("a")
+        assert set(top_down) == goj.nodes
+        # children always after parents in top_down
+        assert top_down.index(Variable("b")) < top_down.index(Variable("c"))
+
+    def test_induced_subtree(self):
+        goj = GoJ.build([tp("?a", "p", "?b"), tp("?b", "q", "?c")])
+        tree = get_tree(goj, {Variable("b"), Variable("c")}, Variable("b"))
+        assert tree.order == [Variable("b"), Variable("c")]
+
+    def test_disconnected_subset_still_covered(self):
+        goj = GoJ.build([tp("?a", "p", "?b"), tp("?b", "q", "?c")])
+        tree = get_tree(goj, {Variable("a"), Variable("c")}, Variable("a"))
+        assert set(tree.order) == {Variable("a"), Variable("c")}
+        assert len(tree.roots) == 2
+
+    def test_root_must_be_in_subset(self):
+        import pytest
+        goj = GoJ.build(RUNNING)
+        with pytest.raises(ValueError):
+            get_tree(goj, {Variable("friend")}, Variable("sitcom"))

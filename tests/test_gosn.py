@@ -1,0 +1,163 @@
+"""GoSN construction and relation tests — the paper's §2 examples."""
+
+import pytest
+
+from repro.core.gosn import GoSN
+from repro.exceptions import UnsupportedQueryError
+from repro.sparql import parse_query
+from repro.sparql.ast import Union
+
+
+def gosn_of(text: str) -> GoSN:
+    return GoSN.from_pattern(parse_query(text).pattern)
+
+
+#: ((Pa OPT Pb) JOIN (Pc OPT Pd)) OPT (Pe OPT Pf) — Figure 2.1(b).
+FIGURE_2_1B = """
+SELECT * WHERE {
+  { { ?a <p1> ?x OPTIONAL { ?a <p2> ?b } }
+    { ?a <p3> ?c OPTIONAL { ?c <p4> ?d } } }
+  OPTIONAL { ?a <p5> ?e OPTIONAL { ?e <p6> ?f } }
+}"""
+
+
+@pytest.fixture(scope="module")
+def fig() -> GoSN:
+    return gosn_of(FIGURE_2_1B)
+
+
+class TestConstruction:
+    def test_six_supernodes(self, fig):
+        assert len(fig.supernodes) == 6
+
+    def test_edges_match_figure(self, fig):
+        # SNa=0, SNb=1, SNc=2, SNd=3, SNe=4, SNf=5 in build order
+        assert fig.uni_edges == {(0, 1), (2, 3), (4, 5), (0, 4)}
+        assert fig.bi_edges == {(0, 2)}
+
+    def test_running_example_gosn(self):
+        gosn = gosn_of("""
+            SELECT * WHERE {
+              <Jerry> <hasFriend> ?friend .
+              OPTIONAL { ?friend <actedIn> ?sitcom .
+                         ?sitcom <location> <NYC> . }
+            }""")
+        assert len(gosn.supernodes) == 2
+        assert gosn.supernodes[0].patterns[0].p == "hasFriend"
+        assert len(gosn.supernodes[1].patterns) == 2
+        assert gosn.uni_edges == {(0, 1)}
+
+    def test_tp_indexes_are_query_order(self, fig):
+        assert [len(sn.tp_indexes) for sn in fig.supernodes] == [1] * 6
+        assert fig.sn_of_tp == {i: i for i in range(6)}
+
+    def test_union_rejected(self):
+        pattern = parse_query(
+            "SELECT * WHERE { { ?a <p> ?b } UNION { ?a <q> ?b } }").pattern
+        assert isinstance(pattern, Union)
+        with pytest.raises(UnsupportedQueryError):
+            GoSN.from_pattern(pattern)
+
+    def test_filters_are_transparent(self):
+        gosn = GoSN.from_pattern(parse_query(
+            "SELECT * WHERE { ?a <p> ?b FILTER(?b != <x>) "
+            "OPTIONAL { ?b <q> ?c } }").pattern)
+        assert len(gosn.supernodes) == 2
+
+
+class TestRelations:
+    def test_absolute_masters(self, fig):
+        assert fig.absolute_masters() == {0, 2}
+
+    def test_peers(self, fig):
+        assert fig.peers_of(0) == {0, 2}
+        assert fig.peers_of(2) == {0, 2}
+        assert fig.peers_of(1) == {1}
+
+    def test_direct_mastership(self, fig):
+        assert fig.is_master(0, 1)
+        assert fig.is_master(0, 4)
+        assert fig.is_master(4, 5)
+
+    def test_transitive_mastership(self, fig):
+        assert fig.is_master(0, 5)  # a -> e -> f
+
+    def test_mastership_through_peers(self, fig):
+        # SNc reaches SNb via the bidirectional edge to SNa
+        assert fig.is_master(2, 1)
+        assert fig.is_master(2, 5)
+
+    def test_slaves_never_master_their_masters(self, fig):
+        assert not fig.is_master(1, 0)
+        assert not fig.is_master(5, 4)
+        assert not fig.is_master(4, 0)
+
+    def test_slaves_of(self, fig):
+        assert fig.slaves_of(0) == {1, 3, 4, 5}
+        assert fig.slaves_of(4) == {5}
+
+    def test_tp_level_views(self, fig):
+        assert fig.tp_is_master(0, 1)
+        assert fig.tp_is_peer(0, 2)
+        assert fig.tp_in_absolute_master(0)
+        assert not fig.tp_in_absolute_master(5)
+
+    def test_peer_groups(self, fig):
+        groups = fig.peer_groups()
+        assert {frozenset(g) for g in groups} == {
+            frozenset({0, 2}), frozenset({1}), frozenset({3}),
+            frozenset({4}), frozenset({5})}
+
+
+class TestPathsAndTransform:
+    def test_undirected_path(self, fig):
+        assert fig.undirected_path(1, 3) == [1, 0, 2, 3]
+        assert fig.undirected_path(5, 2) == [5, 4, 0, 2]
+
+    def test_path_to_self(self, fig):
+        assert fig.undirected_path(3, 3) == [3]
+
+    def test_with_bidirectional_converts(self, fig):
+        converted = fig.with_bidirectional({(0, 4)})
+        assert (0, 4) not in converted.uni_edges
+        assert (0, 4) in converted.bi_edges
+        assert converted.peers_of(0) == {0, 2, 4}
+        # SNe is no longer a slave of SNa
+        assert not converted.is_master(0, 4)
+        # but SNf still is a slave (via e->f)
+        assert converted.is_master(0, 5)
+
+    def test_gosn_is_a_tree(self, fig):
+        assert len(fig.uni_edges) + len(fig.bi_edges) == \
+            len(fig.supernodes) - 1
+
+
+class TestAppendixBTransformation:
+    def test_figure_b1(self):
+        # (Pa OPT Pb) OPT ((Pc OPT Pd) JOIN (Pe OPT Pf)) where Pb and Pf
+        # violate WD with Pc over ?j1 (and with each other)
+        text = """
+        SELECT * WHERE {
+          { ?a <pa> ?x OPTIONAL { ?a <pb> ?j1 } }
+          OPTIONAL {
+            { ?c <pc> ?j1 OPTIONAL { ?c <pd> ?d } }
+            { ?c <pe> ?e OPTIONAL { ?e <pf> ?j1 } }
+          }
+        }"""
+        from repro.core.nwd import transform_non_well_designed
+        pattern = parse_query(text).pattern
+        gosn = GoSN.from_pattern(pattern)
+        # SNa=0 SNb=1 SNc=2 SNd=3 SNe=4 SNf=5
+        assert gosn.uni_edges == {(0, 1), (2, 3), (4, 5), (0, 2)}
+        transformed = transform_non_well_designed(gosn, pattern)
+        # the violation paths run b..c and f..c (and b..f), converting
+        # a->b, a->c, e->f into bidirectional edges; c->d stays
+        assert transformed.uni_edges == {(2, 3)}
+        assert transformed.peers_of(0) >= {0, 1, 2, 4, 5}
+
+    def test_well_designed_untouched(self):
+        from repro.core.nwd import transform_non_well_designed
+        pattern = parse_query(
+            "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c } }").pattern
+        gosn = GoSN.from_pattern(pattern)
+        assert transform_non_well_designed(gosn, pattern) is gosn

@@ -1,0 +1,102 @@
+"""Triple store tests."""
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Triple, URI
+
+from .conftest import triples, uri
+
+
+@pytest.fixture()
+def graph() -> Graph:
+    return Graph(triples(
+        ("a", "knows", "b"),
+        ("a", "knows", "c"),
+        ("b", "knows", "c"),
+        ("a", "name", "b"),
+    ))
+
+
+class TestMutation:
+    def test_add_returns_true_for_new(self):
+        g = Graph()
+        assert g.add(Triple(uri("x"), uri("p"), uri("y")))
+
+    def test_add_duplicate_returns_false(self, graph):
+        assert not graph.add(triples(("a", "knows", "b"))[0])
+        assert len(graph) == 4
+
+    def test_add_all_counts_new_only(self, graph):
+        added = graph.add_all(triples(("a", "knows", "b"),
+                                      ("z", "knows", "a")))
+        assert added == 1
+        assert len(graph) == 5
+
+    def test_add_accepts_plain_tuples(self):
+        g = Graph()
+        g.add((uri("x"), uri("p"), uri("y")))
+        assert (uri("x"), uri("p"), uri("y")) in g
+
+    def test_discard_removes(self, graph):
+        assert graph.discard(triples(("a", "knows", "b"))[0])
+        assert len(graph) == 3
+        assert triples(("a", "knows", "b"))[0] not in graph
+
+    def test_discard_missing_returns_false(self, graph):
+        assert not graph.discard(triples(("q", "q", "q"))[0])
+
+    def test_discard_cleans_indexes(self, graph):
+        graph.discard(triples(("a", "name", "b"))[0])
+        assert graph.count(p=uri("name")) == 0
+        assert uri("name") not in graph.predicates()
+
+
+class TestMatch:
+    def test_full_wildcard(self, graph):
+        assert len(list(graph.match())) == 4
+
+    def test_by_subject(self, graph):
+        assert len(list(graph.match(s=uri("a")))) == 3
+
+    def test_by_predicate(self, graph):
+        assert len(list(graph.match(p=uri("knows")))) == 3
+
+    def test_by_object(self, graph):
+        assert len(list(graph.match(o=uri("c")))) == 2
+
+    def test_sp_pattern(self, graph):
+        found = set(graph.match(s=uri("a"), p=uri("knows")))
+        assert found == set(triples(("a", "knows", "b"), ("a", "knows", "c")))
+
+    def test_po_pattern(self, graph):
+        found = list(graph.match(p=uri("knows"), o=uri("c")))
+        assert len(found) == 2
+
+    def test_so_pattern(self, graph):
+        found = list(graph.match(s=uri("a"), o=uri("b")))
+        assert {t.p for t in found} == {uri("knows"), uri("name")}
+
+    def test_exact_triple(self, graph):
+        assert list(graph.match(uri("a"), uri("knows"), uri("b")))
+        assert not list(graph.match(uri("a"), uri("knows"), uri("zzz")))
+
+
+class TestCounts:
+    def test_count_matches_match(self, graph):
+        for pattern in [(None, None, None), (uri("a"), None, None),
+                        (None, uri("knows"), None), (None, None, uri("c")),
+                        (uri("a"), uri("knows"), None)]:
+            assert graph.count(*pattern) == len(list(graph.match(*pattern)))
+
+    def test_characteristics(self, graph):
+        chars = graph.characteristics()
+        assert chars == {"triples": 4, "subjects": 2, "predicates": 2,
+                         "objects": 2}
+
+    def test_predicate_counts(self, graph):
+        assert graph.predicate_counts() == {uri("knows"): 3, uri("name"): 1}
+
+    def test_dimension_sets(self, graph):
+        assert graph.subjects() == {uri("a"), uri("b")}
+        assert graph.objects() == {uri("b"), uri("c")}

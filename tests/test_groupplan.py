@@ -1,0 +1,130 @@
+"""GroupPlan and in-vmap nullification unit tests."""
+
+import pytest
+
+from repro import BitMatStore, Graph
+from repro.core.gosn import GoSN
+from repro.core.nullification import GroupPlan, nullify
+from repro.core.results import VarMap
+from repro.core.tp import TPState
+from repro.sparql import parse_query
+
+from .conftest import EX, triples
+
+
+def build(graph, text):
+    pattern = parse_query(text).pattern
+    gosn = GoSN.from_pattern(pattern)
+    store = BitMatStore.build(graph)
+    states = [TPState.load(i, tp, store)
+              for i, tp in enumerate(gosn.patterns)]
+    return gosn, states
+
+
+GRAPH = Graph(triples(
+    ("a", "p", "b"), ("b", "q", "c"), ("c", "r", "d"), ("b", "s", "e"),
+))
+
+#: P1 OPT (P2 OPT P3) with a sibling OPT P4 on P1
+NESTED = f"""PREFIX ex: <{EX}>
+SELECT * WHERE {{
+  ?x ex:p ?y
+  OPTIONAL {{ ?y ex:q ?z OPTIONAL {{ ?z ex:r ?w }} }}
+  OPTIONAL {{ ?y ex:s ?v }}
+}}"""
+
+
+class TestGroupPlan:
+    def test_groups_and_topology(self):
+        gosn, states = build(GRAPH, NESTED)
+        plan = GroupPlan(gosn, states)
+        assert len(plan.groups) == 4  # each supernode its own group
+        # the master group comes first in topological order
+        first = plan.topo_order[0]
+        assert first in plan.absolute_groups
+
+    def test_ancestors(self):
+        gosn, states = build(GRAPH, NESTED)
+        plan = GroupPlan(gosn, states)
+        master = plan.group_of_sn[0]
+        middle = plan.group_of_sn[1]
+        deepest = plan.group_of_sn[2]
+        assert master in plan.ancestors[middle]
+        assert master in plan.ancestors[deepest]
+        assert middle in plan.ancestors[deepest]
+        assert not plan.ancestors[master]
+
+    def test_slots_of_group(self):
+        gosn, states = build(GRAPH, NESTED)
+        plan = GroupPlan(gosn, states)
+        covered = sorted(position
+                         for slots in plan.slots_of_group
+                         for position in slots)
+        assert covered == list(range(len(states)))
+
+    def test_peer_groups_merge(self):
+        query = f"""PREFIX ex: <{EX}>
+        SELECT * WHERE {{
+          {{ ?x ex:p ?y OPTIONAL {{ ?y ex:q ?z }} }}
+          {{ ?x ex:s ?v OPTIONAL {{ ?y ex:r ?w }} }}
+        }}"""
+        # note: second OPT references ?y -> NWD, but GroupPlan works on
+        # whatever GoSN it is given; use the raw (untransformed) GoSN
+        gosn, states = build(GRAPH, query)
+        plan = GroupPlan(gosn, states)
+        assert plan.group_of_sn[0] == plan.group_of_sn[2]  # peers
+
+
+class TestNullify:
+    def _setup(self):
+        gosn, states = build(GRAPH, NESTED)
+        plan = GroupPlan(gosn, states)
+        varmap = VarMap(states)
+        return gosn, states, plan, varmap
+
+    def test_partial_group_failure_cascades(self):
+        gosn, states, plan, varmap = self._setup()
+        # visit everything: master bound, middle bound, deepest failed
+        varmap.bind(0, {v: ("s", 1) for v in states[0].variables()})
+        varmap.bind(1, {v: ("s", 1) for v in states[1].variables()})
+        varmap.bind_failed(2)
+        varmap.bind(3, {v: ("s", 1) for v in states[3].variables()})
+        changed = nullify(varmap, plan)
+        # group of state 2 failed; its ancestors are NOT dragged down,
+        # and the sibling OPT (state 3) stays bound
+        assert not changed or not varmap.failed[0]
+        assert not varmap.failed[0]
+        assert not varmap.failed[1]
+        assert varmap.failed[2]
+        assert not varmap.failed[3]
+
+    def test_forced_failure_cascades_to_descendants(self):
+        gosn, states, plan, varmap = self._setup()
+        for position in range(4):
+            varmap.bind(position,
+                        {v: ("s", 1) for v in states[position].variables()})
+        middle_group = plan.group_of_sn[gosn.sn_of_tp[states[1].index]]
+        changed = nullify(varmap, plan, forced_failures={middle_group})
+        assert changed
+        assert varmap.failed[1]
+        assert varmap.failed[2]  # descendant of the forced group
+        assert not varmap.failed[0]
+        assert not varmap.failed[3]  # sibling unaffected
+
+    def test_no_failures_is_noop(self):
+        gosn, states, plan, varmap = self._setup()
+        for position in range(4):
+            varmap.bind(position,
+                        {v: ("s", 1) for v in states[position].variables()})
+        assert not nullify(varmap, plan)
+        assert not any(varmap.failed)
+
+    def test_unvisited_slots_untouched(self):
+        gosn, states, plan, varmap = self._setup()
+        varmap.bind(0, {v: ("s", 1) for v in states[0].variables()})
+        nullify(varmap, plan,
+                forced_failures=set(range(len(plan.groups)))
+                - plan.absolute_groups)
+        # only visited slots can be marked failed
+        assert varmap.slots[2] is None
+        assert 2 not in varmap.visited

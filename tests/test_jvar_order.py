@@ -1,0 +1,146 @@
+"""Algorithm 3.1 tests: jvar orders, SNss, and the best-match decision."""
+
+import pytest
+
+from repro.core.goj import GoJ
+from repro.core.gosn import GoSN
+from repro.core.jvar_order import (decide_best_match_required,
+                                   get_jvar_order, order_slave_supernodes,
+                                   supernode_jvars)
+from repro.core.selectivity import SelectivityRanker
+from repro.rdf.terms import Variable
+from repro.sparql import parse_query
+
+RUNNING = """
+SELECT * WHERE {
+  <Jerry> <hasFriend> ?friend .
+  OPTIONAL { ?friend <actedIn> ?sitcom . ?sitcom <location> <NYC> . }
+}"""
+
+
+def build(text: str, counts):
+    pattern = parse_query(text).pattern
+    gosn = GoSN.from_pattern(pattern)
+    goj = GoJ.build(gosn.patterns)
+    ranker = SelectivityRanker(gosn.patterns, counts)
+    return gosn, goj, ranker
+
+
+class TestSelectivityRanker:
+    def test_jvar_key_is_min_tp_count(self):
+        gosn, goj, ranker = build(RUNNING, [2, 100, 50])
+        assert ranker.jvar_key(Variable("friend")) == 2
+        assert ranker.jvar_key(Variable("sitcom")) == 50
+
+    def test_most_and_least_selective(self):
+        gosn, goj, ranker = build(RUNNING, [2, 100, 50])
+        jvars = {Variable("friend"), Variable("sitcom")}
+        assert ranker.most_selective_jvar(jvars) == Variable("friend")
+        assert ranker.least_selective_jvar(jvars) == Variable("sitcom")
+
+    def test_greedy_order(self):
+        gosn, goj, ranker = build(RUNNING, [2, 100, 50])
+        order = ranker.greedy_jvar_order({Variable("friend"),
+                                          Variable("sitcom")})
+        assert order == [Variable("friend"), Variable("sitcom")]
+
+    def test_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            SelectivityRanker([], [1])
+
+
+class TestExample2:
+    def test_paper_example_orders(self):
+        # Example-2 (§3.2): orderbu = [?friend, (?sitcom, ?friend)],
+        # ordertd = [?friend, (?friend, ?sitcom)]
+        gosn, goj, ranker = build(RUNNING, [2, 100, 50])
+        order_bu, order_td = get_jvar_order(gosn, goj, ranker)
+        friend, sitcom = Variable("friend"), Variable("sitcom")
+        assert order_bu == [friend, sitcom, friend]
+        assert order_td == [friend, friend, sitcom]
+
+    def test_supernode_jvars(self):
+        gosn, goj, ranker = build(RUNNING, [2, 100, 50])
+        assert supernode_jvars(gosn, 0, goj.nodes) == {Variable("friend")}
+        assert supernode_jvars(gosn, 1, goj.nodes) == {Variable("friend"),
+                                                       Variable("sitcom")}
+
+
+class TestCyclicFallback:
+    CYCLIC = """
+    SELECT * WHERE {
+      ?x <worksFor> <dept> .
+      OPTIONAL { ?y <advisor> ?x . ?x <teacherOf> ?z .
+                 ?y <takesCourse> ?z . }
+    }"""
+
+    def test_greedy_order_for_cyclic(self):
+        gosn, goj, ranker = build(self.CYCLIC, [5, 80, 60, 90])
+        assert goj.is_cyclic()
+        order_bu, order_td = get_jvar_order(gosn, goj, ranker)
+        assert order_bu == order_td
+        # descending selectivity: ?x (min 5), ?z (min 60), ?y (min 80)
+        assert order_bu == [Variable("x"), Variable("z"), Variable("y")]
+
+    def test_best_match_required_cyclic_multi_jvar_slave(self):
+        gosn, goj, ranker = build(self.CYCLIC, [5, 80, 60, 90])
+        assert decide_best_match_required(gosn, goj)
+
+    def test_best_match_not_required_acyclic(self):
+        gosn, goj, ranker = build(RUNNING, [2, 100, 50])
+        assert not decide_best_match_required(gosn, goj)
+
+    def test_best_match_not_required_single_jvar_slaves(self):
+        # cyclic masters, but each slave has one jvar (Lemma 3.4)
+        text = """
+        SELECT * WHERE {
+          { ?st <taOf> ?course . OPTIONAL { ?st <takes> ?c2 } }
+          { ?prof <teacherOf> ?course . ?st <advisor> ?prof .
+            OPTIONAL { ?prof <interest> ?ri } }
+        }"""
+        gosn, goj, ranker = build(text, [10, 20, 30, 40, 50])
+        assert goj.is_cyclic()
+        assert not decide_best_match_required(gosn, goj)
+
+
+class TestSlaveOrdering:
+    NESTED = """
+    SELECT * WHERE {
+      { ?a <p1> ?b OPTIONAL { ?b <p2> ?c OPTIONAL { ?c <p3> ?d } } }
+      { ?a <p4> ?e OPTIONAL { ?e <p5> ?f } }
+    }"""
+
+    def test_masters_before_slaves(self):
+        counts = [10, 20, 30, 5, 40]
+        gosn, goj, ranker = build(self.NESTED, counts)
+        order = order_slave_supernodes(gosn, ranker)
+        position = {sn: i for i, sn in enumerate(order)}
+        # SN1 (the ?b block) precedes its slave SN2 (the ?c block)
+        assert position[1] < position[2]
+
+    def test_selective_peer_first(self):
+        counts = [10, 20, 30, 5, 4]
+        gosn, goj, ranker = build(self.NESTED, counts)
+        order = order_slave_supernodes(gosn, ranker)
+        # SN4 (count 4) is more selective than SN1 (count 20)
+        assert order.index(4) < order.index(1)
+
+    def test_orders_cover_all_jvars(self):
+        counts = [10, 20, 30, 5, 40]
+        gosn, goj, ranker = build(self.NESTED, counts)
+        order_bu, order_td = get_jvar_order(gosn, goj, ranker)
+        assert set(order_bu) == goj.nodes
+        assert set(order_td) == goj.nodes
+
+
+class TestDegenerate:
+    def test_no_jvars(self):
+        gosn, goj, ranker = build(
+            "SELECT * WHERE { ?a <p> ?b }", [3])
+        assert get_jvar_order(gosn, goj, ranker) == ([], [])
+
+    def test_single_tp_optional(self):
+        gosn, goj, ranker = build(
+            "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?a <q> ?c } }", [3, 4])
+        order_bu, order_td = get_jvar_order(gosn, goj, ranker)
+        assert order_bu.count(Variable("a")) >= 2

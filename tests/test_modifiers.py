@@ -1,0 +1,141 @@
+"""Solution modifier tests: ORDER BY, LIMIT, OFFSET, interplay."""
+
+import pytest
+
+from repro import BitMatStore, Graph, LBREngine, NULL, Triple, URI
+from repro.rdf.terms import Literal, Variable
+from repro.sparql import parse_query
+
+from .conftest import EX, assert_engines_agree, engines_for, triples, uri
+
+INT = "http://www.w3.org/2001/XMLSchema#integer"
+
+
+def q(body: str, tail: str = "") -> str:
+    return f"PREFIX ex: <{EX}>\nSELECT * WHERE {{ {body} }}{tail}"
+
+
+GRAPH = Graph(triples(
+    ("a", "knows", "b"), ("b", "knows", "c"), ("c", "knows", "a"),
+))
+for person, age in (("a", 30), ("b", 9), ("c", 25)):
+    GRAPH.add(Triple(uri(person), uri("age"),
+                     Literal(str(age), datatype=INT)))
+
+
+class TestParsing:
+    def test_order_by_variants(self):
+        query = parse_query(
+            "SELECT * WHERE { ?s <p> ?o } ORDER BY ?o DESC(?s) ASC(?o)")
+        assert query.order_by == ((Variable("o"), True),
+                                  (Variable("s"), False),
+                                  (Variable("o"), True))
+
+    def test_limit_offset_any_order(self):
+        first = parse_query("SELECT * WHERE { ?s <p> ?o } LIMIT 5 OFFSET 2")
+        second = parse_query("SELECT * WHERE { ?s <p> ?o } OFFSET 2 LIMIT 5")
+        assert (first.limit, first.offset) == (5, 2)
+        assert (second.limit, second.offset) == (5, 2)
+
+    def test_round_trip(self):
+        text = ("SELECT ?s WHERE { ?s <p> ?o }"
+                " ORDER BY DESC(?o) LIMIT 3 OFFSET 1")
+        query = parse_query(text)
+        again = parse_query(query.to_sparql())
+        assert again.order_by == query.order_by
+        assert (again.limit, again.offset) == (3, 1)
+
+    def test_empty_order_by_rejected(self):
+        from repro.exceptions import ParseError
+        with pytest.raises(ParseError):
+            parse_query("SELECT * WHERE { ?s <p> ?o } ORDER BY LIMIT 2")
+
+
+class TestOrderBy:
+    def test_numeric_ordering(self):
+        lbr, naive, col = engines_for(GRAPH)
+        query = q("?p ex:age ?g", " ORDER BY ?g")
+        for engine in (lbr, naive, col):
+            rows = engine.execute(query).rows
+            ages = [float(str(row[0])) for row in rows]
+            assert ages == sorted(ages)
+        # "9" < "25" numerically even though "25" < "9" lexically
+        assert float(str(lbr.execute(query).rows[0][0])) == 9
+
+    def test_descending(self):
+        lbr, _, _ = engines_for(GRAPH)
+        rows = lbr.execute(q("?p ex:age ?g", " ORDER BY DESC(?g)")).rows
+        ages = [float(str(row[0])) for row in rows]
+        assert ages == sorted(ages, reverse=True)
+
+    def test_null_sorts_lowest(self):
+        graph = Graph(triples(("a", "knows", "b"), ("b", "knows", "c"),
+                              ("b", "likes", "x")))
+        lbr, _, _ = engines_for(graph)
+        query = q("?p ex:knows ?o OPTIONAL { ?p ex:likes ?l }",
+                  " ORDER BY ?l")
+        rows = lbr.execute(query).rows
+        variables = lbr.execute(query).variables
+        l_index = variables.index(Variable("l"))
+        assert rows[0][l_index] is NULL
+
+    def test_all_engines_agree_on_order(self):
+        query = q("?p ex:age ?g", " ORDER BY DESC(?g) ?p")
+        lbr, naive, col = engines_for(GRAPH)
+        assert lbr.execute(query).rows == naive.execute(query).rows \
+            == col.execute(query).rows
+
+    def test_order_by_non_projected_variable(self):
+        query = (f"PREFIX ex: <{EX}>\nSELECT ?p WHERE "
+                 f"{{ ?p ex:age ?g }} ORDER BY DESC(?g)")
+        lbr, naive, _ = engines_for(GRAPH)
+        assert lbr.execute(query).rows == naive.execute(query).rows
+        assert lbr.execute(query).rows[0] == (uri("a"),)  # age 30 first
+
+
+class TestLimitOffset:
+    def test_limit(self):
+        lbr, naive, col = engines_for(GRAPH)
+        query = q("?p ex:age ?g", " ORDER BY ?g LIMIT 2")
+        for engine in (lbr, naive, col):
+            assert len(engine.execute(query)) == 2
+
+    def test_offset(self):
+        lbr, _, _ = engines_for(GRAPH)
+        all_rows = lbr.execute(q("?p ex:age ?g", " ORDER BY ?g")).rows
+        shifted = lbr.execute(q("?p ex:age ?g",
+                                " ORDER BY ?g OFFSET 1")).rows
+        assert shifted == all_rows[1:]
+
+    def test_limit_offset_window(self):
+        lbr, _, _ = engines_for(GRAPH)
+        all_rows = lbr.execute(q("?p ex:age ?g", " ORDER BY ?g")).rows
+        window = lbr.execute(q("?p ex:age ?g",
+                               " ORDER BY ?g LIMIT 1 OFFSET 1")).rows
+        assert window == all_rows[1:2]
+
+    def test_limit_larger_than_result(self):
+        lbr, _, _ = engines_for(GRAPH)
+        assert len(lbr.execute(q("?p ex:age ?g", " LIMIT 99"))) == 3
+
+    def test_offset_past_end(self):
+        lbr, _, _ = engines_for(GRAPH)
+        assert len(lbr.execute(q("?p ex:age ?g", " OFFSET 99"))) == 0
+
+
+class TestInterplay:
+    def test_distinct_then_limit(self):
+        query = (f"PREFIX ex: <{EX}>\nSELECT DISTINCT ?p WHERE "
+                 f"{{ ?p ex:knows ?o . ?p ex:age ?g }} ORDER BY ?p LIMIT 2")
+        lbr, naive, col = engines_for(GRAPH)
+        rows = lbr.execute(query).rows
+        assert rows == naive.execute(query).rows == col.execute(query).rows
+        assert len(rows) == 2
+        assert len(set(rows)) == 2
+
+    def test_modifiers_with_optional(self):
+        query = q("?p ex:knows ?o OPTIONAL { ?o ex:age ?g }",
+                  " ORDER BY DESC(?g) LIMIT 2")
+        lbr, naive, col = engines_for(GRAPH)
+        assert lbr.execute(query).rows == naive.execute(query).rows \
+            == col.execute(query).rows

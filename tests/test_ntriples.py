@@ -1,0 +1,112 @@
+"""N-Triples reader/writer tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ParseError
+from repro.rdf import ntriples
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, Literal, Triple, URI
+
+
+class TestParseLine:
+    def test_simple_triple(self):
+        t = ntriples.parse_line("<s> <p> <o> .")
+        assert t == Triple(URI("s"), URI("p"), URI("o"))
+
+    def test_literal_object(self):
+        t = ntriples.parse_line('<s> <p> "hello" .')
+        assert t.o == Literal("hello")
+
+    def test_language_tag(self):
+        t = ntriples.parse_line('<s> <p> "chat"@fr .')
+        assert t.o.language == "fr"
+
+    def test_datatype(self):
+        t = ntriples.parse_line(
+            '<s> <p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .')
+        assert t.o.datatype == "http://www.w3.org/2001/XMLSchema#integer"
+
+    def test_blank_nodes(self):
+        t = ntriples.parse_line("_:b0 <p> _:b1 .")
+        assert t.s == BNode("b0")
+        assert t.o == BNode("b1")
+
+    def test_escapes(self):
+        t = ntriples.parse_line(r'<s> <p> "line\nbreak \"q\" \\" .')
+        assert str(t.o) == 'line\nbreak "q" \\'
+
+    def test_unicode_escape(self):
+        t = ntriples.parse_line(r'<s> <p> "é\U0001F600" .')
+        assert str(t.o) == "é\U0001F600"
+
+    def test_comment_returns_none(self):
+        assert ntriples.parse_line("# a comment") is None
+
+    def test_blank_line_returns_none(self):
+        assert ntriples.parse_line("   ") is None
+
+    def test_trailing_comment_allowed(self):
+        assert ntriples.parse_line("<s> <p> <o> . # note") is not None
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(ParseError):
+            ntriples.parse_line("<s> <p> <o>")
+
+    def test_bad_subject_raises(self):
+        with pytest.raises(ParseError):
+            ntriples.parse_line('"literal" <p> <o> .')
+
+    def test_literal_predicate_raises(self):
+        with pytest.raises(ParseError):
+            ntriples.parse_line('<s> "p" <o> .')
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError, match="line 3"):
+            list(ntriples.parse("<a> <b> <c> .\n\nbad line\n"))
+
+
+class TestStreamAndFiles:
+    def test_parse_multiline_string(self):
+        text = "<a> <p> <b> .\n# comment\n<b> <p> <c> .\n"
+        assert len(list(ntriples.parse(text))) == 2
+
+    def test_load_and_dump_round_trip(self, tmp_path):
+        graph = Graph([Triple(URI("s"), URI("p"), Literal('v "quoted"\n')),
+                       Triple(BNode("b"), URI("p"), URI("o"))])
+        path = str(tmp_path / "data.nt")
+        written = ntriples.dump(graph, path)
+        assert written == 2
+        loaded = ntriples.load(path)
+        assert set(loaded) == set(graph)
+
+    def test_load_into_existing_graph(self, tmp_path):
+        path = str(tmp_path / "data.nt")
+        ntriples.dump([Triple(URI("s"), URI("p"), URI("o"))], path)
+        graph = Graph([Triple(URI("x"), URI("y"), URI("z"))])
+        ntriples.load(path, graph)
+        assert len(graph) == 2
+
+
+safe_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)),
+    min_size=0, max_size=20)
+uri_names = st.text(alphabet="abcdefghij/#.", min_size=1, max_size=12)
+
+
+def _literals():
+    return st.builds(
+        lambda v, lang: Literal(v, language=lang),
+        safe_text, st.sampled_from([None, "en", "fr-CA"]))
+
+
+class TestRoundTripProperty:
+    @given(st.lists(st.tuples(uri_names, uri_names,
+                              st.one_of(uri_names.map(URI), _literals())),
+                    min_size=1, max_size=20))
+    def test_serialize_parse_round_trip(self, rows):
+        data = [Triple(URI("http://x/" + s), URI("http://p/" + p), o)
+                for s, p, o in rows]
+        text = ntriples.serialize(data)
+        parsed = list(ntriples.parse(text))
+        assert parsed == data

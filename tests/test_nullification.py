@@ -1,0 +1,126 @@
+"""Nullification, best-match, and minimum-union tests (§3.1, Figure 3.2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.nullification import best_match, minimum_union
+from repro.rdf.terms import NULL, URI
+
+
+def u(name):
+    return URI(name)
+
+
+class TestFigure32BestMatch:
+    """Res2 → Res3 of Figure 3.2: best-match removes subsumed rows."""
+
+    RES2 = [
+        (u("Julia"), u("Seinfeld")),
+        (u("Julia"), NULL),
+        (u("Julia"), NULL),
+        (u("Julia"), NULL),
+        (u("Larry"), NULL),
+    ]
+
+    def test_subsumed_rows_removed(self):
+        result = best_match(self.RES2)
+        assert (u("Julia"), u("Seinfeld")) in result
+        assert (u("Larry"), NULL) in result
+        assert (u("Julia"), NULL) not in result
+
+    def test_best_match_keeps_duplicates(self):
+        rows = [(u("a"), NULL), (u("a"), NULL)]
+        assert best_match(rows) == rows
+
+    def test_minimum_union_drops_duplicates(self):
+        rows = [(u("a"), NULL), (u("a"), NULL)]
+        assert minimum_union(rows) == [(u("a"), NULL)]
+
+    def test_figure_res3(self):
+        assert sorted(map(str, minimum_union(self.RES2))) == sorted(map(str, [
+            (u("Julia"), u("Seinfeld")), (u("Larry"), NULL)]))
+
+
+class TestSubsumptionEdgeCases:
+    def test_equal_rows_not_subsumed(self):
+        rows = [(u("a"), u("b")), (u("a"), u("b"))]
+        assert best_match(rows) == rows
+
+    def test_different_values_not_subsumed(self):
+        rows = [(u("a"), u("b")), (u("a"), u("c"))]
+        assert sorted(best_match(rows)) == sorted(rows)
+
+    def test_all_null_row_subsumed_by_anything(self):
+        rows = [(NULL, NULL), (u("a"), NULL)]
+        assert best_match(rows) == [(u("a"), NULL)]
+
+    def test_all_null_rows_survive_alone(self):
+        rows = [(NULL, NULL), (NULL, NULL)]
+        assert best_match(rows) == rows
+        assert minimum_union(rows) == [(NULL, NULL)]
+
+    def test_partial_overlap_not_subsumed(self):
+        # (a, NULL, c) vs (a, b, NULL): neither subsumes the other
+        rows = [(u("a"), NULL, u("c")), (u("a"), u("b"), NULL)]
+        assert sorted(best_match(rows), key=repr) == sorted(rows, key=repr)
+
+    def test_transitive_subsumption(self):
+        rows = [(u("a"), u("b"), u("c")),
+                (u("a"), u("b"), NULL),
+                (u("a"), NULL, NULL)]
+        assert best_match(rows) == [(u("a"), u("b"), u("c"))]
+
+    def test_empty_input(self):
+        assert best_match([]) == []
+        assert minimum_union([]) == []
+
+    def test_preserves_input_order_of_kept(self):
+        rows = [(u("z"), NULL), (u("a"), u("b"))]
+        assert best_match(rows) == rows
+
+
+def _rows(draw_terms):
+    return st.lists(
+        st.tuples(*[st.sampled_from([NULL] + [URI(c) for c in "abc"])
+                    for _ in range(3)]),
+        max_size=25)
+
+
+class TestBestMatchProperties:
+    @staticmethod
+    def _subsumed(r1, r2):
+        """r1 strictly subsumed by r2."""
+        bound1 = {(i, v) for i, v in enumerate(r1) if v is not NULL}
+        bound2 = {(i, v) for i, v in enumerate(r2) if v is not NULL}
+        return bound1 < bound2 and all(
+            r2[i] == v for i, v in bound1)
+
+    @given(_rows(None))
+    def test_no_kept_row_subsumed_by_kept_row(self, rows):
+        kept = best_match(rows)
+        for r1 in kept:
+            for r2 in kept:
+                assert not self._subsumed(r1, r2)
+
+    @given(_rows(None))
+    def test_every_dropped_row_is_subsumed(self, rows):
+        kept = best_match(rows)
+        kept_count = {}
+        for row in kept:
+            kept_count[row] = kept_count.get(row, 0) + 1
+        for row in rows:
+            if kept_count.get(row, 0) > 0:
+                kept_count[row] -= 1
+                continue
+            assert any(self._subsumed(row, other) for other in kept)
+
+    @given(_rows(None))
+    def test_idempotent(self, rows):
+        once = best_match(rows)
+        assert best_match(once) == once
+
+    @given(_rows(None))
+    def test_minimum_union_is_subset_of_best_match(self, rows):
+        mu = minimum_union(rows)
+        bm = best_match(rows)
+        assert set(mu) <= set(bm)
+        assert len(set(mu)) == len(mu)  # no duplicates

@@ -1,0 +1,92 @@
+"""PackedBitVector ↔ BitVector equivalence (representation ablation)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitmat.bitvec import BitVector
+from repro.bitmat.packed import PackedBitVector
+
+SIZE = 96
+position_sets = st.sets(st.integers(0, SIZE - 1), max_size=SIZE)
+
+
+def pair(positions):
+    return (BitVector.from_positions(SIZE, positions),
+            PackedBitVector.from_positions(SIZE, positions))
+
+
+class TestConstruction:
+    def test_empty_and_full(self):
+        assert not PackedBitVector.empty(8)
+        assert PackedBitVector.full(8).count() == 8
+        assert PackedBitVector.full(8, start=5).positions() == [5, 6, 7]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PackedBitVector.from_positions(4, [4])
+        with pytest.raises(ValueError):
+            PackedBitVector(-1)
+
+    @given(position_sets)
+    def test_conversion_round_trip(self, positions):
+        interval, packed = pair(positions)
+        assert PackedBitVector.from_bitvector(interval) == packed
+        assert packed.to_bitvector() == interval
+
+
+class TestEquivalence:
+    @given(position_sets, position_sets)
+    def test_and(self, a, b):
+        ia, pa = pair(a)
+        ib, pb = pair(b)
+        assert set(pa.and_(pb).positions()) == set(ia.and_(ib).positions())
+
+    @given(position_sets, position_sets)
+    def test_or(self, a, b):
+        ia, pa = pair(a)
+        ib, pb = pair(b)
+        assert set(pa.or_(pb).positions()) == set(ia.or_(ib).positions())
+
+    @given(position_sets, position_sets)
+    def test_andnot(self, a, b):
+        _, pa = pair(a)
+        _, pb = pair(b)
+        assert set(pa.andnot(pb).positions()) == (a - b)
+
+    @given(position_sets, st.integers(0, SIZE))
+    def test_truncate(self, a, limit):
+        _, pa = pair(a)
+        assert set(pa.truncate(limit).positions()) == {
+            p for p in a if p < limit}
+
+    @given(position_sets, position_sets)
+    def test_intersects(self, a, b):
+        _, pa = pair(a)
+        _, pb = pair(b)
+        assert pa.intersects(pb) == bool(a & b)
+
+    @given(st.lists(position_sets, max_size=5))
+    def test_union_many(self, sets):
+        packed = [PackedBitVector.from_positions(SIZE, s) for s in sets]
+        expected = set().union(*sets) if sets else set()
+        assert set(PackedBitVector.union_many(packed, SIZE)
+                   .positions()) == expected
+
+    @given(position_sets)
+    def test_count_contains_first(self, a):
+        _, packed = pair(a)
+        assert packed.count() == len(a)
+        assert packed.first() == (min(a) if a else None)
+        for position in a:
+            assert position in packed
+
+    def test_and_different_sizes_clips(self):
+        a = PackedBitVector.from_positions(100, [5, 60, 99])
+        b = PackedBitVector.full(10)
+        assert a.and_(b).positions() == [5]
+        assert a.and_(b).size == 10
+
+    @given(position_sets)
+    def test_iter_positions_sorted(self, a):
+        _, packed = pair(a)
+        assert packed.positions() == sorted(a)

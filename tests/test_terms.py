@@ -1,0 +1,121 @@
+"""RDF term model unit tests."""
+
+import pickle
+
+import pytest
+
+from repro.rdf.terms import (NULL, BNode, Literal, Triple, URI, Variable,
+                             is_ground, is_variable)
+
+
+class TestURI:
+    def test_is_a_string(self):
+        assert URI("http://example.org/a") == "http://example.org/a"
+
+    def test_n3_form(self):
+        assert URI("http://example.org/a").n3 == "<http://example.org/a>"
+
+    def test_hashable_and_equal(self):
+        assert {URI("x"): 1}[URI("x")] == 1
+
+    def test_sortable(self):
+        assert sorted([URI("b"), URI("a")]) == [URI("a"), URI("b")]
+
+
+class TestBNode:
+    def test_n3_form(self):
+        assert BNode("b0").n3 == "_:b0"
+
+    def test_equality_with_plain_string(self):
+        assert BNode("b0") == "b0"
+
+
+class TestLiteral:
+    def test_plain_literal_equality(self):
+        assert Literal("hello") == Literal("hello")
+
+    def test_datatype_distinguishes(self):
+        plain = Literal("5")
+        typed = Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        assert plain != typed
+
+    def test_language_distinguishes(self):
+        assert Literal("chat") != Literal("chat", language="fr")
+        assert Literal("chat", language="fr") == Literal("chat", language="fr")
+
+    def test_hash_consistent_with_eq(self):
+        a = Literal("x", datatype="http://example.org/dt")
+        b = Literal("x", datatype="http://example.org/dt")
+        assert hash(a) == hash(b)
+
+    def test_literal_not_equal_to_uri(self):
+        assert Literal("http://example.org/a") != URI("http://example.org/a")
+
+    def test_n3_plain(self):
+        assert Literal("hi").n3 == '"hi"'
+
+    def test_n3_language(self):
+        assert Literal("chat", language="fr").n3 == '"chat"@fr'
+
+    def test_n3_datatype(self):
+        lit = Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        assert lit.n3 == '"5"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_n3_escapes_quotes_and_newlines(self):
+        assert Literal('say "hi"\n').n3 == '"say \\"hi\\"\\n"'
+
+    def test_inequality_operator(self):
+        assert Literal("a") != Literal("b")
+
+
+class TestVariable:
+    def test_n3_form(self):
+        assert Variable("x").n3 == "?x"
+
+    def test_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable(URI("x"))
+        assert not is_variable("x")
+
+    def test_is_ground(self):
+        assert is_ground(URI("x"))
+        assert is_ground(Literal("x"))
+        assert is_ground(BNode("x"))
+        assert not is_ground(Variable("x"))
+
+
+class TestNull:
+    def test_singleton(self):
+        import repro.rdf.terms as terms
+        assert terms._Null() is NULL
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NULL)) is NULL
+
+    def test_not_equal_to_terms(self):
+        assert NULL != URI("x")
+        assert NULL != Literal("")
+
+
+class TestTriple:
+    def test_field_access(self):
+        t = Triple(URI("s"), URI("p"), URI("o"))
+        assert (t.s, t.p, t.o) == (URI("s"), URI("p"), URI("o"))
+
+    def test_n3_line(self):
+        t = Triple(URI("s"), URI("p"), Literal("v"))
+        assert t.n3 == '<s> <p> "v" .'
+
+    def test_tuple_unpacking(self):
+        s, p, o = Triple(URI("a"), URI("b"), URI("c"))
+        assert o == URI("c")
+
+    def test_equality_and_hash(self):
+        assert Triple(URI("s"), URI("p"), URI("o")) in {
+            Triple(URI("s"), URI("p"), URI("o"))}

@@ -1,0 +1,187 @@
+"""Well-designedness checks (Pérez et al.) and the UNF rewrite."""
+
+from repro.rdf.terms import Variable
+from repro.sparql import (is_well_designed, find_violations, parse_pattern,
+                          parse_query, serialize_algebra,
+                          to_union_normal_form, eliminate_equality_filters,
+                          push_filter, is_safe_filter)
+from repro.sparql.ast import BGP, Filter, Join, LeftJoin, Union
+
+
+def pattern_of(text: str):
+    return parse_query(text).pattern
+
+
+class TestWellDesigned:
+    def test_simple_optional_is_wd(self):
+        pattern = pattern_of(
+            "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c } }")
+        assert is_well_designed(pattern)
+
+    def test_paper_q1_intro_is_wd(self):
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              ?actor <name> ?name . ?actor <address> ?addr .
+              OPTIONAL { ?actor <email> ?email . ?actor <tel> ?tele . }
+            }""")
+        assert is_well_designed(pattern)
+
+    def test_classic_violation(self):
+        # ?c occurs in the innermost slave and outside, but not in its
+        # master — the textbook NWD pattern Px JOIN (Py OPT Pz)
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              { ?x <p> ?c }
+              { ?y <q> ?z OPTIONAL { ?z <r> ?c } }
+            }""")
+        violations = find_violations(pattern)
+        assert not is_well_designed(pattern)
+        assert violations[0].variable == Variable("c")
+
+    def test_violation_through_nesting(self):
+        # Px OPT (Py OPT Pz) where ?j in Pz and Px but not Py
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              ?x <p> ?j
+              OPTIONAL { ?x <q> ?y OPTIONAL { ?y <r> ?j } }
+            }""")
+        assert not is_well_designed(pattern)
+
+    def test_shared_var_in_master_is_fine(self):
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              ?x <p> ?j
+              OPTIONAL { ?x <q> ?j OPTIONAL { ?j <r> ?k } }
+            }""")
+        assert is_well_designed(pattern)
+
+    def test_filter_occurrence_counts_as_outside(self):
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              { ?a <p> ?b OPTIONAL { ?b <q> ?c } }
+              FILTER(?c != <x>)
+            }""")
+        # the filter sits outside the OPT and mentions ?c
+        assert not is_well_designed(pattern)
+
+    def test_union_branches_checked_independently(self):
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              { ?a <p> ?b } UNION { ?a <q> ?b }
+            }""")
+        assert is_well_designed(pattern)
+
+    def test_all_appendix_queries_are_wd(self):
+        from repro.datasets import ALL_SUITES
+        for suite in ALL_SUITES.values():
+            for text in suite.values():
+                assert is_well_designed(pattern_of(text))
+
+
+class TestUnionNormalForm:
+    def test_union_free_is_single_branch(self):
+        pattern = pattern_of(
+            "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c } }")
+        nf = to_union_normal_form(pattern)
+        assert len(nf.branches) == 1
+        assert not nf.spurious_possible
+
+    def test_top_level_union_splits(self):
+        pattern = pattern_of(
+            "SELECT * WHERE { { ?a <p> ?b } UNION { ?a <q> ?b } }")
+        nf = to_union_normal_form(pattern)
+        assert len(nf.branches) == 2
+
+    def test_rule1_join_distributes(self):
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              { { ?a <p> ?b } UNION { ?a <q> ?b } }
+              { ?b <r> ?c }
+            }""")
+        nf = to_union_normal_form(pattern)
+        assert len(nf.branches) == 2
+        assert all(isinstance(branch, BGP) for branch in nf.branches)
+        assert not nf.spurious_possible
+
+    def test_rule2_union_in_master_distributes(self):
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              { { ?a <p> ?b } UNION { ?a <q> ?b } }
+              OPTIONAL { ?b <r> ?c }
+            }""")
+        nf = to_union_normal_form(pattern)
+        assert len(nf.branches) == 2
+        assert all(isinstance(b, LeftJoin) for b in nf.branches)
+        assert not nf.spurious_possible
+
+    def test_rule3_union_in_slave_flags_spurious(self):
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              ?a <p> ?b
+              OPTIONAL { { ?b <r> ?c } UNION { ?b <s> ?c } }
+            }""")
+        nf = to_union_normal_form(pattern)
+        assert len(nf.branches) == 2
+        assert nf.spurious_possible
+
+    def test_nested_unions_multiply(self):
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              { { ?a <p> ?b } UNION { ?a <q> ?b } }
+              { { ?b <r> ?c } UNION { ?b <s> ?c } }
+            }""")
+        nf = to_union_normal_form(pattern)
+        assert len(nf.branches) == 4
+
+    def test_rule5_filter_distributes_over_union(self):
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              { ?a <p> ?b } UNION { ?a <q> ?b }
+              FILTER(?b != <x>)
+            }""")
+        nf = to_union_normal_form(pattern)
+        assert len(nf.branches) == 2
+        for branch in nf.branches:
+            assert any(isinstance(node, Filter) for node in branch.walk())
+
+
+class TestFilterPushing:
+    def test_rule4_filter_pushes_into_master(self):
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              { ?a <p> ?b OPTIONAL { ?b <q> ?c } }
+              FILTER(?b != <x>)
+            }""")
+        nf = to_union_normal_form(pattern)
+        branch = nf.branches[0]
+        # filter ended up on the master side, not around the LeftJoin
+        assert isinstance(branch, LeftJoin)
+        assert isinstance(branch.left, Filter)
+
+    def test_filter_on_slave_vars_stays_outside(self):
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              { ?a <p> ?b OPTIONAL { ?b <q> ?c } }
+              FILTER(?c != <x>)
+            }""")
+        nf = to_union_normal_form(pattern)
+        assert isinstance(nf.branches[0], Filter)
+
+    def test_is_safe_filter(self):
+        safe = pattern_of(
+            "SELECT * WHERE { ?a <p> ?b FILTER(?b > 1) }")
+        assert is_safe_filter(safe)
+        unsafe = Filter(safe.expr,
+                        BGP(pattern_of("SELECT * WHERE { ?a <p> ?c }")
+                            .patterns))
+        assert not is_safe_filter(unsafe)
+
+    def test_equality_filter_elimination(self):
+        pattern = pattern_of("""
+            SELECT * WHERE {
+              ?a <p> ?m . ?a <q> ?n .
+              FILTER(?m = ?n)
+            }""")
+        rewritten = eliminate_equality_filters(pattern)
+        assert not any(isinstance(n, Filter) for n in rewritten.walk())
+        assert rewritten.variables() == {Variable("a"), Variable("m")}
