@@ -1,0 +1,134 @@
+"""Hot-path regression harness: repeated-template workloads.
+
+Production traffic is dominated by *query templates* executed over and
+over; the hot-path caches (plan cache, per-predicate BitMats, P-S/P-O
+rows, fold masks, candidate lists, decoded terms) exist exactly for
+that shape.  This harness runs every §6 benchmark query as a template:
+one **cold** execution on a fresh store + engine (every cache empty),
+then ``REPEATS`` warm executions on the same engine, and asserts the
+workload-level improvement the caches must deliver.
+
+Machine-readable timings land in ``benchmarks/out/BENCH_hot_path.json``
+so future PRs have a trajectory to compare against.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import statistics
+import time
+
+import pytest
+
+from repro import BitMatStore, LBREngine
+from repro.datasets import (DBPEDIA_QUERIES, LUBM_QUERIES, UNIPROT_QUERIES,
+                            generate_dbpedia, generate_lubm,
+                            generate_uniprot)
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+OUT_PATH = os.path.join(OUT_DIR, "BENCH_hot_path.json")
+
+#: warm executions per template after the cold run
+REPEATS = 10
+#: independent cold trials per template (medians tame scheduler noise)
+TRIALS = 3
+
+WORKLOADS = (
+    ("LUBM", generate_lubm, LUBM_QUERIES),
+    ("UniProt", generate_uniprot, UNIPROT_QUERIES),
+    ("DBPedia", generate_dbpedia, DBPEDIA_QUERIES),
+)
+
+
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _run_template(graph, query: str) -> dict:
+    """Cold + warm measurements for one template; medians over TRIALS."""
+    firsts: list[float] = []
+    repeats: list[float] = []
+    phases: dict = {}
+    rows_cold = rows_warm = None
+    for _ in range(TRIALS):
+        store = BitMatStore.build(graph)  # fresh: every cache empty
+        engine = LBREngine(store)
+        t0 = time.perf_counter()
+        cold = engine.execute(query)
+        firsts.append(time.perf_counter() - t0)
+        times: list[float] = []
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            warm = engine.execute(query)
+            times.append(time.perf_counter() - t0)
+        repeats.append(statistics.median(times))
+        stats = engine.last_stats
+        phases = {"t_init": stats.t_init, "t_prune": stats.t_prune,
+                  "t_join": stats.t_join, "t_total": stats.t_total}
+        # per-phase stats must stay correct on plan-cache hits
+        assert stats.t_init >= 0 and stats.t_prune >= 0
+        assert stats.t_join >= 0 and stats.t_total > 0
+        assert (stats.t_init + stats.t_prune + stats.t_join
+                <= stats.t_total + 1e-9)
+        # cache hits must be invisible in the results
+        assert cold.variables == warm.variables
+        assert cold.rows == warm.rows
+        rows_cold, rows_warm = len(cold), len(warm)
+    first = statistics.median(firsts)
+    repeat = statistics.median(repeats)
+    return {"first_ms": first * 1000, "repeat_ms": repeat * 1000,
+            "speedup": first / repeat, "rows": rows_cold,
+            "phases_warm": {k: v * 1000 for k, v in phases.items()},
+            "rows_warm": rows_warm}
+
+
+@pytest.fixture(scope="module")
+def hot_path_report():
+    report = {"repeats": REPEATS, "trials": TRIALS, "templates": {}}
+    for dataset, generate, queries in WORKLOADS:
+        graph = generate()
+        for name, query in queries.items():
+            key = f"{dataset}/{name}"
+            report["templates"][key] = _run_template(graph, query)
+    per_template = report["templates"].values()
+    total_first = sum(t["first_ms"] for t in per_template)
+    total_repeat = sum(t["repeat_ms"] for t in per_template)
+    report["workload"] = {
+        "total_first_ms": total_first,
+        "total_repeat_ms": total_repeat,
+        "wall_clock_speedup": total_first / total_repeat,
+        "geomean_speedup": _geomean(
+            [t["speedup"] for t in report["templates"].values()]),
+    }
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"\n[hot-path workload: first={total_first:.1f}ms "
+          f"repeat={total_repeat:.1f}ms "
+          f"speedup={report['workload']['wall_clock_speedup']:.2f}x "
+          f"geomean={report['workload']['geomean_speedup']:.2f}x]")
+    print(f"[written to {OUT_PATH}]")
+    return report
+
+
+def test_repeated_template_speedup(hot_path_report):
+    """A repeated template must run ≥2× faster warm than cold."""
+    workload = hot_path_report["workload"]
+    assert workload["wall_clock_speedup"] >= 2.0, workload
+    assert workload["geomean_speedup"] >= 2.0, workload
+
+
+def test_phases_reported(hot_path_report):
+    """Warm runs still report meaningful per-phase stats."""
+    for key, template in hot_path_report["templates"].items():
+        phases = template["phases_warm"]
+        assert phases["t_total"] > 0, key
+        assert all(phases[k] >= 0 for k in ("t_init", "t_prune", "t_join"))
+
+
+def test_cache_hits_do_not_change_results(hot_path_report):
+    """Row counts agree between cold and warm executions."""
+    for key, template in hot_path_report["templates"].items():
+        assert template["rows"] == template["rows_warm"], key

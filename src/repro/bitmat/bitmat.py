@@ -147,17 +147,48 @@ class BitMat:
         return self._col_mask
 
     def unfold(self, mask: BitVector, dim: Dim) -> "BitMat":
-        """Keep only coordinates of *dim* whose bit is set in *mask*."""
+        """Keep only coordinates of *dim* whose bit is set in *mask*.
+
+        Returns ``self`` (not a copy) when the mask clears nothing, so
+        callers can cheaply detect no-ops by identity and fold caches on
+        the instance stay warm.  When bits are cleared, the fold caches
+        that can be *derived* from the old ones are propagated onto the
+        new matrix instead of being recomputed from scratch:
+
+        * a row-dim unfold only drops whole rows, so the new row fold is
+          ``old_row_fold ∧ mask`` (the col fold genuinely changes — bits
+          contributed only by dropped rows vanish — and is left to lazy
+          recomputation);
+        * a col-dim unfold ANDs every row with *mask*, so the new col
+          fold is exactly ``old_col_fold ∧ mask``.
+        """
         if dim == "row":
             kept = {row: vec for row, vec in self._rows.items()
                     if row in mask}
-            return BitMat(self.num_rows, self.num_cols, kept)
+            if len(kept) == len(self._rows):
+                return self
+            out = BitMat(self.num_rows, self.num_cols, kept)
+            if self._row_mask is not None:
+                out._row_mask = self._row_mask.and_(mask).resized(
+                    self.num_rows)
+            return out
         kept = {}
+        changed = False
         for row, vec in self._rows.items():
             masked = vec.and_(mask)
-            if masked:
+            if masked.count() == vec.count():
+                kept[row] = vec  # unchanged: keep the cached original
+            elif masked:
                 kept[row] = masked
-        return BitMat(self.num_rows, self.num_cols, kept)
+                changed = True
+            else:
+                changed = True
+        if not changed:
+            return self
+        out = BitMat(self.num_rows, self.num_cols, kept)
+        if self._col_mask is not None:
+            out._col_mask = self._col_mask.and_(mask).resized(self.num_cols)
+        return out
 
     # ------------------------------------------------------------------
     # reorientation

@@ -26,6 +26,9 @@ from typing import Iterable, Iterator, Sequence
 #: run-count threshold below which pure interval algorithms are used
 _SPARSE_RUNS = 64
 
+#: max set bits a vector will pin as an uncompressed positions tuple
+_POSITIONS_CACHE_MAX = 4096
+
 #: per-byte set-bit offsets, for packed → runs conversion
 _BYTE_POSITIONS = [tuple(bit for bit in range(8) if value >> bit & 1)
                    for value in range(256)]
@@ -174,7 +177,7 @@ def _bounds_from_bits(bits: int) -> list[int]:
 class BitVector:
     """An immutable compressed bitvector over positions ``[0, size)``."""
 
-    __slots__ = ("size", "_bounds", "_bits", "_count")
+    __slots__ = ("size", "_bounds", "_bits", "_count", "_positions")
 
     def __init__(self, size: int, _bounds: list[int] | None = None, *,
                  _bits: int | None = None) -> None:
@@ -186,6 +189,7 @@ class BitVector:
         self._bounds = _bounds
         self._bits = _bits
         self._count: int | None = None
+        self._positions: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------
     # backing management
@@ -284,6 +288,25 @@ class BitVector:
         """Set positions as a list."""
         return list(self.iter_positions())
 
+    def positions_cached(self) -> tuple[int, ...]:
+        """Set positions as a tuple, cached on the immutable vector.
+
+        The join enumerates the same candidate rows on every repeat of
+        a query template; unfold shares unchanged row vectors with the
+        store's cached BitMats, so this cache stays warm across runs.
+        Dense vectors are *not* pinned: a long-lived cached row whose
+        compressed form is a couple of runs must not hold an
+        uncompressed position tuple forever, so past the threshold the
+        tuple is rebuilt per call and only the join-local memos keep it
+        for the duration of one execution.
+        """
+        cached = self._positions
+        if cached is None:
+            cached = tuple(self.iter_positions())
+            if len(cached) <= _POSITIONS_CACHE_MAX:
+                self._positions = cached
+        return cached
+
     def intervals(self) -> list[tuple[int, int]]:
         """The run decomposition as (start, stop) pairs."""
         bounds = self._ensure_bounds()
@@ -366,6 +389,20 @@ class BitVector:
             return BitVector(self.size)
         return BitVector(self.size,
                          _bits=self._bits & ((1 << limit) - 1))
+
+    def resized(self, size: int) -> "BitVector":
+        """The same bit set over a different width (clipping if smaller)."""
+        if size == self.size:
+            return self
+        if self._bounds is not None:
+            bounds = (self._bounds if not self._bounds
+                      or self._bounds[-1] <= size
+                      else _clip_bounds(self._bounds, size))
+            return BitVector(size, list(bounds))
+        bits = self._bits
+        if bits and bits.bit_length() > size:
+            bits &= (1 << size) - 1
+        return BitVector(size, _bits=bits)
 
     def intersects(self, other: "BitVector") -> bool:
         """True when the two vectors share at least one set bit."""

@@ -26,11 +26,20 @@ from bisect import bisect_left
 from typing import Iterable
 
 from ..exceptions import StorageError
+from ..lru import LRUCache
 from ..rdf.dictionary import Dictionary
 from ..rdf.graph import Graph
 from ..rdf.terms import Term
 from .bitmat import BitMat
 from .bitvec import BitVector
+
+#: Bounded cache sizes for the on-demand BitMat materializations.  The
+#: per-predicate matrices are few but large (one per predicate of the
+#: workload's templates); the P-S/P-O rows are tiny but numerous (one
+#: per (predicate, entity) constant pair seen in queries).
+MATRIX_CACHE_SIZE = 512
+ROW_CACHE_SIZE = 8192
+ENTITY_CACHE_SIZE = 256
 
 
 class BitMatStore:
@@ -45,11 +54,17 @@ class BitMatStore:
         self._os_by_p: dict[int, list[tuple[int, int]]] = {}
         self._triple_count = sum(len(pairs) for pairs in so_by_p.values())
         # Warm-cache behaviour (§6.1 runs every query once to warm the
-        # caches before measuring): per-predicate BitMats are immutable
-        # — pruning `unfold`s into fresh objects — so they are shared
-        # across queries once built.
-        self._so_cache: dict[int, BitMat] = {}
-        self._os_cache: dict[int, BitMat] = {}
+        # caches before measuring): every materialization is immutable —
+        # pruning `unfold`s into fresh objects — so it is shared across
+        # queries once built.  All caches are bounded LRUs so arbitrary
+        # workloads cannot grow memory without limit.
+        self._so_cache: LRUCache[int, BitMat] = LRUCache(MATRIX_CACHE_SIZE)
+        self._os_cache: LRUCache[int, BitMat] = LRUCache(MATRIX_CACHE_SIZE)
+        #: ('ps', pid, oid) / ('po', pid, sid) -> single-row BitVector
+        self._row_cache: LRUCache[tuple, BitVector] = LRUCache(ROW_CACHE_SIZE)
+        #: ('ps', oid) / ('po', sid) -> full P-S / P-O BitMat
+        self._entity_cache: LRUCache[tuple, BitMat] = (
+            LRUCache(ENTITY_CACHE_SIZE))
 
     # ------------------------------------------------------------------
     # construction
@@ -154,7 +169,7 @@ class BitMatStore:
             pairs = self._so_by_p.get(pid, [])
             cached = BitMat.from_sorted_pairs(self.num_subjects + 1,
                                               self.num_objects + 1, pairs)
-            self._so_cache[pid] = cached
+            self._so_cache.put(pid, cached)
         return cached
 
     def load_os(self, pid: int) -> BitMat:
@@ -164,7 +179,7 @@ class BitMatStore:
             pairs = self._os_pairs(pid) if pid in self._so_by_p else []
             cached = BitMat.from_sorted_pairs(self.num_objects + 1,
                                               self.num_subjects + 1, pairs)
-            self._os_cache[pid] = cached
+            self._os_cache.put(pid, cached)
         return cached
 
     def load_ps_row(self, pid: int, oid: int) -> BitVector:
@@ -172,40 +187,82 @@ class BitMatStore:
 
         The subjects ``?v`` matching ``(?v  pid  oid)``.
         """
+        key = ("ps", pid, oid)
+        cached = self._row_cache.get(key)
+        if cached is not None:
+            return cached
         if pid not in self._so_by_p:
-            return BitVector.empty(self.num_subjects + 1)
-        pairs = self._os_pairs(pid)
-        sids = [sid for _, sid in _iter_range(pairs, oid)]
-        return BitVector.from_positions(self.num_subjects + 1, sids)
+            vec = BitVector.empty(self.num_subjects + 1)
+        else:
+            pairs = self._os_pairs(pid)
+            sids = [sid for _, sid in _iter_range(pairs, oid)]
+            vec = BitVector.from_positions(self.num_subjects + 1, sids)
+        self._row_cache.put(key, vec)
+        return vec
 
     def load_po_row(self, pid: int, sid: int) -> BitVector:
         """Row *pid* of the P-O BitMat of subject *sid*.
 
         The objects ``?v`` matching ``(sid  pid  ?v)``.
         """
+        key = ("po", pid, sid)
+        cached = self._row_cache.get(key)
+        if cached is not None:
+            return cached
         pairs = self._so_by_p.get(pid)
         if pairs is None:
-            return BitVector.empty(self.num_objects + 1)
-        oids = [oid for _, oid in _iter_range(pairs, sid)]
-        return BitVector.from_sorted_positions(self.num_objects + 1, oids)
+            vec = BitVector.empty(self.num_objects + 1)
+        else:
+            oids = [oid for _, oid in _iter_range(pairs, sid)]
+            vec = BitVector.from_sorted_positions(self.num_objects + 1, oids)
+        self._row_cache.put(key, vec)
+        return vec
 
     def load_ps(self, oid: int) -> BitMat:
-        """Full P-S BitMat of object *oid*: rows predicates, cols subjects."""
+        """Full P-S BitMat of object *oid*: rows predicates, cols subjects.
+
+        Rows are built directly from the sorted projections rather than
+        through :meth:`load_ps_row`, so one entity materialization does
+        not flood the row LRU with ``|Vp|`` one-shot entries.
+        """
+        key = ("ps", oid)
+        cached = self._entity_cache.get(key)
+        if cached is not None:
+            return cached
+        width = self.num_subjects + 1
         rows: dict[int, BitVector] = {}
         for pid in self._so_by_p:
-            vec = self.load_ps_row(pid, oid)
-            if vec:
-                rows[pid] = vec
-        return BitMat(self.num_predicates + 1, self.num_subjects + 1, rows)
+            sids = [sid for _, sid in _iter_range(self._os_pairs(pid), oid)]
+            if sids:
+                rows[pid] = BitVector.from_positions(width, sids)
+        matrix = BitMat(self.num_predicates + 1, width, rows)
+        self._entity_cache.put(key, matrix)
+        return matrix
 
     def load_po(self, sid: int) -> BitMat:
-        """Full P-O BitMat of subject *sid*: rows predicates, cols objects."""
+        """Full P-O BitMat of subject *sid*: rows predicates, cols objects.
+
+        Built directly from the sorted projections (see :meth:`load_ps`).
+        """
+        key = ("po", sid)
+        cached = self._entity_cache.get(key)
+        if cached is not None:
+            return cached
+        width = self.num_objects + 1
         rows: dict[int, BitVector] = {}
-        for pid in self._so_by_p:
-            vec = self.load_po_row(pid, sid)
-            if vec:
-                rows[pid] = vec
-        return BitMat(self.num_predicates + 1, self.num_objects + 1, rows)
+        for pid, pairs in self._so_by_p.items():
+            oids = [oid for _, oid in _iter_range(pairs, sid)]
+            if oids:
+                rows[pid] = BitVector.from_sorted_positions(width, oids)
+        matrix = BitMat(self.num_predicates + 1, width, rows)
+        self._entity_cache.put(key, matrix)
+        return matrix
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/eviction counters of every store-level cache."""
+        return {"so": self._so_cache.stats(), "os": self._os_cache.stats(),
+                "rows": self._row_cache.stats(),
+                "entities": self._entity_cache.stats()}
 
     def has_triple(self, sid: int, pid: int, oid: int) -> bool:
         """Membership test for a fully ground pattern."""

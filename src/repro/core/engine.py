@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from ..bitmat.bitvec import BitVector
 from ..bitmat.store import BitMatStore
 from ..exceptions import UnsupportedQueryError
+from ..lru import LRUCache
 from ..rdf.terms import NULL, Variable, is_variable
 from ..sparql.ast import (BGP, Filter, Join, LeftJoin, Pattern, Query,
                           TriplePattern, Union)
@@ -40,9 +41,13 @@ from .jvar_order import decide_best_match_required, get_jvar_order
 from .multiway import FanFilter, MultiWayJoin
 from .nullification import GroupPlan, minimum_union
 from .prune import active_prune, prune_triples
-from .results import ResultSet, apply_solution_modifiers, decode_binding
+from .results import (ResultSet, apply_solution_modifiers, decode_binding,
+                      decode_rows)
 from .selectivity import SelectivityRanker
 from .tp import TPState
+
+#: Bound on the per-engine compiled plan cache.
+PLAN_CACHE_SIZE = 128
 
 
 @dataclass
@@ -72,6 +77,40 @@ class _ScopedFilter:
     tp_end: int
 
 
+@dataclass
+class _BranchPlan:
+    """Binding-independent analysis of one UNION-free branch.
+
+    Everything here is a pure function of the branch algebra (constants
+    included) and the immutable store metadata, so a repeated query
+    template reuses it wholesale; only init/prune/join — the parts that
+    touch actual triples — run per execution.
+    """
+
+    patterns: list[TriplePattern]
+    gosn: GoSN
+    scoped_filters: list[_ScopedFilter]
+    ranker: SelectivityRanker
+    order_bu: list[Variable]
+    order_td: list[Variable]
+    row_first: dict[Variable, int]
+    nul_required: bool
+    nwd_transformed: bool
+    initial_triples: int
+
+
+@dataclass
+class _QueryPlan:
+    """The cached compilation of a whole query."""
+
+    query: Query
+    renames: dict[Variable, Variable]
+    branches: list[Pattern]
+    spurious_possible: bool
+    all_variables: tuple[Variable, ...]
+    branch_plans: list[_BranchPlan]
+
+
 class LBREngine:
     """Left Bit Right query engine over a :class:`BitMatStore`.
 
@@ -84,11 +123,19 @@ class LBREngine:
     """
 
     def __init__(self, store: BitMatStore, enable_prune: bool = True,
-                 enable_active_prune: bool = True) -> None:
+                 enable_active_prune: bool = True,
+                 plan_cache_size: int = PLAN_CACHE_SIZE) -> None:
         self.store = store
         self.enable_prune = enable_prune
         self.enable_active_prune = enable_active_prune
         self.last_stats = QueryStats()
+        # Compiled query plans keyed on the normalized algebra text.
+        # GoSN, GoJ, jvar orders, and the visit plan never depend on
+        # binding values, so a repeated query template pays only
+        # init + prune + join.  Constants are part of the key: two
+        # queries differing only in a constant never share a plan.
+        self._plan_cache: LRUCache[str, _QueryPlan] = (
+            LRUCache(plan_cache_size))
 
     # ------------------------------------------------------------------
     # public API
@@ -102,17 +149,15 @@ class LBREngine:
     def execute(self, query: Query | str) -> ResultSet:
         """Run a SELECT query; per-query metrics land in ``last_stats``."""
         started = time.perf_counter()
-        if isinstance(query, str):
-            query = parse_query(query)
-        renames: dict[Variable, Variable] = {}
-        pattern = eliminate_equality_filters(query.pattern, renames)
-        normal_form = to_union_normal_form(pattern)
+        plan = self._plan_query(query)
+        query = plan.query
 
-        stats = QueryStats(branches=len(normal_form.branches))
-        all_variables = tuple(sorted(pattern.variables()))
+        stats = QueryStats(branches=len(plan.branches))
+        all_variables = plan.all_variables
         combined: list[tuple] = []
-        for branch in normal_form.branches:
-            rows, branch_vars, branch_stats = self._execute_branch(branch)
+        for branch_plan in plan.branch_plans:
+            rows, branch_vars, branch_stats = (
+                self._execute_branch(branch_plan))
             stats.t_init += branch_stats.t_init
             stats.t_prune += branch_stats.t_prune
             stats.t_join += branch_stats.t_join
@@ -125,12 +170,13 @@ class LBREngine:
                 stats.jvar_order_bu = branch_stats.jvar_order_bu
                 stats.jvar_order_td = branch_stats.jvar_order_td
             combined.extend(_align_rows(rows, branch_vars, all_variables))
-        if normal_form.spurious_possible:
+        if plan.spurious_possible:
             combined = minimum_union(combined)
 
-        if renames:
+        if plan.renames:
             # restore columns dropped by FILTER(?m = ?n) elimination:
             # the dropped variable carries the kept variable's binding
+            renames = plan.renames
             restored = tuple(sorted(set(all_variables) | set(renames)))
             kept_index = {var: i for i, var in enumerate(all_variables)}
             combined = [
@@ -149,26 +195,61 @@ class LBREngine:
         self.last_stats = stats
         return result
 
+    def plan_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the compiled plan cache."""
+        return self._plan_cache.stats()
+
     # ------------------------------------------------------------------
-    # one UNION-free branch (Alg 5.1)
+    # query planning (binding-independent, cached)
     # ------------------------------------------------------------------
 
-    def _execute_branch(self, branch: Pattern,
-                        ) -> tuple[list[tuple], tuple[Variable, ...],
-                                   QueryStats]:
-        stats = QueryStats()
+    def _plan_query(self, query: Query | str) -> _QueryPlan:
+        """Compile *query*, serving repeats from the plan cache.
+
+        The cache key is the query text — for parsed queries, the
+        canonical re-serialization — so it covers every constant; the
+        cache is bounded LRU and planning failures are never cached.
+        """
+        key = query if isinstance(query, str) else query.to_sparql()
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(query, str):
+            query = parse_query(query)
+        renames: dict[Variable, Variable] = {}
+        pattern = eliminate_equality_filters(query.pattern, renames)
+        normal_form = to_union_normal_form(pattern)
+        plan = _QueryPlan(
+            query=query,
+            renames=renames,
+            branches=list(normal_form.branches),
+            spurious_possible=normal_form.spurious_possible,
+            all_variables=tuple(sorted(pattern.variables())),
+            branch_plans=[self._plan_branch(branch)
+                          for branch in normal_form.branches])
+        self._plan_cache.put(key, plan)
+        return plan
+
+    def _plan_branch(self, branch: Pattern) -> _BranchPlan:
+        """Steps 1–3 of Alg 5.1: all binding-independent analysis."""
         gosn = GoSN.from_pattern(branch)
         patterns = gosn.patterns
         scoped_filters = _collect_filters(branch)
         _validate_supported(patterns, scoped_filters)
 
         if not patterns:
-            return [()], (), stats
+            return _BranchPlan(patterns=[], gosn=gosn,
+                               scoped_filters=scoped_filters,
+                               ranker=SelectivityRanker([], []),
+                               order_bu=[], order_td=[], row_first={},
+                               nul_required=False, nwd_transformed=False,
+                               initial_triples=0)
 
+        nwd_transformed = False
         violations = find_violations(branch)
         if violations:
             gosn = _transform_nwd(gosn, branch, violations)
-            stats.nwd_transformed = True
+            nwd_transformed = True
 
         got = GoT.build(patterns)
         if not _connected_ignoring_ground(got, patterns):
@@ -178,28 +259,50 @@ class LBREngine:
 
         goj = GoJ.build(patterns)
         metadata_counts = [self._metadata_count(tp) for tp in patterns]
-        stats.initial_triples = sum(metadata_counts)
         ranker = SelectivityRanker(patterns, metadata_counts)
         order_bu, order_td = get_jvar_order(gosn, goj, ranker)
-        stats.jvar_order_bu = list(order_bu)
-        stats.jvar_order_td = list(order_td)
         nul_required = decide_best_match_required(gosn, goj)
         if not self.enable_prune:
             # without minimality guarantees, reordered evaluation needs
             # the nullification/best-match safety net whenever the query
             # has OPTIONALs at all
             nul_required = nul_required or bool(gosn.uni_edges)
+        row_first: dict[Variable, int] = {}
+        for rank, var in enumerate(order_bu):
+            row_first.setdefault(var, rank)
+        return _BranchPlan(patterns=patterns, gosn=gosn,
+                           scoped_filters=scoped_filters, ranker=ranker,
+                           order_bu=list(order_bu), order_td=list(order_td),
+                           row_first=row_first, nul_required=nul_required,
+                           nwd_transformed=nwd_transformed,
+                           initial_triples=sum(metadata_counts))
+
+    # ------------------------------------------------------------------
+    # one UNION-free branch (Alg 5.1)
+    # ------------------------------------------------------------------
+
+    def _execute_branch(self, plan: _BranchPlan,
+                        ) -> tuple[list[tuple], tuple[Variable, ...],
+                                   QueryStats]:
+        stats = QueryStats()
+        patterns = plan.patterns
+        if not patterns:
+            return [()], (), stats
+
+        gosn = plan.gosn
+        stats.nwd_transformed = plan.nwd_transformed
+        stats.initial_triples = plan.initial_triples
+        stats.jvar_order_bu = list(plan.order_bu)
+        stats.jvar_order_td = list(plan.order_td)
+        nul_required = plan.nul_required
         stats.best_match_required = nul_required
 
         # ---- init with active pruning -------------------------------
         t0 = time.perf_counter()
-        row_first: dict[Variable, int] = {}
-        for rank, var in enumerate(order_bu):
-            row_first.setdefault(var, rank)
         states: list[TPState] = []
         for index, tp in enumerate(patterns):
-            state = TPState.load(index, tp, self.store, row_first)
-            self._apply_init_filters(state, index, scoped_filters)
+            state = TPState.load(index, tp, self.store, plan.row_first)
+            self._apply_init_filters(state, index, plan.scoped_filters)
             if self.enable_active_prune:
                 active_prune(state, states, gosn, self.store.num_shared)
             states.append(state)
@@ -220,8 +323,9 @@ class LBREngine:
                            and gosn.tp_in_absolute_master(state.index)
                            for state in states)
 
-            completed = prune_triples(order_bu, order_td, gosn, states,
-                                      self.store.num_shared, abort_check)
+            completed = prune_triples(plan.order_bu, plan.order_td, gosn,
+                                      states, self.store.num_shared,
+                                      abort_check)
             if not completed:
                 stats.aborted_empty = True
                 stats.t_prune = time.perf_counter() - t0
@@ -232,20 +336,26 @@ class LBREngine:
 
         # ---- multi-way pipelined join (Alg 5.4) ---------------------
         t0 = time.perf_counter()
-        sorted_states = _sort_states(states, gosn, ranker)
-        plan = GroupPlan(gosn, sorted_states)
-        fan_filters = self._fan_filters(scoped_filters, gosn, plan)
-        rows: list[tuple] = []
-        join = MultiWayJoin(sorted_states, gosn, plan, nul_required,
-                            fan_filters, self.store.dictionary, rows.append)
+        sorted_states = _sort_states(states, gosn, plan.ranker)
+        group_plan = GroupPlan(gosn, sorted_states)
+        fan_filters = self._fan_filters(plan.scoped_filters, gosn,
+                                        group_plan)
+        encoded: list[tuple] = []
+        join = MultiWayJoin(sorted_states, gosn, group_plan, nul_required,
+                            fan_filters, self.store.dictionary,
+                            encoded.append)
         join.run()
         if nul_required or join.fan_nullified:
             # Minimum union (Rao et al.): drop subsumed rows *and* the
             # duplicates nullification introduces.  Full-width rows of a
             # well-formed query have multiplicity one, so this restores
-            # exact bag semantics before projection.
-            rows = minimum_union(rows)
+            # exact bag semantics before projection.  Encoded rows are
+            # id-per-column, so subsumption on them matches subsumption
+            # on the decoded terms exactly.
+            encoded = minimum_union(encoded)
             stats.best_match_required = True
+        rows = decode_rows(encoded, join.output_spaces,
+                           self.store.dictionary)
         stats.t_join = time.perf_counter() - t0
         branch_vars = tuple(join.output_variables)
         return rows, branch_vars, stats

@@ -1,29 +1,47 @@
-"""Multi-way pipelined join — Algorithm 5.4.
+"""Multi-way pipelined join — Algorithm 5.4, compiled form.
 
 All per-TP BitMats are joined in one pipeline: the recursion picks the
 first unvisited TP (in the master-first sort order ``stps``) with at
 least one variable already mapped, enumerates its matching triples,
-binds each in the shared :class:`~repro.core.results.VarMap`, and
-recurses.  No pairwise intermediate results or hash tables are built —
-the only working memory is the vmap itself.
+binds each in a shared slot array, and recurses.  No pairwise
+intermediate results or hash tables are built — the only working memory
+is the slot array itself.
+
+The *visit order* and the per-depth binding sources depend only on
+which TPs are visited — never on binding values — so the recursion is
+compiled once per join into a chain of per-depth step closures:
+
+* each (TP, variable) pair owns one cell of a preallocated flat slot
+  array that holds a **raw id** (no per-triple dict allocation);
+* each depth becomes one closure specialized for its TP shape (ground,
+  vector, matrix) and its constraint pattern (which of the row/col
+  variables arrive bound from earlier depths), calling the next depth's
+  closure directly;
+* the cross-space ``V_so`` translation (Appendix D) is reduced at
+  compile time to *same-space*, *shared-region check*, or
+  *never-matches*;
+* candidate lists per enumerated row/column are memoized for the
+  duration of the join, and result rows are emitted **encoded** (raw
+  ids and NULLs) for the engine to batch-decode after minimum-union.
 
 When a TP matches nothing under the current bindings the branch rolls
 back if the TP sits in an absolute master supernode (inner joins cannot
 fail partially) and NULL-extends otherwise (the OPTIONAL block simply
 does not match).  At a full assignment, nullification and the
 filter-and-nullification (FaN) routine of §5.2 run when required, and
-one result row is emitted.
+one encoded result row is emitted.
 """
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Callable, Sequence
 
 from ..rdf.terms import NULL, Variable
 from ..sparql.expressions import passes
 from .gosn import GoSN
 from .nullification import GroupPlan, nullify
-from .results import VarMap, decode_binding
+from .results import VarMap
 from .tp import TPState
 
 
@@ -71,6 +89,7 @@ class MultiWayJoin:
         #: per variable: the first slot in stps order that binds it
         self.output_sources: list[int] = []
         self._plan_visits()
+        self._compile()
 
     def _plan_visits(self) -> None:
         simulated: set[int] = set()
@@ -91,52 +110,6 @@ class MultiWayJoin:
         self.varmap.visited = set()
         self.output_sources = [self.varmap.var_slots[var][0]
                                for var in self.output_variables]
-
-    # ------------------------------------------------------------------
-
-    def run(self) -> None:
-        """Execute the join, emitting every result row."""
-        if not self.states:
-            self.emit(())
-            return
-        self._recurse(0)
-
-    def _recurse(self, depth: int) -> None:
-        varmap = self.varmap
-        if depth == len(self.states):
-            self._output()
-            return
-        position = self.visit_order[depth]
-        state = self.states[position]
-        slots = varmap.slots
-        failed = varmap.failed
-        constraints: dict[Variable, object] = {}
-        any_null = False
-        for var, source in self.depth_sources[depth]:
-            if source is None:
-                continue
-            if failed[source]:
-                any_null = True
-                break
-            constraints[var] = slots[source][var]
-
-        matched = False
-        if not any_null:
-            next_depth = depth + 1
-            for bindings in state.enumerate(constraints):
-                matched = True
-                slots[position] = bindings
-                varmap.visited.add(position)
-                self._recurse(next_depth)
-            if matched:
-                varmap.visited.discard(position)
-                slots[position] = None
-                return
-        if position in self.absolute_positions:
-            return  # inner-join failure: roll back this branch
-        varmap.bind_failed(position)
-        self._recurse(depth + 1)
-        varmap.unbind(position)
 
     def _choose_next(self) -> int:
         """First unvisited TP (stps order) with a mapped variable."""
@@ -159,43 +132,336 @@ class MultiWayJoin:
         return fallback
 
     # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
 
-    def _current_bindings(self) -> list:
-        """Effective binding per output variable (None for NULL)."""
-        varmap = self.varmap
-        out = []
+    def _compile(self) -> None:
+        """Lower the visit plan into a chain of per-depth closures."""
+        states = self.states
+        self._num_shared = states[0].num_shared if states else 0
+        # flat slot layout: one cell per (position, variable) pair
+        self._slot_base: list[int] = []
+        cells = 0
+        var_index: list[dict[Variable, int]] = []
+        for state in states:
+            self._slot_base.append(cells)
+            indexes = {var: i for i, var in enumerate(state.variables())}
+            var_index.append(indexes)
+            cells += len(indexes)
+        self._values: list[int] = [0] * cells
+        self._failed: list[bool] = self.varmap.failed
+
+        # output: one (source position, flat cell, id space) per variable
+        self._out_spec: list[tuple[int, int]] = []
+        self.output_spaces: list[str] = []
         for var, source in zip(self.output_variables, self.output_sources):
-            if varmap.failed[source]:
-                out.append(None)
+            flat = self._slot_base[source] + var_index[source][var]
+            self._out_spec.append((source, flat))
+            self.output_spaces.append(states[source].space_of(var))
+
+        step = (self._output if self.nul_required or self.fan_filters
+                else self._make_emit_step())
+        for depth in reversed(range(len(self.visit_order))):
+            step = self._make_step(depth, var_index, step)
+        self._entry: Callable[[], None] = step
+
+    def _make_emit_step(self) -> Callable[[], None]:
+        """The terminal closure when no nullification/FaN is needed."""
+        emit = self.emit
+        values = self._values
+        failed = self._failed
+        out_spec = self._out_spec
+        flats = [flat for _, flat in out_spec]
+        if not flats:
+            def emit_empty() -> None:
+                emit(())
+            return emit_empty
+        if len(flats) == 1:
+            single = flats[0]
+
+            def single_getter(vals: list) -> tuple:
+                return (vals[single],)
+
+            getter = single_getter
+        else:
+            getter = itemgetter(*flats)
+        # failed[] can only be set for non-absolute positions here
+        # (nullification forces the slow `_output` terminal instead)
+        fallible_columns: dict[int, list[int]] = {}
+        for column, (source, _) in enumerate(out_spec):
+            if source not in self.absolute_positions:
+                fallible_columns.setdefault(source, []).append(column)
+        if not fallible_columns:
+            def emit_fast() -> None:
+                emit(getter(values))
+            return emit_fast
+        fallible = sorted(fallible_columns.items())
+
+        def emit_checked() -> None:
+            row: list | None = None
+            for source, columns in fallible:
+                if failed[source]:
+                    if row is None:
+                        row = list(getter(values))
+                    for column in columns:
+                        row[column] = NULL
+            emit(getter(values) if row is None else tuple(row))
+        return emit_checked
+
+    def _make_step(self, depth: int, var_index: list[dict[Variable, int]],
+                   next_step: Callable[[], None]) -> Callable[[], None]:
+        """One specialized closure for the TP visited at *depth*."""
+        states = self.states
+        position = self.visit_order[depth]
+        state = states[position]
+        base = self._slot_base[position]
+        values = self._values
+        failed = self._failed
+        num_shared = self._num_shared
+        absolute = position in self.absolute_positions
+
+        # compile each constraint to (source slot, flat cell, shared?);
+        # a predicate/entity space mismatch can never match at all
+        never = False
+        constraints: list[tuple[int, int, bool] | None] = []
+        for var, source in self.depth_sources[depth]:
+            if source is None:
+                constraints.append(None)
+                continue
+            flat = self._slot_base[source] + var_index[source][var]
+            src_space = states[source].space_of(var)
+            dst_space = state.space_of(var)
+            if src_space == dst_space:
+                constraints.append((source, flat, False))
+            elif src_space in ("s", "o") and dst_space in ("s", "o"):
+                constraints.append((source, flat, True))
             else:
-                slot = varmap.slots[source]
-                out.append(slot.get(var) if slot is not None else None)
-        return out
+                never = True
+
+        if never or (state.matrix is None and state.vector is None
+                     and not state.ground_present):
+            if absolute:
+                def dead_end() -> None:
+                    return
+                return dead_end
+
+            def null_extend() -> None:
+                failed[position] = True
+                next_step()
+                failed[position] = False
+            return null_extend
+
+        if state.matrix is None and state.vector is None:
+            return next_step  # present ground TP: matches unconditionally
+
+        if state.vector is not None:
+            return self._make_vector_step(state, constraints[0], base,
+                                          position, absolute, next_step)
+        return self._make_matrix_step(state, constraints, base, position,
+                                      absolute, next_step)
+
+    def _make_vector_step(self, state: TPState,
+                          constraint: tuple[int, int, bool] | None,
+                          base: int, position: int, absolute: bool,
+                          next_step: Callable[[], None],
+                          ) -> Callable[[], None]:
+        values = self._values
+        failed = self._failed
+        num_shared = self._num_shared
+        vector = state.vector
+
+        if constraint is None:
+            candidates = vector.positions_cached()
+            if candidates:
+                def vector_scan() -> None:
+                    for value in candidates:
+                        values[base] = value
+                        next_step()
+                return vector_scan
+            if absolute:
+                def dead_end() -> None:
+                    return
+                return dead_end
+
+            def null_extend() -> None:
+                failed[position] = True
+                next_step()
+                failed[position] = False
+            return null_extend
+
+        source, flat, shared = constraint
+        contains = vector.__contains__
+
+        def vector_probe() -> None:
+            if not failed[source]:
+                value = values[flat]
+                if (not shared or value <= num_shared) and contains(value):
+                    values[base] = value
+                    next_step()
+                    return
+            if absolute:
+                return
+            failed[position] = True
+            next_step()
+            failed[position] = False
+        return vector_probe
+
+    def _make_matrix_step(self, state: TPState,
+                          constraints: list[tuple[int, int, bool] | None],
+                          base: int, position: int, absolute: bool,
+                          next_step: Callable[[], None],
+                          ) -> Callable[[], None]:
+        values = self._values
+        failed = self._failed
+        num_shared = self._num_shared
+        matrix = state.matrix
+        get_row = matrix.get_row
+        row_constraint, col_constraint = constraints
+        base1 = base + 1
+
+        if row_constraint is not None and col_constraint is not None:
+            r_src, r_flat, r_shared = row_constraint
+            c_src, c_flat, c_shared = col_constraint
+
+            def matrix_probe() -> None:
+                if not failed[r_src] and not failed[c_src]:
+                    row_id = values[r_flat]
+                    col_id = values[c_flat]
+                    if ((not r_shared or row_id <= num_shared)
+                            and (not c_shared or col_id <= num_shared)):
+                        row = get_row(row_id)
+                        if row is not None and col_id in row:
+                            values[base] = row_id
+                            values[base1] = col_id
+                            next_step()
+                            return
+                if absolute:
+                    return
+                failed[position] = True
+                next_step()
+                failed[position] = False
+            return matrix_probe
+
+        if row_constraint is not None:
+            r_src, r_flat, r_shared = row_constraint
+            row_lists: dict[int, Sequence[int]] = {}
+
+            def matrix_row_scan() -> None:
+                if not failed[r_src]:
+                    row_id = values[r_flat]
+                    if not r_shared or row_id <= num_shared:
+                        cols = row_lists.get(row_id)
+                        if cols is None:
+                            row = get_row(row_id)
+                            cols = (row.positions_cached() if row is not None
+                                    else ())
+                            row_lists[row_id] = cols
+                        if cols:
+                            values[base] = row_id
+                            for col_id in cols:
+                                values[base1] = col_id
+                                next_step()
+                            return
+                if absolute:
+                    return
+                failed[position] = True
+                next_step()
+                failed[position] = False
+            return matrix_row_scan
+
+        if col_constraint is not None:
+            c_src, c_flat, c_shared = col_constraint
+            col_lists: dict[int, Sequence[int]] = {}
+
+            def matrix_col_scan() -> None:
+                if not failed[c_src]:
+                    col_id = values[c_flat]
+                    if not c_shared or col_id <= num_shared:
+                        rows = col_lists.get(col_id)
+                        if rows is None:
+                            column = state.transpose().get_row(col_id)
+                            rows = (column.positions_cached()
+                                    if column is not None else ())
+                            col_lists[col_id] = rows
+                        if rows:
+                            values[base1] = col_id
+                            for row_id in rows:
+                                values[base] = row_id
+                                next_step()
+                            return
+                if absolute:
+                    return
+                failed[position] = True
+                next_step()
+                failed[position] = False
+            return matrix_col_scan
+
+        scan_cell: list[list[tuple[int, list[int]]]] = []
+
+        def matrix_scan() -> None:
+            if not scan_cell:
+                scan_cell.append([(row_id, vec.positions_cached())
+                                  for row_id, vec in matrix.iter_rows()])
+            items = scan_cell[0]
+            if items:
+                for row_id, cols in items:
+                    values[base] = row_id
+                    for col_id in cols:
+                        values[base1] = col_id
+                        next_step()
+                return
+            if absolute:
+                return
+            failed[position] = True
+            next_step()
+            failed[position] = False
+        return matrix_scan
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Execute the join, emitting every encoded result row."""
+        if not self.states:
+            self.emit(())
+            return
+        # every position is "visited" at every output; nullification and
+        # FaN scope checks read this set
+        self.varmap.visited = set(range(len(self.states)))
+        self._entry()
+
+    # ------------------------------------------------------------------
+    # output (slow path: nullification and/or FaN filters)
+    # ------------------------------------------------------------------
 
     def _output(self) -> None:
-        varmap = self.varmap
-        saved = None
-        if self.nul_required or self.fan_filters:
-            saved = (list(varmap.slots), list(varmap.failed))
+        failed = self._failed
+        saved = failed[:]
         try:
             if self.nul_required:
-                nullify(varmap, self.plan)
+                nullify(self.varmap, self.plan)
             if self.fan_filters and not self._apply_fan():
                 return
-            dictionary = self.dictionary
-            row = tuple(decode_binding(binding, dictionary)
-                        for binding in self._current_bindings())
-            self.emit(row)
+            self._emit_current()
         finally:
-            if saved is not None:
-                # restore *in place*: recursion frames alias these lists
-                varmap.slots[:] = saved[0]
-                varmap.failed[:] = saved[1]
+            # restore *in place*: step closures alias this list
+            failed[:] = saved
+
+    def _emit_current(self) -> None:
+        """Emit the encoded row of the current full assignment."""
+        values = self._values
+        failed = self._failed
+        self.emit(tuple(NULL if failed[source] else values[flat]
+                        for source, flat in self._out_spec))
 
     def _decoded_row(self) -> dict:
-        return {var: decode_binding(binding, self.dictionary)
-                for var, binding in zip(self.output_variables,
-                                        self._current_bindings())}
+        decode = self.dictionary.decode
+        failed = self._failed
+        values = self._values
+        return {var: (NULL if failed[source]
+                      else decode(space, values[flat]))
+                for var, (source, flat), space
+                in zip(self.output_variables, self._out_spec,
+                       self.output_spaces)}
 
     def _apply_fan(self) -> bool:
         """Filter-and-nullification; returns False to drop the row."""

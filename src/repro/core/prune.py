@@ -44,23 +44,26 @@ def _combined_mask(states: Sequence[TPState], var: Variable,
 
 
 def semi_join(var: Variable, slave: TPState, master: TPState,
-              num_shared: int) -> None:
+              num_shared: int) -> bool:
     """Algorithm 5.2: restrict *slave* by *master*'s bindings of *var*."""
     mask = _combined_mask((master, slave), var, num_shared)
     # mask ⊆ fold(slave, var): equal counts mean the unfold is a no-op,
     # which repeated per-supernode rounds over the same jvar often hit
     if mask.count() != slave.fold(var).count():
-        slave.unfold(var, mask)
+        return slave.unfold(var, mask)
+    return False
 
 
 def clustered_semi_join(var: Variable, states: Sequence[TPState],
-                        num_shared: int) -> None:
+                        num_shared: int) -> bool:
     """Algorithm 5.3: intersect *var* bindings across peer TPs."""
     mask = _combined_mask(states, var, num_shared)
     mask_count = mask.count()
+    changed = False
     for state in states:
         if mask_count != state.fold(var).count():
-            state.unfold(var, mask)
+            changed |= state.unfold(var, mask)
+    return changed
 
 
 def prune_triples(order_bu: Sequence[Variable],
@@ -114,8 +117,7 @@ def _semi_join_pass(var: Variable, with_var: Sequence[TPState],
             continue
         mask = _combined_mask(masters + [slave], var, num_shared)
         if mask.count() != slave.fold(var).count():
-            slave.unfold(var, mask)
-            changed = True
+            changed |= slave.unfold(var, mask)
     return changed
 
 
@@ -135,8 +137,7 @@ def _clustered_pass(var: Variable, with_var: Sequence[TPState],
             mask_count = mask.count()
             for member in cluster:
                 if mask_count != member.fold(var).count():
-                    member.unfold(var, mask)
-                    changed = True
+                    changed |= member.unfold(var, mask)
     return changed
 
 

@@ -240,17 +240,39 @@ class TPState:
             return self.vector
         raise KeyError(f"?{var} not in {self.pattern}")
 
-    def unfold(self, var: Variable, mask: BitVector) -> None:
-        """Drop triples whose *var* binding is cleared in *mask*."""
+    def unfold(self, var: Variable, mask: BitVector) -> bool:
+        """Drop triples whose *var* binding is cleared in *mask*.
+
+        Returns True when triples were actually dropped.  The cached
+        transpose is maintained *incrementally*: masking the rows of the
+        matrix masks the columns of its transpose (and vice versa), so a
+        warm transpose survives pruning instead of being rebuilt from
+        scratch on the next column-constrained enumeration.
+        """
         if self.matrix is not None:
             dim = "row" if var == self.row_var else "col"
-            self.matrix = self.matrix.unfold(mask, dim)
-            self._transpose = None
-            return
+            updated = self.matrix.unfold(mask, dim)
+            if updated is self.matrix:
+                return False
+            if self._transpose is not None:
+                self._transpose = self._transpose.unfold(
+                    mask, "col" if dim == "row" else "row")
+            self.matrix = updated
+            return True
         if self.vector is not None and var == self.vec_var:
-            self.vector = self.vector.and_(mask)
-            return
+            masked = self.vector.and_(mask)
+            if masked.count() == self.vector.count():
+                return False
+            self.vector = masked
+            return True
         raise KeyError(f"?{var} not in {self.pattern}")
+
+    def transpose(self) -> BitMat:
+        """The matrix with row/col swapped, built lazily and kept warm
+        across pruning by the incremental maintenance in :meth:`unfold`."""
+        if self._transpose is None:
+            self._transpose = self.matrix.transpose()
+        return self._transpose
 
     # ------------------------------------------------------------------
     # enumeration for the multi-way join
@@ -314,9 +336,7 @@ class TPState:
                        self.col_var: (self.col_space, col)}
             return
         if col_id is not None:
-            if self._transpose is None:
-                self._transpose = self.matrix.transpose()
-            column = self._transpose.get_row(col_id)
+            column = self.transpose().get_row(col_id)
             if column is None:
                 return
             for row in column.iter_positions():

@@ -1,0 +1,87 @@
+"""A small bounded LRU cache used by the hot-path caching layers.
+
+Every cache the engine keeps — per-predicate BitMats, P-S/P-O rows,
+decoded terms, compiled query plans — is an :class:`LRUCache`, so
+memory stays bounded no matter how diverse the workload is, while a
+repeated-template workload (the shape production traffic has) keeps its
+working set resident.  The implementation rides on the insertion order
+of ``dict``: a hit re-inserts the key, a miss on a full cache evicts
+the oldest entry.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+#: Returned by :meth:`LRUCache.get` on a miss (None is a valid value).
+_MISSING = object()
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded mapping with least-recently-used eviction.
+
+    A ``capacity`` of 0 disables caching entirely (every ``get`` misses,
+    ``put`` is a no-op), which keeps ablation switches trivial.
+    """
+
+    __slots__ = ("capacity", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("LRU capacity must be non-negative")
+        self.capacity = capacity
+        self._data: dict[K, V] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: K, default: object = None) -> object:
+        """Value for *key* (marking it recently used), or *default*."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        # re-insertion moves the key to the most-recent end
+        del self._data[key]
+        self._data[key] = value
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/refresh *key*, evicting the oldest entry when full."""
+        if self.capacity == 0:
+            return
+        if key in self._data:
+            del self._data[key]
+        elif len(self._data) >= self.capacity:
+            oldest = next(iter(self._data))
+            del self._data[oldest]
+            self.evictions += 1
+        self._data[key] = value
+
+    def __contains__(self, key: K) -> bool:
+        """Membership test; does not affect recency."""
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._data.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus current size and capacity."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "size": len(self._data),
+                "capacity": self.capacity}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LRUCache({len(self._data)}/{self.capacity}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -23,10 +23,14 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from ..exceptions import DictionaryError
+from ..lru import LRUCache
 from .terms import Literal, Term, Triple
 
 #: Encoded triple: (subject id, predicate id, object id).
 IdTriple = tuple[int, int, int]
+
+#: Bound on the memoized (space, id) → Term decode cache.
+DECODE_CACHE_SIZE = 65536
 
 
 def _sort_key(term: Term) -> tuple[int, str, str, str]:
@@ -53,6 +57,10 @@ class Dictionary:
         self._o_terms: list[Term | None] = [None]
         self._p_terms: list[Term | None] = [None]
         self._num_so = 0  # |Vso|
+        #: memoized (space, id) → Term decode results, for the result
+        #: emission hot path (repeated queries re-decode the same ids)
+        self._decode_cache: LRUCache[tuple[str, int], Term] = (
+            LRUCache(DECODE_CACHE_SIZE))
 
     # ------------------------------------------------------------------
     # construction
@@ -195,6 +203,31 @@ class Dictionary:
         if pid <= 0 or term is None:
             raise DictionaryError(f"unknown predicate id {pid}")
         return term
+
+    def decode(self, space: str, value: int) -> Term:
+        """Memoized term lookup for a ``(space, id)`` binding.
+
+        Ids in the shared ``V_so`` region decode to the *same* term
+        whether asked via ``'s'`` or ``'o'`` (Appendix D); the cache
+        keys on the space so both entries stay correct independently.
+        """
+        key = (space, value)
+        term = self._decode_cache.get(key)
+        if term is None:
+            if space == "s":
+                term = self.subject_term(value)
+            elif space == "o":
+                term = self.object_term(value)
+            elif space == "p":
+                term = self.predicate_term(value)
+            else:
+                raise DictionaryError(f"unknown id space {space!r}")
+            self._decode_cache.put(key, term)
+        return term
+
+    def decode_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the decode cache."""
+        return self._decode_cache.stats()
 
     def decode_triple(self, id_triple: IdTriple) -> Triple:
         """Inverse of :meth:`encode_triple`."""

@@ -7,12 +7,16 @@ import sys
 import pytest
 
 EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
 
 
 def run_example(name: str, *args: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (SRC, env.get("PYTHONPATH")) if part)
     result = subprocess.run(
         [sys.executable, os.path.join(EXAMPLES, name), *args],
-        capture_output=True, text=True, timeout=300, check=True)
+        capture_output=True, text=True, timeout=300, check=True, env=env)
     return result.stdout
 
 
