@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+from ..exceptions import BudgetExceededError
 from ..rdf.graph import Graph
 from ..rdf.terms import NULL, Term, Variable, is_variable
 from ..sparql.ast import (BGP, Filter, Join, LeftJoin, Pattern, Query,
@@ -45,9 +46,15 @@ class NaiveStats:
 class NaiveEngine:
     """Bottom-up evaluator over a :class:`~repro.rdf.graph.Graph`."""
 
-    def __init__(self, graph: Graph, null_intolerant: bool = False) -> None:
+    def __init__(self, graph: Graph, null_intolerant: bool = False,
+                 max_intermediate_rows: int | None = None) -> None:
         self.graph = graph
         self.null_intolerant = null_intolerant
+        #: optional work budget: evaluation raises
+        #: :class:`~repro.exceptions.BudgetExceededError` once the total
+        #: intermediate row count passes this bound (fuzz-harness guard
+        #: against combinatorial blowups on adversarial cases)
+        self.max_intermediate_rows = max_intermediate_rows
         self.last_stats = NaiveStats()
 
     # ------------------------------------------------------------------
@@ -68,6 +75,15 @@ class NaiveEngine:
         stats.t_total = time.perf_counter() - started
         self.last_stats = stats
         return result
+
+    def eval_pattern(self, pattern: Pattern) -> list[Row]:
+        """Evaluate a bare algebra pattern to solution-mapping rows.
+
+        The building block the differential fuzz oracle uses to
+        evaluate individual UNION-normal-form branches (possibly after
+        the Appendix B rewrite) without solution modifiers.
+        """
+        return self._eval(pattern, NaiveStats())
 
     # ------------------------------------------------------------------
     # evaluation
@@ -94,6 +110,11 @@ class NaiveEngine:
         else:
             raise TypeError(f"unknown pattern node {node!r}")
         stats.intermediate_rows += len(rows)
+        if (self.max_intermediate_rows is not None
+                and stats.intermediate_rows > self.max_intermediate_rows):
+            raise BudgetExceededError(
+                f"naive evaluation exceeded "
+                f"{self.max_intermediate_rows:,} intermediate rows")
         return rows
 
     def _eval_bgp(self, bgp: BGP, stats: NaiveStats) -> list[Row]:
@@ -107,6 +128,7 @@ class NaiveEngine:
             extended: list[Row] = []
             for row in rows:
                 extended.extend(self._match(tp, row))
+                self._guard_output(extended)
             rows = extended
             if not rows:
                 return []
@@ -160,6 +182,23 @@ class NaiveEngine:
                 return False
         return True
 
+    def _guard_pairs(self, left_count: int, right_count: int) -> None:
+        """Bound nested-loop join work (inputs can each sit under the
+        row budget while their product is combinatorial)."""
+        if self.max_intermediate_rows is None:
+            return
+        if left_count * right_count > 8 * self.max_intermediate_rows:
+            raise BudgetExceededError(
+                f"naive nested-loop join over {left_count:,}x"
+                f"{right_count:,} rows exceeds the work budget")
+
+    def _guard_output(self, out: list[Row]) -> None:
+        if (self.max_intermediate_rows is not None
+                and len(out) > self.max_intermediate_rows):
+            raise BudgetExceededError(
+                f"naive join output exceeded "
+                f"{self.max_intermediate_rows:,} rows")
+
     def _join(self, left_rows: list[Row], right_rows: list[Row],
               left_schema: set[Variable],
               right_schema: set[Variable]) -> list[Row]:
@@ -167,6 +206,7 @@ class NaiveEngine:
         out: list[Row] = []
         for left, right in self._pairs(left_rows, right_rows, shared):
             out.append({**left, **right})
+            self._guard_output(out)
         return out
 
     def _left_join(self, left_rows: list[Row], right_rows: list[Row],
@@ -182,6 +222,7 @@ class NaiveEngine:
                 key = tuple(left[var] for var in sorted(shared))
                 matched[li] = index.get(key, [])
         else:
+            self._guard_pairs(len(left_rows), len(right_rows))
             for li, left in enumerate(left_rows):
                 matched[li] = [right for right in right_rows
                                if self._compatible(left, right, shared)]
@@ -190,6 +231,7 @@ class NaiveEngine:
             if matched[li]:
                 for right in matched[li]:
                     out.append({**left, **right})
+                self._guard_output(out)
             else:
                 out.append(dict(left))
         return out
@@ -203,6 +245,7 @@ class NaiveEngine:
                 for right in index.get(key, ()):
                     yield left, right
             return
+        self._guard_pairs(len(left_rows), len(right_rows))
         for left in left_rows:
             for right in right_rows:
                 if self._compatible(left, right, shared):

@@ -7,7 +7,11 @@ Commands:
 * ``query``    — run a SPARQL query over a data file or store image;
 * ``info``     — dataset characteristics (the Table 6.1 columns);
 * ``bench``    — run a full Appendix E query suite with all engines
-  and print the paper-style table.
+  and print the paper-style table;
+* ``fuzz``     — differential fuzzing: run seeded random (graph,
+  query) cases across the engine matrix against the naive oracle,
+  shrink failures, and optionally save them into the regression
+  corpus; ``--replay`` re-runs a saved corpus instead.
 """
 
 from __future__ import annotations
@@ -71,6 +75,50 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench", help="run an Appendix E suite on all three engines")
     bench.add_argument("dataset", choices=["lubm", "uniprot", "dbpedia"])
     bench.add_argument("--runs", type=int, default=3)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential fuzzing against the naive oracle",
+        description="Generate seeded random (graph, query) pairs, run "
+                    "each on the full engine matrix (LBR with pruning "
+                    "on/off, plan-cache cold/warm, the raw unpruned "
+                    "join, and the NULL-intolerant oracle where "
+                    "applicable), and diff every result against the "
+                    "reference evaluation.  Failing cases are "
+                    "delta-debugged to a minimal counterexample.")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (default 0); the case stream "
+                           "is a pure function of it")
+    fuzz.add_argument("--budget", type=int, default=200,
+                      help="number of cases to run (default 200)")
+    fuzz.add_argument("--seconds", type=float, default=None,
+                      help="optional wall-clock cap for interactive "
+                           "runs; CI gates should use a fixed --budget "
+                           "instead so the covered case set does not "
+                           "depend on machine speed")
+    fuzz.add_argument("--shape", default="mix",
+                      choices=["mix", "uniform", "star", "clustered"],
+                      help="graph shape (default: mix of all three)")
+    fuzz.add_argument("--profile", default="full",
+                      choices=["wd", "full", "nul"],
+                      help="query profile: 'wd' well-designed only, "
+                           "'full' adds non-well-designed nesting, "
+                           "'nul' stresses nullification/best-match")
+    fuzz.add_argument("--min-triples", type=int, default=8)
+    fuzz.add_argument("--max-triples", type=int, default=60,
+                      help="graph size range per case (default 8..60)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report failing cases without minimizing")
+    fuzz.add_argument("--save-failing", metavar="DIR", default=None,
+                      help="write shrunk failing cases as corpus JSON "
+                           "into DIR")
+    fuzz.add_argument("--replay", metavar="DIR", default=None,
+                      help="replay a corpus directory instead of "
+                           "generating cases")
+    fuzz.add_argument("--inject-bug", default=None,
+                      choices=["nullification"],
+                      help="deliberately break an engine component to "
+                           "validate that the harness catches it")
     return parser
 
 
@@ -210,10 +258,52 @@ def _bench(args) -> int:
     return 0
 
 
+def _fuzz(args) -> int:
+    from contextlib import nullcontext
+
+    from .fuzz import (CampaignConfig, format_campaign_report,
+                       inject_bug, load_corpus, run_campaign, run_case)
+
+    injection = (inject_bug(args.inject_bug) if args.inject_bug
+                 else nullcontext())
+
+    if args.replay:
+        entries = load_corpus(args.replay)
+        if not entries:
+            print(f"error: no corpus cases under {args.replay}",
+                  file=sys.stderr)
+            return 2
+        failures = 0
+        with injection:
+            for entry in entries:
+                result = run_case(entry.case)
+                ok = result.status == entry.expect
+                status = result.status if ok else (
+                    f"{result.status} (expected {entry.expect})")
+                print(f"{entry.case.name or entry.path}: {status}")
+                for disagreement in result.disagreements:
+                    print(f"  {disagreement.describe()}")
+                if not ok:
+                    failures += 1
+        print(f"{len(entries)} corpus cases, {failures} failing")
+        return 1 if failures else 0
+
+    config = CampaignConfig(
+        seed=args.seed, budget=args.budget, seconds=args.seconds,
+        shape=args.shape, profile=args.profile,
+        min_triples=args.min_triples, max_triples=args.max_triples,
+        shrink_failures=not args.no_shrink,
+        save_failing=args.save_failing)
+    with injection:
+        report = run_campaign(config, log=print)
+    print(format_campaign_report(report))
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"generate": _generate, "index": _index, "query": _query,
-                "info": _info, "bench": _bench}
+                "info": _info, "bench": _bench, "fuzz": _fuzz}
     return handlers[args.command](args)
 
 

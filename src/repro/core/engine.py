@@ -97,6 +97,9 @@ class _BranchPlan:
     nul_required: bool
     nwd_transformed: bool
     initial_triples: int
+    #: variables bound by an absolute-master peer group TP — never
+    #: NULL in any emitted row (decides init-vs-FaN filter routing)
+    certain_vars: set[Variable] = field(default_factory=set)
 
 
 @dataclass
@@ -124,10 +127,15 @@ class LBREngine:
 
     def __init__(self, store: BitMatStore, enable_prune: bool = True,
                  enable_active_prune: bool = True,
-                 plan_cache_size: int = PLAN_CACHE_SIZE) -> None:
+                 plan_cache_size: int = PLAN_CACHE_SIZE,
+                 max_join_rows: int | None = None) -> None:
         self.store = store
         self.enable_prune = enable_prune
         self.enable_active_prune = enable_active_prune
+        #: optional resource limit: a branch join that produces more
+        #: rows raises :class:`~repro.exceptions.BudgetExceededError`
+        #: (used by the fuzz harness; None means unlimited)
+        self.max_join_rows = max_join_rows
         self.last_stats = QueryStats()
         # Compiled query plans keyed on the normalized algebra text.
         # GoSN, GoJ, jvar orders, and the visit plan never depend on
@@ -261,7 +269,8 @@ class LBREngine:
         metadata_counts = [self._metadata_count(tp) for tp in patterns]
         ranker = SelectivityRanker(patterns, metadata_counts)
         order_bu, order_td = get_jvar_order(gosn, goj, ranker)
-        nul_required = decide_best_match_required(gosn, goj)
+        nul_required = (decide_best_match_required(gosn, goj)
+                        or _has_disconnected_slave_group(gosn))
         if not self.enable_prune:
             # without minimality guarantees, reordered evaluation needs
             # the nullification/best-match safety net whenever the query
@@ -275,7 +284,8 @@ class LBREngine:
                            order_bu=list(order_bu), order_td=list(order_td),
                            row_first=row_first, nul_required=nul_required,
                            nwd_transformed=nwd_transformed,
-                           initial_triples=sum(metadata_counts))
+                           initial_triples=sum(metadata_counts),
+                           certain_vars=_certain_variables(gosn))
 
     # ------------------------------------------------------------------
     # one UNION-free branch (Alg 5.1)
@@ -302,7 +312,8 @@ class LBREngine:
         states: list[TPState] = []
         for index, tp in enumerate(patterns):
             state = TPState.load(index, tp, self.store, plan.row_first)
-            self._apply_init_filters(state, index, plan.scoped_filters)
+            self._apply_init_filters(state, index, plan.scoped_filters,
+                                     plan.certain_vars)
             if self.enable_active_prune:
                 active_prune(state, states, gosn, self.store.num_shared)
             states.append(state)
@@ -339,11 +350,12 @@ class LBREngine:
         sorted_states = _sort_states(states, gosn, plan.ranker)
         group_plan = GroupPlan(gosn, sorted_states)
         fan_filters = self._fan_filters(plan.scoped_filters, gosn,
-                                        group_plan)
+                                        group_plan, plan.certain_vars)
         encoded: list[tuple] = []
         join = MultiWayJoin(sorted_states, gosn, group_plan, nul_required,
                             fan_filters, self.store.dictionary,
-                            encoded.append)
+                            encoded.append,
+                            max_output_rows=self.max_join_rows)
         join.run()
         if nul_required or join.fan_nullified:
             # Minimum union (Rao et al.): drop subsumed rows *and* the
@@ -356,6 +368,21 @@ class LBREngine:
             stats.best_match_required = True
         rows = decode_rows(encoded, join.output_spaces,
                            self.store.dictionary)
+        if join.dropping_fans:
+            # top-level filters apply to the *restored* solution set
+            # (post nullification and best-match), never inline: a
+            # nullified partial match must first be subsumed by its
+            # fuller row even when the filter drops that fuller row
+            variables = join.output_variables
+            filtered: list[tuple] = []
+            for row in rows:
+                binding = {var: value
+                           for var, value in zip(variables, row)
+                           if value is not NULL}
+                if all(passes(fan.expr, binding)
+                       for fan in join.dropping_fans):
+                    filtered.append(row)
+            rows = filtered
         stats.t_join = time.perf_counter() - t0
         branch_vars = tuple(join.output_variables)
         return rows, branch_vars, stats
@@ -378,8 +405,18 @@ class LBREngine:
         return self.store.count_matching(sid, pid, oid)
 
     def _apply_init_filters(self, state: TPState, index: int,
-                            scoped_filters: list[_ScopedFilter]) -> None:
-        """Apply single-variable filters while loading (§5.2)."""
+                            scoped_filters: list[_ScopedFilter],
+                            certain_vars: set[Variable]) -> None:
+        """Apply single-variable filters over certain variables while
+        loading (§5.2).
+
+        Filters over a *nullable* variable must not touch init: they
+        evaluate at result generation (FaN), possibly against NULL.
+        Pre-filtering the variable's candidates here would turn
+        "filter drops the row" into "the OPTIONAL block fails", i.e.
+        fabricate a NULL-extended row the filter then judges instead
+        of the real binding.
+        """
         for scoped in scoped_filters:
             if not scoped.tp_start <= index < scoped.tp_end:
                 continue
@@ -387,6 +424,8 @@ class LBREngine:
             if len(expr_vars) != 1:
                 continue
             (var,) = expr_vars
+            if var not in certain_vars:
+                continue
             if var not in state.variables():
                 continue
             fold = state.fold(var)
@@ -397,12 +436,15 @@ class LBREngine:
             state.unfold(var, BitVector.from_positions(fold.size, passing))
 
     def _fan_filters(self, scoped_filters: list[_ScopedFilter], gosn: GoSN,
-                     plan: GroupPlan) -> list[FanFilter]:
+                     plan: GroupPlan,
+                     certain_vars: set[Variable]) -> list[FanFilter]:
         fans: list[FanFilter] = []
         for scoped in scoped_filters:
             expr_vars = expression_variables(scoped.expr)
-            if len(expr_vars) <= 1:
-                continue  # applied at init
+            if len(expr_vars) == 1 and expr_vars <= certain_vars:
+                continue  # fully applied at init: never NULL in a row
+            # zero-variable (constant) filters go through FaN too: a
+            # constant-false filter must drop/nullify its scope
             groups = frozenset(
                 plan.group_of_sn[gosn.sn_of_tp[i]]
                 for i in range(scoped.tp_start, scoped.tp_end))
@@ -522,6 +564,57 @@ def _fail_groups_with_absent_ground(states: list[TPState],
                 fold = state.fold(var)
                 state.unfold(var, BitVector.empty(fold.size))
                 break
+
+
+def _certain_variables(gosn: GoSN) -> set[Variable]:
+    """Variables bound by a TP of an absolute-master peer group.
+
+    Those groups are never nullified and never NULL-extended, so their
+    variables are bound in every emitted row — the condition under
+    which a single-variable filter may be applied at init instead of
+    per-row at FaN time.
+    """
+    absolute = gosn.absolute_masters()
+    certain: set[Variable] = set()
+    for index, tp in enumerate(gosn.patterns):
+        if gosn.peers_of(gosn.sn_of_tp[index]) & absolute:
+            certain |= tp.variables()
+    return certain
+
+
+def _has_disconnected_slave_group(gosn: GoSN) -> bool:
+    """A slave peer group whose TPs do not form one variable-sharing
+    component.
+
+    Such a group's TPs touch each other only through their masters'
+    bindings, so pruning cannot enforce the all-or-nothing OPTIONAL
+    semantics (Lemma 3.3 relies on GoJ edges *within* the group): one
+    TP can fail for a master row while the others matched, and only
+    nullification turns that partial match into a failed block.
+    """
+    absolute = gosn.absolute_masters()
+    for group in gosn.peer_groups():
+        if group & absolute:
+            continue
+        with_vars = [
+            index
+            for sn in group for index in gosn.supernodes[sn].tp_indexes
+            if gosn.patterns[index].variables()]
+        if len(with_vars) <= 1:
+            continue
+        vars_of = {index: gosn.patterns[index].variables()
+                   for index in with_vars}
+        seen = {with_vars[0]}
+        frontier = [with_vars[0]]
+        while frontier:
+            node = frontier.pop()
+            for other in with_vars:
+                if other not in seen and vars_of[node] & vars_of[other]:
+                    seen.add(other)
+                    frontier.append(other)
+        if len(seen) < len(with_vars):
+            return True
+    return False
 
 
 def _connected_ignoring_ground(got: GoT,

@@ -37,6 +37,7 @@ from __future__ import annotations
 from operator import itemgetter
 from typing import Callable, Sequence
 
+from ..exceptions import BudgetExceededError
 from ..rdf.terms import NULL, Variable
 from ..sparql.expressions import passes
 from .gosn import GoSN
@@ -65,14 +66,34 @@ class MultiWayJoin:
     def __init__(self, states: Sequence[TPState], gosn: GoSN,
                  plan: GroupPlan, nul_required: bool,
                  fan_filters: Sequence[FanFilter],
-                 dictionary, emit: Callable[[tuple], None]) -> None:
+                 dictionary, emit: Callable[[tuple], None],
+                 max_output_rows: int | None = None) -> None:
         self.states = list(states)
         self.gosn = gosn
         self.plan = plan
         self.nul_required = nul_required
-        self.fan_filters = list(fan_filters)
+        # *Nullifying* fans (scope entirely inside OPTIONAL blocks)
+        # evaluate inline during generation, deepest scope first (the
+        # order is fixed per plan, so it is sorted once here, not per
+        # row).  *Dropping* fans — scope touching an absolute master
+        # group, i.e. top-level filters — must NOT run inline: SPARQL
+        # applies them to the sub-pattern's restored solution set, so
+        # the engine applies them after best-match (a nullified
+        # partial match would otherwise survive a filter that drops
+        # the fuller row subsuming it).
+        def drops(fan: FanFilter) -> bool:
+            # an empty scope (filter over a TP-less pattern) can only
+            # be constant; treat it as row-dropping
+            return (not fan.scope_groups
+                    or bool(fan.scope_groups & plan.absolute_groups))
+
+        self.fan_filters = sorted(
+            (fan for fan in fan_filters if not drops(fan)),
+            key=self._fan_depth, reverse=True)
+        self.dropping_fans = [fan for fan in fan_filters if drops(fan)]
         self.dictionary = dictionary
         self.emit = emit
+        self.max_output_rows = max_output_rows
         self.varmap = VarMap(self.states)
         self.fan_nullified = False
         #: positions of TPs living in absolute master supernodes
@@ -112,24 +133,38 @@ class MultiWayJoin:
                                for var in self.output_variables]
 
     def _choose_next(self) -> int:
-        """First unvisited TP (stps order) with a mapped variable."""
+        """First eligible unvisited TP (stps order) with a mapped variable.
+
+        A TP is *eligible* only when every TP mastering it has been
+        visited: bindings are "generated by masters over their slaves",
+        and a slave visited before its master would — on failure —
+        NULL-extend variables the master still has to match (its
+        failure must never constrain the master).  Mastership is a
+        partial order, so a minimal unvisited TP always exists.
+        """
         varmap = self.varmap
-        fallback: int | None = None
-        for position in range(len(self.states)):
+        states = self.states
+        candidates: list[int] = []
+        for position in range(len(states)):
             if position in varmap.visited:
                 continue
-            if fallback is None:
-                fallback = position
-            if not varmap.visited:
-                return position
+            index = states[position].index
+            if any(other not in varmap.visited
+                   and self.gosn.tp_is_master(states[other].index, index)
+                   for other in range(len(states))):
+                continue
+            candidates.append(position)
+        assert candidates, "recursion invariant violated"
+        if not varmap.visited:
+            return candidates[0]
+        for position in candidates:
             _, any_mapped, _ = varmap.constraints_for(position)
             if any_mapped:
                 return position
             # TPs without variables join unconditionally
-            if not self.states[position].variables():
+            if not states[position].variables():
                 return position
-        assert fallback is not None, "recursion invariant violated"
-        return fallback
+        return candidates[0]
 
     # ------------------------------------------------------------------
     # compilation
@@ -161,6 +196,21 @@ class MultiWayJoin:
 
         step = (self._output if self.nul_required or self.fan_filters
                 else self._make_emit_step())
+        if self.max_output_rows is not None:
+            # opt-in resource limit (differential-harness guard); the
+            # wrapper only exists when a budget was requested, so the
+            # default hot path pays nothing
+            inner = step
+            budget = self.max_output_rows
+            counter = [0]
+
+            def budgeted_step() -> None:
+                counter[0] += 1
+                if counter[0] > budget:
+                    raise BudgetExceededError(
+                        f"multi-way join exceeded {budget:,} output rows")
+                inner()
+            step = budgeted_step
         for depth in reversed(range(len(self.visit_order))):
             step = self._make_step(depth, var_index, step)
         self._entry: Callable[[], None] = step
@@ -439,8 +489,8 @@ class MultiWayJoin:
         try:
             if self.nul_required:
                 nullify(self.varmap, self.plan)
-            if self.fan_filters and not self._apply_fan():
-                return
+            if self.fan_filters:
+                self._apply_fan()
             self._emit_current()
         finally:
             # restore *in place*: step closures alias this list
@@ -463,15 +513,24 @@ class MultiWayJoin:
                 in zip(self.output_variables, self._out_spec,
                        self.output_spaces)}
 
-    def _apply_fan(self) -> bool:
-        """Filter-and-nullification; returns False to drop the row."""
+    def _fan_depth(self, fan: FanFilter) -> int:
+        """Nesting depth of the filter's scope (its shallowest group)."""
+        if not fan.scope_groups:
+            return 0
+        return min(len(self.plan.ancestors[group])
+                   for group in fan.scope_groups)
+
+    def _apply_fan(self) -> None:
+        """Filter-and-nullification over the in-block (nullifying) fans.
+
+        Deeper scopes evaluate first (``fan_filters`` is pre-sorted at
+        construction): an inner OPTIONAL's filter may nullify its
+        block, and an enclosing filter must see those bindings as
+        NULL — the order bottom-up evaluation implies.  Dropping fans
+        (top-level scope) are applied by the engine after best-match.
+        """
         row = self._decoded_row()
-        for fan in sorted(self.fan_filters,
-                          key=lambda f: min(f.scope_groups, default=0)):
-            if fan.scope_groups & self.plan.absolute_groups:
-                if not passes(fan.expr, _null_free(row)):
-                    return False
-                continue
+        for fan in self.fan_filters:
             if self._scope_nullified(fan):
                 continue
             if not passes(fan.expr, _null_free(row)):
@@ -479,10 +538,18 @@ class MultiWayJoin:
                         forced_failures=set(fan.scope_groups))
                 self.fan_nullified = True
                 row = self._decoded_row()
-        return True
 
     def _scope_nullified(self, fan: FanFilter) -> bool:
+        """True when the filter's own OPTIONAL block already failed.
+
+        Only the *top* groups of the scope count: those are the block
+        the filter is attached to.  A failed group nested deeper inside
+        the scope does not make the filter moot — it makes the filter
+        see NULL bindings, which is exactly the FaN evaluation case.
+        """
         for group in fan.scope_groups:
+            if self.plan.ancestors[group] & fan.scope_groups:
+                continue
             for position in self.plan.slots_of_group[group]:
                 if (position in self.varmap.visited
                         and self.varmap.failed[position]):

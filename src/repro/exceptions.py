@@ -43,6 +43,15 @@ class NotWellDesignedError(ReproError):
     """Raised when a well-designed query is required but not provided."""
 
 
+class BudgetExceededError(ReproError):
+    """Raised when an evaluation exceeds its configured work budget.
+
+    Used by the naive oracle when a caller (e.g. the differential fuzz
+    harness) bounds the number of intermediate rows it is willing to
+    materialize for one query.
+    """
+
+
 class DictionaryError(ReproError):
     """Raised on inconsistent use of the term dictionary."""
 

@@ -1,0 +1,28 @@
+"""Differential fuzzing subsystem (``lbr fuzz``).
+
+Seeded generators for RDF graphs and full-surface SPARQL queries, a
+triple-engine differential oracle harness, a delta-debugging shrinker,
+and the persisted regression corpus that tier-1 replays.  See the
+"Testing architecture" section of DESIGN.md for the rationale.
+"""
+
+from .corpus import (CorpusEntry, case_from_json, case_to_json,
+                     load_corpus, save_case)
+from .graphgen import SHAPES, GraphSpec, Vocabulary, generate_graph
+from .oracle import (ENGINE_LABELS, CaseResult, Disagreement, FuzzCase,
+                     reference_execute, run_case)
+from .querygen import PROFILES, QueryGenerator, QuerySpec
+from .runner import (INJECTABLE_BUGS, CampaignConfig, CampaignReport,
+                     format_campaign_report, generate_case, inject_bug,
+                     run_campaign)
+from .shrink import shrink
+
+__all__ = [
+    "CampaignConfig", "CampaignReport", "CaseResult", "CorpusEntry",
+    "Disagreement", "ENGINE_LABELS", "FuzzCase", "GraphSpec",
+    "INJECTABLE_BUGS", "PROFILES", "QueryGenerator", "QuerySpec",
+    "SHAPES", "Vocabulary", "case_from_json", "case_to_json",
+    "format_campaign_report", "generate_case", "generate_graph",
+    "inject_bug", "load_corpus", "reference_execute", "run_campaign",
+    "run_case", "save_case", "shrink",
+]

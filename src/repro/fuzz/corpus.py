@@ -1,0 +1,107 @@
+"""Regression corpus: failing fuzz cases persisted as JSON.
+
+Every case the fuzzer finds and every hand-picked tricky query lives in
+one JSON file under ``tests/corpus/`` and is replayed by the tier-1
+suite (``tests/test_corpus.py``) on every run.  The format is
+deliberately plain so cases can be written by hand:
+
+.. code-block:: json
+
+    {
+      "name": "nwd-cross-slave-variable",
+      "description": "why this case is tricky",
+      "query": "SELECT * WHERE { ... }",
+      "graph": ["<http://...s> <http://...p> <http://...o> ."],
+      "expect": "agree"
+    }
+
+``graph`` is a list of N-Triples lines (parsed by
+:mod:`repro.rdf.ntriples`); ``expect`` is ``"agree"`` (default — the
+whole engine matrix must match the oracle) or ``"unsupported"`` (the
+query documents a fragment limit: LBR must *reject* it, cleanly).
+Cases using LIMIT/OFFSET must carry a total ORDER BY so row order is
+deterministic — the harness then compares windows exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+
+from .oracle import FuzzCase
+
+EXPECTATIONS = ("agree", "unsupported")
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One persisted regression case."""
+
+    case: FuzzCase
+    expect: str = "agree"
+    path: str = ""
+
+
+def case_to_json(case: FuzzCase, expect: str = "agree") -> dict:
+    """The JSON-serializable form of a case."""
+    if expect not in EXPECTATIONS:
+        raise ValueError(f"unknown expectation {expect!r}")
+    return {
+        "name": case.name,
+        "description": case.description,
+        "query": case.query_text,
+        "graph": case.graph_lines(),
+        "expect": expect,
+    }
+
+
+def case_from_json(data: dict, path: str = "") -> CorpusEntry:
+    """Parse one corpus record (raises KeyError on malformed input)."""
+    expect = data.get("expect", "agree")
+    if expect not in EXPECTATIONS:
+        raise ValueError(f"{path or 'corpus record'}: "
+                         f"unknown expectation {expect!r}")
+    case = FuzzCase.from_lines(
+        query_text=data["query"], lines=list(data["graph"]),
+        name=data.get("name", ""),
+        description=data.get("description", ""))
+    return CorpusEntry(case=case, expect=expect, path=path)
+
+
+def save_case(case: FuzzCase, directory: str,
+              expect: str = "agree") -> str:
+    """Write *case* into *directory*; returns the file path.
+
+    The file name derives from the case name (slugified); an existing
+    file with the same name is never overwritten — a numeric suffix is
+    appended instead, so repeated campaigns keep every distinct find.
+    """
+    os.makedirs(directory, exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "-", (case.name or "case").lower())
+    slug = slug.strip("-") or "case"
+    path = os.path.join(directory, f"{slug}.json")
+    suffix = 1
+    while os.path.exists(path):
+        suffix += 1
+        path = os.path.join(directory, f"{slug}-{suffix}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(case_to_json(case, expect), handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def load_corpus(directory: str) -> list[CorpusEntry]:
+    """All corpus entries under *directory*, sorted by file name."""
+    entries: list[CorpusEntry] = []
+    if not os.path.isdir(directory):
+        return entries
+    for file_name in sorted(os.listdir(directory)):
+        if not file_name.endswith(".json"):
+            continue
+        path = os.path.join(directory, file_name)
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        entries.append(case_from_json(data, path=path))
+    return entries

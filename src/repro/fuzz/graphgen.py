@@ -1,0 +1,161 @@
+"""Seeded RDF graph generators for differential fuzzing.
+
+Every generator is a pure function of a :class:`GraphSpec` and a seed:
+the same (spec, seed) pair always produces the same triple set, so a
+failing case replays bit-identically from its corpus record.  Three
+shapes cover the structures that stress different parts of the engine:
+
+* ``uniform``   — triples drawn uniformly from S × P × O; low skew, so
+  pruning removes little and the multi-way join sees wide candidate
+  lists;
+* ``star``      — a few hub entities attract most edges (the power-law
+  shape of real RDF data); folds are dominated by single rows, and
+  hub-anchored OPTIONAL blocks match many rows while leaf-anchored ones
+  fail;
+* ``clustered`` — entities are partitioned into dense clusters with
+  rare cross-links; selective master patterns prune whole clusters, the
+  case Algorithm 3.2 is designed around.
+
+Graphs share a fixed vocabulary (:class:`Vocabulary`) with the query
+generator so that ground terms drawn into queries have a realistic
+chance of matching the data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Literal, Triple, URI
+
+#: xsd:integer — the literal datatype the generators emit, so numeric
+#: FILTER comparisons have data to compare.
+XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+
+SHAPES = ("uniform", "star", "clustered")
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """The closed term universe one fuzz case draws from."""
+
+    entities: tuple[URI, ...]
+    predicates: tuple[URI, ...]
+    literals: tuple[Literal, ...]
+
+    @classmethod
+    def build(cls, num_entities: int, num_predicates: int,
+              num_literals: int = 8) -> "Vocabulary":
+        return cls(
+            entities=tuple(URI(f"http://fuzz.example/e{i}")
+                           for i in range(num_entities)),
+            predicates=tuple(URI(f"http://fuzz.example/p{i}")
+                             for i in range(num_predicates)),
+            literals=tuple(Literal(str(i * 7), datatype=XSD_INTEGER)
+                           for i in range(num_literals)))
+
+    def objects(self) -> tuple:
+        """Terms usable in the object position."""
+        return self.entities + self.literals
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Sizing and shape knobs of one generated graph.
+
+    ``triples`` is a target, not an exact count: generators draw with
+    replacement into a set, so collisions can land slightly below it.
+    The defaults keep the naive oracle fast; ``triples`` scales to ~10k
+    before a single differential case stops being interactive.
+    """
+
+    shape: str = "uniform"
+    triples: int = 40
+    num_entities: int = 12
+    num_predicates: int = 4
+    num_literals: int = 6
+    #: star shape: number of hub entities.
+    hubs: int = 2
+    #: clustered shape: number of clusters and cross-link probability.
+    clusters: int = 3
+    cross_link_prob: float = 0.05
+    #: probability that a triple's object is a literal.
+    literal_prob: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.shape not in SHAPES:
+            raise ValueError(f"unknown graph shape {self.shape!r}; "
+                             f"expected one of {SHAPES}")
+
+
+def generate_graph(spec: GraphSpec, seed: int) -> tuple[Graph, Vocabulary]:
+    """Deterministically generate a graph of the requested shape."""
+    rng = random.Random(seed)
+    vocab = Vocabulary.build(spec.num_entities, spec.num_predicates,
+                             spec.num_literals)
+    draw = {"uniform": _draw_uniform, "star": _draw_star,
+            "clustered": _draw_clustered}[spec.shape]
+    state = _ShapeState(spec, vocab, rng)
+    graph = Graph()
+    # bounded attempts: tiny vocabularies may not admit `triples`
+    # distinct triples at all
+    attempts = 0
+    while len(graph) < spec.triples and attempts < spec.triples * 4:
+        graph.add(draw(state))
+        attempts += 1
+    return graph, vocab
+
+
+@dataclass
+class _ShapeState:
+    spec: GraphSpec
+    vocab: Vocabulary
+    rng: random.Random
+    hubs: tuple[URI, ...] = field(init=False)
+    cluster_of: dict[URI, int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        entities = self.vocab.entities
+        self.hubs = entities[:max(1, min(self.spec.hubs, len(entities)))]
+        clusters = max(1, self.spec.clusters)
+        self.cluster_of = {entity: index % clusters
+                           for index, entity in enumerate(entities)}
+
+    def object_term(self, entity_pool: tuple[URI, ...]):
+        if self.rng.random() < self.spec.literal_prob and self.vocab.literals:
+            return self.rng.choice(self.vocab.literals)
+        return self.rng.choice(entity_pool)
+
+
+def _draw_uniform(state: _ShapeState) -> Triple:
+    rng, vocab = state.rng, state.vocab
+    return Triple(rng.choice(vocab.entities), rng.choice(vocab.predicates),
+                  state.object_term(vocab.entities))
+
+
+def _draw_star(state: _ShapeState) -> Triple:
+    """~80% of edges touch a hub, split between in- and out-edges."""
+    rng, vocab = state.rng, state.vocab
+    roll = rng.random()
+    if roll < 0.4:  # leaf -> hub
+        return Triple(rng.choice(vocab.entities),
+                      rng.choice(vocab.predicates), rng.choice(state.hubs))
+    if roll < 0.8:  # hub -> leaf/literal
+        return Triple(rng.choice(state.hubs), rng.choice(vocab.predicates),
+                      state.object_term(vocab.entities))
+    return _draw_uniform(state)
+
+
+def _draw_clustered(state: _ShapeState) -> Triple:
+    """Dense intra-cluster edges with rare cross-cluster links."""
+    rng, vocab = state.rng, state.vocab
+    subject = rng.choice(vocab.entities)
+    if rng.random() < state.spec.cross_link_prob:
+        pool = vocab.entities
+    else:
+        cluster = state.cluster_of[subject]
+        pool = tuple(entity for entity in vocab.entities
+                     if state.cluster_of[entity] == cluster) or vocab.entities
+    return Triple(subject, rng.choice(vocab.predicates),
+                  state.object_term(pool))

@@ -1,0 +1,292 @@
+"""Differential oracle harness: one (graph, query) case, many engines.
+
+A :class:`FuzzCase` is a self-contained (graph, query-text) pair.  The
+query text is the canonical artifact: it is what the corpus stores and
+what every engine executes, so a case replays identically whether it
+came from the generator or from disk.
+
+:func:`run_case` executes the case on the whole engine matrix and diffs
+everything against the reference evaluation:
+
+* for **well-designed** queries, the naive bottom-up evaluator under
+  pure SPARQL semantics — an oracle fully independent of the BitMat
+  machinery under test;
+* for **non-well-designed** queries, where pure SPARQL and LBR answers
+  legitimately diverge (Appendix C), the naive evaluator over the
+  UNION-normal-form branches with the Appendix B rewrite applied
+  (:func:`repro.core.nwd.rewrite_to_reference`): violating OPTIONALs
+  become inner joins, the semantics the engine implements by
+  construction.
+
+The engine matrix:
+
+* ``lbr``            — LBREngine, pruning on, cold plan cache;
+* ``lbr-warm``       — same engine, second execution (plan-cache hit);
+* ``lbr-noprune``    — LBREngine with Algorithm 3.2 disabled (forces
+  the nullification/best-match safety net), cold;
+* ``lbr-noprune-warm`` — its warm repeat;
+* ``lbr-raw``        — both Algorithm 3.2 *and* init-time active
+  pruning disabled: the bare pipelined join, where correctness rests
+  entirely on nullification and best-match (the variant that exposes
+  bugs in that machinery, which pruning otherwise masks);
+* ``naive-nullintol`` — the naive evaluator with SQL NULL-intolerant
+  joins; compared only when the query is union-free and well-designed,
+  the fragment on which the paper proves the two semantics coincide
+  (Appendix C shows they legitimately diverge outside it).
+
+Results are diffed under bag semantics, except when the query carries
+LIMIT/OFFSET: the generator then guarantees a total ORDER BY, and the
+harness compares the ordered row lists exactly.  Queries outside LBR's
+fragment (Cartesian products, predicate-position joins, unsafe
+filters) are reported as ``unsupported``, never as failures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..baselines.naive import NaiveEngine
+from ..bitmat.store import BitMatStore
+from ..core.engine import LBREngine
+from ..core.nullification import minimum_union
+from ..core.nwd import rewrite_to_reference
+from ..core.results import ResultSet, apply_solution_modifiers
+from ..exceptions import BudgetExceededError, UnsupportedQueryError
+from ..rdf import ntriples
+from ..rdf.graph import Graph
+from ..rdf.terms import NULL
+from ..sparql.ast import Query
+from ..sparql.parser import parse_query
+from ..sparql.rewrite import to_union_normal_form
+from ..sparql.wd import check_union_free, is_well_designed
+
+#: Engine labels of the differential matrix, in execution order.
+ENGINE_LABELS = ("lbr", "lbr-warm", "lbr-noprune", "lbr-noprune-warm",
+                 "lbr-raw", "naive-nullintol")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One differential test case: a graph and a query over it."""
+
+    query_text: str
+    triples: tuple = ()  # tuple[Triple, ...]
+    name: str = ""
+    description: str = ""
+
+    def graph(self) -> Graph:
+        return Graph(self.triples)
+
+    def query(self) -> Query:
+        return parse_query(self.query_text)
+
+    def graph_lines(self) -> list[str]:
+        """The graph as N-Triples lines (the corpus/JSON form)."""
+        return [triple.n3 for triple in sorted(
+            self.triples, key=lambda t: (str(t.s), str(t.p), str(t.o)))]
+
+    @classmethod
+    def from_lines(cls, query_text: str, lines: list[str],
+                   name: str = "", description: str = "") -> "FuzzCase":
+        triples = tuple(triple for triple in
+                        (ntriples.parse_line(line) for line in lines)
+                        if triple is not None)
+        return cls(query_text=query_text, triples=triples, name=name,
+                   description=description)
+
+
+@dataclass
+class Disagreement:
+    """One engine's divergence from the reference result."""
+
+    engine: str
+    expected_rows: int
+    actual_rows: int
+    missing: list[tuple] = field(default_factory=list)
+    unexpected: list[tuple] = field(default_factory=list)
+
+    def describe(self) -> str:
+        parts = [f"{self.engine}: {self.actual_rows} rows, "
+                 f"reference has {self.expected_rows}"]
+        if self.missing:
+            parts.append(f"missing e.g. {self.missing[0]!r}")
+        if self.unexpected:
+            parts.append(f"unexpected e.g. {self.unexpected[0]!r}")
+        return "; ".join(parts)
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one differential execution."""
+
+    case: FuzzCase
+    status: str  # "agree" | "mismatch" | "unsupported" | "skipped"
+    disagreements: list[Disagreement] = field(default_factory=list)
+    unsupported_reason: str = ""
+    reference_rows: int = 0
+    well_designed: bool = True
+    elapsed: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "mismatch"
+
+
+def _diff_bags(reference, candidate, engine: str) -> Disagreement | None:
+    ref_bag = reference.as_multiset()
+    cand_bag = candidate.as_multiset()
+    if ref_bag == cand_bag:
+        return None
+    missing = [row for row, count in ref_bag.items()
+               if cand_bag.get(row, 0) < count]
+    unexpected = [row for row, count in cand_bag.items()
+                  if ref_bag.get(row, 0) < count]
+    return Disagreement(engine=engine, expected_rows=len(reference),
+                        actual_rows=len(candidate),
+                        missing=missing[:3], unexpected=unexpected[:3])
+
+
+def _diff_ordered(reference, candidate, engine: str) -> Disagreement | None:
+    if reference.rows == candidate.rows:
+        return None
+    extra = [row for row in candidate.rows if row not in reference.rows]
+    gone = [row for row in reference.rows if row not in candidate.rows]
+    return Disagreement(engine=engine, expected_rows=len(reference),
+                        actual_rows=len(candidate),
+                        missing=gone[:3], unexpected=extra[:3])
+
+
+#: Work-budget defaults guarding against combinatorially adversarial
+#: generated cases (the harness skips them rather than hanging).
+MAX_ORACLE_INTERMEDIATE_ROWS = 100_000
+MAX_REFERENCE_ROWS = 20_000
+MAX_REFERENCE_BRANCHES = 32
+#: terminal-step budget per LBR execution; sized so that even the slow
+#: per-row nullification/FaN output path stays interactive
+MAX_LBR_JOIN_ROWS = 50_000
+
+
+def reference_execute(graph: Graph, query: Query,
+                      max_intermediate_rows: int | None = None,
+                      ) -> ResultSet:
+    """The reference answer the whole engine matrix is diffed against.
+
+    Well-designed queries without OPTIONAL-enclosed UNIONs evaluate on
+    the plain naive oracle — pure SPARQL semantics, fully independent
+    of the machinery under test.  Two query classes have *documented*
+    divergence from pure SPARQL and get a reference that models the
+    engine's prescribed semantics instead (the branch evaluation
+    itself stays naive and bottom-up, so BitMats, pruning, the
+    multi-way join, and nullification contribute nothing):
+
+    * **non-well-designed** queries (Appendix C): each UNION-normal-
+      form branch is evaluated after the Appendix B rewrite
+      (:func:`repro.core.nwd.rewrite_to_reference` — violating
+      OPTIONALs become inner joins);
+    * **rule-3 rewrites** (``P1 OPTIONAL { P2 UNION P3 }``, §5.2): the
+      rewrite is inherently set-oriented — the paper prescribes
+      minimum-union cleanup of the spurious rows it introduces, which
+      cannot preserve exact bag multiplicities — so the reference
+      applies the same ``minimum_union`` to naively-evaluated
+      branches.
+    """
+    engine = NaiveEngine(graph,
+                         max_intermediate_rows=max_intermediate_rows)
+    normal_form = to_union_normal_form(query.pattern)
+    if len(normal_form.branches) > MAX_REFERENCE_BRANCHES:
+        raise BudgetExceededError(
+            f"UNION normal form has {len(normal_form.branches)} "
+            f"branches (cap {MAX_REFERENCE_BRANCHES})")
+    if (is_well_designed(query.pattern)
+            and not normal_form.spurious_possible):
+        return engine.execute(query)
+    all_variables = tuple(sorted(query.pattern.variables()))
+    combined: list[tuple] = []
+    for branch in normal_form.branches:
+        rewritten = rewrite_to_reference(branch)
+        rows = engine.eval_pattern(rewritten)
+        combined.extend(tuple(row.get(var, NULL) for var in all_variables)
+                        for row in rows)
+    if normal_form.spurious_possible:
+        combined = minimum_union(combined)
+    return apply_solution_modifiers(
+        ResultSet(all_variables, combined), query)
+
+
+def run_case(case: FuzzCase, store: BitMatStore | None = None) -> CaseResult:
+    """Execute *case* across the engine matrix and diff the results."""
+    started = time.perf_counter()
+    graph = case.graph()
+    query = case.query()
+    result = CaseResult(case=case, status="agree")
+    result.well_designed = is_well_designed(query.pattern)
+
+    # ordered comparison only when a window makes row order observable;
+    # the generator (and corpus convention) guarantee a total ORDER BY
+    # alongside LIMIT/OFFSET
+    ordered = query.limit is not None or bool(query.offset)
+    diff = _diff_ordered if ordered else _diff_bags
+
+    try:
+        reference = reference_execute(
+            graph, query,
+            max_intermediate_rows=MAX_ORACLE_INTERMEDIATE_ROWS)
+        if len(reference) > MAX_REFERENCE_ROWS:
+            raise BudgetExceededError(
+                f"reference produced {len(reference):,} rows "
+                f"(cap {MAX_REFERENCE_ROWS:,})")
+    except BudgetExceededError as error:
+        result.status = "skipped"
+        result.unsupported_reason = str(error)
+        result.elapsed = time.perf_counter() - started
+        return result
+    result.reference_rows = len(reference)
+
+    if store is None:
+        store = BitMatStore.build(graph)
+    candidates = []
+    try:
+        for prune, label in ((True, "lbr"), (False, "lbr-noprune")):
+            engine = LBREngine(store, enable_prune=prune,
+                               max_join_rows=MAX_LBR_JOIN_ROWS)
+            candidates.append((label, engine.execute(query)))
+            candidates.append((f"{label}-warm", engine.execute(query)))
+        raw = LBREngine(store, enable_prune=False,
+                        enable_active_prune=False,
+                        max_join_rows=MAX_LBR_JOIN_ROWS)
+        candidates.append(("lbr-raw", raw.execute(query)))
+    except UnsupportedQueryError as error:
+        result.status = "unsupported"
+        result.unsupported_reason = str(error)
+        result.elapsed = time.perf_counter() - started
+        return result
+    except BudgetExceededError as error:
+        result.status = "skipped"
+        result.unsupported_reason = str(error)
+        result.elapsed = time.perf_counter() - started
+        return result
+
+    if result.well_designed and check_union_free(query.pattern):
+        candidates.append(
+            ("naive-nullintol",
+             NaiveEngine(graph, null_intolerant=True).execute(query)))
+
+    for label, candidate in candidates:
+        disagreement = diff(reference, candidate, label)
+        if disagreement is not None:
+            result.disagreements.append(disagreement)
+
+    # §5 invariant: a plan-cache hit must be byte-identical to the cold
+    # run — same rows, same order, not merely the same bag
+    by_label = dict(candidates)
+    for base in ("lbr", "lbr-noprune"):
+        cold, warm = by_label[base], by_label[f"{base}-warm"]
+        if cold.rows != warm.rows:
+            result.disagreements.append(Disagreement(
+                engine=f"{base}-warm-vs-cold",
+                expected_rows=len(cold), actual_rows=len(warm)))
+    if result.disagreements:
+        result.status = "mismatch"
+    result.elapsed = time.perf_counter() - started
+    return result

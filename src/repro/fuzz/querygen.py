@@ -1,0 +1,429 @@
+"""Seeded SPARQL query generator spanning the full supported surface.
+
+The generator emits :class:`~repro.sparql.ast.Query` trees covering
+everything the engine accepts: nested OPTIONAL blocks (well-designed
+*and* — under the ``full`` profile — non-well-designed), FILTER
+expressions at every scope, UNION branches, ground terms (including
+fully-ground triple patterns), variable predicates, and solution
+modifiers (projection, DISTINCT, ORDER BY, LIMIT/OFFSET).
+
+Structural discipline keeps generated queries inside the engine's
+fragment by construction:
+
+* every block anchors at least one triple-pattern position on a
+  variable of the enclosing scope, so UNION-normal-form branches never
+  contain Cartesian products;
+* a variable predicate never reappears in a subject/object position
+  (the index supports S-S/S-O/O-O joins only) and its triple pattern
+  keeps a ground term, so no all-variable pattern arises;
+* filter expressions draw variables from the wrapped sub-pattern only,
+  so every filter is safe (§5.2).
+
+Well-designedness is controlled by where OPTIONAL anchors come from:
+the ``wd`` profile anchors slaves on *certain* variables (bound in
+every solution of the enclosing master), while ``full`` occasionally
+anchors on optional-only variables or shares a fresh variable between
+two sibling slaves — the classic violation patterns of Pérez et al.
+
+When LIMIT/OFFSET are drawn, the query also gets an ORDER BY over
+every pattern variable, making row order fully deterministic so the
+differential harness can compare windows exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Literal, Variable, is_variable
+from ..sparql import expressions as ex
+from ..sparql.ast import (BGP, Filter, Join, LeftJoin, Pattern, Query,
+                          TriplePattern, Union, simplify)
+from .graphgen import Vocabulary
+
+PROFILES = ("wd", "full")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Probability knobs of the query generator.
+
+    ``profile='wd'`` restricts generation to well-designed BGP-OPT
+    structure (plus FILTER/UNION/modifiers); ``'full'`` additionally
+    draws the non-well-designed anchor patterns of Appendix B.
+    """
+
+    profile: str = "full"
+    max_depth: int = 3
+    max_bgp_size: int = 3
+    optional_prob: float = 0.7
+    join_group_prob: float = 0.25
+    union_prob: float = 0.25
+    filter_prob: float = 0.35
+    ground_term_prob: float = 0.25
+    ground_tp_prob: float = 0.06
+    empty_optional_prob: float = 0.03
+    var_predicate_prob: float = 0.08
+    #: chance a slave anchors on two master variables (cyclic GoJ, the
+    #: Lemma 3.4 case where nullification does real work)
+    cyclic_anchor_prob: float = 0.2
+    #: full profile only: chance an anchor is drawn from optional-only
+    #: variables / a variable is shared between sibling slaves (non-WD)
+    nwd_prob: float = 0.3
+    projection_prob: float = 0.3
+    distinct_prob: float = 0.2
+    order_limit_prob: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise ValueError(f"unknown profile {self.profile!r}; "
+                             f"expected one of {PROFILES}")
+
+
+class QueryGenerator:
+    """Deterministic query generator over a fixed vocabulary.
+
+    When *graph* is given, ground terms are biased toward terms that
+    actually occur in the data, so selective patterns still match.
+    """
+
+    def __init__(self, vocab: Vocabulary, spec: QuerySpec,
+                 rng: random.Random, graph: Graph | None = None) -> None:
+        self.vocab = vocab
+        self.spec = spec
+        self.rng = rng
+        self._counter = 0
+        self._sample_triples = (
+            sorted(graph, key=lambda t: (t.s, t.p, t.o))[:64]
+            if graph is not None and len(graph) else [])
+
+    # ------------------------------------------------------------------
+    # terms
+    # ------------------------------------------------------------------
+
+    def _fresh_var(self) -> Variable:
+        self._counter += 1
+        return Variable(f"v{self._counter}")
+
+    def _ground_entity(self, position: str):
+        """A ground term for *position*, biased toward present data."""
+        rng = self.rng
+        if self._sample_triples and rng.random() < 0.6:
+            triple = rng.choice(self._sample_triples)
+            return getattr(triple, position)
+        if position == "p":
+            return rng.choice(self.vocab.predicates)
+        if position == "o" and rng.random() < 0.2 and self.vocab.literals:
+            return rng.choice(self.vocab.literals)
+        return rng.choice(self.vocab.entities)
+
+    def _predicate(self, scope: "_Scope") -> object:
+        rng = self.rng
+        if rng.random() < self.spec.var_predicate_prob:
+            # reuse an earlier predicate variable (a p-p join, which
+            # the index supports) or mint a fresh one; reuse stays
+            # within the current scope — a p-var crossing an OPTIONAL
+            # boundary would occur outside its block without occurring
+            # in the master, breaking well-designedness
+            if scope.local_p_vars and rng.random() < 0.3:
+                return rng.choice(scope.local_p_vars)
+            var = self._fresh_var()
+            scope.p_vars.append(var)
+            scope.local_p_vars.append(var)
+            return var
+        return self._ground_entity("p")
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    def generate(self) -> Query:
+        """One random query over the generator's vocabulary."""
+        self._counter = 0
+        scope = _Scope()
+        pattern = self._group(scope, anchors=[], depth=0)
+        pattern = simplify(pattern)
+        return self._modifiers(pattern)
+
+    def _group(self, scope: "_Scope", anchors: list[Variable],
+               depth: int) -> Pattern:
+        """A group graph pattern anchored on *anchors* (possibly [])."""
+        rng, spec = self.rng, self.spec
+        pattern: Pattern = self._bgp(scope, anchors)
+        certain = list(scope.certain)
+
+        # OPTIONAL slaves
+        while (depth < spec.max_depth
+               and rng.random() < spec.optional_prob):
+            pattern = LeftJoin(pattern,
+                               self._slave(scope, certain, depth))
+            if rng.random() < 0.5:
+                break
+
+        # an inner-joined subgroup
+        if depth < spec.max_depth and rng.random() < spec.join_group_prob:
+            anchor = self._pick_anchors(certain, scope, count=1)
+            if anchor:
+                sub_scope = scope.child(anchor)
+                sub = self._group(sub_scope, anchor, depth + 1)
+                scope.absorb(sub_scope)
+                pattern = Join(pattern, sub)
+
+        # a UNION block joined in (each branch anchored on the group)
+        if depth < spec.max_depth and rng.random() < spec.union_prob:
+            anchor = self._pick_anchors(certain, scope, count=1)
+            if anchor:
+                union = self._union(scope, anchor, depth + 1)
+                pattern = Join(pattern, union)
+
+        if rng.random() < spec.filter_prob:
+            if spec.profile == "wd":
+                # a group-level filter naming an optional-only variable
+                # is an outside occurrence -> would break WD
+                filter_vars = set(scope.certain) & pattern.variables()
+            else:
+                filter_vars = pattern.variables()
+            # a variable bound in only some UNION branches is absent
+            # from the other UNF branches, where the filter would be
+            # unsafe — never draw those
+            filter_vars -= scope.union_only
+            expr = self._expression(sorted(filter_vars))
+            if expr is not None:
+                pattern = Filter(expr, pattern)
+        return pattern
+
+    def _slave(self, scope: "_Scope", certain: list[Variable],
+               depth: int) -> Pattern:
+        """An OPTIONAL block anchored on the enclosing pattern."""
+        rng, spec = self.rng, self.spec
+        if rng.random() < spec.empty_optional_prob:
+            return BGP()
+        if rng.random() < spec.ground_tp_prob:
+            return BGP((self._ground_tp(),))
+        count = 2 if rng.random() < spec.cyclic_anchor_prob else 1
+        anchors = self._pick_anchors(certain, scope, count=count)
+        slave_scope = scope.child(anchors)
+        if (spec.profile == "full" and scope.sibling_vars
+                and rng.random() < spec.nwd_prob):
+            # share a variable with an earlier sibling slave: it occurs
+            # outside the new block but not in the master -> non-WD
+            slave_scope.force_reuse = rng.choice(scope.sibling_vars)
+        slave = self._group(slave_scope, anchors, depth + 1)
+        scope.sibling_vars.extend(sorted(
+            set(slave.variables()) - set(scope.certain)
+            - set(scope.p_vars) - slave_scope.union_only))
+        scope.optional |= slave.variables()
+        scope.union_only |= slave_scope.union_only
+        return slave
+
+    def _union(self, scope: "_Scope", anchors: list[Variable],
+               depth: int) -> Pattern:
+        """A two-branch UNION, both branches anchored on *anchors*."""
+        branches = []
+        for _ in range(2):
+            branch_scope = scope.child(anchors)
+            branch = self._group(branch_scope, anchors, depth + 1)
+            scope.optional |= branch.variables()
+            scope.union_only |= branch.variables() - set(anchors)
+            branches.append(branch)
+        return Union(branches[0], branches[1])
+
+    def _bgp(self, scope: "_Scope", anchors: list[Variable]) -> BGP:
+        """1..max_bgp_size connected triple patterns.
+
+        Every anchor variable is guaranteed to occur in some pattern:
+        an anchor that stayed unused would still sit in the scope and
+        could anchor a *nested* block, whose variable would then skip
+        this BGP on its way to the enclosing master — exactly the
+        syntactic shape that breaks well-designedness.
+        """
+        rng, spec = self.rng, self.spec
+        size = max(rng.randint(1, spec.max_bgp_size), len(anchors))
+        local: list[Variable] = list(anchors)
+        patterns: list[TriplePattern] = []
+        forced = scope.force_reuse
+        for index in range(size):
+            if not local:
+                local.append(self._fresh_var())
+            anchor = (anchors[index] if index < len(anchors)
+                      else rng.choice(local))
+            predicate = self._predicate(scope)
+            other = forced if forced is not None \
+                else self._other_term(local)
+            forced = None
+            if rng.random() < 0.5:
+                subject, obj = anchor, other
+            else:
+                subject, obj = other, anchor
+            if isinstance(subject, Literal):
+                subject, obj = obj, subject  # literals can't be subjects
+            if is_variable(predicate) and is_variable(subject) \
+                    and is_variable(obj):
+                # no all-variable TPs — but always ground the NON-anchor
+                # side: silently dropping an anchor would leave it in
+                # the scope without an occurrence, and a nested block
+                # anchored on it would break well-designedness
+                if obj != anchor:
+                    obj = self._ground_entity("o")
+                elif subject != anchor:
+                    subject = self._ground_entity("s")
+                else:  # anchor on both sides: one occurrence remains
+                    obj = self._ground_entity("o")
+            for term in (subject, obj):
+                if is_variable(term) and term not in local \
+                        and term not in scope.p_vars:
+                    local.append(term)
+            patterns.append(TriplePattern(subject, predicate, obj))
+        scope.certain.extend(v for v in local if v not in scope.certain)
+        if rng.random() < spec.ground_tp_prob:
+            patterns.append(self._ground_tp())
+        return BGP(tuple(patterns))
+
+    def _other_term(self, local: list[Variable]):
+        """The non-anchor position of a triple pattern."""
+        rng = self.rng
+        roll = rng.random()
+        if roll < self.spec.ground_term_prob:
+            return self._ground_entity("o")
+        if roll < self.spec.ground_term_prob + 0.25 and local:
+            return rng.choice(local)
+        return self._fresh_var()
+
+    def _ground_tp(self) -> TriplePattern:
+        """A fully ground triple pattern (present or absent in data)."""
+        if self._sample_triples and self.rng.random() < 0.5:
+            triple = self.rng.choice(self._sample_triples)
+            return TriplePattern(triple.s, triple.p, triple.o)
+        return TriplePattern(self._ground_entity("s"),
+                             self._ground_entity("p"),
+                             self._ground_entity("o"))
+
+    def _pick_anchors(self, certain: list[Variable], scope: "_Scope",
+                      count: int) -> list[Variable]:
+        """Anchor variables for a nested block.
+
+        The ``wd`` profile draws from certain variables only; ``full``
+        sometimes draws from optional-only variables, which makes the
+        enclosing pattern non-well-designed.
+        """
+        rng, spec = self.rng, self.spec
+        pool = [v for v in certain if v not in scope.p_vars]
+        if (spec.profile == "full" and scope.optional
+                and rng.random() < spec.nwd_prob):
+            # optional-only anchors create non-WD nesting; union-only
+            # vars are excluded — a block anchored on one would be a
+            # Cartesian product in the UNF branches lacking the var
+            pool = pool + sorted(set(scope.optional) - set(scope.p_vars)
+                                 - scope.union_only - set(pool))
+        if not pool:
+            return []
+        count = min(count, len(pool))
+        return rng.sample(pool, count)
+
+    # ------------------------------------------------------------------
+    # filters
+    # ------------------------------------------------------------------
+
+    def _expression(self, variables: list[Variable],
+                    depth: int = 0) -> object | None:
+        """A random filter expression over *variables* (None if empty)."""
+        variables = [v for v in variables]
+        if not variables:
+            return None
+        rng = self.rng
+        if rng.random() < 0.04:
+            # zero-variable (constant) filter: evaluates the same for
+            # every row, dropping/nullifying its whole scope when false
+            return ex.Comparison(rng.choice(("=", "!=")),
+                                 ex.Constant(self._ground_entity("o")),
+                                 ex.Constant(self._ground_entity("o")))
+        roll = rng.random()
+        if depth < 1 and roll < 0.2:
+            left = self._expression(variables, depth + 1)
+            right = self._expression(variables, depth + 1)
+            return ex.BooleanOp(rng.choice(("&&", "||")), left, right)
+        if roll < 0.35:
+            bound = ex.Bound(rng.choice(variables))
+            return ex.Not(bound) if rng.random() < 0.5 else bound
+        if roll < 0.45 and len(variables) >= 2:
+            left, right = rng.sample(variables, 2)
+            return ex.Comparison(rng.choice(("=", "!=")), ex.VarRef(left),
+                                 ex.VarRef(right))
+        if roll < 0.55:
+            return ex.Regex(ex.VarRef(rng.choice(variables)),
+                            rng.choice(("e[0-5]$", "p", "fuzz", "[0-9]+")))
+        if roll < 0.62:
+            return ex.SameTerm(ex.VarRef(rng.choice(variables)),
+                               ex.Constant(self._ground_entity("o")))
+        op = rng.choice(("=", "!=", "<", "<=", ">", ">="))
+        if op in ("<", "<=", ">", ">=") and self.vocab.literals \
+                and rng.random() < 0.6:
+            constant = rng.choice(self.vocab.literals)
+        else:
+            constant = self._ground_entity("o")
+        comparison = ex.Comparison(op, ex.VarRef(rng.choice(variables)),
+                                   ex.Constant(constant))
+        return ex.Not(comparison) if rng.random() < 0.2 else comparison
+
+    # ------------------------------------------------------------------
+    # solution modifiers
+    # ------------------------------------------------------------------
+
+    def _modifiers(self, pattern: Pattern) -> Query:
+        rng, spec = self.rng, self.spec
+        all_vars = sorted(pattern.variables())
+        select = None
+        if all_vars and rng.random() < spec.projection_prob:
+            size = rng.randint(1, len(all_vars))
+            select = tuple(sorted(rng.sample(all_vars, size)))
+        distinct = rng.random() < spec.distinct_prob
+        order_by: tuple[tuple[Variable, bool], ...] = ()
+        limit = None
+        offset = 0
+        if all_vars and rng.random() < spec.order_limit_prob:
+            # a total ORDER BY over every variable makes row order
+            # deterministic, so LIMIT/OFFSET windows diff exactly
+            order_by = tuple((var, rng.random() < 0.7)
+                             for var in all_vars)
+            if rng.random() < 0.7:
+                limit = rng.randint(1, 10)
+            if rng.random() < 0.4:
+                offset = rng.randint(0, 3)
+        return Query(pattern=pattern, select=select, distinct=distinct,
+                     order_by=order_by, limit=limit, offset=offset)
+
+
+class _Scope:
+    """Variable bookkeeping while a group is being generated."""
+
+    def __init__(self) -> None:
+        #: variables bound in every solution of the group so far
+        self.certain: list[Variable] = []
+        #: variables introduced by OPTIONAL slaves / UNION branches
+        self.optional: set[Variable] = set()
+        #: optional-only variables of earlier sibling slaves
+        self.sibling_vars: list[Variable] = []
+        #: variables bound in only some UNION branches — unsafe for
+        #: filters and never used to anchor later blocks
+        self.union_only: set[Variable] = set()
+        #: variables used in the predicate position (never reused in S/O)
+        self.p_vars: list[Variable] = []
+        #: p-vars available for reuse in THIS scope (p-p joins)
+        self.local_p_vars: list[Variable] = []
+        #: one variable the next BGP must mention (non-WD injection)
+        self.force_reuse: Variable | None = None
+
+    def child(self, anchors: list[Variable]) -> "_Scope":
+        child = _Scope()
+        child.certain = list(anchors)
+        child.p_vars = self.p_vars  # shared: position discipline is global
+        return child
+
+    def absorb(self, child: "_Scope") -> None:
+        """Fold an inner-joined child group's variables into this scope."""
+        for var in child.certain:
+            if var not in self.certain:
+                self.certain.append(var)
+        self.optional |= child.optional
+        self.union_only |= child.union_only

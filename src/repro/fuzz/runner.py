@@ -1,0 +1,250 @@
+"""Fuzz campaign runner — generation, execution, shrinking, reporting.
+
+One campaign is a pure function of its :class:`CampaignConfig`: the
+master seed derives a per-case seed stream, each case draws a graph
+shape/size, a graph, and a query, and runs the full differential
+matrix (:func:`repro.fuzz.oracle.run_case`).  Failing cases are
+delta-debugged down (:func:`repro.fuzz.shrink.shrink`) and optionally
+persisted into the regression corpus.
+
+The ``inject_bug`` hook deliberately breaks a named engine component
+for the duration of a campaign.  It exists to validate the fuzzer
+itself: a harness that cannot catch a planted nullification bug cannot
+be trusted to guard refactors (the acceptance gate of this subsystem
+runs exactly that experiment).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .corpus import save_case
+from .graphgen import SHAPES, GraphSpec, generate_graph
+from .oracle import CaseResult, FuzzCase, run_case
+from .querygen import QueryGenerator, QuerySpec
+from .shrink import shrink
+
+#: Names accepted by :func:`inject_bug`.
+INJECTABLE_BUGS = ("nullification",)
+
+#: Campaign-level generation profiles.  ``wd``/``full`` map straight to
+#: the query generator's profiles; ``nul`` stresses the nullification/
+#: best-match machinery: dense small graphs, OPTIONAL-heavy queries,
+#: frequent two-anchor (cyclic) slaves — the shapes where partial
+#: OPTIONAL matches produce the subsumed rows best-match must remove.
+PROFILE_PRESETS: dict[str, QuerySpec] = {
+    "wd": QuerySpec(profile="wd"),
+    "full": QuerySpec(profile="full"),
+    "nul": QuerySpec(profile="full", optional_prob=0.85,
+                     cyclic_anchor_prob=0.6, union_prob=0.1,
+                     filter_prob=0.2, ground_term_prob=0.15,
+                     ground_tp_prob=0.02, empty_optional_prob=0.0,
+                     var_predicate_prob=0.02, projection_prob=0.1,
+                     distinct_prob=0.05, order_limit_prob=0.05),
+}
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that determines a campaign's case stream."""
+
+    seed: int = 0
+    budget: int = 200
+    #: optional wall-clock cap in seconds, for interactive runs; CI
+    #: gates use a fixed budget so coverage is machine-independent
+    seconds: float | None = None
+    #: "uniform" | "star" | "clustered" | "mix"
+    shape: str = "mix"
+    profile: str = "full"
+    min_triples: int = 8
+    max_triples: int = 60
+    shrink_failures: bool = True
+    #: directory failing (shrunk) cases are saved into, or None
+    save_failing: str | None = None
+    #: stop at the first mismatch (the self-check tests use this)
+    stop_on_failure: bool = False
+
+    def __post_init__(self) -> None:
+        if self.shape != "mix" and self.shape not in SHAPES:
+            raise ValueError(f"unknown shape {self.shape!r}; expected "
+                             f"'mix' or one of {SHAPES}")
+        if self.profile not in PROFILE_PRESETS:
+            raise ValueError(
+                f"unknown profile {self.profile!r}; expected one of "
+                f"{tuple(PROFILE_PRESETS)}")
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of one campaign."""
+
+    config: CampaignConfig
+    cases: int = 0
+    agreed: int = 0
+    unsupported: int = 0
+    skipped: int = 0
+    mismatched: int = 0
+    well_designed: int = 0
+    non_well_designed: int = 0
+    reference_rows: int = 0
+    by_shape: dict = field(default_factory=dict)
+    failures: list[CaseResult] = field(default_factory=list)
+    shrunk: list[FuzzCase] = field(default_factory=list)
+    saved_paths: list[str] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.mismatched == 0
+
+
+def generate_case(config: CampaignConfig, case_seed: int,
+                  index: int = 0) -> tuple[FuzzCase, str]:
+    """Deterministically build case *index* from *case_seed*.
+
+    Returns the case and the graph shape it used.  The query is
+    serialized to SPARQL text immediately: the text is the case's
+    canonical form, so generation, execution, shrinking, and corpus
+    replay all see exactly the same parsed algebra.
+    """
+    rng = random.Random(case_seed)
+    shape = (config.shape if config.shape != "mix"
+             else rng.choice(SHAPES))
+    triples = rng.randint(config.min_triples, config.max_triples)
+    # the nullification-stress profile wants dense graphs: many
+    # candidate rows per entity make partial OPTIONAL matches likely
+    density = 6 if config.profile == "nul" else 3
+    graph_spec = GraphSpec(
+        shape=shape, triples=triples,
+        num_entities=max(5, triples // density),
+        num_predicates=rng.randint(3, 6),
+        hubs=rng.randint(1, 3), clusters=rng.randint(2, 4))
+    graph, vocab = generate_graph(graph_spec, rng.getrandbits(32))
+    generator = QueryGenerator(
+        vocab, PROFILE_PRESETS[config.profile], rng, graph=graph)
+    query = generator.generate()
+    case = FuzzCase(
+        query_text=query.to_sparql(), triples=tuple(graph),
+        name=f"fuzz-seed{config.seed}-case{index}",
+        description=(f"generated: shape={shape} triples={len(graph)} "
+                     f"profile={config.profile}"))
+    return case, shape
+
+
+def run_campaign(config: CampaignConfig,
+                 log=None) -> CampaignReport:
+    """Run a full campaign; deterministic given the config."""
+    started = time.perf_counter()
+    master = random.Random(config.seed)
+    report = CampaignReport(config=config)
+    for index in range(config.budget):
+        if (config.seconds is not None
+                and time.perf_counter() - started >= config.seconds):
+            break
+        case_seed = master.getrandbits(48)
+        case, shape = generate_case(config, case_seed, index)
+        result = run_case(case)
+        report.cases += 1
+        report.by_shape[shape] = report.by_shape.get(shape, 0) + 1
+        report.reference_rows += result.reference_rows
+        if result.well_designed:
+            report.well_designed += 1
+        else:
+            report.non_well_designed += 1
+        if result.status == "agree":
+            report.agreed += 1
+        elif result.status == "unsupported":
+            report.unsupported += 1
+        elif result.status == "skipped":
+            report.skipped += 1
+        else:
+            report.mismatched += 1
+            report.failures.append(result)
+            if log is not None:
+                log(f"MISMATCH case {index}: "
+                    + "; ".join(d.describe()
+                                for d in result.disagreements))
+            shrunk = case
+            if config.shrink_failures:
+                shrunk = shrink(case, lambda c: run_case(c).failed)
+                if log is not None:
+                    log(f"  shrunk to {len(shrunk.triples)} triples, "
+                        f"query:\n{shrunk.query_text}")
+            report.shrunk.append(shrunk)
+            if config.save_failing:
+                report.saved_paths.append(
+                    save_case(shrunk, config.save_failing))
+            if config.stop_on_failure:
+                break
+    report.elapsed = time.perf_counter() - started
+    return report
+
+
+def format_campaign_report(report: CampaignReport) -> str:
+    """Human-readable campaign summary (harness reporting style)."""
+    config = report.config
+    lines = [
+        f"fuzz campaign: seed={config.seed} budget={config.budget} "
+        f"shape={config.shape} profile={config.profile}",
+        f"  cases run      : {report.cases:,} "
+        f"in {report.elapsed:.2f}s",
+        f"  agree          : {report.agreed:,}",
+        f"  unsupported    : {report.unsupported:,}",
+        f"  skipped        : {report.skipped:,} (over work budget)",
+        f"  mismatches     : {report.mismatched:,}",
+        f"  well-designed  : {report.well_designed:,} "
+        f"(non-WD: {report.non_well_designed:,})",
+        f"  oracle rows    : {report.reference_rows:,}",
+        "  shapes         : " + ", ".join(
+            f"{shape}={count}" for shape, count
+            in sorted(report.by_shape.items())),
+    ]
+    for result, shrunk in zip(report.failures, report.shrunk):
+        lines.append(f"  FAIL {result.case.name}: " + "; ".join(
+            d.describe() for d in result.disagreements))
+        lines.append(f"    shrunk graph ({len(shrunk.triples)} triples):")
+        lines.extend(f"      {line}" for line in shrunk.graph_lines())
+        lines.append("    shrunk query:")
+        lines.extend(f"      {line}"
+                     for line in shrunk.query_text.splitlines())
+    for path in report.saved_paths:
+        lines.append(f"  saved: {path}")
+    lines.append("  verdict        : "
+                 + ("OK" if report.ok else "MISMATCHES FOUND"))
+    return "\n".join(lines)
+
+
+@contextmanager
+def inject_bug(name: str):
+    """Deliberately break an engine component while the context is open.
+
+    ``nullification`` replaces the engine's post-join ``minimum_union``
+    cleanup with plain duplicate removal, so rows subsumed by a better
+    match survive — the exact failure Algorithm 5.4's best-match step
+    exists to prevent.  Used by the fuzzer's self-check: the campaign
+    must catch the planted bug and shrink its witness.
+    """
+    if name not in INJECTABLE_BUGS:
+        raise ValueError(f"unknown bug {name!r}; "
+                         f"expected one of {INJECTABLE_BUGS}")
+    from ..core import engine as engine_module
+
+    original = engine_module.minimum_union
+
+    def broken_minimum_union(rows: list[tuple]) -> list[tuple]:
+        seen: set[tuple] = set()
+        out: list[tuple] = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return out
+
+    engine_module.minimum_union = broken_minimum_union
+    try:
+        yield
+    finally:
+        engine_module.minimum_union = original

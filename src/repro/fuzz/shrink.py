@@ -1,0 +1,189 @@
+"""Delta-debugging shrinker for failing (graph, query) pairs.
+
+Given a failing :class:`~repro.fuzz.oracle.FuzzCase` and a predicate
+("does this case still fail?"), the shrinker alternates two phases
+until a fixpoint:
+
+* **graph shrinking** — Zeller-style ddmin over the triple list:
+  repeatedly try to keep only one chunk, then to drop one chunk,
+  halving chunk granularity until single triples;
+* **query shrinking** — greedy structural simplification of the parsed
+  algebra tree, trying every single-step rewrite and keeping the first
+  that still fails:
+
+  - collapse an OPTIONAL block (``LeftJoin → left``),
+  - keep only one UNION branch (``Union → left`` / ``right``),
+  - strip a FILTER (``Filter → pattern``),
+  - drop one triple pattern from a BGP,
+  - drop solution modifiers (DISTINCT, projection, ORDER BY,
+    LIMIT/OFFSET — all together, since windows need the ORDER BY).
+
+Every candidate is re-serialized to SPARQL and re-parsed before the
+predicate runs, so the shrunk case is exactly as replayable as the
+original.  Candidates that leave the supported fragment simply make
+the predicate return False and are discarded — the shrinker needs no
+knowledge of the engine's fragment limits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..exceptions import ReproError
+from ..sparql.ast import (BGP, Filter, Join, LeftJoin, Pattern, Query,
+                          Union, simplify)
+from ..sparql.parser import parse_query
+from .oracle import FuzzCase
+
+Predicate = Callable[[FuzzCase], bool]
+
+
+def shrink(case: FuzzCase, still_fails: Predicate,
+           max_rounds: int = 12) -> FuzzCase:
+    """Minimize *case* while *still_fails* holds.
+
+    The returned case satisfies the predicate (the original is returned
+    unchanged if it unexpectedly stopped failing).
+    """
+    if not _safe(still_fails, case):
+        return case
+    current = case
+    for _ in range(max_rounds):
+        before = _size(current)
+        current = _shrink_graph(current, still_fails)
+        current = _shrink_query(current, still_fails)
+        if _size(current) == before:
+            break
+    return current
+
+
+def _size(case: FuzzCase) -> tuple[int, int]:
+    return (len(case.triples), len(case.query_text))
+
+
+def _safe(predicate: Predicate, case: FuzzCase) -> bool:
+    """Predicate guarded against cases the engines reject outright."""
+    try:
+        return bool(predicate(case))
+    except ReproError:
+        return False
+
+
+# ----------------------------------------------------------------------
+# graph: ddmin over triples
+# ----------------------------------------------------------------------
+
+def _shrink_graph(case: FuzzCase, still_fails: Predicate) -> FuzzCase:
+    triples = list(case.triples)
+    chunks = 2
+    while len(triples) >= 2:
+        chunk_size = max(1, len(triples) // chunks)
+        subsets = [triples[i:i + chunk_size]
+                   for i in range(0, len(triples), chunk_size)]
+        reduced = False
+        # try each chunk alone, then each complement
+        for candidate in _ddmin_candidates(subsets):
+            trial = FuzzCase(query_text=case.query_text,
+                             triples=tuple(candidate), name=case.name,
+                             description=case.description)
+            if _safe(still_fails, trial):
+                triples = candidate
+                chunks = max(chunks - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk_size == 1:
+                break
+            chunks = min(chunks * 2, len(triples))
+    return FuzzCase(query_text=case.query_text, triples=tuple(triples),
+                    name=case.name, description=case.description)
+
+
+def _ddmin_candidates(subsets: list[list]) -> Iterator[list]:
+    if len(subsets) <= 1:
+        return
+    for index in range(len(subsets)):
+        yield subsets[index]
+    if len(subsets) > 2:
+        for index in range(len(subsets)):
+            complement: list = []
+            for other, subset in enumerate(subsets):
+                if other != index:
+                    complement.extend(subset)
+            yield complement
+    elif len(subsets) == 2:
+        # complements equal the two subsets already yielded
+        pass
+
+
+# ----------------------------------------------------------------------
+# query: greedy structural simplification
+# ----------------------------------------------------------------------
+
+def _shrink_query(case: FuzzCase, still_fails: Predicate) -> FuzzCase:
+    progress = True
+    current = case
+    while progress:
+        progress = False
+        query = parse_query(current.query_text)
+        for variant in _query_variants(query):
+            trial = FuzzCase(query_text=variant.to_sparql(),
+                             triples=current.triples, name=current.name,
+                             description=current.description)
+            if trial.query_text == current.query_text:
+                continue
+            if _safe(still_fails, trial):
+                current = trial
+                progress = True
+                break
+    return current
+
+
+def _query_variants(query: Query) -> Iterator[Query]:
+    """All single-step simplifications of *query*, simplest first."""
+    for pattern in _pattern_variants(query.pattern):
+        yield Query(pattern=simplify(pattern), select=query.select,
+                    distinct=query.distinct, order_by=query.order_by,
+                    limit=query.limit, offset=query.offset)
+    if (query.select is not None or query.distinct or query.order_by
+            or query.limit is not None or query.offset):
+        yield Query(pattern=query.pattern)
+
+
+def _pattern_variants(node: Pattern) -> Iterator[Pattern]:
+    """Every pattern obtainable by one structural simplification."""
+    if isinstance(node, BGP):
+        if len(node.patterns) > 1:
+            for index in range(len(node.patterns)):
+                yield BGP(node.patterns[:index]
+                          + node.patterns[index + 1:])
+        return
+    if isinstance(node, LeftJoin):
+        yield node.left  # collapse the OPTIONAL block entirely
+        yield node.right  # or keep only the block, made mandatory
+        for left in _pattern_variants(node.left):
+            yield LeftJoin(left, node.right)
+        for right in _pattern_variants(node.right):
+            yield LeftJoin(node.left, right)
+        return
+    if isinstance(node, Union):
+        yield node.left
+        yield node.right
+        for left in _pattern_variants(node.left):
+            yield Union(left, node.right)
+        for right in _pattern_variants(node.right):
+            yield Union(node.left, right)
+        return
+    if isinstance(node, Join):
+        yield node.left
+        yield node.right
+        for left in _pattern_variants(node.left):
+            yield Join(left, node.right)
+        for right in _pattern_variants(node.right):
+            yield Join(node.left, right)
+        return
+    if isinstance(node, Filter):
+        yield node.pattern  # strip the filter
+        for inner in _pattern_variants(node.pattern):
+            yield Filter(node.expr, inner)
+        return

@@ -99,42 +99,95 @@ def is_safe_filter(node: Filter) -> bool:
     return node.expression_variables() <= node.pattern.variables()
 
 
+def certain_variables(pattern: Pattern) -> set[Variable]:
+    """Variables bound in *every* solution of *pattern*.
+
+    The mandatory-part variables: OPTIONAL blocks contribute nothing,
+    UNION branches contribute only what both branches bind.
+    """
+    if isinstance(pattern, BGP):
+        return pattern.variables()
+    if isinstance(pattern, Join):
+        return (certain_variables(pattern.left)
+                | certain_variables(pattern.right))
+    if isinstance(pattern, LeftJoin):
+        return certain_variables(pattern.left)
+    if isinstance(pattern, Union):
+        return (certain_variables(pattern.left)
+                & certain_variables(pattern.right))
+    if isinstance(pattern, Filter):
+        return certain_variables(pattern.pattern)
+    return set()
+
+
 def eliminate_equality_filters(
         pattern: Pattern,
         renames: dict[Variable, Variable] | None = None) -> Pattern:
     """The §5.2 "cheap" optimization: drop ``FILTER(?m = ?n)``.
 
-    A top-level equality between two variables is eliminated by renaming
-    ``?n`` to ``?m`` throughout the filtered pattern.  Other filters are
-    left untouched.  When *renames* is given, each dropped→kept mapping
-    is recorded there so the caller can restore the dropped variable's
-    column in the final results.
+    A *top-level* equality between two variables that are bound in
+    every solution is eliminated by renaming ``?n`` to ``?m``
+    throughout the filtered pattern.  Other filters are left untouched.
+    When *renames* is given, each dropped→kept mapping is recorded
+    there so the caller can restore the dropped variable's column in
+    the final results.
+
+    The gating is what keeps the rewrite sound (differential fuzzing
+    found both failure modes):
+
+    * only the top-level ``Filter`` spine is rewritten — a filter
+      nested inside an OPTIONAL or UNION scopes the equality to that
+      block, where renaming would merge joins the block does not
+      express and the restored column would fabricate bindings for
+      rows whose block failed;
+    * both variables must be *certain* (bound in every solution):
+      under SPARQL semantics ``FILTER(?m = ?n)`` drops every row where
+      either side is unbound, which renaming cannot emulate.
     """
-    if isinstance(pattern, Filter):
-        inner = eliminate_equality_filters(pattern.pattern, renames)
-        expr = pattern.expr
+    if not isinstance(pattern, Filter):
+        return pattern
+    # collect the top-level filter spine, outermost first
+    spine: list[object] = []
+    base: Pattern = pattern
+    while isinstance(base, Filter):
+        spine.append(base.expr)
+        base = base.pattern
+
+    # process innermost-first so that when an equality is eliminated,
+    # every *other* spine filter referencing the dropped variable is
+    # renamed too — otherwise a sibling filter would reference a
+    # variable that no longer occurs in the pattern (unsafe)
+    local: dict[Variable, Variable] = {}
+    kept: list[object] = []
+    for expr in reversed(spine):
+        for drop, keep in local.items():
+            expr = substitute_variable(expr, drop, keep)
         if (isinstance(expr, Comparison) and expr.op == "="
                 and isinstance(expr.left, VarRef)
                 and isinstance(expr.right, VarRef)
-                and expr.left.name != expr.right.name):
-            keep, drop = expr.left.name, expr.right.name
-            if renames is not None:
-                for old, new in list(renames.items()):
-                    if new == drop:
-                        renames[old] = keep
-                renames[drop] = keep
-            return _rename_variable(inner, drop, keep)
-        return Filter(expr, inner)
-    if isinstance(pattern, Join):
-        return Join(eliminate_equality_filters(pattern.left, renames),
-                    eliminate_equality_filters(pattern.right, renames))
-    if isinstance(pattern, LeftJoin):
-        return LeftJoin(eliminate_equality_filters(pattern.left, renames),
-                        eliminate_equality_filters(pattern.right, renames))
-    if isinstance(pattern, Union):
-        return Union(eliminate_equality_filters(pattern.left, renames),
-                     eliminate_equality_filters(pattern.right, renames))
-    return pattern
+                and expr.left.name != expr.right.name
+                and {expr.left.name, expr.right.name}
+                <= certain_variables(base)):
+            keep_var, drop_var = expr.left.name, expr.right.name
+            base = _rename_variable(base, drop_var, keep_var)
+            kept = [substitute_variable(e, drop_var, keep_var)
+                    for e in kept]
+            for old, new in list(local.items()):
+                if new == drop_var:
+                    local[old] = keep_var
+            local[drop_var] = keep_var
+        else:
+            kept.append(expr)
+
+    if renames is not None:
+        for old, new in list(renames.items()):
+            if new in local:
+                renames[old] = local[new]
+        renames.update(local)
+    result: Pattern = base
+    for expr in kept:  # innermost-first: restores the nesting order
+        result = Filter(expr, result)
+    return result
 
 
 def _rename_variable(pattern: Pattern, old: Variable,

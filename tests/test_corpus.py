@@ -1,0 +1,45 @@
+"""Regression corpus replay: every case under ``tests/corpus/``.
+
+The corpus is the fuzzer's long-term memory — every found-and-fixed
+mismatch and every hand-picked tricky query lands here as JSON and is
+replayed by tier-1 on every run.  A case expects either full
+differential agreement (``expect: "agree"``) or a clean rejection
+(``expect: "unsupported"`` for queries documenting fragment limits).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.fuzz import load_corpus, run_case
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    """The ISSUE-2 floor: at least ten persisted tricky cases."""
+    assert len(ENTRIES) >= 10
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES,
+    ids=[entry.case.name or os.path.basename(entry.path)
+         for entry in ENTRIES])
+def test_corpus_case(entry):
+    result = run_case(entry.case)
+    detail = "; ".join(d.describe() for d in result.disagreements)
+    assert result.status == entry.expect, (
+        f"{entry.path}: expected {entry.expect}, got {result.status} "
+        f"{detail}\n{entry.case.query_text}")
+
+
+def test_corpus_cases_have_descriptions():
+    """Every case must say why it is tricky (the corpus is documentation)."""
+    for entry in ENTRIES:
+        assert entry.case.name, f"{entry.path}: missing name"
+        assert entry.case.description, (
+            f"{entry.path}: missing description")

@@ -7,6 +7,13 @@ Cartesian products).  Every generated query must produce bag-identical
 results across LBR and the oracle — this exercises GoSN construction,
 jvar ordering, pruning, the multi-way join, nullification, and
 best-match end to end.
+
+The full-surface strategies at the bottom delegate to the
+:mod:`repro.fuzz` generators: Hypothesis draws a case seed (and shrinks
+over it), while graph and query construction — FILTER expressions at
+every scope, UNION branches, non-well-designed nesting, ground terms,
+solution modifiers — comes from the same seeded generators the ``lbr
+fuzz`` campaigns use.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from __future__ import annotations
 from hypothesis import given, settings, strategies as st
 
 from repro import BitMatStore, Graph, LBREngine, NaiveEngine, Triple, URI
+from repro.fuzz import CampaignConfig, generate_case, run_case
 from repro.rdf.terms import Variable
 from repro.sparql.ast import BGP, Join, LeftJoin, Query, TriplePattern
 from repro.sparql.wd import is_well_designed
@@ -191,6 +199,46 @@ def test_modifiers_on_random_queries(graph, query, limit, offset):
     # the full ORDER BY key covers every variable, so row order is
     # fully deterministic and the windows must agree exactly
     assert lbr.rows == oracle.rows, f"mismatch on:\n{modified.to_sparql()}"
+
+
+# ----------------------------------------------------------------------
+# full-surface strategies, delegating to the repro.fuzz generators
+# ----------------------------------------------------------------------
+
+@st.composite
+def fuzz_cases(draw, profile: str):
+    """One differential (graph, query) case from the fuzz generators.
+
+    The query surface goes far beyond the BGP-OPT strategies above:
+    FILTER expressions (comparisons, BOUND, REGEX, sameTerm, boolean
+    connectives) at every scope, UNION branches, fully-ground patterns,
+    variable predicates, and solution modifiers — plus, under the
+    ``full`` profile, non-well-designed OPTIONAL nesting.
+    """
+    case_seed = draw(st.integers(0, 2 ** 48 - 1))
+    config = CampaignConfig(seed=0, profile=profile, max_triples=40)
+    case, _ = generate_case(config, case_seed)
+    return case
+
+
+@settings(max_examples=50, deadline=None)
+@given(fuzz_cases(profile="wd"))
+def test_full_surface_wd_cases_agree(case):
+    """FILTER/UNION/modifier queries (WD) across the engine matrix."""
+    result = run_case(case)
+    assert result.status != "mismatch", (
+        "; ".join(d.describe() for d in result.disagreements)
+        + f"\non:\n{case.query_text}")
+
+
+@settings(max_examples=50, deadline=None)
+@given(fuzz_cases(profile="full"))
+def test_full_surface_cases_agree_including_nwd(case):
+    """The full profile adds non-well-designed nesting (Appendix B/C)."""
+    result = run_case(case)
+    assert result.status != "mismatch", (
+        "; ".join(d.describe() for d in result.disagreements)
+        + f"\non:\n{case.query_text}")
 
 
 @settings(max_examples=60, deadline=None)

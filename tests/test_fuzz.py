@@ -1,0 +1,257 @@
+"""The differential fuzzing subsystem: generators, harness, shrinker.
+
+Covers determinism (a corpus case must replay bit-identically from its
+seed), generator validity (parse round-trips, the WD profile really
+produces well-designed queries), the oracle's engine matrix, corpus
+(de)serialization, ddmin shrinking, and the self-check the acceptance
+gate runs: a deliberately injected nullification bug must be caught
+and shrunk to a tiny counterexample.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Graph, Triple, URI
+from repro.fuzz import (CampaignConfig, FuzzCase, GraphSpec,
+                        QueryGenerator, QuerySpec, case_from_json,
+                        case_to_json, generate_case, generate_graph,
+                        inject_bug, run_campaign, run_case, shrink)
+from repro.sparql.parser import parse_query
+from repro.sparql.wd import is_well_designed
+
+
+class TestGraphGenerator:
+    def test_deterministic(self):
+        spec = GraphSpec(shape="uniform", triples=50)
+        first, _ = generate_graph(spec, seed=7)
+        second, _ = generate_graph(spec, seed=7)
+        assert set(first) == set(second)
+
+    def test_seeds_differ(self):
+        spec = GraphSpec(shape="uniform", triples=50)
+        first, _ = generate_graph(spec, seed=7)
+        second, _ = generate_graph(spec, seed=8)
+        assert set(first) != set(second)
+
+    def test_size_target(self):
+        spec = GraphSpec(shape="clustered", triples=200,
+                         num_entities=40)
+        graph, _ = generate_graph(spec, seed=0)
+        assert 100 <= len(graph) <= 200
+
+    def test_star_shape_is_hub_skewed(self):
+        spec = GraphSpec(shape="star", triples=300, num_entities=30,
+                         hubs=2, literal_prob=0.0)
+        graph, vocab = generate_graph(spec, seed=3)
+        hubs = set(vocab.entities[:2])
+        touching = sum(1 for t in graph if t.s in hubs or t.o in hubs)
+        assert touching / len(graph) > 0.5
+
+    def test_scales_to_10k(self):
+        spec = GraphSpec(shape="uniform", triples=10_000,
+                         num_entities=500, num_predicates=12)
+        graph, _ = generate_graph(spec, seed=1)
+        assert len(graph) > 8_000
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            GraphSpec(shape="ring")
+
+
+class TestQueryGenerator:
+    def _generate(self, seed, spec):
+        graph, vocab = generate_graph(GraphSpec(triples=40), seed)
+        generator = QueryGenerator(vocab, spec, random.Random(seed),
+                                   graph=graph)
+        return generator.generate()
+
+    def test_deterministic(self):
+        spec = QuerySpec()
+        assert (self._generate(11, spec).to_sparql()
+                == self._generate(11, spec).to_sparql())
+
+    def test_all_queries_parse_and_round_trip(self):
+        spec = QuerySpec()
+        for seed in range(60):
+            text = self._generate(seed, spec).to_sparql()
+            reparsed = parse_query(text)
+            # the parsed form is the case's canonical semantics; its
+            # re-serialization must be stable (fixpoint)
+            assert parse_query(reparsed.to_sparql()).to_sparql() \
+                == reparsed.to_sparql()
+
+    def test_wd_profile_is_well_designed(self):
+        spec = QuerySpec(profile="wd")
+        for seed in range(80):
+            query = self._generate(seed, spec)
+            reparsed = parse_query(query.to_sparql())
+            assert is_well_designed(reparsed.pattern), query.to_sparql()
+
+    def test_full_profile_produces_nwd_queries(self):
+        spec = QuerySpec(profile="full")
+        nwd = sum(
+            not is_well_designed(
+                parse_query(self._generate(seed, spec).to_sparql())
+                .pattern)
+            for seed in range(60))
+        assert nwd >= 5
+
+    def test_surface_coverage(self):
+        """Across seeds the generator must hit the full query surface."""
+        spec = QuerySpec()
+        texts = [self._generate(seed, spec).to_sparql()
+                 for seed in range(120)]
+        blob = "\n".join(texts)
+        for token in ("OPTIONAL", "FILTER", "UNION", "ORDER BY",
+                      "LIMIT", "DISTINCT", "BOUND", "REGEX"):
+            assert token in blob, f"surface never generated: {token}"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            QuerySpec(profile="chaos")
+
+
+class TestOracleHarness:
+    def test_agreeing_case(self):
+        graph = [Triple(URI("a"), URI("p"), URI("b")),
+                 Triple(URI("b"), URI("q"), URI("c"))]
+        case = FuzzCase(
+            query_text="SELECT * WHERE { ?x <p> ?y "
+                       "OPTIONAL { ?y <q> ?z } }",
+            triples=tuple(graph))
+        result = run_case(case)
+        assert result.status == "agree"
+        assert result.reference_rows == 1
+        assert result.well_designed
+
+    def test_unsupported_case(self):
+        case = FuzzCase(
+            query_text="SELECT * WHERE { ?a <p> ?b . ?c <q> ?d }",
+            triples=(Triple(URI("a"), URI("p"), URI("b")),))
+        result = run_case(case)
+        assert result.status == "unsupported"
+        assert "Cartesian" in result.unsupported_reason
+
+    def test_campaign_deterministic(self):
+        config = CampaignConfig(seed=42, budget=20)
+        first = run_campaign(config)
+        second = run_campaign(config)
+        assert first.cases == second.cases == 20
+        assert first.agreed == second.agreed
+        assert first.by_shape == second.by_shape
+        assert first.mismatched == second.mismatched == 0
+
+    def test_generate_case_is_pure(self):
+        config = CampaignConfig(seed=5, budget=1)
+        one, shape_one = generate_case(config, 123456, 0)
+        two, shape_two = generate_case(config, 123456, 0)
+        assert one.query_text == two.query_text
+        assert one.triples == two.triples
+        assert shape_one == shape_two
+
+    def test_time_budget_stops_campaign(self):
+        config = CampaignConfig(seed=0, budget=10_000, seconds=1.0)
+        report = run_campaign(config)
+        assert report.cases < 10_000
+
+
+class TestCorpusSerialization:
+    def test_round_trip(self):
+        case = FuzzCase(
+            query_text="SELECT * WHERE { ?x <p> ?y }",
+            triples=(Triple(URI("a"), URI("p"), URI("b")),
+                     Triple(URI("c"), URI("p"), URI("d"))),
+            name="round-trip", description="serialization test")
+        data = case_to_json(case, expect="agree")
+        entry = case_from_json(data, path="inline")
+        assert entry.case.query_text == case.query_text
+        assert set(entry.case.triples) == set(case.triples)
+        assert entry.expect == "agree"
+
+    def test_unknown_expectation_rejected(self):
+        case = FuzzCase(query_text="SELECT * WHERE { ?x <p> ?y }")
+        with pytest.raises(ValueError):
+            case_to_json(case, expect="maybe")
+
+
+class TestShrinker:
+    def test_shrinks_to_relevant_triple(self):
+        """ddmin over the graph: keep only what the failure needs."""
+        needle = Triple(URI("n"), URI("p"), URI("n"))
+        hay = [Triple(URI(f"h{i}"), URI("q"), URI(f"h{i + 1}"))
+               for i in range(30)]
+        case = FuzzCase(query_text="SELECT * WHERE { ?x <p> ?y }",
+                        triples=tuple(hay + [needle]))
+
+        def fails(candidate: FuzzCase) -> bool:
+            return needle in candidate.triples
+
+        shrunk = shrink(case, fails)
+        assert shrunk.triples == (needle,)
+
+    def test_shrinks_query_structure(self):
+        """OPTIONAL blocks, UNION branches, filters and modifiers all
+        collapse when the failure does not depend on them."""
+        case = FuzzCase(
+            query_text="""SELECT DISTINCT * WHERE {
+  ?x <p> ?y .
+  OPTIONAL { ?y <q> ?z . }
+  { ?x <r> ?w . } UNION { ?x <s> ?v . }
+  FILTER(BOUND(?y))
+}
+ORDER BY ?x""",
+            triples=(Triple(URI("a"), URI("p"), URI("b")),))
+
+        def fails(candidate: FuzzCase) -> bool:
+            return "<p>" in candidate.query_text
+
+        shrunk = shrink(case, fails)
+        text = shrunk.query_text
+        for token in ("OPTIONAL", "UNION", "FILTER", "DISTINCT",
+                      "ORDER"):
+            assert token not in text, text
+        assert "<p>" in text
+
+    def test_returns_original_when_not_failing(self):
+        case = FuzzCase(query_text="SELECT * WHERE { ?x <p> ?y }",
+                        triples=(Triple(URI("a"), URI("p"), URI("b")),))
+        assert shrink(case, lambda c: False) is case
+
+
+class TestInjectedBugSelfCheck:
+    """The acceptance gate: the fuzzer must catch a planted bug."""
+
+    def test_nullification_bug_caught_and_shrunk(self):
+        config = CampaignConfig(seed=2, budget=200, profile="nul",
+                                stop_on_failure=True)
+        with inject_bug("nullification"):
+            report = run_campaign(config)
+        assert report.mismatched >= 1, (
+            "the planted nullification bug was not caught")
+        shrunk = report.shrunk[0]
+        patterns = parse_query(shrunk.query_text).pattern
+        assert len(shrunk.triples) <= 6
+        assert len(patterns.triple_patterns()) <= 3
+
+    def test_injection_restores_engine(self):
+        with inject_bug("nullification"):
+            pass
+        graph = Graph([Triple(URI("x"), URI("p"), URI("y")),
+                       Triple(URI("y"), URI("q"), URI("z1")),
+                       Triple(URI("z1"), URI("r"), URI("xw")),
+                       Triple(URI("y"), URI("q"), URI("z2")),
+                       Triple(URI("z2"), URI("r"), URI("x")),
+                       Triple(URI("xw"), URI("p"), URI("yw"))])
+        case = FuzzCase(
+            query_text="SELECT * WHERE { ?x <p> ?y "
+                       "OPTIONAL { ?y <q> ?z . ?z <r> ?x } }",
+            triples=tuple(graph))
+        assert run_case(case).status == "agree"
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(ValueError, match="unknown bug"):
+            with inject_bug("gremlins"):
+                pass

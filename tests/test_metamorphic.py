@@ -1,0 +1,78 @@
+"""Metamorphic guards over the full example-query suites.
+
+Two properties every Appendix E template query must satisfy on its
+generated dataset, regardless of engine internals:
+
+* **plan-cache warm ≡ cold** — a repeated execution served from the
+  compiled-plan cache must return the *same rows in the same order* as
+  a cold engine (the §5 invariant of DESIGN.md; guards the
+  ``_QueryPlan`` reuse introduced by the hot-path overhaul);
+* **pruning ablation invariance** — ``enable_prune=True`` and
+  ``False`` (and disabled active pruning) must agree bag-exactly:
+  Algorithm 3.2 is an optimization, never a semantics change.
+
+These complement the per-case checks the fuzz harness runs on random
+queries: here the queries are the paper's 19 templates over the three
+generated datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BitMatStore, LBREngine
+from repro.datasets import (ALL_SUITES, generate_dbpedia, generate_lubm,
+                            generate_uniprot)
+
+_GENERATORS = {
+    "LUBM": generate_lubm,
+    "UniProt": generate_uniprot,
+    "DBPedia": generate_dbpedia,
+}
+
+_CASES = [(dataset, name, query)
+          for dataset, suite in ALL_SUITES.items()
+          for name, query in suite.items()]
+
+
+@pytest.fixture(scope="module")
+def stores():
+    """One BitMat store per dataset, shared by every query of a suite."""
+    return {dataset: BitMatStore.build(generate())
+            for dataset, generate in _GENERATORS.items()}
+
+
+@pytest.fixture(scope="module")
+def warm_engines(stores):
+    """One long-lived engine per dataset whose plan cache fills up."""
+    return {dataset: LBREngine(store)
+            for dataset, store in stores.items()}
+
+
+@pytest.mark.parametrize("dataset,name,query", _CASES,
+                         ids=[f"{d}-{n}" for d, n, _ in _CASES])
+def test_plan_cache_warm_equals_cold(dataset, name, query, stores,
+                                     warm_engines):
+    store = stores[dataset]
+    cold = LBREngine(store).execute(query)
+    engine = warm_engines[dataset]
+    engine.execute(query)  # populate the plan cache
+    warm = engine.execute(query)  # plan-cache hit
+    assert engine.plan_cache_stats()["hits"] >= 1
+    assert warm.variables == cold.variables
+    assert warm.rows == cold.rows, (
+        f"{dataset} {name}: warm plan-cache run diverged from cold")
+
+
+@pytest.mark.parametrize("dataset,name,query", _CASES,
+                         ids=[f"{d}-{n}" for d, n, _ in _CASES])
+def test_prune_ablations_agree(dataset, name, query, stores):
+    store = stores[dataset]
+    pruned = LBREngine(store, enable_prune=True).execute(query)
+    unpruned = LBREngine(store, enable_prune=False).execute(query)
+    raw = LBREngine(store, enable_prune=False,
+                    enable_active_prune=False).execute(query)
+    assert pruned.as_multiset() == unpruned.as_multiset(), (
+        f"{dataset} {name}: Algorithm 3.2 ablation changed results")
+    assert pruned.as_multiset() == raw.as_multiset(), (
+        f"{dataset} {name}: active-pruning ablation changed results")
