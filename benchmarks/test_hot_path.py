@@ -8,6 +8,12 @@ one **cold** execution on a fresh store + engine (every cache empty),
 then ``REPEATS`` warm executions on the same engine, and asserts the
 workload-level improvement the caches must deliver.
 
+Since the plan cache moved to *structural* keys (the hash of the
+canonical logical IR), an alpha-renamed and reformatted variant of a
+template must hit the cache too — every template is additionally
+executed once renamed, and the harness asserts both the hit and the
+row-level agreement with the original.
+
 Machine-readable timings land in ``benchmarks/out/BENCH_hot_path.json``
 so future PRs have a trajectory to compare against.
 """
@@ -22,10 +28,14 @@ import time
 
 import pytest
 
-from repro import BitMatStore, LBREngine
+from repro import BitMatStore, LBREngine, Variable
 from repro.datasets import (DBPEDIA_QUERIES, LUBM_QUERIES, UNIPROT_QUERIES,
                             generate_dbpedia, generate_lubm,
                             generate_uniprot)
+from repro.plan.hashing import variable_order
+from repro.plan.logical import build_logical, rename_logical, to_ast
+from repro.sparql.ast import Query
+from repro.sparql.parser import parse_query
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 OUT_PATH = os.path.join(OUT_DIR, "BENCH_hot_path.json")
@@ -34,6 +44,10 @@ OUT_PATH = os.path.join(OUT_DIR, "BENCH_hot_path.json")
 REPEATS = 10
 #: independent cold trials per template (medians tame scheduler noise)
 TRIALS = 3
+#: the plan-cache hit rate the seed run achieved with text keys: per
+#: template, REPEATS warm hits after one cold miss.  Structural keys
+#: must do no worse.
+SEED_HIT_RATE = REPEATS / (REPEATS + 1)
 
 WORKLOADS = (
     ("LUBM", generate_lubm, LUBM_QUERIES),
@@ -46,12 +60,43 @@ def _geomean(values: list[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def alpha_renamed(query_text: str) -> tuple[str, dict[Variable, Variable]]:
+    """An alpha-renamed, reformatted variant of a template query.
+
+    Every variable gains a ``zz`` suffix and the query is re-serialized
+    from the algebra (different formatting from the template text).
+    Returns the new text and the renamed→original map.
+    """
+    query = parse_query(query_text)
+    logical = build_logical(query)
+    mapping = {var: Variable(f"{var}zz")
+               for var in variable_order(logical)}
+    renamed = rename_logical(logical, mapping)
+    rebuilt = Query(pattern=to_ast(renamed.root), select=renamed.select,
+                    distinct=renamed.distinct, prefixes=query.prefixes,
+                    order_by=renamed.order_by, limit=renamed.limit,
+                    offset=renamed.offset)
+    return rebuilt.to_sparql(), {new: old for old, new in mapping.items()}
+
+
+def _rows_by_source_columns(result, back: dict[Variable, Variable],
+                            variables: tuple) -> list[tuple]:
+    """Project a renamed result back onto the original column order."""
+    source_of = {back.get(var, var): index
+                 for index, var in enumerate(result.variables)}
+    indexes = [source_of[var] for var in variables]
+    return [tuple(row[i] for i in indexes) for row in result.rows]
+
+
 def _run_template(graph, query: str) -> dict:
     """Cold + warm measurements for one template; medians over TRIALS."""
     firsts: list[float] = []
     repeats: list[float] = []
     phases: dict = {}
+    plan_cache: dict = {}
     rows_cold = rows_warm = None
+    renamed_hit = False
+    renamed_text, back = alpha_renamed(query)
     for _ in range(TRIALS):
         store = BitMatStore.build(graph)  # fresh: every cache empty
         engine = LBREngine(store)
@@ -65,23 +110,43 @@ def _run_template(graph, query: str) -> dict:
             times.append(time.perf_counter() - t0)
         repeats.append(statistics.median(times))
         stats = engine.last_stats
-        phases = {"t_init": stats.t_init, "t_prune": stats.t_prune,
-                  "t_join": stats.t_join, "t_total": stats.t_total}
+        phases = {"t_plan": stats.t_plan, "t_init": stats.t_init,
+                  "t_prune": stats.t_prune, "t_join": stats.t_join,
+                  "t_total": stats.t_total}
         # per-phase stats must stay correct on plan-cache hits
-        assert stats.t_init >= 0 and stats.t_prune >= 0
+        assert stats.t_plan >= 0 and stats.t_init >= 0
+        assert stats.t_prune >= 0
         assert stats.t_join >= 0 and stats.t_total > 0
-        assert (stats.t_init + stats.t_prune + stats.t_join
+        assert (stats.t_plan + stats.t_init + stats.t_prune + stats.t_join
                 <= stats.t_total + 1e-9)
         # cache hits must be invisible in the results
         assert cold.variables == warm.variables
         assert cold.rows == warm.rows
         rows_cold, rows_warm = len(cold), len(warm)
+
+        # structural keys: the renamed/reformatted template must HIT
+        # the plan cache and return the same rows (modulo relabeling)
+        cache_before = engine.plan_cache_stats()
+        renamed_result = engine.execute(renamed_text)
+        cache_after = engine.plan_cache_stats()
+        renamed_hit = (
+            cache_after["hits"] == cache_before["hits"] + 1
+            and cache_after["misses"] == cache_before["misses"])
+        assert _rows_by_source_columns(
+            renamed_result, back, warm.variables) == warm.rows
+        plan_cache = {
+            "hits": cache_after["hits"],
+            "misses": cache_after["misses"],
+            "hit_rate": cache_after["hits"] / (cache_after["hits"]
+                                               + cache_after["misses"]),
+        }
     first = statistics.median(firsts)
     repeat = statistics.median(repeats)
     return {"first_ms": first * 1000, "repeat_ms": repeat * 1000,
             "speedup": first / repeat, "rows": rows_cold,
             "phases_warm": {k: v * 1000 for k, v in phases.items()},
-            "rows_warm": rows_warm}
+            "rows_warm": rows_warm, "plan_cache": plan_cache,
+            "renamed_hit": renamed_hit}
 
 
 @pytest.fixture(scope="module")
@@ -95,12 +160,15 @@ def hot_path_report():
     per_template = report["templates"].values()
     total_first = sum(t["first_ms"] for t in per_template)
     total_repeat = sum(t["repeat_ms"] for t in per_template)
+    hits = sum(t["plan_cache"]["hits"] for t in per_template)
+    misses = sum(t["plan_cache"]["misses"] for t in per_template)
     report["workload"] = {
         "total_first_ms": total_first,
         "total_repeat_ms": total_repeat,
         "wall_clock_speedup": total_first / total_repeat,
         "geomean_speedup": _geomean(
             [t["speedup"] for t in report["templates"].values()]),
+        "plan_cache_hit_rate": hits / (hits + misses),
     }
     os.makedirs(OUT_DIR, exist_ok=True)
     with open(OUT_PATH, "w", encoding="utf-8") as handle:
@@ -108,7 +176,9 @@ def hot_path_report():
     print(f"\n[hot-path workload: first={total_first:.1f}ms "
           f"repeat={total_repeat:.1f}ms "
           f"speedup={report['workload']['wall_clock_speedup']:.2f}x "
-          f"geomean={report['workload']['geomean_speedup']:.2f}x]")
+          f"geomean={report['workload']['geomean_speedup']:.2f}x "
+          f"plan-cache hit rate="
+          f"{report['workload']['plan_cache_hit_rate']:.3f}]")
     print(f"[written to {OUT_PATH}]")
     return report
 
@@ -125,10 +195,29 @@ def test_phases_reported(hot_path_report):
     for key, template in hot_path_report["templates"].items():
         phases = template["phases_warm"]
         assert phases["t_total"] > 0, key
-        assert all(phases[k] >= 0 for k in ("t_init", "t_prune", "t_join"))
+        assert all(phases[k] >= 0
+                   for k in ("t_plan", "t_init", "t_prune", "t_join"))
 
 
 def test_cache_hits_do_not_change_results(hot_path_report):
     """Row counts agree between cold and warm executions."""
     for key, template in hot_path_report["templates"].items():
         assert template["rows"] == template["rows_warm"], key
+
+
+def test_plan_cache_hit_rate_at_least_seed(hot_path_report):
+    """Structural keys must not lose hits the text keys delivered.
+
+    Per template the seed run hit REPEATS of REPEATS+1 executions; the
+    structural-key cache additionally absorbs the alpha-renamed
+    variant, so the workload hit rate must be ≥ the seed rate.
+    """
+    workload = hot_path_report["workload"]
+    assert workload["plan_cache_hit_rate"] >= SEED_HIT_RATE, workload
+
+
+def test_renamed_templates_hit_the_plan_cache(hot_path_report):
+    """Every alpha-renamed template must be a plan-cache hit."""
+    missed = [key for key, template in hot_path_report["templates"].items()
+              if not template["renamed_hit"]]
+    assert not missed, missed

@@ -1,10 +1,18 @@
-"""Plan explorer: how LBR analyses each Appendix E query.
+"""Plan explorer: how the compiler pipeline analyses each Appendix E
+query.
 
-For every evaluation query this prints the GoSN structure
-(supernodes, master→slave and peer edges, absolute masters), the GoJ
-cyclicity, the jvar pruning orders of Algorithm 3.1, and whether the
-nullification/best-match safety net is needed — the complete §2–§3
-analysis without executing anything.
+For every evaluation query this prints the three compiler stages:
+
+* the annotated **logical IR** (per-node scope, certain/possible
+  variables) lowered from the parser AST;
+* the **pass trace** — which rewrite passes fired (UNION normal form,
+  equality-filter elimination, filter-scope assignment, wd-analysis)
+  and what they changed — plus the structural plan-cache key;
+* the **physical plan** per UNION-free branch: GoSN structure
+  (supernodes, master→slave and peer edges, absolute masters), GoJ
+  cyclicity, the jvar pruning orders of Algorithm 3.1, the
+  init-vs-FaN filter routing, and whether the nullification/
+  best-match safety net is needed.
 
 Run:  python examples/plan_explorer.py [LUBM|UniProt|DBPedia] [Qn]
 """
@@ -37,16 +45,33 @@ def main() -> None:
             if wanted_query and query_name != wanted_query:
                 continue
             plan = engine.explain(query)
-            branch = plan.branches[0]
-            print(f"\n--- {suite_name} {query_name}: {branch.algebra}")
-            print(f"    cyclic={branch.goj_cyclic} "
-                  f"best-match={branch.best_match_required} "
-                  f"well-designed={branch.well_designed}")
-            print(f"    jvars={branch.jvars}")
-            print(f"    order_bu={branch.order_bu}")
-            print(f"    absolute masters: "
-                  f"{['SN%d' % i for i in branch.absolute_masters]}, "
-                  f"uni={branch.uni_edges}, bi={branch.bi_edges}")
+            print(f"\n--- {suite_name} {query_name} "
+                  f"(plan key {plan.structural_key[:16]}…)")
+            print("  logical IR:")
+            for line in plan.logical_tree.splitlines():
+                print(f"    {line}")
+            print("  pass trace:")
+            for entry in plan.pass_trace:
+                print(f"    {entry}")
+            for index, branch in enumerate(plan.branches, start=1):
+                print(f"  physical plan, branch "
+                      f"{index}/{len(plan.branches)}: {branch.algebra}")
+                print(f"    cyclic={branch.goj_cyclic} "
+                      f"best-match={branch.best_match_required} "
+                      f"well-designed={branch.well_designed}")
+                print(f"    jvars={branch.jvars}")
+                print(f"    order_bu={branch.order_bu}")
+                print(f"    absolute masters: "
+                      f"{['SN%d' % i for i in branch.absolute_masters]}, "
+                      f"uni={branch.uni_edges}, bi={branch.bi_edges}")
+                print(f"    certain vars: {branch.certain_vars}")
+                if branch.init_filters:
+                    print(f"    init filters: {branch.init_filters}")
+                if branch.fan_filters:
+                    print(f"    FaN schedule: {branch.fan_filters}")
+            if plan.spurious_cleanup:
+                print("  minimum-union cleanup required "
+                      "(UNF rewrite rule 3)")
         print()
 
 

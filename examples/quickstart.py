@@ -65,7 +65,8 @@ def main() -> None:
     print(f"  jvar order (bottom-up) : "
           f"{[f'?{v}' for v in stats.jvar_order_bu]}")
     print(f"  best-match required    : {stats.best_match_required}")
-    print(f"  Tinit={stats.t_init * 1000:.2f}ms  "
+    print(f"  Tplan={stats.t_plan * 1000:.2f}ms  "
+          f"Tinit={stats.t_init * 1000:.2f}ms  "
           f"Tprune={stats.t_prune * 1000:.2f}ms  "
           f"Ttotal={stats.t_total * 1000:.2f}ms")
 

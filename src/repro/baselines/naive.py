@@ -11,6 +11,13 @@ joins instead reject rows whose shared *schema* variables are unbound,
 which is the SQL behaviour of relational RDF stores (Virtuoso,
 MonetDB); the two modes differ only for non-well-designed queries.
 
+Queries enter through the shared compiler frontend
+(:func:`repro.plan.compiler.compile_logical`) and evaluation
+*interprets the logical IR* bottom-up — the same IR the LBR engine
+compiles to a physical plan, with no pass pipeline applied: the naive
+evaluator models pure SPARQL semantics, independent of the engine's
+rewrites.
+
 This engine doubles as the paper's MonetDB comparator in the benchmark
 suite: inner joins are reordered by estimated selectivity, but
 left-outer joins are always evaluated bottom-up in the original nesting
@@ -24,12 +31,13 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from ..exceptions import BudgetExceededError
+from ..plan.compiler import compile_logical
+from ..plan.logical import (LBGP, LFilter, LJoin, LLeftJoin, LogicalNode,
+                            LUnion, LUnionAll, from_ast)
 from ..rdf.graph import Graph
 from ..rdf.terms import NULL, Term, Variable, is_variable
-from ..sparql.ast import (BGP, Filter, Join, LeftJoin, Pattern, Query,
-                          TriplePattern, Union)
+from ..sparql.ast import Pattern, Query, TriplePattern
 from ..sparql.expressions import passes
-from ..sparql.parser import parse_query
 from ..core.results import ResultSet, apply_solution_modifiers
 
 Row = dict[Variable, Term]
@@ -63,11 +71,10 @@ class NaiveEngine:
 
     def execute(self, query: Query | str) -> ResultSet:
         started = time.perf_counter()
-        if isinstance(query, str):
-            query = parse_query(query)
+        query, logical = compile_logical(query)
         stats = NaiveStats()
-        rows = self._eval(query.pattern, stats)
-        all_variables = tuple(sorted(query.pattern.variables()))
+        rows = self._eval(logical.root, stats)
+        all_variables = tuple(sorted(logical.root.possible))
         tuples = [tuple(row.get(var, NULL) for var in all_variables)
                   for row in rows]
         result = apply_solution_modifiers(
@@ -76,39 +83,48 @@ class NaiveEngine:
         self.last_stats = stats
         return result
 
-    def eval_pattern(self, pattern: Pattern) -> list[Row]:
-        """Evaluate a bare algebra pattern to solution-mapping rows.
+    def eval_logical(self, node: LogicalNode) -> list[Row]:
+        """Interpret a logical IR node to solution-mapping rows.
 
         The building block the differential fuzz oracle uses to
         evaluate individual UNION-normal-form branches (possibly after
-        the Appendix B rewrite) without solution modifiers.
+        the Appendix B reference rewrite) without solution modifiers.
         """
-        return self._eval(pattern, NaiveStats())
+        return self._eval(node, NaiveStats())
+
+    def eval_pattern(self, pattern: Pattern) -> list[Row]:
+        """Evaluate a bare AST pattern (lowered through the shared IR)."""
+        return self._eval(from_ast(pattern), NaiveStats())
 
     # ------------------------------------------------------------------
-    # evaluation
+    # evaluation (a direct interpreter over the logical IR)
     # ------------------------------------------------------------------
 
-    def _eval(self, node: Pattern, stats: NaiveStats) -> list[Row]:
-        if isinstance(node, BGP):
+    def _eval(self, node: LogicalNode, stats: NaiveStats) -> list[Row]:
+        if isinstance(node, LBGP):
             rows = self._eval_bgp(node, stats)
-        elif isinstance(node, Join):
+        elif isinstance(node, LJoin):
             rows = self._join(self._eval(node.left, stats),
                               self._eval(node.right, stats),
-                              node.left.variables(), node.right.variables())
-        elif isinstance(node, LeftJoin):
+                              set(node.left.possible),
+                              set(node.right.possible))
+        elif isinstance(node, LLeftJoin):
             rows = self._left_join(self._eval(node.left, stats),
                                    self._eval(node.right, stats),
-                                   node.left.variables(),
-                                   node.right.variables())
-        elif isinstance(node, Union):
+                                   set(node.left.possible),
+                                   set(node.right.possible))
+        elif isinstance(node, LUnion):
             rows = (self._eval(node.left, stats)
                     + self._eval(node.right, stats))
-        elif isinstance(node, Filter):
-            rows = [row for row in self._eval(node.pattern, stats)
+        elif isinstance(node, LUnionAll):
+            rows = []
+            for branch in node.branches:
+                rows.extend(self._eval(branch, stats))
+        elif isinstance(node, LFilter):
+            rows = [row for row in self._eval(node.child, stats)
                     if passes(node.expr, row)]
         else:
-            raise TypeError(f"unknown pattern node {node!r}")
+            raise TypeError(f"unknown logical node {node!r}")
         stats.intermediate_rows += len(rows)
         if (self.max_intermediate_rows is not None
                 and stats.intermediate_rows > self.max_intermediate_rows):
@@ -117,7 +133,7 @@ class NaiveEngine:
                 f"{self.max_intermediate_rows:,} intermediate rows")
         return rows
 
-    def _eval_bgp(self, bgp: BGP, stats: NaiveStats) -> list[Row]:
+    def _eval_bgp(self, bgp: LBGP, stats: NaiveStats) -> list[Row]:
         rows: list[Row] = [{}]
         remaining = list(bgp.patterns)
         bound: set[Variable] = set()

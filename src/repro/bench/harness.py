@@ -29,6 +29,7 @@ class QueryReport:
 
     dataset: str
     query: str
+    t_plan: float = 0.0
     t_init: float = 0.0
     t_prune: float = 0.0
     t_lbr: float = 0.0
@@ -104,6 +105,7 @@ class BenchmarkHarness:
 
         report.t_lbr = _timed(lambda: self.lbr.execute(query), self.runs)
         stats = self.lbr.last_stats
+        report.t_plan = stats.t_plan
         report.t_init = stats.t_init
         report.t_prune = stats.t_prune
         report.initial_triples = stats.initial_triples

@@ -215,7 +215,8 @@ def _query(args) -> int:
 
     if args.stats and args.engine == "lbr":
         stats = engine.last_stats
-        print(f"Tinit={stats.t_init:.4f}s Tprune={stats.t_prune:.4f}s "
+        print(f"Tplan={stats.t_plan:.4f}s Tinit={stats.t_init:.4f}s "
+              f"Tprune={stats.t_prune:.4f}s "
               f"Ttotal={stats.t_total:.4f}s", file=sys.stderr)
         print(f"initial={stats.initial_triples:,} "
               f"pruned-to={stats.triples_after_pruning:,} "

@@ -1,11 +1,25 @@
 """The LBR query processor — Algorithm 5.1 end to end.
 
-Pipeline per UNION-free branch:
+Compilation runs through the staged pipeline in :mod:`repro.plan`:
 
-1. build GoSN (§2) and GoJ (§3.1), validate the supported fragment;
-2. transform the GoSN when the branch is non-well-designed (Appendix B);
-3. rank selectivities from index metadata, compute the jvar orders
-   (Alg 3.1), and decide whether nullification/best-match are needed;
+1. **frontend** — parse and lower to the annotated logical IR, then
+   canonicalize variable names and compute the structural hash
+   (:mod:`repro.plan.hashing`);
+2. **passes** — the rewrite-pass manager (:mod:`repro.plan.passes`):
+   equality-filter elimination, UNION normal form (§5.2), filter-scope
+   assignment, well-designedness analysis + the Appendix B transform;
+3. **physical planning** — per UNION-free branch, GoSN (§2) and GoJ
+   (§3.1), selectivity ranking, the Algorithm 3.1 jvar orders, the
+   init-vs-FaN filter routing, and the nullification/best-match
+   decision (:mod:`repro.plan.physical`).
+
+Physical plans are cached keyed on the structural hash of the logical
+IR, so alpha-equivalent queries — renamed variables, reformatted text
+— share one compiled plan; constants, operators, and solution
+modifiers are all part of the key.
+
+Execution per branch is the paper's runtime half:
+
 4. ``init()``: load one BitMat per TP with *active pruning*, abandoning
    early when an absolute master TP is empty (the §5 "simple
    optimization");
@@ -14,8 +28,7 @@ Pipeline per UNION-free branch:
    (Alg 5.4) with FaN filters;
 7. best-match when the branch required nullification.
 
-UNION and FILTER are handled by rewriting to UNION normal form first
-(§5.2); branch results are bag-unioned, with minimum-union cleanup when
+Branch results are bag-unioned, with minimum-union cleanup when UNF
 rewrite rule 3 may have introduced spurious rows.
 """
 
@@ -26,34 +39,31 @@ from dataclasses import dataclass, field
 
 from ..bitmat.bitvec import BitVector
 from ..bitmat.store import BitMatStore
-from ..exceptions import UnsupportedQueryError
 from ..lru import LRUCache
-from ..rdf.terms import NULL, Variable, is_variable
-from ..sparql.ast import (BGP, Filter, Join, LeftJoin, Pattern, Query,
-                          TriplePattern, Union)
-from ..sparql.expressions import expression_variables, passes
-from ..sparql.parser import parse_query
-from ..sparql.rewrite import eliminate_equality_filters, to_union_normal_form
-from ..sparql.wd import find_violations
-from .goj import GoJ, GoT, join_variables
-from .gosn import GoSN
-from .jvar_order import decide_best_match_required, get_jvar_order
-from .multiway import FanFilter, MultiWayJoin
+from ..plan.compiler import FrontendResult, compile_frontend, run_pipeline
+from ..plan.passes import PassManager
+from ..plan.physical import BranchPhysicalPlan, PhysicalPlan, build_physical
+from ..rdf.terms import NULL, Variable
+from ..sparql.ast import Query
+from ..sparql.expressions import passes
+from .multiway import MultiWayJoin
 from .nullification import GroupPlan, minimum_union
 from .prune import active_prune, prune_triples
 from .results import (ResultSet, apply_solution_modifiers, decode_binding,
                       decode_rows)
-from .selectivity import SelectivityRanker
 from .tp import TPState
 
-#: Bound on the per-engine compiled plan cache.
+#: Bound on the per-engine compiled (physical) plan cache.
 PLAN_CACHE_SIZE = 128
+#: Bound on the per-engine parse/canonicalize memo (text-keyed).
+FRONTEND_CACHE_SIZE = 256
 
 
 @dataclass
 class QueryStats:
     """The §6.1 evaluation metrics for one query execution."""
 
+    t_plan: float = 0.0
     t_init: float = 0.0
     t_prune: float = 0.0
     t_join: float = 0.0
@@ -68,50 +78,6 @@ class QueryStats:
     nwd_transformed: bool = False
     jvar_order_bu: list = field(default_factory=list)
     jvar_order_td: list = field(default_factory=list)
-
-
-@dataclass
-class _ScopedFilter:
-    expr: object
-    tp_start: int
-    tp_end: int
-
-
-@dataclass
-class _BranchPlan:
-    """Binding-independent analysis of one UNION-free branch.
-
-    Everything here is a pure function of the branch algebra (constants
-    included) and the immutable store metadata, so a repeated query
-    template reuses it wholesale; only init/prune/join — the parts that
-    touch actual triples — run per execution.
-    """
-
-    patterns: list[TriplePattern]
-    gosn: GoSN
-    scoped_filters: list[_ScopedFilter]
-    ranker: SelectivityRanker
-    order_bu: list[Variable]
-    order_td: list[Variable]
-    row_first: dict[Variable, int]
-    nul_required: bool
-    nwd_transformed: bool
-    initial_triples: int
-    #: variables bound by an absolute-master peer group TP — never
-    #: NULL in any emitted row (decides init-vs-FaN filter routing)
-    certain_vars: set[Variable] = field(default_factory=set)
-
-
-@dataclass
-class _QueryPlan:
-    """The cached compilation of a whole query."""
-
-    query: Query
-    renames: dict[Variable, Variable]
-    branches: list[Pattern]
-    spurious_possible: bool
-    all_variables: tuple[Variable, ...]
-    branch_plans: list[_BranchPlan]
 
 
 class LBREngine:
@@ -137,13 +103,19 @@ class LBREngine:
         #: (used by the fuzz harness; None means unlimited)
         self.max_join_rows = max_join_rows
         self.last_stats = QueryStats()
-        # Compiled query plans keyed on the normalized algebra text.
-        # GoSN, GoJ, jvar orders, and the visit plan never depend on
-        # binding values, so a repeated query template pays only
-        # init + prune + join.  Constants are part of the key: two
-        # queries differing only in a constant never share a plan.
-        self._plan_cache: LRUCache[str, _QueryPlan] = (
+        self._pass_manager = PassManager()
+        # Compiled physical plans keyed on the structural hash of the
+        # canonicalized logical IR.  GoSN, GoJ, jvar orders, and the
+        # filter routing never depend on binding values, so a repeated
+        # query template — even alpha-renamed or reformatted — pays
+        # only init + prune + join.  Constants are part of the key:
+        # two queries differing only in a constant never share a plan.
+        self._plan_cache: LRUCache[str, PhysicalPlan] = (
             LRUCache(plan_cache_size))
+        # Text-keyed parse/canonicalize memo in front of the plan
+        # cache (exact-text repeats skip the parser as well).
+        self._frontend_cache: LRUCache[str, FrontendResult] = (
+            LRUCache(max(plan_cache_size, FRONTEND_CACHE_SIZE)))
 
     # ------------------------------------------------------------------
     # public API
@@ -157,13 +129,16 @@ class LBREngine:
     def execute(self, query: Query | str) -> ResultSet:
         """Run a SELECT query; per-query metrics land in ``last_stats``."""
         started = time.perf_counter()
-        plan = self._plan_query(query)
-        query = plan.query
+        frontend, plan = self._plan_query(query)
+        t_plan = time.perf_counter() - started
 
-        stats = QueryStats(branches=len(plan.branches))
-        all_variables = plan.all_variables
+        stats = QueryStats(branches=len(plan.branches), t_plan=t_plan)
+        all_variables = plan.all_variables  # canonical space
+        #: canonical → source variable names (stats and result columns
+        #: must never leak the internal canonical names)
+        back = frontend.canonical.from_canonical
         combined: list[tuple] = []
-        for branch_plan in plan.branch_plans:
+        for branch_plan in plan.branches:
             rows, branch_vars, branch_stats = (
                 self._execute_branch(branch_plan))
             stats.t_init += branch_stats.t_init
@@ -175,8 +150,10 @@ class LBREngine:
             stats.aborted_empty |= branch_stats.aborted_empty
             stats.nwd_transformed |= branch_stats.nwd_transformed
             if not stats.jvar_order_bu:
-                stats.jvar_order_bu = branch_stats.jvar_order_bu
-                stats.jvar_order_td = branch_stats.jvar_order_td
+                stats.jvar_order_bu = [back.get(v, v)
+                                       for v in branch_stats.jvar_order_bu]
+                stats.jvar_order_td = [back.get(v, v)
+                                       for v in branch_stats.jvar_order_td]
             combined.extend(_align_rows(rows, branch_vars, all_variables))
         if plan.spurious_possible:
             combined = minimum_union(combined)
@@ -194,8 +171,12 @@ class LBREngine:
                 for row in combined]
             all_variables = restored
 
+        # translate the canonical column names back to the source
+        # names — a pure relabeling: rows are positional
+        source_variables = tuple(back.get(var, var)
+                                 for var in all_variables)
         result = apply_solution_modifiers(
-            ResultSet(all_variables, combined), query)
+            ResultSet(source_variables, combined), frontend.query)
 
         stats.num_results = len(result)
         stats.results_with_nulls = result.rows_with_nulls()
@@ -207,91 +188,47 @@ class LBREngine:
         """Hit/miss/eviction counters of the compiled plan cache."""
         return self._plan_cache.stats()
 
+    def frontend_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the parse/canonicalize memo."""
+        return self._frontend_cache.stats()
+
     # ------------------------------------------------------------------
     # query planning (binding-independent, cached)
     # ------------------------------------------------------------------
 
-    def _plan_query(self, query: Query | str) -> _QueryPlan:
+    def _plan_query(self, query: Query | str,
+                    ) -> tuple[FrontendResult, PhysicalPlan]:
         """Compile *query*, serving repeats from the plan cache.
 
-        The cache key is the query text — for parsed queries, the
-        canonical re-serialization — so it covers every constant; the
-        cache is bounded LRU and planning failures are never cached.
+        Two caches stack: a text-keyed frontend memo (parse + lower +
+        canonicalize; for parsed queries, keyed on the canonical
+        re-serialization) and the physical-plan cache keyed on the
+        structural hash of the canonical logical IR.  A renamed or
+        reformatted template misses the text memo but *hits* the plan
+        cache; planning failures are never cached.
         """
-        key = query if isinstance(query, str) else query.to_sparql()
-        cached = self._plan_cache.get(key)
-        if cached is not None:
-            return cached
-        if isinstance(query, str):
-            query = parse_query(query)
-        renames: dict[Variable, Variable] = {}
-        pattern = eliminate_equality_filters(query.pattern, renames)
-        normal_form = to_union_normal_form(pattern)
-        plan = _QueryPlan(
-            query=query,
-            renames=renames,
-            branches=list(normal_form.branches),
-            spurious_possible=normal_form.spurious_possible,
-            all_variables=tuple(sorted(pattern.variables())),
-            branch_plans=[self._plan_branch(branch)
-                          for branch in normal_form.branches])
-        self._plan_cache.put(key, plan)
-        return plan
-
-    def _plan_branch(self, branch: Pattern) -> _BranchPlan:
-        """Steps 1–3 of Alg 5.1: all binding-independent analysis."""
-        gosn = GoSN.from_pattern(branch)
-        patterns = gosn.patterns
-        scoped_filters = _collect_filters(branch)
-        _validate_supported(patterns, scoped_filters)
-
-        if not patterns:
-            return _BranchPlan(patterns=[], gosn=gosn,
-                               scoped_filters=scoped_filters,
-                               ranker=SelectivityRanker([], []),
-                               order_bu=[], order_td=[], row_first={},
-                               nul_required=False, nwd_transformed=False,
-                               initial_triples=0)
-
-        nwd_transformed = False
-        violations = find_violations(branch)
-        if violations:
-            gosn = _transform_nwd(gosn, branch, violations)
-            nwd_transformed = True
-
-        got = GoT.build(patterns)
-        if not _connected_ignoring_ground(got, patterns):
-            raise UnsupportedQueryError(
-                "query contains a Cartesian product between triple "
-                "patterns; LBR does not evaluate Cartesian products")
-
-        goj = GoJ.build(patterns)
-        metadata_counts = [self._metadata_count(tp) for tp in patterns]
-        ranker = SelectivityRanker(patterns, metadata_counts)
-        order_bu, order_td = get_jvar_order(gosn, goj, ranker)
-        nul_required = (decide_best_match_required(gosn, goj)
-                        or _has_disconnected_slave_group(gosn))
-        if not self.enable_prune:
-            # without minimality guarantees, reordered evaluation needs
-            # the nullification/best-match safety net whenever the query
-            # has OPTIONALs at all
-            nul_required = nul_required or bool(gosn.uni_edges)
-        row_first: dict[Variable, int] = {}
-        for rank, var in enumerate(order_bu):
-            row_first.setdefault(var, rank)
-        return _BranchPlan(patterns=patterns, gosn=gosn,
-                           scoped_filters=scoped_filters, ranker=ranker,
-                           order_bu=list(order_bu), order_td=list(order_td),
-                           row_first=row_first, nul_required=nul_required,
-                           nwd_transformed=nwd_transformed,
-                           initial_triples=sum(metadata_counts),
-                           certain_vars=_certain_variables(gosn))
+        text = query if isinstance(query, str) else query.to_sparql()
+        frontend = self._frontend_cache.get(text)
+        if frontend is None:
+            frontend = compile_frontend(
+                query if isinstance(query, Query) else text)
+            self._frontend_cache.put(text, frontend)
+        key = frontend.canonical.key
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            compiled = run_pipeline(frontend.canonical.logical,
+                                    self._pass_manager)
+            plan = build_physical(compiled, self.store,
+                                  enable_prune=self.enable_prune,
+                                  structural_key=key)
+            self._plan_cache.put(key, plan)
+        return frontend, plan
 
     # ------------------------------------------------------------------
     # one UNION-free branch (Alg 5.1)
     # ------------------------------------------------------------------
 
-    def _execute_branch(self, plan: _BranchPlan,
+    def _execute_branch(self, plan: BranchPhysicalPlan,
                         ) -> tuple[list[tuple], tuple[Variable, ...],
                                    QueryStats]:
         stats = QueryStats()
@@ -312,8 +249,8 @@ class LBREngine:
         states: list[TPState] = []
         for index, tp in enumerate(patterns):
             state = TPState.load(index, tp, self.store, plan.row_first)
-            self._apply_init_filters(state, index, plan.scoped_filters,
-                                     plan.certain_vars)
+            for init_filter in plan.init_filters.get(index, ()):
+                self._apply_init_filter(state, init_filter)
             if self.enable_active_prune:
                 active_prune(state, states, gosn, self.store.num_shared)
             states.append(state)
@@ -349,11 +286,9 @@ class LBREngine:
         t0 = time.perf_counter()
         sorted_states = _sort_states(states, gosn, plan.ranker)
         group_plan = GroupPlan(gosn, sorted_states)
-        fan_filters = self._fan_filters(plan.scoped_filters, gosn,
-                                        group_plan, plan.certain_vars)
         encoded: list[tuple] = []
         join = MultiWayJoin(sorted_states, gosn, group_plan, nul_required,
-                            fan_filters, self.store.dictionary,
+                            list(plan.fan_filters), self.store.dictionary,
                             encoded.append,
                             max_output_rows=self.max_join_rows)
         join.run()
@@ -391,65 +326,21 @@ class LBREngine:
     # helpers
     # ------------------------------------------------------------------
 
-    def _metadata_count(self, tp: TriplePattern) -> int:
-        sid = (None if is_variable(tp.s)
-               else self.store.encode_term(tp.s, "s"))
-        pid = (None if is_variable(tp.p)
-               else self.store.encode_term(tp.p, "p"))
-        oid = (None if is_variable(tp.o)
-               else self.store.encode_term(tp.o, "o"))
-        if ((not is_variable(tp.s) and sid is None)
-                or (not is_variable(tp.p) and pid is None)
-                or (not is_variable(tp.o) and oid is None)):
-            return 0
-        return self.store.count_matching(sid, pid, oid)
+    def _apply_init_filter(self, state: TPState, init_filter) -> None:
+        """Apply one single-certain-variable filter while loading (§5.2).
 
-    def _apply_init_filters(self, state: TPState, index: int,
-                            scoped_filters: list[_ScopedFilter],
-                            certain_vars: set[Variable]) -> None:
-        """Apply single-variable filters over certain variables while
-        loading (§5.2).
-
-        Filters over a *nullable* variable must not touch init: they
-        evaluate at result generation (FaN), possibly against NULL.
-        Pre-filtering the variable's candidates here would turn
-        "filter drops the row" into "the OPTIONAL block fails", i.e.
-        fabricate a NULL-extended row the filter then judges instead
-        of the real binding.
+        The routing decision — which filters are safe at init and which
+        must wait for FaN — was made by the physical planner
+        (:func:`repro.plan.physical._route_filters`).
         """
-        for scoped in scoped_filters:
-            if not scoped.tp_start <= index < scoped.tp_end:
-                continue
-            expr_vars = expression_variables(scoped.expr)
-            if len(expr_vars) != 1:
-                continue
-            (var,) = expr_vars
-            if var not in certain_vars:
-                continue
-            if var not in state.variables():
-                continue
-            fold = state.fold(var)
-            space = state.space_of(var)
-            passing = [position for position in fold.iter_positions()
-                       if passes(scoped.expr, {var: decode_binding(
-                           (space, position), self.store.dictionary)})]
-            state.unfold(var, BitVector.from_positions(fold.size, passing))
-
-    def _fan_filters(self, scoped_filters: list[_ScopedFilter], gosn: GoSN,
-                     plan: GroupPlan,
-                     certain_vars: set[Variable]) -> list[FanFilter]:
-        fans: list[FanFilter] = []
-        for scoped in scoped_filters:
-            expr_vars = expression_variables(scoped.expr)
-            if len(expr_vars) == 1 and expr_vars <= certain_vars:
-                continue  # fully applied at init: never NULL in a row
-            # zero-variable (constant) filters go through FaN too: a
-            # constant-false filter must drop/nullify its scope
-            groups = frozenset(
-                plan.group_of_sn[gosn.sn_of_tp[i]]
-                for i in range(scoped.tp_start, scoped.tp_end))
-            fans.append(FanFilter(scoped.expr, groups))
-        return fans
+        var = init_filter.var
+        expr = init_filter.expr
+        fold = state.fold(var)
+        space = state.space_of(var)
+        passing = [position for position in fold.iter_positions()
+                   if passes(expr, {var: decode_binding(
+                       (space, position), self.store.dictionary)})]
+        state.unfold(var, BitVector.from_positions(fold.size, passing))
 
 
 # ----------------------------------------------------------------------
@@ -467,82 +358,8 @@ def _align_rows(rows: list[tuple], branch_vars: tuple[Variable, ...],
             for row in rows]
 
 
-def _collect_filters(branch: Pattern) -> list[_ScopedFilter]:
-    """Filters with their TP index ranges (GoSN numbering order)."""
-    filters: list[_ScopedFilter] = []
-    counter = [0]
-
-    def walk(node: Pattern) -> None:
-        if isinstance(node, Filter):
-            start = counter[0]
-            walk(node.pattern)
-            filters.append(_ScopedFilter(node.expr, start, counter[0]))
-        elif isinstance(node, BGP):
-            counter[0] += len(node.patterns)
-        elif isinstance(node, (Join, LeftJoin)):
-            walk(node.left)
-            walk(node.right)
-        elif isinstance(node, Union):  # pragma: no cover - UNF input
-            raise UnsupportedQueryError("UNION inside a UNF branch")
-
-    walk(branch)
-    return filters
-
-
-def _node_tp_ranges(branch: Pattern) -> dict[int, tuple[int, int]]:
-    """TP index range of every pattern node, keyed by ``id(node)``."""
-    ranges: dict[int, tuple[int, int]] = {}
-    counter = [0]
-
-    def walk(node: Pattern) -> None:
-        start = counter[0]
-        if isinstance(node, BGP):
-            counter[0] += len(node.patterns)
-        elif isinstance(node, Filter):
-            walk(node.pattern)
-        elif isinstance(node, (Join, LeftJoin, Union)):
-            walk(node.left)
-            walk(node.right)
-        ranges[id(node)] = (start, counter[0])
-
-    walk(branch)
-    return ranges
-
-
-def _validate_supported(patterns: list[TriplePattern],
-                        scoped_filters: list[_ScopedFilter]) -> None:
-    jvars = join_variables(patterns)
-    spaces: dict[Variable, set[str]] = {}
-    for tp in patterns:
-        if (is_variable(tp.s) and is_variable(tp.p) and is_variable(tp.o)):
-            raise UnsupportedQueryError(
-                f"all-variable triple pattern not supported: {tp}")
-        for position, term in zip("spo", tp):
-            if is_variable(term) and term in jvars:
-                spaces.setdefault(term, set()).add(position)
-    for var, used in spaces.items():
-        if "p" in used and used != {"p"}:
-            raise UnsupportedQueryError(
-                f"join variable ?{var} mixes the predicate position with "
-                f"S/O positions; the paper's index supports S-S, S-O and "
-                f"O-O joins only")
-    # safe-filter validation (§5.2)
-    by_range: dict[tuple[int, int], set[Variable]] = {}
-    for scoped in scoped_filters:
-        scope_vars = by_range.get((scoped.tp_start, scoped.tp_end))
-        if scope_vars is None:
-            scope_vars = set()
-            for tp in patterns[scoped.tp_start:scoped.tp_end]:
-                scope_vars |= tp.variables()
-            by_range[(scoped.tp_start, scoped.tp_end)] = scope_vars
-        if not expression_variables(scoped.expr) <= scope_vars:
-            raise UnsupportedQueryError(
-                "unsafe FILTER: its variables are not all bound by the "
-                "filtered pattern (§5.2 assumes safe filters)")
-
-
 def _fail_groups_with_absent_ground(states: list[TPState],
-                                    gosn: GoSN) -> None:
+                                    gosn) -> None:
     """Empty every TP of a slave group containing an absent ground TP.
 
     A fully ground triple pattern that is not in the data makes its
@@ -566,122 +383,8 @@ def _fail_groups_with_absent_ground(states: list[TPState],
                 break
 
 
-def _certain_variables(gosn: GoSN) -> set[Variable]:
-    """Variables bound by a TP of an absolute-master peer group.
-
-    Those groups are never nullified and never NULL-extended, so their
-    variables are bound in every emitted row — the condition under
-    which a single-variable filter may be applied at init instead of
-    per-row at FaN time.
-    """
-    absolute = gosn.absolute_masters()
-    certain: set[Variable] = set()
-    for index, tp in enumerate(gosn.patterns):
-        if gosn.peers_of(gosn.sn_of_tp[index]) & absolute:
-            certain |= tp.variables()
-    return certain
-
-
-def _has_disconnected_slave_group(gosn: GoSN) -> bool:
-    """A slave peer group whose TPs do not form one variable-sharing
-    component.
-
-    Such a group's TPs touch each other only through their masters'
-    bindings, so pruning cannot enforce the all-or-nothing OPTIONAL
-    semantics (Lemma 3.3 relies on GoJ edges *within* the group): one
-    TP can fail for a master row while the others matched, and only
-    nullification turns that partial match into a failed block.
-    """
-    absolute = gosn.absolute_masters()
-    for group in gosn.peer_groups():
-        if group & absolute:
-            continue
-        with_vars = [
-            index
-            for sn in group for index in gosn.supernodes[sn].tp_indexes
-            if gosn.patterns[index].variables()]
-        if len(with_vars) <= 1:
-            continue
-        vars_of = {index: gosn.patterns[index].variables()
-                   for index in with_vars}
-        seen = {with_vars[0]}
-        frontier = [with_vars[0]]
-        while frontier:
-            node = frontier.pop()
-            for other in with_vars:
-                if other not in seen and vars_of[node] & vars_of[other]:
-                    seen.add(other)
-                    frontier.append(other)
-        if len(seen) < len(with_vars):
-            return True
-    return False
-
-
-def _connected_ignoring_ground(got: GoT,
-                               patterns: list[TriplePattern]) -> bool:
-    """GoT connectivity over TPs that have variables."""
-    with_vars = [i for i, tp in enumerate(patterns) if tp.variables()]
-    if len(with_vars) <= 1:
-        return True
-    seen = {with_vars[0]}
-    frontier = [with_vars[0]]
-    while frontier:
-        node = frontier.pop()
-        for neighbor in got.adjacency.get(node, ()):
-            if neighbor not in seen:
-                seen.add(neighbor)
-                frontier.append(neighbor)
-    return seen >= set(with_vars)
-
-
-def _transform_nwd(gosn: GoSN, branch: Pattern, violations) -> GoSN:
-    """Appendix B: convert uni edges to bi along violation paths.
-
-    For every violating sub-pattern ``Pk ⟕ Pl`` and variable ``?j``, a
-    violation pair is formed between each supernode of ``Pl``
-    containing ``?j`` and each supernode *outside* the sub-pattern
-    containing ``?j``; all unidirectional edges on the unique undirected
-    paths between the pairs become bidirectional.
-    """
-    ranges = _node_tp_ranges(branch)
-    total = len(gosn.patterns)
-    converted: set[tuple[int, int]] = set()
-    for violation in violations:
-        subtree_range = ranges.get(id(violation.left_join))
-        slave_range = ranges.get(id(violation.left_join.right))
-        if subtree_range is None or slave_range is None:
-            continue
-        slave_sns = _sns_with_variable(gosn, slave_range,
-                                       violation.variable)
-        inside = set(range(*subtree_range))
-        outside_sns = {
-            gosn.sn_of_tp[index] for index in range(total)
-            if index not in inside
-            and violation.variable in gosn.patterns[index].variables()}
-        for sn_a in slave_sns:
-            for sn_b in outside_sns:
-                path = gosn.undirected_path(sn_a, sn_b)
-                for left, right in zip(path, path[1:]):
-                    if (left, right) in gosn.uni_edges:
-                        converted.add((left, right))
-                    if (right, left) in gosn.uni_edges:
-                        converted.add((right, left))
-    if not converted:
-        return gosn
-    return gosn.with_bidirectional(converted)
-
-
-def _sns_with_variable(gosn: GoSN, tp_range: tuple[int, int],
-                       variable: Variable) -> set[int]:
-    found: set[int] = set()
-    for index in range(*tp_range):
-        if variable in gosn.patterns[index].variables():
-            found.add(gosn.sn_of_tp[index])
-    return found
-
-
-def _sort_states(states: list[TPState], gosn: GoSN,
-                 ranker: SelectivityRanker) -> list[TPState]:
+def _sort_states(states: list[TPState], gosn,
+                 ranker) -> list[TPState]:
     """The stps order of §5.1.
 
     Absolute-master TPs first in ascending post-prune count, then the

@@ -1,24 +1,36 @@
 """Query plan explanation: what LBR decided, without executing.
 
-``explain(engine, query)`` performs the analysis half of Algorithm 5.1
-— UNF rewrite, GoSN, GoJ, well-designedness, the jvar orders, the
-best-match decision, metadata counts — and renders a human-readable
-plan, one section per UNION-free branch.
+``explain(store, query)`` runs the *actual* compiler pipeline — the
+logical IR lowering, the rewrite-pass manager, and the physical
+planner from :mod:`repro.plan` — and renders the result human-readably:
+
+* the annotated logical IR (scopes, certain/possible variables);
+* the pass trace (which passes fired and what they changed);
+* per UNION-free branch, the physical plan: GoSN structure, GoJ
+  cyclicity, jvar orders, filter routing (init vs FaN), and the
+  best-match decision.
+
+The pipeline runs in **canonical** variable space, exactly like engine
+execution — planner tie-breaks over variable names therefore match the
+executed plan bit for bit — and every rendered name is mapped back to
+the query's source variables, so the output reads like the query text.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
-from ..rdf.terms import is_variable
-from ..sparql.ast import Pattern, Query, serialize_algebra
-from ..sparql.parser import parse_query
-from ..sparql.rewrite import eliminate_equality_filters, to_union_normal_form
-from ..sparql.wd import find_violations
-from .goj import GoJ
-from .gosn import GoSN
-from .jvar_order import decide_best_match_required, get_jvar_order
-from .selectivity import SelectivityRanker
+from ..plan.compiler import compile_frontend, run_pipeline
+from ..plan.logical import (rename_expression, render_logical,
+                            rename_logical, to_ast)
+from ..plan.physical import BranchPhysicalPlan, build_physical
+from ..rdf.terms import Variable, is_variable
+from ..sparql.ast import Query, TriplePattern, serialize_algebra
+from ..sparql.expressions import expression_sparql
+
+#: canonical variable names as they appear in rendered text
+_CANONICAL_RE = re.compile(r"\?(_c\d{3})")
 
 
 @dataclass
@@ -37,6 +49,14 @@ class BranchPlan:
     order_td: list[str]
     best_match_required: bool
     tp_counts: list[int] = field(default_factory=list)
+    #: variables never NULL in any emitted row (drives filter routing)
+    certain_vars: list[str] = field(default_factory=list)
+    #: init-time filter applications, rendered as ``expr @ TPn``
+    init_filters: list[str] = field(default_factory=list)
+    #: FaN schedule entries, rendered as ``expr @ groups {…}``
+    fan_filters: list[str] = field(default_factory=list)
+    #: Appendix B uni→bi conversions applied to this branch's GoSN
+    converted_edges: list[tuple[int, int]] = field(default_factory=list)
 
 
 @dataclass
@@ -45,9 +65,24 @@ class QueryPlan:
 
     branches: list[BranchPlan]
     spurious_cleanup: bool
+    #: structural hash of the canonical logical IR (plan-cache key)
+    structural_key: str = ""
+    #: the annotated logical IR, rendered
+    logical_tree: str = ""
+    #: one line per compiler pass: name, fired?, detail
+    pass_trace: list[str] = field(default_factory=list)
 
     def __str__(self) -> str:
         lines: list[str] = []
+        if self.structural_key:
+            lines.append(f"plan cache key: {self.structural_key[:16]}…")
+        if self.logical_tree:
+            lines.append("logical IR:")
+            lines.extend(f"  {line}"
+                         for line in self.logical_tree.splitlines())
+        if self.pass_trace:
+            lines.append("pass trace:")
+            lines.extend(f"  {entry}" for entry in self.pass_trace)
         for index, branch in enumerate(self.branches, start=1):
             lines.append(f"branch {index}/{len(self.branches)}: "
                          f"{branch.algebra}")
@@ -59,6 +94,9 @@ class QueryPlan:
                          f"{sorted(branch.uni_edges)}")
             lines.append(f"  bi edges (peers)        : "
                          f"{sorted(branch.bi_edges)}")
+            if branch.converted_edges:
+                lines.append(f"  Appendix B uni->bi      : "
+                             f"{sorted(branch.converted_edges)}")
             lines.append(f"  well-designed: {branch.well_designed}   "
                          f"GoJ cyclic: {branch.goj_cyclic}   "
                          f"best-match required: "
@@ -67,6 +105,15 @@ class QueryPlan:
             lines.append(f"  order_bu: {branch.order_bu}")
             lines.append(f"  order_td: {branch.order_td}")
             lines.append(f"  TP metadata counts: {branch.tp_counts}")
+            lines.append(f"  certain vars: {branch.certain_vars}")
+            if branch.init_filters:
+                lines.append("  init filters:")
+                lines.extend(f"    {entry}"
+                             for entry in branch.init_filters)
+            if branch.fan_filters:
+                lines.append("  FaN filter schedule:")
+                lines.extend(f"    {entry}"
+                             for entry in branch.fan_filters)
         if self.spurious_cleanup:
             lines.append("minimum-union cleanup after UNION rewrite "
                          "rule 3")
@@ -74,54 +121,78 @@ class QueryPlan:
 
 
 def explain(store, query: Query | str) -> QueryPlan:
-    """Build the plan LBR would execute for *query* over *store*."""
-    if isinstance(query, str):
-        query = parse_query(query)
-    pattern = eliminate_equality_filters(query.pattern)
-    normal_form = to_union_normal_form(pattern)
-    branches = [_explain_branch(store, branch)
-                for branch in normal_form.branches]
-    return QueryPlan(branches=branches,
-                     spurious_cleanup=normal_form.spurious_possible)
+    """Build the plan LBR would execute for *query* over *store*.
+
+    Compiles through the same canonical-space pipeline as
+    :meth:`LBREngine.execute` (so the reported plan is exactly the one
+    a cache hit would reuse), then maps every variable name back to
+    the source query's spelling for rendering.
+    """
+    frontend = compile_frontend(query)
+    key = frontend.canonical.key
+    result = run_pipeline(frontend.canonical.logical)
+    plan = build_physical(result, store, enable_prune=True,
+                          structural_key=key)
+    back = frontend.canonical.from_canonical
+
+    def unmap(text: str) -> str:
+        return _CANONICAL_RE.sub(
+            lambda match: f"?{back.get(match.group(1), match.group(1))}",
+            text)
+
+    return QueryPlan(
+        branches=[_render_branch(branch, back)
+                  for branch in plan.branches],
+        spurious_cleanup=plan.spurious_possible,
+        structural_key=key,
+        logical_tree=render_logical(rename_logical(result.logical, back)),
+        pass_trace=[unmap(str(record)) for record in plan.trace])
 
 
-def _metadata_count(store, tp) -> int:
-    sid = None if is_variable(tp.s) else store.encode_term(tp.s, "s")
-    pid = None if is_variable(tp.p) else store.encode_term(tp.p, "p")
-    oid = None if is_variable(tp.o) else store.encode_term(tp.o, "o")
-    if ((not is_variable(tp.s) and sid is None)
-            or (not is_variable(tp.p) and pid is None)
-            or (not is_variable(tp.o) and oid is None)):
-        return 0
-    return store.count_matching(sid, pid, oid)
+def _rename_tp(tp: TriplePattern,
+               back: dict[Variable, Variable]) -> TriplePattern:
+    return TriplePattern(*(back.get(term, term)
+                           if is_variable(term) else term
+                           for term in tp))
 
 
-def _explain_branch(store, branch: Pattern) -> BranchPlan:
-    gosn = GoSN.from_pattern(branch)
-    violations = find_violations(branch)
-    well_designed = not violations
-    if violations:
-        from .engine import _transform_nwd
-        gosn = _transform_nwd(gosn, branch, violations)
-    goj = GoJ.build(gosn.patterns)
-    counts = [_metadata_count(store, tp) for tp in gosn.patterns]
-    ranker = SelectivityRanker(gosn.patterns, counts)
-    order_bu, order_td = get_jvar_order(gosn, goj, ranker)
+def _render_branch(plan: BranchPhysicalPlan,
+                   back: dict[Variable, Variable]) -> BranchPlan:
+    gosn = plan.gosn
+
+    def name(var: Variable) -> str:
+        return f"?{back.get(var, var)}"
+
     supernodes = []
     for sn in gosn.supernodes:
-        patterns = " ; ".join(tp.to_sparql() for tp in sn.patterns)
+        patterns = " ; ".join(_rename_tp(tp, back).to_sparql()
+                              for tp in sn.patterns)
         supernodes.append(f"[{patterns}]" if patterns else "[empty BGP]")
+    goj_cyclic = plan.goj.is_cyclic() if plan.goj is not None else False
+    jvars = (sorted(plan.goj.nodes) if plan.goj is not None else [])
+    init_filters = [
+        f"{expression_sparql(rename_expression(init.expr, back))} "
+        f"@ TP{init.tp_index}"
+        for filters in plan.init_filters.values() for init in filters]
+    fan_filters = [
+        f"{expression_sparql(rename_expression(fan.expr, back))} "
+        f"@ groups {sorted(fan.scope_groups)}"
+        for fan in plan.fan_filters]
     return BranchPlan(
-        algebra=serialize_algebra(branch),
+        algebra=serialize_algebra(to_ast(plan.logical)),
         supernodes=supernodes,
         uni_edges=sorted(gosn.uni_edges),
         bi_edges=sorted(gosn.bi_edges),
         absolute_masters=sorted(gosn.absolute_masters()),
-        well_designed=well_designed,
-        goj_cyclic=goj.is_cyclic(),
-        jvars=[f"?{v}" for v in sorted(goj.nodes)],
-        order_bu=[f"?{v}" for v in order_bu],
-        order_td=[f"?{v}" for v in order_td],
-        best_match_required=decide_best_match_required(gosn, goj),
-        tp_counts=counts,
+        well_designed=plan.well_designed,
+        goj_cyclic=goj_cyclic,
+        jvars=sorted(name(v) for v in jvars),
+        order_bu=[name(v) for v in plan.order_bu],
+        order_td=[name(v) for v in plan.order_td],
+        best_match_required=plan.nul_required,
+        tp_counts=list(plan.metadata_counts),
+        certain_vars=sorted(name(v) for v in plan.certain_vars),
+        init_filters=init_filters,
+        fan_filters=fan_filters,
+        converted_edges=sorted(plan.converted_edges),
     )

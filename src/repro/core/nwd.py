@@ -1,19 +1,19 @@
 """Non-well-designed query support (Appendix B) — public entry points.
 
-The transformation itself lives in :mod:`repro.core.engine` (it runs as
-part of branch execution); this module re-exports it for direct use and
-testing: given a pattern and its GoSN, every unidirectional edge on the
-unique undirected path between a violation pair of supernodes is turned
-into a bidirectional edge — i.e. the offending left-outer joins become
-inner joins under the null-intolerant join assumption.
+The transformation itself lives in :mod:`repro.plan.passes` (it runs
+as the compiler pipeline's ``wd-analysis`` pass); this module
+re-exports it for direct use and testing: given a pattern and its
+GoSN, every unidirectional edge on the unique undirected path between
+a violation pair of supernodes is turned into a bidirectional edge —
+i.e. the offending left-outer joins become inner joins under the
+null-intolerant join assumption.
 """
 
 from __future__ import annotations
 
-from ..exceptions import UnsupportedQueryError
-from ..sparql.ast import BGP, Filter, Join, LeftJoin, Pattern
+from ..plan.passes import reference_rewrite, transform_nwd
+from ..sparql.ast import Pattern
 from ..sparql.wd import find_violations
-from .engine import _transform_nwd
 from .gosn import GoSN
 
 
@@ -25,20 +25,20 @@ def transform_non_well_designed(gosn: GoSN, pattern: Pattern) -> GoSN:
     violations = find_violations(pattern)
     if not violations:
         return gosn
-    return _transform_nwd(gosn, pattern, violations)
+    return transform_nwd(gosn, pattern, violations)
 
 
 def rewrite_to_reference(branch: Pattern) -> Pattern:
     """The Appendix B semantics of a union-free branch, as algebra.
 
     Mirrors the engine's GoSN transformation on the pattern tree
-    itself: every :class:`LeftJoin` whose unidirectional edge the
-    transformation converts becomes an inner :class:`Join`.  The
-    returned pattern can be evaluated by any bottom-up engine (e.g.
-    the naive oracle), which is how the differential fuzz harness
-    obtains a reference answer for non-well-designed queries — the
-    class where pure-SPARQL and LBR answers legitimately diverge
-    (Appendix C).
+    itself: every :class:`~repro.sparql.ast.LeftJoin` whose
+    unidirectional edge the transformation converts becomes an inner
+    :class:`~repro.sparql.ast.Join`.  The returned pattern can be
+    evaluated by any bottom-up engine (e.g. the naive oracle), which
+    is how the differential fuzz harness obtains a reference answer
+    for non-well-designed queries — the class where pure-SPARQL and
+    LBR answers legitimately diverge (Appendix C).
 
     Well-designed branches are returned unchanged.
     """
@@ -46,37 +46,8 @@ def rewrite_to_reference(branch: Pattern) -> Pattern:
     if not violations:
         return branch
     gosn = GoSN.from_pattern(branch)
-    transformed = _transform_nwd(gosn, branch, violations)
-    converted = gosn.uni_edges - transformed.uni_edges
+    transformed = transform_nwd(gosn, branch, violations)
+    converted = frozenset(gosn.uni_edges - transformed.uni_edges)
     if not converted:
         return branch
-
-    # Parallel walk mirroring GoSN.from_pattern: supernodes are
-    # numbered in the same build order, so each LeftJoin maps onto its
-    # (leftmost-left, leftmost-right) unidirectional edge.
-    counter = [0]
-
-    def rebuild(node: Pattern) -> tuple[Pattern, int]:
-        if isinstance(node, Filter):
-            inner, leftmost = rebuild(node.pattern)
-            return Filter(node.expr, inner), leftmost
-        if isinstance(node, BGP):
-            index = counter[0]
-            counter[0] += 1
-            return node, index
-        if isinstance(node, LeftJoin):
-            left, left_sn = rebuild(node.left)
-            right, right_sn = rebuild(node.right)
-            if (left_sn, right_sn) in converted:
-                return Join(left, right), left_sn
-            return LeftJoin(left, right), left_sn
-        if isinstance(node, Join):
-            left, left_sn = rebuild(node.left)
-            right, right_sn = rebuild(node.right)
-            return Join(left, right), left_sn
-        raise UnsupportedQueryError(
-            f"reference rewrite expects a union-free branch, found "
-            f"{type(node).__name__}")
-
-    rewritten, _ = rebuild(branch)
-    return rewritten
+    return reference_rewrite(branch, converted)

@@ -50,16 +50,22 @@ from ..baselines.naive import NaiveEngine
 from ..bitmat.store import BitMatStore
 from ..core.engine import LBREngine
 from ..core.nullification import minimum_union
-from ..core.nwd import rewrite_to_reference
 from ..core.results import ResultSet, apply_solution_modifiers
 from ..exceptions import BudgetExceededError, UnsupportedQueryError
+from ..plan.compiler import compile_logical, run_pipeline
+from ..plan.logical import LUnionAll
+from ..plan.passes import PassManager, reference_passes
 from ..rdf import ntriples
 from ..rdf.graph import Graph
 from ..rdf.terms import NULL
 from ..sparql.ast import Query
 from ..sparql.parser import parse_query
-from ..sparql.rewrite import to_union_normal_form
 from ..sparql.wd import check_union_free, is_well_designed
+
+#: The reference pipeline: UNION normal form + per-branch Appendix B
+#: analysis, *without* the engine's equality-filter optimization — the
+#: reference models pure SPARQL semantics over the shared logical IR.
+_REFERENCE_MANAGER = PassManager(reference_passes())
 
 #: Engine labels of the differential matrix, in execution order.
 ENGINE_LABELS = ("lbr", "lbr-warm", "lbr-noprune", "lbr-noprune-warm",
@@ -193,22 +199,28 @@ def reference_execute(graph: Graph, query: Query,
     """
     engine = NaiveEngine(graph,
                          max_intermediate_rows=max_intermediate_rows)
-    normal_form = to_union_normal_form(query.pattern)
-    if len(normal_form.branches) > MAX_REFERENCE_BRANCHES:
+    query, logical = compile_logical(query)
+    compiled = run_pipeline(logical, _REFERENCE_MANAGER)
+    root = compiled.logical.root
+    assert isinstance(root, LUnionAll)
+    if len(root.branches) > MAX_REFERENCE_BRANCHES:
         raise BudgetExceededError(
-            f"UNION normal form has {len(normal_form.branches)} "
+            f"UNION normal form has {len(root.branches)} "
             f"branches (cap {MAX_REFERENCE_BRANCHES})")
-    if (is_well_designed(query.pattern)
-            and not normal_form.spurious_possible):
+    branch_info = compiled.context.branch_info
+    if (all(info.well_designed for info in branch_info)
+            and is_well_designed(query.pattern)
+            and not root.spurious_possible):
         return engine.execute(query)
     all_variables = tuple(sorted(query.pattern.variables()))
     combined: list[tuple] = []
-    for branch in normal_form.branches:
-        rewritten = rewrite_to_reference(branch)
-        rows = engine.eval_pattern(rewritten)
+    for branch, info in zip(root.branches, branch_info):
+        # the wd-analysis pass already produced the Appendix B
+        # reference rewrite (violating OPTIONALs as inner joins)
+        rows = engine.eval_logical(info.reference)
         combined.extend(tuple(row.get(var, NULL) for var in all_variables)
                         for row in rows)
-    if normal_form.spurious_possible:
+    if root.spurious_possible:
         combined = minimum_union(combined)
     return apply_solution_modifiers(
         ResultSet(all_variables, combined), query)

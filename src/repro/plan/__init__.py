@@ -1,0 +1,50 @@
+"""The compiler pipeline: logical IR → rewrite passes → physical plan.
+
+This package is the staged compiler behind Algorithm 5.1:
+
+1. :mod:`repro.plan.logical`  — the annotated logical algebra IR
+   lowered from the parser AST (per-node scope, certain/possible
+   variables);
+2. :mod:`repro.plan.passes`   — the rewrite-pass manager (UNION
+   normal form, equality-filter elimination, filter-scope assignment,
+   well-designedness analysis + Appendix B transform), each pass
+   named, traced, and idempotence-checked;
+3. :mod:`repro.plan.physical` — engine-independent physical plans
+   (GoSN/GoJ per branch, jvar orders, FaN filter routing, best-match
+   decision) that LBR compiles and the baseline/oracle engines
+   interpret;
+4. :mod:`repro.plan.hashing`  — canonicalization + structural hashing
+   of the IR, the plan-cache key under which alpha-equivalent queries
+   share one plan;
+5. :mod:`repro.plan.compiler` — the shared frontend every engine
+   consumes.
+"""
+
+from .compiler import (FrontendResult, compile_frontend, compile_logical,
+                       run_pipeline)
+from .hashing import CanonicalForm, canonicalize, structural_hash
+from .logical import (LBGP, LFilter, LJoin, LLeftJoin, LogicalNode,
+                      LogicalQuery, LUnion, LUnionAll, build_logical,
+                      from_ast, render_logical, render_node, to_ast)
+from .passes import (BranchAnalysis, CompilerPass,
+                     EqualityFilterEliminationPass,
+                     FilterScopeAssignmentPass, PassContext, PassError,
+                     PassManager, PassRecord, PassResult, ScopedFilter,
+                     UnionNormalFormPass, WellDesignednessPass,
+                     default_passes, reference_passes)
+from .physical import (BranchPhysicalPlan, InitFilter, PhysicalPlan,
+                       build_physical)
+
+__all__ = [
+    "BranchAnalysis", "BranchPhysicalPlan", "CanonicalForm",
+    "CompilerPass", "EqualityFilterEliminationPass",
+    "FilterScopeAssignmentPass", "FrontendResult", "InitFilter", "LBGP",
+    "LFilter", "LJoin", "LLeftJoin", "LUnion", "LUnionAll",
+    "LogicalNode", "LogicalQuery", "PassContext", "PassError",
+    "PassManager", "PassRecord", "PassResult", "PhysicalPlan",
+    "ScopedFilter", "UnionNormalFormPass", "WellDesignednessPass",
+    "build_logical", "build_physical", "canonicalize",
+    "compile_frontend", "compile_logical", "default_passes", "from_ast",
+    "reference_passes", "render_logical", "render_node", "run_pipeline",
+    "structural_hash", "to_ast",
+]

@@ -1,0 +1,63 @@
+"""The shared compiler frontend — every engine's single entry point.
+
+No engine parses or rewrites SPARQL text on its own: the LBR engine,
+the naive baseline, and the differential fuzz oracle all go through
+this module.
+
+* :func:`compile_logical` — parse (if needed) and lower to the
+  annotated logical IR.  This is all the naive bottom-up evaluator
+  consumes: it interprets the IR directly under pure SPARQL
+  semantics.
+* :func:`compile_frontend` — additionally canonicalize the IR
+  (:mod:`repro.plan.hashing`) so the engine can key its physical-plan
+  cache on the structural hash.
+* :func:`run_pipeline` — run a rewrite-pass pipeline
+  (:mod:`repro.plan.passes`) over a logical query.  The fuzz oracle
+  uses this with the reference pipeline to obtain UNION-normal-form
+  branches and Appendix B reference rewrites without duplicating any
+  rewrite logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sparql.ast import Query
+from ..sparql.parser import parse_query
+from .hashing import CanonicalForm, canonicalize
+from .logical import LogicalQuery, build_logical
+from .passes import PassManager, PassResult
+
+
+@dataclass
+class FrontendResult:
+    """Parse + lowering + canonicalization of one query."""
+
+    query: Query
+    #: the logical IR in source variable names
+    logical: LogicalQuery
+    #: the same IR in canonical variable space, plus the maps and the
+    #: structural plan-cache key
+    canonical: CanonicalForm
+
+
+def compile_logical(query: Query | str) -> tuple[Query, LogicalQuery]:
+    """Parse (when given text) and lower to the logical IR."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    return query, build_logical(query)
+
+
+def compile_frontend(query: Query | str) -> FrontendResult:
+    """Parse, lower, and canonicalize one query."""
+    query, logical = compile_logical(query)
+    return FrontendResult(query=query, logical=logical,
+                          canonical=canonicalize(logical))
+
+
+def run_pipeline(logical: LogicalQuery,
+                 manager: PassManager | None = None) -> PassResult:
+    """Run a rewrite-pass pipeline over a logical query."""
+    if manager is None:
+        manager = PassManager()
+    return manager.run(logical)

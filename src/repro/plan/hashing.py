@@ -1,0 +1,167 @@
+"""Structural hashing of the logical IR — the plan-cache key.
+
+Two queries that differ only in variable names, whitespace, prefix
+spellings, or clause formatting compile to alpha-equivalent logical
+IRs.  :func:`canonicalize` rewrites an IR into its canonical form —
+variables renamed to ``_c000, _c001, …`` in deterministic first-
+occurrence order over a fixed structural traversal — and
+:func:`structural_hash` digests the canonical serialization.  The
+resulting key is what :class:`~repro.core.engine.LBREngine` keys its
+physical-plan cache on: alpha-equivalent queries share one compiled
+plan, while queries differing in any constant, operator, or solution
+modifier never collide (the serialization covers them all).
+
+Canonical names are zero-padded so their lexicographic order equals
+their numeric order — ``sorted()`` over canonical variables is then
+deterministic and alpha-stable, which the planner's tie-breaks rely
+on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..rdf.terms import Variable, is_variable
+from ..sparql.ast import _term_sparql
+from ..sparql.expressions import (BooleanOp, Bound, Comparison, Not, Regex,
+                                  SameTerm, VarRef, expression_sparql)
+from .logical import (LBGP, LFilter, LJoin, LLeftJoin, LogicalNode,
+                      LogicalQuery, LUnion, LUnionAll, rename_logical)
+
+#: Prefix of canonical variable names.  Renaming is simultaneous and
+#: total (every variable gets a fresh canonical name), so user
+#: variables that happen to look canonical cannot be captured.
+CANONICAL_PREFIX = "_c"
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """A logical query in canonical variable space, plus the maps."""
+
+    logical: LogicalQuery
+    to_canonical: dict[Variable, Variable]
+    from_canonical: dict[Variable, Variable]
+    key: str
+
+
+def _expression_variable_order(expr: object, visit) -> None:
+    """Visit expression variables in deterministic structural order."""
+    if isinstance(expr, VarRef):
+        visit(expr.name)
+    elif isinstance(expr, Bound):
+        visit(expr.name)
+    elif isinstance(expr, Not):
+        _expression_variable_order(expr.operand, visit)
+    elif isinstance(expr, (Comparison, BooleanOp, SameTerm)):
+        _expression_variable_order(expr.left, visit)
+        _expression_variable_order(expr.right, visit)
+    elif isinstance(expr, Regex):
+        _expression_variable_order(expr.operand, visit)
+
+
+def _node_variable_order(node: LogicalNode, visit) -> None:
+    if isinstance(node, LBGP):
+        for tp in node.patterns:
+            for term in tp:
+                if is_variable(term):
+                    visit(term)
+    elif isinstance(node, (LJoin, LLeftJoin, LUnion)):
+        _node_variable_order(node.left, visit)
+        _node_variable_order(node.right, visit)
+    elif isinstance(node, LFilter):
+        _node_variable_order(node.child, visit)
+        _expression_variable_order(node.expr, visit)
+    elif isinstance(node, LUnionAll):
+        for branch in node.branches:
+            _node_variable_order(branch, visit)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown logical node {node!r}")
+
+
+def variable_order(query: LogicalQuery) -> list[Variable]:
+    """Variables in canonical first-occurrence order.
+
+    The traversal is purely structural (pattern tree first, then the
+    projection list, then ORDER BY), so alpha-equivalent queries list
+    their variables in corresponding positions.
+    """
+    seen: set[Variable] = set()
+    ordered: list[Variable] = []
+
+    def visit(var: Variable) -> None:
+        if var not in seen:
+            seen.add(var)
+            ordered.append(var)
+
+    _node_variable_order(query.root, visit)
+    if query.select is not None:
+        for var in query.select:
+            visit(var)
+    for var, _ascending in query.order_by:
+        visit(var)
+    return ordered
+
+
+def canonicalize(query: LogicalQuery) -> CanonicalForm:
+    """Rewrite *query* into canonical variable space."""
+    ordered = variable_order(query)
+    to_canonical = {
+        var: Variable(f"{CANONICAL_PREFIX}{index:03d}")
+        for index, var in enumerate(ordered)}
+    from_canonical = {new: old for old, new in to_canonical.items()}
+    canonical = rename_logical(query, to_canonical)
+    return CanonicalForm(logical=canonical, to_canonical=to_canonical,
+                         from_canonical=from_canonical,
+                         key=structural_hash(canonical))
+
+
+# ----------------------------------------------------------------------
+# serialization + digest
+# ----------------------------------------------------------------------
+
+def serialize_node(node: LogicalNode) -> str:
+    """A compact, unambiguous serialization of a logical subtree."""
+    if isinstance(node, LBGP):
+        body = ",".join(" ".join(_term_sparql(t) for t in tp)
+                        for tp in node.patterns)
+        return f"bgp({body})"
+    if isinstance(node, LJoin):
+        return (f"join({serialize_node(node.left)},"
+                f"{serialize_node(node.right)})")
+    if isinstance(node, LLeftJoin):
+        return (f"leftjoin({serialize_node(node.left)},"
+                f"{serialize_node(node.right)})")
+    if isinstance(node, LUnion):
+        return (f"union({serialize_node(node.left)},"
+                f"{serialize_node(node.right)})")
+    if isinstance(node, LFilter):
+        return (f"filter({expression_sparql(node.expr)},"
+                f"{serialize_node(node.child)})")
+    if isinstance(node, LUnionAll):
+        body = ",".join(serialize_node(b) for b in node.branches)
+        flag = "spurious" if node.spurious_possible else "exact"
+        return f"unionall[{flag}]({body})"
+    raise TypeError(f"unknown logical node {node!r}")
+
+
+def serialize_logical(query: LogicalQuery) -> str:
+    """Serialize a whole logical query, modifiers included."""
+    select = ("*" if query.select is None
+              else " ".join(f"?{v}" for v in query.select))
+    order = " ".join(f"{'+' if ascending else '-'}?{v}"
+                     for v, ascending in query.order_by)
+    return "|".join((
+        serialize_node(query.root),
+        f"select={select}",
+        f"distinct={int(query.distinct)}",
+        f"order={order}",
+        f"limit={query.limit}",
+        f"offset={query.offset}",
+    ))
+
+
+def structural_hash(query: LogicalQuery) -> str:
+    """SHA-256 digest of the canonical serialization."""
+    text = serialize_logical(query)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

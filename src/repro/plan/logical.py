@@ -1,0 +1,360 @@
+"""The logical algebra IR — stage 1 of the compiler pipeline.
+
+A parsed query is lowered into a tree of immutable *logical* nodes
+(:class:`LBGP`, :class:`LJoin`, :class:`LLeftJoin`, :class:`LUnion`,
+:class:`LFilter`, and the n-ary :class:`LUnionAll` the UNION-normal-form
+pass produces).  Unlike the surface AST (:mod:`repro.sparql.ast`),
+every logical node carries the annotations the planner consumes:
+
+* ``scope``    — the OPTIONAL/UNION scope the node evaluates in (scope
+  0 is the top level; every ``OPTIONAL {…}`` body and every UNION arm
+  opens a fresh scope);
+* ``certain``  — variables bound in *every* solution of the subtree
+  (the "mandatory part": OPTIONAL bodies contribute nothing, UNION
+  arms contribute only their intersection);
+* ``possible`` — variables that may be bound in some solution.
+
+Nodes are frozen dataclasses: rewrites build new trees, annotations are
+recomputed by the builders (:func:`from_ast` / :func:`build_logical`),
+and structural equality (``==``) is exactly what the pass manager's
+idempotence checks compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rdf.terms import Variable, is_variable
+from ..sparql.ast import (BGP, Filter, Join, LeftJoin, Pattern, Query,
+                          TriplePattern, Union, _term_sparql)
+from ..sparql.expressions import (BooleanOp, Bound, Comparison, Constant,
+                                  Not, Regex, SameTerm, VarRef,
+                                  expression_sparql)
+
+EMPTY: frozenset[Variable] = frozenset()
+
+
+class LogicalNode:
+    """Base class for logical algebra nodes (annotation carriers)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class LBGP(LogicalNode):
+    """An OPT-free basic graph pattern."""
+
+    patterns: tuple[TriplePattern, ...]
+    scope: int = 0
+    certain: frozenset[Variable] = EMPTY
+    possible: frozenset[Variable] = EMPTY
+
+
+@dataclass(frozen=True)
+class LJoin(LogicalNode):
+    """Inner join (``⋈``)."""
+
+    left: LogicalNode
+    right: LogicalNode
+    scope: int = 0
+    certain: frozenset[Variable] = EMPTY
+    possible: frozenset[Variable] = EMPTY
+
+
+@dataclass(frozen=True)
+class LLeftJoin(LogicalNode):
+    """Left-outer join (``⟕``): ``left OPTIONAL { right }``."""
+
+    left: LogicalNode
+    right: LogicalNode
+    scope: int = 0
+    certain: frozenset[Variable] = EMPTY
+    possible: frozenset[Variable] = EMPTY
+
+
+@dataclass(frozen=True)
+class LUnion(LogicalNode):
+    """Binary SPARQL UNION under bag semantics."""
+
+    left: LogicalNode
+    right: LogicalNode
+    scope: int = 0
+    certain: frozenset[Variable] = EMPTY
+    possible: frozenset[Variable] = EMPTY
+
+
+@dataclass(frozen=True)
+class LFilter(LogicalNode):
+    """``child FILTER(expr)``; *expr* is an expression-tree node."""
+
+    expr: object
+    child: LogicalNode
+    scope: int = 0
+    certain: frozenset[Variable] = EMPTY
+    possible: frozenset[Variable] = EMPTY
+
+
+@dataclass(frozen=True)
+class LUnionAll(LogicalNode):
+    """The UNION normal form: an n-ary bag union of UNION-free branches.
+
+    ``spurious_possible`` records that rewrite rule 3 fired while
+    normalizing, in which case minimum-union cleanup must run over the
+    combined branch results (paper §5.2).
+    """
+
+    branches: tuple[LogicalNode, ...]
+    spurious_possible: bool = False
+    scope: int = 0
+    certain: frozenset[Variable] = EMPTY
+    possible: frozenset[Variable] = EMPTY
+
+
+@dataclass(frozen=True)
+class LogicalQuery:
+    """A whole query: the logical root plus solution modifiers."""
+
+    root: LogicalNode
+    select: tuple[Variable, ...] | None = None
+    distinct: bool = False
+    order_by: tuple[tuple[Variable, bool], ...] = ()
+    limit: int | None = None
+    offset: int = 0
+
+
+# ----------------------------------------------------------------------
+# construction from the surface AST
+# ----------------------------------------------------------------------
+
+class _ScopeCounter:
+    __slots__ = ("next",)
+
+    def __init__(self) -> None:
+        self.next = 1
+
+
+def from_ast(pattern: Pattern, scope: int = 0,
+             _counter: _ScopeCounter | None = None) -> LogicalNode:
+    """Lower an AST pattern into an annotated logical node."""
+    counter = _counter or _ScopeCounter()
+    if isinstance(pattern, BGP):
+        variables = frozenset(v for tp in pattern.patterns
+                              for v in tp.variables())
+        return LBGP(pattern.patterns, scope, variables, variables)
+    if isinstance(pattern, Join):
+        left = from_ast(pattern.left, scope, counter)
+        right = from_ast(pattern.right, scope, counter)
+        return LJoin(left, right, scope, left.certain | right.certain,
+                     left.possible | right.possible)
+    if isinstance(pattern, LeftJoin):
+        left = from_ast(pattern.left, scope, counter)
+        inner = counter.next
+        counter.next += 1
+        right = from_ast(pattern.right, inner, counter)
+        return LLeftJoin(left, right, scope, left.certain,
+                         left.possible | right.possible)
+    if isinstance(pattern, Union):
+        arm_left = counter.next
+        counter.next += 1
+        left = from_ast(pattern.left, arm_left, counter)
+        arm_right = counter.next
+        counter.next += 1
+        right = from_ast(pattern.right, arm_right, counter)
+        return LUnion(left, right, scope, left.certain & right.certain,
+                      left.possible | right.possible)
+    if isinstance(pattern, Filter):
+        child = from_ast(pattern.pattern, scope, counter)
+        return LFilter(pattern.expr, child, scope, child.certain,
+                       child.possible)
+    raise TypeError(f"unknown pattern node {pattern!r}")
+
+
+def union_all(branches: tuple[LogicalNode, ...],
+              spurious_possible: bool) -> LUnionAll:
+    """Build an annotated :class:`LUnionAll` from UNION-free branches."""
+    certain = branches[0].certain if branches else EMPTY
+    possible: frozenset[Variable] = EMPTY
+    for branch in branches:
+        certain &= branch.certain
+        possible |= branch.possible
+    return LUnionAll(branches, spurious_possible, 0, certain, possible)
+
+
+def build_logical(query: Query) -> LogicalQuery:
+    """Lower a parsed :class:`~repro.sparql.ast.Query` into the IR."""
+    return LogicalQuery(root=from_ast(query.pattern),
+                        select=query.select, distinct=query.distinct,
+                        order_by=query.order_by, limit=query.limit,
+                        offset=query.offset)
+
+
+# ----------------------------------------------------------------------
+# conversion back to the surface AST (for GoSN construction and the
+# rewrite helpers that still operate on AST trees)
+# ----------------------------------------------------------------------
+
+def to_ast(node: LogicalNode) -> Pattern:
+    """Convert a logical node back to the equivalent AST pattern."""
+    if isinstance(node, LBGP):
+        return BGP(node.patterns)
+    if isinstance(node, LJoin):
+        return Join(to_ast(node.left), to_ast(node.right))
+    if isinstance(node, LLeftJoin):
+        return LeftJoin(to_ast(node.left), to_ast(node.right))
+    if isinstance(node, LUnion):
+        return Union(to_ast(node.left), to_ast(node.right))
+    if isinstance(node, LFilter):
+        return Filter(node.expr, to_ast(node.child))
+    if isinstance(node, LUnionAll):
+        if not node.branches:
+            return BGP(())
+        result = to_ast(node.branches[0])
+        for branch in node.branches[1:]:
+            result = Union(result, to_ast(branch))
+        return result
+    raise TypeError(f"unknown logical node {node!r}")
+
+
+# ----------------------------------------------------------------------
+# simultaneous variable renaming (alpha conversion)
+# ----------------------------------------------------------------------
+
+def rename_expression(expr: object,
+                      mapping: dict[Variable, Variable]) -> object:
+    """Apply a *simultaneous* variable substitution to an expression.
+
+    Unlike chained :func:`~repro.sparql.expressions.substitute_variable`
+    calls, a simultaneous substitution cannot capture: renaming
+    ``{a→b, b→a}`` swaps the two variables instead of merging them.
+    """
+    if isinstance(expr, VarRef):
+        return VarRef(mapping.get(expr.name, expr.name))
+    if isinstance(expr, Bound):
+        return Bound(mapping.get(expr.name, expr.name))
+    if isinstance(expr, Not):
+        return Not(rename_expression(expr.operand, mapping))
+    if isinstance(expr, Comparison):
+        return Comparison(expr.op, rename_expression(expr.left, mapping),
+                          rename_expression(expr.right, mapping))
+    if isinstance(expr, BooleanOp):
+        return BooleanOp(expr.op, rename_expression(expr.left, mapping),
+                         rename_expression(expr.right, mapping))
+    if isinstance(expr, Regex):
+        return Regex(rename_expression(expr.operand, mapping),
+                     expr.pattern, expr.flags)
+    if isinstance(expr, SameTerm):
+        return SameTerm(rename_expression(expr.left, mapping),
+                        rename_expression(expr.right, mapping))
+    return expr
+
+
+def _rename_vars(variables: frozenset[Variable],
+                 mapping: dict[Variable, Variable]) -> frozenset[Variable]:
+    return frozenset(mapping.get(v, v) for v in variables)
+
+
+def rename_node(node: LogicalNode,
+                mapping: dict[Variable, Variable]) -> LogicalNode:
+    """Alpha-rename a logical subtree (annotations included)."""
+    if isinstance(node, LBGP):
+        patterns = tuple(
+            TriplePattern(*(mapping.get(term, term)
+                            if is_variable(term) else term
+                            for term in tp))
+            for tp in node.patterns)
+        return LBGP(patterns, node.scope,
+                    _rename_vars(node.certain, mapping),
+                    _rename_vars(node.possible, mapping))
+    if isinstance(node, (LJoin, LLeftJoin, LUnion)):
+        return type(node)(rename_node(node.left, mapping),
+                          rename_node(node.right, mapping), node.scope,
+                          _rename_vars(node.certain, mapping),
+                          _rename_vars(node.possible, mapping))
+    if isinstance(node, LFilter):
+        return LFilter(rename_expression(node.expr, mapping),
+                       rename_node(node.child, mapping), node.scope,
+                       _rename_vars(node.certain, mapping),
+                       _rename_vars(node.possible, mapping))
+    if isinstance(node, LUnionAll):
+        return LUnionAll(tuple(rename_node(b, mapping)
+                               for b in node.branches),
+                         node.spurious_possible, node.scope,
+                         _rename_vars(node.certain, mapping),
+                         _rename_vars(node.possible, mapping))
+    raise TypeError(f"unknown logical node {node!r}")
+
+
+def rename_logical(query: LogicalQuery,
+                   mapping: dict[Variable, Variable]) -> LogicalQuery:
+    """Alpha-rename a whole logical query, modifiers included."""
+    select = (None if query.select is None
+              else tuple(mapping.get(v, v) for v in query.select))
+    order_by = tuple((mapping.get(v, v), ascending)
+                     for v, ascending in query.order_by)
+    return LogicalQuery(root=rename_node(query.root, mapping),
+                        select=select, distinct=query.distinct,
+                        order_by=order_by, limit=query.limit,
+                        offset=query.offset)
+
+
+# ----------------------------------------------------------------------
+# rendering (explain / plan explorer)
+# ----------------------------------------------------------------------
+
+def _vars_text(variables: frozenset[Variable]) -> str:
+    if not variables:
+        return "-"
+    return " ".join(f"?{v}" for v in sorted(variables))
+
+
+def render_node(node: LogicalNode, indent: int = 0) -> list[str]:
+    """Human-readable indented rendering of a logical subtree."""
+    pad = "  " * indent
+    head = (f"[scope {node.scope}] certain={{{_vars_text(node.certain)}}} "
+            f"possible={{{_vars_text(node.possible)}}}")
+    lines: list[str] = []
+    if isinstance(node, LBGP):
+        lines.append(f"{pad}BGP({len(node.patterns)} tps) {head}")
+        for tp in node.patterns:
+            lines.append(f"{pad}  {' '.join(_term_sparql(t) for t in tp)} .")
+    elif isinstance(node, (LJoin, LLeftJoin, LUnion)):
+        name = {LJoin: "Join", LLeftJoin: "LeftJoin",
+                LUnion: "Union"}[type(node)]
+        lines.append(f"{pad}{name} {head}")
+        lines.extend(render_node(node.left, indent + 1))
+        lines.extend(render_node(node.right, indent + 1))
+    elif isinstance(node, LFilter):
+        lines.append(f"{pad}Filter({expression_sparql(node.expr)}) {head}")
+        lines.extend(render_node(node.child, indent + 1))
+    elif isinstance(node, LUnionAll):
+        spurious = " [rule-3 spurious]" if node.spurious_possible else ""
+        lines.append(f"{pad}UnionAll({len(node.branches)} "
+                     f"branches){spurious} {head}")
+        for index, branch in enumerate(node.branches, start=1):
+            lines.append(f"{pad}  branch {index}:")
+            lines.extend(render_node(branch, indent + 2))
+    else:  # pragma: no cover - defensive
+        lines.append(f"{pad}{node!r}")
+    return lines
+
+
+def render_logical(query: LogicalQuery) -> str:
+    """Render a whole logical query (root tree plus modifiers)."""
+    lines = render_node(query.root)
+    modifiers: list[str] = []
+    if query.select is not None:
+        modifiers.append("SELECT " + " ".join(f"?{v}"
+                                              for v in query.select))
+    if query.distinct:
+        modifiers.append("DISTINCT")
+    if query.order_by:
+        modifiers.append("ORDER BY " + " ".join(
+            (f"?{v}" if ascending else f"DESC(?{v})")
+            for v, ascending in query.order_by))
+    if query.limit is not None:
+        modifiers.append(f"LIMIT {query.limit}")
+    if query.offset:
+        modifiers.append(f"OFFSET {query.offset}")
+    if modifiers:
+        lines.append("modifiers: " + "  ".join(modifiers))
+    return "\n".join(lines)

@@ -1,0 +1,410 @@
+"""The rewrite-pass manager — stage 2 of the compiler pipeline.
+
+Algorithm 5.1's analysis half used to run as ad-hoc calls smeared over
+the engine; here each rewrite is a named, individually-testable pass
+over the logical IR:
+
+* ``equality-filter-elimination`` — the §5.2 "cheap" optimization:
+  drop top-level ``FILTER(?m = ?n)`` over certain variables by
+  renaming, recording the rename map so result columns can be
+  restored;
+* ``union-normal-form``          — the §5.2 UNF rewrite: the root
+  becomes an :class:`~repro.plan.logical.LUnionAll` of UNION-free
+  branches, flagged when rule 3 may have introduced spurious rows;
+* ``filter-scope-assignment``    — assign every FILTER its TP index
+  range in GoSN numbering order (the engine's init-vs-FaN routing
+  consumes these scopes);
+* ``wd-analysis``                — per-branch well-designedness check
+  plus the Appendix B transform: which unidirectional GoSN edges
+  become bidirectional, and the equivalent tree-level rewrite
+  (violating OPTIONALs to inner joins) any bottom-up evaluator can
+  interpret as the reference semantics.
+
+A :class:`PassManager` runs a pipeline, records a :class:`PassRecord`
+per pass (what fired, what changed), and — with
+``check_idempotence=True`` — asserts ``run(run(q)) == run(q)`` for
+every pass, the property that makes the pipeline safe to re-enter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rdf.terms import Variable
+from ..sparql.ast import Pattern
+from ..sparql.rewrite import eliminate_equality_filters, to_union_normal_form
+from ..sparql.wd import Violation, find_violations
+from .logical import (LBGP, LFilter, LJoin, LLeftJoin, LogicalNode,
+                      LogicalQuery, LUnion, LUnionAll, from_ast, to_ast,
+                      union_all)
+
+
+class PassError(Exception):
+    """A pass violated one of its contracts (e.g. idempotence)."""
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """One pass manager trace entry."""
+
+    name: str
+    changed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        marker = "*" if self.changed else " "
+        text = f"{marker} {self.name}"
+        return f"{text}: {self.detail}" if self.detail else text
+
+
+@dataclass(frozen=True)
+class ScopedFilter:
+    """A FILTER with its TP index range (GoSN numbering order)."""
+
+    expr: object
+    tp_start: int
+    tp_end: int
+
+
+@dataclass(frozen=True)
+class BranchAnalysis:
+    """Per-branch output of the ``wd-analysis`` pass.
+
+    ``converted_edges`` are the unidirectional GoSN edges Appendix B
+    turns bidirectional; ``reference`` is the equivalent tree-level
+    rewrite (those left-outer joins as inner joins) — the branch
+    semantics under the null-intolerant join assumption, which the
+    fuzz oracle evaluates bottom-up as the reference answer.
+    """
+
+    well_designed: bool
+    violated_variables: tuple[Variable, ...] = ()
+    converted_edges: frozenset[tuple[int, int]] = frozenset()
+    reference: LogicalNode | None = None
+
+
+@dataclass
+class PassContext:
+    """Cross-pass state accumulated while a pipeline runs."""
+
+    #: dropped → kept variable map from equality-filter elimination
+    renames: dict[Variable, Variable] = field(default_factory=dict)
+    #: per-branch scoped filters (``filter-scope-assignment``)
+    branch_filters: tuple[tuple[ScopedFilter, ...], ...] = ()
+    #: per-branch well-designedness analysis (``wd-analysis``)
+    branch_info: tuple[BranchAnalysis, ...] = ()
+
+
+class CompilerPass:
+    """Base class: a named rewrite of a :class:`LogicalQuery`."""
+
+    name = "compiler-pass"
+
+    def run(self, query: LogicalQuery,
+            ctx: PassContext) -> tuple[LogicalQuery, str]:
+        """Return the rewritten query and a human-readable detail."""
+        raise NotImplementedError
+
+
+class EqualityFilterEliminationPass(CompilerPass):
+    """Drop top-level ``FILTER(?m = ?n)`` over certain variables."""
+
+    name = "equality-filter-elimination"
+
+    def run(self, query: LogicalQuery,
+            ctx: PassContext) -> tuple[LogicalQuery, str]:
+        pattern = to_ast(query.root)
+        local: dict[Variable, Variable] = {}
+        rewritten = eliminate_equality_filters(pattern, local)
+        if not local:
+            return query, ""
+        ctx.renames.update(local)
+        detail = ", ".join(f"?{old}→?{new}"
+                           for old, new in sorted(local.items()))
+        root = from_ast(rewritten)
+        return LogicalQuery(root=root, select=query.select,
+                            distinct=query.distinct,
+                            order_by=query.order_by, limit=query.limit,
+                            offset=query.offset), f"renamed {detail}"
+
+
+class UnionNormalFormPass(CompilerPass):
+    """Rewrite the root into an n-ary union of UNION-free branches."""
+
+    name = "union-normal-form"
+
+    def run(self, query: LogicalQuery,
+            ctx: PassContext) -> tuple[LogicalQuery, str]:
+        was_spurious = (query.root.spurious_possible
+                        if isinstance(query.root, LUnionAll) else False)
+        normal_form = to_union_normal_form(to_ast(query.root))
+        branches = tuple(from_ast(branch)
+                         for branch in normal_form.branches)
+        spurious = was_spurious or normal_form.spurious_possible
+        root = union_all(branches, spurious)
+        detail = f"{len(branches)} union-free branch(es)"
+        if normal_form.spurious_possible:
+            detail += "; rule 3 fired (minimum-union cleanup required)"
+        return LogicalQuery(root=root, select=query.select,
+                            distinct=query.distinct,
+                            order_by=query.order_by, limit=query.limit,
+                            offset=query.offset), detail
+
+
+def collect_scoped_filters(branch: LogicalNode) -> tuple[ScopedFilter, ...]:
+    """Filters of a UNION-free branch with their TP index ranges.
+
+    TP indexes follow GoSN numbering (left-to-right over the branch),
+    and nested filters are listed innermost-first — the order the
+    engine's init-filter application historically used.
+    """
+    filters: list[ScopedFilter] = []
+    counter = [0]
+
+    def walk(node: LogicalNode) -> None:
+        if isinstance(node, LFilter):
+            start = counter[0]
+            walk(node.child)
+            filters.append(ScopedFilter(node.expr, start, counter[0]))
+        elif isinstance(node, LBGP):
+            counter[0] += len(node.patterns)
+        elif isinstance(node, (LJoin, LLeftJoin)):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, LUnion):  # pragma: no cover - UNF input
+            raise PassError("UNION inside a UNION-free branch")
+
+    walk(branch)
+    return tuple(filters)
+
+
+class FilterScopeAssignmentPass(CompilerPass):
+    """Record every branch filter's TP index range in the context."""
+
+    name = "filter-scope-assignment"
+
+    def run(self, query: LogicalQuery,
+            ctx: PassContext) -> tuple[LogicalQuery, str]:
+        if not isinstance(query.root, LUnionAll):
+            raise PassError(f"{self.name} requires union-normal-form "
+                            f"to run first")
+        ctx.branch_filters = tuple(collect_scoped_filters(branch)
+                                   for branch in query.root.branches)
+        total = sum(len(filters) for filters in ctx.branch_filters)
+        return query, (f"{total} scoped filter(s)" if total
+                       else "no filters")
+
+
+# ----------------------------------------------------------------------
+# Appendix B machinery (shared by the wd pass, the physical planner,
+# and the public repro.core.nwd entry points)
+# ----------------------------------------------------------------------
+
+def node_tp_ranges(branch: Pattern) -> dict[int, tuple[int, int]]:
+    """TP index range of every AST node, keyed by ``id(node)``."""
+    from ..sparql.ast import BGP, Filter, Join, LeftJoin, Union
+
+    ranges: dict[int, tuple[int, int]] = {}
+    counter = [0]
+
+    def walk(node: Pattern) -> None:
+        start = counter[0]
+        if isinstance(node, BGP):
+            counter[0] += len(node.patterns)
+        elif isinstance(node, Filter):
+            walk(node.pattern)
+        elif isinstance(node, (Join, LeftJoin, Union)):
+            walk(node.left)
+            walk(node.right)
+        ranges[id(node)] = (start, counter[0])
+
+    walk(branch)
+    return ranges
+
+
+def transform_nwd(gosn, branch: Pattern, violations) -> "object":
+    """Appendix B: convert uni edges to bi along violation paths.
+
+    For every violating sub-pattern ``Pk ⟕ Pl`` and variable ``?j``, a
+    violation pair is formed between each supernode of ``Pl``
+    containing ``?j`` and each supernode *outside* the sub-pattern
+    containing ``?j``; all unidirectional edges on the unique
+    undirected paths between the pairs become bidirectional.
+    """
+    ranges = node_tp_ranges(branch)
+    total = len(gosn.patterns)
+    converted: set[tuple[int, int]] = set()
+    for violation in violations:
+        subtree_range = ranges.get(id(violation.left_join))
+        slave_range = ranges.get(id(violation.left_join.right))
+        if subtree_range is None or slave_range is None:
+            continue
+        slave_sns = _sns_with_variable(gosn, slave_range,
+                                       violation.variable)
+        inside = set(range(*subtree_range))
+        outside_sns = {
+            gosn.sn_of_tp[index] for index in range(total)
+            if index not in inside
+            and violation.variable in gosn.patterns[index].variables()}
+        for sn_a in slave_sns:
+            for sn_b in outside_sns:
+                path = gosn.undirected_path(sn_a, sn_b)
+                for left, right in zip(path, path[1:]):
+                    if (left, right) in gosn.uni_edges:
+                        converted.add((left, right))
+                    if (right, left) in gosn.uni_edges:
+                        converted.add((right, left))
+    if not converted:
+        return gosn
+    return gosn.with_bidirectional(converted)
+
+
+def _sns_with_variable(gosn, tp_range: tuple[int, int],
+                       variable: Variable) -> set[int]:
+    found: set[int] = set()
+    for index in range(*tp_range):
+        if variable in gosn.patterns[index].variables():
+            found.add(gosn.sn_of_tp[index])
+    return found
+
+
+def reference_rewrite(branch: Pattern,
+                      converted: frozenset[tuple[int, int]]) -> Pattern:
+    """Tree-level mirror of the GoSN transformation.
+
+    Supernodes are numbered in :meth:`GoSN.from_pattern` build order,
+    so each :class:`LeftJoin` maps onto its (leftmost-left,
+    leftmost-right) unidirectional edge; the converted ones become
+    inner joins.
+    """
+    from ..exceptions import UnsupportedQueryError
+    from ..sparql.ast import BGP, Filter, Join, LeftJoin
+
+    counter = [0]
+
+    def rebuild(node: Pattern) -> tuple[Pattern, int]:
+        if isinstance(node, Filter):
+            inner, leftmost = rebuild(node.pattern)
+            return Filter(node.expr, inner), leftmost
+        if isinstance(node, BGP):
+            index = counter[0]
+            counter[0] += 1
+            return node, index
+        if isinstance(node, LeftJoin):
+            left, left_sn = rebuild(node.left)
+            right, right_sn = rebuild(node.right)
+            if (left_sn, right_sn) in converted:
+                return Join(left, right), left_sn
+            return LeftJoin(left, right), left_sn
+        if isinstance(node, Join):
+            left, left_sn = rebuild(node.left)
+            right, _right_sn = rebuild(node.right)
+            return Join(left, right), left_sn
+        raise UnsupportedQueryError(
+            f"reference rewrite expects a union-free branch, found "
+            f"{type(node).__name__}")
+
+    rewritten, _ = rebuild(branch)
+    return rewritten
+
+
+def analyze_branch(branch: LogicalNode) -> BranchAnalysis:
+    """Well-designedness analysis of one UNION-free branch."""
+    from ..core.gosn import GoSN
+
+    ast_branch = to_ast(branch)
+    violations: list[Violation] = find_violations(ast_branch)
+    if not violations:
+        return BranchAnalysis(well_designed=True, reference=branch)
+    gosn = GoSN.from_pattern(ast_branch)
+    transformed = transform_nwd(gosn, ast_branch, violations)
+    converted = frozenset(gosn.uni_edges - transformed.uni_edges)
+    reference = branch
+    if converted:
+        reference = from_ast(reference_rewrite(ast_branch, converted))
+    return BranchAnalysis(
+        well_designed=False,
+        violated_variables=tuple(sorted({v.variable
+                                         for v in violations})),
+        converted_edges=converted, reference=reference)
+
+
+class WellDesignednessPass(CompilerPass):
+    """Per-branch WD check plus the Appendix B transform decision."""
+
+    name = "wd-analysis"
+
+    def run(self, query: LogicalQuery,
+            ctx: PassContext) -> tuple[LogicalQuery, str]:
+        if not isinstance(query.root, LUnionAll):
+            raise PassError(f"{self.name} requires union-normal-form "
+                            f"to run first")
+        ctx.branch_info = tuple(analyze_branch(branch)
+                                for branch in query.root.branches)
+        bad = [index for index, info in enumerate(ctx.branch_info)
+               if not info.well_designed]
+        if not bad:
+            return query, "all branches well-designed"
+        details = []
+        for index in bad:
+            info = ctx.branch_info[index]
+            variables = " ".join(f"?{v}"
+                                 for v in info.violated_variables)
+            details.append(f"branch {index + 1} non-WD ({variables}; "
+                           f"{len(info.converted_edges)} uni edge(s) "
+                           f"→ bi)")
+        return query, "; ".join(details)
+
+
+# ----------------------------------------------------------------------
+# the manager
+# ----------------------------------------------------------------------
+
+def default_passes() -> list[CompilerPass]:
+    """The pipeline :class:`~repro.core.engine.LBREngine` compiles with."""
+    return [EqualityFilterEliminationPass(), UnionNormalFormPass(),
+            FilterScopeAssignmentPass(), WellDesignednessPass()]
+
+
+def reference_passes() -> list[CompilerPass]:
+    """The pipeline the differential-fuzzing reference consumes.
+
+    No equality-filter elimination: the reference models pure SPARQL
+    semantics and must not inherit the engine's optimizations.
+    """
+    return [UnionNormalFormPass(), FilterScopeAssignmentPass(),
+            WellDesignednessPass()]
+
+
+@dataclass
+class PassResult:
+    """Outcome of one pipeline run."""
+
+    logical: LogicalQuery
+    trace: tuple[PassRecord, ...]
+    context: PassContext
+
+
+class PassManager:
+    """Runs a pass pipeline with tracing and idempotence checking."""
+
+    def __init__(self, passes: list[CompilerPass] | None = None,
+                 check_idempotence: bool = False) -> None:
+        self.passes = list(passes) if passes is not None else default_passes()
+        self.check_idempotence = check_idempotence
+
+    def run(self, query: LogicalQuery) -> PassResult:
+        ctx = PassContext()
+        trace: list[PassRecord] = []
+        for compiler_pass in self.passes:
+            rewritten, detail = compiler_pass.run(query, ctx)
+            if self.check_idempotence:
+                again, _ = compiler_pass.run(rewritten, PassContext())
+                if again != rewritten:
+                    raise PassError(
+                        f"pass {compiler_pass.name!r} is not idempotent")
+            trace.append(PassRecord(name=compiler_pass.name,
+                                    changed=rewritten != query,
+                                    detail=detail))
+            query = rewritten
+        return PassResult(logical=query, trace=tuple(trace), context=ctx)

@@ -1,0 +1,353 @@
+"""Engine-independent physical plans — stage 3 of the compiler pipeline.
+
+:func:`build_physical` lowers the post-pass logical IR into a
+:class:`PhysicalPlan`: per UNION-free branch the GoSN (post Appendix B
+transform) and GoJ, the Algorithm 3.1 jvar orders, the init-vs-FaN
+filter routing, and the nullification/best-match decision — everything
+binding-independent.  The plan never holds pruned state or bindings:
+
+* :class:`~repro.core.engine.LBREngine` *compiles* it — init + prune +
+  multi-way join over BitMats;
+* :class:`~repro.baselines.naive.NaiveEngine` and the differential
+  fuzz oracle *interpret* the same branch structure bottom-up over a
+  plain triple store (each branch carries its logical node and, for
+  non-well-designed branches, the Appendix B reference rewrite).
+
+Because the plan is a pure function of the (canonical) logical IR and
+the immutable store metadata, the engine caches it keyed on the IR's
+structural hash (:mod:`repro.plan.hashing`): alpha-equivalent queries
+— renamed variables, reformatted text — share one compiled plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import UnsupportedQueryError
+from ..rdf.terms import Variable, is_variable
+from ..sparql.ast import TriplePattern
+from ..sparql.expressions import expression_variables
+from .logical import LogicalNode, LogicalQuery, LUnionAll, to_ast
+from .passes import (BranchAnalysis, PassRecord, PassResult, ScopedFilter)
+
+
+@dataclass(frozen=True)
+class InitFilter:
+    """A single-certain-variable filter applied while loading one TP."""
+
+    expr: object
+    var: Variable
+    tp_index: int
+
+
+@dataclass
+class BranchPhysicalPlan:
+    """Binding-independent analysis of one UNION-free branch.
+
+    Everything here is a pure function of the branch algebra (constants
+    included) and the immutable store metadata, so a repeated query
+    template reuses it wholesale; only init/prune/join — the parts that
+    touch actual triples — run per execution.
+    """
+
+    logical: LogicalNode
+    patterns: list[TriplePattern]
+    gosn: object  # GoSN, post Appendix B transform
+    goj: object   # GoJ
+    scoped_filters: tuple[ScopedFilter, ...]
+    #: init-time filter applications, keyed by TP index
+    init_filters: dict[int, tuple[InitFilter, ...]]
+    #: FaN filters (``repro.core.multiway.FanFilter``), scope groups
+    #: pre-resolved against the GoSN peer-group numbering
+    fan_filters: tuple
+    ranker: object  # SelectivityRanker
+    order_bu: list[Variable]
+    order_td: list[Variable]
+    row_first: dict[Variable, int]
+    nul_required: bool
+    well_designed: bool
+    nwd_transformed: bool
+    converted_edges: frozenset[tuple[int, int]]
+    metadata_counts: tuple[int, ...]
+    initial_triples: int
+    #: variables bound by an absolute-master peer group TP — never
+    #: NULL in any emitted row (decides init-vs-FaN filter routing)
+    certain_vars: set[Variable] = field(default_factory=set)
+
+
+@dataclass
+class PhysicalPlan:
+    """The cached compilation of a whole query.
+
+    Variable names are whatever space the input IR used — canonical
+    (``_c…``) when compiled through the engine's structural-hash cache,
+    source names when compiled directly (explain).
+    """
+
+    logical: LogicalQuery  # post-pass IR (root is an LUnionAll)
+    branches: list[BranchPhysicalPlan]
+    spurious_possible: bool
+    all_variables: tuple[Variable, ...]
+    renames: dict[Variable, Variable]
+    trace: tuple[PassRecord, ...]
+    structural_key: str = ""
+
+
+def build_physical(result: PassResult, store,
+                   enable_prune: bool = True,
+                   structural_key: str = "") -> PhysicalPlan:
+    """Lower a pass-pipeline result into a physical plan over *store*."""
+    root = result.logical.root
+    if not isinstance(root, LUnionAll):
+        raise UnsupportedQueryError(
+            "physical planning requires the union-normal-form pass")
+    branch_filters = result.context.branch_filters
+    branch_info = result.context.branch_info
+    if len(branch_filters) != len(root.branches):
+        raise UnsupportedQueryError(
+            "physical planning requires the filter-scope-assignment "
+            "pass")
+    if len(branch_info) != len(root.branches):
+        raise UnsupportedQueryError(
+            "physical planning requires the wd-analysis pass")
+    branches = [
+        _plan_branch(branch, filters, info, store, enable_prune)
+        for branch, filters, info
+        in zip(root.branches, branch_filters, branch_info)]
+    return PhysicalPlan(
+        logical=result.logical, branches=branches,
+        spurious_possible=root.spurious_possible,
+        all_variables=tuple(sorted(root.possible)),
+        renames=dict(result.context.renames), trace=result.trace,
+        structural_key=structural_key)
+
+
+def _plan_branch(branch: LogicalNode, scoped_filters: tuple[ScopedFilter, ...],
+                 info: BranchAnalysis, store,
+                 enable_prune: bool) -> BranchPhysicalPlan:
+    """Steps 1–3 of Alg 5.1: all binding-independent analysis."""
+    from ..core.goj import GoJ, GoT
+    from ..core.gosn import GoSN
+    from ..core.jvar_order import (decide_best_match_required,
+                                   get_jvar_order)
+    from ..core.selectivity import SelectivityRanker
+
+    gosn = GoSN.from_pattern(to_ast(branch))
+    patterns = gosn.patterns
+    validate_supported(patterns, scoped_filters)
+
+    if not patterns:
+        return BranchPhysicalPlan(
+            logical=branch, patterns=[], gosn=gosn, goj=None,
+            scoped_filters=scoped_filters, init_filters={},
+            fan_filters=(), ranker=SelectivityRanker([], []),
+            order_bu=[], order_td=[], row_first={}, nul_required=False,
+            well_designed=info.well_designed, nwd_transformed=False,
+            converted_edges=frozenset(), metadata_counts=(),
+            initial_triples=0)
+
+    nwd_transformed = not info.well_designed
+    if info.converted_edges:
+        gosn = gosn.with_bidirectional(set(info.converted_edges))
+
+    got = GoT.build(patterns)
+    if not _connected_ignoring_ground(got, patterns):
+        raise UnsupportedQueryError(
+            "query contains a Cartesian product between triple "
+            "patterns; LBR does not evaluate Cartesian products")
+
+    goj = GoJ.build(patterns)
+    metadata_counts = tuple(metadata_count(store, tp) for tp in patterns)
+    ranker = SelectivityRanker(patterns, list(metadata_counts))
+    order_bu, order_td = get_jvar_order(gosn, goj, ranker)
+    nul_required = (decide_best_match_required(gosn, goj)
+                    or has_disconnected_slave_group(gosn))
+    if not enable_prune:
+        # without minimality guarantees, reordered evaluation needs
+        # the nullification/best-match safety net whenever the query
+        # has OPTIONALs at all
+        nul_required = nul_required or bool(gosn.uni_edges)
+    row_first: dict[Variable, int] = {}
+    for rank, var in enumerate(order_bu):
+        row_first.setdefault(var, rank)
+    certain_vars = certain_variables(gosn)
+    init_filters, fan_filters = _route_filters(
+        scoped_filters, gosn, patterns, certain_vars)
+    return BranchPhysicalPlan(
+        logical=branch, patterns=patterns, gosn=gosn, goj=goj,
+        scoped_filters=scoped_filters, init_filters=init_filters,
+        fan_filters=fan_filters, ranker=ranker,
+        order_bu=list(order_bu), order_td=list(order_td),
+        row_first=row_first, nul_required=nul_required,
+        well_designed=info.well_designed,
+        nwd_transformed=nwd_transformed,
+        converted_edges=info.converted_edges,
+        metadata_counts=metadata_counts,
+        initial_triples=sum(metadata_counts),
+        certain_vars=certain_vars)
+
+
+def _route_filters(scoped_filters: tuple[ScopedFilter, ...], gosn,
+                   patterns: list[TriplePattern],
+                   certain_vars: set[Variable],
+                   ) -> tuple[dict[int, tuple[InitFilter, ...]], tuple]:
+    """Split filters into init-time applications and FaN filters (§5.2).
+
+    Single-variable filters over a *certain* variable apply while
+    loading each TP that binds the variable; everything else — filters
+    over nullable or multiple variables, and constant filters — runs
+    at result generation (FaN), its scope pre-resolved to GoSN
+    peer-group ids.  Filters over a nullable variable must not touch
+    init: pre-filtering the candidates would turn "filter drops the
+    row" into "the OPTIONAL block fails", i.e. fabricate a
+    NULL-extended row the filter then judges instead of the real
+    binding.
+    """
+    from ..core.multiway import FanFilter
+
+    # GoSN peer-group numbering — matches GroupPlan's enumeration
+    group_of_sn: dict[int, int] = {}
+    for group_index, group in enumerate(gosn.peer_groups()):
+        for sn in group:
+            group_of_sn[sn] = group_index
+
+    init_by_tp: dict[int, list[InitFilter]] = {}
+    fans: list = []
+    for scoped in scoped_filters:
+        expr_vars = expression_variables(scoped.expr)
+        if len(expr_vars) == 1 and expr_vars <= certain_vars:
+            (var,) = expr_vars
+            for index in range(scoped.tp_start, scoped.tp_end):
+                if var in patterns[index].variables():
+                    init_by_tp.setdefault(index, []).append(
+                        InitFilter(scoped.expr, var, index))
+            continue
+        # zero-variable (constant) filters go through FaN too: a
+        # constant-false filter must drop/nullify its scope
+        groups = frozenset(
+            group_of_sn[gosn.sn_of_tp[i]]
+            for i in range(scoped.tp_start, scoped.tp_end))
+        fans.append(FanFilter(scoped.expr, groups))
+    return ({index: tuple(filters)
+             for index, filters in init_by_tp.items()}, tuple(fans))
+
+
+# ----------------------------------------------------------------------
+# supported-fragment validation and structural predicates
+# ----------------------------------------------------------------------
+
+def metadata_count(store, tp: TriplePattern) -> int:
+    """Index-metadata cardinality of one TP (0 for absent constants)."""
+    sid = (None if is_variable(tp.s)
+           else store.encode_term(tp.s, "s"))
+    pid = (None if is_variable(tp.p)
+           else store.encode_term(tp.p, "p"))
+    oid = (None if is_variable(tp.o)
+           else store.encode_term(tp.o, "o"))
+    if ((not is_variable(tp.s) and sid is None)
+            or (not is_variable(tp.p) and pid is None)
+            or (not is_variable(tp.o) and oid is None)):
+        return 0
+    return store.count_matching(sid, pid, oid)
+
+
+def validate_supported(patterns: list[TriplePattern],
+                       scoped_filters: tuple[ScopedFilter, ...]) -> None:
+    """Reject queries outside the paper's supported fragment."""
+    from ..core.goj import join_variables
+
+    jvars = join_variables(patterns)
+    spaces: dict[Variable, set[str]] = {}
+    for tp in patterns:
+        if (is_variable(tp.s) and is_variable(tp.p) and is_variable(tp.o)):
+            raise UnsupportedQueryError(
+                f"all-variable triple pattern not supported: {tp}")
+        for position, term in zip("spo", tp):
+            if is_variable(term) and term in jvars:
+                spaces.setdefault(term, set()).add(position)
+    for var, used in spaces.items():
+        if "p" in used and used != {"p"}:
+            raise UnsupportedQueryError(
+                f"join variable ?{var} mixes the predicate position with "
+                f"S/O positions; the paper's index supports S-S, S-O and "
+                f"O-O joins only")
+    # safe-filter validation (§5.2)
+    by_range: dict[tuple[int, int], set[Variable]] = {}
+    for scoped in scoped_filters:
+        scope_vars = by_range.get((scoped.tp_start, scoped.tp_end))
+        if scope_vars is None:
+            scope_vars = set()
+            for tp in patterns[scoped.tp_start:scoped.tp_end]:
+                scope_vars |= tp.variables()
+            by_range[(scoped.tp_start, scoped.tp_end)] = scope_vars
+        if not expression_variables(scoped.expr) <= scope_vars:
+            raise UnsupportedQueryError(
+                "unsafe FILTER: its variables are not all bound by the "
+                "filtered pattern (§5.2 assumes safe filters)")
+
+
+def certain_variables(gosn) -> set[Variable]:
+    """Variables bound by a TP of an absolute-master peer group.
+
+    Those groups are never nullified and never NULL-extended, so their
+    variables are bound in every emitted row — the condition under
+    which a single-variable filter may be applied at init instead of
+    per-row at FaN time.
+    """
+    absolute = gosn.absolute_masters()
+    certain: set[Variable] = set()
+    for index, tp in enumerate(gosn.patterns):
+        if gosn.peers_of(gosn.sn_of_tp[index]) & absolute:
+            certain |= tp.variables()
+    return certain
+
+
+def has_disconnected_slave_group(gosn) -> bool:
+    """A slave peer group whose TPs do not form one variable-sharing
+    component.
+
+    Such a group's TPs touch each other only through their masters'
+    bindings, so pruning cannot enforce the all-or-nothing OPTIONAL
+    semantics (Lemma 3.3 relies on GoJ edges *within* the group): one
+    TP can fail for a master row while the others matched, and only
+    nullification turns that partial match into a failed block.
+    """
+    absolute = gosn.absolute_masters()
+    for group in gosn.peer_groups():
+        if group & absolute:
+            continue
+        with_vars = [
+            index
+            for sn in group for index in gosn.supernodes[sn].tp_indexes
+            if gosn.patterns[index].variables()]
+        if len(with_vars) <= 1:
+            continue
+        vars_of = {index: gosn.patterns[index].variables()
+                   for index in with_vars}
+        seen = {with_vars[0]}
+        frontier = [with_vars[0]]
+        while frontier:
+            node = frontier.pop()
+            for other in with_vars:
+                if other not in seen and vars_of[node] & vars_of[other]:
+                    seen.add(other)
+                    frontier.append(other)
+        if len(seen) < len(with_vars):
+            return True
+    return False
+
+
+def _connected_ignoring_ground(got, patterns: list[TriplePattern]) -> bool:
+    """GoT connectivity over TPs that have variables."""
+    with_vars = [i for i, tp in enumerate(patterns) if tp.variables()]
+    if len(with_vars) <= 1:
+        return True
+    seen = {with_vars[0]}
+    frontier = [with_vars[0]]
+    while frontier:
+        node = frontier.pop()
+        for neighbor in got.adjacency.get(node, ()):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return seen >= set(with_vars)

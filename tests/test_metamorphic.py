@@ -6,7 +6,7 @@ generated dataset, regardless of engine internals:
 * **plan-cache warm ≡ cold** — a repeated execution served from the
   compiled-plan cache must return the *same rows in the same order* as
   a cold engine (the §5 invariant of DESIGN.md; guards the
-  ``_QueryPlan`` reuse introduced by the hot-path overhaul);
+  ``PhysicalPlan`` reuse under the structural-hash cache keys);
 * **pruning ablation invariance** — ``enable_prune=True`` and
   ``False`` (and disabled active pruning) must agree bag-exactly:
   Algorithm 3.2 is an optimization, never a semantics change.

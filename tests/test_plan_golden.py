@@ -1,0 +1,78 @@
+"""Plan-golden check: planner drift must be visible in diffs.
+
+For each of the 19 Appendix E template queries, the full ``explain``
+rendering — logical IR, pass trace, structural key, physical plan per
+branch — is snapshotted under ``tests/golden/``.  Any change to the
+compiler pipeline that alters a plan shows up as a golden-file diff in
+review instead of silently shifting execution behavior.
+
+Regenerate after an *intentional* planner change with::
+
+    REGEN_PLAN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_plan_golden.py -q
+
+and commit the updated files.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import BitMatStore
+from repro.core.explain import explain
+from repro.datasets import (ALL_SUITES, generate_dbpedia, generate_lubm,
+                            generate_uniprot)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+_GENERATORS = {
+    "LUBM": generate_lubm,
+    "UniProt": generate_uniprot,
+    "DBPedia": generate_dbpedia,
+}
+
+_CASES = [(dataset, name, query)
+          for dataset, suite in ALL_SUITES.items()
+          for name, query in suite.items()]
+
+
+@pytest.fixture(scope="module")
+def stores():
+    """One BitMat store per dataset, shared by every query of a suite."""
+    return {dataset: BitMatStore.build(generate())
+            for dataset, generate in _GENERATORS.items()}
+
+
+def _golden_path(dataset: str, name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"plan_{dataset}_{name}.txt")
+
+
+@pytest.mark.parametrize("dataset,name,query", _CASES,
+                         ids=[f"{d}-{n}" for d, n, _ in _CASES])
+def test_plan_matches_golden(dataset, name, query, stores):
+    rendered = str(explain(stores[dataset], query)) + "\n"
+    path = _golden_path(dataset, name)
+    if os.environ.get("REGEN_PLAN_GOLDEN"):
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        return
+    assert os.path.exists(path), (
+        f"missing golden plan {path}; regenerate with "
+        f"REGEN_PLAN_GOLDEN=1")
+    with open(path, encoding="utf-8") as handle:
+        expected = handle.read()
+    assert rendered == expected, (
+        f"plan for {dataset}/{name} drifted from {path}; if the change "
+        f"is intentional, regenerate with REGEN_PLAN_GOLDEN=1 and "
+        f"commit the diff")
+
+
+def test_no_stale_golden_files():
+    """Every golden file corresponds to a current template query."""
+    expected = {os.path.basename(_golden_path(dataset, name))
+                for dataset, name, _query in _CASES}
+    actual = {entry for entry in os.listdir(GOLDEN_DIR)
+              if entry.startswith("plan_")}
+    assert actual == expected

@@ -1,0 +1,328 @@
+"""Unit tests for the compiler pipeline: logical IR and rewrite passes.
+
+Each pass is exercised in isolation (the ISSUE-3 contract: named,
+individually-testable, idempotence-checked passes with a recorded
+trace), then the full default pipeline is checked for idempotence over
+a representative query zoo.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan import (LBGP, LFilter, LJoin, LLeftJoin, LUnion, LUnionAll,
+                        PassContext, PassError, PassManager, build_logical,
+                        compile_logical, from_ast, run_pipeline, to_ast)
+from repro.plan.passes import (EqualityFilterEliminationPass,
+                               FilterScopeAssignmentPass,
+                               UnionNormalFormPass, WellDesignednessPass,
+                               collect_scoped_filters, default_passes)
+from repro.sparql.parser import parse_query
+
+from .conftest import EX
+
+def q(body: str, head: str = "SELECT *") -> str:
+    return f"PREFIX ex: <{EX}>\n{head} WHERE {{ {body} }}"
+
+
+#: Queries covering the full supported surface (the idempotence zoo).
+QUERY_ZOO = [
+    q("?a ex:actedIn ?b ."),
+    q("?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c }"),
+    q("?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c . "
+      "OPTIONAL { ?c ex:location ?d } }"),
+    q("{ ?a ex:actedIn ?b } UNION { ?a ex:location ?b }"),
+    q("?a ex:hasFriend ?b OPTIONAL { { ?b ex:actedIn ?c } UNION "
+      "{ ?b ex:location ?c } }"),
+    q("?a ex:actedIn ?b . FILTER(?a != ex:Larry)"),
+    q("?a ex:actedIn ?b . ?a2 ex:actedIn ?b . FILTER(?a = ?a2)"),
+    q("?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c . "
+      "FILTER(?c != ex:Veep) }"),
+    # non-well-designed: ?c occurs in the OPTIONAL body and outside
+    q("{ ?x ex:actedIn ?c } { ?y ex:hasFriend ?z "
+      "OPTIONAL { ?z ex:location ?c } }"),
+    q("?a ex:actedIn ?b", head="SELECT DISTINCT ?a") + " ORDER BY ?a LIMIT 3",
+]
+
+
+# ----------------------------------------------------------------------
+# logical IR lowering
+# ----------------------------------------------------------------------
+
+class TestLogicalIR:
+    def test_scope_annotations(self):
+        _, logical = compile_logical(q(
+            "?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c . "
+            "OPTIONAL { ?c ex:location ?d } }"))
+        root = logical.root
+        assert isinstance(root, LLeftJoin)
+        assert root.scope == 0
+        assert root.left.scope == 0
+        # each OPTIONAL body opens a fresh scope
+        inner = root.right
+        assert isinstance(inner, LLeftJoin)
+        assert inner.scope != 0
+        assert inner.right.scope not in (0, inner.scope)
+
+    def test_certain_and_possible(self):
+        _, logical = compile_logical(q(
+            "?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c }"))
+        root = logical.root
+        assert root.certain == {"a", "b"}
+        assert root.possible == {"a", "b", "c"}
+
+    def test_union_certain_is_intersection(self):
+        _, logical = compile_logical(q(
+            "{ ?a ex:actedIn ?b } UNION { ?a ex:location ?c }"))
+        root = logical.root
+        assert isinstance(root, LUnion)
+        assert root.certain == {"a"}
+        assert root.possible == {"a", "b", "c"}
+
+    def test_filter_preserves_annotations(self):
+        _, logical = compile_logical(q(
+            "?a ex:actedIn ?b . FILTER(?a != ex:Larry)"))
+        root = logical.root
+        assert isinstance(root, LFilter)
+        assert root.certain == {"a", "b"}
+
+    def test_ast_round_trip(self):
+        for text in QUERY_ZOO:
+            query = parse_query(text)
+            assert to_ast(from_ast(query.pattern)) == query.pattern
+
+    def test_build_logical_carries_modifiers(self):
+        query = parse_query(q("?a ex:actedIn ?b", head="SELECT ?a")
+                            + " ORDER BY ?b LIMIT 5 OFFSET 2")
+        logical = build_logical(query)
+        assert logical.select == ("a",)
+        assert logical.order_by == (("b", True),)
+        assert logical.limit == 5 and logical.offset == 2
+
+
+# ----------------------------------------------------------------------
+# individual passes
+# ----------------------------------------------------------------------
+
+class TestEqualityFilterElimination:
+    def run(self, text):
+        _, logical = compile_logical(text)
+        ctx = PassContext()
+        rewritten, detail = EqualityFilterEliminationPass().run(logical,
+                                                                ctx)
+        return rewritten, ctx, detail
+
+    def test_top_level_equality_eliminated(self):
+        rewritten, ctx, detail = self.run(q(
+            "?a ex:actedIn ?b . ?a2 ex:actedIn ?b . FILTER(?a = ?a2)"))
+        assert ctx.renames == {"a2": "a"}
+        assert "a2" not in rewritten.root.possible
+        assert not isinstance(rewritten.root, LFilter)
+        assert "renamed" in detail
+
+    def test_nested_equality_untouched(self):
+        text = q("?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c . "
+                 "?b2 ex:actedIn ?c . FILTER(?b = ?b2) }")
+        rewritten, ctx, _detail = self.run(text)
+        _, original = compile_logical(text)
+        assert ctx.renames == {}
+        assert rewritten.root == original.root
+
+    def test_non_certain_equality_untouched(self):
+        text = q("?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c } "
+                 "FILTER(?b = ?c)")
+        rewritten, ctx, _detail = self.run(text)
+        _, original = compile_logical(text)
+        assert ctx.renames == {}
+        assert rewritten.root == original.root
+
+
+class TestUnionNormalForm:
+    def run_unf(self, text):
+        _, logical = compile_logical(text)
+        return UnionNormalFormPass().run(logical, PassContext())
+
+    def test_single_branch(self):
+        rewritten, detail = self.run_unf(q("?a ex:actedIn ?b ."))
+        root = rewritten.root
+        assert isinstance(root, LUnionAll)
+        assert len(root.branches) == 1
+        assert not root.spurious_possible
+        assert "1 union-free branch(es)" in detail
+
+    def test_union_splits(self):
+        rewritten, _ = self.run_unf(q(
+            "{ ?a ex:actedIn ?b } UNION { ?a ex:location ?b }"))
+        assert len(rewritten.root.branches) == 2
+
+    def test_rule3_flags_spurious(self):
+        rewritten, detail = self.run_unf(q(
+            "?a ex:hasFriend ?b OPTIONAL { { ?b ex:actedIn ?c } UNION "
+            "{ ?b ex:location ?c } }"))
+        root = rewritten.root
+        assert len(root.branches) == 2
+        assert root.spurious_possible
+        assert "rule 3" in detail
+
+    def test_spurious_flag_survives_rerun(self):
+        rewritten, _ = self.run_unf(q(
+            "?a ex:hasFriend ?b OPTIONAL { { ?b ex:actedIn ?c } UNION "
+            "{ ?b ex:location ?c } }"))
+        again, _ = UnionNormalFormPass().run(rewritten, PassContext())
+        assert again == rewritten
+        assert again.root.spurious_possible
+
+
+class TestFilterScopeAssignment:
+    def test_requires_unf_first(self):
+        _, logical = compile_logical(q("?a ex:actedIn ?b ."))
+        with pytest.raises(PassError):
+            FilterScopeAssignmentPass().run(logical, PassContext())
+
+    def test_scope_ranges(self):
+        _, logical = compile_logical(q(
+            "?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c . "
+            "FILTER(?c != ex:Veep) }"))
+        unf, _ = UnionNormalFormPass().run(logical, PassContext())
+        ctx = PassContext()
+        FilterScopeAssignmentPass().run(unf, ctx)
+        (filters,) = ctx.branch_filters
+        (scoped,) = filters
+        # the filter scopes over the OPTIONAL body's single TP
+        assert (scoped.tp_start, scoped.tp_end) == (1, 2)
+
+    def test_collect_order_is_innermost_first(self):
+        _, logical = compile_logical(q(
+            "?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c . "
+            "FILTER(?c != ex:Veep) } FILTER(?a != ex:Larry)"))
+        unf, _ = UnionNormalFormPass().run(logical, PassContext())
+        (branch,) = unf.root.branches
+        filters = collect_scoped_filters(branch)
+        assert len(filters) == 2
+        # inner (OPTIONAL-scoped) filter listed before the top filter
+        assert filters[0].tp_end <= filters[1].tp_end
+
+    def test_union_inside_branch_rejected(self):
+        _, logical = compile_logical(q(
+            "{ ?a ex:actedIn ?b } UNION { ?a ex:location ?b }"))
+        with pytest.raises(PassError):
+            collect_scoped_filters(logical.root)
+
+
+class TestWellDesignednessPass:
+    def analyzed(self, text):
+        _, logical = compile_logical(text)
+        unf, _ = UnionNormalFormPass().run(logical, PassContext())
+        ctx = PassContext()
+        WellDesignednessPass().run(unf, ctx)
+        return unf, ctx
+
+    def test_well_designed_branch(self):
+        _, ctx = self.analyzed(q(
+            "?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c }"))
+        (info,) = ctx.branch_info
+        assert info.well_designed
+        assert info.converted_edges == frozenset()
+        assert info.reference is not None
+
+    def test_violating_branch_gets_reference_rewrite(self):
+        unf, ctx = self.analyzed(q(
+            "{ ?x ex:actedIn ?c } { ?y ex:hasFriend ?z "
+            "OPTIONAL { ?z ex:location ?c } }"))
+        (info,) = ctx.branch_info
+        assert not info.well_designed
+        assert "c" in info.violated_variables
+        assert info.converted_edges
+        # the reference rewrite turned the violating OPTIONAL into an
+        # inner join: no LeftJoin nodes remain on the converted path
+        def left_joins(node):
+            if isinstance(node, LLeftJoin):
+                yield node
+            for child in ("left", "right", "child"):
+                sub = getattr(node, child, None)
+                if sub is not None:
+                    yield from left_joins(sub)
+        (branch,) = unf.root.branches
+        assert list(left_joins(branch))
+        assert not list(left_joins(info.reference))
+
+    def test_requires_unf_first(self):
+        _, logical = compile_logical(q("?a ex:actedIn ?b ."))
+        with pytest.raises(PassError):
+            WellDesignednessPass().run(logical, PassContext())
+
+
+# ----------------------------------------------------------------------
+# the manager
+# ----------------------------------------------------------------------
+
+class TestPassManager:
+    def test_trace_records_every_pass(self):
+        _, logical = compile_logical(QUERY_ZOO[1])
+        result = run_pipeline(logical)
+        assert [record.name for record in result.trace] == [
+            "equality-filter-elimination", "union-normal-form",
+            "filter-scope-assignment", "wd-analysis"]
+
+    def test_trace_marks_what_changed(self):
+        _, logical = compile_logical(q(
+            "?a ex:actedIn ?b . ?a2 ex:actedIn ?b . FILTER(?a = ?a2)"))
+        result = run_pipeline(logical)
+        by_name = {record.name: record for record in result.trace}
+        assert by_name["equality-filter-elimination"].changed
+        assert "a2" in by_name["equality-filter-elimination"].detail
+
+    @pytest.mark.parametrize("text", QUERY_ZOO)
+    def test_pipeline_idempotent_on_zoo(self, text):
+        _, logical = compile_logical(text)
+        manager = PassManager(check_idempotence=True)
+        result = manager.run(logical)
+        again = manager.run(result.logical)
+        assert again.logical == result.logical
+        assert again.context.branch_filters == result.context.branch_filters
+        assert again.context.branch_info == result.context.branch_info
+
+    def test_check_idempotence_catches_broken_pass(self):
+        class Renamer(UnionNormalFormPass):
+            """Deliberately non-idempotent: grows a BGP every run."""
+
+            name = "broken"
+
+            def run(self, query, ctx):
+                rewritten, detail = super().run(query, ctx)
+                (branch, *rest) = rewritten.root.branches
+                grown = from_ast(to_ast(LJoin(branch, branch,
+                                              branch.scope,
+                                              branch.certain,
+                                              branch.possible)))
+                root = LUnionAll((grown, *rest),
+                                 rewritten.root.spurious_possible,
+                                 rewritten.root.scope,
+                                 rewritten.root.certain,
+                                 rewritten.root.possible)
+                return (type(rewritten)(root=root,
+                                        select=rewritten.select,
+                                        distinct=rewritten.distinct,
+                                        order_by=rewritten.order_by,
+                                        limit=rewritten.limit,
+                                        offset=rewritten.offset), detail)
+
+        _, logical = compile_logical(q("?a ex:actedIn ?b ."))
+        manager = PassManager([Renamer()], check_idempotence=True)
+        with pytest.raises(PassError, match="not idempotent"):
+            manager.run(logical)
+
+    def test_default_passes_order(self):
+        names = [p.name for p in default_passes()]
+        assert names.index("union-normal-form") < names.index(
+            "filter-scope-assignment")
+        assert names.index("union-normal-form") < names.index(
+            "wd-analysis")
+
+
+class TestBGPLowering:
+    def test_lbgp_fields(self):
+        _, logical = compile_logical(q("?a ex:actedIn ?b ."))
+        root = logical.root
+        assert isinstance(root, LBGP)
+        assert len(root.patterns) == 1

@@ -1,0 +1,170 @@
+"""Structural-hash plan-cache keys: alpha-equivalence and collisions.
+
+The ISSUE-3 acceptance criterion: two alpha-equivalent queries —
+renamed variables, reformatted text — share one cached physical plan,
+while changing any constant, operator, or solution modifier changes
+the key.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BitMatStore, Graph, LBREngine, NaiveEngine
+from repro.plan import canonicalize, compile_frontend, compile_logical
+from repro.plan.hashing import CANONICAL_PREFIX
+
+from .conftest import EX, FIGURE_3_2, FIGURE_3_2_QUERY, triples
+
+
+def key_of(text: str) -> str:
+    return compile_frontend(text).canonical.key
+
+
+def q(body: str, head: str = "SELECT *", tail: str = "") -> str:
+    return f"PREFIX ex: <{EX}>\n{head} WHERE {{ {body} }}{tail}"
+
+
+class TestAlphaEquivalence:
+    def test_renamed_variables_share_a_key(self):
+        original = q("?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c }")
+        renamed = q("?x ex:hasFriend ?y . OPTIONAL { ?y ex:actedIn ?z }")
+        assert key_of(original) == key_of(renamed)
+
+    def test_whitespace_and_formatting_invariant(self):
+        compact = q("?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c }")
+        spread = (f"PREFIX ex: <{EX}>\n"
+                  "SELECT *\nWHERE {\n"
+                  "    ?a   ex:hasFriend   ?b .\n"
+                  "    OPTIONAL {\n        ?b ex:actedIn ?c\n    }\n"
+                  "}\n")
+        assert key_of(compact) == key_of(spread)
+
+    def test_prefix_spelling_invariant(self):
+        with_prefix = q("?a ex:actedIn ?b .")
+        spelled_out = (f"SELECT * WHERE {{ ?a <{EX}actedIn> ?b . }}")
+        assert key_of(with_prefix) == key_of(spelled_out)
+
+    def test_select_list_follows_the_renaming(self):
+        original = q("?a ex:hasFriend ?b", head="SELECT ?b")
+        renamed = q("?x ex:hasFriend ?y", head="SELECT ?y")
+        assert key_of(original) == key_of(renamed)
+
+    def test_swapped_variables_are_equivalent_by_position(self):
+        # {a→b, b→a} is a bijection: still alpha-equivalent
+        original = q("?a ex:hasFriend ?b .")
+        swapped = q("?b ex:hasFriend ?a .")
+        assert key_of(original) == key_of(swapped)
+
+
+class TestKeySensitivity:
+    def test_constant_changes_the_key(self):
+        assert key_of(q("?s ex:location ex:NewYorkCity .")) != key_of(
+            q("?s ex:location ex:LosAngeles ."))
+
+    def test_operator_changes_the_key(self):
+        inner = q("?a ex:hasFriend ?b . { ?b ex:actedIn ?c }")
+        optional = q("?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c }")
+        assert key_of(inner) != key_of(optional)
+
+    def test_modifiers_change_the_key(self):
+        base = q("?a ex:actedIn ?b .")
+        assert key_of(base) != key_of(q("?a ex:actedIn ?b .",
+                                        head="SELECT DISTINCT *"))
+        assert key_of(base) != key_of(q("?a ex:actedIn ?b .",
+                                        tail=" LIMIT 3"))
+        assert key_of(base) != key_of(q("?a ex:actedIn ?b .",
+                                        tail=" ORDER BY ?a"))
+        assert key_of(base) != key_of(q("?a ex:actedIn ?b .",
+                                        head="SELECT ?a"))
+
+    def test_filter_changes_the_key(self):
+        base = q("?a ex:actedIn ?b .")
+        filtered = q("?a ex:actedIn ?b . FILTER(?a != ex:Larry)")
+        assert key_of(base) != key_of(filtered)
+
+    def test_distinct_variable_structure_not_conflated(self):
+        # one shared variable vs two distinct variables
+        shared = q("?a ex:actedIn ?b . ?a ex:location ?c .")
+        distinct = q("?a ex:actedIn ?b . ?d ex:location ?c .")
+        assert key_of(shared) != key_of(distinct)
+
+
+class TestCanonicalization:
+    def test_mapping_is_a_bijection(self):
+        frontend = compile_frontend(FIGURE_3_2_QUERY)
+        form = frontend.canonical
+        assert len(form.to_canonical) == len(form.from_canonical)
+        for old, new in form.to_canonical.items():
+            assert form.from_canonical[new] == old
+            assert new.startswith(CANONICAL_PREFIX)
+
+    def test_canonicalize_is_stable(self):
+        _, logical = compile_logical(FIGURE_3_2_QUERY)
+        assert (canonicalize(logical).key
+                == canonicalize(canonicalize(logical).logical).key)
+
+
+class TestPlanCacheSharing:
+    """Alpha-equivalent queries share one cached physical plan."""
+
+    ORIGINAL = f"""PREFIX ex: <{EX}>
+        SELECT ?friend ?sitcom WHERE {{
+          ex:Jerry ex:hasFriend ?friend .
+          OPTIONAL {{ ?friend ex:actedIn ?sitcom .
+                      ?sitcom ex:location ex:NewYorkCity . }}
+        }}"""
+    RENAMED = f"""PREFIX ex: <{EX}>
+        SELECT ?pal ?show
+        WHERE {{
+            ex:Jerry ex:hasFriend ?pal .
+            OPTIONAL {{
+                ?pal ex:actedIn ?show .
+                ?show ex:location ex:NewYorkCity .
+            }}
+        }}"""
+
+    def _engine(self) -> tuple[LBREngine, Graph]:
+        graph = Graph(triples(*FIGURE_3_2))
+        return LBREngine(BitMatStore.build(graph)), graph
+
+    def test_renamed_query_hits_the_plan_cache(self):
+        engine, _graph = self._engine()
+        cold = engine.execute(self.ORIGINAL)
+        stats = engine.plan_cache_stats()
+        assert stats["misses"] == 1 and stats["size"] == 1
+        renamed = engine.execute(self.RENAMED)
+        stats = engine.plan_cache_stats()
+        assert stats["hits"] == 1, stats
+        assert stats["misses"] == 1 and stats["size"] == 1
+        # identical rows modulo the column relabeling
+        assert cold.variables == ("friend", "sitcom")
+        assert renamed.variables == ("pal", "show")
+        assert cold.rows == renamed.rows
+
+    def test_renamed_results_match_the_oracle(self):
+        engine, graph = self._engine()
+        engine.execute(self.ORIGINAL)  # prime the cache
+        renamed = engine.execute(self.RENAMED)
+        naive = NaiveEngine(graph).execute(self.RENAMED)
+        assert renamed.as_multiset() == naive.as_multiset()
+
+    def test_constants_still_split_plans(self):
+        engine, _graph = self._engine()
+        engine.execute(q("?s ex:location ex:NewYorkCity ."))
+        engine.execute(q("?s ex:location ex:LosAngeles ."))
+        assert engine.plan_cache_stats()["size"] == 2
+
+    @pytest.mark.parametrize("head,tail", [
+        ("SELECT *", ""),
+        ("SELECT DISTINCT ?b", ""),
+        ("SELECT *", " ORDER BY ?b LIMIT 2"),
+    ])
+    def test_warm_equals_cold_through_structural_cache(self, head, tail):
+        engine, _graph = self._engine()
+        text = q("?a ex:hasFriend ?b . OPTIONAL { ?b ex:actedIn ?c }",
+                 head=head, tail=tail)
+        cold = engine.execute(text)
+        warm = engine.execute(text)
+        assert warm.variables == cold.variables
+        assert warm.rows == cold.rows
