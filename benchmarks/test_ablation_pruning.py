@@ -51,7 +51,13 @@ def test_prune_time_is_lightweight(lubm_store):
 
 
 def test_pruning_speeds_up_low_selectivity(lubm_store):
-    """On LUBM Q2 the pruned run beats the unpruned run clearly."""
+    """On LUBM Q2 the pruned run beats the unpruned run clearly.
+
+    Medians of three interleaved measurements: a single-shot
+    comparison occasionally loses a ~3x margin to one scheduler or GC
+    hiccup on a loaded CI runner.
+    """
+    import statistics
     import time
     query = LUBM_QUERIES["Q2"]
     on_engine = LBREngine(lubm_store, enable_prune=True)
@@ -59,10 +65,12 @@ def test_pruning_speeds_up_low_selectivity(lubm_store):
     on_engine.execute(query)
     off_engine.execute(query)
 
-    started = time.perf_counter()
-    on_engine.execute(query)
-    t_on = time.perf_counter() - started
-    started = time.perf_counter()
-    off_engine.execute(query)
-    t_off = time.perf_counter() - started
-    assert t_on < t_off
+    t_on, t_off = [], []
+    for _ in range(3):
+        started = time.perf_counter()
+        on_engine.execute(query)
+        t_on.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        off_engine.execute(query)
+        t_off.append(time.perf_counter() - started)
+    assert statistics.median(t_on) < statistics.median(t_off)

@@ -1,0 +1,244 @@
+"""Concurrent query-service benchmark: the 19-template multi-client
+workload.
+
+Drives the in-process :class:`~repro.server.service.QueryService`
+(scheduler + snapshot-isolated sessions — the loopback TCP hop is
+deliberately excluded so the numbers measure the service, not the
+kernel) with a seeded multi-client workload over every §6 benchmark
+template, and asserts the concurrency contract: every result is
+**row-identical** to the single-threaded engine's answer on the same
+data.
+
+Three phases land in ``benchmarks/out/BENCH_server.json``:
+
+* *correctness* — every (client, template) result equals the
+  single-threaded reference (sorted wire rows);
+* *throughput* — sustained seeded workload: requests/s, p50/p99
+  client-observed latency;
+* *saturation* — a deliberately tiny service (1 worker, queue of 2)
+  flooded without pacing: rejection rate must be non-zero (admission
+  control is real) and the service must keep answering afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+
+import pytest
+
+from repro import BitMatStore, LBREngine
+from repro.rdf.graph import Graph
+from repro.datasets import (DBPEDIA_QUERIES, LUBM_QUERIES, UNIPROT_QUERIES,
+                            generate_dbpedia, generate_lubm,
+                            generate_uniprot)
+from repro.exceptions import AdmissionError
+from repro.server import QueryService, ServiceConfig
+from repro.server.protocol import rows_to_wire
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+OUT_PATH = os.path.join(OUT_DIR, "BENCH_server.json")
+
+SEED = 20260729
+CLIENT_THREADS = 8
+WORKERS = 4
+#: requests per client in the throughput phase
+REQUESTS_PER_CLIENT = 40
+
+
+def _row_key(row: list) -> tuple:
+    return tuple("" if cell is None else cell for cell in row)
+
+
+def _reference_rows(engine: LBREngine, query: str) -> list:
+    return sorted(rows_to_wire(engine.execute(query).rows), key=_row_key)
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@pytest.fixture(scope="module")
+def server_report():
+    graph = Graph()
+    queries: dict[str, str] = {}
+    for label, generate, templates in (
+            ("LUBM", generate_lubm, LUBM_QUERIES),
+            ("UniProt", generate_uniprot, UNIPROT_QUERIES),
+            ("DBPedia", generate_dbpedia, DBPEDIA_QUERIES)):
+        graph.add_all(generate())
+        for name, text in templates.items():
+            queries[f"{label}/{name}"] = text
+    names = sorted(queries)
+    assert len(names) == 19
+
+    # independent single-threaded reference on its own store/engine
+    reference_engine = LBREngine(BitMatStore.build(graph))
+    references = {name: _reference_rows(reference_engine, queries[name])
+                  for name in names}
+
+    report: dict = {"seed": SEED, "threads": CLIENT_THREADS,
+                    "workers": WORKERS, "templates": len(names)}
+
+    with QueryService.from_graph(
+            graph, ServiceConfig(workers=WORKERS,
+                                 queue_limit=256)) as service:
+        # ---- correctness under concurrency --------------------------
+        mismatches: list[str] = []
+        failures: list[str] = []
+
+        def correctness_client(index: int) -> None:
+            rng = random.Random((SEED << 8) | index)
+            ordered = names * 3
+            rng.shuffle(ordered)
+            for name in ordered:
+                outcome = service.execute(queries[name])
+                if not outcome.ok:
+                    failures.append(f"{name}: {outcome.error_type}: "
+                                    f"{outcome.error}")
+                    continue
+                got = sorted(rows_to_wire(outcome.rows), key=_row_key)
+                if got != references[name]:
+                    mismatches.append(
+                        f"client {index} {name}: {len(got)} rows != "
+                        f"{len(references[name])} reference rows")
+
+        threads = [threading.Thread(target=correctness_client, args=(i,))
+                   for i in range(CLIENT_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        report["correctness"] = {
+            "requests": CLIENT_THREADS * len(names) * 3,
+            "mismatches": mismatches, "failures": failures,
+            "row_identical": not mismatches and not failures}
+
+        # ---- sustained throughput -----------------------------------
+        latencies: list[float] = []
+        latency_lock = threading.Lock()
+
+        def throughput_client(index: int) -> None:
+            rng = random.Random((SEED << 16) | index)
+            local: list[float] = []
+            for _ in range(REQUESTS_PER_CLIENT):
+                name = rng.choice(names)
+                t0 = time.perf_counter()
+                outcome = service.execute(queries[name])
+                elapsed = time.perf_counter() - t0
+                if outcome.ok:
+                    local.append(elapsed)
+            with latency_lock:
+                latencies.extend(local)
+
+        threads = [threading.Thread(target=throughput_client, args=(i,))
+                   for i in range(CLIENT_THREADS)]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - t0
+        report["throughput"] = {
+            "requests": len(latencies),
+            "wall_s": wall,
+            "qps": len(latencies) / wall,
+            "p50_ms": _percentile(latencies, 0.50) * 1000,
+            "p99_ms": _percentile(latencies, 0.99) * 1000,
+        }
+        report["scheduler"] = service.scheduler.stats()
+        report["compile"] = (
+            service.snapshots.current().engine.compile_stats())
+
+    # ---- saturation / admission control -----------------------------
+    with QueryService.from_graph(
+            graph, ServiceConfig(workers=1, queue_limit=2,
+                                 default_timeout=None)) as tiny:
+        rejections = [0]
+        accepted = [0]
+        rejection_lock = threading.Lock()
+
+        def flood_client(index: int) -> None:
+            rng = random.Random((SEED << 24) | index)
+            pending = []
+            for _ in range(25):
+                name = rng.choice(names)
+                try:
+                    pending.append(tiny.submit(queries[name]))
+                except AdmissionError:
+                    with rejection_lock:
+                        rejections[0] += 1
+                else:
+                    with rejection_lock:
+                        accepted[0] += 1
+            for request in pending:
+                request.result(timeout=120)
+
+        threads = [threading.Thread(target=flood_client, args=(i,))
+                   for i in range(CLIENT_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = rejections[0] + accepted[0]
+        # backpressure must not wedge the service: it still answers
+        post = tiny.execute(queries[names[0]])
+        report["saturation"] = {
+            "requests": total,
+            "rejected": rejections[0],
+            "accepted": accepted[0],
+            "rejection_rate": rejections[0] / total,
+            "responsive_after": bool(post.ok),
+        }
+
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    throughput = report["throughput"]
+    print(f"\n[server workload: {throughput['requests']} requests "
+          f"{throughput['qps']:.1f} qps p50={throughput['p50_ms']:.1f}ms "
+          f"p99={throughput['p99_ms']:.1f}ms rejection-rate="
+          f"{report['saturation']['rejection_rate']:.2f}]")
+    print(f"[written to {OUT_PATH}]")
+    return report
+
+
+def test_results_row_identical_to_single_threaded(server_report):
+    """Acceptance: the 8-thread workload over all 19 templates returns
+    exactly the single-threaded engine's rows."""
+    correctness = server_report["correctness"]
+    assert correctness["failures"] == [], correctness["failures"][:5]
+    assert correctness["mismatches"] == [], correctness["mismatches"][:5]
+    assert correctness["row_identical"]
+
+
+def test_throughput_metrics_written(server_report):
+    """BENCH_server.json carries throughput, p50/p99, rejection rate."""
+    assert os.path.exists(OUT_PATH)
+    with open(OUT_PATH, encoding="utf-8") as handle:
+        written = json.load(handle)
+    throughput = written["throughput"]
+    assert throughput["requests"] == CLIENT_THREADS * REQUESTS_PER_CLIENT
+    assert throughput["qps"] > 0
+    assert 0 < throughput["p50_ms"] <= throughput["p99_ms"]
+    assert "rejection_rate" in written["saturation"]
+
+
+def test_rejection_at_saturation(server_report):
+    """A flooded 1-worker/2-deep service must reject — and survive."""
+    saturation = server_report["saturation"]
+    assert saturation["rejected"] > 0
+    assert 0 < saturation["rejection_rate"] < 1
+    assert saturation["responsive_after"]
+
+
+def test_no_worker_errors(server_report):
+    """No request may die on an unhandled worker exception."""
+    assert server_report["scheduler"]["worker_errors"] == 0

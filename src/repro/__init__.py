@@ -21,7 +21,7 @@ Quickstart::
 
 from .baselines import ColumnStoreEngine, NaiveEngine
 from .bitmat import BitMat, BitMatStore, BitVector
-from .core import LBREngine, QueryStats, ResultSet
+from .core import EngineSession, LBREngine, QueryStats, ResultSet
 from .exceptions import (DictionaryError, NotWellDesignedError, ParseError,
                          ReproError, StorageError, UnsupportedQueryError)
 from .rdf import (NULL, BNode, Dictionary, Graph, Literal, Namespace, Term,
@@ -32,7 +32,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BNode", "BitMat", "BitMatStore", "BitVector", "ColumnStoreEngine",
-    "Dictionary", "DictionaryError", "Graph", "LBREngine", "Literal",
+    "Dictionary", "DictionaryError", "EngineSession", "Graph",
+    "LBREngine", "Literal",
     "NULL", "Namespace", "NaiveEngine", "NotWellDesignedError",
     "ParseError", "QueryStats", "ReproError", "ResultSet", "StorageError",
     "Term", "Triple", "URI", "UnsupportedQueryError", "Variable",

@@ -1,0 +1,125 @@
+"""Benchmark regression gate: current hot-path run vs. the baseline.
+
+``python -m repro.bench.compare BASELINE CURRENT`` compares two
+``BENCH_hot_path.json`` reports and fails (exit 1) when the warm
+**geomean speedup** — the workload-level warm-over-cold ratio, which is
+a machine-independent measure unlike raw milliseconds — regresses by
+more than ``--max-regression`` (default 25%).  The committed baseline
+lives at ``benchmarks/baselines/BENCH_hot_path.baseline.json``.
+
+A one-line markdown table is printed and, when running under GitHub
+Actions (``GITHUB_STEP_SUMMARY`` set), appended to the job summary so
+the regression check is legible from the checks list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: the gated metric: warm-over-cold geometric-mean speedup
+GATED_METRIC = "geomean_speedup"
+#: reported alongside the gate, not gated (machine-dependent or
+#: informational)
+REPORT_METRICS = ("wall_clock_speedup", "plan_cache_hit_rate",
+                  "total_repeat_ms")
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if "workload" not in report:
+        raise ValueError(f"{path}: not a BENCH_hot_path report "
+                         "(no 'workload' section)")
+    return report
+
+
+def compare(baseline: dict, current: dict,
+            max_regression: float = 0.25) -> dict:
+    """Gate verdict plus the numbers behind it."""
+    base_value = float(baseline["workload"][GATED_METRIC])
+    current_value = float(current["workload"][GATED_METRIC])
+    floor = base_value * (1.0 - max_regression)
+    ratio = current_value / base_value if base_value else float("inf")
+    result = {
+        "metric": GATED_METRIC,
+        "baseline": base_value,
+        "current": current_value,
+        "floor": floor,
+        "ratio": ratio,
+        "max_regression": max_regression,
+        "regressed": current_value < floor,
+        "report": {},
+    }
+    for metric in REPORT_METRICS:
+        result["report"][metric] = {
+            "baseline": baseline["workload"].get(metric),
+            "current": current["workload"].get(metric),
+        }
+    return result
+
+
+def format_table(result: dict) -> str:
+    """The one-line markdown verdict table for the job summary."""
+    verdict = ("REGRESSED" if result["regressed"] else "ok")
+    header = ("| gate | baseline | current | floor (-"
+              f"{result['max_regression']:.0%}) | ratio | verdict |")
+    rule = "|---|---|---|---|---|---|"
+    row = (f"| warm {result['metric']} | {result['baseline']:.2f}x "
+           f"| {result['current']:.2f}x | {result['floor']:.2f}x "
+           f"| {result['ratio']:.2f} | **{verdict}** |")
+    return "\n".join([header, rule, row])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.compare",
+        description="fail when the warm geomean speedup regressed "
+                    "past the threshold")
+    parser.add_argument("baseline",
+                        help="committed BENCH_hot_path.baseline.json")
+    parser.add_argument("current",
+                        help="freshly produced BENCH_hot_path.json")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional regression of the "
+                             "warm geomean (default 0.25)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_report(args.baseline)
+        current = load_report(args.current)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"bench-compare: cannot load reports: {exc}",
+              file=sys.stderr)
+        return 2
+
+    result = compare(baseline, current, args.max_regression)
+    table = format_table(result)
+    print(table)
+    for metric, values in result["report"].items():
+        print(f"  {metric}: baseline={values['baseline']} "
+              f"current={values['current']}")
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write("### Hot-path benchmark gate\n\n"
+                         + table + "\n")
+
+    if result["regressed"]:
+        print(f"bench-compare: FAIL — warm {GATED_METRIC} "
+              f"{result['current']:.2f}x is below the floor "
+              f"{result['floor']:.2f}x "
+              f"(baseline {result['baseline']:.2f}x)",
+              file=sys.stderr)
+        return 1
+    print(f"bench-compare: ok — warm {GATED_METRIC} "
+          f"{result['current']:.2f}x vs baseline "
+          f"{result['baseline']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

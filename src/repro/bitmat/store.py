@@ -26,7 +26,7 @@ from bisect import bisect_left
 from typing import Iterable
 
 from ..exceptions import StorageError
-from ..lru import LRUCache
+from ..lru import LRUCache, StripedLRUCache
 from ..rdf.dictionary import Dictionary
 from ..rdf.graph import Graph
 from ..rdf.terms import Term
@@ -65,6 +65,9 @@ class BitMatStore:
         #: ('ps', oid) / ('po', sid) -> full P-S / P-O BitMat
         self._entity_cache: LRUCache[tuple, BitMat] = (
             LRUCache(ENTITY_CACHE_SIZE))
+        #: set by :meth:`freeze` when the store was published for
+        #: concurrent read-only serving
+        self._frozen = False
 
     # ------------------------------------------------------------------
     # construction
@@ -257,6 +260,37 @@ class BitMatStore:
         matrix = BitMat(self.num_predicates + 1, width, rows)
         self._entity_cache.put(key, matrix)
         return matrix
+
+    def freeze(self) -> "BitMatStore":
+        """Prepare the store for concurrent read-only serving.
+
+        Pre-builds every lazily derived projection (the per-predicate
+        O-S pair lists, otherwise built on first touch — a mutation
+        concurrent readers must never observe mid-build) and swaps
+        every LRU for a lock-striped variant.  After this, cache
+        insertion is the only write on any read path, and it is locked;
+        the BitMat materializations themselves are immutable (pruning
+        ``unfold``s into fresh per-query objects), and their lazy fold
+        masks are idempotent pure computations whose racy double-build
+        is benign.  Snapshot publication calls this once; a frozen
+        store must not have triples added.
+        """
+        if self._frozen:
+            return self
+        for pid in list(self._so_by_p):
+            self._os_pairs(pid)
+        self._so_cache = StripedLRUCache(MATRIX_CACHE_SIZE)
+        self._os_cache = StripedLRUCache(MATRIX_CACHE_SIZE)
+        self._row_cache = StripedLRUCache(ROW_CACHE_SIZE)
+        self._entity_cache = StripedLRUCache(ENTITY_CACHE_SIZE)
+        self.dictionary.freeze()
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` published this store for serving."""
+        return self._frozen
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
         """Hit/miss/eviction counters of every store-level cache."""

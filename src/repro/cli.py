@@ -11,7 +11,10 @@ Commands:
 * ``fuzz``     — differential fuzzing: run seeded random (graph,
   query) cases across the engine matrix against the naive oracle,
   shrink failures, and optionally save them into the regression
-  corpus; ``--replay`` re-runs a saved corpus instead.
+  corpus; ``--replay`` re-runs a saved corpus instead;
+* ``serve``    — run the concurrent query service: an
+  admission-controlled worker pool over snapshot-isolated engine
+  sessions, speaking newline-delimited JSON over a TCP socket.
 """
 
 from __future__ import annotations
@@ -119,6 +122,42 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=["nullification"],
                       help="deliberately break an engine component to "
                            "validate that the harness catches it")
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve SPARQL queries over a TCP socket (NDJSON)",
+        description="Run the concurrent query service: queries from "
+                    "any number of client connections are admitted "
+                    "into a bounded queue and executed by a worker "
+                    "pool against the current immutable dataset "
+                    "snapshot; a 'reload' request swaps in a new "
+                    "snapshot without disturbing in-flight queries.")
+    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument("--data", help="N-Triples file")
+    serve_source.add_argument("--store", help="BitMat store image")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8815,
+                       help="TCP port (0 = pick an ephemeral port; "
+                            "the bound port is printed and written to "
+                            "--port-file)")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound port to this file once "
+                            "listening (for scripted callers)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="query worker threads (default 4)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="admission queue bound; a full queue "
+                            "rejects new queries immediately "
+                            "(default 64)")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="default per-query deadline in seconds, "
+                            "measured from admission (default 30)")
+    serve.add_argument("--max-join-rows", type=int, default=1_000_000,
+                       help="default per-query join output budget "
+                            "(default 1,000,000)")
+    serve.add_argument("--no-shutdown-op", action="store_true",
+                       help="reject the protocol 'shutdown' op "
+                            "(stop with SIGINT instead)")
     return parser
 
 
@@ -301,10 +340,47 @@ def _fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _serve(args) -> int:
+    from .server import LBRServer, QueryService, ServiceConfig
+
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit if args.queue_limit > 0 else None,
+        default_timeout=args.timeout if args.timeout > 0 else None,
+        max_join_rows=(args.max_join_rows
+                       if args.max_join_rows > 0 else None))
+    service = QueryService(config)
+    if args.store:
+        service.load_store(BitMatStore.load(args.store))
+    else:
+        service.load_store(BitMatStore.build(ntriples.load(args.data)))
+    snapshot = service.snapshots.current()
+    server = LBRServer(service, host=args.host, port=args.port,
+                       allow_shutdown=not args.no_shutdown_op)
+    host, port = server.address
+    print(f"lbr serve: {snapshot.store.num_triples:,} triples "
+          f"(snapshot v{snapshot.version}), {args.workers} workers, "
+          f"queue limit {args.queue_limit}", flush=True)
+    print(f"listening on {host}:{port}", flush=True)
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{port}\n")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.close()
+        service.close()
+    print("lbr serve: stopped", flush=True)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"generate": _generate, "index": _index, "query": _query,
-                "info": _info, "bench": _bench, "fuzz": _fuzz}
+                "info": _info, "bench": _bench, "fuzz": _fuzz,
+                "serve": _serve}
     return handlers[args.command](args)
 
 

@@ -1,6 +1,6 @@
 """LBR core: GoSN, GoJ, jvar orders, pruning, multi-way join, engine."""
 
-from .engine import LBREngine, QueryStats
+from .engine import EngineSession, LBREngine, QueryStats
 from .explain import BranchPlan, QueryPlan, explain
 from .goj import GoJ, GoT, Tree, get_tree, join_variables
 from .gosn import GoSN, Supernode
@@ -16,7 +16,7 @@ from .tp import TPState, translate_id
 
 __all__ = [
     "BranchPlan", "FanFilter", "GoJ", "GoSN", "GoT", "GroupPlan",
-    "LBREngine", "QueryPlan", "explain",
+    "EngineSession", "LBREngine", "QueryPlan", "explain",
     "MultiWayJoin", "QueryStats", "ResultSet", "SelectivityRanker",
     "Supernode", "TPState", "Tree", "VarMap", "active_prune", "best_match",
     "clustered_semi_join", "decide_best_match_required", "decode_binding",

@@ -30,22 +30,36 @@ Execution per branch is the paper's runtime half:
 
 Branch results are bag-unioned, with minimum-union cleanup when UNF
 rewrite rule 3 may have introduced spurious rows.
+
+Concurrency: the engine itself holds only *shared* state — the store,
+the config switches, and the compile caches.  All mutable per-query
+state (TP slot states, join scratch, the :class:`QueryStats`) lives in
+an :class:`EngineSession`, so any number of sessions can execute
+concurrently against one engine built with ``thread_safe=True`` (which
+swaps the compile caches for lock-striped ones and single-flights plan
+compilation so a burst of structurally identical queries shares one
+compile).  ``LBREngine.execute`` remains the single-threaded
+convenience wrapper: it runs a throwaway session and mirrors its stats
+into ``last_stats``.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
 from ..bitmat.bitvec import BitVector
 from ..bitmat.store import BitMatStore
-from ..lru import LRUCache
+from ..exceptions import DeadlineExceededError
+from ..lru import LRUCache, StripedLRUCache
 from ..plan.compiler import FrontendResult, compile_frontend, run_pipeline
 from ..plan.passes import PassManager
 from ..plan.physical import BranchPhysicalPlan, PhysicalPlan, build_physical
 from ..rdf.terms import NULL, Variable
 from ..sparql.ast import Query
 from ..sparql.expressions import passes
+from ..sync import UNSET, SingleFlight
 from .multiway import MultiWayJoin
 from .nullification import GroupPlan, minimum_union
 from .prune import active_prune, prune_triples
@@ -57,6 +71,10 @@ from .tp import TPState
 PLAN_CACHE_SIZE = 128
 #: Bound on the per-engine parse/canonicalize memo (text-keyed).
 FRONTEND_CACHE_SIZE = 256
+
+#: How many emitted join rows between deadline checks (the check is a
+#: clock read; amortizing it keeps the hot emit path cheap).
+_DEADLINE_STRIDE = 512
 
 
 @dataclass
@@ -94,28 +112,41 @@ class LBREngine:
     def __init__(self, store: BitMatStore, enable_prune: bool = True,
                  enable_active_prune: bool = True,
                  plan_cache_size: int = PLAN_CACHE_SIZE,
-                 max_join_rows: int | None = None) -> None:
+                 max_join_rows: int | None = None,
+                 thread_safe: bool = False) -> None:
         self.store = store
         self.enable_prune = enable_prune
         self.enable_active_prune = enable_active_prune
         #: optional resource limit: a branch join that produces more
         #: rows raises :class:`~repro.exceptions.BudgetExceededError`
-        #: (used by the fuzz harness; None means unlimited)
+        #: (used by the fuzz harness and as the scheduler's default
+        #: per-query budget; None means unlimited)
         self.max_join_rows = max_join_rows
+        #: when True the compile caches are lock-striped and plan
+        #: compilation is single-flighted; required for concurrent
+        #: sessions (the snapshot publisher always sets it)
+        self.thread_safe = thread_safe
         self.last_stats = QueryStats()
         self._pass_manager = PassManager()
+        cache_class = StripedLRUCache if thread_safe else LRUCache
         # Compiled physical plans keyed on the structural hash of the
         # canonicalized logical IR.  GoSN, GoJ, jvar orders, and the
         # filter routing never depend on binding values, so a repeated
         # query template — even alpha-renamed or reformatted — pays
         # only init + prune + join.  Constants are part of the key:
         # two queries differing only in a constant never share a plan.
-        self._plan_cache: LRUCache[str, PhysicalPlan] = (
-            LRUCache(plan_cache_size))
+        self._plan_cache = cache_class(plan_cache_size)
         # Text-keyed parse/canonicalize memo in front of the plan
         # cache (exact-text repeats skip the parser as well).
-        self._frontend_cache: LRUCache[str, FrontendResult] = (
-            LRUCache(max(plan_cache_size, FRONTEND_CACHE_SIZE)))
+        self._frontend_cache = cache_class(
+            max(plan_cache_size, FRONTEND_CACHE_SIZE))
+        # Structurally identical concurrent queries share one compile:
+        # the first thread to miss becomes the leader, the rest wait
+        # and re-read the cache ("request batching" at the plan layer).
+        self._compile_flight = SingleFlight() if thread_safe else None
+        self._compile_lock = threading.Lock()
+        self._compiles = 0
+        self._shared_compiles = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -126,10 +157,146 @@ class LBREngine:
         from .explain import explain
         return explain(self.store, query)
 
+    def session(self, max_join_rows: int | None = UNSET,
+                deadline: float | None = None) -> "EngineSession":
+        """A per-request execution context over this engine.
+
+        *max_join_rows* overrides the engine default when given;
+        *deadline* is an absolute ``time.monotonic()`` timestamp after
+        which execution raises :class:`DeadlineExceededError`.
+        """
+        return EngineSession(self, max_join_rows=max_join_rows,
+                             deadline=deadline)
+
     def execute(self, query: Query | str) -> ResultSet:
-        """Run a SELECT query; per-query metrics land in ``last_stats``."""
+        """Run a SELECT query; per-query metrics land in ``last_stats``.
+
+        Single-threaded convenience wrapper: concurrent callers should
+        hold their own :meth:`session` instead (``last_stats`` is
+        shared engine state and would be overwritten racily).
+        """
+        session = self.session()
+        result = session.execute(query)
+        self.last_stats = session.last_stats
+        return result
+
+    def plan_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the compiled plan cache."""
+        return self._plan_cache.stats()
+
+    def frontend_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the parse/canonicalize memo."""
+        return self._frontend_cache.stats()
+
+    def compile_stats(self) -> dict[str, int]:
+        """Plan compilation counters.
+
+        ``compiles`` counts actual physical-plan builds; ``shared``
+        counts requests that piggybacked on another thread's in-flight
+        compile instead of building their own (the batching win).
+        """
+        with self._compile_lock:
+            return {"compiles": self._compiles,
+                    "shared": self._shared_compiles}
+
+    # ------------------------------------------------------------------
+    # query planning (binding-independent, cached)
+    # ------------------------------------------------------------------
+
+    def _plan_query(self, query: Query | str,
+                    ) -> tuple[FrontendResult, PhysicalPlan]:
+        """Compile *query*, serving repeats from the plan cache.
+
+        Two caches stack: a text-keyed frontend memo (parse + lower +
+        canonicalize; for parsed queries, keyed on the canonical
+        re-serialization) and the physical-plan cache keyed on the
+        structural hash of the canonical logical IR.  A renamed or
+        reformatted template misses the text memo but *hits* the plan
+        cache; planning failures are never cached.
+        """
+        text = query if isinstance(query, str) else query.to_sparql()
+        frontend = self._frontend_cache.get(text)
+        if frontend is None:
+            frontend = compile_frontend(
+                query if isinstance(query, Query) else text)
+            self._frontend_cache.put(text, frontend)
+        key = frontend.canonical.key
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._compile_plan(key, frontend)
+        return frontend, plan
+
+    def _compile_plan(self, key: str,
+                      frontend: FrontendResult) -> PhysicalPlan:
+        """Build (or wait for) the physical plan for structural *key*."""
+        if self._compile_flight is None:
+            plan = self._build_plan(key, frontend)
+            self._plan_cache.put(key, plan)
+            self._compiles += 1
+            return plan
+        while True:
+            leader, event = self._compile_flight.begin(key)
+            if leader:
+                try:
+                    plan = self._build_plan(key, frontend)
+                    self._plan_cache.put(key, plan)
+                    with self._compile_lock:
+                        self._compiles += 1
+                    return plan
+                finally:
+                    # released on failure too, so followers retry
+                    # rather than wait forever on a failed compile
+                    self._compile_flight.finish(key)
+            event.wait()
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                with self._compile_lock:
+                    self._shared_compiles += 1
+                return plan
+            # the leader failed (planning error, eviction race):
+            # take a turn at compiling ourselves
+
+    def _build_plan(self, key: str,
+                    frontend: FrontendResult) -> PhysicalPlan:
+        compiled = run_pipeline(frontend.canonical.logical,
+                                self._pass_manager)
+        return build_physical(compiled, self.store,
+                              enable_prune=self.enable_prune,
+                              structural_key=key)
+
+
+class EngineSession:
+    """Per-request execution context: all mutable query state lives here.
+
+    The engine, the compiled plans, and the store are only *read*
+    during execution — BitMat materializations are immutable, pruning
+    ``unfold``s into fresh per-session objects, and the join's slot
+    array is private to the session's :class:`MultiWayJoin` — so any
+    number of sessions can run concurrently against one engine
+    snapshot.  Per-session budgets (``max_join_rows``, an absolute
+    *deadline*) bound each request independently.
+    """
+
+    def __init__(self, engine: LBREngine,
+                 max_join_rows: int | None = UNSET,
+                 deadline: float | None = None) -> None:
+        self.engine = engine
+        self.max_join_rows = (engine.max_join_rows
+                              if max_join_rows is UNSET else max_join_rows)
+        #: absolute ``time.monotonic()`` deadline, or None
+        self.deadline = deadline
+        self.last_stats = QueryStats()
+
+    @property
+    def store(self) -> BitMatStore:
+        return self.engine.store
+
+    def execute(self, query: Query | str) -> ResultSet:
+        """Run a SELECT query; metrics land in this session's
+        ``last_stats``."""
         started = time.perf_counter()
-        frontend, plan = self._plan_query(query)
+        self._check_deadline()
+        frontend, plan = self.engine._plan_query(query)
         t_plan = time.perf_counter() - started
 
         stats = QueryStats(branches=len(plan.branches), t_plan=t_plan)
@@ -184,45 +351,27 @@ class LBREngine:
         self.last_stats = stats
         return result
 
-    def plan_cache_stats(self) -> dict[str, int]:
-        """Hit/miss/eviction counters of the compiled plan cache."""
-        return self._plan_cache.stats()
-
-    def frontend_cache_stats(self) -> dict[str, int]:
-        """Hit/miss/eviction counters of the parse/canonicalize memo."""
-        return self._frontend_cache.stats()
-
     # ------------------------------------------------------------------
-    # query planning (binding-independent, cached)
+    # budgets
     # ------------------------------------------------------------------
 
-    def _plan_query(self, query: Query | str,
-                    ) -> tuple[FrontendResult, PhysicalPlan]:
-        """Compile *query*, serving repeats from the plan cache.
+    def _check_deadline(self) -> None:
+        if (self.deadline is not None
+                and time.monotonic() >= self.deadline):
+            raise DeadlineExceededError(
+                "query exceeded its wall-clock deadline")
 
-        Two caches stack: a text-keyed frontend memo (parse + lower +
-        canonicalize; for parsed queries, keyed on the canonical
-        re-serialization) and the physical-plan cache keyed on the
-        structural hash of the canonical logical IR.  A renamed or
-        reformatted template misses the text memo but *hits* the plan
-        cache; planning failures are never cached.
-        """
-        text = query if isinstance(query, str) else query.to_sparql()
-        frontend = self._frontend_cache.get(text)
-        if frontend is None:
-            frontend = compile_frontend(
-                query if isinstance(query, Query) else text)
-            self._frontend_cache.put(text, frontend)
-        key = frontend.canonical.key
-        plan = self._plan_cache.get(key)
-        if plan is None:
-            compiled = run_pipeline(frontend.canonical.logical,
-                                    self._pass_manager)
-            plan = build_physical(compiled, self.store,
-                                  enable_prune=self.enable_prune,
-                                  structural_key=key)
-            self._plan_cache.put(key, plan)
-        return frontend, plan
+    def _deadline_sink(self, append) -> object:
+        """Wrap a row sink with an amortized deadline check."""
+        counter = [0]
+        check = self._check_deadline
+
+        def sink(row) -> None:
+            append(row)
+            counter[0] += 1
+            if not counter[0] % _DEADLINE_STRIDE:
+                check()
+        return sink
 
     # ------------------------------------------------------------------
     # one UNION-free branch (Alg 5.1)
@@ -246,12 +395,13 @@ class LBREngine:
 
         # ---- init with active pruning -------------------------------
         t0 = time.perf_counter()
+        engine = self.engine
         states: list[TPState] = []
         for index, tp in enumerate(patterns):
             state = TPState.load(index, tp, self.store, plan.row_first)
             for init_filter in plan.init_filters.get(index, ()):
                 self._apply_init_filter(state, init_filter)
-            if self.enable_active_prune:
+            if engine.enable_active_prune:
                 active_prune(state, states, gosn, self.store.num_shared)
             states.append(state)
             if (state.is_empty()
@@ -262,10 +412,11 @@ class LBREngine:
                 return [], tuple(), stats
         _fail_groups_with_absent_ground(states, gosn)
         stats.t_init = time.perf_counter() - t0
+        self._check_deadline()
 
         # ---- prune (Alg 3.2) ----------------------------------------
         t0 = time.perf_counter()
-        if self.enable_prune:
+        if engine.enable_prune:
             def abort_check() -> bool:
                 return any(state.is_empty()
                            and gosn.tp_in_absolute_master(state.index)
@@ -281,17 +432,21 @@ class LBREngine:
                 return [], tuple(), stats
         stats.t_prune = time.perf_counter() - t0
         stats.triples_after_pruning = sum(state.count() for state in states)
+        self._check_deadline()
 
         # ---- multi-way pipelined join (Alg 5.4) ---------------------
         t0 = time.perf_counter()
         sorted_states = _sort_states(states, gosn, plan.ranker)
         group_plan = GroupPlan(gosn, sorted_states)
         encoded: list[tuple] = []
+        sink = (encoded.append if self.deadline is None
+                else self._deadline_sink(encoded.append))
         join = MultiWayJoin(sorted_states, gosn, group_plan, nul_required,
                             list(plan.fan_filters), self.store.dictionary,
-                            encoded.append,
+                            sink,
                             max_output_rows=self.max_join_rows)
         join.run()
+        self._check_deadline()
         if nul_required or join.fan_nullified:
             # Minimum union (Rao et al.): drop subsumed rows *and* the
             # duplicates nullification introduces.  Full-width rows of a

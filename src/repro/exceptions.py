@@ -48,8 +48,34 @@ class BudgetExceededError(ReproError):
 
     Used by the naive oracle when a caller (e.g. the differential fuzz
     harness) bounds the number of intermediate rows it is willing to
-    materialize for one query.
+    materialize for one query, and by the query service to cap
+    ``max_join_rows`` per request.
     """
+
+
+class DeadlineExceededError(BudgetExceededError):
+    """Raised when a query session runs past its wall-clock deadline.
+
+    A deadline is just another work budget — callers that already
+    handle :class:`BudgetExceededError` degrade gracefully — but the
+    scheduler distinguishes it to report timeouts separately from row
+    budgets.
+    """
+
+
+class AdmissionError(ReproError):
+    """Raised when the scheduler rejects a request at admission.
+
+    Carries the queue depth and limit observed at rejection time so
+    clients can surface backpressure ("retry later") instead of a
+    generic failure.
+    """
+
+    def __init__(self, message: str, queue_depth: int | None = None,
+                 queue_limit: int | None = None) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit
 
 
 class DictionaryError(ReproError):

@@ -1,4 +1,4 @@
-"""A small bounded LRU cache used by the hot-path caching layers.
+"""Bounded LRU caches used by the hot-path caching layers.
 
 Every cache the engine keeps — per-predicate BitMats, P-S/P-O rows,
 decoded terms, compiled query plans — is an :class:`LRUCache`, so
@@ -7,10 +7,18 @@ repeated-template workload (the shape production traffic has) keeps its
 working set resident.  The implementation rides on the insertion order
 of ``dict``: a hit re-inserts the key, a miss on a full cache evicts
 the oldest entry.
+
+:class:`LRUCache` is deliberately lock-free and belongs to exactly one
+thread (a ``get`` mutates recency order).  The concurrent query service
+publishes *shared* caches — the plan cache, the store's BitMat caches,
+the decode memo — as :class:`StripedLRUCache`: the same interface, with
+keys hashed across independently locked stripes so concurrent hits on
+different stripes never contend on one lock.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Generic, Iterator, TypeVar
 
 K = TypeVar("K")
@@ -85,3 +93,79 @@ class LRUCache(Generic[K, V]):
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"LRUCache({len(self._data)}/{self.capacity}, "
                 f"hits={self.hits}, misses={self.misses})")
+
+
+class StripedLRUCache(Generic[K, V]):
+    """Thread-safe LRU cache built from independently locked stripes.
+
+    A key hashes to one stripe; each stripe is a plain :class:`LRUCache`
+    guarded by its own lock, so two threads touching different stripes
+    never serialize.  Capacity is divided across the stripes (rounded
+    up), and eviction is per-stripe — close enough to global LRU for
+    cache-sized workloads while keeping the critical sections tiny.
+
+    A ``capacity`` of 0 disables caching entirely, matching
+    :class:`LRUCache` semantics.
+    """
+
+    __slots__ = ("capacity", "num_stripes", "_stripes", "_locks")
+
+    def __init__(self, capacity: int, num_stripes: int = 8) -> None:
+        if capacity < 0:
+            raise ValueError("LRU capacity must be non-negative")
+        if num_stripes < 1:
+            raise ValueError("at least one stripe required")
+        # never spread a tiny capacity so thin that stripes round to
+        # capacity-1 entries each being the whole cache
+        num_stripes = max(1, min(num_stripes, capacity or 1))
+        per_stripe = -(-capacity // num_stripes) if capacity else 0
+        self.capacity = per_stripe * num_stripes
+        self.num_stripes = num_stripes
+        self._stripes: list[LRUCache[K, V]] = [
+            LRUCache(per_stripe) for _ in range(num_stripes)]
+        self._locks = [threading.Lock() for _ in range(num_stripes)]
+
+    def _index(self, key: K) -> int:
+        return hash(key) % self.num_stripes
+
+    def get(self, key: K, default: object = None) -> object:
+        """Value for *key* (marking it recently used), or *default*."""
+        index = self._index(key)
+        with self._locks[index]:
+            return self._stripes[index].get(key, default)
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/refresh *key*, evicting within its stripe when full."""
+        index = self._index(key)
+        with self._locks[index]:
+            self._stripes[index].put(key, value)
+
+    def __contains__(self, key: K) -> bool:
+        index = self._index(key)
+        with self._locks[index]:
+            return key in self._stripes[index]
+
+    def __len__(self) -> int:
+        return sum(len(stripe) for stripe in self._stripes)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        for index, stripe in enumerate(self._stripes):
+            with self._locks[index]:
+                stripe.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Aggregated hit/miss/eviction counters across all stripes."""
+        totals = {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+        for index, stripe in enumerate(self._stripes):
+            with self._locks[index]:
+                for field, value in stripe.stats().items():
+                    if field != "capacity":
+                        totals[field] += value
+        totals["capacity"] = self.capacity
+        totals["stripes"] = self.num_stripes
+        return totals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StripedLRUCache({len(self)}/{self.capacity}, "
+                f"stripes={self.num_stripes})")

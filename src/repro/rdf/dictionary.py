@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from ..exceptions import DictionaryError
-from ..lru import LRUCache
+from ..lru import LRUCache, StripedLRUCache
 from .terms import Literal, Term, Triple
 
 #: Encoded triple: (subject id, predicate id, object id).
@@ -228,6 +228,17 @@ class Dictionary:
     def decode_cache_stats(self) -> dict[str, int]:
         """Hit/miss/eviction counters of the decode cache."""
         return self._decode_cache.stats()
+
+    def freeze(self) -> None:
+        """Swap the decode memo for a lock-striped cache.
+
+        Called by :meth:`repro.bitmat.store.BitMatStore.freeze` at
+        snapshot publication: the term tables themselves are already
+        immutable after construction, so the memo is the dictionary's
+        only concurrently mutated state.
+        """
+        if not isinstance(self._decode_cache, StripedLRUCache):
+            self._decode_cache = StripedLRUCache(DECODE_CACHE_SIZE)
 
     def decode_triple(self, id_triple: IdTriple) -> Triple:
         """Inverse of :meth:`encode_triple`."""

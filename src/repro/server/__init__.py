@@ -1,0 +1,30 @@
+"""Concurrent query service: snapshots, scheduler, and the TCP front door.
+
+The serving architecture (see DESIGN.md §9) is three layers:
+
+* :mod:`repro.server.snapshot` — immutable published dataset snapshots
+  with copy-on-write swap on (re)load; N sessions execute against one
+  snapshot while a new one is built out of band;
+* :mod:`repro.server.scheduler` — an admission-controlled worker pool
+  with bounded queueing, per-query deadline / ``max_join_rows``
+  budgets, and single-flighted compilation of structurally identical
+  queries;
+* :mod:`repro.server.net` — newline-delimited JSON over a TCP socket
+  (``lbr serve``) plus the :class:`ServerClient` used by tests, the
+  soak gate, and the load generator.
+
+:class:`repro.server.service.QueryService` composes the first two into
+the embeddable object the front door (and in-process users) drive.
+"""
+
+from .net import LBRServer, ServerClient
+from .scheduler import (PendingQuery, QueryOutcome, QueryScheduler,
+                        SchedulerConfig)
+from .service import QueryService, ServiceConfig
+from .snapshot import Snapshot, SnapshotManager
+
+__all__ = [
+    "LBRServer", "PendingQuery", "QueryOutcome", "QueryScheduler",
+    "QueryService", "SchedulerConfig", "ServerClient", "ServiceConfig",
+    "Snapshot", "SnapshotManager",
+]

@@ -1,0 +1,254 @@
+"""TCP front door: the NDJSON socket server and its client.
+
+:class:`LBRServer` wraps a ``ThreadingTCPServer``: each connection gets
+a reader thread that parses one JSON request per line, drives the
+shared :class:`~repro.server.service.QueryService`, and writes one JSON
+response per line.  Concurrency control lives in the *scheduler*, not
+here — connection threads block on their request's outcome, and the
+bounded admission queue is what pushes back when clients outrun the
+worker pool.
+
+:class:`ServerClient` is the reference client: tests, the soak gate,
+and the load generator all speak through it.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+
+from ..bitmat.store import BitMatStore
+from ..rdf import ntriples
+from .protocol import (PROTOCOL_VERSION, decode_line, encode_line,
+                       error_response, outcome_to_response)
+from ..sync import UNSET
+from .service import QueryService
+
+
+def _clamp_budget(value: object, ceiling: float | None,
+                  name: str) -> object:
+    """Validate a client-supplied budget and cap it at the server's.
+
+    Wire clients may *tighten* the operator's per-query limits but
+    never raise or disable them — JSON ``null`` or an over-ceiling
+    number would otherwise let one misbehaving client occupy workers
+    indefinitely.  Raises ValueError (reported as a protocol error)
+    for anything that is not a non-negative number.
+    """
+    if value is UNSET:
+        return UNSET  # server default applies
+    if (isinstance(value, bool) or not isinstance(value, (int, float))
+            or value < 0):
+        raise ValueError(f"{name} must be a non-negative number")
+    if ceiling is not None:
+        value = min(value, ceiling)
+    return value
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One thread per connection; requests on a connection run in order."""
+
+    def handle(self) -> None:
+        server: "_TCPServer" = self.server  # type: ignore[assignment]
+        for raw_line in self.rfile:
+            line = raw_line.strip()
+            if not line:
+                continue
+            try:
+                request = decode_line(line)
+            except ValueError as exc:
+                self._send(error_response("protocol", str(exc)))
+                continue
+            request_id = request.get("id")
+            try:
+                response, stop = self._dispatch(server, request,
+                                                request_id)
+            except Exception as exc:  # never kill the connection thread
+                response, stop = error_response(
+                    "internal", f"{type(exc).__name__}: {exc}",
+                    request_id), False
+            self._send(response)
+            if stop:
+                threading.Thread(target=server.shutdown,
+                                 daemon=True).start()
+                return
+
+    def _dispatch(self, server: "_TCPServer", request: dict,
+                  request_id) -> tuple[dict, bool]:
+        service = server.lbr_service
+        op = request.get("op", "query")
+        if op == "query":
+            query_text = request.get("query")
+            if not isinstance(query_text, str):
+                return error_response("protocol",
+                                      "missing 'query' text",
+                                      request_id), False
+            try:
+                timeout = _clamp_budget(
+                    request.get("timeout", UNSET),
+                    service.config.default_timeout, "timeout")
+                max_join_rows = _clamp_budget(
+                    request.get("max_join_rows", UNSET),
+                    service.config.max_join_rows, "max_join_rows")
+            except ValueError as exc:
+                return error_response("protocol", str(exc),
+                                      request_id), False
+            outcome = service.execute(query_text, timeout=timeout,
+                                      max_join_rows=max_join_rows)
+            return outcome_to_response(outcome, request_id), False
+        if op == "ping":
+            return {"ok": True, "pong": True,
+                    "protocol": PROTOCOL_VERSION,
+                    "id": request_id}, False
+        if op == "stats":
+            return {"ok": True, "stats": service.stats(),
+                    "id": request_id}, False
+        if op == "reload":
+            if "data" in request:
+                snapshot = service.load_graph(
+                    ntriples.load(request["data"]))
+            elif "store" in request:
+                snapshot = service.load_store(
+                    BitMatStore.load(request["store"]))
+            else:
+                return error_response(
+                    "protocol", "reload needs 'data' or 'store'",
+                    request_id), False
+            return {"ok": True, "snapshot": snapshot.describe(),
+                    "id": request_id}, False
+        if op == "shutdown":
+            if not server.allow_shutdown:
+                return error_response("protocol",
+                                      "shutdown op disabled",
+                                      request_id), False
+            return {"ok": True, "stopping": True,
+                    "id": request_id}, True
+        return error_response("protocol", f"unknown op {op!r}",
+                              request_id), False
+
+    def _send(self, payload: dict) -> None:
+        self.wfile.write(encode_line(payload))
+        self.wfile.flush()
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    lbr_service: QueryService
+    allow_shutdown: bool
+
+
+class LBRServer:
+    """The socket server; binds eagerly so the port is known at once."""
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1",
+                 port: int = 0, allow_shutdown: bool = True) -> None:
+        self.service = service
+        self._tcp = _TCPServer((host, port), _RequestHandler)
+        self._tcp.lbr_service = service
+        self._tcp.allow_shutdown = allow_shutdown
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually bound (host, port) — resolves ``port=0``."""
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._tcp.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "LBRServer":
+        """Serve on a background thread (tests and embedders)."""
+        if self._thread is None:
+            self._thread = threading.Thread(target=self.serve_forever,
+                                            daemon=True,
+                                            name="lbr-server")
+            self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting connections and unwind ``serve_forever``."""
+        self._tcp.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def close(self) -> None:
+        self.shutdown()
+        self._tcp.server_close()
+
+    def __enter__(self) -> "LBRServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServerClient:
+    """Blocking NDJSON client over one TCP connection."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float | None = 60.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._writer = self._sock.makefile("wb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object and read its response."""
+        with self._lock:
+            self._next_id += 1
+            payload = dict(payload)
+            payload.setdefault("id", self._next_id)
+            self._writer.write(encode_line(payload))
+            self._writer.flush()
+            line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_line(line)
+
+    def query(self, query_text: str, timeout: object = None,
+              max_join_rows: object = None) -> dict:
+        """Run one query; returns the raw response object."""
+        payload: dict = {"op": "query", "query": query_text}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if max_join_rows is not None:
+            payload["max_join_rows"] = max_join_rows
+        return self.request(payload)
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def reload(self, data: str | None = None,
+               store: str | None = None) -> dict:
+        payload: dict = {"op": "reload"}
+        if data is not None:
+            payload["data"] = data
+        if store is not None:
+            payload["store"] = store
+        return self.request(payload)
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+            self._writer.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

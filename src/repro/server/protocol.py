@@ -1,0 +1,98 @@
+"""Wire format of the query service: newline-delimited JSON.
+
+One request per line, one response per line, UTF-8.  Requests are
+objects with an ``op`` (``query`` when omitted) and an optional ``id``
+echoed back verbatim so clients can pipeline:
+
+* ``{"op": "query", "query": "...", "timeout": 5, "max_join_rows": N}``
+* ``{"op": "stats"}`` / ``{"op": "ping"}``
+* ``{"op": "reload", "data": path}`` or ``{"op": "reload", "store":
+  path}`` — copy-on-write snapshot swap
+* ``{"op": "shutdown"}`` — stop the server (when enabled)
+
+Result cells travel as N3 strings (``None`` for unbound OPTIONAL
+cells), which is also the *row-identity* form the soak gate and the
+throughput benchmark compare against the single-threaded engine.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.engine import QueryStats
+from ..rdf.terms import NULL
+from .scheduler import QueryOutcome
+
+#: protocol revision, reported by ping so clients can sanity-check
+PROTOCOL_VERSION = 1
+
+
+def term_to_wire(value) -> str | None:
+    """One result cell: its N3 text, or None for NULL."""
+    if value is NULL:
+        return None
+    n3 = getattr(value, "n3", None)
+    return n3 if isinstance(n3, str) else str(value)
+
+
+def rows_to_wire(rows) -> list[list[str | None]]:
+    """Serialize engine rows; the canonical row-identity form."""
+    return [[term_to_wire(value) for value in row] for row in rows]
+
+
+def stats_to_wire(stats: QueryStats | None) -> dict | None:
+    """The per-query metrics worth shipping to clients."""
+    if stats is None:
+        return None
+    return {"t_plan": stats.t_plan, "t_init": stats.t_init,
+            "t_prune": stats.t_prune, "t_join": stats.t_join,
+            "t_total": stats.t_total,
+            "num_results": stats.num_results,
+            "results_with_nulls": stats.results_with_nulls,
+            "best_match_required": stats.best_match_required,
+            "branches": stats.branches}
+
+
+def outcome_to_response(outcome: QueryOutcome,
+                        request_id=None) -> dict:
+    """Wire response for one query outcome."""
+    response: dict = {"ok": outcome.ok}
+    if request_id is not None:
+        response["id"] = request_id
+    if outcome.ok:
+        response["variables"] = [str(var) for var in outcome.variables]
+        response["rows"] = rows_to_wire(outcome.rows)
+        response["stats"] = stats_to_wire(outcome.stats)
+    else:
+        response["error"] = {"type": outcome.error_type,
+                             "message": outcome.error}
+    response["snapshot_version"] = outcome.snapshot_version
+    response["wait_s"] = outcome.wait_s
+    response["exec_s"] = outcome.exec_s
+    return response
+
+
+def error_response(error_type: str, message: str,
+                   request_id=None) -> dict:
+    """Wire response for a protocol-level failure."""
+    response: dict = {"ok": False,
+                      "error": {"type": error_type, "message": message}}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def encode_line(payload: dict) -> bytes:
+    """One NDJSON line, ready to write."""
+    return (json.dumps(payload, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one NDJSON line into a request/response object."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    payload = json.loads(line)
+    if not isinstance(payload, dict):
+        raise ValueError("protocol messages must be JSON objects")
+    return payload

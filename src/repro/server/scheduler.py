@@ -1,0 +1,334 @@
+"""Admission-controlled query scheduler: bounded queue + worker pool.
+
+Admission happens at ``submit``: when the bounded queue is full the
+request is rejected *immediately* with :class:`AdmissionError` carrying
+the observed queue depth — graceful backpressure instead of unbounded
+latency.  Admitted requests carry a deadline measured from submission
+(queue wait counts against it) and a ``max_join_rows``
+budget enforced by the engine session via
+:class:`~repro.exceptions.BudgetExceededError`; a request that stalled
+in the queue past its deadline is failed without executing.
+
+Each worker resolves the *current* snapshot at dequeue time and runs
+the query in a private :class:`~repro.core.engine.EngineSession`, so a
+dataset reload mid-flight never affects running queries.  Structurally
+identical concurrent queries share one plan compile through the
+engine's single-flight (see ``LBREngine.compile_stats``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.engine import QueryStats
+from ..exceptions import (AdmissionError, BudgetExceededError,
+                          DeadlineExceededError, ParseError, ReproError,
+                          UnsupportedQueryError)
+from ..sync import UNSET
+from .snapshot import SnapshotManager
+
+#: Worker-loop shutdown marker.
+_STOP = object()
+
+#: How many completed-request latency samples the rolling window keeps.
+LATENCY_WINDOW = 4096
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Admission and budget policy of one scheduler."""
+
+    #: worker threads executing queries (0 = admit but never run —
+    #: useful in tests to observe the queue itself)
+    workers: int = 4
+    #: bounded admission queue; None = unbounded (no backpressure)
+    queue_limit: int | None = 64
+    #: default per-query wall-clock budget in seconds (None = none);
+    #: measured from submission, so queue wait counts against it
+    default_timeout: float | None = 30.0
+    #: default per-query join-output budget (None = unlimited)
+    max_join_rows: int | None = 1_000_000
+
+
+@dataclass
+class QueryOutcome:
+    """Terminal result of one request, success or failure."""
+
+    ok: bool
+    variables: tuple = ()
+    #: result rows (engine terms; NULL for unbound OPTIONAL cells)
+    rows: list = field(default_factory=list)
+    #: "rejected" | "timeout" | "budget" | "parse" | "unsupported"
+    #: | "cancelled" | "error" | "internal" — None on success
+    error_type: str | None = None
+    error: str | None = None
+    snapshot_version: int = 0
+    #: seconds spent queued before a worker picked the request up
+    wait_s: float = 0.0
+    #: seconds spent executing
+    exec_s: float = 0.0
+    stats: QueryStats | None = None
+
+
+class PendingQuery:
+    """Handle to one admitted request (a minimal completion future)."""
+
+    __slots__ = ("query_text", "deadline", "max_join_rows",
+                 "submitted_at", "outcome", "_done")
+
+    def __init__(self, query_text: str, deadline: float | None,
+                 max_join_rows: int | None) -> None:
+        self.query_text = query_text
+        self.deadline = deadline
+        self.max_join_rows = max_join_rows
+        self.submitted_at = time.monotonic()
+        self.outcome: QueryOutcome | None = None
+        self._done = threading.Event()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryOutcome:
+        """Block until the request completes; raises TimeoutError if
+        *timeout* seconds pass first."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("query still pending")
+        return self.outcome
+
+    def _resolve(self, outcome: QueryOutcome) -> None:
+        self.outcome = outcome
+        self._done.set()
+
+
+class QueryScheduler:
+    """Bounded-queue worker pool executing queries against snapshots."""
+
+    def __init__(self, snapshots: SnapshotManager,
+                 config: SchedulerConfig | None = None) -> None:
+        self.snapshots = snapshots
+        self.config = config or SchedulerConfig()
+        limit = self.config.queue_limit
+        self._queue: queue.Queue = queue.Queue(maxsize=limit or 0)
+        self._threads: list[threading.Thread] = []
+        self._accepting = False
+        # makes the accepting-check + enqueue atomic against stop(), so
+        # no request can slip into the queue after the shutdown drain
+        # and hang its caller unresolved forever
+        self._admission_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._counters = {"submitted": 0, "rejected": 0, "completed": 0,
+                          "failed": 0, "timeouts": 0, "budget_exceeded": 0,
+                          "cancelled": 0, "worker_errors": 0}
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "QueryScheduler":
+        """Spawn the worker pool and start accepting submissions."""
+        if self._threads:
+            return self
+        self._accepting = True
+        for index in range(self.config.workers):
+            thread = threading.Thread(target=self._worker, daemon=True,
+                                      name=f"lbr-worker-{index}")
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, cancel_pending: bool = True) -> None:
+        """Stop accepting work, drain workers, cancel queued requests."""
+        with self._admission_lock:
+            # under the admission lock: any submit that already passed
+            # its accepting-check has finished its enqueue, so the
+            # drain below sees (and cancels) every admitted request
+            self._accepting = False
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        still_running = 0
+        for thread in self._threads:
+            thread.join(timeout=30)
+            still_running += thread.is_alive()
+        self._threads = []
+        if cancel_pending:
+            while True:
+                try:
+                    request = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if request is _STOP:
+                    continue
+                self._count("cancelled")
+                request._resolve(QueryOutcome(
+                    ok=False, error_type="cancelled",
+                    error="scheduler stopped before execution"))
+            # the drain above consumed the sentinels of workers still
+            # finishing an over-long query; restore one per straggler
+            # so they terminate instead of blocking on get() forever
+            for _ in range(still_running):
+                self._queue.put(_STOP)
+
+    # ------------------------------------------------------------------
+    # submission (admission control happens here)
+    # ------------------------------------------------------------------
+
+    def submit(self, query_text: str, timeout: object = UNSET,
+               max_join_rows: object = UNSET) -> PendingQuery:
+        """Admit one query, or raise :class:`AdmissionError`.
+
+        *timeout* (seconds, None = no deadline) and *max_join_rows*
+        default to the scheduler config.  Admission is non-blocking: a
+        full queue rejects instantly, which is the backpressure signal.
+        """
+        effective_timeout = (self.config.default_timeout
+                             if timeout is UNSET else timeout)
+        deadline = (None if effective_timeout is None
+                    else time.monotonic() + effective_timeout)
+        rows_budget = (self.config.max_join_rows
+                       if max_join_rows is UNSET else max_join_rows)
+        request = PendingQuery(query_text, deadline, rows_budget)
+        with self._admission_lock:
+            if not self._accepting and self.config.workers > 0:
+                raise AdmissionError("scheduler is not running")
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                self._count("rejected")
+                depth = self._queue.qsize()
+                raise AdmissionError(
+                    f"admission queue full ({depth}/"
+                    f"{self.config.queue_limit} requests queued); "
+                    "retry later",
+                    queue_depth=depth,
+                    queue_limit=self.config.queue_limit) from None
+        self._count("submitted")
+        return request
+
+    def execute(self, query_text: str, timeout: object = UNSET,
+                max_join_rows: object = UNSET,
+                wait: float | None = None) -> QueryOutcome:
+        """Submit and wait; admission rejections become outcomes."""
+        try:
+            request = self.submit(query_text, timeout=timeout,
+                                  max_join_rows=max_join_rows)
+        except AdmissionError as exc:
+            return QueryOutcome(ok=False, error_type="rejected",
+                                error=str(exc))
+        return request.result(timeout=wait)
+
+    # ------------------------------------------------------------------
+    # monitoring
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters, queue depth, and latency percentiles."""
+        with self._lock:
+            counters = dict(self._counters)
+            samples = sorted(self._latencies)
+        report: dict = dict(counters)
+        report["queue_depth"] = self._queue.qsize()
+        report["queue_limit"] = self.config.queue_limit
+        report["workers"] = len(self._threads)
+        report["latency_samples"] = len(samples)
+        report["p50_ms"] = _percentile(samples, 0.50) * 1000
+        report["p99_ms"] = _percentile(samples, 0.99) * 1000
+        return report
+
+    # ------------------------------------------------------------------
+    # worker loop
+    # ------------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            request = self._queue.get()
+            if request is _STOP:
+                return
+            try:
+                self._run(request)
+            except BaseException as exc:  # pragma: no cover - last resort
+                # a bug in the scheduler itself must never kill the
+                # worker silently: resolve the request and count it so
+                # the soak gate fails loudly
+                self._count("worker_errors")
+                request._resolve(QueryOutcome(
+                    ok=False, error_type="internal",
+                    error=f"{type(exc).__name__}: {exc}"))
+
+    def _run(self, request: PendingQuery) -> None:
+        started = time.monotonic()
+        wait_s = started - request.submitted_at
+        outcome: QueryOutcome
+        if request.deadline is not None and started >= request.deadline:
+            self._count("failed", "timeouts")
+            outcome = QueryOutcome(
+                ok=False, error_type="timeout",
+                error="deadline expired while queued", wait_s=wait_s)
+            request._resolve(outcome)
+            return
+        snapshot = self.snapshots.current()
+        session = snapshot.engine.session(
+            max_join_rows=request.max_join_rows,
+            deadline=request.deadline)
+        try:
+            result = session.execute(request.query_text)
+        except DeadlineExceededError as exc:
+            self._count("failed", "timeouts")
+            outcome = self._failure("timeout", exc, snapshot, wait_s,
+                                    started)
+        except BudgetExceededError as exc:
+            self._count("failed", "budget_exceeded")
+            outcome = self._failure("budget", exc, snapshot, wait_s,
+                                    started)
+        except ParseError as exc:
+            self._count("failed")
+            outcome = self._failure("parse", exc, snapshot, wait_s, started)
+        except UnsupportedQueryError as exc:
+            self._count("failed")
+            outcome = self._failure("unsupported", exc, snapshot, wait_s,
+                                    started)
+        except ReproError as exc:
+            self._count("failed")
+            outcome = self._failure("error", exc, snapshot, wait_s, started)
+        except Exception as exc:
+            # an unhandled engine exception is a bug; counted separately
+            # so the soak job can gate on it
+            self._count("failed", "worker_errors")
+            outcome = self._failure("internal", exc, snapshot, wait_s,
+                                    started)
+        else:
+            exec_s = time.monotonic() - started
+            self._count("completed")
+            with self._lock:
+                self._latencies.append(wait_s + exec_s)
+            outcome = QueryOutcome(
+                ok=True, variables=result.variables, rows=result.rows,
+                snapshot_version=snapshot.version, wait_s=wait_s,
+                exec_s=exec_s, stats=session.last_stats)
+        request._resolve(outcome)
+
+    def _failure(self, error_type: str, exc: Exception, snapshot,
+                 wait_s: float, started: float) -> QueryOutcome:
+        return QueryOutcome(
+            ok=False, error_type=error_type,
+            error=f"{type(exc).__name__}: {exc}",
+            snapshot_version=snapshot.version, wait_s=wait_s,
+            exec_s=time.monotonic() - started)
+
+    def _count(self, *names: str) -> None:
+        with self._lock:
+            for name in names:
+                self._counters[name] += 1
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 when no samples exist."""
+    if not sorted_samples:
+        return 0.0
+    rank = min(len(sorted_samples) - 1,
+               max(0, round(q * (len(sorted_samples) - 1))))
+    return sorted_samples[rank]

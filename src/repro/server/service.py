@@ -1,0 +1,114 @@
+"""The embeddable query service: snapshots + scheduler as one object.
+
+This is what the TCP front door, the soak gate, and the throughput
+benchmark drive.  One :class:`QueryService` owns a
+:class:`~repro.server.snapshot.SnapshotManager` (dataset publication)
+and a running :class:`~repro.server.scheduler.QueryScheduler`
+(admission + execution); ``load_graph``/``load_store`` perform the
+copy-on-write snapshot swap while queries keep flowing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bitmat.store import BitMatStore
+from ..rdf.graph import Graph
+from ..sync import UNSET
+from .scheduler import QueryOutcome, QueryScheduler, SchedulerConfig
+from .snapshot import Snapshot, SnapshotManager
+
+
+@dataclass(frozen=True)
+class ServiceConfig(SchedulerConfig):
+    """Knobs of one query service.
+
+    Today exactly the scheduler's admission/budget policy (fields and
+    defaults inherited from :class:`SchedulerConfig`, which the
+    scheduler consumes directly — one definition, no mapping layer);
+    service-only knobs would be added here.
+    """
+
+
+class QueryService:
+    """A running concurrent query service over published snapshots."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.snapshots = SnapshotManager()
+        self.scheduler = QueryScheduler(self.snapshots, self.config)
+        self.scheduler.start()
+        self._closed = False
+
+    @classmethod
+    def from_graph(cls, graph: Graph,
+                   config: ServiceConfig | None = None) -> "QueryService":
+        service = cls(config)
+        service.load_graph(graph)
+        return service
+
+    @classmethod
+    def from_store(cls, store: BitMatStore,
+                   config: ServiceConfig | None = None) -> "QueryService":
+        service = cls(config)
+        service.load_store(store)
+        return service
+
+    # ------------------------------------------------------------------
+    # dataset publication (copy-on-write swap)
+    # ------------------------------------------------------------------
+
+    def load_graph(self, graph: Graph) -> Snapshot:
+        """Index and publish *graph*; in-flight queries are unaffected."""
+        return self.snapshots.publish_graph(graph)
+
+    def load_store(self, store: BitMatStore) -> Snapshot:
+        """Publish an already-built store (frozen in place)."""
+        return self.snapshots.publish_store(store)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    def execute(self, query_text: str, timeout: object = UNSET,
+                max_join_rows: object = UNSET) -> QueryOutcome:
+        """Submit one query and wait for its outcome (never raises for
+        per-query failures: rejections and errors come back as failed
+        outcomes with an ``error_type``)."""
+        return self.scheduler.execute(query_text, timeout=timeout,
+                                      max_join_rows=max_join_rows)
+
+    def submit(self, query_text: str, timeout: object = UNSET,
+               max_join_rows: object = UNSET):
+        """Admit one query; raises AdmissionError on backpressure."""
+        return self.scheduler.submit(query_text, timeout=timeout,
+                                     max_join_rows=max_join_rows)
+
+    # ------------------------------------------------------------------
+    # monitoring / lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Scheduler, snapshot, and cache statistics for monitoring."""
+        report: dict = {"scheduler": self.scheduler.stats()}
+        if self.snapshots.version:
+            snapshot = self.snapshots.current()
+            report["snapshot"] = snapshot.describe()
+            report["plan_cache"] = snapshot.engine.plan_cache_stats()
+            report["frontend_cache"] = snapshot.engine.frontend_cache_stats()
+            report["compile"] = snapshot.engine.compile_stats()
+            report["store_caches"] = snapshot.store.cache_stats()
+        else:
+            report["snapshot"] = None
+        return report
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.scheduler.stop(cancel_pending=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

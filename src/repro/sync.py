@@ -1,0 +1,71 @@
+"""Small concurrency primitives shared by the engine and the server.
+
+Kept outside :mod:`repro.server` because the engine itself uses
+:class:`SingleFlight` for batched compilation, and the server package
+imports the engine — the dependency must point this way.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Shared "argument not passed" sentinel, distinguishing omission from
+#: an explicit ``None`` override (None often means "no limit").  One
+#: object for the whole codebase so a sentinel can never leak across
+#: modules and be mistaken for a real value.
+UNSET = object()
+
+
+class SingleFlight:
+    """Per-key duplicate suppression for concurrent computations.
+
+    When N threads need the same expensive value (here: compiling the
+    physical plan for one structural query hash), exactly one of them —
+    the *leader* — computes it; the others wait on an event and then
+    re-read the now-populated cache.  This is what turns a thundering
+    herd of structurally identical queries into one compile.
+
+    Usage::
+
+        leader, event = flight.begin(key)
+        if leader:
+            try:
+                value = compute()
+                cache.put(key, value)
+            finally:
+                flight.finish(key)
+        else:
+            event.wait()
+            value = cache.get(key)   # may still miss if the leader
+                                     # failed; callers retry begin()
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[object, threading.Event] = {}
+
+    def begin(self, key: object) -> tuple[bool, threading.Event]:
+        """Join the flight for *key*.
+
+        Returns ``(True, event)`` for the leader — who MUST call
+        :meth:`finish` when done, success or failure — and
+        ``(False, event)`` for followers, who wait on the event.
+        """
+        with self._lock:
+            event = self._inflight.get(key)
+            if event is None:
+                event = threading.Event()
+                self._inflight[key] = event
+                return True, event
+            return False, event
+
+    def finish(self, key: object) -> None:
+        """Leader-only: close the flight and release every follower."""
+        with self._lock:
+            event = self._inflight.pop(key)
+        event.set()
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed (monitoring)."""
+        with self._lock:
+            return len(self._inflight)

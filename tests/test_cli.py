@@ -85,6 +85,54 @@ class TestIndexAndQuery:
         assert "julia" in capsys.readouterr().out
 
 
+class TestServe:
+    def test_serve_speaks_ndjson_and_shuts_down(self, data_file,
+                                                tmp_path, capsys):
+        import threading
+        import time
+
+        from repro.server import ServerClient
+
+        port_file = str(tmp_path / "port")
+        exit_codes: list[int] = []
+
+        def run_server() -> None:
+            exit_codes.append(main(
+                ["serve", "--data", data_file, "--port", "0",
+                 "--port-file", port_file, "--workers", "2",
+                 "--queue-limit", "8"]))
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 30
+        while not os.path.exists(port_file):
+            assert time.monotonic() < deadline, "server never bound"
+            time.sleep(0.01)
+        with open(port_file, encoding="utf-8") as handle:
+            port = int(handle.read().strip())
+
+        with ServerClient("127.0.0.1", port) as client:
+            assert client.ping()["pong"]
+            response = client.query(QUERY)
+            assert response["ok"]
+            wire_rows = {tuple(row) for row in response["rows"]}
+            assert ("<http://ex/julia>",
+                    "<http://ex/seinfeld>") in wire_rows
+            assert any(row[1] is None for row in response["rows"])
+            stats = client.stats()["stats"]
+            assert stats["scheduler"]["completed"] >= 1
+            assert client.shutdown()["stopping"]
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert exit_codes == [0]
+        out = capsys.readouterr().out
+        assert "listening on 127.0.0.1:" in out
+
+    def test_serve_rejects_missing_source(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+
 class TestGenerate:
     def test_generate_lubm(self, tmp_path, capsys):
         out_path = str(tmp_path / "lubm.nt")

@@ -1,0 +1,398 @@
+"""Concurrent query service tests: sessions, snapshots, scheduler,
+striped caches, and the TCP front door."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import BitMatStore, LBREngine
+from repro.exceptions import AdmissionError, BudgetExceededError
+from repro.lru import StripedLRUCache
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, Triple, URI
+from repro.server import (LBRServer, QueryService, ServerClient,
+                          ServiceConfig, SnapshotManager)
+from repro.server.protocol import rows_to_wire
+from repro.server.scheduler import QueryScheduler, SchedulerConfig
+from repro.sync import SingleFlight
+
+QUERY = ("SELECT * WHERE { ?a <http://x/knows> ?b "
+         "OPTIONAL { ?b <http://x/age> ?n } }")
+
+#: a connected query whose join output exceeds tiny max_join_rows
+#: budgets (each node has out-degree 2, so a 3-hop chain fans out 8x)
+WIDE_QUERY = ("SELECT * WHERE { ?a <http://x/knows> ?b . "
+              "?b <http://x/knows> ?c . ?c <http://x/knows> ?d }")
+
+
+def make_graph(size: int = 40, age_of_evens: bool = True) -> Graph:
+    graph = Graph()
+    for i in range(size):
+        graph.add(Triple(URI(f"http://x/p{i}"), URI("http://x/knows"),
+                         URI(f"http://x/p{(i * 7 + 1) % size}")))
+        graph.add(Triple(URI(f"http://x/p{i}"), URI("http://x/knows"),
+                         URI(f"http://x/p{(i * 11 + 3) % size}")))
+        if age_of_evens and i % 2 == 0:
+            graph.add(Triple(URI(f"http://x/p{i}"), URI("http://x/age"),
+                             Literal(str(i))))
+    return graph
+
+
+def sorted_wire(rows) -> list:
+    return sorted(rows_to_wire(rows),
+                  key=lambda row: tuple("" if c is None else c
+                                        for c in row))
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_graph()
+
+
+@pytest.fixture(scope="module")
+def reference_rows(graph):
+    engine = LBREngine(BitMatStore.build(graph))
+    return sorted_wire(engine.execute(QUERY).rows)
+
+
+class TestStripedLRUCache:
+    def test_basic_get_put(self):
+        cache = StripedLRUCache(64)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 0) == 0
+        assert "a" in cache and len(cache) == 1
+
+    def test_capacity_zero_disables(self):
+        cache = StripedLRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_stats_aggregate_across_stripes(self):
+        cache = StripedLRUCache(64, num_stripes=4)
+        for i in range(32):
+            cache.put(i, i)
+        hits = sum(1 for i in range(32) if cache.get(i) == i)
+        stats = cache.stats()
+        assert hits == 32
+        assert stats["hits"] == 32
+        assert stats["misses"] == 0
+        assert stats["size"] == 32
+        assert stats["stripes"] == 4
+
+    def test_eviction_is_bounded(self):
+        cache = StripedLRUCache(16, num_stripes=4)
+        for i in range(1000):
+            cache.put(i, i)
+        assert len(cache) <= cache.capacity
+        assert cache.stats()["evictions"] > 0
+
+    def test_concurrent_hammer(self):
+        cache = StripedLRUCache(128, num_stripes=8)
+        errors = []
+
+        def worker(base: int) -> None:
+            try:
+                for i in range(2000):
+                    key = (base * 7 + i) % 200
+                    cache.put(key, key)
+                    value = cache.get(key)
+                    assert value is None or value == key
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 2000
+
+
+class TestSingleFlight:
+    def test_one_leader_many_followers(self):
+        flight = SingleFlight()
+        built = []
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker() -> None:
+            barrier.wait()
+            leader, event = flight.begin("key")
+            if leader:
+                built.append(1)
+                time.sleep(0.02)  # let followers queue up
+                flight.finish("key")
+                results.append("led")
+            else:
+                event.wait()
+                results.append("waited")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert built == [1]
+        assert sorted(results)[:1] == ["led"]
+        assert flight.in_flight() == 0
+
+
+class TestEngineSessions:
+    def test_sessions_have_independent_stats(self, graph):
+        engine = LBREngine(BitMatStore.build(graph))
+        first = engine.session()
+        second = engine.session()
+        first.execute(QUERY)
+        second.execute("SELECT * WHERE { ?a <http://x/age> ?n }")
+        assert first.last_stats.num_results != second.last_stats.num_results
+        # engine.execute still mirrors into engine.last_stats
+        result = engine.execute(QUERY)
+        assert engine.last_stats.num_results == len(result)
+
+    def test_session_max_join_rows_budget(self, graph):
+        engine = LBREngine(BitMatStore.build(graph))
+        session = engine.session(max_join_rows=5)
+        with pytest.raises(BudgetExceededError):
+            session.execute(WIDE_QUERY)
+
+    def test_session_deadline_budget(self, graph):
+        engine = LBREngine(BitMatStore.build(graph))
+        expired = engine.session(deadline=time.monotonic() - 1)
+        with pytest.raises(BudgetExceededError):
+            expired.execute(QUERY)
+        # a generous deadline does not interfere
+        relaxed = engine.session(deadline=time.monotonic() + 60)
+        assert len(relaxed.execute(QUERY).rows) == 80
+
+    def test_batched_identical_queries_compile_once(self, graph):
+        """8 threads race the same fresh query: exactly one compile."""
+        store = BitMatStore.build(graph).freeze()
+        engine = LBREngine(store, thread_safe=True)
+        barrier = threading.Barrier(8)
+        rows: list = []
+        lock = threading.Lock()
+
+        def worker() -> None:
+            session = engine.session()
+            barrier.wait()
+            result = session.execute(QUERY)
+            with lock:
+                rows.append(sorted_wire(result.rows))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert engine.compile_stats()["compiles"] == 1
+        assert len(rows) == 8
+        assert all(batch == rows[0] for batch in rows)
+
+
+class TestSnapshots:
+    def test_publish_freezes_and_versions(self, graph):
+        manager = SnapshotManager()
+        assert manager.version == 0
+        first = manager.publish_graph(graph)
+        assert first.version == 1
+        assert first.store.frozen
+        assert first.engine.thread_safe
+        second = manager.publish_graph(make_graph(10))
+        assert second.version == 2
+        assert manager.current() is second
+
+    def test_session_pinned_to_old_snapshot_during_reload(self, graph,
+                                                          reference_rows):
+        """The copy-on-write contract: a session started on snapshot A
+        sees A's data even after B is published mid-flight."""
+        manager = SnapshotManager()
+        manager.publish_graph(graph)
+        pinned = manager.current()
+        session = pinned.session()
+        # reload: 10-node graph, no ages — different answer entirely
+        manager.publish_graph(make_graph(10, age_of_evens=False))
+        assert sorted_wire(session.execute(QUERY).rows) == reference_rows
+        fresh = manager.current().session()
+        # 18, not 20: two of the size-10 graph's edge pairs coincide
+        assert len(fresh.execute(QUERY).rows) == 18
+
+    def test_concurrent_queries_during_repeated_reloads(self, graph,
+                                                        reference_rows):
+        """Under a storm of republications every result must be exactly
+        one snapshot's answer — never a torn mix."""
+        small = make_graph(10, age_of_evens=False)
+        small_rows = sorted_wire(
+            LBREngine(BitMatStore.build(small)).execute(QUERY).rows)
+        manager = SnapshotManager()
+        manager.publish_graph(graph)
+        answers = {tuple(map(tuple, reference_rows)),
+                   tuple(map(tuple, small_rows))}
+        stop = threading.Event()
+        bad: list = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                got = sorted_wire(
+                    manager.current().session().execute(QUERY).rows)
+                if tuple(map(tuple, got)) not in answers:
+                    bad.append(got)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for flip in range(6):
+            manager.publish_graph(small if flip % 2 == 0 else graph)
+            time.sleep(0.02)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert bad == []
+
+
+class TestScheduler:
+    def test_admission_rejection_when_queue_full(self, graph):
+        """workers=0 keeps the queue from draining: the limit is hard."""
+        manager = SnapshotManager()
+        manager.publish_graph(graph)
+        scheduler = QueryScheduler(
+            manager, SchedulerConfig(workers=0, queue_limit=2))
+        scheduler.start()
+        first = scheduler.submit(QUERY)
+        second = scheduler.submit(QUERY)
+        with pytest.raises(AdmissionError) as excinfo:
+            scheduler.submit(QUERY)
+        assert excinfo.value.queue_limit == 2
+        assert excinfo.value.queue_depth == 2
+        assert "retry later" in str(excinfo.value)
+        stats = scheduler.stats()
+        assert stats["rejected"] == 1
+        assert stats["submitted"] == 2
+        scheduler.stop()
+        assert first.result(timeout=5).error_type == "cancelled"
+        assert second.result(timeout=5).error_type == "cancelled"
+
+    def test_rejected_execute_returns_outcome(self, graph):
+        manager = SnapshotManager()
+        manager.publish_graph(graph)
+        scheduler = QueryScheduler(
+            manager, SchedulerConfig(workers=0, queue_limit=1))
+        scheduler.start()
+        scheduler.submit(QUERY)
+        outcome = scheduler.execute(QUERY)
+        assert not outcome.ok
+        assert outcome.error_type == "rejected"
+        scheduler.stop()
+
+    def test_deadline_timeout_outcome(self, graph):
+        with QueryService.from_graph(
+                graph, ServiceConfig(workers=2)) as service:
+            outcome = service.execute(QUERY, timeout=0)
+            assert not outcome.ok
+            assert outcome.error_type == "timeout"
+            # the service is still healthy afterwards
+            assert service.execute(QUERY).ok
+
+    def test_max_join_rows_budget_outcome(self, graph):
+        with QueryService.from_graph(
+                graph, ServiceConfig(workers=2)) as service:
+            outcome = service.execute(WIDE_QUERY, max_join_rows=5)
+            assert not outcome.ok
+            assert outcome.error_type == "budget"
+
+    def test_parse_and_unsupported_error_types(self, graph):
+        with QueryService.from_graph(
+                graph, ServiceConfig(workers=2)) as service:
+            assert service.execute("SELECT WHERE {").error_type == "parse"
+            outcome = service.execute(
+                "SELECT * WHERE { ?s ?p ?o }")
+            assert outcome.error_type == "unsupported"
+
+    def test_outcomes_row_identical_under_concurrency(self, graph,
+                                                      reference_rows):
+        with QueryService.from_graph(
+                graph, ServiceConfig(workers=4)) as service:
+            pending = [service.submit(QUERY) for _ in range(32)]
+            for request in pending:
+                outcome = request.result(timeout=60)
+                assert outcome.ok
+                assert sorted_wire(outcome.rows) == reference_rows
+            stats = service.stats()
+            assert stats["scheduler"]["completed"] == 32
+            assert stats["scheduler"]["worker_errors"] == 0
+            assert stats["compile"]["compiles"] == 1
+
+
+class TestTCPServer:
+    def test_wire_roundtrip_stats_reload_shutdown(self, graph,
+                                                  reference_rows,
+                                                  tmp_path):
+        from repro.rdf import ntriples
+
+        small = make_graph(10, age_of_evens=False)
+        data_path = str(tmp_path / "small.nt")
+        ntriples.dump(small, data_path)
+
+        service = QueryService.from_graph(graph,
+                                          ServiceConfig(workers=2))
+        with LBRServer(service, port=0).start() as server:
+            host, port = server.address
+            with ServerClient(host, port) as client:
+                assert client.ping()["pong"]
+                response = client.query(QUERY)
+                assert response["ok"]
+                assert sorted(
+                    response["rows"],
+                    key=lambda r: tuple("" if c is None else c
+                                        for c in r)) == reference_rows
+                assert response["stats"]["num_results"] == 80
+                assert set(response["variables"]) == {"a", "b", "n"}
+
+                stats = client.stats()["stats"]
+                assert stats["scheduler"]["completed"] >= 1
+                assert stats["snapshot"]["version"] == 1
+
+                # budget errors travel the wire as typed errors
+                budget = client.query(WIDE_QUERY, max_join_rows=5)
+                assert budget["error"]["type"] == "budget"
+
+                # copy-on-write reload over the wire
+                reloaded = client.reload(data=data_path)
+                assert reloaded["snapshot"]["version"] == 2
+                assert len(client.query(QUERY)["rows"]) == 18
+
+                assert client.shutdown()["stopping"]
+        service.close()
+
+    def test_unknown_op_and_bad_json(self, graph):
+        service = QueryService.from_graph(graph,
+                                          ServiceConfig(workers=1))
+        with LBRServer(service, port=0).start() as server:
+            host, port = server.address
+            with ServerClient(host, port) as client:
+                response = client.request({"op": "frobnicate"})
+                assert not response["ok"]
+                assert response["error"]["type"] == "protocol"
+                missing = client.request({"op": "query"})
+                assert missing["error"]["type"] == "protocol"
+                # clients cannot disable or corrupt server budgets:
+                # JSON null / non-numeric values are protocol errors
+                for bad in (None, "abc", -1, True):
+                    nulled = client.request(
+                        {"op": "query", "query": QUERY, "timeout": bad})
+                    assert nulled["error"]["type"] == "protocol", bad
+                # over-ceiling budgets are clamped, not honored: a huge
+                # client timeout still runs (and succeeds) normally
+                clamped = client.request(
+                    {"op": "query", "query": QUERY,
+                     "timeout": 10_000_000, "max_join_rows": 10**12})
+                assert clamped["ok"]
+        service.close()
