@@ -6,18 +6,34 @@ store the same lifecycle: :func:`save_store` writes a compact binary
 image (dictionary + per-predicate sorted id pairs, from which every
 BitMat family is served), :func:`load_store` maps it back.
 
+The byte-level entry points :func:`dump_store_bytes` /
+:func:`load_store_bytes` separate encoding from file I/O so the live
+update subsystem (:mod:`repro.update`) can route image writes through
+its fault-injectable filesystem, and the term/varint codec
+(:func:`write_varint`, :func:`write_term`, …) is shared with the WAL
+record format so a triple serializes identically in a log record and a
+store image.
+
 Format (little-endian):
 
-* magic ``LBRSTORE1`` + counts (shared, subjects, objects, predicates);
+* magic ``LBRSTORE2`` + counts (shared, subjects, objects, predicates);
 * term tables in id order: shared terms, subject-only, object-only,
   predicates — each term as a kind byte plus length-prefixed UTF-8
   strings (URI/BNode/plain literal/typed literal/language literal);
-* per predicate id: pair count + delta-encoded (sid, oid) varints.
+* per predicate id: pair count + delta-encoded (sid, oid) varints;
+* 4-byte CRC32 of everything before it, so a corrupted image raises a
+  typed :class:`~repro.exceptions.StorageError` instead of silently
+  decoding into a wrong dataset.
+
+Images with the older ``LBRSTORE1`` magic (no trailing CRC) still
+load.
 """
 
 from __future__ import annotations
 
 import io
+import struct
+import zlib
 from typing import BinaryIO
 
 from ..exceptions import StorageError
@@ -25,7 +41,8 @@ from ..rdf.dictionary import Dictionary
 from ..rdf.terms import BNode, Literal, Term, URI
 from .store import BitMatStore
 
-_MAGIC = b"LBRSTORE1"
+_MAGIC = b"LBRSTORE2"
+_MAGIC_V1 = b"LBRSTORE1"
 
 _KIND_URI = 0
 _KIND_BNODE = 1
@@ -34,7 +51,8 @@ _KIND_TYPED = 3
 _KIND_LANG = 4
 
 
-def _write_varint(out: BinaryIO, value: int) -> None:
+def write_varint(out: BinaryIO, value: int) -> None:
+    """Append one unsigned LEB128 varint."""
     if value < 0:
         raise StorageError("varints are unsigned")
     while True:
@@ -47,7 +65,8 @@ def _write_varint(out: BinaryIO, value: int) -> None:
             return
 
 
-def _read_varint(data: BinaryIO) -> int:
+def read_varint(data: BinaryIO) -> int:
+    """Read one unsigned LEB128 varint; StorageError when truncated."""
     shift = 0
     value = 0
     while True:
@@ -63,19 +82,20 @@ def _read_varint(data: BinaryIO) -> int:
 
 def _write_text(out: BinaryIO, text: str) -> None:
     encoded = text.encode("utf-8")
-    _write_varint(out, len(encoded))
+    write_varint(out, len(encoded))
     out.write(encoded)
 
 
 def _read_text(data: BinaryIO) -> str:
-    length = _read_varint(data)
+    length = read_varint(data)
     payload = data.read(length)
     if len(payload) != length:
         raise StorageError("truncated string")
     return payload.decode("utf-8")
 
 
-def _write_term(out: BinaryIO, term: Term) -> None:
+def write_term(out: BinaryIO, term: Term) -> None:
+    """Append one RDF term (kind byte + length-prefixed strings)."""
     if isinstance(term, URI):
         out.write(bytes((_KIND_URI,)))
         _write_text(out, str(term))
@@ -98,7 +118,8 @@ def _write_term(out: BinaryIO, term: Term) -> None:
         raise StorageError(f"cannot persist term {term!r}")
 
 
-def _read_term(data: BinaryIO) -> Term:
+def read_term(data: BinaryIO) -> Term:
+    """Read one RDF term written by :func:`write_term`."""
     kind_chunk = data.read(1)
     if not kind_chunk:
         raise StorageError("truncated term")
@@ -118,39 +139,103 @@ def _read_term(data: BinaryIO) -> Term:
     raise StorageError(f"unknown term kind {kind}")
 
 
-def save_store(store: BitMatStore, path: str) -> int:
-    """Write the store to *path*; returns the number of bytes written."""
+# backwards-compatible private aliases (pre-update-subsystem names)
+_write_varint = write_varint
+_read_varint = read_varint
+_write_term = write_term
+_read_term = read_term
+
+
+def dump_store_bytes(store: BitMatStore) -> bytes:
+    """Serialize the store to one self-verifying byte image."""
     dictionary = store.dictionary
     buffer = io.BytesIO()
     buffer.write(_MAGIC)
     for count in (dictionary.num_shared, dictionary.num_subjects,
                   dictionary.num_objects, dictionary.num_predicates):
-        _write_varint(buffer, count)
+        write_varint(buffer, count)
 
     for term_id in range(1, dictionary.num_shared + 1):
-        _write_term(buffer, dictionary.subject_term(term_id))
+        write_term(buffer, dictionary.subject_term(term_id))
     for term_id in range(dictionary.num_shared + 1,
                          dictionary.num_subjects + 1):
-        _write_term(buffer, dictionary.subject_term(term_id))
+        write_term(buffer, dictionary.subject_term(term_id))
     for term_id in range(dictionary.num_shared + 1,
                          dictionary.num_objects + 1):
-        _write_term(buffer, dictionary.object_term(term_id))
+        write_term(buffer, dictionary.object_term(term_id))
     for term_id in range(1, dictionary.num_predicates + 1):
-        _write_term(buffer, dictionary.predicate_term(term_id))
+        write_term(buffer, dictionary.predicate_term(term_id))
 
     for pid in range(1, dictionary.num_predicates + 1):
         pairs = store._so_by_p.get(pid, [])
-        _write_varint(buffer, len(pairs))
+        write_varint(buffer, len(pairs))
         previous_sid = 0
         previous_oid = 0
         for sid, oid in pairs:
             if sid != previous_sid:
                 previous_oid = 0
-            _write_varint(buffer, sid - previous_sid)
-            _write_varint(buffer, oid - previous_oid)
+            write_varint(buffer, sid - previous_sid)
+            write_varint(buffer, oid - previous_oid)
             previous_sid, previous_oid = sid, oid
 
-    payload = buffer.getvalue()
+    body = buffer.getvalue()
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def load_store_bytes(payload: bytes,
+                     source: str = "<bytes>") -> BitMatStore:
+    """Deserialize an image produced by :func:`dump_store_bytes`."""
+    if payload.startswith(_MAGIC):
+        if len(payload) < len(_MAGIC) + 4:
+            raise StorageError(f"{source}: truncated store image")
+        body, footer = payload[:-4], payload[-4:]
+        expected = struct.unpack("<I", footer)[0]
+        if zlib.crc32(body) != expected:
+            raise StorageError(f"{source}: store image checksum mismatch")
+        data = io.BytesIO(body)
+        data.read(len(_MAGIC))
+    elif payload.startswith(_MAGIC_V1):
+        data = io.BytesIO(payload)
+        data.read(len(_MAGIC_V1))
+    else:
+        raise StorageError(f"{source} is not an LBR store image")
+    num_shared = read_varint(data)
+    num_subjects = read_varint(data)
+    num_objects = read_varint(data)
+    num_predicates = read_varint(data)
+
+    dictionary = Dictionary()
+    for _ in range(num_shared):
+        dictionary._add_shared(read_term(data))
+    for _ in range(num_subjects - num_shared):
+        dictionary._add_subject_only(read_term(data))
+    for _ in range(num_objects - num_shared):
+        dictionary._add_object_only(read_term(data))
+    for _ in range(num_predicates):
+        dictionary._add_predicate(read_term(data))
+
+    so_by_p: dict[int, list[tuple[int, int]]] = {}
+    for pid in range(1, num_predicates + 1):
+        count = read_varint(data)
+        if not count:
+            continue
+        pairs: list[tuple[int, int]] = []
+        previous_sid = 0
+        previous_oid = 0
+        for _ in range(count):
+            sid = previous_sid + read_varint(data)
+            if sid != previous_sid:
+                previous_oid = 0
+            oid = previous_oid + read_varint(data)
+            pairs.append((sid, oid))
+            previous_sid, previous_oid = sid, oid
+        so_by_p[pid] = pairs
+    return BitMatStore(dictionary, so_by_p)
+
+
+def save_store(store: BitMatStore, path: str) -> int:
+    """Write the store to *path*; returns the number of bytes written."""
+    payload = dump_store_bytes(store)
     with open(path, "wb") as handle:
         handle.write(payload)
     return len(payload)
@@ -159,38 +244,5 @@ def save_store(store: BitMatStore, path: str) -> int:
 def load_store(path: str) -> BitMatStore:
     """Read a store previously written by :func:`save_store`."""
     with open(path, "rb") as handle:
-        data = io.BytesIO(handle.read())
-    if data.read(len(_MAGIC)) != _MAGIC:
-        raise StorageError(f"{path} is not an LBR store image")
-    num_shared = _read_varint(data)
-    num_subjects = _read_varint(data)
-    num_objects = _read_varint(data)
-    num_predicates = _read_varint(data)
-
-    dictionary = Dictionary()
-    for _ in range(num_shared):
-        dictionary._add_shared(_read_term(data))
-    for _ in range(num_subjects - num_shared):
-        dictionary._add_subject_only(_read_term(data))
-    for _ in range(num_objects - num_shared):
-        dictionary._add_object_only(_read_term(data))
-    for _ in range(num_predicates):
-        dictionary._add_predicate(_read_term(data))
-
-    so_by_p: dict[int, list[tuple[int, int]]] = {}
-    for pid in range(1, num_predicates + 1):
-        count = _read_varint(data)
-        if not count:
-            continue
-        pairs: list[tuple[int, int]] = []
-        previous_sid = 0
-        previous_oid = 0
-        for _ in range(count):
-            sid = previous_sid + _read_varint(data)
-            if sid != previous_sid:
-                previous_oid = 0
-            oid = previous_oid + _read_varint(data)
-            pairs.append((sid, oid))
-            previous_sid, previous_oid = sid, oid
-        so_by_p[pid] = pairs
-    return BitMatStore(dictionary, so_by_p)
+        payload = handle.read()
+    return load_store_bytes(payload, source=path)

@@ -29,7 +29,7 @@ from ..exceptions import StorageError
 from ..lru import LRUCache, StripedLRUCache
 from ..rdf.dictionary import Dictionary
 from ..rdf.graph import Graph
-from ..rdf.terms import Term
+from ..rdf.terms import Term, Triple
 from .bitmat import BitMat
 from .bitvec import BitVector
 
@@ -305,6 +305,29 @@ class BitMatStore:
             return False
         lo = bisect_left(pairs, (sid, oid))
         return lo < len(pairs) and pairs[lo] == (sid, oid)
+
+    def diagonal_positions(self, pid: int) -> list[int]:
+        """Shared ids ``x`` with the triple ``(x, pid, x)``.
+
+        The diagonal of the S-O BitMat, restricted to the shared
+        ``V_so`` region — the ids matching a ``(?v  pid  ?v)`` pattern
+        (same variable on S and O).
+        """
+        return [sid for sid, oid in self._so_by_p.get(pid, ())
+                if sid == oid and sid <= self.num_shared]
+
+    def iter_triples(self):
+        """Decode every stored triple, in (pid, sid, oid) id order.
+
+        The compactor's source of truth: rebuilding from this stream
+        yields a store whose visible dataset is exactly this one's.
+        """
+        dictionary = self.dictionary
+        for pid in sorted(self._so_by_p):
+            p_term = dictionary.predicate_term(pid)
+            for sid, oid in self._so_by_p[pid]:
+                yield Triple(dictionary.subject_term(sid), p_term,
+                             dictionary.object_term(oid))
 
     # ------------------------------------------------------------------
     # index-size accounting (§6.2)

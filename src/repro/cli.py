@@ -103,10 +103,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=["mix", "uniform", "star", "clustered"],
                       help="graph shape (default: mix of all three)")
     fuzz.add_argument("--profile", default="full",
-                      choices=["wd", "full", "nul"],
+                      choices=["wd", "full", "nul", "updates"],
                       help="query profile: 'wd' well-designed only, "
                            "'full' adds non-well-designed nesting, "
-                           "'nul' stresses nullification/best-match")
+                           "'nul' stresses nullification/best-match, "
+                           "'updates' mutates a live store with WAL "
+                           "batches and diffs against a rebuilt store")
     fuzz.add_argument("--min-triples", type=int, default=8)
     fuzz.add_argument("--max-triples", type=int, default=60,
                       help="graph size range per case (default 8..60)")
@@ -132,9 +134,15 @@ def _build_parser() -> argparse.ArgumentParser:
                     "pool against the current immutable dataset "
                     "snapshot; a 'reload' request swaps in a new "
                     "snapshot without disturbing in-flight queries.")
-    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source = serve.add_mutually_exclusive_group(required=False)
     serve_source.add_argument("--data", help="N-Triples file")
     serve_source.add_argument("--store", help="BitMat store image")
+    serve.add_argument("--live-dir", default=None,
+                       help="directory for a writable live store "
+                            "(WAL + frozen base images); enables the "
+                            "'update' op.  --data/--store seed it on "
+                            "first creation; an existing directory is "
+                            "recovered from its WAL")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8815,
                        help="TCP port (0 = pick an ephemeral port; "
@@ -158,6 +166,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-shutdown-op", action="store_true",
                        help="reject the protocol 'shutdown' op "
                             "(stop with SIGINT instead)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="graceful-shutdown deadline: seconds to "
+                            "wait for in-flight queries before closing "
+                            "(default 10)")
     return parser
 
 
@@ -349,18 +361,36 @@ def _serve(args) -> int:
         default_timeout=args.timeout if args.timeout > 0 else None,
         max_join_rows=(args.max_join_rows
                        if args.max_join_rows > 0 else None))
+    if not args.live_dir and not args.store and not args.data:
+        print("error: provide --data, --store, or --live-dir",
+              file=sys.stderr)
+        return 2
     service = QueryService(config)
-    if args.store:
+    live = None
+    if args.live_dir:
+        from .update import LiveGraphStore
+        initial = None
+        if args.store:
+            initial = BitMatStore.load(args.store)
+        elif args.data:
+            initial = ntriples.load(args.data)
+        live = LiveGraphStore.open(args.live_dir, initial=initial)
+        service.attach_live_store(live)
+    elif args.store:
         service.load_store(BitMatStore.load(args.store))
     else:
         service.load_store(BitMatStore.build(ntriples.load(args.data)))
     snapshot = service.snapshots.current()
     server = LBRServer(service, host=args.host, port=args.port,
-                       allow_shutdown=not args.no_shutdown_op)
+                       allow_shutdown=not args.no_shutdown_op,
+                       drain_timeout=(args.drain_timeout
+                                      if args.drain_timeout > 0
+                                      else None))
     host, port = server.address
+    mode = f"live store at {args.live_dir}" if live else "read-only"
     print(f"lbr serve: {snapshot.store.num_triples:,} triples "
           f"(snapshot v{snapshot.version}), {args.workers} workers, "
-          f"queue limit {args.queue_limit}", flush=True)
+          f"queue limit {args.queue_limit}, {mode}", flush=True)
     print(f"listening on {host}:{port}", flush=True)
     if args.port_file:
         with open(args.port_file, "w", encoding="utf-8") as handle:
@@ -368,7 +398,7 @@ def _serve(args) -> int:
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
-        pass
+        server.shutdown_gracefully()
     finally:
         server.close()
         service.close()

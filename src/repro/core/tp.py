@@ -174,8 +174,7 @@ class TPState:
         if missing_ground:
             self._set_vector(var, "s", BitVector.empty(width))
             return
-        diagonal = [sid for sid, oid in self.store._so_by_p.get(pid, ())
-                    if sid == oid and sid <= self.store.num_shared]
+        diagonal = self.store.diagonal_positions(pid)
         self._set_vector(var, "s",
                          BitVector.from_positions(width, diagonal))
 

@@ -78,9 +78,42 @@ class AdmissionError(ReproError):
         self.queue_limit = queue_limit
 
 
+class ShuttingDownError(AdmissionError):
+    """Raised when a request arrives while the service is draining.
+
+    Distinct from a queue-full :class:`AdmissionError` so clients can
+    tell "retry this same server soon" (backpressure) apart from "this
+    server is going away" (reconnect elsewhere); the wire protocol maps
+    it to the ``shutting_down`` error code.
+    """
+
+
+class RetriesExhaustedError(ReproError):
+    """Raised by the retrying client when every attempt failed.
+
+    Carries the number of attempts made and the last underlying error,
+    so callers see one typed failure instead of whichever raw socket
+    exception the final attempt happened to hit.
+    """
+
+    def __init__(self, message: str, attempts: int,
+                 last_error: Exception | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class DictionaryError(ReproError):
     """Raised on inconsistent use of the term dictionary."""
 
 
 class StorageError(ReproError):
     """Raised when a BitMat store cannot be built, saved, or loaded."""
+
+
+class WALError(StorageError):
+    """Raised when a write-ahead log is unreadable or inconsistent.
+
+    A torn *tail* is not an error — replay truncates it — but a bad
+    file header, an out-of-order sequence number, or corruption in the
+    middle of the log (valid records after the bad frame) is."""

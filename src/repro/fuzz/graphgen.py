@@ -147,6 +147,59 @@ def _draw_star(state: _ShapeState) -> Triple:
     return _draw_uniform(state)
 
 
+def generate_update_batches(triples, rng: random.Random,
+                            max_batches: int = 4,
+                            batch_size: int = 8) -> list:
+    """Deterministic update batches for the ``updates`` fuzz profile.
+
+    Starting from the case's graph, produces up to *max_batches*
+    (adds, deletes) pairs.  Deletes sample the currently-visible set,
+    adds mix re-used vocabulary, previously-deleted triples (so
+    delete-then-re-add round-trips are exercised), and genuinely fresh
+    entities (forcing dictionary extension ids).  The expected visible
+    state after each batch is ``(visible - deletes) | adds`` — deletes
+    apply first, so a triple in both ends up present.
+    """
+    visible = set(triples)
+    entities = sorted({t.s for t in visible}
+                      | {t.o for t in visible if isinstance(t.o, URI)},
+                      key=lambda term: term.n3)
+    predicates = sorted({t.p for t in visible}, key=lambda term: term.n3)
+    objects = sorted({t.o for t in visible}, key=lambda term: term.n3)
+    fresh = [URI(f"http://fuzz.example/new{i}") for i in range(6)]
+    if not entities or not predicates or not objects:
+        return []
+    tombstones: list = []
+    batches = []
+    for _ in range(rng.randint(1, max_batches)):
+        n_deletes = rng.randint(0, min(batch_size, len(visible)))
+        deletes = tuple(rng.sample(
+            sorted(visible, key=lambda t: (t.s.n3, t.p.n3, t.o.n3)),
+            n_deletes))
+        adds = []
+        for _ in range(rng.randint(1, batch_size)):
+            roll = rng.random()
+            if roll < 0.2 and tombstones:
+                adds.append(rng.choice(tombstones))
+            elif roll < 0.35:
+                # fresh subject and/or object: extension dictionary ids
+                adds.append(Triple(rng.choice(fresh),
+                                   rng.choice(predicates),
+                                   rng.choice(objects)))
+            elif roll < 0.45 and deletes:
+                # delete-then-add in one batch: must end up present
+                adds.append(rng.choice(deletes))
+            else:
+                adds.append(Triple(rng.choice(entities),
+                                   rng.choice(predicates),
+                                   rng.choice(objects)))
+        adds = tuple(dict.fromkeys(adds))
+        batches.append((adds, deletes))
+        visible = (visible - set(deletes)) | set(adds)
+        tombstones.extend(t for t in deletes if t not in visible)
+    return batches
+
+
 def _draw_clustered(state: _ShapeState) -> Triple:
     """Dense intra-cluster edges with rare cross-cluster links."""
     rng, vocab = state.rng, state.vocab

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from .corpus import save_case
 from .graphgen import SHAPES, GraphSpec, generate_graph
-from .oracle import CaseResult, FuzzCase, run_case
+from .oracle import CaseResult, Disagreement, FuzzCase, run_case
 from .querygen import QueryGenerator, QuerySpec
 from .shrink import shrink
 
@@ -44,6 +44,10 @@ PROFILE_PRESETS: dict[str, QuerySpec] = {
                      ground_tp_prob=0.02, empty_optional_prob=0.0,
                      var_predicate_prob=0.02, projection_prob=0.1,
                      distinct_prob=0.05, order_limit_prob=0.05),
+    # live-update mutation profile: simple well-designed queries (the
+    # interesting part is the store state, not the query shape) run
+    # against a WAL-backed live store after every committed batch
+    "updates": QuerySpec(profile="wd"),
 }
 
 
@@ -134,6 +138,107 @@ def generate_case(config: CampaignConfig, case_seed: int,
     return case, shape
 
 
+def run_update_case(case: FuzzCase, case_seed: int) -> CaseResult:
+    """Differential oracle for the ``updates`` profile.
+
+    Replays a deterministic stream of update batches against a
+    MemFS-backed :class:`~repro.update.live.LiveGraphStore` and, after
+    every committed batch, compares the snapshot+overlay state against
+    a store rebuilt from scratch from the expected graph: the visible
+    triple set must match exactly, and the case query must return
+    row-identical results on both.  The case ends with a forced
+    compaction, a final comparison, and a close/reopen recovery check.
+    """
+    import time as _time
+
+    from ..bitmat.store import BitMatStore
+    from ..core.engine import LBREngine
+    from ..exceptions import (BudgetExceededError, ReproError,
+                              UnsupportedQueryError)
+    from ..rdf.graph import Graph
+    from ..update import LiveConfig, LiveGraphStore, MemFS
+    from .graphgen import generate_update_batches
+
+    started = _time.perf_counter()
+    rng = random.Random(case_seed ^ 0x5EED)
+    batches = generate_update_batches(case.triples, rng)
+
+    def triple_key(triple):
+        return (triple.s.n3, triple.p.n3, triple.o.n3)
+
+    def rows_of(store):
+        engine = LBREngine(store)
+        session = engine.session(
+            max_join_rows=100_000,
+            deadline=_time.monotonic() + 5.0)
+        try:
+            result = session.execute(case.query_text)
+        except (UnsupportedQueryError, BudgetExceededError):
+            return None
+        return sorted(result.rows,
+                      key=lambda row: tuple(str(c) for c in row))
+
+    def compare(stage: str, live, visible) -> Disagreement | None:
+        expected = sorted(visible, key=triple_key)
+        got = sorted(live.current_store().iter_triples(),
+                     key=triple_key)
+        if got != expected:
+            missing = [t for t in expected if t not in set(got)]
+            unexpected = [t for t in got if t not in set(expected)]
+            return Disagreement(
+                engine=f"live-overlay/{stage}/triples",
+                expected_rows=len(expected), actual_rows=len(got),
+                missing=missing[:3], unexpected=unexpected[:3])
+        rebuilt = BitMatStore.build(Graph(visible))
+        reference = rows_of(rebuilt)
+        if reference is None:
+            return None
+        actual = rows_of(live.current_store())
+        if actual != reference:
+            return Disagreement(
+                engine=f"live-overlay/{stage}/rows",
+                expected_rows=len(reference),
+                actual_rows=-1 if actual is None else len(actual))
+        return None
+
+    fs = MemFS()
+    visible = set(case.triples)
+    disagreements: list[Disagreement] = []
+    try:
+        live = LiveGraphStore.open(
+            "/fuzz-live", fs=fs, initial=Graph(case.triples),
+            config=LiveConfig(compact_threshold=None, background=False))
+        for index, (adds, deletes) in enumerate(batches):
+            live.apply_batch(adds, deletes)
+            visible = (visible - set(deletes)) | set(adds)
+            problem = compare(f"batch{index}", live, visible)
+            if problem is not None:
+                disagreements.append(problem)
+        live.compact()
+        problem = compare("compacted", live, visible)
+        if problem is not None:
+            disagreements.append(problem)
+        live.close()
+        # recovery: reopen from the durable bytes alone
+        live = LiveGraphStore.open(
+            "/fuzz-live", fs=fs.after_crash("durable"),
+            config=LiveConfig(compact_threshold=None, background=False))
+        problem = compare("recovered", live, visible)
+        if problem is not None:
+            disagreements.append(problem)
+        live.close()
+    except ReproError as exc:
+        disagreements.append(Disagreement(
+            engine=f"live-overlay/error:{type(exc).__name__}:{exc}",
+            expected_rows=len(visible), actual_rows=-1))
+    return CaseResult(
+        case=case,
+        status="mismatch" if disagreements else "agree",
+        disagreements=disagreements,
+        reference_rows=len(visible),
+        elapsed=_time.perf_counter() - started)
+
+
 def run_campaign(config: CampaignConfig,
                  log=None) -> CampaignReport:
     """Run a full campaign; deterministic given the config."""
@@ -146,7 +251,10 @@ def run_campaign(config: CampaignConfig,
             break
         case_seed = master.getrandbits(48)
         case, shape = generate_case(config, case_seed, index)
-        result = run_case(case)
+        if config.profile == "updates":
+            result = run_update_case(case, case_seed)
+        else:
+            result = run_case(case)
         report.cases += 1
         report.by_shape[shape] = report.by_shape.get(shape, 0) + 1
         report.reference_rows += result.reference_rows
@@ -168,7 +276,9 @@ def run_campaign(config: CampaignConfig,
                     + "; ".join(d.describe()
                                 for d in result.disagreements))
             shrunk = case
-            if config.shrink_failures:
+            # update cases cannot be shrunk through the query oracle:
+            # their failure depends on the batch stream, not the query
+            if config.shrink_failures and config.profile != "updates":
                 shrunk = shrink(case, lambda c: run_case(c).failed)
                 if log is not None:
                     log(f"  shrunk to {len(shrunk.triples)} triples, "

@@ -9,21 +9,50 @@ bounded admission queue is what pushes back when clients outrun the
 worker pool.
 
 :class:`ServerClient` is the reference client: tests, the soak gate,
-and the load generator all speak through it.
+and the load generator all speak through it.  It can retry
+transparently (off by default): transient connection failures and
+``rejected`` backpressure responses are retried with exponential
+backoff plus jitter up to a bounded attempt count, after which a
+typed :class:`~repro.exceptions.RetriesExhaustedError` surfaces the
+last underlying failure; ``shutting_down`` responses are never
+retried — that server is going away.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import socketserver
 import threading
+import time
 
 from ..bitmat.store import BitMatStore
+from ..exceptions import (AdmissionError, ParseError, RetriesExhaustedError,
+                          ShuttingDownError, StorageError)
 from ..rdf import ntriples
 from .protocol import (PROTOCOL_VERSION, decode_line, encode_line,
                        error_response, outcome_to_response)
 from ..sync import UNSET
 from .service import QueryService
+
+
+def _parse_triples(lines: list, what: str) -> list:
+    """Wire N-Triples lines → triples (blank/comment lines skipped)."""
+    triples = []
+    for index, line in enumerate(lines):
+        if not isinstance(line, str):
+            raise ParseError(f"{what}[{index}] is not a string")
+        triple = ntriples.parse_line(line, index + 1)
+        if triple is not None:
+            triples.append(triple)
+    return triples
+
+
+def _triple_line(triple) -> str:
+    """One wire line for a triple (strings pass through verbatim)."""
+    if isinstance(triple, str):
+        return triple
+    return triple.n3
 
 
 def _clamp_budget(value: object, ceiling: float | None,
@@ -70,7 +99,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                     request_id), False
             self._send(response)
             if stop:
-                threading.Thread(target=server.shutdown,
+                threading.Thread(target=server.lbr_graceful_stop,
                                  daemon=True).start()
                 return
 
@@ -117,6 +146,34 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                     request_id), False
             return {"ok": True, "snapshot": snapshot.describe(),
                     "id": request_id}, False
+        if op == "update":
+            add_lines = request.get("add", [])
+            delete_lines = request.get("delete", [])
+            if (not isinstance(add_lines, list)
+                    or not isinstance(delete_lines, list)):
+                return error_response(
+                    "protocol",
+                    "'add' and 'delete' must be lists of N-Triples lines",
+                    request_id), False
+            try:
+                adds = _parse_triples(add_lines, "add")
+                deletes = _parse_triples(delete_lines, "delete")
+            except ParseError as exc:
+                return error_response("parse", str(exc), request_id), False
+            try:
+                summary = service.update_batch(adds, deletes)
+            except ShuttingDownError as exc:
+                return error_response("shutting_down", str(exc),
+                                      request_id), False
+            except AdmissionError as exc:
+                return error_response("rejected", str(exc),
+                                      request_id), False
+            except StorageError as exc:
+                # read-only service, failed WAL, closed store
+                return error_response("error", str(exc), request_id), False
+            response = {"ok": True, "id": request_id}
+            response.update(summary)
+            return response, False
         if op == "shutdown":
             if not server.allow_shutdown:
                 return error_response("protocol",
@@ -137,17 +194,35 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     lbr_service: QueryService
     allow_shutdown: bool
+    drain_timeout: float | None
+
+    def lbr_graceful_stop(self) -> None:
+        """Drain admitted queries, fsync the WAL, then stop listening.
+
+        New submits are refused with ``shutting_down`` the moment this
+        starts, so clients get a typed protocol error — never a
+        connection reset — while in-flight work completes up to the
+        drain deadline.
+        """
+        service = self.lbr_service
+        service.begin_shutdown()
+        service.drain(self.drain_timeout)
+        if service.live is not None:
+            service.live.sync()
+        self.shutdown()
 
 
 class LBRServer:
     """The socket server; binds eagerly so the port is known at once."""
 
     def __init__(self, service: QueryService, host: str = "127.0.0.1",
-                 port: int = 0, allow_shutdown: bool = True) -> None:
+                 port: int = 0, allow_shutdown: bool = True,
+                 drain_timeout: float | None = 10.0) -> None:
         self.service = service
         self._tcp = _TCPServer((host, port), _RequestHandler)
         self._tcp.lbr_service = service
         self._tcp.allow_shutdown = allow_shutdown
+        self._tcp.drain_timeout = drain_timeout
         self._thread: threading.Thread | None = None
 
     @property
@@ -176,6 +251,13 @@ class LBRServer:
             self._thread.join(timeout=10)
             self._thread = None
 
+    def shutdown_gracefully(self) -> None:
+        """Drain in-flight work, fsync the WAL, then stop serving."""
+        self._tcp.lbr_graceful_stop()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
     def close(self) -> None:
         self.shutdown()
         self._tcp.server_close()
@@ -188,20 +270,68 @@ class LBRServer:
 
 
 class ServerClient:
-    """Blocking NDJSON client over one TCP connection."""
+    """Blocking NDJSON client over one TCP connection.
+
+    With ``retries=0`` (the default) every failure surfaces
+    immediately, exactly as before.  With ``retries=N`` the client
+    transparently retries transient failures — dropped connections
+    (reconnecting first) and ``rejected`` backpressure responses — up
+    to N extra attempts with exponential backoff plus jitter, then
+    raises :class:`~repro.exceptions.RetriesExhaustedError`.
+    ``shutting_down`` responses are returned as-is, never retried.
+    """
 
     def __init__(self, host: str, port: int,
-                 timeout: float | None = 60.0) -> None:
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
-        self._reader = self._sock.makefile("rb")
-        self._writer = self._sock.makefile("wb")
+                 timeout: float | None = 60.0, retries: int = 0,
+                 backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retries = max(0, int(retries))
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._rng = random.Random()
         self._lock = threading.Lock()
         self._next_id = 0
+        self._sock: socket.socket | None = None
+        self._reader = None
+        self._writer = None
+        try:
+            self._connect()
+        except OSError:
+            if self._retries == 0:
+                raise
+            # leave disconnected; the retry loop reconnects on use
 
-    def request(self, payload: dict) -> dict:
-        """Send one request object and read its response."""
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout)
+        self._reader = self._sock.makefile("rb")
+        self._writer = self._sock.makefile("wb")
+
+    def _reconnect(self) -> None:
+        self._close_socket()
+        self._connect()
+
+    def _close_socket(self) -> None:
+        for stream in (self._reader, self._writer):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = self._reader = self._writer = None
+
+    def _request_once(self, payload: dict) -> dict:
         with self._lock:
+            if self._sock is None:
+                raise ConnectionError("client is disconnected")
             self._next_id += 1
             payload = dict(payload)
             payload.setdefault("id", self._next_id)
@@ -211,6 +341,49 @@ class ServerClient:
         if not line:
             raise ConnectionError("server closed the connection")
         return decode_line(line)
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with jitter; attempt counts from 1."""
+        delay = min(self._backoff_cap,
+                    self._backoff_base * (2 ** (attempt - 1)))
+        return delay * (0.5 + self._rng.random())
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object and read its response.
+
+        Retries transient failures when the client was built with
+        ``retries > 0``; see the class docstring for the policy.
+        """
+        if self._retries == 0:
+            return self._request_once(payload)
+        attempts = 0
+        last_error: Exception | None = None
+        while attempts <= self._retries:
+            if attempts:
+                time.sleep(self._backoff(attempts))
+            attempts += 1
+            if self._sock is None:
+                try:
+                    self._connect()
+                except OSError as exc:
+                    last_error = exc
+                    continue
+            try:
+                response = self._request_once(payload)
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+                self._close_socket()
+                continue
+            error = response.get("error")
+            if (isinstance(error, dict)
+                    and error.get("type") == "rejected"):
+                last_error = AdmissionError(
+                    str(error.get("message", "rejected")))
+                continue
+            return response
+        raise RetriesExhaustedError(
+            f"request failed after {attempts} attempts: {last_error}",
+            attempts=attempts, last_error=last_error)
 
     def query(self, query_text: str, timeout: object = None,
               max_join_rows: object = None) -> dict:
@@ -237,15 +410,18 @@ class ServerClient:
             payload["store"] = store
         return self.request(payload)
 
+    def update(self, adds=None, deletes=None) -> dict:
+        """Commit one atomic update batch of triples (or N3 lines)."""
+        payload = {"op": "update",
+                   "add": [_triple_line(t) for t in (adds or [])],
+                   "delete": [_triple_line(t) for t in (deletes or [])]}
+        return self.request(payload)
+
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})
 
     def close(self) -> None:
-        try:
-            self._reader.close()
-            self._writer.close()
-        finally:
-            self._sock.close()
+        self._close_socket()
 
     def __enter__(self) -> "ServerClient":
         return self

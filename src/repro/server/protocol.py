@@ -8,11 +8,19 @@ echoed back verbatim so clients can pipeline:
 * ``{"op": "stats"}`` / ``{"op": "ping"}``
 * ``{"op": "reload", "data": path}`` or ``{"op": "reload", "store":
   path}`` — copy-on-write snapshot swap
-* ``{"op": "shutdown"}`` — stop the server (when enabled)
+* ``{"op": "update", "add": [ntriples lines], "delete": [...]}`` —
+  durably commit one atomic batch of adds/deletes (WAL-backed; only
+  when the server serves a live store)
+* ``{"op": "shutdown"}`` — graceful stop (when enabled): drains
+  in-flight queries up to a deadline and fsyncs the WAL
 
 Result cells travel as N3 strings (``None`` for unbound OPTIONAL
 cells), which is also the *row-identity* form the soak gate and the
 throughput benchmark compare against the single-threaded engine.
+
+Error responses carry ``error.type``; ``rejected`` means backpressure
+(retry the same server soon), ``shutting_down`` means the server is
+draining (reconnect elsewhere; never retried by the client).
 """
 
 from __future__ import annotations
@@ -24,7 +32,8 @@ from ..rdf.terms import NULL
 from .scheduler import QueryOutcome
 
 #: protocol revision, reported by ping so clients can sanity-check
-PROTOCOL_VERSION = 1
+#: (2: added the ``update`` op and the ``shutting_down`` error code)
+PROTOCOL_VERSION = 2
 
 
 def term_to_wire(value) -> str | None:

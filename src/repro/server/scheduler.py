@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from ..core.engine import QueryStats
 from ..exceptions import (AdmissionError, BudgetExceededError,
                           DeadlineExceededError, ParseError, ReproError,
-                          UnsupportedQueryError)
+                          ShuttingDownError, UnsupportedQueryError)
 from ..sync import UNSET
 from .snapshot import SnapshotManager
 
@@ -115,6 +115,8 @@ class QueryScheduler:
         self._queue: queue.Queue = queue.Queue(maxsize=limit or 0)
         self._threads: list[threading.Thread] = []
         self._accepting = False
+        self._draining = False
+        self._in_flight = 0
         # makes the accepting-check + enqueue atomic against stop(), so
         # no request can slip into the queue after the shutdown drain
         # and hang its caller unresolved forever
@@ -140,6 +142,40 @@ class QueryScheduler:
             thread.start()
             self._threads.append(thread)
         return self
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` was called."""
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting; already-admitted requests keep running.
+
+        New submits fail with :class:`ShuttingDownError` (the wire
+        ``shutting_down`` code) so clients reconnect elsewhere instead
+        of retrying against a server that is going away.
+        """
+        with self._admission_lock:
+            self._draining = True
+
+    def drain(self, timeout: float | None = 10.0) -> bool:
+        """Wait for the queue and in-flight requests to finish.
+
+        Call :meth:`begin_drain` first.  Returns True when everything
+        completed within *timeout* seconds, False when the deadline
+        expired with work still pending (the caller decides whether to
+        cancel via :meth:`stop`).
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            with self._lock:
+                busy = self._in_flight
+            if not busy and self._queue.qsize() == 0:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.005)
 
     def stop(self, cancel_pending: bool = True) -> None:
         """Stop accepting work, drain workers, cancel queued requests."""
@@ -193,6 +229,9 @@ class QueryScheduler:
                        if max_join_rows is UNSET else max_join_rows)
         request = PendingQuery(query_text, deadline, rows_budget)
         with self._admission_lock:
+            if self._draining:
+                self._count("rejected")
+                raise ShuttingDownError("service is shutting down")
             if not self._accepting and self.config.workers > 0:
                 raise AdmissionError("scheduler is not running")
             try:
@@ -216,6 +255,9 @@ class QueryScheduler:
         try:
             request = self.submit(query_text, timeout=timeout,
                                   max_join_rows=max_join_rows)
+        except ShuttingDownError as exc:
+            return QueryOutcome(ok=False, error_type="shutting_down",
+                                error=str(exc))
         except AdmissionError as exc:
             return QueryOutcome(ok=False, error_type="rejected",
                                 error=str(exc))
@@ -234,6 +276,8 @@ class QueryScheduler:
         report["queue_depth"] = self._queue.qsize()
         report["queue_limit"] = self.config.queue_limit
         report["workers"] = len(self._threads)
+        report["in_flight"] = self._in_flight
+        report["draining"] = self._draining
         report["latency_samples"] = len(samples)
         report["p50_ms"] = _percentile(samples, 0.50) * 1000
         report["p99_ms"] = _percentile(samples, 0.99) * 1000
@@ -248,6 +292,8 @@ class QueryScheduler:
             request = self._queue.get()
             if request is _STOP:
                 return
+            with self._lock:
+                self._in_flight += 1
             try:
                 self._run(request)
             except BaseException as exc:  # pragma: no cover - last resort
@@ -258,6 +304,9 @@ class QueryScheduler:
                 request._resolve(QueryOutcome(
                     ok=False, error_type="internal",
                     error=f"{type(exc).__name__}: {exc}"))
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
 
     def _run(self, request: PendingQuery) -> None:
         started = time.monotonic()

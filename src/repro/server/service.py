@@ -6,13 +6,25 @@ benchmark drive.  One :class:`QueryService` owns a
 and a running :class:`~repro.server.scheduler.QueryScheduler`
 (admission + execution); ``load_graph``/``load_store`` perform the
 copy-on-write snapshot swap while queries keep flowing.
+
+Attaching a :class:`~repro.update.live.LiveGraphStore` makes the
+service writable: :meth:`QueryService.update_batch` commits through
+the live store's WAL and every committed batch (and compaction swap)
+republishes a snapshot, so readers always see an atomic, durable
+state.  Update admission is a bounded semaphore — writers queue
+briefly, then get backpressure — and :meth:`begin_shutdown` /
+:meth:`drain` implement graceful shutdown: new work is refused with
+the ``shutting_down`` code while admitted queries finish and the WAL
+is fsynced.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..bitmat.store import BitMatStore
+from ..exceptions import AdmissionError, ShuttingDownError, StorageError
 from ..rdf.graph import Graph
 from ..sync import UNSET
 from .scheduler import QueryOutcome, QueryScheduler, SchedulerConfig
@@ -23,11 +35,15 @@ from .snapshot import Snapshot, SnapshotManager
 class ServiceConfig(SchedulerConfig):
     """Knobs of one query service.
 
-    Today exactly the scheduler's admission/budget policy (fields and
-    defaults inherited from :class:`SchedulerConfig`, which the
-    scheduler consumes directly — one definition, no mapping layer);
-    service-only knobs would be added here.
+    Inherits the scheduler's admission/budget policy (consumed by the
+    scheduler directly — one definition, no mapping layer) and adds
+    the service-only knobs.
     """
+
+    #: concurrent update batches admitted before writers are rejected
+    #: with backpressure (updates serialize on the WAL writer lock, so
+    #: this bounds the writer convoy, not the throughput)
+    update_slots: int = 8
 
 
 class QueryService:
@@ -38,6 +54,9 @@ class QueryService:
         self.snapshots = SnapshotManager()
         self.scheduler = QueryScheduler(self.snapshots, self.config)
         self.scheduler.start()
+        self.live = None
+        self._update_slots = threading.BoundedSemaphore(
+            max(1, self.config.update_slots))
         self._closed = False
 
     @classmethod
@@ -66,6 +85,47 @@ class QueryService:
         """Publish an already-built store (frozen in place)."""
         return self.snapshots.publish_store(store)
 
+    def attach_live_store(self, live) -> Snapshot:
+        """Serve (and accept updates for) a LiveGraphStore.
+
+        The live store's publications — every committed batch, every
+        compaction swap — flow through the snapshot manager from here
+        on; the current recovered state is published immediately.
+        """
+        self.live = live
+        live.on_publish = self.snapshots.publish_store
+        return self.snapshots.publish_store(live.current_store())
+
+    # ------------------------------------------------------------------
+    # updates (live store required)
+    # ------------------------------------------------------------------
+
+    def update_batch(self, adds, deletes) -> dict:
+        """Durably commit one update batch and publish its snapshot.
+
+        Raises :class:`StorageError` when no live store is attached,
+        :class:`ShuttingDownError` while draining, and
+        :class:`AdmissionError` when too many updates are in flight.
+        Returns the live store's commit summary with the published
+        snapshot version added.
+        """
+        if self.live is None:
+            raise StorageError(
+                "service is read-only: no live store attached")
+        if self.scheduler.draining:
+            raise ShuttingDownError("service is shutting down")
+        if not self._update_slots.acquire(blocking=False):
+            raise AdmissionError(
+                "too many update batches in flight; retry later",
+                queue_depth=self.config.update_slots,
+                queue_limit=self.config.update_slots)
+        try:
+            summary = self.live.apply_batch(adds, deletes)
+        finally:
+            self._update_slots.release()
+        summary["snapshot_version"] = self.snapshots.version
+        return summary
+
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
@@ -91,6 +151,8 @@ class QueryService:
     def stats(self) -> dict:
         """Scheduler, snapshot, and cache statistics for monitoring."""
         report: dict = {"scheduler": self.scheduler.stats()}
+        if self.live is not None:
+            report["live"] = self.live.stats()
         if self.snapshots.version:
             snapshot = self.snapshots.current()
             report["snapshot"] = snapshot.describe()
@@ -102,10 +164,32 @@ class QueryService:
             report["snapshot"] = None
         return report
 
+    def begin_shutdown(self) -> None:
+        """Refuse new work with the ``shutting_down`` code; in-flight
+        queries keep running until :meth:`drain` or :meth:`close`."""
+        self.scheduler.begin_drain()
+
+    def drain(self, timeout: float | None = 10.0) -> bool:
+        """Wait for admitted queries to finish (after
+        :meth:`begin_shutdown`); True when everything completed in
+        time."""
+        return self.scheduler.drain(timeout)
+
+    def shutdown_gracefully(self, drain_timeout: float | None = 10.0,
+                            ) -> bool:
+        """Drain, flush the WAL, and stop; True on a clean drain."""
+        self.begin_shutdown()
+        drained = self.drain(drain_timeout)
+        self.close()
+        return drained
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True
             self.scheduler.stop(cancel_pending=True)
+            if self.live is not None:
+                # flushes + fsyncs the WAL and stops the compactor
+                self.live.close()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -8,10 +8,22 @@ reloader thread keeps republishing snapshots (alternating between two
 pre-built stores of the same data, so every swap is a full
 copy-on-write publication with cold plan caches).
 
+With ``--writers N`` the server serves a WAL-backed live store and N
+writer threads concurrently toggle one fixed *slice* of the dataset
+(delete the whole slice / re-add the whole slice, each an atomic
+batch) while a compaction-storm thread keeps forcing base merges.
+Because every writer toggles the *same* slice, every committed state
+equals either the full graph or the graph minus the slice — the
+single-writer oracle — so readers are checked against exactly two
+precomputed reference answers per query and writers assert the exact
+post-batch triple count.  Any response matching neither state is a
+divergence.  The run fails unless at least one compaction completed.
+
 The gate fails on:
 
 * **divergence** — any concurrent result whose sorted wire rows differ
-  from the single-threaded engine's answer for the same query;
+  from the single-threaded engine's answer for the same query (in
+  writer mode: from both committed states' answers);
 * **unhandled errors** — any ``internal`` outcome, client-side
   exception, or nonzero scheduler ``worker_errors`` counter;
 * **deadlock** — clients not finishing within a grace period after the
@@ -19,7 +31,8 @@ The gate fails on:
 
 Admission rejections and deadline timeouts are *expected* under
 saturation and are only reported; the run still fails if literally no
-request completed.
+request completed (and, in writer mode, if no batch committed or no
+compaction ran).
 
 Exit codes: 0 clean, 1 divergence/errors, 2 setup failure, 3 deadlock.
 """
@@ -36,7 +49,7 @@ import time
 from ..bitmat.store import BitMatStore
 from ..core.engine import LBREngine
 from ..exceptions import (BudgetExceededError, ReproError,
-                          UnsupportedQueryError)
+                          RetriesExhaustedError, UnsupportedQueryError)
 from ..rdf.graph import Graph
 from .net import LBRServer, ServerClient
 from .protocol import rows_to_wire
@@ -130,6 +143,37 @@ def _row_key(row: list) -> tuple:
     return tuple("" if cell is None else cell for cell in row)
 
 
+def select_toggle_slice(graph: Graph, cap: int = 200) -> list:
+    """A slice of triples safe for delete/re-add toggling.
+
+    Every selected triple's subject still appears as a subject, its
+    object as an object, and its predicate as a predicate somewhere in
+    the remaining graph.  That keeps the dictionary's shared region
+    stable across a compaction at *either* committed state: re-adding
+    the slice never puts a term on both sides outside the shared
+    region, so toggling never degenerates into a forced rebuild per
+    batch.
+    """
+    subject_uses: dict = {}
+    predicate_uses: dict = {}
+    object_uses: dict = {}
+    for triple in graph:
+        subject_uses[triple.s] = subject_uses.get(triple.s, 0) + 1
+        predicate_uses[triple.p] = predicate_uses.get(triple.p, 0) + 1
+        object_uses[triple.o] = object_uses.get(triple.o, 0) + 1
+    slice_triples = []
+    for triple in sorted(graph, key=lambda t: (t.s.n3, t.p.n3, t.o.n3)):
+        if (subject_uses[triple.s] >= 2 and predicate_uses[triple.p] >= 2
+                and object_uses[triple.o] >= 2):
+            slice_triples.append(triple)
+            subject_uses[triple.s] -= 1
+            predicate_uses[triple.p] -= 1
+            object_uses[triple.o] -= 1
+            if len(slice_triples) >= cap:
+                break
+    return slice_triples
+
+
 class ClientStats:
     """Mutable per-client tally (each client thread owns one)."""
 
@@ -145,7 +189,8 @@ class ClientStats:
 def _client_loop(index: int, seed: int, host: str, port: int,
                  names: list[str], references: dict[str, list],
                  queries: dict[str, str], stop_at: float,
-                 tally: ClientStats) -> None:
+                 tally: ClientStats,
+                 alt_references: dict[str, list] | None = None) -> None:
     rng = random.Random((seed << 8) | index)
     try:
         client = ServerClient(host, port, timeout=WATCHDOG_GRACE)
@@ -163,7 +208,10 @@ def _client_loop(index: int, seed: int, host: str, port: int,
                 return
             if response.get("ok"):
                 got = sorted(response["rows"], key=_row_key)
-                if got != references[name]:
+                matched = got == references[name]
+                if not matched and alt_references is not None:
+                    matched = got == alt_references[name]
+                if not matched:
                     tally.divergences.append(
                         f"client {index}: {name}: got "
                         f"{len(got)} rows != reference "
@@ -199,6 +247,87 @@ def _reloader_loop(service: QueryService, stores: list[BitMatStore],
         service.load_store(stores[flip % len(stores)])
 
 
+class WriterStats:
+    """Mutable per-writer tally (each writer thread owns one)."""
+
+    def __init__(self) -> None:
+        self.committed = 0
+        self.checkpointed = 0
+        self.exhausted = 0
+        self.divergences: list[str] = []
+        self.errors: list[str] = []
+
+
+def _writer_loop(index: int, host: str, port: int, slice_lines: list,
+                 expected_full: int, expected_minus: int,
+                 interval: float, stop_at: float,
+                 tally: WriterStats) -> None:
+    """Toggle the shared slice: delete-all, re-add-all, repeat.
+
+    Each batch is atomic, and every writer toggles the *same* slice,
+    so the post-batch triple count reported by the server must equal
+    the minus-slice count after a delete and the full count after an
+    add — regardless of how writers interleave.  Anything else means a
+    committed state outside the single-writer oracle's state set.
+    """
+    try:
+        client = ServerClient(host, port, timeout=WATCHDOG_GRACE,
+                              retries=6, backoff_base=0.02)
+    except OSError as exc:
+        tally.errors.append(f"writer {index}: connect failed: {exc}")
+        return
+    deleting = True
+    try:
+        while time.monotonic() < stop_at:
+            try:
+                if deleting:
+                    response = client.update(deletes=slice_lines)
+                    expected = expected_minus
+                else:
+                    response = client.update(adds=slice_lines)
+                    expected = expected_full
+            except RetriesExhaustedError:
+                tally.exhausted += 1
+                time.sleep(interval)
+                continue
+            except (OSError, ValueError) as exc:
+                tally.errors.append(f"writer {index}: "
+                                    f"{type(exc).__name__}: {exc}")
+                return
+            if not response.get("ok"):
+                error = response.get("error") or {}
+                if error.get("type") == "shutting_down":
+                    return
+                tally.errors.append(
+                    f"writer {index}: {error.get('type')}: "
+                    f"{error.get('message')}")
+                return
+            tally.committed += 1
+            if response.get("checkpointed"):
+                tally.checkpointed += 1
+            visible = response.get("visible_triples")
+            if visible != expected:
+                tally.divergences.append(
+                    f"writer {index}: seq {response.get('seq')} "
+                    f"({'delete' if deleting else 'add'}) left "
+                    f"{visible} visible triples, expected {expected}")
+            deleting = not deleting
+            time.sleep(interval)
+    finally:
+        client.close()
+
+
+def _compaction_storm(live, interval: float, stop_at: float) -> None:
+    """Force base merges back-to-back while writers toggle."""
+    while time.monotonic() < stop_at:
+        time.sleep(interval)
+        try:
+            live.compact()
+        except Exception:
+            # surfaced through the compactions counter staying flat
+            return
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.server.soak",
@@ -220,10 +349,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--reload-interval", type=float, default=3.0,
                         help="seconds between snapshot republications "
                              "(default 3)")
+    parser.add_argument("--writers", type=int, default=0,
+                        help="concurrent writer threads toggling one "
+                             "shared slice through the update op "
+                             "(default 0 = read-only soak)")
+    parser.add_argument("--write-interval", type=float, default=0.2,
+                        help="seconds each writer pauses between "
+                             "batches (default 0.2)")
+    parser.add_argument("--compact-interval", type=float, default=4.0,
+                        help="seconds between forced compactions in "
+                             "writer mode (default 4)")
+    parser.add_argument("--slice-size", type=int, default=150,
+                        help="triples in the toggled slice "
+                             "(default 150)")
     args = parser.parse_args(argv)
 
+    writer_mode = args.writers > 0
     print(f"soak: building workload (seed={args.seed}, "
-          f"fuzz_cases={args.fuzz_cases})", flush=True)
+          f"fuzz_cases={args.fuzz_cases}, writers={args.writers})",
+          flush=True)
+    live_dir = None
     try:
         graph, queries = build_workload(args.seed, args.fuzz_cases)
         # two stores of the same data: snapshot swaps alternate between
@@ -232,6 +377,23 @@ def main(argv: list[str] | None = None) -> int:
         stores = [BitMatStore.build(graph), BitMatStore.build(graph)]
         references = compute_references(BitMatStore.build(graph),
                                         queries)
+        alt_references = None
+        slice_triples: list = []
+        if writer_mode:
+            slice_triples = select_toggle_slice(graph, args.slice_size)
+            if not slice_triples:
+                raise SystemExit("soak setup: empty toggle slice")
+            minus_graph = Graph()
+            slice_set = set(slice_triples)
+            minus_graph.add_all(t for t in graph if t not in slice_set)
+            minus_queries = dict(queries)
+            alt_references = compute_references(
+                BitMatStore.build(minus_graph), minus_queries)
+            # a query must be answerable in BOTH committed states
+            for name in list(references):
+                if name not in alt_references:
+                    references.pop(name)
+                    queries.pop(name, None)
     except SystemExit:
         raise
     except Exception as exc:
@@ -243,11 +405,26 @@ def main(argv: list[str] | None = None) -> int:
           f"({sum(1 for n in names if n.startswith('fuzz/'))} fuzz)",
           flush=True)
 
-    service = QueryService.from_store(
-        stores[0],
+    service = QueryService(
         ServiceConfig(workers=args.workers,
                       queue_limit=args.queue_limit,
                       default_timeout=30.0))
+    live = None
+    if writer_mode:
+        import tempfile
+
+        from ..update import LiveConfig, LiveGraphStore
+        live_dir = tempfile.mkdtemp(prefix="lbr-soak-live-")
+        # the storm thread owns compaction; no background daemon and
+        # no size threshold, so every merge is deliberate and counted
+        live = LiveGraphStore.open(
+            live_dir, initial=stores[0],
+            config=LiveConfig(compact_threshold=None, background=False))
+        service.attach_live_store(live)
+        print(f"soak: live store at {live_dir}, toggle slice of "
+              f"{len(slice_triples)} triples", flush=True)
+    else:
+        service.load_store(stores[0])
     server = LBRServer(service, port=0).start()
     host, port = server.address
 
@@ -257,33 +434,61 @@ def main(argv: list[str] | None = None) -> int:
         threading.Thread(
             target=_client_loop, daemon=True, name=f"soak-client-{i}",
             args=(i, args.seed, host, port, names, references, queries,
-                  stop_at, tallies[i]))
+                  stop_at, tallies[i], alt_references))
         for i in range(args.threads)]
-    reloader = threading.Thread(
-        target=_reloader_loop, daemon=True, name="soak-reloader",
-        args=(service, stores, args.reload_interval, stop_at))
     started = time.monotonic()
     for thread in clients:
         thread.start()
-    reloader.start()
+    writer_tallies = [WriterStats() for _ in range(args.writers)]
+    writers: list[threading.Thread] = []
+    if writer_mode:
+        slice_lines = [t.n3 for t in slice_triples]
+        full_count = stores[0].num_triples
+        minus_count = full_count - len(slice_triples)
+        writers = [
+            threading.Thread(
+                target=_writer_loop, daemon=True,
+                name=f"soak-writer-{i}",
+                args=(i, host, port, slice_lines, full_count,
+                      minus_count, args.write_interval, stop_at,
+                      writer_tallies[i]))
+            for i in range(args.writers)]
+        for thread in writers:
+            thread.start()
+        storm = threading.Thread(
+            target=_compaction_storm, daemon=True, name="soak-compactor",
+            args=(live, args.compact_interval, stop_at))
+        storm.start()
+    else:
+        reloader = threading.Thread(
+            target=_reloader_loop, daemon=True, name="soak-reloader",
+            args=(service, stores, args.reload_interval, stop_at))
+        reloader.start()
 
     # deadlock watchdog: if clients cannot finish within the grace
     # period past the window, dump every stack and exit 3
     deadline = stop_at + WATCHDOG_GRACE
-    for thread in clients:
+    for thread in clients + writers:
         thread.join(timeout=max(0.0, deadline - time.monotonic()))
-    if any(thread.is_alive() for thread in clients):
+    if any(thread.is_alive() for thread in clients + writers):
         print("soak: DEADLOCK — clients still running after "
               f"{args.seconds + WATCHDOG_GRACE:.0f}s; thread dump:",
               file=sys.stderr, flush=True)
         faulthandler.dump_traceback(file=sys.stderr)
         return 3
-    reloader.join(timeout=args.reload_interval + 10)
+    if writer_mode:
+        storm.join(timeout=args.compact_interval + 60)
+    else:
+        reloader.join(timeout=args.reload_interval + 10)
     elapsed = time.monotonic() - started
 
     scheduler_stats = service.scheduler.stats()
+    live_stats = live.stats() if live is not None else None
     server.close()
     service.close()
+    if live_dir is not None:
+        import shutil
+        shutil.rmtree(live_dir, ignore_errors=True)
 
     completed = sum(t.completed for t in tallies)
     rejected = sum(t.rejected for t in tallies)
@@ -291,7 +496,11 @@ def main(argv: list[str] | None = None) -> int:
     budget = sum(t.budget for t in tallies)
     divergences = [d for t in tallies for d in t.divergences]
     errors = [e for t in tallies for e in t.errors]
+    divergences += [d for t in writer_tallies for d in t.divergences]
+    errors += [e for t in writer_tallies for e in t.errors]
     worker_errors = scheduler_stats["worker_errors"]
+    batches = sum(t.committed for t in writer_tallies)
+    compactions = live_stats["compactions"] if live_stats else 0
 
     print(f"soak: {elapsed:.1f}s, {args.threads} clients, "
           f"{completed:,} row-identical results "
@@ -302,15 +511,26 @@ def main(argv: list[str] | None = None) -> int:
           f"{scheduler_stats['p50_ms']:.1f}ms "
           f"p99={scheduler_stats['p99_ms']:.1f}ms "
           f"worker_errors={worker_errors}", flush=True)
+    if writer_mode:
+        checkpoints = sum(t.checkpointed for t in writer_tallies)
+        exhausted = sum(t.exhausted for t in writer_tallies)
+        print(f"soak: writers committed {batches:,} batches "
+              f"({checkpoints} forced checkpoints, {exhausted} gave "
+              f"up after retries), {compactions} compactions, "
+              f"live: {live_stats}", flush=True)
     for line in divergences[:20]:
         print(f"soak: DIVERGENCE {line}", file=sys.stderr, flush=True)
     for line in errors[:20]:
         print(f"soak: ERROR {line}", file=sys.stderr, flush=True)
 
-    if divergences or errors or worker_errors or not completed:
+    writer_gate_failed = writer_mode and (not batches or not compactions)
+    if divergences or errors or worker_errors or not completed \
+            or writer_gate_failed:
         print(f"soak: FAILED (divergences={len(divergences)}, "
               f"errors={len(errors)}, worker_errors={worker_errors}, "
-              f"completed={completed})", file=sys.stderr, flush=True)
+              f"completed={completed}, batches={batches}, "
+              f"compactions={compactions})",
+              file=sys.stderr, flush=True)
         return 1
     print("soak: OK", flush=True)
     return 0

@@ -1,0 +1,502 @@
+"""Filesystem seam with fault injection for crash-recovery testing.
+
+Every durability-critical file operation the update subsystem performs
+(WAL appends, fsyncs, manifest renames, image writes) goes through a
+:class:`FileSystem`.  Production uses :class:`RealFS`, a thin wrapper
+over ``os``/``io``.  The crash-recovery property suite uses
+:class:`MemFS` wrapped in :class:`FaultyFS`, which counts operations
+and can *fail* (raise ``OSError``), *short-write* (persist only a
+prefix of the buffer), or *crash* (raise :class:`SimulatedCrash`) at
+the Nth call — so the exact production code path is exercised against
+every possible interruption point.
+
+:class:`MemFS` models durability the way a kernel page cache does:
+
+* the **visible** layer is what a running process observes — every
+  ``write`` lands there immediately;
+* the **durable** layer is what survives a crash — a file's visible
+  bytes are copied there only on ``fsync``; namespace operations
+  (``replace``/``remove`` of files in a directory) become durable only
+  on ``fsync_dir`` of the containing directory.
+
+``after_crash(mode)`` rebuilds a fresh MemFS from the wreckage:
+
+* ``"durable"`` — only fsynced bytes and fsynced namespace ops
+  survive (the adversarial kernel that drops everything it legally
+  may);
+* ``"all"`` — the visible layer survives intact (the friendly kernel
+  that happened to flush everything before power-off).
+
+A crash injected *during* a write persists a prefix of the buffer into
+the visible layer first, so ``"all"`` mode exercises torn frames and
+``"durable"`` mode exercises lost-but-acknowledged-to-nobody tails.
+Recovery must produce a correct state in **both** modes for every
+crash point — that is the property the test suite replays.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from typing import Protocol
+
+
+class SimulatedCrash(BaseException):
+    """Injected process death.
+
+    Derives from ``BaseException`` so ordinary ``except Exception``
+    recovery/cleanup code in the paths under test cannot swallow it —
+    a real ``kill -9`` runs no handlers either.
+    """
+
+    def __init__(self, op_index: int, op_name: str) -> None:
+        super().__init__(f"simulated crash at op #{op_index} ({op_name})")
+        self.op_index = op_index
+        self.op_name = op_name
+
+
+class FileHandle(Protocol):
+    """Writable (or readable) handle returned by a FileSystem."""
+
+    def write(self, data: bytes) -> int: ...
+    def read(self, size: int = -1) -> bytes: ...
+    def flush(self) -> None: ...
+    def fsync(self) -> None: ...
+    def close(self) -> None: ...
+    def tell(self) -> int: ...
+
+
+class FileSystem(Protocol):
+    """The file operations the update subsystem is allowed to use."""
+
+    def exists(self, path: str) -> bool: ...
+    def listdir(self, path: str) -> list[str]: ...
+    def makedirs(self, path: str) -> None: ...
+    def read_bytes(self, path: str) -> bytes: ...
+    def file_size(self, path: str) -> int: ...
+    def open_append(self, path: str) -> FileHandle: ...
+    def open_write(self, path: str) -> FileHandle: ...
+    def truncate(self, path: str, size: int) -> None: ...
+    def replace(self, src: str, dst: str) -> None: ...
+    def remove(self, path: str) -> None: ...
+    def fsync_dir(self, path: str) -> None: ...
+
+
+# ----------------------------------------------------------------------
+# real filesystem
+# ----------------------------------------------------------------------
+
+
+class _RealHandle:
+    __slots__ = ("_file",)
+
+    def __init__(self, file: io.BufferedIOBase) -> None:
+        self._file = file
+
+    def write(self, data: bytes) -> int:
+        return self._file.write(data)
+
+    def read(self, size: int = -1) -> bytes:
+        return self._file.read(size)
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def fsync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._file.close()
+
+    def tell(self) -> int:
+        return self._file.tell()
+
+
+class RealFS:
+    """Production filesystem: ``os``/``io`` with real fsync."""
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return sorted(os.listdir(path))
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def read_bytes(self, path: str) -> bytes:
+        with open(path, "rb") as file:
+            return file.read()
+
+    def file_size(self, path: str) -> int:
+        return os.path.getsize(path)
+
+    def open_append(self, path: str) -> _RealHandle:
+        return _RealHandle(open(path, "ab"))
+
+    def open_write(self, path: str) -> _RealHandle:
+        return _RealHandle(open(path, "wb"))
+
+    def truncate(self, path: str, size: int) -> None:
+        with open(path, "r+b") as file:
+            file.truncate(size)
+            file.flush()
+            os.fsync(file.fileno())
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def fsync_dir(self, path: str) -> None:
+        # Directory fsync makes renames/creates/unlinks in it durable.
+        # Not supported on some platforms (e.g. Windows); best-effort.
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform dependent
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+# ----------------------------------------------------------------------
+# in-memory filesystem with a durability model
+# ----------------------------------------------------------------------
+
+
+def _norm(path: str) -> str:
+    return os.path.normpath(path)
+
+
+class _MemHandle:
+    __slots__ = ("_fs", "path", "_pos", "_closed", "_readable")
+
+    def __init__(self, fs: "MemFS", path: str, pos: int,
+                 readable: bool = False) -> None:
+        self._fs = fs
+        self.path = path
+        self._pos = pos
+        self._closed = False
+        self._readable = readable
+
+    def write(self, data: bytes) -> int:
+        if self._closed:
+            raise ValueError("write to closed file")
+        written = self._fs._write(self.path, self._pos, data)
+        self._pos += written
+        return written
+
+    def read(self, size: int = -1) -> bytes:
+        if not self._readable:
+            raise io.UnsupportedOperation("not readable")
+        data = self._fs._visible[self.path]
+        end = len(data) if size < 0 else min(len(data), self._pos + size)
+        chunk = bytes(data[self._pos:end])
+        self._pos = end
+        return chunk
+
+    def flush(self) -> None:
+        if self._closed:
+            raise ValueError("flush of closed file")
+        # visible layer is shared already; flush is a no-op
+
+    def fsync(self) -> None:
+        if self._closed:
+            raise ValueError("fsync of closed file")
+        self._fs._fsync_file(self.path)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def tell(self) -> int:
+        return self._pos
+
+
+class MemFS:
+    """In-memory filesystem tracking visible vs durable state.
+
+    ``_visible`` is what a running process sees; ``_durable`` is what a
+    crash preserves.  File content crosses into ``_durable`` on file
+    fsync; namespace changes (create/rename/remove) cross on
+    ``fsync_dir``.  A file fsync also makes *that file's* name durable
+    — a simplification of POSIX (where the name needs the directory
+    fsync) that is conservative for our tests: recovery must cope with
+    the file existing, which is the harder case.
+    """
+
+    def __init__(self) -> None:
+        self._visible: dict[str, bytearray] = {}
+        self._durable: dict[str, bytes] = {}
+        self._dirs: set[str] = set()
+        self._durable_dirs: set[str] = set()
+        # namespace ops (per containing dir) not yet made durable:
+        # ("put", path) — name now refers to visible content at crash
+        # ("del", path) — name was removed
+        self._pending_ns: list[tuple[str, str]] = []
+
+    # -- FileSystem interface ------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        path = _norm(path)
+        return path in self._visible or path in self._dirs
+
+    def listdir(self, path: str) -> list[str]:
+        prefix = _norm(path) + os.sep
+        if _norm(path) not in self._dirs:
+            raise FileNotFoundError(path)
+        names = set()
+        for candidate in list(self._visible) + list(self._dirs):
+            if candidate.startswith(prefix):
+                names.add(candidate[len(prefix):].split(os.sep, 1)[0])
+        return sorted(names)
+
+    def makedirs(self, path: str) -> None:
+        path = _norm(path)
+        parts = path.split(os.sep)
+        for i in range(1, len(parts) + 1):
+            parent = os.sep.join(parts[:i])
+            if parent:
+                self._dirs.add(parent)
+        # directory creation is modelled as immediately durable: every
+        # crash point of interest happens long after mkdir
+        self._durable_dirs.update(self._dirs)
+
+    def read_bytes(self, path: str) -> bytes:
+        path = _norm(path)
+        if path not in self._visible:
+            raise FileNotFoundError(path)
+        return bytes(self._visible[path])
+
+    def file_size(self, path: str) -> int:
+        path = _norm(path)
+        if path not in self._visible:
+            raise FileNotFoundError(path)
+        return len(self._visible[path])
+
+    def open_append(self, path: str) -> _MemHandle:
+        path = _norm(path)
+        if path not in self._visible:
+            self._create(path)
+        return _MemHandle(self, path, len(self._visible[path]))
+
+    def open_write(self, path: str) -> _MemHandle:
+        path = _norm(path)
+        self._create(path)
+        return _MemHandle(self, path, 0)
+
+    def truncate(self, path: str, size: int) -> None:
+        path = _norm(path)
+        if path not in self._visible:
+            raise FileNotFoundError(path)
+        del self._visible[path][size:]
+        # mirrors RealFS.truncate, which fsyncs after truncating
+        self._fsync_file(path)
+
+    def replace(self, src: str, dst: str) -> None:
+        src, dst = _norm(src), _norm(dst)
+        if src not in self._visible:
+            raise FileNotFoundError(src)
+        self._visible[dst] = self._visible.pop(src)
+        self._pending_ns.append(("del", src))
+        self._pending_ns.append(("put", dst))
+
+    def remove(self, path: str) -> None:
+        path = _norm(path)
+        if path not in self._visible:
+            raise FileNotFoundError(path)
+        del self._visible[path]
+        self._pending_ns.append(("del", path))
+
+    def fsync_dir(self, path: str) -> None:
+        prefix = _norm(path) + os.sep
+        kept: list[tuple[str, str]] = []
+        for op, target in self._pending_ns:
+            if not target.startswith(prefix):
+                kept.append((op, target))
+            elif op == "del":
+                self._durable.pop(target, None)
+            else:  # "put": the rename is durable; content durability is
+                # whatever was last fsynced under the *source* name —
+                # our callers fsync content before renaming, so the
+                # visible bytes are the right ones to persist here
+                self._durable[target] = bytes(self._visible[target])
+        self._pending_ns = kept
+
+    # -- internals ------------------------------------------------------
+
+    def _create(self, path: str) -> None:
+        self._visible[path] = bytearray()
+        self._pending_ns.append(("put", path))
+
+    def _write(self, path: str, pos: int, data: bytes) -> int:
+        buf = self._visible[path]
+        if pos == len(buf):
+            buf.extend(data)
+        else:
+            buf[pos:pos + len(data)] = data
+        return len(data)
+
+    def _fsync_file(self, path: str) -> None:
+        self._durable[path] = bytes(self._visible[path])
+        # fsyncing the file pins its current name (see class docstring)
+        self._pending_ns = [(op, target) for op, target in self._pending_ns
+                            if target != path]
+
+    # -- crash simulation ----------------------------------------------
+
+    def after_crash(self, mode: str = "durable") -> "MemFS":
+        """A fresh MemFS holding what survived the crash.
+
+        ``"durable"`` keeps only fsynced state; ``"all"`` keeps the
+        full visible layer (including torn frames written by the
+        crashing op).
+        """
+        survivor = MemFS()
+        survivor._dirs = set(self._durable_dirs)
+        survivor._durable_dirs = set(self._durable_dirs)
+        if mode == "all":
+            for path, data in self._visible.items():
+                survivor._visible[path] = bytearray(data)
+                survivor._durable[path] = bytes(data)
+        elif mode == "durable":
+            for path, data in self._durable.items():
+                survivor._visible[path] = bytearray(data)
+                survivor._durable[path] = bytes(data)
+        else:
+            raise ValueError(f"unknown crash mode: {mode!r}")
+        return survivor
+
+
+# ----------------------------------------------------------------------
+# fault injection wrapper
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FaultPlan:
+    """When and how to misbehave.
+
+    Operations are counted from 1 in the order the code under test
+    issues them.  ``crash_at`` raises :class:`SimulatedCrash` at that
+    op (after applying a *prefix* of the buffer if the op is a write —
+    ``torn_fraction`` of it, so torn frames are part of every crash
+    schedule).  ``fail_at`` raises ``OSError`` instead, modelling a
+    transient I/O error the caller is expected to surface, not
+    swallow.
+    """
+
+    crash_at: int | None = None
+    fail_at: int | None = None
+    torn_fraction: float = 0.5
+
+
+#: operations whose injected crash tears the in-flight buffer
+_WRITE_OPS = frozenset({"write"})
+
+
+class _FaultyHandle:
+    __slots__ = ("_fs", "_inner")
+
+    def __init__(self, fs: "FaultyFS", inner) -> None:
+        self._fs = fs
+        self._inner = inner
+
+    def write(self, data: bytes) -> int:
+        return self._fs._op("write", lambda: self._inner.write(data),
+                            handle=self._inner, data=data)
+
+    def read(self, size: int = -1) -> bytes:
+        return self._inner.read(size)
+
+    def flush(self) -> None:
+        self._fs._op("flush", self._inner.flush)
+
+    def fsync(self) -> None:
+        self._fs._op("fsync", self._inner.fsync)
+
+    def close(self) -> None:
+        # close is not a durability point and not a useful crash site:
+        # never injected, so op schedules stay dense with real ops
+        self._inner.close()
+
+    def tell(self) -> int:
+        return self._inner.tell()
+
+
+class FaultyFS:
+    """Counts ops on an inner FileSystem and injects faults.
+
+    Run a scenario once with no plan to learn ``op_count``; then rerun
+    it once per ``crash_at`` in ``1..op_count`` to enumerate every
+    crash point the code can hit.
+    """
+
+    def __init__(self, inner: FileSystem,
+                 plan: FaultPlan | None = None) -> None:
+        self.inner = inner
+        self.plan = plan or FaultPlan()
+        self.op_count = 0
+
+    # -- injection core -------------------------------------------------
+
+    def _op(self, name: str, call, handle=None, data: bytes | None = None):
+        self.op_count += 1
+        index = self.op_count
+        if self.plan.fail_at == index:
+            raise OSError(f"injected I/O failure at op #{index} ({name})")
+        if self.plan.crash_at == index:
+            if name in _WRITE_OPS and data:
+                # the crash interrupts the write mid-buffer: a prefix
+                # reaches the page cache, the rest is lost
+                torn = data[:int(len(data) * self.plan.torn_fraction)]
+                if torn:
+                    handle.write(torn)
+            raise SimulatedCrash(index, name)
+        return call()
+
+    # -- FileSystem interface (counted ops) -----------------------------
+
+    def exists(self, path: str) -> bool:
+        # reads are never crash points: crashing while *reading* cannot
+        # change durable state, so injecting there only inflates the
+        # schedule without adding coverage
+        return self.inner.exists(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return self.inner.listdir(path)
+
+    def makedirs(self, path: str) -> None:
+        self.inner.makedirs(path)
+
+    def read_bytes(self, path: str) -> bytes:
+        return self.inner.read_bytes(path)
+
+    def file_size(self, path: str) -> int:
+        return self.inner.file_size(path)
+
+    def open_append(self, path: str) -> _FaultyHandle:
+        handle = self._op("open_append",
+                          lambda: self.inner.open_append(path))
+        return _FaultyHandle(self, handle)
+
+    def open_write(self, path: str) -> _FaultyHandle:
+        handle = self._op("open_write",
+                          lambda: self.inner.open_write(path))
+        return _FaultyHandle(self, handle)
+
+    def truncate(self, path: str, size: int) -> None:
+        self._op("truncate", lambda: self.inner.truncate(path, size))
+
+    def replace(self, src: str, dst: str) -> None:
+        self._op("replace", lambda: self.inner.replace(src, dst))
+
+    def remove(self, path: str) -> None:
+        self._op("remove", lambda: self.inner.remove(path))
+
+    def fsync_dir(self, path: str) -> None:
+        self._op("fsync_dir", lambda: self.inner.fsync_dir(path))

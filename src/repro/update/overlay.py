@@ -1,0 +1,361 @@
+"""Delta overlays: committed updates served without rebuilding BitMats.
+
+A :class:`TripleDelta` is the *normalized* net effect of every batch
+committed since the base store was frozen, kept in term space with
+three invariants (``added ∩ base = ∅``, ``deleted ⊆ base``,
+``added ∩ deleted = ∅``) so counts and membership compose exactly:
+the visible dataset is ``base − deleted + added``, always.
+
+An :class:`OverlayStore` *is a* :class:`~repro.bitmat.store.BitMatStore`
+whose per-predicate sorted pair lists are a lazy merge of the frozen
+base's lists with the delta — untouched predicates return the base's
+list by identity (and their BitMat loads delegate to the base's warm
+caches), touched predicates merge on first access.  Because every
+engine path — TP initialization, pruning folds/unfolds, enumeration,
+selectivity — reads the store through those pair lists, the overlay is
+consulted everywhere without a single change to the execution code.
+
+Dictionary growth is handled by :class:`DeltaDictionary`, which
+extends the frozen base mapping with new term ids instead of copying
+it.  The one thing an overlay *cannot* represent is a term that comes
+to occur on both the subject and the object dimension without being in
+the base's shared ``V_so`` region: S↔O joins translate ids only inside
+``1..num_shared`` (Appendix D of the paper), so such a term would
+silently miss joins.  Encoding detects this and raises
+:class:`SharedRegionViolation`; the live store reacts by rebuilding the
+base synchronously (a minor compaction), which re-derives the shared
+region.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..bitmat.bitmat import BitMat
+from ..bitmat.bitvec import BitVector
+from ..bitmat.store import BitMatStore
+from ..exceptions import DictionaryError
+from ..rdf.dictionary import Dictionary, _sort_key
+from ..rdf.terms import Term, Triple
+
+
+class SharedRegionViolation(DictionaryError):
+    """An update needs a term on both S and O outside the shared region.
+
+    Raised at overlay construction; the caller must fall back to a
+    full rebuild, which recomputes ``V_so`` to include the term.
+    """
+
+    def __init__(self, term: Term) -> None:
+        super().__init__(
+            f"term {term!r} now occurs as both subject and object but is "
+            "outside the base store's shared id region; the overlay "
+            "cannot represent it — a rebuild is required")
+        self.term = term
+
+
+def _triple_key(triple: Triple):
+    return tuple(_sort_key(term) for term in triple)
+
+
+@dataclass(frozen=True)
+class TripleDelta:
+    """Normalized net change against one frozen base store."""
+
+    added: frozenset
+    deleted: frozenset
+
+    @classmethod
+    def empty(cls) -> "TripleDelta":
+        return cls(frozenset(), frozenset())
+
+    def apply_batch(self, adds: Iterable[Triple],
+                    deletes: Iterable[Triple],
+                    base_has: Callable[[Triple], bool]) -> "TripleDelta":
+        """Fold one batch in (deletes first, then adds).
+
+        *base_has* answers membership in the frozen base; it is what
+        keeps the invariants: deleting a never-visible triple and
+        re-adding a base triple that was never deleted are both
+        no-ops, so ``size`` only ever reflects real divergence from
+        the base.
+        """
+        added = set(self.added)
+        deleted = set(self.deleted)
+        for triple in deletes:
+            if triple in added:
+                added.discard(triple)
+            elif base_has(triple):
+                deleted.add(triple)
+        for triple in adds:
+            if triple in deleted:
+                deleted.discard(triple)
+            elif not base_has(triple):
+                added.add(triple)
+        return TripleDelta(frozenset(added), frozenset(deleted))
+
+    @property
+    def size(self) -> int:
+        """Triples by which the visible state diverges from the base."""
+        return len(self.added) + len(self.deleted)
+
+    def is_empty(self) -> bool:
+        return not self.added and not self.deleted
+
+
+def store_has_triple(store: BitMatStore, triple: Triple) -> bool:
+    """Membership of a ground triple, False when any term is unknown."""
+    sid = store.dictionary.subject_id(triple.s)
+    pid = store.dictionary.predicate_id(triple.p)
+    oid = store.dictionary.object_id(triple.o)
+    if sid is None or pid is None or oid is None:
+        return False
+    return store.has_triple(sid, pid, oid)
+
+
+class DeltaDictionary(Dictionary):
+    """A frozen base dictionary plus extension id tables.
+
+    New terms get ids past the base's highest on their dimension; base
+    ids are never reassigned, so every pair list and cached BitMat of
+    the base stays valid under the extended mapping.  The shared
+    region is frozen at the base's ``num_shared`` — extending it would
+    renumber the subject/object tables, which is exactly what a
+    rebuild (not an overlay) is for.
+    """
+
+    def __init__(self, base: Dictionary) -> None:
+        super().__init__()
+        self.base = base
+        self._num_so = base.num_shared
+        self._base_subjects = base.num_subjects
+        self._base_objects = base.num_objects
+        self._base_predicates = base.num_predicates
+        self._ext_s_ids: dict[Term, int] = {}
+        self._ext_o_ids: dict[Term, int] = {}
+        self._ext_p_ids: dict[Term, int] = {}
+        self._ext_s_terms: list[Term] = []
+        self._ext_o_terms: list[Term] = []
+        self._ext_p_terms: list[Term] = []
+
+    # -- growth ---------------------------------------------------------
+
+    def ensure_subject(self, term: Term) -> int:
+        sid = self.subject_id(term)
+        if sid is None:
+            self._ext_s_terms.append(term)
+            sid = self._base_subjects + len(self._ext_s_terms)
+            self._ext_s_ids[term] = sid
+        return sid
+
+    def ensure_object(self, term: Term) -> int:
+        oid = self.object_id(term)
+        if oid is None:
+            self._ext_o_terms.append(term)
+            oid = self._base_objects + len(self._ext_o_terms)
+            self._ext_o_ids[term] = oid
+        return oid
+
+    def ensure_predicate(self, term: Term) -> int:
+        pid = self.predicate_id(term)
+        if pid is None:
+            self._ext_p_terms.append(term)
+            pid = self._base_predicates + len(self._ext_p_terms)
+            self._ext_p_ids[term] = pid
+        return pid
+
+    # -- sizes ----------------------------------------------------------
+
+    @property
+    def num_subjects(self) -> int:
+        return self._base_subjects + len(self._ext_s_terms)
+
+    @property
+    def num_objects(self) -> int:
+        return self._base_objects + len(self._ext_o_terms)
+
+    @property
+    def num_predicates(self) -> int:
+        return self._base_predicates + len(self._ext_p_terms)
+
+    # -- encoding -------------------------------------------------------
+
+    def subject_id(self, term: Term) -> int | None:
+        sid = self.base.subject_id(term)
+        return sid if sid is not None else self._ext_s_ids.get(term)
+
+    def object_id(self, term: Term) -> int | None:
+        oid = self.base.object_id(term)
+        return oid if oid is not None else self._ext_o_ids.get(term)
+
+    def predicate_id(self, term: Term) -> int | None:
+        pid = self.base.predicate_id(term)
+        return pid if pid is not None else self._ext_p_ids.get(term)
+
+    def encode_triple(self, triple: Triple):
+        sid = self.subject_id(triple.s)
+        pid = self.predicate_id(triple.p)
+        oid = self.object_id(triple.o)
+        if sid is None or pid is None or oid is None:
+            raise DictionaryError(f"triple contains unknown terms: {triple}")
+        return (sid, pid, oid)
+
+    # -- decoding -------------------------------------------------------
+
+    def subject_term(self, sid: int) -> Term:
+        if sid <= self._base_subjects:
+            return self.base.subject_term(sid)
+        try:
+            return self._ext_s_terms[sid - self._base_subjects - 1]
+        except IndexError:
+            raise DictionaryError(f"unknown subject id {sid}") from None
+
+    def object_term(self, oid: int) -> Term:
+        if oid <= self._base_objects:
+            return self.base.object_term(oid)
+        try:
+            return self._ext_o_terms[oid - self._base_objects - 1]
+        except IndexError:
+            raise DictionaryError(f"unknown object id {oid}") from None
+
+    def predicate_term(self, pid: int) -> Term:
+        if pid <= self._base_predicates:
+            return self.base.predicate_term(pid)
+        try:
+            return self._ext_p_terms[pid - self._base_predicates - 1]
+        except IndexError:
+            raise DictionaryError(f"unknown predicate id {pid}") from None
+
+
+class _MergedPairs(Mapping):
+    """Lazy ``pid → sorted (sid, oid) pairs`` over base + delta.
+
+    Untouched predicates return the base's list *by identity* (no
+    copy); touched predicates materialize the merge once, on first
+    access.  Post-freeze concurrent first accesses may race the merge,
+    which is benign: the computation is pure and the dict assignment
+    atomic under the GIL.
+    """
+
+    def __init__(self, base: Mapping, add_by_p: dict, del_by_p: dict) -> None:
+        self._base = base
+        self._add_by_p = add_by_p
+        self._del_by_p = del_by_p
+        self._pids = sorted(set(base) | set(add_by_p))
+        self._merged: dict[int, list[tuple[int, int]]] = {}
+
+    def __getitem__(self, pid: int) -> list[tuple[int, int]]:
+        adds = self._add_by_p.get(pid)
+        dels = self._del_by_p.get(pid)
+        if adds is None and dels is None:
+            return self._base[pid]
+        cached = self._merged.get(pid)
+        if cached is None:
+            base_pairs = self._base.get(pid, [])
+            if dels:
+                base_pairs = [pair for pair in base_pairs
+                              if pair not in dels]
+            if adds:
+                # adds are disjoint from the base by the delta
+                # invariants, so a sorted merge needs no dedup
+                base_pairs = list(heapq.merge(base_pairs, adds))
+            cached = base_pairs
+            self._merged[pid] = cached
+        return cached
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._pids)
+
+    def __len__(self) -> int:
+        return len(self._pids)
+
+    def __contains__(self, pid) -> bool:
+        return pid in self._add_by_p or pid in self._base
+
+
+class OverlayStore(BitMatStore):
+    """Base store + normalized delta, behind the BitMatStore interface.
+
+    Engine code cannot tell it apart from a rebuilt store; reads for
+    predicates the delta never touched are served straight from the
+    base's caches (when no new terms changed the matrix dimensions),
+    so publishing a batch costs O(delta), not O(dataset).
+    """
+
+    def __init__(self, dictionary: DeltaDictionary, pairs: _MergedPairs,
+                 base: BitMatStore, delta: TripleDelta,
+                 delta_pids: frozenset) -> None:
+        super().__init__(dictionary, pairs)
+        self.base = base
+        self.delta = delta
+        self._delta_pids = delta_pids
+        self._dims_match = (
+            dictionary.num_subjects == base.num_subjects
+            and dictionary.num_objects == base.num_objects
+            and dictionary.num_predicates == base.num_predicates)
+
+    @classmethod
+    def build(cls, base: BitMatStore, delta: TripleDelta) -> "OverlayStore":
+        """Encode *delta* against *base*; raises
+        :class:`SharedRegionViolation` when an overlay cannot
+        represent it."""
+        dictionary = DeltaDictionary(base.dictionary)
+        del_by_p: dict[int, set] = {}
+        # sorted iteration makes extension-id assignment deterministic
+        for triple in sorted(delta.deleted, key=_triple_key):
+            sid, pid, oid = dictionary.encode_triple(triple)
+            del_by_p.setdefault(pid, set()).add((sid, oid))
+        add_by_p: dict[int, list] = {}
+        for triple in sorted(delta.added, key=_triple_key):
+            sid = dictionary.ensure_subject(triple.s)
+            pid = dictionary.ensure_predicate(triple.p)
+            oid = dictionary.ensure_object(triple.o)
+            add_by_p.setdefault(pid, []).append((sid, oid))
+        num_shared = dictionary.num_shared
+        for triple in sorted(delta.added, key=_triple_key):
+            for term in (triple.s, triple.o):
+                sid = dictionary.subject_id(term)
+                oid = dictionary.object_id(term)
+                if (sid is not None and oid is not None
+                        and not (sid == oid and sid <= num_shared)):
+                    raise SharedRegionViolation(term)
+        for pairs in add_by_p.values():
+            pairs.sort()
+        pairs = _MergedPairs(base._so_by_p, add_by_p, del_by_p)
+        delta_pids = frozenset(add_by_p) | frozenset(del_by_p)
+        return cls(dictionary, pairs, base, delta, delta_pids)
+
+    # -- base-cache delegation -----------------------------------------
+
+    def _untouched(self, pid: int) -> bool:
+        return self._dims_match and pid not in self._delta_pids
+
+    def _os_pairs(self, pid: int) -> list[tuple[int, int]]:
+        # ids of existing triples never change, so the base's (possibly
+        # pre-built) O-S projection is reusable whenever the predicate
+        # has no delta — regardless of dimension growth
+        if pid not in self._delta_pids and pid in self.base._so_by_p:
+            return self.base._os_pairs(pid)
+        return super()._os_pairs(pid)
+
+    def load_so(self, pid: int) -> BitMat:
+        if self._untouched(pid):
+            return self.base.load_so(pid)
+        return super().load_so(pid)
+
+    def load_os(self, pid: int) -> BitMat:
+        if self._untouched(pid):
+            return self.base.load_os(pid)
+        return super().load_os(pid)
+
+    def load_ps_row(self, pid: int, oid: int) -> BitVector:
+        if self._untouched(pid):
+            return self.base.load_ps_row(pid, oid)
+        return super().load_ps_row(pid, oid)
+
+    def load_po_row(self, pid: int, sid: int) -> BitVector:
+        if self._untouched(pid):
+            return self.base.load_po_row(pid, sid)
+        return super().load_po_row(pid, sid)

@@ -1,0 +1,230 @@
+"""Write-ahead log: the durability spine of live updates.
+
+One WAL file holds a fixed header followed by length+CRC32-framed
+records::
+
+    LBRWAL01                                   (8-byte magic)
+    [u32 length][u32 crc32(payload)][payload]  repeated
+
+where each payload is ``kind(1) | varint seq | varint n_adds |
+varint n_deletes | adds… | deletes…`` and every triple's terms use the
+exact codec of store images (:mod:`repro.bitmat.persist`).
+
+The commit point of a batch is the **fsync** after its frame is
+written: :meth:`WriteAheadLog.append_batch` returns only once the
+record is durable, so an acknowledged batch survives any subsequent
+crash.  Replay (:func:`replay_wal`) accepts what a crash can legally
+leave behind — a torn file header or a torn/corrupt *tail* frame — by
+physically truncating the damage, and rejects what a crash cannot
+explain — a bad magic, an out-of-order sequence number, or a corrupt
+frame with valid frames after it — with a typed
+:class:`~repro.exceptions.WALError`.  Together with the atomicity of
+frame framing this yields the crash property the suite replays: after
+recovery the log contains exactly the committed prefix of batches.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from dataclasses import dataclass
+
+from ..exceptions import WALError
+from ..rdf.terms import Triple
+from ..bitmat.persist import read_term, read_varint, write_term, write_varint
+from .faultfs import FileSystem, RealFS
+
+MAGIC = b"LBRWAL01"
+
+#: record kinds (one byte); only batches exist today, the byte keeps
+#: the format extensible (checkpoints, schema ops) without a new magic
+KIND_BATCH = 1
+
+_FRAME = struct.Struct("<II")  # length, crc32(payload)
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One committed update batch."""
+
+    seq: int
+    adds: tuple[Triple, ...]
+    deletes: tuple[Triple, ...]
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """One framed record, ready to append."""
+    buffer = io.BytesIO()
+    buffer.write(bytes((KIND_BATCH,)))
+    write_varint(buffer, record.seq)
+    write_varint(buffer, len(record.adds))
+    write_varint(buffer, len(record.deletes))
+    for triple in record.adds:
+        for term in triple:
+            write_term(buffer, term)
+    for triple in record.deletes:
+        for term in triple:
+            write_term(buffer, term)
+    payload = buffer.getvalue()
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> WalRecord:
+    """Decode one CRC-verified record payload."""
+    data = io.BytesIO(payload)
+    kind_chunk = data.read(1)
+    if not kind_chunk:
+        raise WALError("empty WAL record")
+    if kind_chunk[0] != KIND_BATCH:
+        raise WALError(f"unknown WAL record kind {kind_chunk[0]}")
+    seq = read_varint(data)
+    n_adds = read_varint(data)
+    n_deletes = read_varint(data)
+    adds = tuple(Triple(read_term(data), read_term(data), read_term(data))
+                 for _ in range(n_adds))
+    deletes = tuple(Triple(read_term(data), read_term(data), read_term(data))
+                    for _ in range(n_deletes))
+    if data.read(1):
+        raise WALError("trailing bytes inside WAL record payload")
+    return WalRecord(seq=seq, adds=adds, deletes=deletes)
+
+
+def _frame_at(data: bytes, offset: int) -> tuple[WalRecord, int] | None:
+    """Decode the frame at *offset*; None if torn/corrupt there.
+
+    Returns (record, next_offset) on success.  Distinguishing "torn"
+    from "corrupt" is the caller's job — this only answers whether a
+    valid frame starts here.
+    """
+    if offset + _FRAME.size > len(data):
+        return None
+    length, crc = _FRAME.unpack_from(data, offset)
+    start = offset + _FRAME.size
+    end = start + length
+    if end > len(data):
+        return None
+    payload = data[start:end]
+    if zlib.crc32(payload) != crc:
+        return None
+    try:
+        return decode_payload(payload), end
+    except WALError:
+        return None
+
+
+def replay_wal(fs: FileSystem, path: str,
+               first_seq: int = 1) -> list[WalRecord]:
+    """Read every committed record; truncate torn tails physically.
+
+    Missing file or torn header ⇒ empty log.  A corrupt frame is a
+    torn tail (truncated, replay succeeds) **unless** a valid frame
+    follows it — mid-log corruption cannot result from a crash and
+    raises :class:`WALError`, as do bad magic and out-of-order
+    sequence numbers.
+    """
+    if not fs.exists(path):
+        return []
+    data = fs.read_bytes(path)
+    if len(data) < len(MAGIC):
+        if MAGIC.startswith(data):
+            # crash tore the header write itself: nothing was committed
+            fs.truncate(path, 0)
+            return []
+        raise WALError(f"{path}: not a WAL file")
+    if not data.startswith(MAGIC):
+        raise WALError(f"{path}: bad WAL magic")
+
+    records: list[WalRecord] = []
+    expected_seq = first_seq
+    offset = len(MAGIC)
+    while offset < len(data):
+        decoded = _frame_at(data, offset)
+        if decoded is None:
+            # tail damage — legal only if *nothing* valid follows; scan
+            # the remaining bytes for a frame start to tell a torn tail
+            # (truncate) from mid-log corruption (typed error)
+            for probe in range(offset + 1, len(data) - _FRAME.size + 1):
+                if _frame_at(data, probe) is not None:
+                    raise WALError(
+                        f"{path}: corrupt record at byte {offset} with "
+                        "valid records after it")
+            fs.truncate(path, offset)
+            break
+        record, offset = decoded
+        if record.seq != expected_seq:
+            raise WALError(
+                f"{path}: expected seq {expected_seq}, found {record.seq}")
+        expected_seq += 1
+        records.append(record)
+    return records
+
+
+class WriteAheadLog:
+    """Append-only writer over one WAL file.
+
+    Creating the object does no I/O; :meth:`open` (or the first
+    :meth:`append_batch`) opens the file, writing and fsyncing the
+    header if the file is new.  Callers are expected to have run
+    :func:`replay_wal` first, so the file — if present — is valid and
+    ends on a frame boundary.
+    """
+
+    def __init__(self, path: str, fs: FileSystem | None = None,
+                 next_seq: int = 1) -> None:
+        self.path = path
+        self.fs = fs or RealFS()
+        self.next_seq = next_seq
+        self._handle = None
+        self._failed = False
+
+    def open(self) -> "WriteAheadLog":
+        if self._handle is not None:
+            return self
+        is_new = (not self.fs.exists(self.path)
+                  or self.fs.file_size(self.path) == 0)
+        self._handle = self.fs.open_append(self.path)
+        if is_new:
+            self._handle.write(MAGIC)
+            self._handle.fsync()
+        return self
+
+    def append_batch(self, adds, deletes) -> WalRecord:
+        """Durably commit one batch; returns its record.
+
+        The fsync before returning is the commit point: once this
+        method returns, recovery from any later crash replays the
+        batch; if a crash interrupts the method, recovery sees at most
+        a torn tail and truncates it — the batch simply never
+        happened.
+        """
+        if self._failed:
+            raise WALError(f"{self.path}: log is in a failed state after "
+                           "an earlier I/O error")
+        self.open()
+        record = WalRecord(seq=self.next_seq, adds=tuple(adds),
+                           deletes=tuple(deletes))
+        try:
+            self._handle.write(encode_record(record))
+            self._handle.flush()
+            self._handle.fsync()
+        except OSError as exc:
+            # the frame may be partially on disk; appending anything
+            # after it would put valid records behind garbage, which
+            # recovery rightly treats as corruption — latch shut
+            self._failed = True
+            raise WALError(f"{self.path}: append failed: {exc}") from exc
+        self.next_seq += 1
+        return record
+
+    def sync(self) -> None:
+        """Force an fsync (used by graceful shutdown)."""
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.fsync()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None

@@ -129,8 +129,11 @@ class TestServe:
         assert "listening on 127.0.0.1:" in out
 
     def test_serve_rejects_missing_source(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["serve"])
+        # --live-dir is a third valid source, so the check moved from
+        # argparse into _serve: a plain error exit, not a usage crash
+        assert main(["serve"]) == 2
+        assert "provide --data, --store, or --live-dir" \
+            in capsys.readouterr().err
 
 
 class TestGenerate:

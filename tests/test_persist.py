@@ -4,7 +4,8 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro import BitMatStore, Graph, LBREngine, StorageError, Triple, URI
-from repro.bitmat.persist import load_store, save_store
+from repro.bitmat.persist import (dump_store_bytes, load_store,
+                                  load_store_bytes, save_store)
 from repro.rdf.terms import BNode, Literal
 
 from .conftest import FIGURE_3_2, FIGURE_3_2_QUERY, triples, uri
@@ -73,6 +74,48 @@ class TestRoundTrip:
             handle.write(payload[:len(payload) // 2])
         with pytest.raises(StorageError):
             load_store(path)
+
+    def test_frozen_store_round_trips(self, figure_graph, tmp_path):
+        store = BitMatStore.build(figure_graph)
+        store.freeze()
+        path = str(tmp_path / "frozen.lbr")
+        save_store(store, path)
+        loaded = load_store(path)
+        assert loaded.num_triples == store.num_triples
+        original = LBREngine(store).execute(FIGURE_3_2_QUERY)
+        reloaded = LBREngine(loaded).execute(FIGURE_3_2_QUERY)
+        assert original.as_multiset() == reloaded.as_multiset()
+
+    def test_bytes_round_trip(self, figure_graph):
+        store = BitMatStore.build(figure_graph)
+        payload = dump_store_bytes(store)
+        loaded = load_store_bytes(payload)
+        assert loaded.num_triples == store.num_triples
+        assert sorted(loaded.iter_triples(),
+                      key=lambda t: (t.s.n3, t.p.n3, t.o.n3)) \
+            == sorted(store.iter_triples(),
+                      key=lambda t: (t.s.n3, t.p.n3, t.o.n3))
+
+    def test_every_single_bit_flip_in_body_is_detected(self,
+                                                       figure_graph):
+        """The CRC footer catches any one-bit corruption of the body."""
+        store = BitMatStore.build(figure_graph)
+        payload = bytearray(dump_store_bytes(store))
+        # flip one bit in a spread of body positions (first byte after
+        # the magic, a middle byte, the last body byte)
+        body_end = len(payload) - 4
+        for position in (len(b"LBRSTORE2"), body_end // 2, body_end - 1):
+            corrupted = bytearray(payload)
+            corrupted[position] ^= 0x10
+            with pytest.raises(StorageError):
+                load_store_bytes(bytes(corrupted))
+
+    def test_corrupted_footer_is_detected(self, figure_graph):
+        store = BitMatStore.build(figure_graph)
+        payload = bytearray(dump_store_bytes(store))
+        payload[-1] ^= 0xFF
+        with pytest.raises(StorageError):
+            load_store_bytes(bytes(payload))
 
 
 names = st.text(alphabet="abcdef", min_size=1, max_size=3)

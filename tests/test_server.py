@@ -396,3 +396,160 @@ class TestTCPServer:
                      "timeout": 10_000_000, "max_join_rows": 10**12})
                 assert clamped["ok"]
         service.close()
+
+
+class TestLiveUpdates:
+    def make_live_service(self, tmp_path):
+        from repro.update import LiveConfig, LiveGraphStore
+
+        live = LiveGraphStore.open(
+            str(tmp_path / "live"), initial=make_graph(10),
+            config=LiveConfig(compact_threshold=None, background=False))
+        service = QueryService(ServiceConfig(workers=2))
+        service.attach_live_store(live)
+        return service
+
+    def test_update_op_commits_and_publishes(self, tmp_path):
+        service = self.make_live_service(tmp_path)
+        with LBRServer(service, port=0).start() as server:
+            host, port = server.address
+            with ServerClient(host, port) as client:
+                before = len(client.query(QUERY)["rows"])
+                response = client.update(
+                    adds=["<http://x/new> <http://x/knows> "
+                          "<http://x/p1> ."])
+                assert response["ok"] and response["added"] == 1
+                assert response["seq"] == 1
+                assert response["snapshot_version"] == 2
+                after = client.query(QUERY)
+                assert len(after["rows"]) == before + 1
+                assert after["snapshot_version"] == 2
+
+                # deletes apply before adds; a parse error is typed
+                gone = client.update(
+                    deletes=["<http://x/new> <http://x/knows> "
+                             "<http://x/p1> ."])
+                assert gone["ok"] and gone["deleted"] == 1
+                assert len(client.query(QUERY)["rows"]) == before
+                bad = client.request({"op": "update",
+                                      "add": ["not ntriples"]})
+                assert bad["error"]["type"] == "parse"
+                not_lists = client.request({"op": "update", "add": 7})
+                assert not_lists["error"]["type"] == "protocol"
+        service.close()
+
+    def test_update_without_live_store_is_a_storage_error(self, graph):
+        service = QueryService.from_graph(graph,
+                                          ServiceConfig(workers=1))
+        with LBRServer(service, port=0).start() as server:
+            host, port = server.address
+            with ServerClient(host, port) as client:
+                response = client.update(
+                    adds=["<http://x/a> <http://x/p> <http://x/b> ."])
+                assert not response["ok"]
+                assert response["error"]["type"] == "error"
+        service.close()
+
+    def test_draining_service_returns_shutting_down(self, tmp_path):
+        service = self.make_live_service(tmp_path)
+        with LBRServer(service, port=0).start() as server:
+            host, port = server.address
+            with ServerClient(host, port) as client:
+                service.begin_shutdown()
+                query = client.query(QUERY)
+                assert query["error"]["type"] == "shutting_down"
+                update = client.update(
+                    adds=["<http://x/a> <http://x/p> <http://x/b> ."])
+                assert update["error"]["type"] == "shutting_down"
+                assert service.drain(5.0)
+        service.close()
+
+    def test_graceful_shutdown_op_drains_and_fsyncs(self, tmp_path):
+        service = self.make_live_service(tmp_path)
+        with LBRServer(service, port=0).start() as server:
+            host, port = server.address
+            with ServerClient(host, port) as client:
+                client.update(adds=["<http://x/new> <http://x/knows> "
+                                    "<http://x/p1> ."])
+                assert client.shutdown()["stopping"]
+            deadline = time.monotonic() + 10
+            while not service.scheduler.draining \
+                    and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert service.scheduler.draining
+        service.close()
+        # the committed batch survived the WAL fsync: reopen and check
+        from repro.update import LiveConfig, LiveGraphStore
+
+        reopened = LiveGraphStore.open(
+            str(tmp_path / "live"),
+            config=LiveConfig(compact_threshold=None, background=False))
+        assert reopened.last_seq == 1
+        reopened.close()
+
+
+class TestClientRetry:
+    def test_rejected_responses_are_retried(self, tmp_path):
+        """Backpressure melts away -> a retrying client succeeds."""
+        service = QueryService.from_graph(make_graph(10),
+                                          ServiceConfig(workers=1))
+        with LBRServer(service, port=0).start() as server:
+            host, port = server.address
+            client = ServerClient(host, port, retries=3,
+                                  backoff_base=0.01)
+            flaky = {"remaining": 2}
+            real = client._request_once
+
+            def flaky_once(payload):
+                if flaky["remaining"] > 0:
+                    flaky["remaining"] -= 1
+                    return {"ok": False,
+                            "error": {"type": "rejected",
+                                      "message": "queue full"}}
+                return real(payload)
+
+            client._request_once = flaky_once
+            response = client.query(QUERY)
+            assert response["ok"]
+            assert flaky["remaining"] == 0
+            client.close()
+        service.close()
+
+    def test_exhaustion_raises_typed_error(self):
+        from repro.exceptions import RetriesExhaustedError
+
+        # nothing listens on port 1; with retries the constructor defers
+        client = ServerClient("127.0.0.1", 1, timeout=0.2, retries=2,
+                              backoff_base=0.001)
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            client.request({"op": "ping"})
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, OSError)
+        client.close()
+
+    def test_shutting_down_is_never_retried(self, tmp_path):
+        calls = {"count": 0}
+
+        service = QueryService.from_graph(make_graph(10),
+                                          ServiceConfig(workers=1))
+        with LBRServer(service, port=0).start() as server:
+            host, port = server.address
+            client = ServerClient(host, port, retries=5,
+                                  backoff_base=0.01)
+
+            def fake_once(payload):
+                calls["count"] += 1
+                return {"ok": False,
+                        "error": {"type": "shutting_down",
+                                  "message": "draining"}}
+
+            client._request_once = fake_once
+            response = client.query(QUERY)
+            assert response["error"]["type"] == "shutting_down"
+            assert calls["count"] == 1
+            client.close()
+        service.close()
+
+    def test_zero_retries_keeps_legacy_behavior(self):
+        with pytest.raises(OSError):
+            ServerClient("127.0.0.1", 1, timeout=0.2)

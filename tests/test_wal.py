@@ -1,0 +1,168 @@
+"""WAL framing, replay, and torn/corrupt-tail semantics."""
+
+import pytest
+
+from repro.exceptions import WALError
+from repro.rdf.terms import Literal, Triple, URI
+from repro.update.faultfs import FaultPlan, FaultyFS, MemFS, SimulatedCrash
+from repro.update.wal import (MAGIC, WalRecord, WriteAheadLog,
+                              encode_record, replay_wal)
+
+LOG = "/wal/segment.log"
+
+
+def t(s: str, p: str, o: str) -> Triple:
+    return Triple(URI(f"http://x/{s}"), URI(f"http://x/{p}"),
+                  URI(f"http://x/{o}"))
+
+
+def make_log(fs, batches, path=LOG):
+    fs.makedirs("/wal")
+    wal = WriteAheadLog(path, fs=fs).open()
+    for adds, deletes in batches:
+        wal.append_batch(adds, deletes)
+    wal.close()
+    return wal
+
+
+class TestRoundTrip:
+    def test_empty_log_replays_empty(self):
+        fs = MemFS()
+        make_log(fs, [])
+        assert replay_wal(fs, LOG) == []
+
+    def test_missing_file_replays_empty(self):
+        assert replay_wal(MemFS(), "/nope.log") == []
+
+    def test_batches_round_trip_in_order(self):
+        fs = MemFS()
+        batches = [((t("a", "p", "b"),), ()),
+                   ((t("c", "p", "d"), t("e", "p", "f")),
+                    (t("a", "p", "b"),)),
+                   ((), (t("c", "p", "d"),))]
+        make_log(fs, batches)
+        records = replay_wal(fs, LOG)
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert [(r.adds, r.deletes) for r in records] == batches
+
+    def test_all_term_kinds_survive(self):
+        fs = MemFS()
+        triple = Triple(URI("http://x/s"), URI("http://x/p"),
+                        Literal("v é", language="fr"))
+        typed = Triple(URI("http://x/s"), URI("http://x/p"),
+                       Literal("7", datatype="http://x/int"))
+        make_log(fs, [((triple, typed), ())])
+        [record] = replay_wal(fs, LOG)
+        assert record.adds == (triple, typed)
+
+    def test_reopen_continues_sequence(self):
+        fs = MemFS()
+        make_log(fs, [((t("a", "p", "b"),), ())])
+        records = replay_wal(fs, LOG)
+        wal = WriteAheadLog(LOG, fs=fs,
+                            next_seq=records[-1].seq + 1).open()
+        wal.append_batch((t("c", "p", "d"),), ())
+        wal.close()
+        assert [r.seq for r in replay_wal(fs, LOG)] == [1, 2]
+
+
+class TestDamage:
+    def _logged_bytes(self, fs):
+        return bytes(fs.read_bytes(LOG))
+
+    def test_torn_header_truncates_to_nothing(self):
+        fs = MemFS()
+        fs.makedirs("/wal")
+        handle = fs.open_append(LOG)
+        handle.write(MAGIC[:3])
+        handle.fsync()
+        handle.close()
+        assert replay_wal(fs, LOG) == []
+        assert fs.file_size(LOG) == 0
+
+    def test_bad_magic_rejected(self):
+        fs = MemFS()
+        fs.makedirs("/wal")
+        handle = fs.open_append(LOG)
+        handle.write(b"NOTAWALFILE")
+        handle.fsync()
+        handle.close()
+        with pytest.raises(WALError):
+            replay_wal(fs, LOG)
+
+    def test_torn_tail_frame_is_truncated(self):
+        fs = MemFS()
+        make_log(fs, [((t("a", "p", "b"),), ()),
+                      ((t("c", "p", "d"),), ())])
+        data = self._logged_bytes(fs)
+        for cut in range(len(MAGIC) + 1, len(data)):
+            torn = MemFS()
+            torn.makedirs("/wal")
+            handle = torn.open_append(LOG)
+            handle.write(data[:cut])
+            handle.fsync()
+            handle.close()
+            records = replay_wal(torn, LOG)
+            # only full frames survive; the torn suffix is gone
+            assert [r.seq for r in records] == \
+                list(range(1, len(records) + 1))
+            assert len(records) <= 2
+            # truncation is physical: a second replay is clean
+            assert replay_wal(torn, LOG) == records
+
+    def test_corrupt_middle_with_valid_tail_is_an_error(self):
+        fs = MemFS()
+        make_log(fs, [((t("a", "p", "b"),), ()),
+                      ((t("c", "p", "d"),), ())])
+        data = bytearray(self._logged_bytes(fs))
+        # flip a byte inside the first record's payload
+        data[len(MAGIC) + 10] ^= 0xFF
+        bad = MemFS()
+        bad.makedirs("/wal")
+        handle = bad.open_append(LOG)
+        handle.write(bytes(data))
+        handle.fsync()
+        handle.close()
+        with pytest.raises(WALError, match="corrupt record"):
+            replay_wal(bad, LOG)
+
+    def test_out_of_order_seq_rejected(self):
+        fs = MemFS()
+        fs.makedirs("/wal")
+        handle = fs.open_append(LOG)
+        handle.write(MAGIC)
+        handle.write(encode_record(
+            WalRecord(seq=2, adds=(t("a", "p", "b"),), deletes=())))
+        handle.fsync()
+        handle.close()
+        with pytest.raises(WALError, match="seq"):
+            replay_wal(fs, LOG)
+
+
+class TestFailureLatch:
+    def test_failed_append_latches_the_log_shut(self):
+        fs = MemFS()
+        fs.makedirs("/wal")
+        wal = WriteAheadLog(LOG, fs=FaultyFS(fs, FaultPlan())).open()
+        wal.append_batch((t("a", "p", "b"),), ())
+        wal.fs.plan = FaultPlan(fail_at=wal.fs.op_count + 1)
+        with pytest.raises(WALError, match="append failed"):
+            wal.append_batch((t("c", "p", "d"),), ())
+        wal.fs.plan = FaultPlan()
+        with pytest.raises(WALError, match="failed state"):
+            wal.append_batch((t("e", "p", "f"),), ())
+
+    def test_crash_mid_append_loses_only_that_batch(self):
+        base = MemFS()
+        base.makedirs("/wal")
+        wal = WriteAheadLog(LOG, fs=base).open()
+        wal.append_batch((t("a", "p", "b"),), ())
+        wal.close()
+        faulty = FaultyFS(base, FaultPlan())
+        wal = WriteAheadLog(LOG, fs=faulty, next_seq=2).open()
+        faulty.plan = FaultPlan(crash_at=faulty.op_count + 1)
+        with pytest.raises(SimulatedCrash):
+            wal.append_batch((t("c", "p", "d"),), ())
+        survivor = base.after_crash("durable")
+        records = replay_wal(survivor, LOG)
+        assert [r.seq for r in records] == [1]
