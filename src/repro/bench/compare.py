@@ -1,11 +1,16 @@
-"""Benchmark regression gate: current hot-path run vs. the baseline.
+"""Benchmark regression gate: current run vs. the committed baseline.
 
 ``python -m repro.bench.compare BASELINE CURRENT`` compares two
-``BENCH_hot_path.json`` reports and fails (exit 1) when the warm
-**geomean speedup** — the workload-level warm-over-cold ratio, which is
-a machine-independent measure unlike raw milliseconds — regresses by
-more than ``--max-regression`` (default 25%).  The committed baseline
-lives at ``benchmarks/baselines/BENCH_hot_path.baseline.json``.
+benchmark reports and fails (exit 1) when the gated metric regresses by
+more than ``--max-regression`` (default 25%).  By default it gates the
+warm **geomean speedup** of the ``workload`` section — the hot-path
+report's workload-level warm-over-cold ratio, which is a
+machine-independent measure unlike raw milliseconds.  ``--section`` and
+``--metric`` point the gate at a different report section (e.g.
+``--section cold_start --metric mmap_speedup_vs_rebuild`` for the
+cold-start report), and ``--floor`` adds an *absolute* minimum the
+current value must clear regardless of what the baseline achieved.
+Committed baselines live in ``benchmarks/baselines/``.
 
 A one-line markdown table is printed and, when running under GitHub
 Actions (``GITHUB_STEP_SUMMARY`` set), appended to the job summary so
@@ -19,45 +24,68 @@ import json
 import os
 import sys
 
-#: the gated metric: warm-over-cold geometric-mean speedup
+#: the default gated metric: warm-over-cold geometric-mean speedup
 GATED_METRIC = "geomean_speedup"
-#: reported alongside the gate, not gated (machine-dependent or
-#: informational)
+#: the default report section holding the gated metric
+GATED_SECTION = "workload"
+#: reported alongside the default gate, not gated (machine-dependent
+#: or informational); sections other than ``workload`` report every
+#: scalar they contain instead
 REPORT_METRICS = ("wall_clock_speedup", "plan_cache_hit_rate",
                   "total_repeat_ms")
 
 
-def load_report(path: str) -> dict:
+def load_report(path: str, section: str = GATED_SECTION) -> dict:
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
-    if "workload" not in report:
-        raise ValueError(f"{path}: not a BENCH_hot_path report "
-                         "(no 'workload' section)")
+    if section not in report:
+        raise ValueError(f"{path}: no '{section}' section in report")
     return report
 
 
+def _report_metrics(section: str, baseline: dict, current: dict,
+                    metric: str) -> dict:
+    if section == GATED_SECTION:
+        names = REPORT_METRICS
+    else:
+        names = tuple(name for name, value in sorted(current.items())
+                      if name != metric
+                      and isinstance(value, (int, float)))
+    return {name: {"baseline": baseline.get(name),
+                   "current": current.get(name)}
+            for name in names}
+
+
 def compare(baseline: dict, current: dict,
-            max_regression: float = 0.25) -> dict:
-    """Gate verdict plus the numbers behind it."""
-    base_value = float(baseline["workload"][GATED_METRIC])
-    current_value = float(current["workload"][GATED_METRIC])
+            max_regression: float = 0.25,
+            section: str = GATED_SECTION,
+            metric: str = GATED_METRIC,
+            absolute_floor: float | None = None) -> dict:
+    """Gate verdict plus the numbers behind it.
+
+    The floor is the *stricter* of baseline×(1−max_regression) and the
+    optional absolute floor — a fast baseline machine cannot loosen an
+    acceptance criterion, and a slow one cannot hide a regression.
+    """
+    base_value = float(baseline[section][metric])
+    current_value = float(current[section][metric])
     floor = base_value * (1.0 - max_regression)
+    if absolute_floor is not None:
+        floor = max(floor, absolute_floor)
     ratio = current_value / base_value if base_value else float("inf")
     result = {
-        "metric": GATED_METRIC,
+        "metric": metric,
+        "section": section,
         "baseline": base_value,
         "current": current_value,
         "floor": floor,
         "ratio": ratio,
         "max_regression": max_regression,
+        "absolute_floor": absolute_floor,
         "regressed": current_value < floor,
-        "report": {},
+        "report": _report_metrics(section, baseline[section],
+                                  current[section], metric),
     }
-    for metric in REPORT_METRICS:
-        result["report"][metric] = {
-            "baseline": baseline["workload"].get(metric),
-            "current": current["workload"].get(metric),
-        }
     return result
 
 
@@ -67,7 +95,7 @@ def format_table(result: dict) -> str:
     header = ("| gate | baseline | current | floor (-"
               f"{result['max_regression']:.0%}) | ratio | verdict |")
     rule = "|---|---|---|---|---|---|"
-    row = (f"| warm {result['metric']} | {result['baseline']:.2f}x "
+    row = (f"| {result['metric']} | {result['baseline']:.2f}x "
            f"| {result['current']:.2f}x | {result['floor']:.2f}x "
            f"| {result['ratio']:.2f} | **{verdict}** |")
     return "\n".join([header, rule, row])
@@ -76,26 +104,36 @@ def format_table(result: dict) -> str:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.compare",
-        description="fail when the warm geomean speedup regressed "
+        description="fail when the gated benchmark metric regressed "
                     "past the threshold")
     parser.add_argument("baseline",
-                        help="committed BENCH_hot_path.baseline.json")
+                        help="committed *.baseline.json report")
     parser.add_argument("current",
-                        help="freshly produced BENCH_hot_path.json")
+                        help="freshly produced benchmark report")
     parser.add_argument("--max-regression", type=float, default=0.25,
-                        help="allowed fractional regression of the "
-                             "warm geomean (default 0.25)")
+                        help="allowed fractional regression vs the "
+                             "baseline (default 0.25)")
+    parser.add_argument("--section", default=GATED_SECTION,
+                        help="report section holding the gated metric "
+                             f"(default {GATED_SECTION!r})")
+    parser.add_argument("--metric", default=GATED_METRIC,
+                        help="metric to gate within the section "
+                             f"(default {GATED_METRIC!r})")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="absolute minimum the current value must "
+                             "clear, in addition to the relative gate")
     args = parser.parse_args(argv)
 
     try:
-        baseline = load_report(args.baseline)
-        current = load_report(args.current)
-    except (OSError, ValueError, KeyError) as exc:
-        print(f"bench-compare: cannot load reports: {exc}",
+        baseline = load_report(args.baseline, args.section)
+        current = load_report(args.current, args.section)
+        result = compare(baseline, current, args.max_regression,
+                         args.section, args.metric, args.floor)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"bench-compare: cannot load reports: {exc!r}",
               file=sys.stderr)
         return 2
 
-    result = compare(baseline, current, args.max_regression)
     table = format_table(result)
     print(table)
     for metric, values in result["report"].items():
@@ -105,17 +143,17 @@ def main(argv: list[str] | None = None) -> int:
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         with open(summary_path, "a", encoding="utf-8") as handle:
-            handle.write("### Hot-path benchmark gate\n\n"
-                         + table + "\n")
+            handle.write(f"### Benchmark gate — {result['section']}."
+                         f"{result['metric']}\n\n" + table + "\n")
 
     if result["regressed"]:
-        print(f"bench-compare: FAIL — warm {GATED_METRIC} "
+        print(f"bench-compare: FAIL — {result['metric']} "
               f"{result['current']:.2f}x is below the floor "
               f"{result['floor']:.2f}x "
               f"(baseline {result['baseline']:.2f}x)",
               file=sys.stderr)
         return 1
-    print(f"bench-compare: ok — warm {GATED_METRIC} "
+    print(f"bench-compare: ok — {result['metric']} "
           f"{result['current']:.2f}x vs baseline "
           f"{result['baseline']:.2f}x")
     return 0

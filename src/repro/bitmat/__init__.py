@@ -1,9 +1,12 @@
 """Compressed BitMat indexes: bitvectors, 2D matrices, and the store (§4)."""
 
+from .backend import StoreBackend, is_store_image, open_store, open_store_bytes
 from .bitmat import BitMat, Dim
 from .bitvec import BitVector
+from .mmapstore import MmapStore, save_mmap_store
 from .persist import load_store, save_store
 from .store import BitMatStore
 
-__all__ = ["BitMat", "BitMatStore", "BitVector", "Dim", "load_store",
-           "save_store"]
+__all__ = ["BitMat", "BitMatStore", "BitVector", "Dim", "MmapStore",
+           "StoreBackend", "is_store_image", "load_store", "open_store",
+           "open_store_bytes", "save_mmap_store", "save_store"]

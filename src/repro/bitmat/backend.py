@@ -1,0 +1,182 @@
+"""Pluggable store backends: one protocol, one magic-sniffing opener.
+
+Three interchangeable backends serve the engine today —
+:class:`~repro.bitmat.store.BitMatStore` (eager, in-memory),
+:class:`~repro.update.overlay.OverlayStore` (base + delta), and
+:class:`~repro.bitmat.mmapstore.MmapStore` (memory-mapped, lazy).
+:class:`StoreBackend` names the surface they share, so server, CLI,
+and live-update code can hold "a store" without caring which; the
+format registry maps an on-disk magic to its opener, so every load
+path (`BitMatStore.load`, ``lbr query --store``, live-store recovery)
+sniffs the image instead of assuming a format.
+
+Openers come in two flavors because the callers do: :func:`open_store`
+works on a real path (and gives ``LBRMMAP1`` images a true ``mmap``),
+while :func:`open_store_bytes` decodes a payload that already lives in
+memory.  :func:`open_image` picks between them behind the
+:class:`~repro.fsio.FileSystem` seam: the production filesystem gets
+the mmap fast path, fault-injection filesystems read through their
+own (crash-countable) ``read_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+from ..exceptions import StorageError
+from ..fsio import FileSystem, RealFS
+from ..rdf.dictionary import Dictionary
+from .mmapstore import MAGIC as MMAP_MAGIC
+from .mmapstore import MmapStore
+from .persist import _MAGIC as STORE2_MAGIC
+from .persist import _MAGIC_V1 as STORE1_MAGIC
+from .persist import load_store_bytes
+from .store import BitMatStore
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """The store surface the engine, server, and overlays consume.
+
+    Anything satisfying this protocol can sit behind an
+    :class:`~repro.core.engine.LBREngine`, be published as a server
+    snapshot, or act as the base of an overlay.  The lifecycle trio
+    (``retain``/``close``/``frozen``) is part of the contract so
+    holders of backing resources (mmap handles) can be reference
+    counted by code that neither knows nor cares which backend it has.
+    """
+
+    dictionary: Dictionary
+
+    # statistics
+    @property
+    def num_triples(self) -> int: ...
+    @property
+    def num_subjects(self) -> int: ...
+    @property
+    def num_objects(self) -> int: ...
+    @property
+    def num_predicates(self) -> int: ...
+    @property
+    def num_shared(self) -> int: ...
+    def predicate_count(self, pid: int) -> int: ...
+    def count_matching(self, sid: int | None, pid: int | None,
+                       oid: int | None) -> int: ...
+
+    # BitMat loading (Alg 5.1 init surface)
+    def load_so(self, pid: int): ...
+    def load_os(self, pid: int): ...
+    def load_ps_row(self, pid: int, oid: int): ...
+    def load_po_row(self, pid: int, sid: int): ...
+    def load_ps(self, oid: int): ...
+    def load_po(self, sid: int): ...
+
+    # membership / enumeration
+    def has_triple(self, sid: int, pid: int, oid: int) -> bool: ...
+    def diagonal_positions(self, pid: int) -> list[int]: ...
+    def iter_triples(self): ...
+    def encode_term(self, term, position: str): ...
+
+    # lifecycle
+    def freeze(self): ...
+    @property
+    def frozen(self) -> bool: ...
+    def retain(self): ...
+    def close(self) -> None: ...
+    @property
+    def closed(self) -> bool: ...
+    def cache_stats(self) -> dict: ...
+
+
+@dataclass(frozen=True)
+class StoreFormat:
+    """One registered on-disk format: magic plus its openers."""
+
+    magic: bytes
+    name: str
+    #: path opener (None = read the file and use ``open_bytes``);
+    #: formats that map the file (mmap) register one to avoid the copy
+    open_path: Callable[[str], BitMatStore] | None
+    open_bytes: Callable[..., BitMatStore]
+
+
+_FORMATS: list[StoreFormat] = []
+
+
+def register_format(fmt: StoreFormat) -> None:
+    """Register an on-disk store format (first match by magic wins)."""
+    _FORMATS.append(fmt)
+
+
+register_format(StoreFormat(MMAP_MAGIC, "LBRMMAP1",
+                            MmapStore.open, MmapStore.from_bytes))
+register_format(StoreFormat(STORE2_MAGIC, "LBRSTORE2",
+                            None, load_store_bytes))
+register_format(StoreFormat(STORE1_MAGIC, "LBRSTORE1",
+                            None, load_store_bytes))
+
+_SNIFF_LEN = max(len(fmt.magic) for fmt in _FORMATS)
+
+
+def sniff_format(prefix: bytes) -> StoreFormat | None:
+    """The registered format whose magic starts *prefix*, or None."""
+    for fmt in _FORMATS:
+        if prefix.startswith(fmt.magic):
+            return fmt
+    return None
+
+
+def is_store_image(path: str) -> bool:
+    """True when *path* starts with any registered store magic."""
+    try:
+        with open(path, "rb") as handle:
+            prefix = handle.read(_SNIFF_LEN)
+    except OSError:
+        return False
+    return sniff_format(prefix) is not None
+
+
+def open_store(path: str) -> BitMatStore:
+    """Open a store image of any registered format (magic-sniffed).
+
+    ``LBRMMAP1`` images come back as a lazily-loading
+    :class:`~repro.bitmat.mmapstore.MmapStore` over a real ``mmap``;
+    ``LBRSTORE1/2`` images decode fully.
+    """
+    try:
+        with open(path, "rb") as handle:
+            prefix = handle.read(_SNIFF_LEN)
+    except OSError as exc:
+        raise StorageError(
+            f"cannot open store image {path}: {exc}") from exc
+    fmt = sniff_format(prefix)
+    if fmt is None:
+        raise StorageError(f"{path} is not an LBR store image")
+    if fmt.open_path is not None:
+        return fmt.open_path(path)
+    with open(path, "rb") as handle:
+        payload = handle.read()
+    return fmt.open_bytes(payload, path)
+
+
+def open_store_bytes(payload: bytes,
+                     source: str = "<bytes>") -> BitMatStore:
+    """Open a store image already in memory (magic-sniffed)."""
+    fmt = sniff_format(payload[:_SNIFF_LEN])
+    if fmt is None:
+        raise StorageError(f"{source} is not an LBR store image")
+    return fmt.open_bytes(payload, source)
+
+
+def open_image(fs: FileSystem, path: str) -> BitMatStore:
+    """Open an image through the filesystem seam.
+
+    The production :class:`~repro.fsio.RealFS` takes the :func:`open_store`
+    fast path (true ``mmap`` for ``LBRMMAP1``); any other filesystem —
+    in-memory, fault-injecting — reads through its own ``read_bytes``
+    so recovery I/O stays visible to crash injection.
+    """
+    if isinstance(fs, RealFS):
+        return open_store(path)
+    return open_store_bytes(fs.read_bytes(path), source=path)

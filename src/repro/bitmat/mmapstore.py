@@ -1,0 +1,432 @@
+"""Memory-mapped frozen store: the ``LBRMMAP1`` on-disk format.
+
+The paper's layout was designed so each predicate's BitMat is an
+independently loadable compressed slice; ``LBRMMAP1`` gives the store
+exactly that lifecycle on disk.  A frozen dataset is written once as:
+
+* a fixed 108-byte little-endian header — magic, version, page shift,
+  the dictionary counts and triple total, section offsets/lengths, the
+  total file length, and CRC32s of the dictionary section, the extent
+  index, and the header itself;
+* the dictionary section (the same term-table encoding as
+  ``LBRSTORE2``, via :func:`~repro.bitmat.persist.write_dictionary`),
+  CRC-checked as one unit and decoded eagerly at open;
+* the extent index: one ``(offset, length, pair_count, crc)`` record
+  per predicate id, so any predicate's slice is addressable without
+  touching the others;
+* per-predicate extents, each starting on a page boundary and holding
+  the predicate's delta-encoded sorted (sid, oid) pairs — byte-for-byte
+  the ``LBRSTORE2`` per-predicate block
+  (:func:`~repro.bitmat.persist.write_pairs`) — independently
+  CRC-checked at materialization time.
+
+:class:`MmapStore` opens such an image with ``mmap`` and materializes
+predicates lazily: opening validates only the header, dictionary, and
+index (O(dictionary), not O(dataset)); a predicate's pairs are decoded
+on first touch, kept in a bounded striped LRU so hot predicates stay
+decoded, and re-decoded transparently after eviction.  The OS page
+cache does the tiering — untouched predicates never cost RAM or I/O.
+
+Backing resources are reference-counted: the store starts with one
+reference, :meth:`MmapStore.retain` takes another, and the mapping is
+released when the last :meth:`MmapStore.close` drops it — this is what
+lets snapshot retirement close images without yanking them out from
+under in-flight readers.
+"""
+
+from __future__ import annotations
+
+import io
+import mmap
+import struct
+import threading
+import zlib
+from typing import Iterator, Mapping
+
+from ..exceptions import StorageError
+from ..fsio import RealFS, atomic_write
+from ..lru import StripedLRUCache
+from .persist import (read_dictionary, read_pairs, write_dictionary,
+                      write_pairs)
+from .store import BitMatStore
+
+MAGIC = b"LBRMMAP1"
+VERSION = 1
+#: default extent alignment: 4 KiB pages
+DEFAULT_PAGE_SHIFT = 12
+
+#: decoded-extent LRU: hot predicates stay decoded, cold ones re-decode
+EXTENT_CACHE_SIZE = 1024
+#: decoded O-S projection LRU (the eager store uses an unbounded dict,
+#: which would defeat lazy loading here)
+OS_PROJECTION_CACHE_SIZE = 512
+
+#: magic, version, page_shift, reserved, then u64s: num_shared,
+#: num_subjects, num_objects, num_predicates, num_triples, dict_off,
+#: dict_len, index_off, index_len, file_len; then u32s: dict_crc,
+#: index_crc, header_crc (over the preceding 104 bytes)
+_HEADER = struct.Struct("<8sHHI10Q3I")
+#: per-predicate index record: offset, length, pair_count, crc32
+_EXTENT = struct.Struct("<QQQI")
+
+
+# ----------------------------------------------------------------------
+# writer
+# ----------------------------------------------------------------------
+
+
+def dump_mmap_bytes(store: BitMatStore,
+                    page_shift: int = DEFAULT_PAGE_SHIFT) -> bytes:
+    """Serialize *store* as one ``LBRMMAP1`` image.
+
+    Every predicate's extent starts on a ``1 << page_shift`` boundary,
+    so materializing one predicate touches only its own pages.
+    """
+    if not 0 <= page_shift <= 30:
+        raise StorageError(f"unreasonable page shift {page_shift}")
+    page = 1 << page_shift
+
+    def align(position: int) -> int:
+        return (position + page - 1) & ~(page - 1)
+
+    dictionary = store.dictionary
+    dict_buffer = io.BytesIO()
+    write_dictionary(dict_buffer, dictionary)
+    dict_bytes = dict_buffer.getvalue()
+
+    num_predicates = dictionary.num_predicates
+    dict_off = _HEADER.size
+    index_off = dict_off + len(dict_bytes)
+    index_len = num_predicates * _EXTENT.size
+
+    offset = align(index_off + index_len)
+    extents: list[tuple[int, int, int, int]] = []
+    blobs: list[tuple[int, bytes]] = []
+    total_triples = 0
+    for pid in range(1, num_predicates + 1):
+        pairs = store._so_by_p.get(pid) or []
+        if not pairs:
+            extents.append((0, 0, 0, 0))
+            continue
+        pair_buffer = io.BytesIO()
+        write_pairs(pair_buffer, pairs)
+        blob = pair_buffer.getvalue()
+        extents.append((offset, len(blob), len(pairs), zlib.crc32(blob)))
+        blobs.append((offset, blob))
+        total_triples += len(pairs)
+        offset = align(offset + len(blob))
+    file_len = offset
+
+    index_bytes = b"".join(_EXTENT.pack(*extent) for extent in extents)
+    header = _HEADER.pack(
+        MAGIC, VERSION, page_shift, 0,
+        dictionary.num_shared, dictionary.num_subjects,
+        dictionary.num_objects, num_predicates, total_triples,
+        dict_off, len(dict_bytes), index_off, index_len, file_len,
+        zlib.crc32(dict_bytes), zlib.crc32(index_bytes), 0)
+    header = header[:-4] + struct.pack("<I", zlib.crc32(header[:-4]))
+
+    image = bytearray(file_len)
+    image[:len(header)] = header
+    image[dict_off:dict_off + len(dict_bytes)] = dict_bytes
+    image[index_off:index_off + index_len] = index_bytes
+    for blob_offset, blob in blobs:
+        image[blob_offset:blob_offset + len(blob)] = blob
+    return bytes(image)
+
+
+def save_mmap_store(store: BitMatStore, path: str,
+                    page_shift: int = DEFAULT_PAGE_SHIFT) -> int:
+    """Durably write *store* as an ``LBRMMAP1`` image at *path*.
+
+    Uses the shared atomic protocol (temp → fsync → rename → directory
+    fsync); returns the number of bytes written.
+    """
+    payload = dump_mmap_bytes(store, page_shift)
+    return atomic_write(RealFS(), path, payload)
+
+
+# ----------------------------------------------------------------------
+# reader
+# ----------------------------------------------------------------------
+
+
+class _LazyExtentPairs(Mapping):
+    """``pid → sorted (sid, oid) pairs``, decoded per extent on demand.
+
+    Satisfies the mapping contract the engine reads the store through
+    (``get``/``items``/iteration come from the :class:`Mapping`
+    mixins), but only predicates actually touched are ever decoded.
+    Decoded lists live in a bounded striped LRU; eviction is invisible
+    except as a re-decode.  ``materializations`` counts extent decodes
+    — the observable proof of laziness.
+    """
+
+    def __init__(self, buffer, extents: dict[int, tuple[int, int, int, int]],
+                 source: str) -> None:
+        self._buffer = buffer
+        #: pid -> (offset, length, pair_count, crc), non-empty only
+        self._extents = extents
+        self._pids = sorted(extents)
+        self._source = source
+        self._cache: StripedLRUCache[int, list] = (
+            StripedLRUCache(EXTENT_CACHE_SIZE))
+        self._counter_lock = threading.Lock()
+        self.materializations = 0
+        self._closed = False
+
+    def __getitem__(self, pid: int) -> list[tuple[int, int]]:
+        extent = self._extents.get(pid)
+        if extent is None:
+            raise KeyError(pid)
+        cached = self._cache.get(pid)
+        if cached is not None:
+            return cached
+        pairs = self._decode(pid, extent)
+        self._cache.put(pid, pairs)
+        return pairs
+
+    def _decode(self, pid: int,
+                extent: tuple[int, int, int, int]) -> list[tuple[int, int]]:
+        if self._closed:
+            raise StorageError(f"{self._source}: store is closed")
+        offset, length, pair_count, crc = extent
+        blob = bytes(self._buffer[offset:offset + length])
+        if zlib.crc32(blob) != crc:
+            raise StorageError(f"{self._source}: predicate {pid} "
+                               "extent checksum mismatch")
+        data = io.BytesIO(blob)
+        pairs = read_pairs(data)
+        if len(pairs) != pair_count or data.read(1):
+            raise StorageError(f"{self._source}: predicate {pid} "
+                               "extent is corrupt")
+        with self._counter_lock:
+            self.materializations += 1
+        return pairs
+
+    def pair_count(self, pid: int) -> int:
+        """Triples under *pid*, from the index — no decode."""
+        extent = self._extents.get(pid)
+        return 0 if extent is None else extent[2]
+
+    def mark_closed(self) -> None:
+        self._closed = True
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._pids)
+
+    def __len__(self) -> int:
+        return len(self._pids)
+
+    def __contains__(self, pid) -> bool:
+        return pid in self._extents
+
+    def stats(self) -> dict[str, int]:
+        report = self._cache.stats()
+        report["materializations"] = self.materializations
+        report["extents"] = len(self._pids)
+        return report
+
+
+class MmapStore(BitMatStore):
+    """A frozen ``LBRMMAP1`` image served with lazy per-predicate decode.
+
+    Construct via :meth:`open` (a real ``mmap`` over the file — the OS
+    page cache backs every extent read) or :meth:`from_bytes` (the same
+    lazy semantics over an in-memory buffer, used by the
+    fault-injection filesystems during recovery testing).
+    """
+
+    def __init__(self, buffer, source: str, *, mapping=None,
+                 file=None) -> None:
+        if not buffer[:len(MAGIC)] == MAGIC:
+            raise StorageError(f"{source} is not an LBRMMAP1 store image")
+        if len(buffer) < _HEADER.size:
+            raise StorageError(f"{source}: truncated mmap store header")
+        header = bytes(buffer[:_HEADER.size])
+        (_, version, page_shift, _reserved, num_shared, num_subjects,
+         num_objects, num_predicates, num_triples, dict_off, dict_len,
+         index_off, index_len, file_len, dict_crc, index_crc,
+         header_crc) = _HEADER.unpack(header)
+        if zlib.crc32(header[:-4]) != header_crc:
+            raise StorageError(f"{source}: mmap store header "
+                               "checksum mismatch")
+        if version != VERSION:
+            raise StorageError(f"{source}: unsupported LBRMMAP version "
+                               f"{version}")
+        if page_shift > 30:
+            raise StorageError(f"{source}: unreasonable page shift "
+                               f"{page_shift}")
+        if file_len != len(buffer):
+            raise StorageError(f"{source}: file length mismatch "
+                               f"(header says {file_len}, have "
+                               f"{len(buffer)} — truncated or trailing "
+                               "bytes)")
+        if (dict_off != _HEADER.size
+                or index_off != dict_off + dict_len
+                or index_len != num_predicates * _EXTENT.size
+                or index_off + index_len > file_len):
+            raise StorageError(f"{source}: corrupt section layout")
+
+        dict_bytes = bytes(buffer[dict_off:dict_off + dict_len])
+        if zlib.crc32(dict_bytes) != dict_crc:
+            raise StorageError(f"{source}: dictionary section "
+                               "checksum mismatch")
+        dict_data = io.BytesIO(dict_bytes)
+        dictionary = read_dictionary(dict_data)
+        if dict_data.read(1):
+            raise StorageError(f"{source}: trailing bytes in "
+                               "dictionary section")
+        if (dictionary.num_shared != num_shared
+                or dictionary.num_subjects != num_subjects
+                or dictionary.num_objects != num_objects
+                or dictionary.num_predicates != num_predicates):
+            raise StorageError(f"{source}: dictionary counts disagree "
+                               "with header")
+
+        index_bytes = bytes(buffer[index_off:index_off + index_len])
+        if zlib.crc32(index_bytes) != index_crc:
+            raise StorageError(f"{source}: extent index "
+                               "checksum mismatch")
+        page = 1 << page_shift
+        data_start = index_off + index_len
+        extents: dict[int, tuple[int, int, int, int]] = {}
+        total = 0
+        for pid in range(1, num_predicates + 1):
+            record = index_bytes[(pid - 1) * _EXTENT.size:
+                                 pid * _EXTENT.size]
+            offset, length, pair_count, crc = _EXTENT.unpack(record)
+            if (length == 0) != (pair_count == 0):
+                raise StorageError(f"{source}: predicate {pid} extent "
+                                   "index entry is inconsistent")
+            if not length:
+                continue
+            if (offset % page or offset < data_start
+                    or offset + length > file_len):
+                raise StorageError(f"{source}: predicate {pid} extent "
+                                   "is out of bounds")
+            extents[pid] = (offset, length, pair_count, crc)
+            total += pair_count
+        if total != num_triples:
+            raise StorageError(f"{source}: extent index triple count "
+                               f"{total} disagrees with header "
+                               f"{num_triples}")
+
+        self._source = source
+        self._mapping = mapping
+        self._file = file
+        self._page_shift = page_shift
+        self._header_triples = num_triples
+        self._pairs = _LazyExtentPairs(buffer, extents, source)
+        self._refs = 1
+        self._refs_lock = threading.Lock()
+        self._os_lru: StripedLRUCache[int, list] = (
+            StripedLRUCache(OS_PROJECTION_CACHE_SIZE))
+        super().__init__(dictionary, self._pairs)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str) -> "MmapStore":
+        """Memory-map the image at *path* (lazy; O(dictionary) work)."""
+        try:
+            file = open(path, "rb")
+        except OSError as exc:
+            raise StorageError(
+                f"cannot open store image {path}: {exc}") from exc
+        mapping = None
+        try:
+            try:
+                mapping = mmap.mmap(file.fileno(), 0,
+                                    access=mmap.ACCESS_READ)
+            except (ValueError, OSError) as exc:
+                raise StorageError(
+                    f"cannot map store image {path}: {exc}") from exc
+            return cls(mapping, path, mapping=mapping, file=file)
+        except BaseException:
+            if mapping is not None:
+                mapping.close()
+            file.close()
+            raise
+
+    @classmethod
+    def from_bytes(cls, payload: bytes,
+                   source: str = "<bytes>") -> "MmapStore":
+        """The same lazy store over an in-memory buffer (no mmap)."""
+        return cls(payload, source)
+
+    # ------------------------------------------------------------------
+    # laziness hooks (see BitMatStore)
+    # ------------------------------------------------------------------
+
+    def _count_triples(self) -> int:
+        # the header's total: constructing the store must not decode
+        return self._header_triples
+
+    def _prepare_freeze(self) -> None:
+        # the eager prebuild would materialize every extent; our lazily
+        # derived state already lives behind locked striped LRUs
+        pass
+
+    def _os_pairs(self, pid: int) -> list[tuple[int, int]]:
+        pairs = self._os_lru.get(pid)
+        if pairs is None:
+            pairs = sorted((oid, sid) for sid, oid in self._so_by_p[pid])
+            self._os_lru.put(pid, pairs)
+        return pairs
+
+    def predicate_count(self, pid: int) -> int:
+        # answered from the extent index without decoding
+        return self._pairs.pair_count(pid)
+
+    def count_matching(self, sid: int | None, pid: int | None,
+                       oid: int | None) -> int:
+        if pid is not None and sid is None and oid is None:
+            return self._pairs.pair_count(pid)
+        return super().count_matching(sid, pid, oid)
+
+    @property
+    def materializations(self) -> int:
+        """Extent decodes so far — the laziness proof for tests/bench."""
+        return self._pairs.materializations
+
+    @property
+    def source(self) -> str:
+        """The path (or label) this store was opened from."""
+        return self._source
+
+    # ------------------------------------------------------------------
+    # reference-counted lifecycle
+    # ------------------------------------------------------------------
+
+    def retain(self) -> "MmapStore":
+        with self._refs_lock:
+            if self._refs == 0:
+                raise StorageError(f"{self._source}: store is closed")
+            self._refs += 1
+        return self
+
+    def close(self) -> None:
+        with self._refs_lock:
+            if self._refs == 0:
+                return
+            self._refs -= 1
+            if self._refs:
+                return
+        self._pairs.mark_closed()
+        if self._mapping is not None:
+            self._mapping.close()
+        if self._file is not None:
+            self._file.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._refs == 0
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        report = super().cache_stats()
+        report["extents"] = self._pairs.stats()
+        report["os_pairs"] = self._os_lru.stats()
+        return report

@@ -37,12 +37,18 @@ import zlib
 from typing import BinaryIO
 
 from ..exceptions import StorageError
+from ..fsio import RealFS, atomic_write
 from ..rdf.dictionary import Dictionary
 from ..rdf.terms import BNode, Literal, Term, URI
 from .store import BitMatStore
 
 _MAGIC = b"LBRSTORE2"
 _MAGIC_V1 = b"LBRSTORE1"
+
+#: LEB128 length cap: 10 bytes carry 70 payload bits, enough for any
+#: 64-bit count; a longer run of continuation bits is always corruption
+#: (or a hostile image trying to decode into an unbounded int).
+_MAX_VARINT_BYTES = 10
 
 _KIND_URI = 0
 _KIND_BNODE = 1
@@ -66,7 +72,11 @@ def write_varint(out: BinaryIO, value: int) -> None:
 
 
 def read_varint(data: BinaryIO) -> int:
-    """Read one unsigned LEB128 varint; StorageError when truncated."""
+    """Read one unsigned LEB128 varint.
+
+    StorageError when truncated or longer than ``_MAX_VARINT_BYTES``
+    (the unsigned-range check mirroring :func:`write_varint`'s).
+    """
     shift = 0
     value = 0
     while True:
@@ -78,6 +88,8 @@ def read_varint(data: BinaryIO) -> int:
         if not byte & 0x80:
             return value
         shift += 7
+        if shift >= 7 * _MAX_VARINT_BYTES:
+            raise StorageError("varint exceeds 10 bytes (corrupt image)")
 
 
 def _write_text(out: BinaryIO, text: str) -> None:
@@ -146,38 +158,83 @@ _write_term = write_term
 _read_term = read_term
 
 
-def dump_store_bytes(store: BitMatStore) -> bytes:
-    """Serialize the store to one self-verifying byte image."""
-    dictionary = store.dictionary
-    buffer = io.BytesIO()
-    buffer.write(_MAGIC)
+def write_pairs(out: BinaryIO, pairs: list[tuple[int, int]]) -> None:
+    """One per-predicate block: pair count + delta-encoded (sid, oid).
+
+    Shared between the ``LBRSTORE*`` body and each ``LBRMMAP1`` extent,
+    so a predicate's bytes are identical in both formats.
+    """
+    write_varint(out, len(pairs))
+    previous_sid = 0
+    previous_oid = 0
+    for sid, oid in pairs:
+        if sid != previous_sid:
+            previous_oid = 0
+        write_varint(out, sid - previous_sid)
+        write_varint(out, oid - previous_oid)
+        previous_sid, previous_oid = sid, oid
+
+
+def read_pairs(data: BinaryIO) -> list[tuple[int, int]]:
+    """Read one block written by :func:`write_pairs`."""
+    count = read_varint(data)
+    pairs: list[tuple[int, int]] = []
+    previous_sid = 0
+    previous_oid = 0
+    for _ in range(count):
+        sid = previous_sid + read_varint(data)
+        if sid != previous_sid:
+            previous_oid = 0
+        oid = previous_oid + read_varint(data)
+        pairs.append((sid, oid))
+        previous_sid, previous_oid = sid, oid
+    return pairs
+
+
+def write_dictionary(out: BinaryIO, dictionary: Dictionary) -> None:
+    """Counts + term tables in id order (shared, S-only, O-only, preds)."""
     for count in (dictionary.num_shared, dictionary.num_subjects,
                   dictionary.num_objects, dictionary.num_predicates):
-        write_varint(buffer, count)
-
+        write_varint(out, count)
     for term_id in range(1, dictionary.num_shared + 1):
-        write_term(buffer, dictionary.subject_term(term_id))
+        write_term(out, dictionary.subject_term(term_id))
     for term_id in range(dictionary.num_shared + 1,
                          dictionary.num_subjects + 1):
-        write_term(buffer, dictionary.subject_term(term_id))
+        write_term(out, dictionary.subject_term(term_id))
     for term_id in range(dictionary.num_shared + 1,
                          dictionary.num_objects + 1):
-        write_term(buffer, dictionary.object_term(term_id))
+        write_term(out, dictionary.object_term(term_id))
     for term_id in range(1, dictionary.num_predicates + 1):
-        write_term(buffer, dictionary.predicate_term(term_id))
+        write_term(out, dictionary.predicate_term(term_id))
 
-    for pid in range(1, dictionary.num_predicates + 1):
-        pairs = store._so_by_p.get(pid, [])
-        write_varint(buffer, len(pairs))
-        previous_sid = 0
-        previous_oid = 0
-        for sid, oid in pairs:
-            if sid != previous_sid:
-                previous_oid = 0
-            write_varint(buffer, sid - previous_sid)
-            write_varint(buffer, oid - previous_oid)
-            previous_sid, previous_oid = sid, oid
 
+def read_dictionary(data: BinaryIO) -> Dictionary:
+    """Read a dictionary section written by :func:`write_dictionary`."""
+    num_shared = read_varint(data)
+    num_subjects = read_varint(data)
+    num_objects = read_varint(data)
+    num_predicates = read_varint(data)
+    if num_subjects < num_shared or num_objects < num_shared:
+        raise StorageError("corrupt dictionary counts")
+    dictionary = Dictionary()
+    for _ in range(num_shared):
+        dictionary._add_shared(read_term(data))
+    for _ in range(num_subjects - num_shared):
+        dictionary._add_subject_only(read_term(data))
+    for _ in range(num_objects - num_shared):
+        dictionary._add_object_only(read_term(data))
+    for _ in range(num_predicates):
+        dictionary._add_predicate(read_term(data))
+    return dictionary
+
+
+def dump_store_bytes(store: BitMatStore) -> bytes:
+    """Serialize the store to one self-verifying byte image."""
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    write_dictionary(buffer, store.dictionary)
+    for pid in range(1, store.dictionary.num_predicates + 1):
+        write_pairs(buffer, store._so_by_p.get(pid, []))
     body = buffer.getvalue()
     return body + struct.pack("<I", zlib.crc32(body))
 
@@ -199,46 +256,29 @@ def load_store_bytes(payload: bytes,
         data.read(len(_MAGIC_V1))
     else:
         raise StorageError(f"{source} is not an LBR store image")
-    num_shared = read_varint(data)
-    num_subjects = read_varint(data)
-    num_objects = read_varint(data)
-    num_predicates = read_varint(data)
-
-    dictionary = Dictionary()
-    for _ in range(num_shared):
-        dictionary._add_shared(read_term(data))
-    for _ in range(num_subjects - num_shared):
-        dictionary._add_subject_only(read_term(data))
-    for _ in range(num_objects - num_shared):
-        dictionary._add_object_only(read_term(data))
-    for _ in range(num_predicates):
-        dictionary._add_predicate(read_term(data))
-
+    dictionary = read_dictionary(data)
     so_by_p: dict[int, list[tuple[int, int]]] = {}
-    for pid in range(1, num_predicates + 1):
-        count = read_varint(data)
-        if not count:
-            continue
-        pairs: list[tuple[int, int]] = []
-        previous_sid = 0
-        previous_oid = 0
-        for _ in range(count):
-            sid = previous_sid + read_varint(data)
-            if sid != previous_sid:
-                previous_oid = 0
-            oid = previous_oid + read_varint(data)
-            pairs.append((sid, oid))
-            previous_sid, previous_oid = sid, oid
-        so_by_p[pid] = pairs
+    for pid in range(1, dictionary.num_predicates + 1):
+        pairs = read_pairs(data)
+        if pairs:
+            so_by_p[pid] = pairs
+    # the section parsers must land exactly on the end of the payload:
+    # leftover bytes mean a truncated/concatenated image whose tail the
+    # CRC (v2) happened to cover, or a v1 image with garbage appended
+    if data.read(1):
+        raise StorageError(f"{source}: trailing bytes after store image")
     return BitMatStore(dictionary, so_by_p)
 
 
 def save_store(store: BitMatStore, path: str) -> int:
-    """Write the store to *path*; returns the number of bytes written."""
+    """Write the store to *path*; returns the number of bytes written.
+
+    Routed through the shared atomic-write protocol (temp → fsync →
+    rename → directory fsync) so a crash mid-save can never leave a
+    torn image at the final name.
+    """
     payload = dump_store_bytes(store)
-    with open(path, "wb") as handle:
-        handle.write(payload)
-    return len(payload)
+    return atomic_write(RealFS(), path, payload)
 
 
 def load_store(path: str) -> BitMatStore:

@@ -48,11 +48,12 @@ class BitMatStore:
     def __init__(self, dictionary: Dictionary,
                  so_by_p: dict[int, list[tuple[int, int]]]) -> None:
         self.dictionary = dictionary
-        #: per-predicate (sid, oid) pairs sorted by (sid, oid)
+        #: per-predicate (sid, oid) pairs sorted by (sid, oid) — any
+        #: Mapping; lazily-decoding backends substitute their own
         self._so_by_p = so_by_p
         #: per-predicate (oid, sid) pairs sorted by (oid, sid), built lazily
         self._os_by_p: dict[int, list[tuple[int, int]]] = {}
-        self._triple_count = sum(len(pairs) for pairs in so_by_p.values())
+        self._triple_count = self._count_triples()
         # Warm-cache behaviour (§6.1 runs every query once to warm the
         # caches before measuring): every materialization is immutable —
         # pruning `unfold`s into fresh objects — so it is shared across
@@ -94,9 +95,19 @@ class BitMatStore:
 
     @classmethod
     def load(cls, path: str) -> "BitMatStore":
-        """Load a store previously written by :meth:`save`."""
-        from .persist import load_store
-        return load_store(path)
+        """Open a store image of any known format (magic-sniffed).
+
+        ``LBRMMAP1`` images come back as a lazily-loading
+        :class:`~repro.bitmat.mmapstore.MmapStore`; ``LBRSTORE1/2``
+        decode fully into a plain :class:`BitMatStore`.
+        """
+        from .backend import open_store
+        return open_store(path)
+
+    def _count_triples(self) -> int:
+        """Total triples; backends with cheaper metadata override this
+        so constructing the store does not force a full decode."""
+        return sum(len(pairs) for pairs in self._so_by_p.values())
 
     def _os_pairs(self, pid: int) -> list[tuple[int, int]]:
         pairs = self._os_by_p.get(pid)
@@ -277,8 +288,7 @@ class BitMatStore:
         """
         if self._frozen:
             return self
-        for pid in list(self._so_by_p):
-            self._os_pairs(pid)
+        self._prepare_freeze()
         self._so_cache = StripedLRUCache(MATRIX_CACHE_SIZE)
         self._os_cache = StripedLRUCache(MATRIX_CACHE_SIZE)
         self._row_cache = StripedLRUCache(ROW_CACHE_SIZE)
@@ -287,10 +297,41 @@ class BitMatStore:
         self._frozen = True
         return self
 
+    def _prepare_freeze(self) -> None:
+        """Pre-build lazily derived state that concurrent readers must
+        never observe mid-build.  Lazy backends whose derived state is
+        already behind locked caches override this to skip the prebuild
+        (it would defeat their laziness)."""
+        for pid in list(self._so_by_p):
+            self._os_pairs(pid)
+
     @property
     def frozen(self) -> bool:
         """True once :meth:`freeze` published this store for serving."""
         return self._frozen
+
+    # ------------------------------------------------------------------
+    # resource lifecycle
+    # ------------------------------------------------------------------
+
+    def retain(self) -> "BitMatStore":
+        """Take one more reference to this store's backing resources.
+
+        A plain in-memory store has none, so this is a no-op; mmap-backed
+        stores count references and unmap when the last is closed.
+        Every ``retain()`` must be paired with one :meth:`close`.
+        Returns ``self`` so call sites can retain-and-pass in one
+        expression.
+        """
+        return self
+
+    def close(self) -> None:
+        """Release one reference (no-op for in-memory stores)."""
+
+    @property
+    def closed(self) -> bool:
+        """True once the backing resources have been released."""
+        return False
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
         """Hit/miss/eviction counters of every store-level cache."""

@@ -4,6 +4,8 @@ Commands:
 
 * ``generate`` — write one of the evaluation datasets as N-Triples;
 * ``index``    — build a BitMat store image from an N-Triples file;
+* ``freeze``   — write the memory-mapped ``LBRMMAP1`` image whose
+  per-predicate extents ``serve --mmap`` materializes lazily;
 * ``query``    — run a SPARQL query over a data file or store image;
 * ``info``     — dataset characteristics (the Table 6.1 columns);
 * ``bench``    — run a full Appendix E query suite with all engines
@@ -54,6 +56,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "index", help="build a BitMat store image from N-Triples")
     index.add_argument("data", help="input N-Triples file")
     index.add_argument("--out", required=True, help="store image path")
+
+    freeze = commands.add_parser(
+        "freeze",
+        help="write a memory-mapped frozen store image (LBRMMAP1)",
+        description="Build (or convert) a dataset into the LBRMMAP1 "
+                    "format: each predicate's BitMat pairs live in an "
+                    "independently checksummed, page-aligned extent, so "
+                    "'serve --mmap' opens the file without decoding "
+                    "anything and materializes predicates lazily as "
+                    "queries touch them.")
+    freeze.add_argument("data",
+                        help="N-Triples file or LBRSTORE/LBRMMAP image")
+    freeze.add_argument("--out", required=True,
+                        help="output .lbrm image path")
+    freeze.add_argument("--page-shift", type=int, default=12,
+                        help="log2 of the extent alignment "
+                             "(default 12 = 4 KiB pages)")
 
     query = commands.add_parser("query", help="run a SPARQL query")
     source = query.add_mutually_exclusive_group(required=True)
@@ -170,6 +189,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="graceful-shutdown deadline: seconds to "
                             "wait for in-flight queries before closing "
                             "(default 10)")
+    serve.add_argument("--mmap", action="store_true",
+                       help="serve the dataset through the lazy "
+                            "memory-mapped store: an LBRMMAP1 --store "
+                            "image is mapped directly (no decode at "
+                            "startup); other sources are converted "
+                            "in-process first.  Live stores already "
+                            "write LBRMMAP1 base images by default")
     return parser
 
 
@@ -213,6 +239,23 @@ def _index(args) -> int:
           f"(|Vs|={store.num_subjects:,}, |Vp|={store.num_predicates:,}, "
           f"|Vo|={store.num_objects:,}, |Vso|={store.num_shared:,}) "
           f"-> {args.out} ({size:,} bytes)")
+    return 0
+
+
+def _freeze(args) -> int:
+    from .bitmat.backend import is_store_image
+    from .bitmat.mmapstore import save_mmap_store
+
+    if is_store_image(args.data):
+        store = BitMatStore.load(args.data)
+    else:
+        store = BitMatStore.build(ntriples.load(args.data))
+    size = save_mmap_store(store, args.out, page_shift=args.page_shift)
+    print(f"froze {store.num_triples:,} triples "
+          f"({store.num_predicates:,} predicate extents, "
+          f"{1 << args.page_shift}-byte aligned) "
+          f"-> {args.out} ({size:,} bytes)")
+    store.close()
     return 0
 
 
@@ -277,7 +320,7 @@ def _query(args) -> int:
 
 
 def _info(args) -> int:
-    if args.data.endswith((".lbr", ".store", ".bin")):
+    if args.data.endswith((".lbr", ".lbrm", ".store", ".bin")):
         store = BitMatStore.load(args.data)
         print(f"triples={store.num_triples:,} "
               f"subjects={store.num_subjects:,} "
@@ -352,6 +395,23 @@ def _fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _as_mmap_store(store: BitMatStore) -> BitMatStore:
+    """The store as a lazy mmap-format store (no-op when it already is).
+
+    An eager store gets re-serialized to LBRMMAP1 bytes in process —
+    correctness-equivalent, but the decode already happened; for a true
+    lazy cold start point --store at an image made by ``lbr freeze``.
+    """
+    from .bitmat.mmapstore import MmapStore, dump_mmap_bytes
+
+    if isinstance(store, MmapStore):
+        return store
+    converted = MmapStore.from_bytes(dump_mmap_bytes(store),
+                                     source="<converted>")
+    store.close()
+    return converted
+
+
 def _serve(args) -> int:
     from .server import LBRServer, QueryService, ServiceConfig
 
@@ -377,9 +437,15 @@ def _serve(args) -> int:
         live = LiveGraphStore.open(args.live_dir, initial=initial)
         service.attach_live_store(live)
     elif args.store:
-        service.load_store(BitMatStore.load(args.store))
+        store = BitMatStore.load(args.store)
+        if args.mmap:
+            store = _as_mmap_store(store)
+        service.load_store(store)
     else:
-        service.load_store(BitMatStore.build(ntriples.load(args.data)))
+        store = BitMatStore.build(ntriples.load(args.data))
+        if args.mmap:
+            store = _as_mmap_store(store)
+        service.load_store(store)
     snapshot = service.snapshots.current()
     server = LBRServer(service, host=args.host, port=args.port,
                        allow_shutdown=not args.no_shutdown_op,
@@ -388,6 +454,8 @@ def _serve(args) -> int:
                                       else None))
     host, port = server.address
     mode = f"live store at {args.live_dir}" if live else "read-only"
+    if args.mmap:
+        mode += ", mmap"
     print(f"lbr serve: {snapshot.store.num_triples:,} triples "
           f"(snapshot v{snapshot.version}), {args.workers} workers, "
           f"queue limit {args.queue_limit}, {mode}", flush=True)
@@ -408,7 +476,8 @@ def _serve(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    handlers = {"generate": _generate, "index": _index, "query": _query,
+    handlers = {"generate": _generate, "index": _index,
+                "freeze": _freeze, "query": _query,
                 "info": _info, "bench": _bench, "fuzz": _fuzz,
                 "serve": _serve}
     return handlers[args.command](args)

@@ -1,0 +1,155 @@
+"""Filesystem seam shared by persistence and the update subsystem.
+
+Every durability-critical file operation in the repo (store image
+writes, WAL appends, manifest renames, mmap-image publication) goes
+through a :class:`FileSystem`.  Production uses :class:`RealFS`, a thin
+wrapper over ``os``/``io``; the crash-recovery suite swaps in the
+fault-injecting filesystems from :mod:`repro.update.faultfs`, which
+implement the same protocol.
+
+This module is a dependency leaf — it must import nothing from
+:mod:`repro.bitmat` or :mod:`repro.update` so both can build on it
+without cycles.
+
+:func:`atomic_write` is the one blessed way to publish a file: write to
+a temp name, fsync the content, rename over the destination, fsync the
+directory.  A crash at any point leaves either the old file or the new
+one at the final path, never a torn hybrid.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Protocol
+
+
+class FileHandle(Protocol):
+    """Writable (or readable) handle returned by a FileSystem."""
+
+    def write(self, data: bytes) -> int: ...
+    def read(self, size: int = -1) -> bytes: ...
+    def flush(self) -> None: ...
+    def fsync(self) -> None: ...
+    def close(self) -> None: ...
+    def tell(self) -> int: ...
+
+
+class FileSystem(Protocol):
+    """The file operations durability-critical code is allowed to use."""
+
+    def exists(self, path: str) -> bool: ...
+    def listdir(self, path: str) -> list[str]: ...
+    def makedirs(self, path: str) -> None: ...
+    def read_bytes(self, path: str) -> bytes: ...
+    def file_size(self, path: str) -> int: ...
+    def open_append(self, path: str) -> FileHandle: ...
+    def open_write(self, path: str) -> FileHandle: ...
+    def truncate(self, path: str, size: int) -> None: ...
+    def replace(self, src: str, dst: str) -> None: ...
+    def remove(self, path: str) -> None: ...
+    def fsync_dir(self, path: str) -> None: ...
+
+
+class _RealHandle:
+    __slots__ = ("_file",)
+
+    def __init__(self, file: io.BufferedIOBase) -> None:
+        self._file = file
+
+    def write(self, data: bytes) -> int:
+        return self._file.write(data)
+
+    def read(self, size: int = -1) -> bytes:
+        return self._file.read(size)
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def fsync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._file.close()
+
+    def tell(self) -> int:
+        return self._file.tell()
+
+
+class RealFS:
+    """Production filesystem: ``os``/``io`` with real fsync."""
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return sorted(os.listdir(path))
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def read_bytes(self, path: str) -> bytes:
+        with open(path, "rb") as file:
+            return file.read()
+
+    def file_size(self, path: str) -> int:
+        return os.path.getsize(path)
+
+    def open_append(self, path: str) -> _RealHandle:
+        return _RealHandle(open(path, "ab"))
+
+    def open_write(self, path: str) -> _RealHandle:
+        return _RealHandle(open(path, "wb"))
+
+    def truncate(self, path: str, size: int) -> None:
+        with open(path, "r+b") as file:
+            file.truncate(size)
+            file.flush()
+            os.fsync(file.fileno())
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def fsync_dir(self, path: str) -> None:
+        # Directory fsync makes renames/creates/unlinks in it durable.
+        # Not supported on some platforms (e.g. Windows); best-effort.
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform dependent
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+def join_path(directory: str, name: str) -> str:
+    """Join a directory and a file name with forward slashes.
+
+    Kept ``/``-based (not ``os.path.join``) so fault-injection
+    filesystems see stable, platform-independent paths.
+    """
+    return f"{directory.rstrip('/')}/{name}"
+
+
+def atomic_write(fs: FileSystem, path: str, payload: bytes) -> int:
+    """Durably publish *payload* at *path*; returns bytes written.
+
+    temp file → fsync → rename over *path* → fsync of the containing
+    directory.  A crash at any point leaves the old content (or no
+    file) at *path*; the temp name may survive as an orphan for the
+    caller's recovery sweep to remove.
+    """
+    temp = path + ".tmp"
+    handle = fs.open_write(temp)
+    handle.write(payload)
+    handle.flush()
+    handle.fsync()
+    handle.close()
+    fs.replace(temp, path)
+    fs.fsync_dir(os.path.dirname(path) or ".")
+    return len(payload)

@@ -358,29 +358,35 @@ class ServerClient:
             return self._request_once(payload)
         attempts = 0
         last_error: Exception | None = None
-        while attempts <= self._retries:
-            if attempts:
-                time.sleep(self._backoff(attempts))
+        while True:
             attempts += 1
+            failure: Exception | None = None
             if self._sock is None:
                 try:
                     self._connect()
                 except OSError as exc:
-                    last_error = exc
-                    continue
-            try:
-                response = self._request_once(payload)
-            except (ConnectionError, OSError) as exc:
-                last_error = exc
-                self._close_socket()
-                continue
-            error = response.get("error")
-            if (isinstance(error, dict)
-                    and error.get("type") == "rejected"):
-                last_error = AdmissionError(
-                    str(error.get("message", "rejected")))
-                continue
-            return response
+                    failure = exc
+            if failure is None:
+                try:
+                    response = self._request_once(payload)
+                except (ConnectionError, OSError) as exc:
+                    failure = exc
+                    self._close_socket()
+                else:
+                    error = response.get("error")
+                    if (isinstance(error, dict)
+                            and error.get("type") == "rejected"):
+                        failure = AdmissionError(
+                            str(error.get("message", "rejected")))
+                    else:
+                        return response
+            last_error = failure
+            if attempts > self._retries:
+                break
+            # the only sleep in the loop, reached strictly *between*
+            # attempts — structurally, the client can never burn a
+            # backoff delay after the attempt it has already given up on
+            time.sleep(self._backoff(attempts))
         raise RetriesExhaustedError(
             f"request failed after {attempts} attempts: {last_error}",
             attempts=attempts, last_error=last_error)

@@ -319,7 +319,14 @@ class QueryScheduler:
                 error="deadline expired while queued", wait_s=wait_s)
             request._resolve(outcome)
             return
-        snapshot = self.snapshots.current()
+        # pin a snapshot: acquire a reference so a concurrent reload
+        # cannot close its store (mmap unmap) under this execution; a
+        # failed acquire means we lost the race with retirement — the
+        # successor is already published, so re-read and try again
+        while True:
+            snapshot = self.snapshots.current()
+            if snapshot.refs is None or snapshot.refs.try_acquire():
+                break
         session = snapshot.engine.session(
             max_join_rows=request.max_join_rows,
             deadline=request.deadline)
@@ -358,6 +365,9 @@ class QueryScheduler:
                 ok=True, variables=result.variables, rows=result.rows,
                 snapshot_version=snapshot.version, wait_s=wait_s,
                 exec_s=exec_s, stats=session.last_stats)
+        finally:
+            if snapshot.refs is not None:
+                snapshot.refs.release()
         request._resolve(outcome)
 
     def _failure(self, error_type: str, exc: Exception, snapshot,

@@ -94,7 +94,9 @@ class QueryService:
         """
         self.live = live
         live.on_publish = self.snapshots.publish_store
-        return self.snapshots.publish_store(live.current_store())
+        # publish_store adopts a reference; the live store keeps its
+        # own, so hand the snapshot machinery one of its own to close
+        return self.snapshots.publish_store(live.current_store().retain())
 
     # ------------------------------------------------------------------
     # updates (live store required)
@@ -190,6 +192,9 @@ class QueryService:
             if self.live is not None:
                 # flushes + fsyncs the WAL and stops the compactor
                 self.live.close()
+            # release the current snapshot's being-current reference so
+            # mmap-backed stores unmap instead of leaking the handle
+            self.snapshots.close()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -1,12 +1,20 @@
 """Immutable published dataset snapshots (copy-on-write swap on load).
 
 The serving model is single-writer / many-readers.  A :class:`Snapshot`
-bundles one *frozen* :class:`~repro.bitmat.store.BitMatStore` with the
-thread-safe engine compiled over it; publication builds the whole thing
-out of band and then performs one atomic reference swap.  Readers that
-already hold the previous snapshot keep executing against it — a reload
-never changes the data a running query sees — and the old snapshot is
-garbage-collected once the last in-flight session drops it.
+bundles one *frozen* store (any :class:`~repro.bitmat.backend.StoreBackend`)
+with the thread-safe engine compiled over it; publication builds the
+whole thing out of band and then performs one atomic reference swap.
+Readers that already hold the previous snapshot keep executing against
+it — a reload never changes the data a running query sees.
+
+Snapshots retire deterministically, not by garbage collection: each one
+carries a reference counter (:class:`_SnapshotRefs`) born at 1 for "is
+the current snapshot".  Query workers ``try_acquire`` it for the
+duration of one execution; publishing a successor releases the
+being-current reference.  When the count reaches zero the snapshot's
+store is ``close()``d — for a memory-mapped store that unmaps the image
+and closes the file handle, so handles never leak across swaps no
+matter how many reloads a long-lived server performs.
 
 The engine is part of the snapshot (not shared across snapshots) on
 purpose: physical plans embed store-derived statistics (selectivity
@@ -18,13 +26,54 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..bitmat.store import BitMatStore
 from ..core.engine import EngineSession, LBREngine
 from ..exceptions import StorageError
 from ..rdf.graph import Graph
 from ..sync import UNSET
+
+
+class _SnapshotRefs:
+    """Reference counter that closes the snapshot's store at zero.
+
+    Born at 1 — the "is the current snapshot" reference, dropped by the
+    publisher when a successor swaps in (or by
+    :meth:`SnapshotManager.close`).  Readers add short-lived references
+    around each query execution, so the store closes exactly when the
+    snapshot is both retired and drained.
+    """
+
+    __slots__ = ("_store", "_count", "_lock")
+
+    def __init__(self, store: BitMatStore) -> None:
+        self._store = store
+        self._count = 1
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> bool:
+        """Add a reference; False when the snapshot already retired."""
+        with self._lock:
+            if self._count <= 0:
+                return False
+            self._count += 1
+            return True
+
+    def release(self) -> None:
+        """Drop a reference; the last one closes the store."""
+        with self._lock:
+            if self._count <= 0:
+                return
+            self._count -= 1
+            if self._count:
+                return
+        self._store.close()
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._count
 
 
 @dataclass(frozen=True)
@@ -35,6 +84,7 @@ class Snapshot:
     store: BitMatStore
     engine: LBREngine
     published_at: float  # wall-clock, for monitoring
+    refs: _SnapshotRefs = field(repr=False, compare=False, default=None)
 
     def session(self, max_join_rows: int | None = UNSET,
                 deadline: float | None = None) -> EngineSession:
@@ -59,6 +109,12 @@ class SnapshotManager:
     is atomic), so the read path never contends with a publisher;
     publications themselves serialize on a writer lock so versions stay
     monotonic.
+
+    Ownership: ``publish_store`` *adopts* the caller's reference on the
+    store — publishing is a handoff, and the snapshot machinery closes
+    the store once it is retired and drained.  Callers that keep using
+    a store after publishing it must ``retain()`` their own reference
+    first (the live-update subsystem does).
     """
 
     def __init__(self, engine_options: dict | None = None) -> None:
@@ -72,16 +128,25 @@ class SnapshotManager:
         self._next_version = 1
 
     def publish_store(self, store: BitMatStore) -> Snapshot:
-        """Freeze *store*, build its engine, and swap it in atomically."""
+        """Freeze *store*, build its engine, and swap it in atomically.
+
+        Adopts the caller's reference on *store* (see class docstring);
+        the previous snapshot's being-current reference is released, so
+        its store closes as soon as in-flight queries drain.
+        """
         store.freeze()
         engine = LBREngine(store, thread_safe=True, **self._engine_options)
         with self._write_lock:
             snapshot = Snapshot(version=self._next_version, store=store,
-                                engine=engine, published_at=time.time())
+                                engine=engine, published_at=time.time(),
+                                refs=_SnapshotRefs(store))
             self._next_version += 1
             # the swap: one reference assignment; in-flight sessions
             # keep the snapshot they started on
+            previous = self._current
             self._current = snapshot
+        if previous is not None:
+            previous.refs.release()
         return snapshot
 
     def publish_graph(self, graph: Graph) -> Snapshot:
@@ -100,3 +165,16 @@ class SnapshotManager:
         """Version of the current snapshot (0 before first publish)."""
         snapshot = self._current
         return 0 if snapshot is None else snapshot.version
+
+    def close(self) -> None:
+        """Release the current snapshot's being-current reference.
+
+        Called at service shutdown, after the scheduler stops; the
+        store closes once the last in-flight reader releases.  The
+        snapshot object stays readable for metadata (``describe()``
+        works on a closed store).
+        """
+        with self._write_lock:
+            snapshot = self._current
+        if snapshot is not None:
+            snapshot.refs.release()

@@ -39,7 +39,11 @@ from __future__ import annotations
 import io
 import os
 from dataclasses import dataclass
-from typing import Protocol
+
+from ..fsio import FileHandle, FileSystem, RealFS
+
+__all__ = ["FaultPlan", "FaultyFS", "FileHandle", "FileSystem", "MemFS",
+           "RealFS", "SimulatedCrash"]
 
 
 class SimulatedCrash(BaseException):
@@ -56,112 +60,9 @@ class SimulatedCrash(BaseException):
         self.op_name = op_name
 
 
-class FileHandle(Protocol):
-    """Writable (or readable) handle returned by a FileSystem."""
-
-    def write(self, data: bytes) -> int: ...
-    def read(self, size: int = -1) -> bytes: ...
-    def flush(self) -> None: ...
-    def fsync(self) -> None: ...
-    def close(self) -> None: ...
-    def tell(self) -> int: ...
-
-
-class FileSystem(Protocol):
-    """The file operations the update subsystem is allowed to use."""
-
-    def exists(self, path: str) -> bool: ...
-    def listdir(self, path: str) -> list[str]: ...
-    def makedirs(self, path: str) -> None: ...
-    def read_bytes(self, path: str) -> bytes: ...
-    def file_size(self, path: str) -> int: ...
-    def open_append(self, path: str) -> FileHandle: ...
-    def open_write(self, path: str) -> FileHandle: ...
-    def truncate(self, path: str, size: int) -> None: ...
-    def replace(self, src: str, dst: str) -> None: ...
-    def remove(self, path: str) -> None: ...
-    def fsync_dir(self, path: str) -> None: ...
-
-
-# ----------------------------------------------------------------------
-# real filesystem
-# ----------------------------------------------------------------------
-
-
-class _RealHandle:
-    __slots__ = ("_file",)
-
-    def __init__(self, file: io.BufferedIOBase) -> None:
-        self._file = file
-
-    def write(self, data: bytes) -> int:
-        return self._file.write(data)
-
-    def read(self, size: int = -1) -> bytes:
-        return self._file.read(size)
-
-    def flush(self) -> None:
-        self._file.flush()
-
-    def fsync(self) -> None:
-        self._file.flush()
-        os.fsync(self._file.fileno())
-
-    def close(self) -> None:
-        self._file.close()
-
-    def tell(self) -> int:
-        return self._file.tell()
-
-
-class RealFS:
-    """Production filesystem: ``os``/``io`` with real fsync."""
-
-    def exists(self, path: str) -> bool:
-        return os.path.exists(path)
-
-    def listdir(self, path: str) -> list[str]:
-        return sorted(os.listdir(path))
-
-    def makedirs(self, path: str) -> None:
-        os.makedirs(path, exist_ok=True)
-
-    def read_bytes(self, path: str) -> bytes:
-        with open(path, "rb") as file:
-            return file.read()
-
-    def file_size(self, path: str) -> int:
-        return os.path.getsize(path)
-
-    def open_append(self, path: str) -> _RealHandle:
-        return _RealHandle(open(path, "ab"))
-
-    def open_write(self, path: str) -> _RealHandle:
-        return _RealHandle(open(path, "wb"))
-
-    def truncate(self, path: str, size: int) -> None:
-        with open(path, "r+b") as file:
-            file.truncate(size)
-            file.flush()
-            os.fsync(file.fileno())
-
-    def replace(self, src: str, dst: str) -> None:
-        os.replace(src, dst)
-
-    def remove(self, path: str) -> None:
-        os.remove(path)
-
-    def fsync_dir(self, path: str) -> None:
-        # Directory fsync makes renames/creates/unlinks in it durable.
-        # Not supported on some platforms (e.g. Windows); best-effort.
-        try:
-            fd = os.open(path, os.O_RDONLY)
-        except OSError:  # pragma: no cover - platform dependent
-            return
-        try:
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+# FileHandle / FileSystem / RealFS now live in :mod:`repro.fsio` (a
+# dependency leaf shared with the persistence layer); re-exported above
+# so existing imports keep working.
 
 
 # ----------------------------------------------------------------------

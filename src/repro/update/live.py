@@ -46,9 +46,12 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-from ..bitmat.persist import dump_store_bytes, load_store_bytes
+from ..bitmat.backend import open_image
+from ..bitmat.mmapstore import dump_mmap_bytes
+from ..bitmat.persist import dump_store_bytes
 from ..bitmat.store import BitMatStore
 from ..exceptions import StorageError
+from ..fsio import atomic_write, join_path
 from ..rdf.graph import Graph
 from ..rdf.terms import Triple
 from .faultfs import FileSystem, RealFS
@@ -71,10 +74,15 @@ class LiveConfig:
     #: happens inline via :meth:`LiveGraphStore.compact` (deterministic
     #: operation schedules for the crash-recovery property suite)
     background: bool = True
+    #: on-disk base-image format: ``"mmap"`` writes ``LBRMMAP1`` (the
+    #: memory-mapped lazy format — checkpoints and compactions emit it,
+    #: so a restart opens the base without decoding a single predicate),
+    #: ``"store"`` the fully-decoded ``LBRSTORE2``.  Recovery sniffs the
+    #: image magic, so either format opens regardless of this setting.
+    image_format: str = "mmap"
 
 
-def _join(directory: str, name: str) -> str:
-    return f"{directory.rstrip('/')}/{name}"
+_join = join_path
 
 
 class LiveGraphStore:
@@ -91,6 +99,7 @@ class LiveGraphStore:
         self._write_lock = threading.RLock()
         self._base: BitMatStore | None = None
         self._base_seq = 0
+        self._image = ""  # current base image file name (manifest root)
         self._segments: list[str] = []
         self._delta = TripleDelta.empty()
         self._wal: WriteAheadLog | None = None
@@ -139,15 +148,20 @@ class LiveGraphStore:
 
     def _initialize(self, initial: Graph | BitMatStore | None) -> None:
         if isinstance(initial, BitMatStore):
-            base = initial
+            seed = initial
         else:
-            base = BitMatStore.build(initial if initial is not None
+            seed = BitMatStore.build(initial if initial is not None
                                      else Graph())
+        self._base_seq = 0
+        image = self._image_name()
+        self._write_file(image, self._dump_image(seed))
+        # the base *is* the on-disk image: serve the store reopened from
+        # the bytes just written (for the mmap format that means lazy,
+        # page-cache-backed reads), never the transient in-memory build
+        base = self._open_image(image)
         base.freeze()
         self._base = base
-        self._base_seq = 0
-        image = f"base-{0:08d}.lbr"
-        self._write_file(image, dump_store_bytes(base))
+        self._image = image
         segment = self._segment_name(1)
         self._segments = [segment]
         self._write_manifest(image)
@@ -159,10 +173,10 @@ class LiveGraphStore:
         image = manifest["base"]
         self._base_seq = manifest["base_seq"]
         self._segments = list(manifest["segments"])
-        payload = self.fs.read_bytes(_join(self.directory, image))
-        base = load_store_bytes(payload, source=image)
+        base = self._open_image(image)
         base.freeze()
         self._base = base
+        self._image = image
         self._delta = TripleDelta.empty()
         next_seq = self._base_seq + 1
         for segment in self._segments:
@@ -192,19 +206,26 @@ class LiveGraphStore:
         return f"wal-{first_seq:08d}.log"
 
     def _image_name(self) -> str:
-        return f"base-{self._base_seq:08d}.lbr"
+        suffix = "lbrm" if self.config.image_format == "mmap" else "lbr"
+        return f"base-{self._base_seq:08d}.{suffix}"
+
+    def _dump_image(self, store: BitMatStore) -> bytes:
+        """Serialize *store* in the configured base-image format."""
+        if self.config.image_format == "mmap":
+            return dump_mmap_bytes(store)
+        if self.config.image_format == "store":
+            return dump_store_bytes(store)
+        raise StorageError(
+            f"unknown image_format {self.config.image_format!r} "
+            "(expected 'mmap' or 'store')")
+
+    def _open_image(self, name: str) -> BitMatStore:
+        """Open a base image by magic, through the filesystem seam."""
+        return open_image(self.fs, _join(self.directory, name))
 
     def _write_file(self, name: str, payload: bytes) -> None:
         """Atomic durable write: temp → fsync → rename → dir fsync."""
-        temp = name + ".tmp"
-        handle = self.fs.open_write(_join(self.directory, temp))
-        handle.write(payload)
-        handle.flush()
-        handle.fsync()
-        handle.close()
-        self.fs.replace(_join(self.directory, temp),
-                        _join(self.directory, name))
-        self.fs.fsync_dir(self.directory)
+        atomic_write(self.fs, _join(self.directory, name), payload)
 
     def _write_manifest(self, image: str) -> None:
         manifest = {"format": _MANIFEST_FORMAT, "base": image,
@@ -293,15 +314,29 @@ class LiveGraphStore:
                     "checkpointed": checkpointed}
 
     def _publish_current(self) -> None:
-        """Rebuild and publish the visible store for the current delta."""
+        """Rebuild and publish the visible store for the current delta.
+
+        Reference protocol: the live store owns one reference on
+        ``_current`` (dropped when the next publication replaces it, or
+        at :meth:`close`), and the ``on_publish`` callback *adopts* a
+        reference of its own — the snapshot machinery closes it when
+        the snapshot retires.  All of this is free for plain in-memory
+        stores (their retain/close are no-ops) and exactly what keeps
+        an mmap-backed base from being unmapped under a reader.
+        """
         if self._delta.is_empty():
-            store = self._base
+            store = self._base.retain()
         else:
+            # the overlay's creation reference is ours; it retains the
+            # base internally for as long as it lives
             store = OverlayStore.build(self._base, self._delta)
             store.freeze()
+        previous = self._current
         self._current = store
+        if previous is not None:
+            previous.close()
         if self.on_publish is not None:
-            self.on_publish(store)
+            self.on_publish(store.retain())
 
     def _materialize(self, base: BitMatStore,
                      delta: TripleDelta) -> BitMatStore:
@@ -330,14 +365,26 @@ class LiveGraphStore:
         Caller holds the writer lock and guarantees ``self._delta``
         already reflects only batches after *base_seq* (empty for a
         synchronous checkpoint, rebased for a compaction swap).
+
+        The rebuilt in-memory *new_base* only exists to be serialized:
+        the base that actually serves reads is reopened from the image
+        just written ("the base is the on-disk image"), so a restart
+        recovers into the *same* store the live process was using —
+        and with the mmap format, the resident set stays bounded by
+        the predicates queries actually touch.
         """
-        old_names = {self._image_name(), *self._segments}
-        self._base = new_base
+        old_base = self._base
+        old_names = {self._image, *self._segments}
         self._base_seq = base_seq
         self._delta = (self._delta if base_seq < self.last_seq
                        else TripleDelta.empty())
         image = self._image_name()
-        self._write_file(image, dump_store_bytes(new_base))
+        self._write_file(image, self._dump_image(new_base))
+        new_base.close()
+        base = self._open_image(image)
+        base.freeze()
+        self._base = base
+        self._image = image
         # preserve the live sequence counter: in a compaction swap the
         # surviving segment already holds batches committed during the
         # rebuild, and their seqs must never be reissued
@@ -352,8 +399,13 @@ class LiveGraphStore:
         # garbage now (crash here leaves orphans, removed at next open)
         for name in old_names - {image, segment}:
             if self.fs.exists(_join(self.directory, name)):
+                # unlinking a mapped image is POSIX-safe: readers still
+                # holding the old base (via snapshot/overlay references)
+                # keep its pages until their last reference closes it
                 self.fs.remove(_join(self.directory, name))
         self.fs.fsync_dir(self.directory)
+        if old_base is not None:
+            old_base.close()
 
     # ------------------------------------------------------------------
     # compaction
@@ -377,7 +429,10 @@ class LiveGraphStore:
                 return False
             if self._delta.is_empty():
                 return False
-            base = self._base
+            # retain the base across the unlocked rebuild: a racing
+            # synchronous checkpoint may drop the live store's own
+            # reference mid-materialize
+            base = self._base.retain()
             delta = self._delta
             seal_seq = self.last_seq
             # rotate: seal the current segment, open the next one, and
@@ -397,6 +452,8 @@ class LiveGraphStore:
             with self._write_lock:
                 self._compaction_log = None
             raise
+        finally:
+            base.close()
         with self._write_lock:
             racing = self._compaction_log
             self._compaction_log = None
@@ -444,7 +501,7 @@ class LiveGraphStore:
                 self._wal.sync()
 
     def close(self) -> None:
-        """Flush and fsync the WAL, stop the compactor."""
+        """Flush and fsync the WAL, stop the compactor, drop store refs."""
         with self._write_lock:
             if self._closed:
                 return
@@ -454,6 +511,13 @@ class LiveGraphStore:
         self._compact_event.set()  # wake the compactor so it exits
         if self._compactor is not None:
             self._compactor.join(timeout=10)
+        # drop the live store's own references; published snapshots
+        # hold their own, so readers drain before anything unmaps
+        with self._write_lock:
+            if self._current is not None:
+                self._current.close()
+            if self._base is not None:
+                self._base.close()
 
     def __enter__(self) -> "LiveGraphStore":
         return self

@@ -30,13 +30,14 @@ region.
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping
 
 from ..bitmat.bitmat import BitMat
 from ..bitmat.bitvec import BitVector
 from ..bitmat.store import BitMatStore
-from ..exceptions import DictionaryError
+from ..exceptions import DictionaryError, StorageError
 from ..rdf.dictionary import Dictionary, _sort_key
 from ..rdf.terms import Term, Triple
 
@@ -287,10 +288,14 @@ class OverlayStore(BitMatStore):
     def __init__(self, dictionary: DeltaDictionary, pairs: _MergedPairs,
                  base: BitMatStore, delta: TripleDelta,
                  delta_pids: frozenset) -> None:
-        super().__init__(dictionary, pairs)
-        self.base = base
+        # set before super().__init__: _count_triples (called from the
+        # base constructor) reads them to avoid a full pair-list scan
+        self.base = base.retain()
         self.delta = delta
         self._delta_pids = delta_pids
+        self._refs = 1
+        self._refs_lock = threading.Lock()
+        super().__init__(dictionary, pairs)
         self._dims_match = (
             dictionary.num_subjects == base.num_subjects
             and dictionary.num_objects == base.num_objects
@@ -327,6 +332,23 @@ class OverlayStore(BitMatStore):
         delta_pids = frozenset(add_by_p) | frozenset(del_by_p)
         return cls(dictionary, pairs, base, delta, delta_pids)
 
+    def _count_triples(self) -> int:
+        # exact by the delta invariants (deleted ⊆ base, added ∩ base
+        # = ∅); summing the merged pair lists would force a lazy base
+        # (an mmap-backed store) to decode every predicate
+        return (self.base.num_triples - len(self.delta.deleted)
+                + len(self.delta.added))
+
+    def _prepare_freeze(self) -> None:
+        # prebuild O-S projections only for predicates the delta
+        # touched; untouched ones delegate to the base, which is either
+        # already frozen (its projections prebuilt) or a lazy backend
+        # serving them from locked caches — prebuilding those here
+        # would force an mmap base to decode every extent
+        for pid in self._delta_pids:
+            if pid in self._so_by_p:
+                self._os_pairs(pid)
+
     # -- base-cache delegation -----------------------------------------
 
     def _untouched(self, pid: int) -> bool:
@@ -359,3 +381,32 @@ class OverlayStore(BitMatStore):
         if self._untouched(pid):
             return self.base.load_po_row(pid, sid)
         return super().load_po_row(pid, sid)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def retain(self) -> "OverlayStore":
+        with self._refs_lock:
+            if self._refs <= 0:
+                raise StorageError("retain() on a closed overlay store")
+            self._refs += 1
+        return self
+
+    def close(self) -> None:
+        """Drop one reference; the last close releases the base ref.
+
+        The overlay's merged pair lists delegate to the base, so a
+        holder of resources (an mmap-backed base) stays open for as
+        long as any overlay over it is still referenced.
+        """
+        with self._refs_lock:
+            if self._refs <= 0:
+                return
+            self._refs -= 1
+            if self._refs:
+                return
+        self.base.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._refs_lock:
+            return self._refs <= 0

@@ -85,6 +85,41 @@ class TestIndexAndQuery:
         assert "julia" in capsys.readouterr().out
 
 
+class TestFreeze:
+    def test_freeze_from_ntriples(self, data_file, tmp_path, capsys):
+        from repro.bitmat import MmapStore
+
+        out = str(tmp_path / "data.lbrm")
+        assert main(["freeze", data_file, "--out", out]) == 0
+        message = capsys.readouterr().out
+        assert "froze 3 triples" in message
+        assert "4096-byte aligned" in message
+        store = MmapStore.open(out)
+        assert store.num_triples == 3
+        assert store.materializations == 0
+        store.close()
+
+    def test_freeze_from_store_image(self, data_file, tmp_path, capsys):
+        store_path = str(tmp_path / "data.lbr")
+        frozen_path = str(tmp_path / "data.lbrm")
+        assert main(["index", data_file, "--out", store_path]) == 0
+        assert main(["freeze", store_path, "--out", frozen_path]) == 0
+        capsys.readouterr()
+        # the frozen image answers queries identically to the source
+        assert main(["query", "--store", frozen_path,
+                     "--query", QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "julia" in out
+        assert "NULL" in out
+
+    def test_info_reads_frozen_image(self, data_file, tmp_path, capsys):
+        out = str(tmp_path / "data.lbrm")
+        main(["freeze", data_file, "--out", out])
+        capsys.readouterr()
+        assert main(["info", out]) == 0
+        assert "triples=3" in capsys.readouterr().out
+
+
 class TestServe:
     def test_serve_speaks_ndjson_and_shuts_down(self, data_file,
                                                 tmp_path, capsys):
@@ -127,6 +162,47 @@ class TestServe:
         assert exit_codes == [0]
         out = capsys.readouterr().out
         assert "listening on 127.0.0.1:" in out
+
+    def test_serve_mmap_store_lazily(self, data_file, tmp_path, capsys):
+        import threading
+        import time
+
+        from repro.server import ServerClient
+
+        frozen_path = str(tmp_path / "data.lbrm")
+        main(["freeze", data_file, "--out", frozen_path])
+        port_file = str(tmp_path / "port")
+        exit_codes: list[int] = []
+
+        def run_server() -> None:
+            exit_codes.append(main(
+                ["serve", "--store", frozen_path, "--mmap", "--port", "0",
+                 "--port-file", port_file, "--workers", "1"]))
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 30
+        while not os.path.exists(port_file):
+            assert time.monotonic() < deadline, "server never bound"
+            time.sleep(0.01)
+        with open(port_file, encoding="utf-8") as handle:
+            port = int(handle.read().strip())
+
+        with ServerClient("127.0.0.1", port) as client:
+            response = client.query(
+                "SELECT * WHERE { ?a <http://ex/actedIn> ?s }")
+            assert response["ok"]
+            assert response["rows"] == [
+                ["<http://ex/julia>", "<http://ex/seinfeld>"]]
+            extents = client.stats()["stats"]["store_caches"]["extents"]
+            # only the predicate the query touched was decoded
+            assert extents["materializations"] == 1
+            assert extents["extents"] == 2
+            assert client.shutdown()["stopping"]
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert exit_codes == [0]
+        assert ", mmap" in capsys.readouterr().out
 
     def test_serve_rejects_missing_source(self, capsys):
         # --live-dir is a third valid source, so the check moved from

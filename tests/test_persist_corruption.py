@@ -1,0 +1,239 @@
+"""Corruption corpus: every on-disk format rejects every mangled image.
+
+One parametrized battery over the three store formats (``LBRSTORE1``,
+``LBRSTORE2``, ``LBRMMAP1``): truncations at every stride, varint
+bombs, single-bit flips in checksummed regions, and trailing garbage
+must all surface as a typed :class:`~repro.exceptions.StorageError` —
+never a silent wrong dataset, never an uncontrolled exception.  Plus
+the atomicity regression: a failed save must leave the previous image
+untouched.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import pytest
+
+from repro import BitMatStore, StorageError
+from repro.bitmat.backend import open_store_bytes
+from repro.bitmat.mmapstore import _EXTENT, _HEADER, dump_mmap_bytes
+from repro.bitmat.persist import _MAGIC, _MAGIC_V1, dump_store_bytes
+
+FORMATS = ["LBRSTORE1", "LBRSTORE2", "LBRMMAP1"]
+
+
+def dump_as(store: BitMatStore, fmt: str) -> bytes:
+    if fmt == "LBRMMAP1":
+        return dump_mmap_bytes(store)
+    payload = dump_store_bytes(store)
+    if fmt == "LBRSTORE1":
+        # v1 is the v2 body without the CRC footer, under the old magic
+        return _MAGIC_V1 + payload[len(_MAGIC):-4]
+    return payload
+
+
+def rewrite_v2_crc(body: bytes) -> bytes:
+    """A v2 image whose CRC genuinely covers *body* — the adversarial
+    case where the checksum cannot save the parser."""
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def mmap_regions(payload: bytes) -> list[tuple[int, int]]:
+    """The checksummed (start, end) intervals of an LBRMMAP1 image.
+
+    Inter-extent padding is deliberately NOT covered by any CRC, so
+    bit-flip tests must aim at bytes a reader actually consumes.
+    """
+    fields = _HEADER.unpack(payload[:_HEADER.size])
+    (_, _, _, _, _, _, _, num_predicates, _, dict_off, dict_len,
+     index_off, index_len, _, _, _, _) = fields
+    regions = [(0, _HEADER.size), (dict_off, dict_off + dict_len),
+               (index_off, index_off + index_len)]
+    for pid in range(1, num_predicates + 1):
+        record = payload[index_off + (pid - 1) * _EXTENT.size:
+                         index_off + pid * _EXTENT.size]
+        offset, length, _, _ = _EXTENT.unpack(record)
+        if length:
+            regions.append((offset, offset + length))
+    return regions
+
+
+def patch_extent(payload: bytes, blob: bytes) -> bytes:
+    """Overwrite the first non-empty extent with *blob*, recomputing
+    the extent CRC, the index CRC, and the header CRC — corruption the
+    checksums vouch for, so the decoder itself must reject it."""
+    image = bytearray(payload)
+    fields = list(_HEADER.unpack(payload[:_HEADER.size]))
+    num_predicates, index_off, index_len = fields[7], fields[11], fields[12]
+    for pid in range(1, num_predicates + 1):
+        record_off = index_off + (pid - 1) * _EXTENT.size
+        offset, length, pair_count, _ = _EXTENT.unpack(
+            payload[record_off:record_off + _EXTENT.size])
+        if not length:
+            continue
+        assert len(blob) <= length, "patch must fit the extent"
+        image[offset:offset + len(blob)] = blob
+        patched = bytes(image[offset:offset + length])
+        image[record_off:record_off + _EXTENT.size] = _EXTENT.pack(
+            offset, length, pair_count, zlib.crc32(patched))
+        break
+    index_bytes = bytes(image[index_off:index_off + index_len])
+    fields[15] = zlib.crc32(index_bytes)  # index_crc
+    header = _HEADER.pack(*fields)
+    header = header[:-4] + struct.pack("<I", zlib.crc32(header[:-4]))
+    image[:_HEADER.size] = header
+    return bytes(image)
+
+
+def open_and_scan(payload: bytes) -> None:
+    """Open an image and force every lazy decode.
+
+    ``LBRMMAP1`` validates header/dictionary/index at open but extent
+    bodies only at materialization — damage there must still surface
+    as a StorageError, just on first touch instead of at open.
+    """
+    store = open_store_bytes(payload)
+    try:
+        list(store.iter_triples())
+    finally:
+        store.close()
+
+
+@pytest.fixture(scope="module")
+def images(figure_store) -> dict[str, bytes]:
+    return {fmt: dump_as(figure_store, fmt) for fmt in FORMATS}
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+class TestCorruptionCorpus:
+    def test_round_trips_before_mangling(self, images, figure_store, fmt):
+        store = open_store_bytes(images[fmt])
+        assert (sorted(store.iter_triples())
+                == sorted(figure_store.iter_triples()))
+        store.close()
+
+    def test_every_truncation_is_rejected(self, images, fmt):
+        payload = images[fmt]
+        # every strict prefix on a stride, plus the boundary cases
+        lengths = set(range(0, len(payload), 37))
+        lengths.update((1, 8, 9, len(payload) // 2, len(payload) - 1))
+        for length in sorted(lengths):
+            with pytest.raises(StorageError):
+                open_store_bytes(payload[:length])
+
+    def test_trailing_bytes_are_rejected(self, images, fmt):
+        for junk in (b"\x00", b"\x00" * 64, b"LBRSTORE2"):
+            with pytest.raises(StorageError):
+                open_store_bytes(images[fmt] + junk)
+
+    def test_varint_bomb_is_rejected(self, images, fmt):
+        """A run of continuation bits must die at the 10-byte cap, not
+        decode into an unbounded integer."""
+        bomb = b"\xff" * 11
+        if fmt == "LBRSTORE1":
+            payload = _MAGIC_V1 + bomb
+        elif fmt == "LBRSTORE2":
+            # recompute the CRC so only the varint cap can object
+            payload = rewrite_v2_crc(_MAGIC + bomb)
+        else:
+            payload = patch_extent(images[fmt], bomb)
+        with pytest.raises(StorageError) as excinfo:
+            open_and_scan(payload)
+        assert "varint" in str(excinfo.value)
+
+    def test_bit_flips_in_checksummed_bytes_are_rejected(self, images,
+                                                         fmt):
+        payload = images[fmt]
+        if fmt == "LBRSTORE1":
+            pytest.skip("v1 has no checksum; its parser catches only "
+                        "structural damage (covered by the other tests)")
+        if fmt == "LBRSTORE2":
+            positions = range(0, len(payload), 101)
+        else:
+            positions = [start + step
+                         for start, end in mmap_regions(payload)
+                         for step in range(0, end - start,
+                                           max(1, (end - start) // 3))]
+        for position in positions:
+            mangled = bytearray(payload)
+            mangled[position] ^= 0x04
+            with pytest.raises(StorageError):
+                open_and_scan(bytes(mangled))
+
+
+class TestCraftedMmapCorruption:
+    """Damage the checksums cannot catch (they were recomputed)."""
+
+    def test_undeclared_pairs_in_extent(self, images):
+        # an extent whose varint stream decodes fine but disagrees with
+        # the index's pair_count
+        payload = patch_extent(images["LBRMMAP1"],
+                               bytes([1, 0, 0]))  # count=1, pair (0,0)
+        with pytest.raises(StorageError):
+            open_and_scan(payload)
+
+    def test_file_length_mismatch(self, images):
+        payload = bytearray(images["LBRMMAP1"])
+        fields = list(_HEADER.unpack(bytes(payload[:_HEADER.size])))
+        fields[13] += 4096  # file_len
+        header = _HEADER.pack(*fields)
+        header = header[:-4] + struct.pack("<I", zlib.crc32(header[:-4]))
+        payload[:_HEADER.size] = header
+        with pytest.raises(StorageError):
+            open_store_bytes(bytes(payload))
+
+    def test_out_of_bounds_extent(self, images):
+        payload = bytearray(images["LBRMMAP1"])
+        fields = list(_HEADER.unpack(bytes(payload[:_HEADER.size])))
+        num_predicates, index_off, index_len = (fields[7], fields[11],
+                                                fields[12])
+        for pid in range(1, num_predicates + 1):
+            record_off = index_off + (pid - 1) * _EXTENT.size
+            offset, length, pair_count, crc = _EXTENT.unpack(
+                bytes(payload[record_off:record_off + _EXTENT.size]))
+            if not length:
+                continue
+            payload[record_off:record_off + _EXTENT.size] = _EXTENT.pack(
+                fields[13] * 2, length, pair_count, crc)  # past the end
+            break
+        index_bytes = bytes(payload[index_off:index_off + index_len])
+        fields[15] = zlib.crc32(index_bytes)
+        header = _HEADER.pack(*fields)
+        header = header[:-4] + struct.pack("<I", zlib.crc32(header[:-4]))
+        payload[:_HEADER.size] = header
+        with pytest.raises(StorageError):
+            open_store_bytes(bytes(payload))
+
+
+class TestAtomicSave:
+    def failing_replace(self, monkeypatch):
+        from repro import fsio
+
+        def boom(self, source, destination):
+            raise OSError("simulated rename failure")
+
+        monkeypatch.setattr(fsio.RealFS, "replace", boom)
+
+    @pytest.mark.parametrize("saver", ["save_store", "save_mmap_store"])
+    def test_failed_save_leaves_previous_image_intact(self, figure_store,
+                                                      tmp_path,
+                                                      monkeypatch, saver):
+        from repro.bitmat.mmapstore import save_mmap_store
+        from repro.bitmat.persist import save_store
+
+        save = {"save_store": save_store,
+                "save_mmap_store": save_mmap_store}[saver]
+        path = str(tmp_path / "image.bin")
+        save(figure_store, path)
+        with open(path, "rb") as handle:
+            before = handle.read()
+        self.failing_replace(monkeypatch)
+        with pytest.raises(OSError):
+            save(figure_store, path)
+        with open(path, "rb") as handle:
+            assert handle.read() == before
+        store = open_store_bytes(before, source=path)
+        assert store.num_triples == figure_store.num_triples
+        store.close()

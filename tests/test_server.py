@@ -553,3 +553,30 @@ class TestClientRetry:
     def test_zero_retries_keeps_legacy_behavior(self):
         with pytest.raises(OSError):
             ServerClient("127.0.0.1", 1, timeout=0.2)
+
+    def test_never_sleeps_after_final_attempt(self, monkeypatch):
+        """Pin the retry schedule: sleeps happen strictly *between*
+        attempts, so an exhausted request never burns one last backoff
+        delay before raising."""
+        from repro.exceptions import RetriesExhaustedError
+        from repro.server import net
+
+        retries = 3
+        client = ServerClient("127.0.0.1", 1, timeout=0.2,
+                              retries=retries, backoff_base=0.001)
+        events: list[str] = []
+
+        def failing_connect():
+            events.append("attempt")
+            raise ConnectionRefusedError("nobody home")
+
+        monkeypatch.setattr(client, "_connect", failing_connect)
+        monkeypatch.setattr(net.time, "sleep",
+                            lambda _delay: events.append("sleep"))
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            client.request({"op": "ping"})
+        client.close()
+        assert excinfo.value.attempts == retries + 1
+        # attempt, sleep, attempt, sleep, attempt, sleep, attempt —
+        # never a sleep after the attempt that exhausts the budget
+        assert events == ["attempt", "sleep"] * retries + ["attempt"]
