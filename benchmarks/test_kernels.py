@@ -1,0 +1,222 @@
+"""Kernel microbenchmarks: batched block ops vs per-element loops.
+
+The tentpole lowered the join's inner loops onto block operations —
+bitvec AND/OR/fold over run bounds and packed ints, candidate scans
+over flat ``array('q')`` buffers, columnar row emission.  This harness
+times each kernel against a *per-element reference loop* (the shape of
+the code the lowering replaced) on both sparse and dense operands, and
+asserts the kernels stay result-identical to the references.
+
+The gated metric is the geometric mean of the batched-over-reference
+speedups — a ratio of two measurements on the same machine, so it is
+machine-independent in the same way the hot-path warm/cold geomean is.
+Machine-readable timings land in ``benchmarks/out/BENCH_kernels.json``;
+the committed baseline lives in ``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from array import array
+
+import pytest
+
+from repro.bitmat.bitvec import BitVector
+from repro.core.results import decode_rows
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+OUT_PATH = os.path.join(OUT_DIR, "BENCH_kernels.json")
+
+#: vector width (bits) of every operand
+SIZE = 1 << 16
+#: independent timing trials per kernel (min tames scheduler noise)
+TRIALS = 3
+
+# ---------------------------------------------------------------------------
+# operands: deterministic sparse / dense / clustered shapes
+# ---------------------------------------------------------------------------
+
+
+def _sparse(step: int, phase: int = 0) -> BitVector:
+    """Isolated bits every *step* positions — run length 1."""
+    return BitVector.from_sorted_positions(
+        SIZE, range(phase, SIZE, step))
+
+
+def _dense(run: int = 48, gap: int = 16, phase: int = 0) -> BitVector:
+    """Long runs with short gaps — ~75% fill, few intervals."""
+    period = run + gap
+    return BitVector.from_intervals(
+        SIZE, ((start, min(start + run, SIZE))
+               for start in range(phase, SIZE, period)))
+
+
+OPERANDS = {
+    "sparse": (_sparse(97), _sparse(89, phase=13)),
+    "dense": (_dense(), _dense(phase=29)),
+    "mixed": (_sparse(61), _dense()),
+}
+
+#: 64 row vectors of a predicate BitMat, as fold sees them
+FOLD_ROWS = [_sparse(193 + 2 * i, phase=i) for i in range(64)]
+
+
+class _FlatDictionary:
+    """Just enough of a Dictionary for decode_rows: term tables."""
+
+    def __init__(self, size: int):
+        self._tables = {space: [f"{space}:{i}" for i in range(size)]
+                        for space in ("s", "o")}
+
+    def term_table(self, space: str) -> list:
+        return self._tables[space]
+
+    def decode(self, space: str, value: int) -> str:
+        return self._tables[space][value]
+
+
+EMIT_DICT = _FlatDictionary(4096)
+#: join output shape: many rows, few distinct ids per column
+EMIT_ROWS = [((i * 7) % 64, (i * 13) % 512, (i * 3) % 64)
+             for i in range(20_000)]
+EMIT_SPACES = ("s", "o", "s")
+
+# ---------------------------------------------------------------------------
+# kernels and their per-element reference loops
+# ---------------------------------------------------------------------------
+
+
+def _ref_and(a: BitVector, b: BitVector) -> list[int]:
+    member = b.membership()
+    out = []
+    for position in a.iter_positions():
+        if member(position):
+            out.append(position)
+    return out
+
+
+def _ref_or(a: BitVector, b: BitVector) -> list[int]:
+    seen = set()
+    for position in a.iter_positions():
+        seen.add(position)
+    for position in b.iter_positions():
+        seen.add(position)
+    return sorted(seen)
+
+
+def _ref_fold(rows: list[BitVector]) -> list[int]:
+    seen = set()
+    for row in rows:
+        for position in row.iter_positions():
+            seen.add(position)
+    return sorted(seen)
+
+
+def _ref_scan(vec: BitVector) -> array:
+    out = array("q")
+    append = out.append
+    for position in vec.iter_positions():
+        append(position)
+    return out
+
+
+def _ref_emit(rows, spaces, dictionary) -> list[tuple]:
+    decode = dictionary.decode
+    return [tuple(decode(space, value)
+                  for space, value in zip(spaces, row))
+            for row in rows]
+
+
+def _kernel_cases():
+    cases = []
+    for shape, (a, b) in OPERANDS.items():
+        cases.append((f"and_{shape}", 200,
+                      lambda a=a, b=b: a.and_(b).positions(),
+                      lambda a=a, b=b: _ref_and(a, b)))
+        cases.append((f"or_{shape}", 60,
+                      lambda a=a, b=b: a.or_(b).positions(),
+                      lambda a=a, b=b: _ref_or(a, b)))
+    cases.append((
+        "fold_columns", 40,
+        lambda: BitVector.union_many(FOLD_ROWS, SIZE).positions(),
+        lambda: _ref_fold(FOLD_ROWS)))
+    cases.append((
+        "candidate_scan_sparse", 300,
+        lambda: list(OPERANDS["sparse"][0].positions_array()),
+        lambda: list(_ref_scan(OPERANDS["sparse"][0]))))
+    cases.append((
+        "candidate_scan_dense", 30,
+        lambda: list(OPERANDS["dense"][0].positions_array()),
+        lambda: list(_ref_scan(OPERANDS["dense"][0]))))
+    cases.append((
+        "row_emission", 10,
+        lambda: decode_rows(EMIT_ROWS, EMIT_SPACES, EMIT_DICT),
+        lambda: _ref_emit(EMIT_ROWS, EMIT_SPACES, EMIT_DICT)))
+    return cases
+
+
+def _time(fn, repeats: int) -> float:
+    """Best total seconds for *repeats* calls over TRIALS attempts."""
+    best = math.inf
+    for _ in range(TRIALS):
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@pytest.fixture(scope="module")
+def kernels_report():
+    report = {"size": SIZE, "trials": TRIALS, "kernels": {}}
+    for name, repeats, batched, reference in _kernel_cases():
+        # correctness first: the kernel must agree with the loop
+        assert list(batched()) == list(reference()), name
+        batched_s = _time(batched, repeats)
+        reference_s = _time(reference, repeats)
+        report["kernels"][name] = {
+            "repeats": repeats,
+            "batched_ms": batched_s * 1000,
+            "reference_ms": reference_s * 1000,
+            "speedup": reference_s / batched_s,
+        }
+    report["summary"] = {
+        "geomean_batch_speedup": _geomean(
+            entry["speedup"] for entry in report["kernels"].values()),
+    }
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"\n[kernels geomean batch speedup: "
+          f"{report['summary']['geomean_batch_speedup']:.2f}x]")
+    print(f"[written to {OUT_PATH}]")
+    return report
+
+
+def test_kernels_beat_reference_loops(kernels_report):
+    """Batched kernels must beat per-element loops on aggregate."""
+    assert kernels_report["summary"]["geomean_batch_speedup"] >= 1.2, (
+        kernels_report["summary"])
+
+
+def test_dense_operands_gain_most(kernels_report):
+    """Run-compressed operands are where block ops shine."""
+    kernels = kernels_report["kernels"]
+    assert kernels["and_dense"]["speedup"] > 1.0, kernels["and_dense"]
+    assert kernels["candidate_scan_dense"]["speedup"] > 1.0, (
+        kernels["candidate_scan_dense"])
+
+
+def test_every_kernel_reported(kernels_report):
+    names = {name for name, *_ in _kernel_cases()}
+    assert set(kernels_report["kernels"]) == names
+    for name, entry in kernels_report["kernels"].items():
+        assert entry["batched_ms"] > 0 and entry["reference_ms"] > 0, name

@@ -8,8 +8,11 @@ report's workload-level warm-over-cold ratio, which is a
 machine-independent measure unlike raw milliseconds.  ``--section`` and
 ``--metric`` point the gate at a different report section (e.g.
 ``--section cold_start --metric mmap_speedup_vs_rebuild`` for the
-cold-start report), and ``--floor`` adds an *absolute* minimum the
-current value must clear regardless of what the baseline achieved.
+cold-start report), ``--floor`` adds an *absolute* minimum the
+current value must clear regardless of what the baseline achieved,
+and ``--min-ratio`` requires current ≥ baseline × ratio — with a
+ratio above 1 the gate demands a *measured improvement* over the
+committed baseline instead of mere non-regression.
 Committed baselines live in ``benchmarks/baselines/``.
 
 A one-line markdown table is printed and, when running under GitHub
@@ -60,18 +63,24 @@ def compare(baseline: dict, current: dict,
             max_regression: float = 0.25,
             section: str = GATED_SECTION,
             metric: str = GATED_METRIC,
-            absolute_floor: float | None = None) -> dict:
+            absolute_floor: float | None = None,
+            min_ratio: float | None = None) -> dict:
     """Gate verdict plus the numbers behind it.
 
-    The floor is the *stricter* of baseline×(1−max_regression) and the
-    optional absolute floor — a fast baseline machine cannot loosen an
-    acceptance criterion, and a slow one cannot hide a regression.
+    The floor is the *strictest* of baseline×(1−max_regression), the
+    optional absolute floor, and the optional baseline×min_ratio — a
+    fast baseline machine cannot loosen an acceptance criterion, a
+    slow one cannot hide a regression, and ``min_ratio > 1`` turns the
+    gate from "no regression" into "demonstrated improvement over the
+    committed baseline".
     """
     base_value = float(baseline[section][metric])
     current_value = float(current[section][metric])
     floor = base_value * (1.0 - max_regression)
     if absolute_floor is not None:
         floor = max(floor, absolute_floor)
+    if min_ratio is not None:
+        floor = max(floor, base_value * min_ratio)
     ratio = current_value / base_value if base_value else float("inf")
     result = {
         "metric": metric,
@@ -82,6 +91,7 @@ def compare(baseline: dict, current: dict,
         "ratio": ratio,
         "max_regression": max_regression,
         "absolute_floor": absolute_floor,
+        "min_ratio": min_ratio,
         "regressed": current_value < floor,
         "report": _report_metrics(section, baseline[section],
                                   current[section], metric),
@@ -92,8 +102,12 @@ def compare(baseline: dict, current: dict,
 def format_table(result: dict) -> str:
     """The one-line markdown verdict table for the job summary."""
     verdict = ("REGRESSED" if result["regressed"] else "ok")
-    header = ("| gate | baseline | current | floor (-"
-              f"{result['max_regression']:.0%}) | ratio | verdict |")
+    if result.get("min_ratio"):
+        floor_label = f"floor (≥{result['min_ratio']:g}x base)"
+    else:
+        floor_label = f"floor (-{result['max_regression']:.0%})"
+    header = (f"| gate | baseline | current | {floor_label} "
+              "| ratio | verdict |")
     rule = "|---|---|---|---|---|---|"
     row = (f"| {result['metric']} | {result['baseline']:.2f}x "
            f"| {result['current']:.2f}x | {result['floor']:.2f}x "
@@ -122,13 +136,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--floor", type=float, default=None,
                         help="absolute minimum the current value must "
                              "clear, in addition to the relative gate")
+    parser.add_argument("--min-ratio", type=float, default=None,
+                        help="require current ≥ baseline × RATIO — a "
+                             "value > 1 demands a measured improvement "
+                             "over the committed baseline, not just "
+                             "the absence of a regression")
     args = parser.parse_args(argv)
 
     try:
         baseline = load_report(args.baseline, args.section)
         current = load_report(args.current, args.section)
         result = compare(baseline, current, args.max_regression,
-                         args.section, args.metric, args.floor)
+                         args.section, args.metric, args.floor,
+                         args.min_ratio)
     except (OSError, ValueError, KeyError, TypeError) as exc:
         print(f"bench-compare: cannot load reports: {exc!r}",
               file=sys.stderr)

@@ -31,6 +31,7 @@ from .mmapstore import MAGIC as MMAP_MAGIC
 from .mmapstore import MmapStore
 from .persist import _MAGIC as STORE2_MAGIC
 from .persist import _MAGIC_V1 as STORE1_MAGIC
+from .persist import _MAGIC_V3 as STORE3_MAGIC
 from .persist import load_store_bytes
 from .store import BitMatStore
 
@@ -78,6 +79,10 @@ class StoreBackend(Protocol):
     def iter_triples(self): ...
     def encode_term(self, term, position: str): ...
 
+    # per-predicate statistics for the cost-based ordering pass
+    # (:class:`~repro.bitmat.stats.StoreStats` or None = heuristic)
+    def stats(self): ...
+
     # lifecycle
     def freeze(self): ...
     @property
@@ -111,6 +116,8 @@ def register_format(fmt: StoreFormat) -> None:
 
 register_format(StoreFormat(MMAP_MAGIC, "LBRMMAP1",
                             MmapStore.open, MmapStore.from_bytes))
+register_format(StoreFormat(STORE3_MAGIC, "LBRSTORE3",
+                            None, load_store_bytes))
 register_format(StoreFormat(STORE2_MAGIC, "LBRSTORE2",
                             None, load_store_bytes))
 register_format(StoreFormat(STORE1_MAGIC, "LBRSTORE1",

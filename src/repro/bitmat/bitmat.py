@@ -19,6 +19,7 @@ tests can check algebraic identities without defensive copying.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Iterable, Iterator, Literal
 
 from .bitvec import BitVector
@@ -163,8 +164,37 @@ class BitMat:
           fold is exactly ``old_col_fold ∧ mask``.
         """
         if dim == "row":
-            kept = {row: vec for row, vec in self._rows.items()
-                    if row in mask}
+            rows = self._rows
+            # no-op pre-check: when the (usually cached) row fold is a
+            # subset of the mask, nothing can be cleared — skip building
+            # the kept dict entirely.  One packed AND vs O(rows) probes.
+            if self._row_mask is not None:
+                fold_bits = self._row_mask._ensure_bits()
+                if fold_bits & mask._ensure_bits() == fold_bits:
+                    return self
+            if mask.count() * 4 < len(rows):
+                # restrictive mask: walk its surviving positions and
+                # pull matching rows by dict lookup instead of testing
+                # every stored row
+                kept = {}
+                bounds = mask._ensure_bounds()
+                for i in range(0, len(bounds), 2):
+                    for row in range(bounds[i], bounds[i + 1]):
+                        vec = rows.get(row)
+                        if vec is not None:
+                            kept[row] = vec
+            # batch membership test: bisect into the mask's run bounds,
+            # or O(1) byte probes against its packed mirror — never the
+            # per-row big-int shift of the generic bit test
+            elif mask._bounds is not None:
+                bounds = mask._bounds
+                kept = {row: vec for row, vec in rows.items()
+                        if bisect_right(bounds, row) & 1}
+            else:
+                data = mask._bits.to_bytes(
+                    (max(mask.size, self.num_rows) + 7) // 8, "little")
+                kept = {row: vec for row, vec in rows.items()
+                        if data[row >> 3] >> (row & 7) & 1}
             if len(kept) == len(self._rows):
                 return self
             out = BitMat(self.num_rows, self.num_cols, kept)
@@ -172,17 +202,26 @@ class BitMat:
                 out._row_mask = self._row_mask.and_(mask).resized(
                     self.num_rows)
             return out
+        # col-dim: one packed AND per row against the mask's mirror;
+        # an unchanged row (subset of the mask) is detected by integer
+        # equality and keeps the cached original — no count() calls, no
+        # throwaway BitVector for the (common) no-op rows
+        mask_bits = mask._ensure_bits()
+        if self._col_mask is not None:
+            fold_bits = self._col_mask._ensure_bits()
+            if fold_bits & mask_bits == fold_bits:
+                return self
         kept = {}
         changed = False
         for row, vec in self._rows.items():
-            masked = vec.and_(mask)
-            if masked.count() == vec.count():
+            vec_bits = vec._ensure_bits()
+            masked_bits = vec_bits & mask_bits
+            if masked_bits == vec_bits:
                 kept[row] = vec  # unchanged: keep the cached original
-            elif masked:
-                kept[row] = masked
-                changed = True
             else:
                 changed = True
+                if masked_bits:
+                    kept[row] = BitVector(self.num_cols, _bits=masked_bits)
         if not changed:
             return self
         out = BitMat(self.num_rows, self.num_cols, kept)

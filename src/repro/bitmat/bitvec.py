@@ -20,8 +20,21 @@ representation ablation in ``benchmarks/test_representation.py``).
 
 from __future__ import annotations
 
+import os
+from array import array
 from bisect import bisect_left, bisect_right
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
+
+#: Optional numpy fast path for bulk position decoding.  Opt-in via the
+#: ``LBR_NUMPY`` environment variable so the stdlib-only build stays the
+#: default (``dependencies = []``); results are bit-identical either way
+#: (pinned by the kernel parity tests).
+_np = None
+if os.environ.get("LBR_NUMPY", "").lower() not in ("", "0", "false"):
+    try:  # pragma: no cover - exercised via the parity tests
+        import numpy as _np
+    except ImportError:
+        _np = None
 
 #: run-count threshold below which pure interval algorithms are used
 _SPARSE_RUNS = 64
@@ -177,7 +190,8 @@ def _bounds_from_bits(bits: int) -> list[int]:
 class BitVector:
     """An immutable compressed bitvector over positions ``[0, size)``."""
 
-    __slots__ = ("size", "_bounds", "_bits", "_count", "_positions")
+    __slots__ = ("size", "_bounds", "_bits", "_count", "_positions",
+                 "_members")
 
     def __init__(self, size: int, _bounds: list[int] | None = None, *,
                  _bits: int | None = None) -> None:
@@ -190,6 +204,7 @@ class BitVector:
         self._bits = _bits
         self._count: int | None = None
         self._positions: tuple[int, ...] | None = None
+        self._members: frozenset[int] | None = None
 
     # ------------------------------------------------------------------
     # backing management
@@ -307,6 +322,48 @@ class BitVector:
                 self._positions = cached
         return cached
 
+    def positions_array(self) -> array:
+        """Set positions as one flat ``array('q')`` buffer.
+
+        The batched join kernels and the statistics collector consume
+        candidate lists as contiguous int64 buffers; building them run
+        by run keeps the conversion at C speed (``extend(range(...))``
+        per run, or one ``unpackbits``/``flatnonzero`` sweep on the
+        numpy fast path).
+        """
+        if _np is not None and self._bits is not None:
+            data = self._bits.to_bytes((self.size + 7) // 8, "little")
+            positions = _np.flatnonzero(_np.unpackbits(
+                _np.frombuffer(data, dtype=_np.uint8), bitorder="little"))
+            out = array("q")
+            out.frombytes(positions.astype("<i8").tobytes())
+            return out
+        out = array("q")
+        extend = out.extend
+        bounds = self._ensure_bounds()
+        for i in range(0, len(bounds), 2):
+            extend(range(bounds[i], bounds[i + 1]))
+        return out
+
+    def membership(self) -> Callable[[int], bool]:
+        """A fast positional-membership callable.
+
+        Sparse vectors pin a frozenset (C-speed ``in``) under the same
+        threshold as :meth:`positions_cached`; dense vectors fall back
+        to the bisect path over run bounds — materializing the bounds
+        if needed, so a packed operand never pays the O(position)
+        big-int shift of the raw bit test per probe.
+        """
+        members = self._members
+        if members is None:
+            if self.count() <= _POSITIONS_CACHE_MAX:
+                members = frozenset(self.iter_positions())
+                self._members = members
+            else:
+                self._ensure_bounds()
+                return self.__contains__
+        return members.__contains__
+
     def intervals(self) -> list[tuple[int, int]]:
         """The run decomposition as (start, stop) pairs."""
         bounds = self._ensure_bounds()
@@ -419,6 +476,46 @@ class BitVector:
             else:
                 j += 2
         return False
+
+    @staticmethod
+    def and_many(vectors: Iterable["BitVector"]) -> "BitVector":
+        """AND of many vectors in one pass (the semi-join mask kernel).
+
+        Sparse operands intersect on their runs with early exit; as
+        soon as the running result (or any operand) is packed, the rest
+        of the reduction collapses to chained big-int ``&`` with no
+        intermediate :class:`BitVector` allocations.
+        """
+        collected = list(vectors)
+        if not collected:
+            raise ValueError("and_many needs at least one vector")
+        size = min(vector.size for vector in collected)
+        if len(collected) == 1:
+            return collected[0].resized(size)
+        sparse = True
+        for vector in collected:
+            if not vector:
+                return BitVector(size)
+            if (vector._bounds is None
+                    or len(vector._bounds) > 2 * _SPARSE_RUNS):
+                sparse = False
+        if sparse:
+            bounds = collected[0]._bounds
+            for vector in collected[1:]:
+                bounds = _intersect_bounds(bounds, vector._bounds)
+                if not bounds:
+                    break
+            if bounds and bounds[-1] > size:
+                bounds = _clip_bounds(bounds, size)
+            return BitVector(size, list(bounds))
+        bits = collected[0]._ensure_bits()
+        for vector in collected[1:]:
+            bits &= vector._ensure_bits()
+            if not bits:
+                break
+        if bits and bits.bit_length() > size:
+            bits &= (1 << size) - 1
+        return BitVector(size, _bits=bits)
 
     @staticmethod
     def union_many(vectors: Iterable["BitVector"], size: int) -> "BitVector":

@@ -14,6 +14,11 @@ exactly that lifecycle on disk.  A frozen dataset is written once as:
 * the extent index: one ``(offset, length, pair_count, crc)`` record
   per predicate id, so any predicate's slice is addressable without
   touching the others;
+* (version ≥ 2) a statistics section — u32 length + u32 CRC32 + the
+  varint-encoded per-predicate statistics of
+  :mod:`repro.bitmat.stats` — decoded eagerly at open so the
+  cost-based ordering pass never has to touch an extent; version-1
+  images still load, with statistics absent;
 * per-predicate extents, each starting on a page boundary and holding
   the predicate's delta-encoded sorted (sid, oid) pairs — byte-for-byte
   the ``LBRSTORE2`` per-predicate block
@@ -48,10 +53,16 @@ from ..fsio import RealFS, atomic_write
 from ..lru import StripedLRUCache
 from .persist import (read_dictionary, read_pairs, write_dictionary,
                       write_pairs)
+from .stats import StoreStats, read_stats
 from .store import BitMatStore
 
 MAGIC = b"LBRMMAP1"
-VERSION = 1
+#: current written version; version-1 images (no statistics section)
+#: still open — the header's version field is the compatibility switch
+VERSION = 2
+_MIN_VERSION = 1
+#: statistics section prefix: payload length + payload CRC32
+_STATS_PREFIX = struct.Struct("<II")
 #: default extent alignment: 4 KiB pages
 DEFAULT_PAGE_SHIFT = 12
 
@@ -99,7 +110,13 @@ def dump_mmap_bytes(store: BitMatStore,
     index_off = dict_off + len(dict_bytes)
     index_len = num_predicates * _EXTENT.size
 
-    offset = align(index_off + index_len)
+    stats = store.stats()
+    if stats is None:
+        stats = StoreStats.collect(store._so_by_p)
+    stats_bytes = stats.to_bytes()
+    stats_off = index_off + index_len
+
+    offset = align(stats_off + _STATS_PREFIX.size + len(stats_bytes))
     extents: list[tuple[int, int, int, int]] = []
     blobs: list[tuple[int, bytes]] = []
     total_triples = 0
@@ -130,6 +147,10 @@ def dump_mmap_bytes(store: BitMatStore,
     image[:len(header)] = header
     image[dict_off:dict_off + len(dict_bytes)] = dict_bytes
     image[index_off:index_off + index_len] = index_bytes
+    image[stats_off:stats_off + _STATS_PREFIX.size] = _STATS_PREFIX.pack(
+        len(stats_bytes), zlib.crc32(stats_bytes))
+    image[stats_off + _STATS_PREFIX.size:
+          stats_off + _STATS_PREFIX.size + len(stats_bytes)] = stats_bytes
     for blob_offset, blob in blobs:
         image[blob_offset:blob_offset + len(blob)] = blob
     return bytes(image)
@@ -251,7 +272,7 @@ class MmapStore(BitMatStore):
         if zlib.crc32(header[:-4]) != header_crc:
             raise StorageError(f"{source}: mmap store header "
                                "checksum mismatch")
-        if version != VERSION:
+        if not _MIN_VERSION <= version <= VERSION:
             raise StorageError(f"{source}: unsupported LBRMMAP version "
                                f"{version}")
         if page_shift > 30:
@@ -290,6 +311,33 @@ class MmapStore(BitMatStore):
                                "checksum mismatch")
         page = 1 << page_shift
         data_start = index_off + index_len
+        stats = None
+        if version >= 2:
+            # the statistics section sits between the extent index and
+            # the first extent; it is eagerly decoded so ordering
+            # decisions never force an extent materialization
+            prefix_end = data_start + _STATS_PREFIX.size
+            prefix = bytes(buffer[data_start:prefix_end])
+            if len(prefix) < _STATS_PREFIX.size:
+                raise StorageError(f"{source}: truncated statistics "
+                                   "section")
+            stats_len, stats_crc = _STATS_PREFIX.unpack(prefix)
+            if prefix_end + stats_len > file_len:
+                raise StorageError(f"{source}: statistics section is "
+                                   "out of bounds")
+            stats_bytes = bytes(buffer[prefix_end:prefix_end + stats_len])
+            if zlib.crc32(stats_bytes) != stats_crc:
+                raise StorageError(f"{source}: statistics section "
+                                   "checksum mismatch")
+            stats_data = io.BytesIO(stats_bytes)
+            stats = read_stats(stats_data)
+            if stats_data.read(1):
+                raise StorageError(f"{source}: trailing bytes in "
+                                   "statistics section")
+            if stats.predicates and max(stats.predicates) > num_predicates:
+                raise StorageError(f"{source}: statistics refer to "
+                                   "unknown predicates")
+            data_start = prefix_end + stats_len
         extents: dict[int, tuple[int, int, int, int]] = {}
         total = 0
         for pid in range(1, num_predicates + 1):
@@ -323,6 +371,9 @@ class MmapStore(BitMatStore):
         self._os_lru: StripedLRUCache[int, list] = (
             StripedLRUCache(OS_PROJECTION_CACHE_SIZE))
         super().__init__(dictionary, self._pairs)
+        # after super().__init__ (which resets _stats): the persisted
+        # statistics, or None for version-1 images (heuristic fallback)
+        self._stats = stats
 
     # ------------------------------------------------------------------
     # constructors
@@ -369,6 +420,12 @@ class MmapStore(BitMatStore):
         # the eager prebuild would materialize every extent; our lazily
         # derived state already lives behind locked striped LRUs
         pass
+
+    def _collect_stats(self):
+        # never computed here (it would decode every extent): v2 images
+        # carry their statistics in the header-versioned section, v1
+        # images simply have none and fall back to the heuristic
+        return None
 
     def _os_pairs(self, pid: int) -> list[tuple[int, int]]:
         pairs = self._os_lru.get(pid)

@@ -21,12 +21,17 @@ Format (little-endian):
   predicates — each term as a kind byte plus length-prefixed UTF-8
   strings (URI/BNode/plain literal/typed literal/language literal);
 * per predicate id: pair count + delta-encoded (sid, oid) varints;
+* (``LBRSTORE3`` only) a per-predicate statistics section
+  (:mod:`repro.bitmat.stats`) feeding the cost-based ordering pass;
 * 4-byte CRC32 of everything before it, so a corrupted image raises a
   typed :class:`~repro.exceptions.StorageError` instead of silently
   decoding into a wrong dataset.
 
-Images with the older ``LBRSTORE1`` magic (no trailing CRC) still
-load.
+The format is header-versioned by magic: writers emit ``LBRSTORE3``;
+images with the older ``LBRSTORE2`` (no statistics section) and
+``LBRSTORE1`` (no trailing CRC either) magics still load, with
+statistics absent — the optimizer then falls back to the static
+selectivity heuristic.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from ..rdf.dictionary import Dictionary
 from ..rdf.terms import BNode, Literal, Term, URI
 from .store import BitMatStore
 
+_MAGIC_V3 = b"LBRSTORE3"
 _MAGIC = b"LBRSTORE2"
 _MAGIC_V1 = b"LBRSTORE1"
 
@@ -228,13 +234,27 @@ def read_dictionary(data: BinaryIO) -> Dictionary:
     return dictionary
 
 
-def dump_store_bytes(store: BitMatStore) -> bytes:
-    """Serialize the store to one self-verifying byte image."""
+def dump_store_bytes(store: BitMatStore,
+                     include_stats: bool = True) -> bytes:
+    """Serialize the store to one self-verifying byte image.
+
+    Writes ``LBRSTORE3`` (pairs + per-predicate statistics section);
+    ``include_stats=False`` emits the legacy ``LBRSTORE2`` layout —
+    kept for the corruption corpus and as the byte-exact v2 reference.
+    Statistics already collected at freeze time are reused; otherwise
+    they are computed here so every written image carries them.
+    """
+    from .stats import StoreStats, write_stats
     buffer = io.BytesIO()
-    buffer.write(_MAGIC)
+    buffer.write(_MAGIC_V3 if include_stats else _MAGIC)
     write_dictionary(buffer, store.dictionary)
     for pid in range(1, store.dictionary.num_predicates + 1):
         write_pairs(buffer, store._so_by_p.get(pid, []))
+    if include_stats:
+        stats = store.stats()
+        if stats is None:
+            stats = StoreStats.collect(store._so_by_p)
+        write_stats(buffer, stats)
     body = buffer.getvalue()
     return body + struct.pack("<I", zlib.crc32(body))
 
@@ -242,7 +262,9 @@ def dump_store_bytes(store: BitMatStore) -> bytes:
 def load_store_bytes(payload: bytes,
                      source: str = "<bytes>") -> BitMatStore:
     """Deserialize an image produced by :func:`dump_store_bytes`."""
-    if payload.startswith(_MAGIC):
+    from .stats import read_stats
+    has_stats = payload.startswith(_MAGIC_V3)
+    if has_stats or payload.startswith(_MAGIC):
         if len(payload) < len(_MAGIC) + 4:
             raise StorageError(f"{source}: truncated store image")
         body, footer = payload[:-4], payload[-4:]
@@ -262,12 +284,19 @@ def load_store_bytes(payload: bytes,
         pairs = read_pairs(data)
         if pairs:
             so_by_p[pid] = pairs
+    stats = read_stats(data) if has_stats else None
+    if stats is not None and stats.predicates:
+        if max(stats.predicates) > dictionary.num_predicates:
+            raise StorageError(f"{source}: statistics refer to unknown "
+                               "predicates")
     # the section parsers must land exactly on the end of the payload:
     # leftover bytes mean a truncated/concatenated image whose tail the
-    # CRC (v2) happened to cover, or a v1 image with garbage appended
+    # CRC (v2/v3) happened to cover, or a v1 image with garbage appended
     if data.read(1):
         raise StorageError(f"{source}: trailing bytes after store image")
-    return BitMatStore(dictionary, so_by_p)
+    store = BitMatStore(dictionary, so_by_p)
+    store._stats = stats
+    return store
 
 
 def save_store(store: BitMatStore, path: str) -> int:

@@ -69,6 +69,11 @@ class BitMatStore:
         #: set by :meth:`freeze` when the store was published for
         #: concurrent read-only serving
         self._frozen = False
+        #: per-predicate statistics (:class:`~repro.bitmat.stats.StoreStats`),
+        #: collected at freeze time or decoded from a stats-bearing image;
+        #: None means the cost-based ordering pass falls back to the
+        #: static heuristic
+        self._stats = None
 
     # ------------------------------------------------------------------
     # construction
@@ -289,6 +294,8 @@ class BitMatStore:
         if self._frozen:
             return self
         self._prepare_freeze()
+        if self._stats is None:
+            self._stats = self._collect_stats()
         self._so_cache = StripedLRUCache(MATRIX_CACHE_SIZE)
         self._os_cache = StripedLRUCache(MATRIX_CACHE_SIZE)
         self._row_cache = StripedLRUCache(ROW_CACHE_SIZE)
@@ -304,6 +311,24 @@ class BitMatStore:
         (it would defeat their laziness)."""
         for pid in list(self._so_by_p):
             self._os_pairs(pid)
+
+    def _collect_stats(self):
+        """Compute per-predicate statistics from the pair lists.
+
+        Backends whose pairs are expensive to touch wholesale override
+        this: lazy mmap stores return whatever their image persisted
+        (decoding every extent would defeat laziness), overlays return
+        None (delta-adjusted statistics are future work — ROADMAP 3)."""
+        from .stats import StoreStats
+        return StoreStats.collect(self._so_by_p)
+
+    def stats(self):
+        """Per-predicate statistics, or None when never collected.
+
+        Present only on frozen stores and stats-bearing images; the
+        cost-based ordering pass treats None as "use the static
+        selectivity heuristic"."""
+        return self._stats
 
     @property
     def frozen(self) -> bool:

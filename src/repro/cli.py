@@ -122,12 +122,14 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=["mix", "uniform", "star", "clustered"],
                       help="graph shape (default: mix of all three)")
     fuzz.add_argument("--profile", default="full",
-                      choices=["wd", "full", "nul", "updates"],
+                      choices=["wd", "full", "nul", "updates", "ordering"],
                       help="query profile: 'wd' well-designed only, "
                            "'full' adds non-well-designed nesting, "
                            "'nul' stresses nullification/best-match, "
                            "'updates' mutates a live store with WAL "
-                           "batches and diffs against a rebuilt store")
+                           "batches and diffs against a rebuilt store, "
+                           "'ordering' diffs cost-based vs heuristic "
+                           "join ordering (frozen vs unfrozen store)")
     fuzz.add_argument("--min-triples", type=int, default=8)
     fuzz.add_argument("--max-triples", type=int, default=60,
                       help="graph size range per case (default 8..60)")

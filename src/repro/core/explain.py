@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from ..plan.compiler import compile_frontend, run_pipeline
 from ..plan.logical import (rename_expression, render_logical,
                             rename_logical, to_ast)
+from ..plan.passes import PassManager, default_passes
 from ..plan.physical import BranchPhysicalPlan, build_physical
 from ..rdf.terms import Variable, is_variable
 from ..sparql.ast import Query, TriplePattern, serialize_algebra
@@ -49,6 +50,12 @@ class BranchPlan:
     order_td: list[str]
     best_match_required: bool
     tp_counts: list[int] = field(default_factory=list)
+    #: "cost" (statistics-fed model) or "heuristic" (static ranking)
+    ordering_source: str = "heuristic"
+    #: estimated candidate-binding count per jvar, rendered ``?v≈n``
+    #: (distinct-binding estimates under the cost model, min TP count
+    #: under the heuristic)
+    jvar_estimates: list[str] = field(default_factory=list)
     #: variables never NULL in any emitted row (drives filter routing)
     certain_vars: list[str] = field(default_factory=list)
     #: init-time filter applications, rendered as ``expr @ TPn``
@@ -102,6 +109,13 @@ class QueryPlan:
                          f"best-match required: "
                          f"{branch.best_match_required}")
             lines.append(f"  jvars: {branch.jvars}")
+            source = ("cost-based (store statistics)"
+                      if branch.ordering_source == "cost"
+                      else "static heuristic (no statistics)")
+            lines.append(f"  ordering: {source}")
+            if branch.jvar_estimates:
+                lines.append(f"  estimated jvar cardinalities: "
+                             f"{branch.jvar_estimates}")
             lines.append(f"  order_bu: {branch.order_bu}")
             lines.append(f"  order_td: {branch.order_td}")
             lines.append(f"  TP metadata counts: {branch.tp_counts}")
@@ -130,7 +144,8 @@ def explain(store, query: Query | str) -> QueryPlan:
     """
     frontend = compile_frontend(query)
     key = frontend.canonical.key
-    result = run_pipeline(frontend.canonical.logical)
+    result = run_pipeline(frontend.canonical.logical,
+                          PassManager(default_passes(store)))
     plan = build_physical(result, store, enable_prune=True,
                           structural_key=key)
     back = frontend.canonical.from_canonical
@@ -191,6 +206,10 @@ def _render_branch(plan: BranchPhysicalPlan,
         order_td=[name(v) for v in plan.order_td],
         best_match_required=plan.nul_required,
         tp_counts=list(plan.metadata_counts),
+        ordering_source=plan.ordering_source,
+        jvar_estimates=[f"{label}≈{estimate}" for label, estimate in
+                        sorted((name(v), plan.ranker.jvar_key(v))
+                               for v in jvars)],
         certain_vars=sorted(name(v) for v in plan.certain_vars),
         init_filters=init_filters,
         fan_filters=fan_filters,

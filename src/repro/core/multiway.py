@@ -67,7 +67,8 @@ class MultiWayJoin:
                  plan: GroupPlan, nul_required: bool,
                  fan_filters: Sequence[FanFilter],
                  dictionary, emit: Callable[[tuple], None],
-                 max_output_rows: int | None = None) -> None:
+                 max_output_rows: int | None = None,
+                 emit_many: Callable[[list], None] | None = None) -> None:
         self.states = list(states)
         self.gosn = gosn
         self.plan = plan
@@ -93,6 +94,7 @@ class MultiWayJoin:
         self.dropping_fans = [fan for fan in fan_filters if drops(fan)]
         self.dictionary = dictionary
         self.emit = emit
+        self.emit_many = emit_many
         self.max_output_rows = max_output_rows
         self.varmap = VarMap(self.states)
         self.fan_nullified = False
@@ -193,14 +195,29 @@ class MultiWayJoin:
             flat = self._slot_base[source] + var_index[source][var]
             self._out_spec.append((source, flat))
             self.output_spaces.append(states[source].space_of(var))
+        #: whether any output column can carry NULL: a column sourced
+        #: from a non-absolute (slave) TP may be NULL-extended.  FaN
+        #: nullification is tracked separately via ``fan_nullified``.
+        self.may_emit_nulls = any(
+            source not in self.absolute_positions
+            for source, _ in self._out_spec)
 
-        step = (self._output if self.nul_required or self.fan_filters
-                else self._make_emit_step())
+        use_output = self.nul_required or bool(self.fan_filters)
+        step = self._output if use_output else self._make_emit_step()
+        emit_many = self.emit_many
+        if emit_many is None:
+            emit = self.emit
+
+            def emit_loop(batch: list) -> None:
+                for row in batch:
+                    emit(row)
+            emit_many = emit_loop
         if self.max_output_rows is not None:
             # opt-in resource limit (differential-harness guard); the
-            # wrapper only exists when a budget was requested, so the
+            # wrappers only exist when a budget was requested, so the
             # default hot path pays nothing
             inner = step
+            inner_many = emit_many
             budget = self.max_output_rows
             counter = [0]
 
@@ -210,8 +227,27 @@ class MultiWayJoin:
                     raise BudgetExceededError(
                         f"multi-way join exceeded {budget:,} output rows")
                 inner()
+
+            def budgeted_many(batch: list) -> None:
+                counter[0] += len(batch)
+                if counter[0] > budget:
+                    raise BudgetExceededError(
+                        f"multi-way join exceeded {budget:,} output rows")
+                inner_many(batch)
             step = budgeted_step
-        for depth in reversed(range(len(self.visit_order))):
+            emit_many = budgeted_many
+        depths = list(reversed(range(len(self.visit_order))))
+        if not use_output and depths:
+            # lower the innermost enumeration into a batch kernel: the
+            # deepest TP's candidates differ in at most one output
+            # column, so the per-candidate closure call collapses into
+            # one listcomp per enumerated group feeding the batch sink
+            fused = self._make_fused_leaf(depths[0], var_index,
+                                          emit_many, step)
+            if fused is not None:
+                step = fused
+                depths = depths[1:]
+        for depth in depths:
             step = self._make_step(depth, var_index, step)
         self._entry: Callable[[], None] = step
 
@@ -248,6 +284,10 @@ class MultiWayJoin:
         fallible = sorted(fallible_columns.items())
 
         def emit_checked() -> None:
+            # C-speed scan: almost every emitted row has no failed slot
+            if True not in failed:
+                emit(getter(values))
+                return
             row: list | None = None
             for source, columns in fallible:
                 if failed[source]:
@@ -257,6 +297,216 @@ class MultiWayJoin:
                         row[column] = NULL
             emit(getter(values) if row is None else tuple(row))
         return emit_checked
+
+    def _make_row_builder(self) -> tuple[Callable[[], tuple], list[int]]:
+        """A closure producing the current output row as a tuple.
+
+        Mirrors the emit-step row construction (fast getter, NULLs for
+        failed OPTIONAL sources) so the fused leaf kernels can build one
+        row template per enumerated group and vary only the leaf's
+        column inside the batch listcomp — the NULL state is constant
+        for the duration of one leaf enumeration.
+        """
+        values = self._values
+        failed = self._failed
+        out_spec = self._out_spec
+        flats = [flat for _, flat in out_spec]
+        if not flats:
+            return (lambda: ()), flats
+        if len(flats) == 1:
+            single = flats[0]
+
+            def getter(vals: list) -> tuple:
+                return (vals[single],)
+        else:
+            getter = itemgetter(*flats)
+        fallible_columns: dict[int, list[int]] = {}
+        for column, (source, _) in enumerate(out_spec):
+            if source not in self.absolute_positions:
+                fallible_columns.setdefault(source, []).append(column)
+        if not fallible_columns:
+            def build_fast() -> tuple:
+                return getter(values)
+            return build_fast, flats
+        fallible = sorted(fallible_columns.items())
+
+        def build_checked() -> tuple:
+            # C-speed scan: almost every emitted row has no failed slot
+            if True not in failed:
+                return getter(values)
+            row: list | None = None
+            for source, columns in fallible:
+                if failed[source]:
+                    if row is None:
+                        row = list(getter(values))
+                    for column in columns:
+                        row[column] = NULL
+            return getter(values) if row is None else tuple(row)
+        return build_checked, flats
+
+    def _make_fused_leaf(self, depth: int,
+                         var_index: list[dict[Variable, int]],
+                         emit_many: Callable[[list], None],
+                         terminal: Callable[[], None],
+                         ) -> Callable[[], None] | None:
+        """Fuse the deepest TP's enumeration with batched row emission.
+
+        Scan-shaped leaves (vector scan, row/col-constrained matrix
+        scan, full matrix scan) emit their whole candidate list as one
+        batch built by a single listcomp over the cached positions
+        buffer; the scalar per-candidate closure call disappears.
+        Probe shapes (at most one candidate) and degenerate leaves
+        return None and keep the scalar pipeline.
+        """
+        states = self.states
+        position = self.visit_order[depth]
+        state = states[position]
+        base = self._slot_base[position]
+        values = self._values
+        failed = self._failed
+        num_shared = self._num_shared
+        absolute = position in self.absolute_positions
+
+        never = False
+        constraints: list[tuple[int, int, bool] | None] = []
+        for var, source in self.depth_sources[depth]:
+            if source is None:
+                constraints.append(None)
+                continue
+            flat = self._slot_base[source] + var_index[source][var]
+            src_space = states[source].space_of(var)
+            dst_space = state.space_of(var)
+            if src_space == dst_space:
+                constraints.append((source, flat, False))
+            elif src_space in ("s", "o") and dst_space in ("s", "o"):
+                constraints.append((source, flat, True))
+            else:
+                never = True
+        if never or (state.matrix is None and state.vector is None):
+            return None  # dead-end / null-extend / ground leaf
+
+        build_row, flats = self._make_row_builder()
+
+        if state.vector is not None:
+            if constraints[0] is not None:
+                return None  # probe: a single candidate
+            candidates = state.vector.positions_cached()
+            if not candidates:
+                return None
+            hole = flats.index(base) if base in flats else None
+            count = len(candidates)
+
+            def vector_scan_emit() -> None:
+                row = build_row()
+                if hole is None:
+                    emit_many([row] * count)
+                else:
+                    head = row[:hole]
+                    tail = row[hole + 1:]
+                    emit_many([head + (value,) + tail
+                               for value in candidates])
+            return vector_scan_emit
+
+        matrix = state.matrix
+        get_row = matrix._rows.get  # dict.get direct: no method frame
+        base1 = base + 1
+        row_constraint, col_constraint = constraints
+
+        if row_constraint is not None and col_constraint is not None:
+            return None  # probe: a single candidate
+
+        if row_constraint is not None:
+            r_src, r_flat, r_shared = row_constraint
+            hole = flats.index(base1) if base1 in flats else None
+            row_lists: dict[int, Sequence[int]] = {}
+
+            def matrix_row_scan_emit() -> None:
+                if not failed[r_src]:
+                    row_id = values[r_flat]
+                    if not r_shared or row_id <= num_shared:
+                        cols = row_lists.get(row_id)
+                        if cols is None:
+                            vec = get_row(row_id)
+                            cols = (vec.positions_cached()
+                                    if vec is not None else ())
+                            row_lists[row_id] = cols
+                        if cols:
+                            values[base] = row_id
+                            row = build_row()
+                            if hole is None:
+                                emit_many([row] * len(cols))
+                            else:
+                                head = row[:hole]
+                                tail = row[hole + 1:]
+                                emit_many([head + (col_id,) + tail
+                                           for col_id in cols])
+                            return
+                if absolute:
+                    return
+                failed[position] = True
+                terminal()
+                failed[position] = False
+            return matrix_row_scan_emit
+
+        if col_constraint is not None:
+            c_src, c_flat, c_shared = col_constraint
+            hole = flats.index(base) if base in flats else None
+            col_lists: dict[int, Sequence[int]] = {}
+
+            def matrix_col_scan_emit() -> None:
+                if not failed[c_src]:
+                    col_id = values[c_flat]
+                    if not c_shared or col_id <= num_shared:
+                        rows = col_lists.get(col_id)
+                        if rows is None:
+                            column = state.transpose().get_row(col_id)
+                            rows = (column.positions_cached()
+                                    if column is not None else ())
+                            col_lists[col_id] = rows
+                        if rows:
+                            values[base1] = col_id
+                            row = build_row()
+                            if hole is None:
+                                emit_many([row] * len(rows))
+                            else:
+                                head = row[:hole]
+                                tail = row[hole + 1:]
+                                emit_many([head + (row_id,) + tail
+                                           for row_id in rows])
+                            return
+                if absolute:
+                    return
+                failed[position] = True
+                terminal()
+                failed[position] = False
+            return matrix_col_scan_emit
+
+        hole = flats.index(base1) if base1 in flats else None
+        scan_cell: list[list[tuple[int, tuple[int, ...]]]] = []
+
+        def matrix_scan_emit() -> None:
+            if not scan_cell:
+                scan_cell.append([(row_id, vec.positions_cached())
+                                  for row_id, vec in matrix.iter_rows()])
+            items = scan_cell[0]
+            if items:
+                for row_id, cols in items:
+                    values[base] = row_id
+                    row = build_row()
+                    if hole is None:
+                        emit_many([row] * len(cols))
+                    else:
+                        head = row[:hole]
+                        tail = row[hole + 1:]
+                        emit_many([head + (col_id,) + tail
+                                   for col_id in cols])
+                return
+            if absolute:
+                return
+            failed[position] = True
+            terminal()
+            failed[position] = False
+        return matrix_scan_emit
 
     def _make_step(self, depth: int, var_index: list[dict[Variable, int]],
                    next_step: Callable[[], None]) -> Callable[[], None]:
@@ -340,7 +590,7 @@ class MultiWayJoin:
             return null_extend
 
         source, flat, shared = constraint
-        contains = vector.__contains__
+        contains = vector.membership()
 
         def vector_probe() -> None:
             if not failed[source]:
@@ -365,13 +615,17 @@ class MultiWayJoin:
         failed = self._failed
         num_shared = self._num_shared
         matrix = state.matrix
-        get_row = matrix.get_row
+        get_row = matrix._rows.get  # dict.get direct: no method frame
         row_constraint, col_constraint = constraints
         base1 = base + 1
 
         if row_constraint is not None and col_constraint is not None:
             r_src, r_flat, r_shared = row_constraint
             c_src, c_flat, c_shared = col_constraint
+            # memoized per-row membership callables: repeated probes of
+            # the same row hit a pinned frozenset instead of paying the
+            # Python-level BitVector.__contains__ dispatch every time
+            members: dict[int, Callable[[int], bool]] = {}
 
             def matrix_probe() -> None:
                 if not failed[r_src] and not failed[c_src]:
@@ -379,8 +633,13 @@ class MultiWayJoin:
                     col_id = values[c_flat]
                     if ((not r_shared or row_id <= num_shared)
                             and (not c_shared or col_id <= num_shared)):
-                        row = get_row(row_id)
-                        if row is not None and col_id in row:
+                        member = members.get(row_id)
+                        if member is None:
+                            row = get_row(row_id)
+                            member = (row.membership() if row is not None
+                                      else _absent)
+                            members[row_id] = member
+                        if member(col_id):
                             values[base] = row_id
                             values[base1] = col_id
                             next_step()
@@ -555,6 +814,11 @@ class MultiWayJoin:
                         and self.varmap.failed[position]):
                     return True
         return False
+
+
+def _absent(_value: int) -> bool:
+    """Membership of an all-zeros (absent) BitMat row."""
+    return False
 
 
 def _null_free(row: dict) -> dict:

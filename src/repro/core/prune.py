@@ -33,11 +33,7 @@ def _combined_mask(states: Sequence[TPState], var: Variable,
                    num_shared: int) -> BitVector:
     """AND of the folds of *var* across *states*, space-corrected."""
     spaces = {state.space_of(var) for state in states}
-    mask: BitVector | None = None
-    for state in states:
-        fold = state.fold(var)
-        mask = fold if mask is None else mask.and_(fold)
-    assert mask is not None
+    mask = BitVector.and_many([state.fold(var) for state in states])
     if len(spaces) > 1:
         mask = mask.truncate(num_shared + 1)
     return mask

@@ -19,6 +19,10 @@ from .goj import pattern_variables
 class SelectivityRanker:
     """Ranks TPs, jvars, and supernodes from per-TP triple counts."""
 
+    #: which ordering model this ranker implements (the cost-based
+    #: subclass in :mod:`repro.plan.cost` overrides it)
+    source = "heuristic"
+
     def __init__(self, patterns: Sequence[TriplePattern],
                  counts: Sequence[int]) -> None:
         if len(patterns) != len(counts):
@@ -40,16 +44,24 @@ class SelectivityRanker:
         return self._jvar_key.get(var, 0)
 
     def most_selective_jvar(self, candidates: set[Variable]) -> Variable:
-        """The most selective candidate (ties broken by name)."""
-        return min(sorted(candidates), key=self.jvar_key)
+        """The most selective candidate (ties broken by name).
+
+        The tie-break is part of the key, never iteration order: two
+        rankers fed the same counts pick the same variable regardless
+        of how the candidate set was built (hash seed, insertion
+        order), which is what makes cost-vs-heuristic plan diffs
+        reproducible.
+        """
+        return min(candidates, key=lambda var: (self.jvar_key(var), var))
 
     def least_selective_jvar(self, candidates: set[Variable]) -> Variable:
         """The least selective candidate (ties broken by name)."""
-        return max(sorted(candidates), key=self.jvar_key)
+        return min(candidates,
+                   key=lambda var: (-self.jvar_key(var), var))
 
     def greedy_jvar_order(self, jvars: set[Variable]) -> list[Variable]:
         """All jvars, most selective first (§3.3 cyclic fallback)."""
-        return sorted(sorted(jvars), key=self.jvar_key)
+        return sorted(jvars, key=lambda var: (self.jvar_key(var), var))
 
     def supernode_key(self, tp_indexes: Sequence[int]) -> int:
         """Selectivity of a supernode: its most selective TP's count."""

@@ -14,7 +14,7 @@ from .oracle import (ENGINE_LABELS, CaseResult, Disagreement, FuzzCase,
 from .querygen import PROFILES, QueryGenerator, QuerySpec
 from .runner import (INJECTABLE_BUGS, CampaignConfig, CampaignReport,
                      format_campaign_report, generate_case, inject_bug,
-                     run_campaign)
+                     run_campaign, run_ordering_case)
 from .shrink import shrink
 
 __all__ = [
@@ -24,5 +24,5 @@ __all__ = [
     "SHAPES", "Vocabulary", "case_from_json", "case_to_json",
     "format_campaign_report", "generate_case", "generate_graph",
     "inject_bug", "load_corpus", "reference_execute", "run_campaign",
-    "run_case", "save_case", "shrink",
+    "run_case", "run_ordering_case", "save_case", "shrink",
 ]

@@ -48,6 +48,12 @@ PROFILE_PRESETS: dict[str, QuerySpec] = {
     # interesting part is the store state, not the query shape) run
     # against a WAL-backed live store after every committed batch
     "updates": QuerySpec(profile="wd"),
+    # ordering differential: the full query surface executed over a
+    # *frozen* store (per-predicate statistics flip planning to the
+    # cost-based ranker) and diffed row-for-row against the static
+    # heuristic — join ordering is a pure performance decision, so
+    # any row difference is a planner bug
+    "ordering": QuerySpec(profile="full"),
 }
 
 
@@ -239,6 +245,55 @@ def run_update_case(case: FuzzCase, case_seed: int) -> CaseResult:
         elapsed=_time.perf_counter() - started)
 
 
+def run_ordering_case(case: FuzzCase) -> CaseResult:
+    """Differential oracle for the ``ordering`` profile.
+
+    Runs the full engine matrix over a **frozen** store — freezing
+    collects the per-predicate statistics that switch physical
+    planning to the cost-based ranker — so every matrix engine
+    exercises cost-based jvar/supernode ordering against the naive
+    reference.  On agreement, the cost-ordered engine is additionally
+    diffed against the same engine over an *unfrozen* store (static
+    heuristic ordering): identical bags always, identical row lists
+    when a LIMIT/OFFSET window makes order observable.
+    """
+    import time as _time
+
+    from ..bitmat.store import BitMatStore
+    from ..core.engine import LBREngine
+    from ..exceptions import BudgetExceededError, UnsupportedQueryError
+    from .oracle import MAX_LBR_JOIN_ROWS, _diff_bags, _diff_ordered
+
+    graph = case.graph()
+    frozen = BitMatStore.build(graph)
+    frozen.freeze()
+    result = run_case(case, store=frozen)
+    if result.status != "agree":
+        return result
+    started = _time.perf_counter()
+    query = case.query()
+    ordered = query.limit is not None or bool(query.offset)
+    diff = _diff_ordered if ordered else _diff_bags
+    heuristic_store = BitMatStore.build(graph)
+    try:
+        cost = LBREngine(
+            frozen, max_join_rows=MAX_LBR_JOIN_ROWS).execute(query)
+        heuristic = LBREngine(
+            heuristic_store,
+            max_join_rows=MAX_LBR_JOIN_ROWS).execute(query)
+    except (UnsupportedQueryError, BudgetExceededError):
+        # the matrix already vouched for the frozen store; a budget
+        # difference between orderings is a perf outcome, not a bug
+        result.elapsed += _time.perf_counter() - started
+        return result
+    disagreement = diff(heuristic, cost, "lbr-cost-vs-heuristic")
+    if disagreement is not None:
+        result.disagreements.append(disagreement)
+        result.status = "mismatch"
+    result.elapsed += _time.perf_counter() - started
+    return result
+
+
 def run_campaign(config: CampaignConfig,
                  log=None) -> CampaignReport:
     """Run a full campaign; deterministic given the config."""
@@ -253,6 +308,8 @@ def run_campaign(config: CampaignConfig,
         case, shape = generate_case(config, case_seed, index)
         if config.profile == "updates":
             result = run_update_case(case, case_seed)
+        elif config.profile == "ordering":
+            result = run_ordering_case(case)
         else:
             result = run_case(case)
         report.cases += 1
@@ -279,7 +336,9 @@ def run_campaign(config: CampaignConfig,
             # update cases cannot be shrunk through the query oracle:
             # their failure depends on the batch stream, not the query
             if config.shrink_failures and config.profile != "updates":
-                shrunk = shrink(case, lambda c: run_case(c).failed)
+                oracle = (run_ordering_case
+                          if config.profile == "ordering" else run_case)
+                shrunk = shrink(case, lambda c: oracle(c).failed)
                 if log is not None:
                     log(f"  shrunk to {len(shrunk.triples)} triples, "
                         f"query:\n{shrunk.query_text}")

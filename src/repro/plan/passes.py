@@ -93,6 +93,9 @@ class PassContext:
     branch_filters: tuple[tuple[ScopedFilter, ...], ...] = ()
     #: per-branch well-designedness analysis (``wd-analysis``)
     branch_info: tuple[BranchAnalysis, ...] = ()
+    #: store statistics published by ``cost-based-ordering`` — None
+    #: routes physical planning through the static heuristic
+    ordering_stats: object = None
 
 
 class CompilerPass:
@@ -356,14 +359,50 @@ class WellDesignednessPass(CompilerPass):
         return query, "; ".join(details)
 
 
+class CostBasedOrderingPass(CompilerPass):
+    """Publish the store's statistics to the ordering decisions.
+
+    A pure annotation pass: the logical IR is never touched.  When the
+    bound store carries per-predicate statistics (collected at freeze
+    time, absent on unfrozen stores, pre-statistics images, and
+    overlays) they land in the context and the physical planner ranks
+    jvars and slave supernodes with the :mod:`repro.plan.cost` model;
+    otherwise every branch falls back to the paper's static
+    selectivity heuristic.  Either way the decision is recorded in the
+    pass trace, which is what ``lbr explain`` renders.
+    """
+
+    name = "cost-based-ordering"
+
+    def __init__(self, store=None) -> None:
+        self._store = store
+
+    def run(self, query: LogicalQuery,
+            ctx: PassContext) -> tuple[LogicalQuery, str]:
+        stats = (self._store.stats() if self._store is not None
+                 else None)
+        ctx.ordering_stats = stats
+        if stats is None:
+            return query, ("no store statistics: static selectivity "
+                           "heuristic")
+        return query, (f"statistics for {len(stats.predicates)} "
+                       f"predicate(s): cost-based jvar and supernode "
+                       f"ordering")
+
+
 # ----------------------------------------------------------------------
 # the manager
 # ----------------------------------------------------------------------
 
-def default_passes() -> list[CompilerPass]:
-    """The pipeline :class:`~repro.core.engine.LBREngine` compiles with."""
+def default_passes(store=None) -> list[CompilerPass]:
+    """The pipeline :class:`~repro.core.engine.LBREngine` compiles with.
+
+    *store* feeds the cost-based ordering pass; without one (or
+    without statistics on it) ordering stays on the static heuristic.
+    """
     return [EqualityFilterEliminationPass(), UnionNormalFormPass(),
-            FilterScopeAssignmentPass(), WellDesignednessPass()]
+            FilterScopeAssignmentPass(), WellDesignednessPass(),
+            CostBasedOrderingPass(store)]
 
 
 def reference_passes() -> list[CompilerPass]:

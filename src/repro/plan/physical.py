@@ -73,6 +73,16 @@ class BranchPhysicalPlan:
     #: variables bound by an absolute-master peer group TP — never
     #: NULL in any emitted row (decides init-vs-FaN filter routing)
     certain_vars: set[Variable] = field(default_factory=set)
+    #: which ranker picked the orders: "cost" (statistics-fed model)
+    #: or "heuristic" (the paper's static selectivity ranking)
+    ordering_source: str = "heuristic"
+    #: warm-execution memo filled in by the engine: the post-prune
+    #: sorted TP states (plus the GroupPlan over them) of the first
+    #: execution.  A plan bakes its constants and init filters in, and
+    #: the engine's store snapshot is immutable, so the pruned states
+    #: are a pure function of the plan; after pruning the join only
+    #: ever *reads* them.  Lifetime is tied to the plan-cache entry.
+    pruned_memo: object = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -111,7 +121,8 @@ def build_physical(result: PassResult, store,
         raise UnsupportedQueryError(
             "physical planning requires the wd-analysis pass")
     branches = [
-        _plan_branch(branch, filters, info, store, enable_prune)
+        _plan_branch(branch, filters, info, store, enable_prune,
+                     result.context.ordering_stats)
         for branch, filters, info
         in zip(root.branches, branch_filters, branch_info)]
     return PhysicalPlan(
@@ -124,13 +135,15 @@ def build_physical(result: PassResult, store,
 
 def _plan_branch(branch: LogicalNode, scoped_filters: tuple[ScopedFilter, ...],
                  info: BranchAnalysis, store,
-                 enable_prune: bool) -> BranchPhysicalPlan:
+                 enable_prune: bool,
+                 ordering_stats=None) -> BranchPhysicalPlan:
     """Steps 1–3 of Alg 5.1: all binding-independent analysis."""
     from ..core.goj import GoJ, GoT
     from ..core.gosn import GoSN
     from ..core.jvar_order import (decide_best_match_required,
                                    get_jvar_order)
     from ..core.selectivity import SelectivityRanker
+    from .cost import make_ranker
 
     gosn = GoSN.from_pattern(to_ast(branch))
     patterns = gosn.patterns
@@ -158,7 +171,7 @@ def _plan_branch(branch: LogicalNode, scoped_filters: tuple[ScopedFilter, ...],
 
     goj = GoJ.build(patterns)
     metadata_counts = tuple(metadata_count(store, tp) for tp in patterns)
-    ranker = SelectivityRanker(patterns, list(metadata_counts))
+    ranker = make_ranker(patterns, metadata_counts, ordering_stats, store)
     order_bu, order_td = get_jvar_order(gosn, goj, ranker)
     nul_required = (decide_best_match_required(gosn, goj)
                     or has_disconnected_slave_group(gosn))
@@ -184,7 +197,8 @@ def _plan_branch(branch: LogicalNode, scoped_filters: tuple[ScopedFilter, ...],
         converted_edges=info.converted_edges,
         metadata_counts=metadata_counts,
         initial_triples=sum(metadata_counts),
-        certain_vars=certain_vars)
+        certain_vars=certain_vars,
+        ordering_source=ranker.source)
 
 
 def _route_filters(scoped_filters: tuple[ScopedFilter, ...], gosn,

@@ -204,6 +204,21 @@ class Dictionary:
             raise DictionaryError(f"unknown predicate id {pid}")
         return term
 
+    def term_table(self, space: str) -> list:
+        """The raw id → term list for *space* (index 0 unused).
+
+        The columnar result decoder indexes this directly — one C-level
+        list index per distinct id instead of a memo-cache round trip
+        per id.  Entries are ``None`` only for ids no store can emit.
+        """
+        if space == "s":
+            return self._s_terms
+        if space == "o":
+            return self._o_terms
+        if space == "p":
+            return self._p_terms
+        raise DictionaryError(f"unknown id space {space!r}")
+
     def decode(self, space: str, value: int) -> Term:
         """Memoized term lookup for a ``(space, id)`` binding.
 

@@ -140,6 +140,9 @@ class DeltaDictionary(Dictionary):
         self._ext_s_terms: list[Term] = []
         self._ext_o_terms: list[Term] = []
         self._ext_p_terms: list[Term] = []
+        #: space → concatenated base + extension decode table, rebuilt
+        #: only when the extension grew since it was assembled
+        self._ext_tables: dict[str, list] = {}
 
     # -- growth ---------------------------------------------------------
 
@@ -204,6 +207,27 @@ class DeltaDictionary(Dictionary):
         return (sid, pid, oid)
 
     # -- decoding -------------------------------------------------------
+
+    def term_table(self, space: str) -> list:
+        """Base id → term table extended with this delta's new terms.
+
+        The inherited tables are empty (all terms live in the base or
+        the extension lists), so the columnar decoder needs the
+        concatenation; extension ids start right past the base's
+        highest, which is exactly where ``base_table + ext`` puts them.
+        """
+        ext = {"s": self._ext_s_terms, "o": self._ext_o_terms,
+               "p": self._ext_p_terms}.get(space)
+        if ext is None:
+            raise DictionaryError(f"unknown id space {space!r}")
+        base_table = self.base.term_table(space)
+        if not ext:
+            return base_table
+        cached = self._ext_tables.get(space)
+        if cached is None or len(cached) != len(base_table) + len(ext):
+            cached = base_table + ext
+            self._ext_tables[space] = cached
+        return cached
 
     def subject_term(self, sid: int) -> Term:
         if sid <= self._base_subjects:
@@ -338,6 +362,13 @@ class OverlayStore(BitMatStore):
         # (an mmap-backed store) to decode every predicate
         return (self.base.num_triples - len(self.delta.deleted)
                 + len(self.delta.added))
+
+    def _collect_stats(self):
+        # delta-adjusted statistics are still open (ROADMAP 3); None
+        # routes overlay queries through the static heuristic, and the
+        # base's own statistics stay untouched — they describe the base
+        # image, not this overlay's merged view
+        return None
 
     def _prepare_freeze(self) -> None:
         # prebuild O-S projections only for predicates the delta

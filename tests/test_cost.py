@@ -1,0 +1,166 @@
+"""Unit tests for the statistics-fed cost model (repro.plan.cost).
+
+The cost model refines two ordering decisions: ``jvar_key`` becomes a
+distinct-binding estimate and ``supernode_key`` a skew-aware expansion
+estimate.  These tests pin the estimates against hand-built statistics
+so planner behavior is reviewable without running whole queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitmat.stats import PredicateStats, StoreStats, _histogram
+from repro.core.selectivity import SelectivityRanker
+from repro.plan.cost import CostRanker, make_ranker
+from repro.rdf.terms import URI, Variable
+from repro.sparql.ast import TriplePattern
+
+P = URI("http://example.org/p")
+Q = URI("http://example.org/q")
+A = URI("http://example.org/a")
+
+
+def pred_stats(pairs: list[tuple[int, int]]) -> PredicateStats:
+    """Statistics of one predicate given its sorted (sid, oid) pairs."""
+    return StoreStats.collect({1: sorted(pairs)}).predicates[1]
+
+
+class FakeStore:
+    """Just enough of a store for make_ranker: predicate encoding."""
+
+    def __init__(self, pids: dict[URI, int]):
+        self._pids = pids
+
+    def encode_term(self, term, position):
+        assert position == "p"
+        return self._pids.get(term)
+
+
+class TestDistinctBindingEstimates:
+    def test_jvar_key_uses_distinct_counts_not_cardinality(self):
+        # 100 triples, but only 4 distinct objects: the object variable
+        # is highly selective even though the raw count is large.
+        pairs = [(s, s % 4) for s in range(100)]
+        stats = StoreStats(predicates={7: pred_stats(pairs)})
+        tp = TriplePattern(Variable("s"), P, Variable("o"))
+        ranker = CostRanker([tp], [100], stats, (7,))
+        assert ranker.jvar_key(Variable("o")) == 4
+        assert ranker.jvar_key(Variable("s")) == 100
+        # the static heuristic would have keyed both on the count
+        static = SelectivityRanker([tp], [100])
+        assert static.jvar_key(Variable("o")) == 100
+
+    def test_diagonal_tp_takes_min_of_both_sides(self):
+        pairs = [(s, s % 4) for s in range(100)]
+        stats = StoreStats(predicates={7: pred_stats(pairs)})
+        tp = TriplePattern(Variable("x"), P, Variable("x"))
+        ranker = CostRanker([tp], [100], stats, (7,))
+        assert ranker.jvar_key(Variable("x")) == 4
+
+    def test_shared_variable_keeps_minimum_estimate(self):
+        # ?o appears in two TPs; the tighter estimate wins.
+        loose = [(s, o) for s in range(10) for o in range(10)]
+        tight = [(s, 0) for s in range(50)]
+        stats = StoreStats(predicates={1: pred_stats(loose),
+                                       2: pred_stats(tight)})
+        tps = [TriplePattern(Variable("s"), P, Variable("o")),
+               TriplePattern(Variable("t"), Q, Variable("o"))]
+        ranker = CostRanker(tps, [100, 50], stats, (1, 2))
+        assert ranker.jvar_key(Variable("o")) == 1
+
+
+class TestFallbacks:
+    def test_ground_position_falls_back_to_count(self):
+        pairs = [(s, s % 4) for s in range(100)]
+        stats = StoreStats(predicates={7: pred_stats(pairs)})
+        tp = TriplePattern(A, P, Variable("o"))
+        ranker = CostRanker([tp], [25], stats, (7,))
+        assert ranker.jvar_key(Variable("o")) == 25
+        assert ranker.supernode_key([0]) == 25
+
+    def test_variable_predicate_falls_back_to_count(self):
+        stats = StoreStats(predicates={})
+        tp = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        ranker = CostRanker([tp], [33], stats, (None,))
+        assert ranker.jvar_key(Variable("s")) == 33
+        assert ranker.jvar_key(Variable("p")) == 33
+        assert ranker.supernode_key([0]) == 33
+
+    def test_missing_predicate_falls_back_to_count(self):
+        stats = StoreStats(predicates={})
+        tp = TriplePattern(Variable("s"), P, Variable("o"))
+        ranker = CostRanker([tp], [12], stats, (99,))
+        assert ranker.jvar_key(Variable("s")) == 12
+        assert ranker.supernode_key([0]) == 12
+
+
+class TestSkewScaling:
+    def test_hub_heavy_predicate_costs_more_than_uniform(self):
+        # Same cardinality (100), same distinct-subject count (10):
+        # uniform fan-out 10 each vs one hub with 91 objects.
+        uniform = [(s, o) for s in range(10) for o in range(10)]
+        hub = [(0, o) for o in range(91)] + [(s, 0)
+                                             for s in range(1, 10)]
+        stats = StoreStats(predicates={1: pred_stats(uniform),
+                                       2: pred_stats(hub)})
+        tps = [TriplePattern(Variable("a"), P, Variable("b")),
+               TriplePattern(Variable("c"), Q, Variable("d"))]
+        ranker = CostRanker(tps, [100, 100], stats, (1, 2))
+        assert ranker.supernode_key([1]) > ranker.supernode_key([0])
+
+    def test_supernode_key_is_cheapest_member(self):
+        pairs = [(s, s) for s in range(10)]
+        stats = StoreStats(predicates={1: pred_stats(pairs)})
+        tps = [TriplePattern(Variable("a"), P, Variable("b")),
+               TriplePattern(Variable("c"), P, Variable("d"))]
+        ranker = CostRanker(tps, [10, 10], stats, (1, 1))
+        assert ranker.supernode_key([0, 1]) == ranker.supernode_key([0])
+        assert ranker.supernode_key([]) == 0
+
+    def test_edge_fanout_skew_aware(self):
+        # one group of size 8 and eight of size 1: a random edge lands
+        # in the big group half the time, so the expected fan-out is
+        # far above the average group size (16/9 ≈ 1.8).
+        skewed = pred_stats([(0, o) for o in range(8)]
+                            + [(s, 0) for s in range(1, 9)])
+        assert skewed.edge_fanout("s") > 4.0
+        flat = pred_stats([(s, s) for s in range(16)])
+        assert flat.edge_fanout("s") == 1.0
+
+
+class TestMakeRanker:
+    TPS = [TriplePattern(Variable("s"), P, Variable("o"))]
+
+    def test_no_stats_yields_static_heuristic(self):
+        ranker = make_ranker(self.TPS, [5], None, FakeStore({P: 1}))
+        assert type(ranker) is SelectivityRanker
+        assert ranker.source == "heuristic"
+
+    def test_stats_yield_cost_ranker(self):
+        stats = StoreStats(
+            predicates={1: pred_stats([(s, 0) for s in range(5)])})
+        ranker = make_ranker(self.TPS, [5], stats, FakeStore({P: 1}))
+        assert type(ranker) is CostRanker
+        assert ranker.source == "cost"
+        assert ranker.jvar_key(Variable("o")) == 1
+
+    def test_unknown_predicate_encodes_to_none(self):
+        stats = StoreStats(predicates={})
+        ranker = make_ranker(self.TPS, [5], stats, FakeStore({}))
+        assert type(ranker) is CostRanker
+        assert ranker.jvar_key(Variable("s")) == 5
+
+
+class TestHistogram:
+    def test_log2_buckets(self):
+        assert _histogram([1, 1, 2, 3, 4, 7, 8]) == (2, 2, 2, 1)
+        assert _histogram([]) == ()
+
+    def test_roundtrip_preserves_estimates(self):
+        pairs = [(s, o) for s in range(7) for o in range(s + 1)]
+        original = StoreStats(predicates={3: pred_stats(pairs)})
+        decoded = StoreStats.from_bytes(original.to_bytes())
+        a, b = original.predicates[3], decoded.predicates[3]
+        assert a == b
+        assert a.edge_fanout("s") == pytest.approx(b.edge_fanout("s"))

@@ -18,7 +18,8 @@ from repro import Graph, Triple, URI
 from repro.fuzz import (CampaignConfig, FuzzCase, GraphSpec,
                         QueryGenerator, QuerySpec, case_from_json,
                         case_to_json, generate_case, generate_graph,
-                        inject_bug, run_campaign, run_case, shrink)
+                        inject_bug, run_campaign, run_case,
+                        run_ordering_case, shrink)
 from repro.sparql.parser import parse_query
 from repro.sparql.wd import is_well_designed
 
@@ -255,3 +256,43 @@ class TestInjectedBugSelfCheck:
         with pytest.raises(ValueError, match="unknown bug"):
             with inject_bug("gremlins"):
                 pass
+
+
+class TestOrderingProfile:
+    """Cost-based vs heuristic ordering must be row-identical."""
+
+    def test_agreeing_case_runs_both_orderings(self):
+        graph = [Triple(URI("a"), URI("p"), URI("b")),
+                 Triple(URI("b"), URI("q"), URI("c")),
+                 Triple(URI("a"), URI("p"), URI("c"))]
+        case = FuzzCase(
+            query_text="SELECT * WHERE { ?x <p> ?y . ?y <q> ?z }",
+            triples=tuple(graph))
+        result = run_ordering_case(case)
+        assert result.status == "agree"
+        assert not result.disagreements
+
+    def test_frozen_store_plans_cost_based(self):
+        # the profile's whole point: freezing flips the ordering source
+        from repro import BitMatStore
+        from repro.core.explain import explain
+
+        graph = Graph([Triple(URI("a"), URI("p"), URI("b")),
+                       Triple(URI("b"), URI("q"), URI("c"))])
+        query = "SELECT * WHERE { ?x <p> ?y . ?y <q> ?z }"
+        frozen = BitMatStore.build(graph)
+        frozen.freeze()
+        assert explain(frozen, query).branches[0].ordering_source == "cost"
+        plain = BitMatStore.build(graph)
+        assert (explain(plain, query).branches[0].ordering_source
+                == "heuristic")
+
+    def test_small_campaign_is_clean_and_deterministic(self):
+        config = CampaignConfig(seed=11, budget=25, profile="ordering")
+        first = run_campaign(config)
+        second = run_campaign(config)
+        assert first.ok, [d.describe() for f in first.failures
+                          for d in f.disagreements]
+        assert first.cases == 25
+        assert (first.agreed, first.unsupported, first.skipped) == (
+            second.agreed, second.unsupported, second.skipped)

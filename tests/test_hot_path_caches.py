@@ -285,13 +285,40 @@ class TestPlanCache:
         assert second.rows == first.rows
 
     def test_pruned_state_not_shared_between_plans(self):
-        """Executions rebuild TP state: plans cache analysis only."""
+        """Warm repeats may replay memoized pruned state, but must
+        report the identical pruned size and rows as the cold run."""
         engine, graph = self._engine()
         query = PLAN_KEY_QUERIES[0]
         cold = engine.execute(query)
         after_pruning = engine.last_stats.triples_after_pruning
         warm = engine.execute(query)
-        # the warm run re-runs init+prune on fresh state and must land
-        # on the identical pruned size and rows
         assert engine.last_stats.triples_after_pruning == after_pruning
         assert warm.rows == cold.rows
+
+    def test_state_memo_matches_memoless_execution(self):
+        """The pruned-state memo is a pure cache: identical rows and
+        pruned sizes with the ablation switch on and off."""
+        graph = Graph(triples(*FIGURE_3_2))
+        memoized = LBREngine(BitMatStore.build(graph))
+        plain = LBREngine(BitMatStore.build(graph),
+                          enable_state_memo=False)
+        for query in PLAN_KEY_QUERIES:
+            cold = memoized.execute(query)
+            cold_stats = memoized.last_stats
+            warm = memoized.execute(query)
+            warm_stats = memoized.last_stats
+            reference = plain.execute(query)
+            assert warm.rows == cold.rows == reference.rows
+            assert (warm_stats.triples_after_pruning
+                    == cold_stats.triples_after_pruning
+                    == plain.last_stats.triples_after_pruning)
+
+    def test_state_memo_lifetime_tied_to_plan_cache(self):
+        """Evicting a plan drops its memo with it: re-executing after
+        eviction recompiles and re-prunes, same answer."""
+        graph = Graph(triples(*FIGURE_3_2))
+        engine = LBREngine(BitMatStore.build(graph), plan_cache_size=1)
+        first = engine.execute(PLAN_KEY_QUERIES[0])
+        engine.execute(PLAN_KEY_QUERIES[1])  # evicts the first plan
+        again = engine.execute(PLAN_KEY_QUERIES[0])
+        assert again.rows == first.rows

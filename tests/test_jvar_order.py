@@ -144,3 +144,61 @@ class TestDegenerate:
             "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?a <q> ?c } }", [3, 4])
         order_bu, order_td = get_jvar_order(gosn, goj, ranker)
         assert order_bu.count(Variable("a")) >= 2
+
+
+class TestDeterminism:
+    """S-tier reproducibility: tie-breaks are keys, never hash order.
+
+    Cost-vs-heuristic plan diffs are only meaningful when the same
+    inputs always produce the same orders, so every ranking tie breaks
+    by variable name / supernode index and the whole pipeline must be
+    insensitive to the interpreter's hash seed.
+    """
+
+    TIED = """
+SELECT * WHERE {
+  ?a <p> ?b . ?b <p> ?c . ?c <p> ?d . ?d <p> ?a .
+}"""
+
+    def test_tied_jvar_keys_break_by_name(self):
+        gosn, goj, ranker = build(self.TIED, [7, 7, 7, 7])
+        jvars = goj.nodes
+        assert ranker.most_selective_jvar(jvars) == Variable("a")
+        assert ranker.least_selective_jvar(jvars) == Variable("a")
+        assert ranker.greedy_jvar_order(jvars) == [
+            Variable(v) for v in "abcd"]
+
+    def test_tied_orders_stable_across_candidate_order(self):
+        gosn, goj, ranker = build(self.TIED, [7, 7, 7, 7])
+        baseline = get_jvar_order(gosn, goj, ranker)
+        for _ in range(5):
+            assert get_jvar_order(gosn, goj, ranker) == baseline
+
+    def test_orders_identical_across_hash_seeds(self):
+        """The executed plan is bit-identical under any PYTHONHASHSEED."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro import BitMatStore, LBREngine\n"
+            "from repro.datasets import generate_lubm, ALL_SUITES\n"
+            "store = BitMatStore.build(generate_lubm())\n"
+            "store.freeze()\n"
+            "engine = LBREngine(store)\n"
+            "for name, query in sorted(ALL_SUITES['LUBM'].items()):\n"
+            "    print(name, str(engine.explain(query)))\n")
+        outputs = []
+        for seed in ("0", "1", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed,
+                       PYTHONPATH="src")
+            result = subprocess.run(
+                [sys.executable, "-c", script], env=env, cwd=_REPO_ROOT,
+                capture_output=True, text=True, check=True)
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
+import os as _os
+
+_REPO_ROOT = _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))

@@ -1,0 +1,92 @@
+"""Parity of the optional numpy fast path (``LBR_NUMPY=1``).
+
+The stdlib-only build is the default and the normatively tested one;
+the numpy path only accelerates bulk position decoding and must be
+bit-identical.  Parity is checked through a subprocess because the
+flag is read at import time: the child runs the battery under
+``LBR_NUMPY=1`` and prints a digest, the parent computes the same
+digest on the stdlib path.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: executed in both interpreters; prints one line per battery entry
+_BATTERY = """
+import hashlib
+
+from repro import BitMatStore, LBREngine
+from repro.bitmat.bitvec import BitVector
+from repro.datasets import ALL_SUITES, generate_lubm
+
+vectors = [
+    BitVector.empty(1000),
+    BitVector.full(1000),
+    BitVector.from_positions(1 << 14, range(7, 1 << 14, 97)),
+    BitVector.from_intervals(1 << 14, [(0, 5000), (9000, 16000)]),
+    BitVector.from_positions(256, [0, 1, 2, 255]),
+]
+for vec in vectors:
+    print(list(vec.positions_array()) == vec.positions())
+    print(hashlib.sha256(
+        repr(list(vec.positions_array())).encode()).hexdigest())
+
+store = BitMatStore.build(generate_lubm())
+store.freeze()
+engine = LBREngine(store)
+for name, query in sorted(ALL_SUITES["LUBM"].items()):
+    rows = sorted(repr(row) for row in engine.execute(query).rows)
+    print(name, hashlib.sha256("\\n".join(rows).encode()).hexdigest())
+"""
+
+
+def _run(env_flag: str) -> str:
+    env = dict(os.environ, LBR_NUMPY=env_flag, PYTHONPATH="src")
+    result = subprocess.run(
+        [sys.executable, "-c", _BATTERY], env=env, cwd=_REPO_ROOT,
+        capture_output=True, text=True, check=True)
+    return result.stdout
+
+
+def test_numpy_path_is_bit_identical():
+    pytest.importorskip("numpy")
+    stdlib_out = _run("0")
+    numpy_out = _run("1")
+    assert "False" not in stdlib_out
+    assert numpy_out == stdlib_out
+
+
+def test_flag_enables_numpy_in_subprocess():
+    pytest.importorskip("numpy")
+    env = dict(os.environ, LBR_NUMPY="1", PYTHONPATH="src")
+    result = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.bitmat import bitvec; print(bitvec._np is not None)"],
+        env=env, cwd=_REPO_ROOT, capture_output=True, text=True,
+        check=True)
+    assert result.stdout.strip() == "True"
+
+
+def test_missing_numpy_degrades_to_stdlib():
+    """LBR_NUMPY=1 without numpy importable must not break anything."""
+    env = dict(os.environ, LBR_NUMPY="1", PYTHONPATH="src")
+    script = (
+        "import sys\n"
+        "sys.modules['numpy'] = None\n"  # force ImportError on import
+        "import importlib\n"
+        "from repro.bitmat import bitvec\n"
+        "importlib.reload(bitvec)\n"
+        "print(bitvec._np is None)\n"
+        "vec = bitvec.BitVector.from_positions(64, [1, 5, 9])\n"
+        "print(list(vec.positions_array()))\n")
+    result = subprocess.run(
+        [sys.executable, "-c", script], env=env, cwd=_REPO_ROOT,
+        capture_output=True, text=True, check=True)
+    assert result.stdout.splitlines() == ["True", "[1, 5, 9]"]

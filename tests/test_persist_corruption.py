@@ -1,12 +1,12 @@
 """Corruption corpus: every on-disk format rejects every mangled image.
 
-One parametrized battery over the three store formats (``LBRSTORE1``,
-``LBRSTORE2``, ``LBRMMAP1``): truncations at every stride, varint
-bombs, single-bit flips in checksummed regions, and trailing garbage
-must all surface as a typed :class:`~repro.exceptions.StorageError` —
-never a silent wrong dataset, never an uncontrolled exception.  Plus
-the atomicity regression: a failed save must leave the previous image
-untouched.
+One parametrized battery over the four store formats (``LBRSTORE1``,
+``LBRSTORE2``, ``LBRSTORE3``, ``LBRMMAP1``): truncations at every
+stride, varint bombs, single-bit flips in checksummed regions, and
+trailing garbage must all surface as a typed
+:class:`~repro.exceptions.StorageError` — never a silent wrong
+dataset, never an uncontrolled exception.  Plus the atomicity
+regression: a failed save must leave the previous image untouched.
 """
 
 from __future__ import annotations
@@ -19,15 +19,19 @@ import pytest
 from repro import BitMatStore, StorageError
 from repro.bitmat.backend import open_store_bytes
 from repro.bitmat.mmapstore import _EXTENT, _HEADER, dump_mmap_bytes
-from repro.bitmat.persist import _MAGIC, _MAGIC_V1, dump_store_bytes
+from repro.bitmat.persist import (_MAGIC, _MAGIC_V1, _MAGIC_V3,
+                                  dump_store_bytes)
 
-FORMATS = ["LBRSTORE1", "LBRSTORE2", "LBRMMAP1"]
+FORMATS = ["LBRSTORE1", "LBRSTORE2", "LBRSTORE3", "LBRMMAP1"]
 
 
 def dump_as(store: BitMatStore, fmt: str) -> bytes:
     if fmt == "LBRMMAP1":
         return dump_mmap_bytes(store)
-    payload = dump_store_bytes(store)
+    if fmt == "LBRSTORE3":
+        return dump_store_bytes(store)
+    # v2 is the v3 body without the statistics section
+    payload = dump_store_bytes(store, include_stats=False)
     if fmt == "LBRSTORE1":
         # v1 is the v2 body without the CRC footer, under the old magic
         return _MAGIC_V1 + payload[len(_MAGIC):-4]
@@ -47,10 +51,16 @@ def mmap_regions(payload: bytes) -> list[tuple[int, int]]:
     bit-flip tests must aim at bytes a reader actually consumes.
     """
     fields = _HEADER.unpack(payload[:_HEADER.size])
-    (_, _, _, _, _, _, _, num_predicates, _, dict_off, dict_len,
+    (_, version, _, _, _, _, _, num_predicates, _, dict_off, dict_len,
      index_off, index_len, _, _, _, _) = fields
     regions = [(0, _HEADER.size), (dict_off, dict_off + dict_len),
                (index_off, index_off + index_len)]
+    if version >= 2:
+        # the statistics section (length/CRC prefix + payload)
+        stats_off = index_off + index_len
+        stats_len = struct.unpack(
+            "<I", payload[stats_off:stats_off + 4])[0]
+        regions.append((stats_off, stats_off + 8 + stats_len))
     for pid in range(1, num_predicates + 1):
         record = payload[index_off + (pid - 1) * _EXTENT.size:
                          index_off + pid * _EXTENT.size]
@@ -137,6 +147,8 @@ class TestCorruptionCorpus:
         elif fmt == "LBRSTORE2":
             # recompute the CRC so only the varint cap can object
             payload = rewrite_v2_crc(_MAGIC + bomb)
+        elif fmt == "LBRSTORE3":
+            payload = rewrite_v2_crc(_MAGIC_V3 + bomb)
         else:
             payload = patch_extent(images[fmt], bomb)
         with pytest.raises(StorageError) as excinfo:
@@ -149,7 +161,7 @@ class TestCorruptionCorpus:
         if fmt == "LBRSTORE1":
             pytest.skip("v1 has no checksum; its parser catches only "
                         "structural damage (covered by the other tests)")
-        if fmt == "LBRSTORE2":
+        if fmt in ("LBRSTORE2", "LBRSTORE3"):
             positions = range(0, len(payload), 101)
         else:
             positions = [start + step

@@ -39,9 +39,16 @@ _CASES = [(dataset, name, query)
 
 @pytest.fixture(scope="module")
 def stores():
-    """One BitMat store per dataset, shared by every query of a suite."""
-    return {dataset: BitMatStore.build(generate())
-            for dataset, generate in _GENERATORS.items()}
+    """One *frozen* BitMat store per dataset, shared per suite.
+
+    Freezing collects per-predicate statistics, so the snapshots pin
+    the cost-based ordering decisions (not the heuristic fallback).
+    """
+    built = {dataset: BitMatStore.build(generate())
+             for dataset, generate in _GENERATORS.items()}
+    for store in built.values():
+        store.freeze()
+    return built
 
 
 def _golden_path(dataset: str, name: str) -> str:

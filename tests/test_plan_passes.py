@@ -262,7 +262,8 @@ class TestPassManager:
         result = run_pipeline(logical)
         assert [record.name for record in result.trace] == [
             "equality-filter-elimination", "union-normal-form",
-            "filter-scope-assignment", "wd-analysis"]
+            "filter-scope-assignment", "wd-analysis",
+            "cost-based-ordering"]
 
     def test_trace_marks_what_changed(self):
         _, logical = compile_logical(q(
