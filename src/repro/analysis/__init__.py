@@ -1,0 +1,20 @@
+"""Project-invariant static analysis (``lbr lint``).
+
+AST-walking checkers for the invariants the engine's algorithms assume
+but no generic linter knows about: lock/stripe discipline in the
+concurrent service, retain/close pairing on refcounted stores,
+hash-seed-independent ordering in the planner, the tmp→fsync→rename
+durability protocol, and the typed exception taxonomy.  See DESIGN.md
+§13 for the invariant catalog and suppression policy.
+"""
+
+from .framework import (Checker, Finding, LintConfig, Module,
+                        Suppression, apply_suppressions)
+from .runner import (CHECKERS, LintReport, all_rules, check_source,
+                     main, run_lint)
+
+__all__ = [
+    "Checker", "Finding", "LintConfig", "Module", "Suppression",
+    "apply_suppressions", "CHECKERS", "LintReport", "all_rules",
+    "check_source", "main", "run_lint",
+]

@@ -1,0 +1,312 @@
+"""Determinism: planner and kernel code may not depend on hash order.
+
+PR 8 pinned plan selection to be PYTHONHASHSEED-independent (golden
+plans diff across seeds in CI); these rules keep it that way at the
+AST level in the modules where iteration order can reach a plan or a
+result row (scoped via pyproject to ``plan/``, ``core/multiway.py``,
+``bitmat/stats.py``):
+
+* ``det-unsorted-iteration`` — iterating a *set-typed* expression into
+  an ordering-sensitive sink (list building, emission, first-match
+  selection) without ``sorted(...)``.  Set types are inferred locally
+  and conservatively: set displays/comprehensions, ``set()``/
+  ``frozenset()`` calls, set-operator results, and names bound to
+  those in the same function.  Order-insensitive consumption —
+  commutative reducers (``sum``/``min``/``max``/``any``/``all``/
+  ``len``/``set``/``frozenset``), pure accumulation loop bodies
+  (``.add``/``.update``/``|=``) — stays silent: a fold over a set is
+  fine, an emission from one is not.
+* ``det-id-order`` — ``id(...)`` feeding a sort key or an order
+  comparison (address order varies run to run).  ``id()`` as a dict
+  key (the node-identity memo pattern) is fine.
+* ``det-hash-order`` — ``hash(...)`` feeding a sort key or order
+  comparison; with randomized string hashing this is seed-dependent.
+* ``det-impure-kernel`` — wall-clock or randomness inside kernels
+  (``time.*``, ``random.*``, ``os.urandom``, ``uuid.*``): plan choice
+  and join results must be pure functions of store + query.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .framework import Checker, Finding, Module, dotted_name
+
+RULE_UNSORTED = "det-unsorted-iteration"
+RULE_ID = "det-id-order"
+RULE_HASH = "det-hash-order"
+RULE_IMPURE = "det-impure-kernel"
+
+#: Callables whose consumption of an iterable is order-insensitive.
+_REDUCERS = frozenset({
+    "sum", "min", "max", "any", "all", "len", "set", "frozenset",
+    "sorted", "dict.fromkeys",
+})
+
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+    "copy",
+})
+
+_IMPURE_PREFIXES = ("time.", "random.", "uuid.")
+_IMPURE_CALLS = frozenset({"time.time", "time.monotonic",
+                           "time.perf_counter", "os.urandom",
+                           "os.getrandom"})
+
+
+class Determinism(Checker):
+
+    name = "Determinism"
+    rules = {
+        RULE_UNSORTED: "unsorted set iteration feeds an "
+                       "ordering-sensitive sink",
+        RULE_ID: "id() feeds an ordering decision",
+        RULE_HASH: "hash() feeds an ordering decision",
+        RULE_IMPURE: "time/randomness inside a deterministic kernel",
+    }
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(module, node, findings)
+        self._check_impure(module, findings)
+        return findings
+
+    # ------------------------------------------------------------------
+    # set-iteration rule
+    # ------------------------------------------------------------------
+
+    def _check_function(self, module: Module,
+                        function: ast.FunctionDef
+                        | ast.AsyncFunctionDef,
+                        findings: list[Finding]) -> None:
+        set_names = _local_set_names(function)
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(function):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for node in ast.walk(function):
+            if isinstance(node, ast.For):
+                if not _is_set_expr(node.iter, set_names):
+                    continue
+                if _loop_body_order_insensitive(node.body):
+                    continue
+                findings.append(self.finding(
+                    module.path, node, RULE_UNSORTED,
+                    "for-loop over a set feeds ordering-sensitive "
+                    "work; wrap the iterable in sorted(...)"))
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                if not node.generators \
+                        or not _is_set_expr(node.generators[0].iter,
+                                            set_names):
+                    continue
+                if _feeds_reducer(node, parents):
+                    continue
+                findings.append(self.finding(
+                    module.path, node, RULE_UNSORTED,
+                    "comprehension over a set materializes "
+                    "hash-dependent order; wrap the source in "
+                    "sorted(...)"))
+            elif isinstance(node, ast.Call):
+                findings.extend(
+                    self._check_materialization(module, node,
+                                                set_names))
+            elif isinstance(node, ast.Compare):
+                self._check_order_compare(module, node, findings)
+
+    def _check_materialization(self, module: Module, node: ast.AST,
+                               set_names: set[str]) -> list[Finding]:
+        """list()/tuple()/join over a set, or a comprehension over one
+        that does not feed a commutative reducer."""
+        findings: list[Finding] = []
+        if isinstance(node, ast.Call):
+            callee = dotted_name(node.func)
+            terminal = callee.rsplit(".", 1)[-1]
+            if terminal in ("list", "tuple", "enumerate") \
+                    and node.args \
+                    and _is_set_expr(node.args[0], set_names):
+                findings.append(self.finding(
+                    module.path, node, RULE_UNSORTED,
+                    f"{terminal}() over a set materializes "
+                    f"hash-dependent order; use sorted(...)"))
+            elif terminal == "join" and node.args \
+                    and _is_set_expr(node.args[0], set_names):
+                findings.append(self.finding(
+                    module.path, node, RULE_UNSORTED,
+                    "str.join over a set is hash-order dependent; "
+                    "use sorted(...)"))
+            # ordering keys
+            for keyword in node.keywords:
+                if keyword.arg == "key" \
+                        and terminal in ("sorted", "min", "max", "sort"):
+                    self._check_sort_key(module, keyword.value,
+                                         findings)
+        return findings
+
+    def _check_sort_key(self, module: Module, key: ast.AST,
+                        findings: list[Finding]) -> None:
+        rule_for = {"id": RULE_ID, "hash": RULE_HASH}
+        if isinstance(key, ast.Name) and key.id in rule_for:
+            findings.append(self.finding(
+                module.path, key, rule_for[key.id],
+                f"key={key.id} sorts by a value that changes between "
+                f"runs"))
+            return
+        for node in ast.walk(key):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id in rule_for:
+                findings.append(self.finding(
+                    module.path, node, rule_for[node.func.id],
+                    f"{node.func.id}() inside a sort key is "
+                    f"run-dependent"))
+
+    def _check_order_compare(self, module: Module, node: ast.Compare,
+                             findings: list[Finding]) -> None:
+        ordering_ops = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+        if not any(isinstance(op, ordering_ops) for op in node.ops):
+            return
+        rule_for = {"id": RULE_ID, "hash": RULE_HASH}
+        for operand in [node.left] + list(node.comparators):
+            if isinstance(operand, ast.Call) \
+                    and isinstance(operand.func, ast.Name) \
+                    and operand.func.id in rule_for:
+                findings.append(self.finding(
+                    module.path, operand,
+                    rule_for[operand.func.id],
+                    f"ordering comparison on {operand.func.id}() is "
+                    f"run-dependent (use a stable tie-break key)"))
+
+    # ------------------------------------------------------------------
+    # impure-kernel rule
+    # ------------------------------------------------------------------
+
+    def _check_impure(self, module: Module,
+                      findings: list[Finding]) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee in _IMPURE_CALLS \
+                    or callee.startswith(_IMPURE_PREFIXES):
+                findings.append(self.finding(
+                    module.path, node, RULE_IMPURE,
+                    f"{callee}() in a kernel module: plan choice and "
+                    f"results must be pure functions of store+query"))
+
+
+# ----------------------------------------------------------------------
+# local set-type inference
+# ----------------------------------------------------------------------
+
+def _local_set_names(function: ast.AST) -> set[str]:
+    """Names bound to set-typed values anywhere in *function*.
+
+    Single-pass with a fixpoint-ish second pass so ``a = set(); b = a``
+    classifies ``b`` too.
+    """
+    names: set[str] = set()
+    for _ in range(2):
+        for node in ast.walk(function):
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                target = node.targets[0].id
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name) \
+                    and _is_set_annotation(node.annotation):
+                names.add(node.target.id)
+                continue
+            else:
+                continue
+            if _is_set_expr(value, names):
+                names.add(target)
+    # annotated parameters
+    args = getattr(function, "args", None)
+    if args is not None:
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is not None \
+                    and _is_set_annotation(arg.annotation):
+                names.add(arg.arg)
+    return names
+
+
+def _is_set_annotation(annotation: ast.AST) -> bool:
+    base = annotation
+    if isinstance(base, ast.Subscript):
+        base = base.value
+    name = dotted_name(base).rsplit(".", 1)[-1]
+    if name in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet"):
+        return True
+    if isinstance(annotation, ast.Constant) \
+            and isinstance(annotation.value, str):
+        text = annotation.value.strip()
+        return text.startswith(("set[", "frozenset[", "Set[",
+                                "FrozenSet[", "AbstractSet["))
+    return False
+
+
+def _is_set_expr(expr: ast.AST, set_names: set[str]) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in set_names
+    if isinstance(expr, ast.Call):
+        callee = dotted_name(expr.func)
+        terminal = callee.rsplit(".", 1)[-1]
+        if terminal in ("set", "frozenset"):
+            return True
+        if terminal in _SET_METHODS and isinstance(expr.func,
+                                                   ast.Attribute):
+            return _is_set_expr(expr.func.value, set_names) or True
+    if isinstance(expr, ast.BinOp) \
+            and isinstance(expr.op, (ast.BitOr, ast.BitAnd,
+                                     ast.BitXor, ast.Sub)):
+        return (_is_set_expr(expr.left, set_names)
+                or _is_set_expr(expr.right, set_names))
+    return False
+
+
+def _feeds_reducer(node: ast.AST,
+                   parents: dict[ast.AST, ast.AST]) -> bool:
+    """Is *node* directly an argument of a commutative reducer call?"""
+    parent = parents.get(node)
+    if not isinstance(parent, ast.Call) or node is parent.func:
+        return False
+    callee = dotted_name(parent.func)
+    terminal = callee.rsplit(".", 1)[-1]
+    return terminal in _REDUCERS or callee in _REDUCERS
+
+
+def _loop_body_order_insensitive(body: list[ast.stmt]) -> bool:
+    """True when every statement only accumulates commutatively."""
+    for stmt in body:
+        if isinstance(stmt, ast.AugAssign) \
+                and isinstance(stmt.op, (ast.BitOr, ast.BitAnd,
+                                         ast.BitXor, ast.Add)) \
+                and not isinstance(stmt.target, ast.Subscript):
+            # x |= ...: set-union style accumulation; += accepted for
+            # numeric tallies (list += would usually pair with an
+            # order-sensitive consumer that gets flagged there)
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value,
+                                                     ast.Call):
+            attr = stmt.value.func
+            if isinstance(attr, ast.Attribute) \
+                    and attr.attr in ("add", "update", "discard",
+                                      "remove"):
+                continue
+            return False
+        if isinstance(stmt, ast.If):
+            if _loop_body_order_insensitive(
+                    stmt.body) and _loop_body_order_insensitive(
+                    stmt.orelse):
+                continue
+            return False
+        if isinstance(stmt, (ast.Continue, ast.Pass)):
+            continue
+        return False
+    return True

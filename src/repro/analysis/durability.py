@@ -1,0 +1,80 @@
+"""Durability: store artifacts are published atomically, via fsio.
+
+The crash-recovery model (DESIGN.md §10/§11) rests on exactly one
+publication protocol: write a temp name, fsync the content, rename
+over the destination, fsync the directory — implemented once as
+:func:`repro.fsio.atomic_write` behind the :class:`~repro.fsio.FileSystem`
+seam.  A write path that bypasses the seam is invisible to the
+fault-injecting filesystems, so the crash-at-every-op property cannot
+certify it; a bare ``os.rename`` can publish un-fsynced bytes.  Rules
+(scoped via pyproject to the persistence layer — ``bitmat/``,
+``update/``, ``server/``; :mod:`repro.fsio` itself is the one module
+allowed to touch ``os``):
+
+* ``dur-bare-rename`` — ``os.rename``/``os.replace``/``shutil.move``
+  outside fsio; use ``fs.replace`` (after ``fsync``) or
+  ``atomic_write``.
+* ``dur-raw-write`` — builtin ``open()`` in a writable mode; store
+  images, WAL segments, and MANIFEST files must be written through a
+  ``FileSystem`` handle so fsync points and crash injection see them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .framework import Checker, Finding, Module, dotted_name
+
+RULE_RENAME = "dur-bare-rename"
+RULE_RAW_WRITE = "dur-raw-write"
+
+_RENAMERS = frozenset({"os.rename", "os.replace", "shutil.move"})
+_WRITE_MODE_CHARS = ("w", "a", "x", "+")
+
+
+class Durability(Checker):
+
+    name = "Durability"
+    rules = {
+        RULE_RENAME: "bare rename on a store artifact (use the fsio "
+                     "seam's replace/atomic_write)",
+        RULE_RAW_WRITE: "raw writable open() in the persistence layer "
+                        "(write through a FileSystem handle)",
+    }
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee in _RENAMERS:
+                findings.append(self.finding(
+                    module.path, node, RULE_RENAME,
+                    f"{callee}() publishes without the fsio protocol "
+                    f"(no fsync ordering, invisible to crash "
+                    f"injection); use fs.replace/atomic_write"))
+            elif isinstance(node.func, ast.Name) \
+                    and node.func.id == "open" \
+                    and _opens_for_write(node):
+                findings.append(self.finding(
+                    module.path, node, RULE_RAW_WRITE,
+                    "writable open() bypasses the FileSystem seam; "
+                    "durability-critical bytes must flow through "
+                    "fsio handles (fsync-visible, crash-injectable)"))
+        return findings
+
+
+def _opens_for_write(call: ast.Call) -> bool:
+    mode: ast.AST | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(char in mode.value for char in _WRITE_MODE_CHARS)
+    return True  # dynamic mode: conservatively a write

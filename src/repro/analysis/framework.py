@@ -1,0 +1,262 @@
+"""The checker framework behind ``lbr lint``.
+
+The engine depends on four families of invariants that ordinary tests
+only catch when a test happens to exercise a violation: lock/stripe
+discipline in the concurrent service, retain/close pairing on
+refcounted stores, hash-seed-independent ordering in the planner, and
+the tmp→fsync→rename durability protocol.  :mod:`repro.analysis` pins
+them statically: each invariant family is a :class:`Checker` that walks
+module ASTs and emits :class:`Finding` records.
+
+Design points:
+
+* **Two phases.**  :meth:`Checker.check_module` runs once per file;
+  :meth:`Checker.finish` runs once after every file has been seen, for
+  cross-file properties (e.g. a lock pair acquired as A→B in one module
+  and B→A in another is a deadlock even though each file looks locally
+  consistent).
+* **Suppressions carry justifications.**  An ``lbr: allow`` comment
+  naming the rule id, followed by ``: why this is safe``, placed on
+  the offending line (or the line above) silences one rule at one
+  site.  An ``allow`` without justification text is itself a finding
+  (rule ``allow-missing-justification``) — the point of a suppression
+  is the recorded argument, not the silence.
+* **Rules are scoped in ``pyproject.toml``.**  ``[tool.lbr.lint.scopes]``
+  maps rule ids to path globs, so e.g. determinism rules bind only to
+  the planner and kernel modules where iteration order reaches query
+  results, and durability rules bind only to the persistence layer.
+
+Checkers are deliberately *conservative*: attribute types are not
+inferred, so a construct the walker cannot classify stays silent rather
+than guessing.  The planted-violation corpus in
+:mod:`repro.analysis.selfcheck` keeps each rule honest in the other
+direction — every rule must catch its fixture.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+import tomllib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+#: Framework-level rule: an ``allow`` comment without justification.
+RULE_ALLOW_JUSTIFICATION = "allow-missing-justification"
+#: Framework-level rule: a file the parser cannot read.
+RULE_PARSE_ERROR = "parse-error"
+
+_ALLOW_RE = re.compile(
+    r"#\s*lbr:\s*allow\[([A-Za-z0-9_,\s-]+)\]\s*(?::\s*(.*?))?\s*$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one site."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    checker: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {"path": self.path, "line": self.line, "rule": self.rule,
+                "message": self.message, "checker": self.checker}
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# lbr: allow[...]`` comment."""
+
+    path: str
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+
+    def covers(self, finding: Finding) -> bool:
+        # a suppression silences findings on its own line and on the
+        # line below (comment-above-statement style)
+        return (finding.rule in self.rules
+                and finding.line in (self.line, self.line + 1))
+
+
+@dataclass
+class Module:
+    """One parsed source file, shared by every checker."""
+
+    path: str          # repo-relative, forward slashes
+    source: str
+    tree: ast.Module
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "Module":
+        tree = ast.parse(source, filename=path)
+        module = cls(path=path, source=source, tree=tree)
+        for number, text in enumerate(source.splitlines(), start=1):
+            match = _ALLOW_RE.search(text)
+            if match is None:
+                continue
+            rules = tuple(rule.strip()
+                          for rule in match.group(1).split(",")
+                          if rule.strip())
+            module.suppressions.append(Suppression(
+                path=path, line=number, rules=rules,
+                justification=(match.group(2) or "").strip()))
+        return module
+
+
+class Checker:
+    """Base class: one invariant family, one or more rule ids.
+
+    Subclasses set ``name`` and ``rules`` (id → one-line description)
+    and override :meth:`check_module`; cross-file checkers accumulate
+    state there and emit the global findings from :meth:`finish`.
+    """
+
+    name: str = "checker"
+    rules: dict[str, str] = {}
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finish(self) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, module_path: str, node: ast.AST | int, rule: str,
+                message: str) -> Finding:
+        line = node if isinstance(node, int) else node.lineno
+        return Finding(path=module_path, line=line, rule=rule,
+                       message=message, checker=self.name)
+
+
+@dataclass
+class LintConfig:
+    """``[tool.lbr.lint]`` from pyproject.toml."""
+
+    paths: tuple[str, ...] = ("src/repro",)
+    exclude: tuple[str, ...] = ()
+    #: rule id -> path globs it binds to; a rule absent here applies
+    #: everywhere under ``paths``
+    scopes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def from_pyproject(cls, text: str) -> "LintConfig":
+        data = tomllib.loads(text)
+        section = data.get("tool", {}).get("lbr", {}).get("lint", {})
+        scopes = {rule: tuple(globs) for rule, globs
+                  in section.get("scopes", {}).items()}
+        return cls(paths=tuple(section.get("paths", ("src/repro",))),
+                   exclude=tuple(section.get("exclude", ())),
+                   scopes=scopes)
+
+    def rule_applies(self, rule: str, path: str) -> bool:
+        globs = self.scopes.get(rule)
+        if globs is None:
+            return True
+        return any(fnmatch.fnmatch(path, glob) for glob in globs)
+
+    def path_excluded(self, path: str) -> bool:
+        return any(fnmatch.fnmatch(path, glob) for glob in self.exclude)
+
+
+def apply_suppressions(
+        findings: Iterable[Finding],
+        modules: Iterable[Module]) -> tuple[list[Finding],
+                                            list[Suppression]]:
+    """Filter suppressed findings; returns (kept, used suppressions).
+
+    Suppressions lacking justification text surface as
+    ``allow-missing-justification`` findings in the kept list — a
+    silent waiver is not a waiver.
+    """
+    suppressions = [s for module in modules
+                    for s in module.suppressions]
+    kept: list[Finding] = []
+    used: list[Suppression] = []
+    for finding in findings:
+        matching = [s for s in suppressions
+                    if s.path == finding.path and s.covers(finding)]
+        justified = [s for s in matching if s.justification]
+        if justified:
+            for suppression in justified:
+                if suppression not in used:
+                    used.append(suppression)
+            continue
+        kept.append(finding)
+    for suppression in suppressions:
+        if not suppression.justification:
+            kept.append(Finding(
+                path=suppression.path, line=suppression.line,
+                rule=RULE_ALLOW_JUSTIFICATION,
+                message=("allow["
+                         + ",".join(suppression.rules)
+                         + "] needs a justification: "
+                           "'# lbr: allow[rule]: why this is safe'"),
+                checker="framework"))
+    return sorted(set(kept)), used
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+
+def call_name(node: ast.Call) -> str:
+    """Dotted name of a call target, best effort.
+
+    ``os.fsync(...)`` → ``"os.fsync"``; ``handle.fsync(...)`` →
+    ``"handle.fsync"``; anything unnameable → ``""``.
+    """
+    return dotted_name(node.func)
+
+
+def dotted_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    return ""
+
+
+def terminal_name(node: ast.AST) -> str:
+    """Last dotted component (``os.fsync`` → ``fsync``)."""
+    name = dotted_name(node)
+    return name.rsplit(".", 1)[-1] if name else ""
+
+
+def walk_function_body(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk *node* without descending into nested function/class defs.
+
+    A closure defined under a lock does not *run* under the lock, and a
+    nested class's methods have their own lifecycles — analyses over a
+    region must not attribute their bodies to it.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def iter_functions(tree: ast.Module) -> Iterator[ast.FunctionDef
+                                                 | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def contains_name(node: ast.AST, name: str) -> bool:
+    """Does any Name load of *name* occur inside *node*?"""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == name:
+            return True
+    return False

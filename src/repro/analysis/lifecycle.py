@@ -1,0 +1,240 @@
+"""ResourceLifecycle: every retained handle reaches a ``close()``.
+
+Snapshots, overlay bases, and mmap stores are reference counted
+(``retain()``/``close()`` — DESIGN.md §9/§11): a retain that misses its
+close on *any* path keeps an mmap handle alive forever; one that
+misses it on an *exception* path leaks exactly when the system is
+already degraded.  Two rules:
+
+* ``resource-unclosed`` — a local name bound to an acquisition
+  (``retain()``, ``open_store*``, ``open_image``, ``mmap.mmap``, raw
+  ``open``) must be released on every path.  The walk is a
+  conservative document-order CFG approximation: the region between
+  the acquisition and either the protecting ``try`` or the ``close()``
+  itself must be raise-free (no calls), and a close that only sits on
+  the fall-through path does not cover the exception edge.
+  Ownership-transferring uses — returning the handle, storing it on
+  ``self``/a container, passing it to a callee — discharge the
+  obligation (the receiver owns the lifecycle).
+* ``resource-raw-open`` — persistence modules must do file I/O through
+  the :mod:`repro.fsio` seam, not builtin ``open``: raw I/O is
+  invisible to the fault-injecting filesystems, so a crash test cannot
+  prove the path recovers.  Scoped (pyproject) to the persistence
+  layer; deliberate fast paths carry justified suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .framework import Checker, Finding, Module, terminal_name, \
+    walk_function_body
+
+#: Terminal callee names whose result owns a releasable resource.
+ACQUIRERS = frozenset({
+    "retain", "open_store", "open_store_bytes", "open_image", "mmap",
+    "open", "open_append", "open_write",
+})
+
+RULE_UNCLOSED = "resource-unclosed"
+RULE_RAW_OPEN = "resource-raw-open"
+
+
+class ResourceLifecycle(Checker):
+
+    name = "ResourceLifecycle"
+    rules = {
+        RULE_UNCLOSED: "acquired handle may not reach close() on "
+                       "every path",
+        RULE_RAW_OPEN: "raw open() in a persistence module (use the "
+                       "fsio FileSystem seam)",
+    }
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(module, node, findings)
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "open"):
+                findings.append(self.finding(
+                    module.path, node, RULE_RAW_OPEN,
+                    "builtin open() bypasses the fsio FileSystem seam "
+                    "(crash injection cannot see this I/O)"))
+        return findings
+
+    # ------------------------------------------------------------------
+    # per-function conservative CFG walk
+    # ------------------------------------------------------------------
+
+    def _check_function(self, module: Module,
+                        function: ast.FunctionDef
+                        | ast.AsyncFunctionDef,
+                        findings: list[Finding]) -> None:
+        statements = [stmt for stmt in walk_function_body(function)
+                      if isinstance(stmt, ast.stmt)]
+        for acquisition in statements:
+            name = _acquired_name(acquisition)
+            if name is None:
+                continue
+            if self._escapes(function, acquisition, name):
+                continue
+            closes = _close_lines(function, acquisition, name)
+            if not closes:
+                findings.append(self.finding(
+                    module.path, acquisition, RULE_UNCLOSED,
+                    f"'{name}' acquires a handle that never reaches "
+                    f"{name}.close() and never escapes this function"))
+                continue
+            boundary = self._protection_boundary(
+                function, acquisition, name, closes)
+            risky = _raising_calls_between(
+                function, acquisition, name, boundary)
+            if risky:
+                findings.append(self.finding(
+                    module.path, acquisition, RULE_UNCLOSED,
+                    f"'{name}' is not closed on the exception edge: "
+                    f"line {risky[0]} can raise before the protecting "
+                    f"try/close (wrap the region or close in a "
+                    f"finally)"))
+
+    def _protection_boundary(self, function: ast.AST,
+                             acquisition: ast.stmt, name: str,
+                             closes: list[int]) -> int:
+        """First line after which an exception still closes *name*.
+
+        A ``try`` whose ``finally`` (or re-raising ``except``) closes
+        *name* protects everything from its own first line onward; a
+        plain fall-through close protects nothing before itself.
+        """
+        boundary = min(closes)
+        for node in walk_function_body(function):
+            if not isinstance(node, ast.Try) \
+                    or node.lineno <= acquisition.lineno:
+                continue
+            protected = any(
+                _block_closes(stmt, name) for stmt in node.finalbody)
+            if not protected:
+                for handler in node.handlers:
+                    body_closes = any(_block_closes(stmt, name)
+                                      for stmt in handler.body)
+                    body_raises = any(
+                        isinstance(child, ast.Raise)
+                        for stmt in handler.body
+                        for child in ast.walk(stmt))
+                    if body_closes and body_raises:
+                        protected = True
+            if protected:
+                boundary = min(boundary, node.lineno)
+        return boundary
+
+    def _escapes(self, function: ast.AST, acquisition: ast.stmt,
+                 name: str) -> bool:
+        for node in walk_function_body(function):
+            if getattr(node, "lineno", 0) < acquisition.lineno:
+                continue
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if node.value is not None \
+                        and _passes_handle(node.value, name):
+                    return True
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets
+                           if isinstance(node, ast.Assign)
+                           else [node.target])
+                stored = any(
+                    isinstance(target, (ast.Attribute, ast.Subscript))
+                    for target in targets)
+                if node is not acquisition and stored \
+                        and _passes_handle(node.value, name):
+                    return True
+            elif isinstance(node, ast.Call):
+                # the bare handle passed to a callee is ownership
+                # transfer; a method call on it (or passing values
+                # derived from it) is mere use
+                for argument in list(node.args) \
+                        + [kw.value for kw in node.keywords]:
+                    if _is_bare_handle(argument, name):
+                        return True
+        return False
+
+
+def _is_bare_handle(expr: ast.AST, name: str) -> bool:
+    """Is *expr* the handle itself (possibly in a display/star)?"""
+    if isinstance(expr, ast.Name):
+        return expr.id == name
+    if isinstance(expr, ast.Starred):
+        return _is_bare_handle(expr.value, name)
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return any(_is_bare_handle(element, name)
+                   for element in expr.elts)
+    return False
+
+
+def _passes_handle(expr: ast.AST, name: str) -> bool:
+    """The handle escapes through *expr*: it IS the expression, or it
+    is a direct argument of some call inside it."""
+    if _is_bare_handle(expr, name):
+        return True
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            for argument in list(node.args) \
+                    + [kw.value for kw in node.keywords]:
+                if _is_bare_handle(argument, name):
+                    return True
+    return False
+
+
+def _acquired_name(stmt: ast.stmt) -> str | None:
+    """Name bound by ``name = <acquirer>(...)``, else None."""
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return None
+    target = stmt.targets[0]
+    if not isinstance(target, ast.Name):
+        return None
+    value = stmt.value
+    if not isinstance(value, ast.Call):
+        return None
+    if terminal_name(value.func) in ACQUIRERS:
+        return target.id
+    return None
+
+
+def _is_close_call(node: ast.AST, name: str) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("close", "release")
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name)
+
+
+def _block_closes(stmt: ast.stmt, name: str) -> bool:
+    return any(_is_close_call(node, name) for node in ast.walk(stmt))
+
+
+def _close_lines(function: ast.AST, acquisition: ast.stmt,
+                 name: str) -> list[int]:
+    return sorted(
+        node.lineno for node in walk_function_body(function)
+        if _is_close_call(node, name)
+        and node.lineno > acquisition.lineno)
+
+
+def _raising_calls_between(function: ast.AST, acquisition: ast.stmt,
+                           name: str, boundary: int) -> list[int]:
+    """Lines of calls in (acquisition, boundary) that could raise."""
+    risky: list[int] = []
+    for node in walk_function_body(function):
+        if not isinstance(node, ast.Call):
+            continue
+        line = node.lineno
+        if not acquisition.lineno < line < boundary:
+            continue
+        if _is_close_call(node, name):
+            continue
+        if node is acquisition.value:  # type: ignore[attr-defined]
+            continue
+        risky.append(line)
+    return sorted(risky)

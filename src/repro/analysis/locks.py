@@ -1,0 +1,199 @@
+"""LockDiscipline: no blocking work under a lock, one global order.
+
+Two invariants from the concurrent service (DESIGN.md §9):
+
+* ``lock-blocking-call`` — critical sections are tiny by design (the
+  soak gate's tail latencies depend on it), so nothing that can block
+  on the outside world — fsync, socket I/O, subprocess, sleep, plan
+  compilation — may run while a lock or LRU stripe is held.  The
+  single-flight pattern exists precisely so compilation happens
+  *outside* the stripe locks.
+* ``lock-order`` / ``lock-order-inconsistent`` — every named lock sits
+  in the global acquisition order declared as
+  :data:`repro.sync.LOCK_ORDER`; nesting against that order (or
+  acquiring an undeclared pair in both orders anywhere in the tree —
+  the cross-file phase) is a latent deadlock even when each site looks
+  locally harmless.
+
+The walker treats any ``with self.<name>:`` (or ``with
+self.<name>[i]:``) whose attribute name ends in ``lock``/``locks`` as
+a lock acquisition.  Nested ``def``/``lambda`` bodies are skipped: a
+closure defined under a lock does not run under it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..sync import LOCK_ORDER
+from .framework import Checker, Finding, Module, dotted_name, \
+    terminal_name
+
+#: Terminal call names that block on the outside world.
+BLOCKING_CALLS = frozenset({
+    "fsync", "fsync_dir", "sleep", "recv", "recv_into", "send",
+    "sendall", "sendto", "accept", "connect", "communicate",
+    "check_call", "check_output", "call", "compile", "wait",
+})
+
+#: Dotted prefixes that are blocking regardless of terminal name.
+BLOCKING_PREFIXES = ("subprocess.",)
+
+RULE_BLOCKING = "lock-blocking-call"
+RULE_ORDER = "lock-order"
+RULE_INCONSISTENT = "lock-order-inconsistent"
+
+
+def _lock_name(expr: ast.AST) -> str | None:
+    """The lock attribute name acquired by a withitem, or None.
+
+    ``self._write_lock`` → ``_write_lock``; ``self._locks[i]`` →
+    ``_locks``; anything not shaped like a lock attribute → None.
+    """
+    if isinstance(expr, ast.Subscript):
+        expr = expr.value
+    name = terminal_name(expr)
+    if name.endswith("lock") or name.endswith("locks"):
+        return name
+    return None
+
+
+class LockDiscipline(Checker):
+
+    name = "LockDiscipline"
+    rules = {
+        RULE_BLOCKING: "blocking call while holding a lock/stripe",
+        RULE_ORDER: "lock nesting contradicts sync.LOCK_ORDER",
+        RULE_INCONSISTENT: "undeclared lock pair acquired in both "
+                           "orders across the tree",
+    }
+
+    def __init__(self) -> None:
+        #: (outer, inner) -> list of (path, line) observation sites,
+        #: for the cross-file consistency phase
+        self._edges: dict[tuple[str, str], list[tuple[str, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # per-file phase
+    # ------------------------------------------------------------------
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._walk_block(module, node.body, [], findings)
+        return findings
+
+    def _walk_block(self, module: Module, body: list[ast.stmt],
+                    held: list[str],
+                    findings: list[Finding]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired: list[str] = []
+                for item in stmt.items:
+                    lock = _lock_name(item.context_expr)
+                    if lock is None:
+                        continue
+                    self._check_nesting(module, stmt, held + acquired,
+                                        lock, findings)
+                    acquired.append(lock)
+                self._walk_block(module, stmt.body, held + acquired,
+                                 findings)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                # a nested def's body runs later, outside the lock
+                self._walk_block(module, stmt.body, [], findings)
+                continue
+            if held:
+                self._check_blocking(module, stmt, held, findings)
+            for block in _sub_blocks(stmt):
+                self._walk_block(module, block, held, findings)
+
+    def _check_nesting(self, module: Module, stmt: ast.stmt,
+                       held: list[str], inner: str,
+                       findings: list[Finding]) -> None:
+        for outer in held:
+            self._edges.setdefault((outer, inner), []).append(
+                (module.path, stmt.lineno))
+            if outer in LOCK_ORDER and inner in LOCK_ORDER:
+                if LOCK_ORDER.index(inner) <= LOCK_ORDER.index(outer):
+                    findings.append(self.finding(
+                        module.path, stmt, RULE_ORDER,
+                        f"acquires {inner} while holding {outer}; "
+                        f"sync.LOCK_ORDER requires "
+                        f"{inner} before {outer}"
+                        if inner != outer else
+                        f"acquires {inner} while already holding it "
+                        f"(non-reentrant; stripe locks never nest)"))
+
+    def _check_blocking(self, module: Module, stmt: ast.stmt,
+                        held: list[str],
+                        findings: list[Finding]) -> None:
+        for node in _walk_stmt_exprs(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            terminal = dotted.rsplit(".", 1)[-1] if dotted else ""
+            blocking = (terminal in BLOCKING_CALLS
+                        or dotted.startswith(BLOCKING_PREFIXES))
+            if blocking:
+                findings.append(self.finding(
+                    module.path, node, RULE_BLOCKING,
+                    f"{dotted or terminal}() may block while holding "
+                    f"{held[-1]} (locks guard state, not I/O)"))
+
+    # ------------------------------------------------------------------
+    # cross-file phase
+    # ------------------------------------------------------------------
+
+    def finish(self) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for (outer, inner), sites in sorted(self._edges.items()):
+            if outer in LOCK_ORDER and inner in LOCK_ORDER:
+                continue  # per-file table check already decided these
+            reversed_sites = self._edges.get((inner, outer))
+            if not reversed_sites or outer >= inner:
+                continue  # report each unordered pair once
+            for path, line in sites + reversed_sites:
+                findings.append(Finding(
+                    path=path, line=line, rule=RULE_INCONSISTENT,
+                    message=(f"locks {outer} and {inner} are acquired "
+                             f"in both orders across the tree; declare "
+                             f"them in sync.LOCK_ORDER and fix the "
+                             f"sites that disagree"),
+                    checker=self.name))
+        return findings
+
+
+def _sub_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    """Nested statement lists of *stmt* (if/for/try bodies...)."""
+    blocks: list[list[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if isinstance(block, list) and block \
+                and isinstance(block[0], ast.stmt):
+            blocks.append(block)
+    for handler in getattr(stmt, "handlers", []):
+        blocks.append(handler.body)
+    return blocks
+
+
+def _walk_stmt_exprs(stmt: ast.stmt):
+    """Expressions of *stmt* itself, not of its nested blocks."""
+    if not any(hasattr(stmt, attr)
+               for attr in ("body", "orelse", "finalbody", "handlers")):
+        yield from ast.walk(stmt)
+        return
+    # compound statement: walk only the header expressions (the nested
+    # blocks are visited by _walk_block with the same held set)
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        if isinstance(value, ast.AST):
+            yield from ast.walk(value)
+        elif isinstance(value, list):
+            for element in value:
+                if isinstance(element, ast.AST):
+                    yield from ast.walk(element)

@@ -1,0 +1,271 @@
+"""Orchestration for ``lbr lint``: discover, check, filter, report.
+
+One :func:`run_lint` call is one lint pass: parse every file in scope
+into a :class:`~repro.analysis.framework.Module`, run each registered
+checker's per-file phase, then the cross-file ``finish`` phase, then
+scope-filter by the pyproject rule→glob table and apply inline
+suppressions.  ``--changed-only`` narrows discovery to files touched
+per ``git diff`` (plus untracked), keeping pre-commit runs fast while
+CI stays repo-wide.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .determinism import Determinism
+from .durability import Durability
+from .framework import (Checker, Finding, LintConfig, Module,
+                        RULE_PARSE_ERROR, Suppression,
+                        apply_suppressions)
+from .lifecycle import ResourceLifecycle
+from .locks import LockDiscipline
+from .taxonomy import ExceptionTaxonomy
+
+#: JSON report schema version (bump on incompatible shape changes).
+REPORT_VERSION = 1
+
+#: Checker classes in execution order; fresh instances per run because
+#: cross-file checkers accumulate state in ``check_module``.
+CHECKERS: tuple[type[Checker], ...] = (
+    LockDiscipline, ResourceLifecycle, Determinism, Durability,
+    ExceptionTaxonomy)
+
+
+def all_rules() -> dict[str, str]:
+    """Every rule id -> description across registered checkers."""
+    rules: dict[str, str] = {}
+    for checker_class in CHECKERS:
+        rules.update(checker_class.rules)
+    return rules
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint pass."""
+
+    findings: list[Finding]
+    files_checked: int
+    suppressions_used: list[Suppression] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> dict[str, object]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return {
+            "version": REPORT_VERSION,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "findings": [finding.to_json()
+                         for finding in self.findings],
+            "counts_by_rule": dict(sorted(counts.items())),
+            "suppressions_used": [
+                {"path": s.path, "line": s.line,
+                 "rules": list(s.rules),
+                 "justification": s.justification}
+                for s in self.suppressions_used],
+        }
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(f"{len(self.findings)} {noun} in "
+                     f"{self.files_checked} files "
+                     f"({len(self.suppressions_used)} suppressions "
+                     f"used)")
+        return "\n".join(lines)
+
+
+def load_config(root: str) -> LintConfig:
+    """The ``[tool.lbr.lint]`` block of *root*'s pyproject.toml."""
+    pyproject = os.path.join(root, "pyproject.toml")
+    if not os.path.exists(pyproject):
+        return LintConfig()
+    with open(pyproject, encoding="utf-8") as handle:
+        return LintConfig.from_pyproject(handle.read())
+
+
+def discover_files(root: str, paths: Sequence[str],
+                   config: LintConfig) -> list[str]:
+    """Repo-relative ``.py`` files under *paths* (files pass through)."""
+    found: list[str] = []
+    for path in paths:
+        absolute = os.path.join(root, path)
+        if os.path.isfile(absolute):
+            found.append(path.replace(os.sep, "/"))
+            continue
+        for directory, _subdirs, names in sorted(os.walk(absolute)):
+            for name in sorted(names):
+                if not name.endswith(".py"):
+                    continue
+                relative = os.path.relpath(
+                    os.path.join(directory, name), root)
+                found.append(relative.replace(os.sep, "/"))
+    unique = sorted(set(found))
+    return [path for path in unique
+            if not config.path_excluded(path)]
+
+
+def changed_files(root: str, base: str = "HEAD") -> list[str]:
+    """Files touched per ``git diff`` against *base*, plus untracked.
+
+    Raises :class:`RuntimeError` outside a git checkout so the CLI can
+    fail loudly (exit 2) instead of silently linting nothing.
+    """
+    def run(*argv: str) -> list[str]:
+        completed = subprocess.run(
+            ["git", *argv], cwd=root, capture_output=True, text=True)
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"git {' '.join(argv)} failed: "
+                f"{completed.stderr.strip()}")
+        return [line.strip() for line in completed.stdout.splitlines()
+                if line.strip()]
+
+    changed = run("diff", "--name-only", base, "--")
+    untracked = run("ls-files", "--others", "--exclude-standard")
+    return sorted({path for path in changed + untracked
+                   if path.endswith(".py")})
+
+
+def run_lint(root: str,
+             paths: Sequence[str] | None = None,
+             config: LintConfig | None = None,
+             rules: Sequence[str] | None = None,
+             changed_only: bool = False,
+             base: str = "HEAD") -> LintReport:
+    """One lint pass over *root*; see the module docstring."""
+    config = config if config is not None else load_config(root)
+    scope_paths = tuple(paths) if paths else config.paths
+    files = discover_files(root, scope_paths, config)
+    if changed_only:
+        touched = set(changed_files(root, base))
+        files = [path for path in files if path in touched]
+    modules: list[Module] = []
+    findings: list[Finding] = []
+    for path in files:
+        with open(os.path.join(root, path), encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            modules.append(Module.from_source(path, source))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path=path, line=exc.lineno or 1,
+                rule=RULE_PARSE_ERROR,
+                message=f"cannot parse: {exc.msg}",
+                checker="framework"))
+    findings.extend(collect_findings(modules))
+    findings = [finding for finding in findings
+                if config.rule_applies(finding.rule, finding.path)]
+    if rules:
+        wanted = set(rules)
+        findings = [finding for finding in findings
+                    if finding.rule in wanted]
+    kept, used = apply_suppressions(findings, modules)
+    return LintReport(findings=kept, files_checked=len(files),
+                      suppressions_used=used)
+
+
+def collect_findings(modules: Sequence[Module],
+                     checker_classes: Sequence[type[Checker]]
+                     = CHECKERS) -> list[Finding]:
+    """Raw findings (no scoping/suppression) from both phases."""
+    findings: list[Finding] = []
+    for checker_class in checker_classes:
+        checker = checker_class()
+        for module in modules:
+            findings.extend(checker.check_module(module))
+        findings.extend(checker.finish())
+    return findings
+
+
+def check_source(source: str, path: str,
+                 checker_classes: Sequence[type[Checker]]
+                 = CHECKERS) -> list[Finding]:
+    """Findings for one in-memory source blob (selfcheck/tests).
+
+    *path* positions the blob for rule scoping by the caller; no
+    pyproject scoping or suppression filtering is applied here.
+    """
+    module = Module.from_source(path, source)
+    return collect_findings([module], checker_classes)
+
+
+def main(argv: Sequence[str] | None = None,
+         stdout: Callable[[str], None] = print) -> int:
+    """CLI body shared by ``lbr lint`` and ``python -m repro.analysis``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="lbr lint",
+        description="project-invariant static analysis: lock "
+                    "discipline, resource lifecycles, determinism, "
+                    "durability, exception taxonomy")
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: "
+                             "[tool.lbr.lint].paths from "
+                             "pyproject.toml)")
+    parser.add_argument("--root", default=".",
+                        help="repo root holding pyproject.toml "
+                             "(default: cwd)")
+    parser.add_argument("--format", default="text",
+                        choices=["text", "json"])
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this file")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="lint only files touched per git diff "
+                             "(plus untracked) — pre-commit mode")
+    parser.add_argument("--base", default="HEAD",
+                        help="git ref --changed-only diffs against "
+                             "(default: HEAD)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every rule id and exit")
+    parser.add_argument("--selfcheck", action="store_true",
+                        help="run the planted-violation corpus: every "
+                             "rule must catch its fixture and stay "
+                             "silent on the clean twin")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in sorted(all_rules().items()):
+            stdout(f"{rule:28s} {description}")
+        return 0
+
+    if args.selfcheck:
+        from .selfcheck import run_selfcheck
+        failures = run_selfcheck()
+        for failure in failures:
+            stdout(f"selfcheck FAILED: {failure}")
+        stdout(f"selfcheck: {len(failures)} failures")
+        return 1 if failures else 0
+
+    rules = ([rule.strip() for rule in args.rules.split(",")
+              if rule.strip()] if args.rules else None)
+    try:
+        report = run_lint(args.root, paths=args.paths or None,
+                          rules=rules,
+                          changed_only=args.changed_only,
+                          base=args.base)
+    except RuntimeError as exc:
+        stdout(f"error: {exc}")
+        return 2
+
+    rendered = (json.dumps(report.to_json(), indent=2)
+                if args.format == "json" else report.render_text())
+    stdout(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report.to_json(), indent=2)
+                         + "\n")
+    return 0 if report.ok else 1

@@ -1,0 +1,411 @@
+"""Planted-violation corpus: every rule must catch its fixture.
+
+Mirrors the fuzzer's ``--inject-bug`` pattern (DESIGN.md §6): a
+checker you have never seen fail is a checker you cannot trust.  Each
+fixture is a minimal source snippet violating exactly one rule, paired
+with a *clean twin* — the idiomatic fix — that the rule must stay
+silent on.  ``lbr lint --selfcheck`` (and tests/test_analysis.py)
+asserts both directions for every rule, so a checker regression or an
+over-eager rule fails CI immediately.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass
+
+from .framework import Module, apply_suppressions
+from .runner import collect_findings
+
+
+@dataclass(frozen=True)
+class Fixture:
+    """One planted violation and its clean twin."""
+
+    rule: str
+    name: str
+    #: path -> source; multiple entries exercise cross-file phases
+    bad: dict[str, str]
+    clean: dict[str, str]
+
+
+def _src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+FIXTURES: tuple[Fixture, ...] = (
+    Fixture(
+        rule="lock-blocking-call",
+        name="fsync held under the state lock",
+        bad={"bad.py": _src("""
+            class Store:
+                def flush(self, handle):
+                    with self._lock:
+                        self._dirty = False
+                        handle.fsync()
+        """)},
+        clean={"clean.py": _src("""
+            class Store:
+                def flush(self, handle):
+                    with self._lock:
+                        self._dirty = False
+                    handle.fsync()
+        """)},
+    ),
+    Fixture(
+        rule="lock-blocking-call",
+        name="plan compile inside the stripe lock",
+        bad={"bad.py": _src("""
+            class Engine:
+                def plan(self, key, query):
+                    with self._locks[hash(key) % 8]:
+                        plan = self.compile(query)
+                        self._cache[key] = plan
+                    return plan
+        """)},
+        clean={"clean.py": _src("""
+            class Engine:
+                def plan(self, key, query):
+                    plan = self.compile(query)
+                    with self._locks[hash(key) % 8]:
+                        self._cache[key] = plan
+                    return plan
+        """)},
+    ),
+    Fixture(
+        rule="lock-order",
+        name="state lock wraps the writer mutex",
+        bad={"bad.py": _src("""
+            class Manager:
+                def publish(self, snapshot):
+                    with self._lock:
+                        with self._write_lock:
+                            self._current = snapshot
+        """)},
+        clean={"clean.py": _src("""
+            class Manager:
+                def publish(self, snapshot):
+                    with self._write_lock:
+                        with self._lock:
+                            self._current = snapshot
+        """)},
+    ),
+    Fixture(
+        rule="lock-order",
+        name="two stripe locks held together",
+        bad={"bad.py": _src("""
+            class Cache:
+                def move(self, a, b):
+                    with self._locks[a]:
+                        with self._locks[b]:
+                            pass
+        """)},
+        clean={"clean.py": _src("""
+            class Cache:
+                def move(self, a, b):
+                    with self._locks[a]:
+                        value = self._stripes[a].pop()
+                    with self._locks[b]:
+                        self._stripes[b].put(value)
+        """)},
+    ),
+    Fixture(
+        rule="lock-order-inconsistent",
+        name="undeclared pair acquired in both orders across files",
+        bad={
+            "one.py": _src("""
+                class A:
+                    def step(self):
+                        with self._alpha_lock:
+                            with self._beta_lock:
+                                pass
+            """),
+            "two.py": _src("""
+                class B:
+                    def step(self):
+                        with self._beta_lock:
+                            with self._alpha_lock:
+                                pass
+            """),
+        },
+        clean={
+            "one.py": _src("""
+                class A:
+                    def step(self):
+                        with self._alpha_lock:
+                            with self._beta_lock:
+                                pass
+            """),
+            "two.py": _src("""
+                class B:
+                    def step(self):
+                        with self._alpha_lock:
+                            with self._beta_lock:
+                                pass
+            """),
+        },
+    ),
+    Fixture(
+        rule="resource-unclosed",
+        name="retained base never closed",
+        bad={"bad.py": _src("""
+            def rebuild(self):
+                base = self._base.retain()
+                merged = merge(base.pairs())
+                return merged
+        """)},
+        clean={"clean.py": _src("""
+            def rebuild(self):
+                base = self._base.retain()
+                try:
+                    merged = merge(base.pairs())
+                finally:
+                    base.close()
+                return merged
+        """)},
+    ),
+    Fixture(
+        rule="resource-unclosed",
+        name="close only on the fall-through path",
+        bad={"bad.py": _src("""
+            def checkpoint(self):
+                base = self._base.retain()
+                image = self.materialize()
+                base.close()
+                return image
+        """)},
+        clean={"clean.py": _src("""
+            def checkpoint(self):
+                base = self._base.retain()
+                try:
+                    image = self.materialize()
+                finally:
+                    base.close()
+                return image
+        """)},
+    ),
+    Fixture(
+        rule="resource-raw-open",
+        name="raw read bypassing the fsio seam",
+        bad={"bad.py": _src("""
+            def read_manifest(self, path):
+                handle = open(path, "rb")
+                try:
+                    return handle.read()
+                finally:
+                    handle.close()
+        """)},
+        clean={"clean.py": _src("""
+            def read_manifest(self, path):
+                return self.fs.read_bytes(path)
+        """)},
+    ),
+    Fixture(
+        rule="det-unsorted-iteration",
+        name="emission loop over a set",
+        bad={"bad.py": _src("""
+            def order_variables(variables):
+                pending = set(variables)
+                out = []
+                for variable in pending:
+                    out.append(variable)
+                return out
+        """)},
+        clean={"clean.py": _src("""
+            def order_variables(variables):
+                pending = set(variables)
+                out = []
+                for variable in sorted(pending):
+                    out.append(variable)
+                return out
+        """)},
+    ),
+    Fixture(
+        rule="det-unsorted-iteration",
+        name="list() over a set materializes hash order",
+        bad={"bad.py": _src("""
+            def candidates(self, bound):
+                return list(self.vars() & set(bound))
+        """)},
+        clean={"clean.py": _src("""
+            def candidates(self, bound):
+                return sorted(self.vars() & set(bound))
+        """)},
+    ),
+    Fixture(
+        rule="det-id-order",
+        name="sorting nodes by memory address",
+        bad={"bad.py": _src("""
+            def stable_nodes(nodes):
+                return sorted(nodes, key=id)
+        """)},
+        clean={"clean.py": _src("""
+            def stable_nodes(nodes):
+                return sorted(nodes, key=lambda node: node.label)
+        """)},
+    ),
+    Fixture(
+        rule="det-hash-order",
+        name="hash()-based tie-break",
+        bad={"bad.py": _src("""
+            def pick(self, a, b):
+                if hash(a) < hash(b):
+                    return a
+                return b
+        """)},
+        clean={"clean.py": _src("""
+            def pick(self, a, b):
+                if a.key < b.key:
+                    return a
+                return b
+        """)},
+    ),
+    Fixture(
+        rule="det-impure-kernel",
+        name="wall clock inside a kernel",
+        bad={"bad.py": _src("""
+            def fold(self, blocks):
+                started = time.monotonic()
+                total = sum(blocks)
+                self.last_elapsed = time.monotonic() - started
+                return total
+        """)},
+        clean={"clean.py": _src("""
+            def fold(self, blocks):
+                return sum(blocks)
+        """)},
+    ),
+    Fixture(
+        rule="dur-bare-rename",
+        name="bare os.rename publishes un-fsynced bytes",
+        bad={"bad.py": _src("""
+            def publish(self, temp, path):
+                os.rename(temp, path)
+        """)},
+        clean={"clean.py": _src("""
+            def publish(self, temp, path):
+                self.fs.replace(temp, path)
+                self.fs.fsync_dir(directory_of(path))
+        """)},
+    ),
+    Fixture(
+        rule="dur-raw-write",
+        name="raw writable open for a store image",
+        bad={"bad.py": _src("""
+            def save(self, path, payload):
+                with open(path, "wb") as handle:
+                    handle.write(payload)
+        """)},
+        clean={"clean.py": _src("""
+            def save(self, path, payload):
+                atomic_write(self.fs, path, payload)
+        """)},
+    ),
+    Fixture(
+        rule="exc-bare-except",
+        name="bare except",
+        bad={"bad.py": _src("""
+            def probe(self):
+                try:
+                    return self.read()
+                except:
+                    return None
+        """)},
+        clean={"clean.py": _src("""
+            def probe(self):
+                try:
+                    return self.read()
+                except OSError:
+                    return None
+        """)},
+    ),
+    Fixture(
+        rule="exc-broad-swallow",
+        name="except Exception swallowed untyped",
+        bad={"bad.py": _src("""
+            def worker(self, request):
+                try:
+                    self.run(request)
+                except Exception as exc:
+                    self.log(str(exc))
+        """)},
+        clean={"clean.py": _src("""
+            def worker(self, request):
+                try:
+                    self.run(request)
+                except Exception as exc:
+                    self.fail(internal_error(exc))
+        """)},
+    ),
+    Fixture(
+        rule="exc-crash-swallow",
+        name="BaseException swallowed (eats SimulatedCrash)",
+        bad={"bad.py": _src("""
+            def step(self):
+                try:
+                    self.advance()
+                except BaseException as exc:
+                    self.note(exc)
+        """)},
+        clean={"clean.py": _src("""
+            def step(self):
+                try:
+                    self.advance()
+                except BaseException:
+                    self.rollback()
+                    raise
+        """)},
+    ),
+)
+
+
+def run_selfcheck() -> list[str]:
+    """Failure descriptions; empty means every rule is honest."""
+    failures: list[str] = []
+    for fixture in FIXTURES:
+        bad_rules = {finding.rule
+                     for finding in _collect(fixture.bad)}
+        if fixture.rule not in bad_rules:
+            failures.append(
+                f"{fixture.rule} ({fixture.name}): planted violation "
+                f"NOT caught (saw {sorted(bad_rules) or 'nothing'})")
+        clean_rules = {finding.rule
+                       for finding in _collect(fixture.clean)}
+        if fixture.rule in clean_rules:
+            failures.append(
+                f"{fixture.rule} ({fixture.name}): clean twin "
+                f"falsely flagged")
+    failures.extend(_check_suppression_contract())
+    return failures
+
+
+def _collect(sources: dict[str, str]):
+    modules = [Module.from_source(path, source)
+               for path, source in sorted(sources.items())]
+    return collect_findings(modules)
+
+
+def _check_suppression_contract() -> list[str]:
+    """The framework's own rule: allow[] needs a justification."""
+    justified = _src("""
+        def probe(self):
+            try:
+                return self.read()
+            except:  # lbr: allow[exc-bare-except]: probe API contract
+                return None
+    """)
+    unjustified = justified.replace(
+        ": probe API contract", "")
+    failures: list[str] = []
+    module = Module.from_source("j.py", justified)
+    kept, used = apply_suppressions(collect_findings([module]),
+                                    [module])
+    if any(f.rule == "exc-bare-except" for f in kept) or not used:
+        failures.append("justified suppression did not silence its "
+                        "finding")
+    module = Module.from_source("u.py", unjustified)
+    kept, _used = apply_suppressions(collect_findings([module]),
+                                     [module])
+    if not any(f.rule == "allow-missing-justification" for f in kept):
+        failures.append("unjustified allow[] comment was not flagged")
+    return failures

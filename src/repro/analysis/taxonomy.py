@@ -1,0 +1,127 @@
+"""ExceptionTaxonomy: errors stay typed, crashes stay loud.
+
+Every error this library raises derives from
+:class:`repro.exceptions.ReproError`, and the fault-injection harness
+raises ``SimulatedCrash`` from ``BaseException`` *specifically so* that
+``except Exception`` cannot swallow an injected crash.  Three rules
+keep those properties true:
+
+* ``exc-bare-except`` — a bare ``except:`` catches everything
+  including ``KeyboardInterrupt`` and injected crashes; name a type.
+* ``exc-broad-swallow`` — ``except Exception`` in the service and
+  update layers (scoped via pyproject) must either re-``raise`` or
+  route the error into the typed taxonomy (construct a
+  :class:`~repro.exceptions.ReproError` subtype or call
+  :func:`repro.exceptions.internal_error`); an untyped swallow turns
+  an engine bug into silence the soak gates cannot count.
+* ``exc-crash-swallow`` — a handler for ``BaseException`` (anywhere
+  outside tests) that does not re-``raise``: it would eat
+  ``SimulatedCrash``, making every crash-recovery property vacuous,
+  and ``KeyboardInterrupt`` with it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .framework import Checker, Finding, Module
+
+RULE_BARE = "exc-bare-except"
+RULE_BROAD = "exc-broad-swallow"
+RULE_CRASH = "exc-crash-swallow"
+
+#: Names whose presence in a handler body counts as routing the error
+#: into the typed taxonomy.
+_TAXONOMY_ROUTES = frozenset({
+    "internal_error", "InternalError", "ReproError", "StorageError",
+    "WALError", "AdmissionError", "ShuttingDownError",
+    "RetriesExhaustedError", "BudgetExceededError",
+    "DeadlineExceededError",
+})
+
+
+class ExceptionTaxonomy(Checker):
+
+    name = "ExceptionTaxonomy"
+    rules = {
+        RULE_BARE: "bare except: catches BaseException",
+        RULE_BROAD: "except Exception neither re-raises nor routes "
+                    "to the typed taxonomy",
+        RULE_CRASH: "BaseException/SimulatedCrash swallowed "
+                    "(breaks crash injection)",
+    }
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _caught_names(node)
+            if node.type is None:
+                findings.append(self.finding(
+                    module.path, node, RULE_BARE,
+                    "bare except: swallows KeyboardInterrupt and "
+                    "injected crashes; catch a named type"))
+                continue
+            reraises = _body_reraises(node)
+            if ("BaseException" in caught
+                    or "SimulatedCrash" in caught) and not reraises:
+                findings.append(self.finding(
+                    module.path, node, RULE_CRASH,
+                    f"except {'/'.join(sorted(caught))} without "
+                    f"re-raise: an injected SimulatedCrash would be "
+                    f"swallowed and the crash property becomes "
+                    f"vacuous"))
+                continue
+            if "Exception" in caught and not reraises \
+                    and not _body_routes_taxonomy(node):
+                findings.append(self.finding(
+                    module.path, node, RULE_BROAD,
+                    "except Exception must re-raise or route the "
+                    "error into the typed taxonomy "
+                    "(internal_error(...)/a ReproError subtype) so "
+                    "counters and gates can see it"))
+        return findings
+
+
+def _caught_names(handler: ast.ExceptHandler) -> set[str]:
+    names: set[str] = set()
+    if handler.type is None:
+        return names
+    types = (handler.type.elts
+             if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    for node in types:
+        while isinstance(node, ast.Attribute):
+            node = node.value  # faultfs.SimulatedCrash -> terminal kept
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    # re-walk attributes for their terminal name too
+    types = (handler.type.elts
+             if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    for node in types:
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def _body_reraises(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+    return False
+
+
+def _body_routes_taxonomy(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) \
+                    and node.id in _TAXONOMY_ROUTES:
+                return True
+            if isinstance(node, ast.Attribute) \
+                    and node.attr in _TAXONOMY_ROUTES:
+                return True
+    return False

@@ -22,11 +22,15 @@ own (crash-countable) ``read_bytes``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Iterator, Protocol, \
+    runtime_checkable
 
 from ..exceptions import StorageError
 from ..fsio import FileSystem, RealFS
 from ..rdf.dictionary import Dictionary
+from ..rdf.terms import Term, Triple
+from .bitmat import BitMat
+from .bitvec import BitVector
 from .mmapstore import MAGIC as MMAP_MAGIC
 from .mmapstore import MmapStore
 from .persist import _MAGIC as STORE2_MAGIC
@@ -34,6 +38,9 @@ from .persist import _MAGIC_V1 as STORE1_MAGIC
 from .persist import _MAGIC_V3 as STORE3_MAGIC
 from .persist import load_store_bytes
 from .store import BitMatStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .stats import StoreStats
 
 
 @runtime_checkable
@@ -66,32 +73,32 @@ class StoreBackend(Protocol):
                        oid: int | None) -> int: ...
 
     # BitMat loading (Alg 5.1 init surface)
-    def load_so(self, pid: int): ...
-    def load_os(self, pid: int): ...
-    def load_ps_row(self, pid: int, oid: int): ...
-    def load_po_row(self, pid: int, sid: int): ...
-    def load_ps(self, oid: int): ...
-    def load_po(self, sid: int): ...
+    def load_so(self, pid: int) -> BitMat: ...
+    def load_os(self, pid: int) -> BitMat: ...
+    def load_ps_row(self, pid: int, oid: int) -> BitVector: ...
+    def load_po_row(self, pid: int, sid: int) -> BitVector: ...
+    def load_ps(self, oid: int) -> BitMat: ...
+    def load_po(self, sid: int) -> BitMat: ...
 
     # membership / enumeration
     def has_triple(self, sid: int, pid: int, oid: int) -> bool: ...
     def diagonal_positions(self, pid: int) -> list[int]: ...
-    def iter_triples(self): ...
-    def encode_term(self, term, position: str): ...
+    def iter_triples(self) -> Iterator[Triple]: ...
+    def encode_term(self, term: Term, position: str) -> int | None: ...
 
     # per-predicate statistics for the cost-based ordering pass
     # (:class:`~repro.bitmat.stats.StoreStats` or None = heuristic)
-    def stats(self): ...
+    def stats(self) -> "StoreStats | None": ...
 
     # lifecycle
-    def freeze(self): ...
+    def freeze(self) -> "StoreBackend": ...
     @property
     def frozen(self) -> bool: ...
-    def retain(self): ...
+    def retain(self) -> "StoreBackend": ...
     def close(self) -> None: ...
     @property
     def closed(self) -> bool: ...
-    def cache_stats(self) -> dict: ...
+    def cache_stats(self) -> dict[str, dict[str, int]]: ...
 
 
 @dataclass(frozen=True)
@@ -137,6 +144,7 @@ def sniff_format(prefix: bytes) -> StoreFormat | None:
 def is_store_image(path: str) -> bool:
     """True when *path* starts with any registered store magic."""
     try:
+        # lbr: allow[resource-raw-open]: read-only magic sniff; fault injection targets writes, not 16-byte reads
         with open(path, "rb") as handle:
             prefix = handle.read(_SNIFF_LEN)
     except OSError:
@@ -152,6 +160,7 @@ def open_store(path: str) -> BitMatStore:
     ``LBRSTORE1/2`` images decode fully.
     """
     try:
+        # lbr: allow[resource-raw-open]: read-only magic sniff on the load path; OSError routes to StorageError
         with open(path, "rb") as handle:
             prefix = handle.read(_SNIFF_LEN)
     except OSError as exc:
@@ -162,6 +171,7 @@ def open_store(path: str) -> BitMatStore:
         raise StorageError(f"{path} is not an LBR store image")
     if fmt.open_path is not None:
         return fmt.open_path(path)
+    # lbr: allow[resource-raw-open]: read-only bulk load; writes go through fsio, reads need no crash protocol
     with open(path, "rb") as handle:
         payload = handle.read()
     return fmt.open_bytes(payload, path)

@@ -383,6 +383,7 @@ class MmapStore(BitMatStore):
     def open(cls, path: str) -> "MmapStore":
         """Memory-map the image at *path* (lazy; O(dictionary) work)."""
         try:
+            # lbr: allow[resource-raw-open]: mmap.mmap needs a real OS file descriptor; fsio handles cannot provide one
             file = open(path, "rb")
         except OSError as exc:
             raise StorageError(

@@ -312,6 +312,7 @@ def save_store(store: BitMatStore, path: str) -> int:
 
 def load_store(path: str) -> BitMatStore:
     """Read a store previously written by :func:`save_store`."""
+    # lbr: allow[resource-raw-open]: read-only load path; the matching save_store goes through fsio.atomic_write
     with open(path, "rb") as handle:
         payload = handle.read()
     return load_store_bytes(payload, source=path)

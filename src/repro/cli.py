@@ -16,7 +16,13 @@ Commands:
   corpus; ``--replay`` re-runs a saved corpus instead;
 * ``serve``    — run the concurrent query service: an
   admission-controlled worker pool over snapshot-isolated engine
-  sessions, speaking newline-delimited JSON over a TCP socket.
+  sessions, speaking newline-delimited JSON over a TCP socket;
+* ``lint``     — run the project-invariant static checkers
+  (:mod:`repro.analysis`): lock discipline, resource lifecycles,
+  planner determinism, durability protocol, exception taxonomy.
+  ``lbr lint --changed-only`` scopes the pass to files touched per
+  ``git diff`` for fast pre-commit runs; ``--format json`` emits the
+  machine-readable report CI archives.
 """
 
 from __future__ import annotations
@@ -198,6 +204,44 @@ def _build_parser() -> argparse.ArgumentParser:
                             "startup); other sources are converted "
                             "in-process first.  Live stores already "
                             "write LBRMMAP1 base images by default")
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the project-invariant static checkers "
+             "(repro.analysis)",
+        description="Walk the source ASTs and enforce the project "
+                    "invariants ordinary tests only catch by luck: "
+                    "lock discipline in the concurrent service, "
+                    "retain()/close() pairing on refcounted stores, "
+                    "hash-seed-independent ordering in the planner, "
+                    "the tmp->fsync->rename durability protocol, and "
+                    "the typed exception taxonomy.  Exits 1 when any "
+                    "unsuppressed finding remains.")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to check (default: "
+                           "[tool.lbr.lint] paths from pyproject.toml)")
+    lint.add_argument("--root", default=".",
+                      help="repo root holding pyproject.toml "
+                           "(default .)")
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text", dest="lint_format",
+                      help="report format (default text)")
+    lint.add_argument("--out", default=None,
+                      help="also write the report to this file")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule ids to run "
+                           "(default: all)")
+    lint.add_argument("--changed-only", action="store_true",
+                      help="check only files changed vs --base "
+                           "(git diff + untracked)")
+    lint.add_argument("--base", default="HEAD",
+                      help="git base for --changed-only "
+                           "(default HEAD)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list rule ids and exit")
+    lint.add_argument("--selfcheck", action="store_true",
+                      help="run the planted-violation fixture corpus "
+                           "and exit")
     return parser
 
 
@@ -476,12 +520,30 @@ def _serve(args) -> int:
     return 0
 
 
+def _lint(args) -> int:
+    from .analysis.runner import main as lint_main
+    forwarded: list[str] = list(args.paths)
+    forwarded += ["--root", args.root, "--format", args.lint_format,
+                  "--base", args.base]
+    if args.out:
+        forwarded += ["--out", args.out]
+    if args.rules:
+        forwarded += ["--rules", args.rules]
+    if args.changed_only:
+        forwarded.append("--changed-only")
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    if args.selfcheck:
+        forwarded.append("--selfcheck")
+    return lint_main(forwarded)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"generate": _generate, "index": _index,
                 "freeze": _freeze, "query": _query,
                 "info": _info, "bench": _bench, "fuzz": _fuzz,
-                "serve": _serve}
+                "serve": _serve, "lint": _lint}
     return handlers[args.command](args)
 
 

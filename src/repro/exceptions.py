@@ -103,6 +103,39 @@ class RetriesExhaustedError(ReproError):
         self.last_error = last_error
 
 
+class InternalError(ReproError):
+    """An unexpected exception routed into the typed taxonomy.
+
+    Last-resort handlers (worker loops, connection threads, background
+    compaction) must not re-raise — that would kill the thread — but
+    they also must not swallow errors untyped, or the soak and crash
+    gates cannot count them.  :func:`internal_error` wraps whatever
+    was caught into this type, preserving the original class name and
+    the chain (``__cause__``), so "a bug happened here" is a value the
+    rest of the system can store, count, and report.
+    """
+
+    def __init__(self, message: str,
+                 original_type: str = "") -> None:
+        super().__init__(message)
+        self.original_type = original_type
+
+
+def internal_error(exc: BaseException) -> InternalError:
+    """Wrap an unexpected exception for typed storage/reporting.
+
+    Idempotent: an :class:`InternalError` (or any other
+    :class:`ReproError`) passes through a dedicated path so double
+    wrapping never obscures the original type.
+    """
+    if isinstance(exc, InternalError):
+        return exc
+    wrapped = InternalError(f"{type(exc).__name__}: {exc}",
+                            original_type=type(exc).__name__)
+    wrapped.__cause__ = exc
+    return wrapped
+
+
 class DictionaryError(ReproError):
     """Raised on inconsistent use of the term dictionary."""
 

@@ -146,10 +146,12 @@ def atomic_write(fs: FileSystem, path: str, payload: bytes) -> int:
     """
     temp = path + ".tmp"
     handle = fs.open_write(temp)
-    handle.write(payload)
-    handle.flush()
-    handle.fsync()
-    handle.close()
+    try:
+        handle.write(payload)
+        handle.flush()
+        handle.fsync()
+    finally:
+        handle.close()
     fs.replace(temp, path)
     fs.fsync_dir(os.path.dirname(path) or ".")
     return len(payload)

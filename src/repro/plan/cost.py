@@ -31,11 +31,15 @@ what the static heuristic would have used anyway.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..core.selectivity import SelectivityRanker
 from ..rdf.terms import Variable, is_variable
 from ..sparql.ast import TriplePattern
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..bitmat.backend import StoreBackend
+    from ..bitmat.stats import StoreStats
 
 
 class CostRanker(SelectivityRanker):
@@ -49,11 +53,11 @@ class CostRanker(SelectivityRanker):
     source = "cost"
 
     def __init__(self, patterns: Sequence[TriplePattern],
-                 counts: Sequence[int], stats,
+                 counts: Sequence[int], stats: "StoreStats",
                  predicate_ids: Sequence[int | None]) -> None:
         super().__init__(patterns, counts)
         self._tp_cost: list[float] = []
-        self._jvar_key = {}
+        self._jvar_key: dict[Variable, int] = {}
         for index, tp in enumerate(patterns):
             s, _p, o = tp
             count = counts[index]
@@ -91,7 +95,8 @@ class CostRanker(SelectivityRanker):
 
 
 def make_ranker(patterns: Sequence[TriplePattern],
-                counts: Sequence[int], stats, store) -> SelectivityRanker:
+                counts: Sequence[int], stats: "StoreStats | None",
+                store: "StoreBackend") -> SelectivityRanker:
     """The ranker physical planning should use over *store*.
 
     Statistics present → :class:`CostRanker`; absent (unfrozen store,

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Callable
 
 from ..rdf.terms import Variable, is_variable
 from ..sparql.ast import _term_sparql
@@ -45,7 +46,8 @@ class CanonicalForm:
     key: str
 
 
-def _expression_variable_order(expr: object, visit) -> None:
+def _expression_variable_order(
+        expr: object, visit: Callable[[Variable], None]) -> None:
     """Visit expression variables in deterministic structural order."""
     if isinstance(expr, VarRef):
         visit(expr.name)
@@ -60,7 +62,8 @@ def _expression_variable_order(expr: object, visit) -> None:
         _expression_variable_order(expr.operand, visit)
 
 
-def _node_variable_order(node: LogicalNode, visit) -> None:
+def _node_variable_order(node: LogicalNode,
+                         visit: Callable[[Variable], None]) -> None:
     if isinstance(node, LBGP):
         for tp in node.patterns:
             for term in tp:

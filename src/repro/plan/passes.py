@@ -29,6 +29,7 @@ every pass, the property that makes the pipeline safe to re-enter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 from ..rdf.terms import Variable
 from ..sparql.ast import Pattern
@@ -37,6 +38,10 @@ from ..sparql.wd import Violation, find_violations
 from .logical import (LBGP, LFilter, LJoin, LLeftJoin, LogicalNode,
                       LogicalQuery, LUnion, LUnionAll, from_ast, to_ast,
                       union_all)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..bitmat.backend import StoreBackend
+    from ..core.gosn import GoSN
 
 
 class PassError(Exception):
@@ -225,7 +230,8 @@ def node_tp_ranges(branch: Pattern) -> dict[int, tuple[int, int]]:
     return ranges
 
 
-def transform_nwd(gosn, branch: Pattern, violations) -> "object":
+def transform_nwd(gosn: "GoSN", branch: Pattern,
+                  violations: Sequence[Violation]) -> "GoSN":
     """Appendix B: convert uni edges to bi along violation paths.
 
     For every violating sub-pattern ``Pk ⟕ Pl`` and variable ``?j``, a
@@ -249,8 +255,11 @@ def transform_nwd(gosn, branch: Pattern, violations) -> "object":
             gosn.sn_of_tp[index] for index in range(total)
             if index not in inside
             and violation.variable in gosn.patterns[index].variables()}
-        for sn_a in slave_sns:
-            for sn_b in outside_sns:
+        # sorted: set order is hash-seed-dependent and the undirected
+        # path walk mutates `converted` edge by edge — the plan must
+        # not vary run to run
+        for sn_a in sorted(slave_sns):
+            for sn_b in sorted(outside_sns):
                 path = gosn.undirected_path(sn_a, sn_b)
                 for left, right in zip(path, path[1:]):
                     if (left, right) in gosn.uni_edges:
@@ -262,7 +271,7 @@ def transform_nwd(gosn, branch: Pattern, violations) -> "object":
     return gosn.with_bidirectional(converted)
 
 
-def _sns_with_variable(gosn, tp_range: tuple[int, int],
+def _sns_with_variable(gosn: "GoSN", tp_range: tuple[int, int],
                        variable: Variable) -> set[int]:
     found: set[int] = set()
     for index in range(*tp_range):
@@ -374,7 +383,7 @@ class CostBasedOrderingPass(CompilerPass):
 
     name = "cost-based-ordering"
 
-    def __init__(self, store=None) -> None:
+    def __init__(self, store: "StoreBackend | None" = None) -> None:
         self._store = store
 
     def run(self, query: LogicalQuery,
@@ -394,7 +403,8 @@ class CostBasedOrderingPass(CompilerPass):
 # the manager
 # ----------------------------------------------------------------------
 
-def default_passes(store=None) -> list[CompilerPass]:
+def default_passes(store: "StoreBackend | None" = None,
+                   ) -> list[CompilerPass]:
     """The pipeline :class:`~repro.core.engine.LBREngine` compiles with.
 
     *store* feeds the cost-based ordering pass; without one (or

@@ -22,6 +22,7 @@ structural hash (:mod:`repro.plan.hashing`): alpha-equivalent queries
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..exceptions import UnsupportedQueryError
 from ..rdf.terms import Variable, is_variable
@@ -29,6 +30,12 @@ from ..sparql.ast import TriplePattern
 from ..sparql.expressions import expression_variables
 from .logical import LogicalNode, LogicalQuery, LUnionAll, to_ast
 from .passes import (BranchAnalysis, PassRecord, PassResult, ScopedFilter)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..bitmat.backend import StoreBackend
+    from ..bitmat.stats import StoreStats
+    from ..core.goj import GoT
+    from ..core.gosn import GoSN
 
 
 @dataclass(frozen=True)
@@ -103,7 +110,7 @@ class PhysicalPlan:
     structural_key: str = ""
 
 
-def build_physical(result: PassResult, store,
+def build_physical(result: PassResult, store: "StoreBackend",
                    enable_prune: bool = True,
                    structural_key: str = "") -> PhysicalPlan:
     """Lower a pass-pipeline result into a physical plan over *store*."""
@@ -134,9 +141,10 @@ def build_physical(result: PassResult, store,
 
 
 def _plan_branch(branch: LogicalNode, scoped_filters: tuple[ScopedFilter, ...],
-                 info: BranchAnalysis, store,
+                 info: BranchAnalysis, store: "StoreBackend",
                  enable_prune: bool,
-                 ordering_stats=None) -> BranchPhysicalPlan:
+                 ordering_stats: "StoreStats | None" = None,
+                 ) -> BranchPhysicalPlan:
     """Steps 1–3 of Alg 5.1: all binding-independent analysis."""
     from ..core.goj import GoJ, GoT
     from ..core.gosn import GoSN
@@ -201,7 +209,8 @@ def _plan_branch(branch: LogicalNode, scoped_filters: tuple[ScopedFilter, ...],
         ordering_source=ranker.source)
 
 
-def _route_filters(scoped_filters: tuple[ScopedFilter, ...], gosn,
+def _route_filters(scoped_filters: tuple[ScopedFilter, ...],
+                   gosn: "GoSN",
                    patterns: list[TriplePattern],
                    certain_vars: set[Variable],
                    ) -> tuple[dict[int, tuple[InitFilter, ...]], tuple]:
@@ -250,7 +259,7 @@ def _route_filters(scoped_filters: tuple[ScopedFilter, ...], gosn,
 # supported-fragment validation and structural predicates
 # ----------------------------------------------------------------------
 
-def metadata_count(store, tp: TriplePattern) -> int:
+def metadata_count(store: "StoreBackend", tp: TriplePattern) -> int:
     """Index-metadata cardinality of one TP (0 for absent constants)."""
     sid = (None if is_variable(tp.s)
            else store.encode_term(tp.s, "s"))
@@ -300,7 +309,7 @@ def validate_supported(patterns: list[TriplePattern],
                 "filtered pattern (§5.2 assumes safe filters)")
 
 
-def certain_variables(gosn) -> set[Variable]:
+def certain_variables(gosn: "GoSN") -> set[Variable]:
     """Variables bound by a TP of an absolute-master peer group.
 
     Those groups are never nullified and never NULL-extended, so their
@@ -316,7 +325,7 @@ def certain_variables(gosn) -> set[Variable]:
     return certain
 
 
-def has_disconnected_slave_group(gosn) -> bool:
+def has_disconnected_slave_group(gosn: "GoSN") -> bool:
     """A slave peer group whose TPs do not form one variable-sharing
     component.
 
@@ -351,7 +360,8 @@ def has_disconnected_slave_group(gosn) -> bool:
     return False
 
 
-def _connected_ignoring_ground(got, patterns: list[TriplePattern]) -> bool:
+def _connected_ignoring_ground(got: "GoT",
+                               patterns: list[TriplePattern]) -> bool:
     """GoT connectivity over TPs that have variables."""
     with_vars = [i for i, tp in enumerate(patterns) if tp.variables()]
     if len(with_vars) <= 1:

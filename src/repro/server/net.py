@@ -28,7 +28,7 @@ import time
 
 from ..bitmat.store import BitMatStore
 from ..exceptions import (AdmissionError, ParseError, RetriesExhaustedError,
-                          ShuttingDownError, StorageError)
+                          ShuttingDownError, StorageError, internal_error)
 from ..rdf import ntriples
 from .protocol import (PROTOCOL_VERSION, decode_line, encode_line,
                        error_response, outcome_to_response)
@@ -95,7 +95,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                                                 request_id)
             except Exception as exc:  # never kill the connection thread
                 response, stop = error_response(
-                    "internal", f"{type(exc).__name__}: {exc}",
+                    "internal", str(internal_error(exc)),
                     request_id), False
             self._send(response)
             if stop:

@@ -27,7 +27,8 @@ from dataclasses import dataclass, field
 from ..core.engine import QueryStats
 from ..exceptions import (AdmissionError, BudgetExceededError,
                           DeadlineExceededError, ParseError, ReproError,
-                          ShuttingDownError, UnsupportedQueryError)
+                          ShuttingDownError, UnsupportedQueryError,
+                          internal_error)
 from ..sync import UNSET
 from .snapshot import SnapshotManager
 
@@ -296,14 +297,24 @@ class QueryScheduler:
                 self._in_flight += 1
             try:
                 self._run(request)
-            except BaseException as exc:  # pragma: no cover - last resort
+            except Exception as exc:  # pragma: no cover - last resort
                 # a bug in the scheduler itself must never kill the
                 # worker silently: resolve the request and count it so
                 # the soak gate fails loudly
                 self._count("worker_errors")
                 request._resolve(QueryOutcome(
                     ok=False, error_type="internal",
-                    error=f"{type(exc).__name__}: {exc}"))
+                    error=str(internal_error(exc))))
+            except BaseException as exc:
+                # KeyboardInterrupt / injected SimulatedCrash: resolve
+                # the request so no client hangs, then let it fly — a
+                # crash swallowed here would make every fault-injection
+                # property vacuous
+                self._count("worker_errors")
+                request._resolve(QueryOutcome(
+                    ok=False, error_type="internal",
+                    error=str(internal_error(exc))))
+                raise
             finally:
                 with self._lock:
                     self._in_flight -= 1
@@ -351,11 +362,12 @@ class QueryScheduler:
             self._count("failed")
             outcome = self._failure("error", exc, snapshot, wait_s, started)
         except Exception as exc:
-            # an unhandled engine exception is a bug; counted separately
-            # so the soak job can gate on it
+            # an unhandled engine exception is a bug; typed via the
+            # taxonomy and counted separately so the soak job can gate
+            # on it
             self._count("failed", "worker_errors")
-            outcome = self._failure("internal", exc, snapshot, wait_s,
-                                    started)
+            outcome = self._failure("internal", internal_error(exc),
+                                    snapshot, wait_s, started)
         else:
             exec_s = time.monotonic() - started
             self._count("completed")

@@ -49,7 +49,8 @@ import time
 from ..bitmat.store import BitMatStore
 from ..core.engine import LBREngine
 from ..exceptions import (BudgetExceededError, ReproError,
-                          RetriesExhaustedError, UnsupportedQueryError)
+                          RetriesExhaustedError, UnsupportedQueryError,
+                          internal_error)
 from ..rdf.graph import Graph
 from .net import LBRServer, ServerClient
 from .protocol import rows_to_wire
@@ -317,14 +318,17 @@ def _writer_loop(index: int, host: str, port: int, slice_lines: list,
         client.close()
 
 
-def _compaction_storm(live, interval: float, stop_at: float) -> None:
+def _compaction_storm(live, interval: float, stop_at: float,
+                      errors: list[str]) -> None:
     """Force base merges back-to-back while writers toggle."""
     while time.monotonic() < stop_at:
         time.sleep(interval)
         try:
             live.compact()
-        except Exception:
-            # surfaced through the compactions counter staying flat
+        except Exception as exc:
+            # a failed merge fails the soak gate by name, not just
+            # through the compactions counter staying flat
+            errors.append(f"compaction storm: {internal_error(exc)}")
             return
 
 
@@ -397,7 +401,7 @@ def main(argv: list[str] | None = None) -> int:
     except SystemExit:
         raise
     except Exception as exc:
-        print(f"soak setup failed: {type(exc).__name__}: {exc}",
+        print(f"soak setup failed: {internal_error(exc)}",
               file=sys.stderr, flush=True)
         return 2
     names = sorted(references)
@@ -455,9 +459,10 @@ def main(argv: list[str] | None = None) -> int:
             for i in range(args.writers)]
         for thread in writers:
             thread.start()
+        storm_errors: list[str] = []
         storm = threading.Thread(
             target=_compaction_storm, daemon=True, name="soak-compactor",
-            args=(live, args.compact_interval, stop_at))
+            args=(live, args.compact_interval, stop_at, storm_errors))
         storm.start()
     else:
         reloader = threading.Thread(
@@ -498,6 +503,8 @@ def main(argv: list[str] | None = None) -> int:
     errors = [e for t in tallies for e in t.errors]
     divergences += [d for t in writer_tallies for d in t.divergences]
     errors += [e for t in writer_tallies for e in t.errors]
+    if writer_mode:
+        errors += storm_errors
     worker_errors = scheduler_stats["worker_errors"]
     batches = sum(t.committed for t in writer_tallies)
     compactions = live_stats["compactions"] if live_stats else 0

@@ -15,6 +15,35 @@ import threading
 #: modules and be mistaken for a real value.
 UNSET = object()
 
+#: The repo-wide lock acquisition order, outermost first.  Any thread
+#: holding lock *i* may only acquire locks at index > *i*; the
+#: ``lock-order`` rule of ``lbr lint`` statically rejects nestings that
+#: contradict this table (and, cross-file, any lock pair acquired in
+#: both orders anywhere in the tree).  Names are instance-attribute
+#: names — the convention is one meaning per name, everywhere:
+#:
+#: * ``_admission_lock`` — scheduler admission gate (queue bound +
+#:   draining flag); outermost because admission may publish work that
+#:   touches everything below.
+#: * ``_write_lock``     — single-writer mutexes (LiveGraphStore WAL
+#:   batches, SnapshotManager publication).
+#: * ``_lock``           — per-object state locks (scheduler counters,
+#:   snapshot registry, server connection set, SingleFlight table).
+#: * ``_refs_lock``      — store refcount latches (retain/close).
+#: * ``_counter_lock``   — leaf statistics counters; must never wrap
+#:   another acquisition.
+#: * ``_locks``          — LRU stripe locks; innermost, and no two
+#:   stripes may ever be held together (stripe index is a hash, so
+#:   two-stripe sections self-deadlock under collision).
+LOCK_ORDER: tuple[str, ...] = (
+    "_admission_lock",
+    "_write_lock",
+    "_lock",
+    "_refs_lock",
+    "_counter_lock",
+    "_locks",
+)
+
 
 class SingleFlight:
     """Per-key duplicate suppression for concurrent computations.

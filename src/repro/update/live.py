@@ -50,7 +50,7 @@ from ..bitmat.backend import open_image
 from ..bitmat.mmapstore import dump_mmap_bytes
 from ..bitmat.persist import dump_store_bytes
 from ..bitmat.store import BitMatStore
-from ..exceptions import StorageError
+from ..exceptions import StorageError, internal_error
 from ..fsio import atomic_write, join_path
 from ..rdf.graph import Graph
 from ..rdf.terms import Triple
@@ -108,9 +108,10 @@ class LiveGraphStore:
         #: delta rebase at swap time); None = no compaction running
         self._compaction_log: list[tuple[tuple, tuple]] | None = None
         self._counters = {"batches": 0, "compactions": 0, "checkpoints": 0,
-                          "recovered_batches": 0}
+                          "compaction_failures": 0, "recovered_batches": 0}
         self._compact_event = threading.Event()
         self._compactor: threading.Thread | None = None
+        self._last_compaction_error: Exception | None = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -265,7 +266,10 @@ class LiveGraphStore:
                     "delta_size": self._delta.size,
                     "segments": len(self._segments),
                     "visible_triples": self._current.num_triples,
-                    "compacting": self._compaction_log is not None}
+                    "compacting": self._compaction_log is not None,
+                    "last_compaction_error":
+                        (str(self._last_compaction_error)
+                         if self._last_compaction_error else None)}
 
     # ------------------------------------------------------------------
     # writes
@@ -435,17 +439,23 @@ class LiveGraphStore:
             base = self._base.retain()
             delta = self._delta
             seal_seq = self.last_seq
-            # rotate: seal the current segment, open the next one, and
-            # record both in the manifest so a crash mid-compaction
-            # recovers every committed batch from the sealed ones
-            self._wal.close()
-            segment = self._segment_name(seal_seq + 1)
-            self._segments.append(segment)
-            self._wal = WriteAheadLog(_join(self.directory, segment),
-                                      fs=self.fs,
-                                      next_seq=seal_seq + 1).open()
-            self._write_manifest(self._image_name())
-            self._compaction_log = []
+            try:
+                # rotate: seal the current segment, open the next one,
+                # and record both in the manifest so a crash
+                # mid-compaction recovers every committed batch from
+                # the sealed ones
+                self._wal.close()
+                segment = self._segment_name(seal_seq + 1)
+                self._segments.append(segment)
+                self._wal = WriteAheadLog(
+                    _join(self.directory, segment), fs=self.fs,
+                    next_seq=seal_seq + 1).open()
+                self._write_manifest(self._image_name())
+                self._compaction_log = []
+            except BaseException:
+                # a failed rotation must not strand the retained base
+                base.close()
+                raise
         try:
             new_base = self._materialize(base, delta)
         except BaseException:
@@ -480,11 +490,14 @@ class LiveGraphStore:
                     return
                 try:
                     self.compact()
-                except Exception:  # pragma: no cover - defensive
+                except Exception as exc:  # pragma: no cover - defensive
                     # a failed background compaction must not kill the
-                    # thread; the WAL keeps everything durable and the
-                    # next trigger retries
-                    pass
+                    # thread (the WAL keeps everything durable and the
+                    # next trigger retries), but it must be typed and
+                    # counted so stats()/soak gates see it
+                    with self._write_lock:
+                        self._counters["compaction_failures"] += 1
+                        self._last_compaction_error = internal_error(exc)
 
         self._compactor = threading.Thread(target=loop, daemon=True,
                                            name="lbr-compactor")
